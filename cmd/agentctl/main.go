@@ -1,0 +1,72 @@
+// Command agentctl injects a mobile agent into a running agenthost
+// deployment. The agent's code (agentlang source) decides its own
+// itinerary via migrate(); verdicts and the final state are printed by
+// the host where the journey ends (see cmd/agenthost).
+//
+// Example:
+//
+//	agentctl -code shopper.agent -id shopper-1 -owner alice \
+//	         -home home -peers home=:7001,shop=:7002,back=:7003
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/agent"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "agentctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	codePath := flag.String("code", "", "path to agentlang source (required)")
+	id := flag.String("id", "agent-1", "agent instance ID")
+	owner := flag.String("owner", "owner", "owning principal")
+	entry := flag.String("entry", "main", "entry procedure")
+	home := flag.String("home", "", "host to launch on (required)")
+	peers := flag.String("peers", "", "address book: name=host:port,...")
+	flag.Parse()
+
+	if *codePath == "" || *home == "" {
+		return fmt.Errorf("-code and -home are required")
+	}
+	code, err := os.ReadFile(*codePath)
+	if err != nil {
+		return err
+	}
+	ag, err := agent.New(*id, *owner, string(code), *entry)
+	if err != nil {
+		return err
+	}
+	wire, err := ag.Marshal()
+	if err != nil {
+		return err
+	}
+
+	book := make(map[string]string)
+	for _, pair := range strings.Split(*peers, ",") {
+		if pair == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("malformed -peers entry %q", pair)
+		}
+		book[strings.TrimSpace(name)] = strings.TrimSpace(addr)
+	}
+	net := transport.NewTCPNetwork(book)
+	fmt.Printf("agentctl: launching %s (owner %s, entry %s) on %s\n", *id, *owner, *entry, *home)
+	if err := net.SendAgent(*home, wire); err != nil {
+		return fmt.Errorf("launch failed: %w", err)
+	}
+	fmt.Println("agentctl: journey finished; see the final host's output for verdicts and state")
+	return nil
+}

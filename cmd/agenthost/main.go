@@ -1,0 +1,221 @@
+// Command agenthost runs one agent platform node behind a TCP
+// listener. A deployment is a set of agenthost processes sharing an
+// address book and a key directory; agents are injected with agentctl.
+//
+// Because the shared PKI of the paper's setting has to exist somewhere,
+// agenthost persists its public key into -keydir on startup and loads
+// every peer key it finds there. Start all hosts with the same -keydir
+// (a shared directory suffices for a single-machine deployment) before
+// launching agents.
+//
+// Example (three shells):
+//
+//	agenthost -name home  -addr :7001 -trusted -keydir /tmp/keys -peers home=:7001,shop=:7002,back=:7003
+//	agenthost -name shop  -addr :7002 -keydir /tmp/keys -peers ... -resource price=120
+//	agenthost -name back  -addr :7003 -trusted -keydir /tmp/keys -peers ...
+//	agentctl  -code shopper.agent -home home -peers ...
+package main
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/protection"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "agenthost:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	name := flag.String("name", "", "host principal name (required)")
+	addr := flag.String("addr", "127.0.0.1:0", "TCP listen address")
+	trusted := flag.Bool("trusted", false, "mark this host as trusted by agent owners")
+	level := flag.String("level", "full", "protection level: none|signed|rules|traces|full")
+	keydir := flag.String("keydir", "", "shared directory for public keys (required)")
+	peers := flag.String("peers", "", "address book: name=host:port,name=host:port,...")
+	resources := flag.String("resource", "", "host resources: key=intvalue,key=strvalue,...")
+	flag.Parse()
+
+	if *name == "" {
+		return fmt.Errorf("-name is required")
+	}
+	if *keydir == "" {
+		return fmt.Errorf("-keydir is required")
+	}
+
+	lvl, err := protection.ParseLevel(*level)
+	if err != nil {
+		return err
+	}
+
+	keys, err := sigcrypto.GenerateKeyPair(*name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*keydir, 0o755); err != nil {
+		return err
+	}
+	keyPath := filepath.Join(*keydir, *name+".pub")
+	if err := os.WriteFile(keyPath, []byte(hex.EncodeToString(keys.Public())), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("agenthost %s: public key written to %s\n", *name, keyPath)
+
+	reg := sigcrypto.NewRegistry()
+	if err := reg.RegisterKeyPair(keys); err != nil {
+		return err
+	}
+	if err := loadPeerKeys(reg, *keydir); err != nil {
+		return err
+	}
+
+	book, err := parseBook(*peers)
+	if err != nil {
+		return err
+	}
+	net := transport.NewTCPNetwork(book)
+
+	res, err := parseResources(*resources)
+	if err != nil {
+		return err
+	}
+	h, err := host.New(host.Config{
+		Name:        *name,
+		Keys:        keys,
+		Registry:    reg,
+		Trusted:     *trusted,
+		Resources:   res,
+		RecordTrace: protection.NeedsTraceRecording(lvl) || lvl == protection.LevelFull,
+	})
+	if err != nil {
+		return err
+	}
+	mechs, err := protection.Mechanisms(lvl, protection.Options{})
+	if err != nil {
+		return err
+	}
+	node, err := core.NewNode(core.NodeConfig{
+		Host:       h,
+		Net:        net,
+		Mechanisms: mechs,
+		OnVerdict: func(v core.Verdict) {
+			fmt.Printf("agenthost %s: %s\n", *name, v)
+		},
+		OnComplete: func(ag *agent.Agent, vs []core.Verdict, aborted bool) {
+			status := "completed"
+			if aborted {
+				status = "ABORTED"
+			}
+			fmt.Printf("agenthost %s: agent %s %s after %d hops\n", *name, ag.ID, status, ag.Hop)
+			fmt.Printf("agenthost %s: final state of %s:\n", *name, ag.ID)
+			for _, k := range value.SortedKeys(ag.State) {
+				fmt.Printf("    %s = %s\n", k, ag.State[k])
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// peersRefresh: keys written by hosts started later are picked up on
+	// demand when verification first misses. Kept simple: reload on
+	// SIGHUP.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := loadPeerKeys(reg, *keydir); err != nil {
+				fmt.Fprintf(os.Stderr, "agenthost %s: reloading keys: %v\n", *name, err)
+			}
+		}
+	}()
+
+	srv, err := transport.Serve(*addr, node)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("agenthost %s: serving on %s (trusted=%v, level=%s)\n", *name, srv.Addr(), *trusted, lvl)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Printf("agenthost %s: shutting down\n", *name)
+	return srv.Close()
+}
+
+func loadPeerKeys(reg *sigcrypto.Registry, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".pub") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		raw, err := hex.DecodeString(strings.TrimSpace(string(data)))
+		if err != nil {
+			return fmt.Errorf("key file %s: %w", e.Name(), err)
+		}
+		id := strings.TrimSuffix(e.Name(), ".pub")
+		if err := reg.Register(id, ed25519.PublicKey(raw)); err != nil {
+			return fmt.Errorf("key file %s: %w", e.Name(), err)
+		}
+	}
+	return nil
+}
+
+func parseBook(s string) (map[string]string, error) {
+	book := make(map[string]string)
+	if s == "" {
+		return book, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed -peers entry %q (want name=addr)", pair)
+		}
+		book[strings.TrimSpace(name)] = strings.TrimSpace(addr)
+	}
+	return book, nil
+}
+
+func parseResources(s string) (map[string]value.Value, error) {
+	res := make(map[string]value.Value)
+	if s == "" {
+		return res, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed -resource entry %q (want key=value)", pair)
+		}
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			res[k] = value.Int(n)
+		} else {
+			res[k] = value.Str(v)
+		}
+	}
+	return res, nil
+}

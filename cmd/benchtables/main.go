@@ -1,0 +1,141 @@
+// Command benchtables regenerates the paper's evaluation artifacts:
+// Tables 1 and 2 (§5.3) and the sweep series of DESIGN.md §4.
+//
+// Usage:
+//
+//	benchtables                  # both tables + shape comparison
+//	benchtables -tables=false -series overhead
+//	benchtables -quick           # smaller sweeps, skips 10000-cycle rows
+//	benchtables -series all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tables := flag.Bool("tables", true, "regenerate Tables 1 and 2")
+	series := flag.String("series", "", "sweep series to run: overhead|replication|trace|proof|all")
+	quick := flag.Bool("quick", false, "smaller parameter ranges (for smoke runs)")
+	flag.Parse()
+
+	out := os.Stdout
+	if *tables {
+		progress := func(msg string) { fmt.Fprintf(os.Stderr, "running %s...\n", msg) }
+		rows, err := measureTables(progress, *quick)
+		if err != nil {
+			return err
+		}
+		bench.FormatTable1(out, rows)
+		fmt.Fprintln(out)
+		bench.FormatTable2(out, rows)
+		fmt.Fprintln(out)
+		bench.FormatShapeComparison(out, rows)
+		fmt.Fprintln(out)
+	}
+
+	runSeries := func(name string) error {
+		switch name {
+		case "overhead":
+			cycles := []int{1, 10, 100, 1000, 10000}
+			if *quick {
+				cycles = []int{1, 10, 100}
+			}
+			points, err := bench.SeriesOverhead(cycles, []int{1, 100})
+			if err != nil {
+				return err
+			}
+			bench.FormatSeries(out, "Series A: protected/plain overall factor vs computation share",
+				[]string{"plain_ms", "prot_ms", "factor", "cycle_pct"}, points)
+		case "replication":
+			sizes := []int{1, 3, 5, 7}
+			if *quick {
+				sizes = []int{1, 3}
+			}
+			points, err := bench.SeriesReplication(sizes)
+			if err != nil {
+				return err
+			}
+			bench.FormatSeries(out, "Series B: replication cost and tolerance vs replica-set size",
+				[]string{"time_ms", "cost_vs_1", "tolerated"}, points)
+		case "trace":
+			cycles := []int{1, 10, 100, 1000}
+			if *quick {
+				cycles = []int{1, 10}
+			}
+			points, err := bench.SeriesTrace(cycles)
+			if err != nil {
+				return err
+			}
+			bench.FormatSeries(out, "Series C: trace size and audit cost vs per-session work",
+				[]string{"trace_entries", "audit_ms", "sessions"}, points)
+		case "proof":
+			iters := []int{100, 1000, 10000}
+			if *quick {
+				iters = []int{100, 1000}
+			}
+			points, err := bench.SeriesProof(iters, 8)
+			if err != nil {
+				return err
+			}
+			bench.FormatSeries(out, "Series D: proof spot-check vs full recheck",
+				[]string{"spot_opened", "full_opened", "spot_ms", "full_ms"}, points)
+		default:
+			return fmt.Errorf("unknown series %q", name)
+		}
+		fmt.Fprintln(out)
+		return nil
+	}
+
+	switch *series {
+	case "":
+	case "all":
+		for _, s := range []string{"overhead", "replication", "trace", "proof"} {
+			if err := runSeries(s); err != nil {
+				return err
+			}
+		}
+	default:
+		if err := runSeries(*series); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measureTables is bench.MeasureTables with an optional quick mode that
+// drops the 10000-cycle rows.
+func measureTables(progress func(string), quick bool) ([]bench.TableRow, error) {
+	if !quick {
+		return bench.MeasureTables(progress)
+	}
+	var rows []bench.TableRow
+	for _, w := range bench.PaperWorkloads() {
+		if w.Cycles > 1000 {
+			w.Cycles = 1000 // quick mode: scale the heavy rows down
+		}
+		progress(fmt.Sprintf("plain      %s", w))
+		plain, err := bench.RunPlain(w)
+		if err != nil {
+			return nil, err
+		}
+		progress(fmt.Sprintf("protected  %s", w))
+		prot, err := bench.RunProtected(w)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, bench.TableRow{Workload: w, Plain: plain, Protected: prot})
+	}
+	return rows, nil
+}

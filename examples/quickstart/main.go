@@ -1,0 +1,127 @@
+// Quickstart: a protected mobile agent crossing three in-process hosts.
+//
+// It shows the minimal wiring: a key registry, three hosts (trusted
+// home, untrusted worker, trusted return host), the full protection
+// level (whole-agent signatures + the reference-states example
+// mechanism), and one agent that computes on the untrusted host. Run
+// it twice in spirit: the honest pass completes; then the same journey
+// with a tampering worker is caught by the next host's checkAfterSession.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/agent"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/protection"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+const agentCode = `
+proc main() {
+    # Executed on the home host: set out with a budget.
+    budget = 1000
+    spent = 0
+    migrate("worker", "work")
+}
+proc work() {
+    # Executed on the untrusted worker: buy a unit of work.
+    let price = read("price")
+    spent = spent + price
+    budget = budget - price
+    migrate("back", "wrapup")
+}
+proc wrapup() {
+    done()
+}`
+
+func main() {
+	if err := runJourney("honest run", nil); err != nil {
+		fmt.Println("unexpected:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	err := runJourney("tampering run", attack.DataManipulation{Var: "spent", Val: value.Int(0)})
+	if err == nil {
+		fmt.Println("unexpected: tampering was not detected")
+		os.Exit(1)
+	}
+	fmt.Println("tampering run aborted as expected:", err)
+}
+
+// runJourney wires the deployment and sends one agent through it.
+func runJourney(label string, workerBehavior host.Behavior) error {
+	fmt.Printf("=== %s ===\n", label)
+	reg := sigcrypto.NewRegistry()
+	net := transport.NewInProc()
+
+	hosts := []struct {
+		name    string
+		trusted bool
+	}{
+		{"home", true},
+		{"worker", false},
+		{"back", true},
+	}
+	for _, spec := range hosts {
+		keys, err := sigcrypto.GenerateKeyPair(spec.name)
+		if err != nil {
+			return err
+		}
+		cfg := host.Config{
+			Name:     spec.name,
+			Keys:     keys,
+			Registry: reg,
+			Trusted:  spec.trusted,
+		}
+		if spec.name == "worker" {
+			cfg.Resources = map[string]value.Value{"price": value.Int(250)}
+			cfg.Behavior = workerBehavior
+		}
+		h, err := host.New(cfg)
+		if err != nil {
+			return err
+		}
+		// Every node runs the same protection stack — here the full
+		// level: whole-agent signatures plus next-host re-execution
+		// checking (the paper's example mechanism).
+		mechs, err := protection.Mechanisms(protection.LevelFull, protection.Options{})
+		if err != nil {
+			return err
+		}
+		node, err := core.NewNode(core.NodeConfig{
+			Host:       h,
+			Net:        net,
+			Mechanisms: mechs,
+			OnVerdict: func(v core.Verdict) {
+				fmt.Println(" ", v)
+			},
+			OnComplete: func(ag *agent.Agent, _ []core.Verdict, aborted bool) {
+				if aborted {
+					return
+				}
+				fmt.Printf("  agent %s finished: budget=%s spent=%s route=%v\n",
+					ag.ID, ag.State["budget"], ag.State["spent"], ag.Route)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		net.Register(spec.name, node)
+	}
+
+	ag, err := agent.New("quickstart-agent", "alice", agentCode, "main")
+	if err != nil {
+		return err
+	}
+	wire, err := ag.Marshal()
+	if err != nil {
+		return err
+	}
+	return net.SendAgent("home", wire)
+}

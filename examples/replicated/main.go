@@ -1,0 +1,114 @@
+// Replicated: the server-replication mechanism of §3.2.
+//
+// A two-stage computation (fetch a market quote, then settle) runs on
+// replica sets of three independent hosts per stage. One replica in
+// each stage is malicious. Every stage's replicas execute the same
+// session in parallel and vote on the resulting state; the malicious
+// minorities are out-voted and named, and the agent's final result is
+// the honest one — demonstrating the (n/2 − 1) tolerance bound.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/agent"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/replication"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+const traderCode = `
+proc main() {
+    quote = read("quote")
+    migrate("next-stage", "settle")
+}
+proc settle() {
+    fee = read("fee")
+    settled = quote - fee
+    done()
+}`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Println("replicated example failed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	reg := sigcrypto.NewRegistry()
+	net := transport.NewInProc()
+	coord := &replication.Coordinator{Net: net, Registry: reg}
+
+	// Two stages of three replicas; one attacker per stage.
+	attackers := map[string]host.Behavior{
+		"quote-2":  attack.DataManipulation{Var: "quote", Val: value.Int(1)},
+		"settle-0": attack.DataManipulation{Var: "settled", Val: value.Int(0)},
+	}
+	stages := []struct {
+		prefix    string
+		resources map[string]value.Value
+	}{
+		{"quote", map[string]value.Value{"quote": value.Int(130)}},
+		{"settle", map[string]value.Value{"fee": value.Int(5)}},
+	}
+	for _, st := range stages {
+		var names []string
+		for r := 0; r < 3; r++ {
+			name := fmt.Sprintf("%s-%d", st.prefix, r)
+			names = append(names, name)
+			keys, err := sigcrypto.GenerateKeyPair(name)
+			if err != nil {
+				return err
+			}
+			h, err := host.New(host.Config{
+				Name:     name,
+				Keys:     keys,
+				Registry: reg,
+				// Replicas offer the same resources and share the input
+				// source ("hosts that offer the same set of resources").
+				Resources: st.resources,
+				RandSeed:  7,
+				Behavior:  attackers[name],
+			})
+			if err != nil {
+				return err
+			}
+			node, err := core.NewNode(core.NodeConfig{
+				Host:       h,
+				Net:        net,
+				Mechanisms: []core.Mechanism{replication.New()},
+			})
+			if err != nil {
+				return err
+			}
+			net.Register(name, node)
+		}
+		coord.Stages = append(coord.Stages, names)
+	}
+
+	ag, err := agent.New("trader", "owner", traderCode, "main")
+	if err != nil {
+		return err
+	}
+	report, err := coord.Run(ag)
+	if err != nil {
+		return err
+	}
+	for _, st := range report.Stages {
+		fmt.Printf("stage %d: %d/%d votes for the winning state; dissenters: %v\n",
+			st.Stage, st.WinnerN, len(st.Replicas), st.Dissenters)
+	}
+	fmt.Printf("final settled amount: %s (honest value 130-5 = 125)\n", report.Final.State["settled"])
+	if report.Final.State["settled"].Int != 125 {
+		return fmt.Errorf("replication failed to protect the result")
+	}
+	fmt.Printf("tolerance bound: a stage of 3 replicas tolerates %d malicious host(s)\n",
+		replication.MaxTolerated(3))
+	return nil
+}

@@ -1,0 +1,268 @@
+// Package agent defines the mobile agent construct of the paper's
+// execution model (§2.1): "a construct consisting of code, data state,
+// and execution state", migrating along a sequence of hosts.
+//
+// The code part is agentlang source (shipped verbatim and identified by
+// its digest). The data state is a value.State. The execution state —
+// this platform uses weak migration like Mole (§5) — is the name of the
+// entry procedure the next host must start, plus the hop counter.
+//
+// Agents additionally carry "baggage": opaque per-mechanism payloads
+// (signed reference states, input logs, trace commitments) that
+// protection mechanisms attach and consume. Baggage travels inside the
+// data part of the agent "as this part is transported automatically"
+// (§5).
+package agent
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/agentlang"
+	"repro/internal/canon"
+	"repro/internal/value"
+)
+
+// Common validation errors.
+var (
+	ErrNoCode     = errors.New("agent: empty code")
+	ErrNoEntry    = errors.New("agent: empty entry procedure")
+	ErrBadBaggage = errors.New("agent: malformed baggage")
+)
+
+// Agent is a mobile agent between (or during) execution sessions.
+type Agent struct {
+	// ID uniquely names this agent instance.
+	ID string
+	// Owner is the principal the agent acts for; the owner's home host
+	// is usually the first and last stop of the itinerary.
+	Owner string
+	// Code is the agentlang source. It is immutable for the lifetime of
+	// the agent; CodeDigest pins it.
+	Code string
+	// CodeDigest is the digest of Code, fixed at creation. A host that
+	// receives an agent whose code does not match the digest rejects it.
+	CodeDigest canon.Digest
+	// State is the agent's data state — the "variable parts" that
+	// reference states are defined over.
+	State value.State
+	// Entry is the execution state under weak migration: the procedure
+	// the next execution session starts with.
+	Entry string
+	// Hop counts completed execution sessions, starting at 0 before the
+	// first session. It parameterizes signatures so protocol messages
+	// from different sessions can never be confused.
+	Hop int
+	// Route records the hosts visited so far, in order. Mechanisms that
+	// check after the task use it to identify whom to blame (§3.5:
+	// "the route, i.e. the list of visited hosts has to be stored").
+	Route []string
+	// Baggage holds per-mechanism opaque payloads, keyed by mechanism
+	// name.
+	Baggage map[string][]byte
+
+	// prog caches the parsed program; not serialized.
+	prog *agentlang.Program
+}
+
+// New creates an agent with the given identity and code, validating
+// that the code parses and the entry procedure exists.
+func New(id, owner, code, entry string) (*Agent, error) {
+	if code == "" {
+		return nil, ErrNoCode
+	}
+	if entry == "" {
+		return nil, ErrNoEntry
+	}
+	prog, err := agentlang.Parse(code)
+	if err != nil {
+		return nil, fmt.Errorf("agent: parsing code: %w", err)
+	}
+	if !prog.HasProc(entry) {
+		return nil, fmt.Errorf("agent: entry procedure %q not in code", entry)
+	}
+	return &Agent{
+		ID:         id,
+		Owner:      owner,
+		Code:       code,
+		CodeDigest: canon.HashBytes([]byte(code)),
+		State:      value.State{},
+		Entry:      entry,
+		Baggage:    make(map[string][]byte),
+		prog:       prog,
+	}, nil
+}
+
+// Program returns the parsed code, parsing and caching on first use.
+func (a *Agent) Program() (*agentlang.Program, error) {
+	if a.prog != nil {
+		return a.prog, nil
+	}
+	prog, err := agentlang.Parse(a.Code)
+	if err != nil {
+		return nil, fmt.Errorf("agent: parsing code: %w", err)
+	}
+	a.prog = prog
+	return prog, nil
+}
+
+// Validate checks internal consistency: code digest, parsability, and
+// entry existence. Hosts call it on every arriving agent.
+func (a *Agent) Validate() error {
+	if a.Code == "" {
+		return ErrNoCode
+	}
+	if a.Entry == "" {
+		return ErrNoEntry
+	}
+	if canon.HashBytes([]byte(a.Code)) != a.CodeDigest {
+		return errors.New("agent: code does not match code digest")
+	}
+	prog, err := a.Program()
+	if err != nil {
+		return err
+	}
+	if !prog.HasProc(a.Entry) {
+		return fmt.Errorf("agent: entry procedure %q not in code", a.Entry)
+	}
+	return nil
+}
+
+// StateDigest returns the canonical digest of the data state.
+func (a *Agent) StateDigest() canon.Digest { return canon.HashState(a.State) }
+
+// Clone returns a deep copy of the agent (sharing only the immutable
+// parsed program).
+func (a *Agent) Clone() *Agent {
+	out := &Agent{
+		ID:         a.ID,
+		Owner:      a.Owner,
+		Code:       a.Code,
+		CodeDigest: a.CodeDigest,
+		State:      a.State.Clone(),
+		Entry:      a.Entry,
+		Hop:        a.Hop,
+		Route:      append([]string(nil), a.Route...),
+		Baggage:    make(map[string][]byte, len(a.Baggage)),
+		prog:       a.prog,
+	}
+	for k, v := range a.Baggage {
+		out.Baggage[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// SetBaggage stores a mechanism payload, replacing any previous value.
+func (a *Agent) SetBaggage(mechanism string, payload []byte) {
+	if a.Baggage == nil {
+		a.Baggage = make(map[string][]byte)
+	}
+	a.Baggage[mechanism] = append([]byte(nil), payload...)
+}
+
+// GetBaggage retrieves a mechanism payload; ok is false if absent.
+func (a *Agent) GetBaggage(mechanism string) (payload []byte, ok bool) {
+	p, ok := a.Baggage[mechanism]
+	return p, ok
+}
+
+// ClearBaggage removes a mechanism payload.
+func (a *Agent) ClearBaggage(mechanism string) { delete(a.Baggage, mechanism) }
+
+// BaggageKeys returns the mechanism names with attached baggage, sorted.
+func (a *Agent) BaggageKeys() []string {
+	keys := make([]string, 0, len(a.Baggage))
+	for k := range a.Baggage {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// wireAgent is the gob wire representation.
+type wireAgent struct {
+	ID         string
+	Owner      string
+	Code       string
+	CodeDigest canon.Digest
+	StateEnc   []byte // canonical state encoding
+	Entry      string
+	Hop        int
+	Route      []string
+	Baggage    map[string][]byte
+}
+
+// Marshal serializes the agent for migration. The data state travels in
+// canonical encoding so that the bytes a host signs are exactly the
+// bytes the next host digests.
+func (a *Agent) Marshal() ([]byte, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("agent: refusing to marshal invalid agent: %w", err)
+	}
+	w := wireAgent{
+		ID:         a.ID,
+		Owner:      a.Owner,
+		Code:       a.Code,
+		CodeDigest: a.CodeDigest,
+		StateEnc:   canon.EncodeState(a.State),
+		Entry:      a.Entry,
+		Hop:        a.Hop,
+		Route:      a.Route,
+		Baggage:    a.Baggage,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("agent: encoding: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal deserializes an agent received from the network and
+// validates it.
+func Unmarshal(data []byte) (*Agent, error) {
+	var w wireAgent
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("agent: decoding: %w", err)
+	}
+	st, err := canon.DecodeState(w.StateEnc)
+	if err != nil {
+		return nil, fmt.Errorf("agent: decoding state: %w", err)
+	}
+	a := &Agent{
+		ID:         w.ID,
+		Owner:      w.Owner,
+		Code:       w.Code,
+		CodeDigest: w.CodeDigest,
+		State:      st,
+		Entry:      w.Entry,
+		Hop:        w.Hop,
+		Route:      w.Route,
+		Baggage:    w.Baggage,
+	}
+	if a.Baggage == nil {
+		a.Baggage = make(map[string][]byte)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// SessionBinding returns the canonical bytes that protocol signatures
+// over a session's states bind to: agent identity, code digest, hop
+// index, and the given role label. Including the role prevents an
+// initial-state signature from being replayed as a resulting-state
+// signature and vice versa.
+func (a *Agent) SessionBinding(role string, hop int, stateDigest canon.Digest) []byte {
+	return canon.Tuple(
+		[]byte("session"),
+		[]byte(a.ID),
+		a.CodeDigest[:],
+		[]byte(fmt.Sprintf("%d", hop)),
+		[]byte(role),
+		stateDigest[:],
+	)
+}

@@ -1,0 +1,259 @@
+package agentlang
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// builtinFunc is a pure function over values. Builtins are recomputable
+// from their arguments, so calls to them are *not* input in the paper's
+// sense ("it does not include results from procedures inside the agent
+// as these can be recomputed", §2.3) and are never recorded.
+type builtinFunc func(args []value.Value) (value.Value, error)
+
+type builtinSpec struct {
+	fn      builtinFunc
+	minArgs int
+	maxArgs int // -1 for variadic
+}
+
+// RuntimeError is an error raised by agent code at run time (type
+// mismatch, division by zero, index out of range, ...). Whether a host
+// reports it to the agent owner or the agent simply dies is a platform
+// policy decision; the interpreter only surfaces it.
+type RuntimeError struct {
+	Pos Pos
+	Msg string
+	// Cause is the underlying error for failures that originate outside
+	// the interpreter (environment input/output errors); nil otherwise.
+	Cause error
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("agentlang: runtime error at %s: %s", e.Pos, e.Msg)
+}
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As, so
+// checkers can distinguish e.g. replay divergence from agent bugs.
+func (e *RuntimeError) Unwrap() error { return e.Cause }
+
+func rtErrf(p Pos, format string, args ...any) error {
+	return &RuntimeError{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+func wantKind(name string, i int, v value.Value, k value.Kind) error {
+	if v.Kind != k {
+		return fmt.Errorf("%s: argument %d must be %s, got %s", name, i+1, k, v.Kind)
+	}
+	return nil
+}
+
+var builtins = map[string]builtinSpec{
+	"len": {minArgs: 1, maxArgs: 1, fn: func(args []value.Value) (value.Value, error) {
+		switch args[0].Kind {
+		case value.KindString:
+			return value.Int(int64(len(args[0].Str))), nil
+		case value.KindList:
+			return value.Int(int64(len(args[0].List))), nil
+		case value.KindMap:
+			return value.Int(int64(len(args[0].Map))), nil
+		default:
+			return value.Null(), fmt.Errorf("len: unsupported kind %s", args[0].Kind)
+		}
+	}},
+	"append": {minArgs: 2, maxArgs: -1, fn: func(args []value.Value) (value.Value, error) {
+		if err := wantKind("append", 0, args[0], value.KindList); err != nil {
+			return value.Null(), err
+		}
+		out := make([]value.Value, 0, len(args[0].List)+len(args)-1)
+		out = append(out, args[0].List...)
+		out = append(out, args[1:]...)
+		return value.List(out...), nil
+	}},
+	"str": {minArgs: 1, maxArgs: 1, fn: func(args []value.Value) (value.Value, error) {
+		if args[0].Kind == value.KindString {
+			return args[0], nil
+		}
+		return value.Str(args[0].String()), nil
+	}},
+	"int": {minArgs: 1, maxArgs: 1, fn: func(args []value.Value) (value.Value, error) {
+		switch args[0].Kind {
+		case value.KindInt:
+			return args[0], nil
+		case value.KindBool:
+			if args[0].Bool {
+				return value.Int(1), nil
+			}
+			return value.Int(0), nil
+		case value.KindString:
+			n, err := strconv.ParseInt(strings.TrimSpace(args[0].Str), 10, 64)
+			if err != nil {
+				return value.Null(), fmt.Errorf("int: cannot parse %q", args[0].Str)
+			}
+			return value.Int(n), nil
+		default:
+			return value.Null(), fmt.Errorf("int: unsupported kind %s", args[0].Kind)
+		}
+	}},
+	"abs": {minArgs: 1, maxArgs: 1, fn: func(args []value.Value) (value.Value, error) {
+		if err := wantKind("abs", 0, args[0], value.KindInt); err != nil {
+			return value.Null(), err
+		}
+		if args[0].Int < 0 {
+			return value.Int(-args[0].Int), nil
+		}
+		return args[0], nil
+	}},
+	"min": {minArgs: 1, maxArgs: -1, fn: func(args []value.Value) (value.Value, error) {
+		return extremum("min", args, func(c int) bool { return c < 0 })
+	}},
+	"max": {minArgs: 1, maxArgs: -1, fn: func(args []value.Value) (value.Value, error) {
+		return extremum("max", args, func(c int) bool { return c > 0 })
+	}},
+	"sum": {minArgs: 1, maxArgs: 1, fn: func(args []value.Value) (value.Value, error) {
+		if err := wantKind("sum", 0, args[0], value.KindList); err != nil {
+			return value.Null(), err
+		}
+		var total int64
+		for i, e := range args[0].List {
+			if e.Kind != value.KindInt {
+				return value.Null(), fmt.Errorf("sum: element %d is %s, not int", i, e.Kind)
+			}
+			total += e.Int
+		}
+		return value.Int(total), nil
+	}},
+	"contains": {minArgs: 2, maxArgs: 2, fn: func(args []value.Value) (value.Value, error) {
+		switch args[0].Kind {
+		case value.KindString:
+			if args[1].Kind != value.KindString {
+				return value.Null(), fmt.Errorf("contains: needle must be string for string haystack")
+			}
+			return value.Bool(strings.Contains(args[0].Str, args[1].Str)), nil
+		case value.KindList:
+			for _, e := range args[0].List {
+				if e.Equal(args[1]) {
+					return value.Bool(true), nil
+				}
+			}
+			return value.Bool(false), nil
+		case value.KindMap:
+			if args[1].Kind != value.KindString {
+				return value.Null(), fmt.Errorf("contains: map keys are strings")
+			}
+			_, ok := args[0].Map[args[1].Str]
+			return value.Bool(ok), nil
+		default:
+			return value.Null(), fmt.Errorf("contains: unsupported kind %s", args[0].Kind)
+		}
+	}},
+	"keys": {minArgs: 1, maxArgs: 1, fn: func(args []value.Value) (value.Value, error) {
+		if err := wantKind("keys", 0, args[0], value.KindMap); err != nil {
+			return value.Null(), err
+		}
+		ks := value.SortedKeys(args[0].Map)
+		out := make([]value.Value, len(ks))
+		for i, k := range ks {
+			out[i] = value.Str(k)
+		}
+		return value.List(out...), nil
+	}},
+	"get": {minArgs: 3, maxArgs: 3, fn: func(args []value.Value) (value.Value, error) {
+		if err := wantKind("get", 0, args[0], value.KindMap); err != nil {
+			return value.Null(), err
+		}
+		if err := wantKind("get", 1, args[1], value.KindString); err != nil {
+			return value.Null(), err
+		}
+		if v, ok := args[0].Map[args[1].Str]; ok {
+			return v, nil
+		}
+		return args[2], nil
+	}},
+	"delete": {minArgs: 2, maxArgs: 2, fn: func(args []value.Value) (value.Value, error) {
+		if err := wantKind("delete", 0, args[0], value.KindMap); err != nil {
+			return value.Null(), err
+		}
+		if err := wantKind("delete", 1, args[1], value.KindString); err != nil {
+			return value.Null(), err
+		}
+		out := make(map[string]value.Value, len(args[0].Map))
+		for k, v := range args[0].Map {
+			if k != args[1].Str {
+				out[k] = v
+			}
+		}
+		return value.Map(out), nil
+	}},
+	"sort": {minArgs: 1, maxArgs: 1, fn: func(args []value.Value) (value.Value, error) {
+		if err := wantKind("sort", 0, args[0], value.KindList); err != nil {
+			return value.Null(), err
+		}
+		out := make([]value.Value, len(args[0].List))
+		copy(out, args[0].List)
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+		return value.List(out...), nil
+	}},
+	"slice": {minArgs: 3, maxArgs: 3, fn: func(args []value.Value) (value.Value, error) {
+		if err := wantKind("slice", 1, args[1], value.KindInt); err != nil {
+			return value.Null(), err
+		}
+		if err := wantKind("slice", 2, args[2], value.KindInt); err != nil {
+			return value.Null(), err
+		}
+		i, j := args[1].Int, args[2].Int
+		switch args[0].Kind {
+		case value.KindString:
+			n := int64(len(args[0].Str))
+			if i < 0 || j < i || j > n {
+				return value.Null(), fmt.Errorf("slice: bounds [%d:%d] out of range for length %d", i, j, n)
+			}
+			return value.Str(args[0].Str[i:j]), nil
+		case value.KindList:
+			n := int64(len(args[0].List))
+			if i < 0 || j < i || j > n {
+				return value.Null(), fmt.Errorf("slice: bounds [%d:%d] out of range for length %d", i, j, n)
+			}
+			out := make([]value.Value, j-i)
+			copy(out, args[0].List[i:j])
+			return value.List(out...), nil
+		default:
+			return value.Null(), fmt.Errorf("slice: unsupported kind %s", args[0].Kind)
+		}
+	}},
+	"isnull": {minArgs: 1, maxArgs: 1, fn: func(args []value.Value) (value.Value, error) {
+		return value.Bool(args[0].IsNull()), nil
+	}},
+	"list": {minArgs: 0, maxArgs: -1, fn: func(args []value.Value) (value.Value, error) {
+		out := make([]value.Value, len(args))
+		copy(out, args)
+		return value.List(out...), nil
+	}},
+	"map": {minArgs: 0, maxArgs: 0, fn: func(args []value.Value) (value.Value, error) {
+		return value.Map(nil), nil
+	}},
+}
+
+func extremum(name string, args []value.Value, better func(int) bool) (value.Value, error) {
+	items := args
+	if len(args) == 1 && args[0].Kind == value.KindList {
+		items = args[0].List
+		if len(items) == 0 {
+			return value.Null(), fmt.Errorf("%s: empty list", name)
+		}
+	}
+	best := items[0]
+	for _, e := range items[1:] {
+		if e.Kind != best.Kind {
+			return value.Null(), fmt.Errorf("%s: mixed kinds %s and %s", name, best.Kind, e.Kind)
+		}
+		if better(e.Compare(best)) {
+			best = e
+		}
+	}
+	return best, nil
+}

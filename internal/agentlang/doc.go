@@ -1,0 +1,71 @@
+// Package agentlang implements the deterministic programming language
+// that mobile agents in this reproduction are written in. It plays the
+// role the Java virtual machine played for the paper's Mole system: a
+// common execution substrate whose behaviour is identical on every
+// host, so that a "reference host" can re-execute an agent and obtain
+// exactly the state the original host should have produced.
+//
+// # Why a custom language
+//
+// Every reference-state mechanism (state appraisal, server replication,
+// execution traces, proof verification, and the paper's example
+// protocol) relies on three properties the substrate must provide:
+//
+//  1. Determinism: given the same initial state and the same input,
+//     execution yields the same resulting state on every host.
+//  2. A complete input boundary: everything nondeterministic (host
+//     data, messages, time, randomness) enters through identifiable
+//     operations that can be recorded and replayed.
+//  3. Stable statement identity: execution traces record statement
+//     identifiers (paper §3.3, Fig. 3); identical code must yield
+//     identical identifiers everywhere.
+//
+// Go itself cannot offer (2) and (3) for arbitrary code, so agents are
+// written in this small imperative language instead and interpreted.
+//
+// # Language reference
+//
+// A program is a sequence of procedure declarations:
+//
+//	proc main() {
+//	    let offers = []                  # procedure-local variable
+//	    best = 999999                    # agent state (global) variable
+//	    offers = append(offers, read("price"))
+//	    if offers[0] < best { best = offers[0] }
+//	    migrate("shop2", "main")         # end session, continue on shop2
+//	}
+//
+// Statements: let, assignment (with optional index path x[i]["k"] = v),
+// if/else if/else, while, for init; cond; post { }, return, break,
+// continue, and call statements. '#' starts a comment.
+//
+// Values: 64-bit integers, strings, booleans, lists, string-keyed maps,
+// and null. Composites have reference semantics, like the Java objects
+// of Mole agents.
+//
+// Variables: 'let' declares a procedure-scoped local (resolved to a
+// slot at parse time). All other names are agent state variables — the
+// "variable parts" of the agent that reference states are defined over.
+// Entry procedures take no parameters; helper procedures may.
+//
+// Builtins (pure, never recorded as input): len, append, str, int, abs,
+// min, max, sum, contains, keys, get, delete, sort, slice, isnull,
+// list, map.
+//
+// Externals (routed through the host Env):
+//
+//   - Input (recorded in the session input log): read(key), recv(),
+//     time(), rand(n), resource(key), here().
+//   - Output (suppressed during checking re-execution): send(to, msg),
+//     act(kind, ...).
+//   - Control: migrate(host, entry) ends the session and requests
+//     migration; done() terminates the agent. A normal return from the
+//     entry procedure is equivalent to done().
+//
+// # Trace hooks
+//
+// An Options.Hook observes execution: one callback per statement (with
+// the assigned variables when the statement consumed input — the trace
+// format of Fig. 3) and procedure enter/exit callbacks used for the
+// per-phase timing of Tables 1 and 2.
+package agentlang

@@ -1,0 +1,145 @@
+package agentlang
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestParseExpressionBasics(t *testing.T) {
+	tests := []struct {
+		src   string
+		state value.State
+		want  value.Value
+	}{
+		{"1 + 2 * 3", nil, value.Int(7)},
+		{"moneySpent + moneyRest == moneyInitial",
+			value.State{"moneySpent": value.Int(40), "moneyRest": value.Int(60), "moneyInitial": value.Int(100)},
+			value.Bool(true)},
+		{`len(items) <= 2`, value.State{"items": value.List(value.Int(1))}, value.Bool(true)},
+		{`contains(seen, "x")`, value.State{"seen": value.List(value.Str("x"))}, value.Bool(true)},
+		{`!(a && b)`, value.State{"a": value.Bool(true), "b": value.Bool(false)}, value.Bool(true)},
+		{`min(3, 1, 2)`, nil, value.Int(1)},
+		{`"a" + "b"`, nil, value.Str("ab")},
+		{`m["k"]`, value.State{"m": value.Map(map[string]value.Value{"k": value.Int(5)})}, value.Int(5)},
+	}
+	for _, tt := range tests {
+		e, err := ParseExpression(tt.src)
+		if err != nil {
+			t.Errorf("ParseExpression(%q): %v", tt.src, err)
+			continue
+		}
+		st := tt.state
+		if st == nil {
+			st = value.State{}
+		}
+		got, err := e.Eval(st)
+		if err != nil {
+			t.Errorf("Eval(%q): %v", tt.src, err)
+			continue
+		}
+		if !got.Equal(tt.want) {
+			t.Errorf("Eval(%q) = %s, want %s", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestParseExpressionRejectsImpure(t *testing.T) {
+	impure := []string{
+		`read("k") == 1`,
+		`time() > 0`,
+		`rand(10) < 5`,
+		`somefunc(1)`,
+		`[read("k")]`,
+		`{"k": recv()}`,
+		`len(resource("db"))`,
+		`-here()`,
+		`1 + rand(2)`,
+	}
+	for _, src := range impure {
+		if _, err := ParseExpression(src); !errors.Is(err, ErrExprExternal) {
+			t.Errorf("ParseExpression(%q) err = %v, want ErrExprExternal", src, err)
+		}
+	}
+}
+
+func TestParseExpressionSyntaxErrors(t *testing.T) {
+	for _, src := range []string{"", "1 +", "1 2", "((1)", "let x = 1"} {
+		if _, err := ParseExpression(src); err == nil {
+			t.Errorf("ParseExpression(%q) succeeded", src)
+		}
+	}
+}
+
+func TestEvalBoolRequiresBool(t *testing.T) {
+	e := MustParseExpression("1 + 1")
+	if _, err := e.EvalBool(value.State{}); err == nil {
+		t.Error("non-bool expression accepted by EvalBool")
+	}
+	b := MustParseExpression("1 + 1 == 2")
+	ok, err := b.EvalBool(value.State{})
+	if err != nil || !ok {
+		t.Errorf("EvalBool = %v, %v", ok, err)
+	}
+}
+
+func TestEvalUnknownVariable(t *testing.T) {
+	e := MustParseExpression("ghost == 1")
+	if _, err := e.Eval(value.State{}); err == nil {
+		t.Error("unknown variable evaluated")
+	}
+}
+
+func TestMustParseExpressionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseExpression did not panic")
+		}
+	}()
+	MustParseExpression("((")
+}
+
+func TestExpressionPropertyArithmetic(t *testing.T) {
+	// Expression evaluation agrees with Go arithmetic for random
+	// operand pairs (guarding the interpreter's operator table).
+	e := MustParseExpression("a * b + a - b")
+	f := func(a, b int32) bool {
+		st := value.State{"a": value.Int(int64(a)), "b": value.Int(int64(b))}
+		got, err := e.Eval(st)
+		if err != nil {
+			return false
+		}
+		want := int64(a)*int64(b) + int64(a) - int64(b)
+		return got.Int == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpressionPropertyComparison(t *testing.T) {
+	e := MustParseExpression("a < b || a == b || a > b")
+	f := func(a, b int64) bool {
+		st := value.State{"a": value.Int(a), "b": value.Int(b)}
+		got, err := e.Eval(st)
+		return err == nil && got.Bool
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpressionEvaluationIsPure(t *testing.T) {
+	// Evaluating must not mutate the state it reads.
+	e := MustParseExpression(`append(xs, 99) == [1, 99]`)
+	st := value.State{"xs": value.List(value.Int(1))}
+	got, err := e.Eval(st)
+	if err != nil || !got.Bool {
+		t.Fatalf("eval: %v %v", got, err)
+	}
+	if len(st["xs"].List) != 1 {
+		t.Error("expression evaluation mutated the state")
+	}
+}

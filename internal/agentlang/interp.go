@@ -1,0 +1,721 @@
+package agentlang
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// OutcomeKind describes how an execution session ended.
+type OutcomeKind int
+
+const (
+	// OutcomeMigrated means the agent called migrate(host, entry): the
+	// session is over and the agent wants to continue elsewhere.
+	OutcomeMigrated OutcomeKind = iota + 1
+	// OutcomeDone means the agent called done() or its entry procedure
+	// returned: the agent has finished its task.
+	OutcomeDone
+)
+
+// Outcome is the result of running one execution session.
+type Outcome struct {
+	Kind OutcomeKind
+	// MigrateHost and MigrateEntry are set when Kind == OutcomeMigrated.
+	MigrateHost  string
+	MigrateEntry string
+	// Steps is the number of statements executed during the session.
+	Steps int64
+}
+
+// Hook observes execution for trace recording and phase timing. All
+// methods are called synchronously from the interpreter goroutine.
+// A nil Hook disables observation with negligible overhead.
+type Hook interface {
+	// Statement is called after each executed statement. assigned holds
+	// the variables written by the statement *if* the statement consumed
+	// external input (paper §3.3: the trace records variable contents
+	// only for statements that use information from outside the agent).
+	Statement(stmtID int, usedInput bool, assigned []Assignment)
+	// EnterProc / ExitProc bracket user procedure invocations, enabling
+	// per-procedure time accounting (the "cycle" column of Tables 1-2).
+	EnterProc(name string)
+	ExitProc(name string)
+}
+
+// Assignment records one variable write for trace entries.
+type Assignment struct {
+	Name string
+	Val  value.Value
+}
+
+// ProcEventsOnly is an optional marker for hooks that consume only
+// EnterProc/ExitProc. The interpreter then skips all per-statement hook
+// work (including the per-assignment bookkeeping), which matters for
+// timing hooks attached to computation-heavy benchmark agents.
+type ProcEventsOnly interface {
+	ProcEventsOnly()
+}
+
+// ErrFuelExhausted is returned when a session exceeds its statement
+// budget, the platform's defence against non-terminating agents.
+var ErrFuelExhausted = errors.New("agentlang: statement budget exhausted")
+
+// DefaultFuel is the default per-session statement budget. It is large
+// enough for the paper's heaviest workload (10000 cycles of 1000
+// summations ≈ 3·10^7 statements) with an order of magnitude to spare.
+const DefaultFuel = int64(500_000_000)
+
+// Options configures a session run.
+type Options struct {
+	// Fuel bounds the number of executed statements; 0 means DefaultFuel.
+	Fuel int64
+	// Hook observes execution; may be nil.
+	Hook Hook
+}
+
+// ctrl is the control-flow signal threaded through statement execution.
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+	ctrlMigrate
+	ctrlDone
+)
+
+// interp executes one session. It is single-use.
+type interp struct {
+	prog    *Program
+	globals value.State
+	env     Env
+	// hook receives statement events; nil when the configured hook is
+	// ProcEventsOnly. procHook receives procedure enter/exit events.
+	hook     Hook
+	procHook Hook
+	fuel     int64
+	steps    int64
+
+	// Set when a control external fires.
+	migrateHost  string
+	migrateEntry string
+	// Return value passing.
+	retVal value.Value
+	// Scratch for input-consumption tracking within one statement.
+	usedInput bool
+	depth     int
+}
+
+// maxCallDepth bounds recursion in agent programs.
+const maxCallDepth = 256
+
+// Run executes the entry procedure of prog against the given global
+// state. The globals map is mutated in place (it is the agent's data
+// state); callers that need the pre-session snapshot must Clone first.
+//
+// The entry procedure must take no parameters. Nondeterministic
+// operations are served by env; execution observation by opts.Hook.
+func Run(prog *Program, entry string, globals value.State, env Env, opts Options) (Outcome, error) {
+	proc, ok := prog.procs[entry]
+	if !ok {
+		return Outcome{}, fmt.Errorf("agentlang: entry procedure %q not found", entry)
+	}
+	if len(proc.Params) != 0 {
+		return Outcome{}, fmt.Errorf("agentlang: entry procedure %q must take no parameters, has %d",
+			entry, len(proc.Params))
+	}
+	if globals == nil {
+		return Outcome{}, errors.New("agentlang: globals state must not be nil")
+	}
+	if env == nil {
+		return Outcome{}, errors.New("agentlang: env must not be nil")
+	}
+	fuel := opts.Fuel
+	if fuel <= 0 {
+		fuel = DefaultFuel
+	}
+	in := &interp{
+		prog:    prog,
+		globals: globals,
+		env:     env,
+		fuel:    fuel,
+	}
+	if opts.Hook != nil {
+		in.procHook = opts.Hook
+		if _, procOnly := opts.Hook.(ProcEventsOnly); !procOnly {
+			in.hook = opts.Hook
+		}
+	}
+	c, err := in.callProcBody(proc, nil)
+	if err != nil {
+		return Outcome{Steps: in.steps}, err
+	}
+	out := Outcome{Steps: in.steps}
+	switch c {
+	case ctrlMigrate:
+		out.Kind = OutcomeMigrated
+		out.MigrateHost = in.migrateHost
+		out.MigrateEntry = in.migrateEntry
+	default:
+		// Normal return from the entry procedure or explicit done().
+		out.Kind = OutcomeDone
+	}
+	return out, nil
+}
+
+// callProcBody runs a procedure with the given argument values.
+func (in *interp) callProcBody(proc *Proc, args []value.Value) (ctrl, error) {
+	if in.depth >= maxCallDepth {
+		return ctrlNone, rtErrf(proc.pos, "call depth exceeds %d in %q", maxCallDepth, proc.Name)
+	}
+	in.depth++
+	if in.procHook != nil {
+		in.procHook.EnterProc(proc.Name)
+	}
+	locals := make([]value.Value, proc.numLocals)
+	copy(locals, args)
+	c, err := in.execBlock(proc.body, locals)
+	if in.procHook != nil {
+		in.procHook.ExitProc(proc.Name)
+	}
+	in.depth--
+	if err != nil {
+		return ctrlNone, err
+	}
+	// break/continue cannot escape a procedure body: the parser allows
+	// them anywhere, so enforce the constraint here.
+	if c == ctrlBreak || c == ctrlContinue {
+		return ctrlNone, rtErrf(proc.pos, "break/continue outside loop in %q", proc.Name)
+	}
+	if c == ctrlReturn {
+		c = ctrlNone
+	}
+	return c, nil
+}
+
+func (in *interp) execBlock(body []stmt, locals []value.Value) (ctrl, error) {
+	for _, s := range body {
+		c, err := in.execStmt(s, locals)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if c != ctrlNone {
+			return c, nil
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (in *interp) execStmt(s stmt, locals []value.Value) (ctrl, error) {
+	in.steps++
+	if in.steps > in.fuel {
+		return ctrlNone, fmt.Errorf("%w (limit %d)", ErrFuelExhausted, in.fuel)
+	}
+	switch st := s.(type) {
+	case *letStmt:
+		in.usedInput = false
+		v, c, err := in.eval(st.rhs, locals)
+		if err != nil || c != ctrlNone {
+			return c, err
+		}
+		locals[st.slot] = v
+		if in.hook != nil {
+			in.emit(st.sid, []Assignment{{Name: st.name, Val: v}})
+		}
+		return ctrlNone, nil
+
+	case *assignStmt:
+		in.usedInput = false
+		v, c, err := in.eval(st.rhs, locals)
+		if err != nil || c != ctrlNone {
+			return c, err
+		}
+		if len(st.path) == 0 {
+			if st.local >= 0 {
+				locals[st.local] = v
+			} else {
+				in.globals[st.name] = v
+			}
+			if in.hook != nil {
+				in.emit(st.sid, []Assignment{{Name: st.name, Val: v}})
+			}
+			return ctrlNone, nil
+		}
+		if err := in.assignPath(st, v, locals); err != nil {
+			return ctrlNone, err
+		}
+		if in.hook != nil {
+			var root value.Value
+			if st.local >= 0 {
+				root = locals[st.local]
+			} else {
+				root = in.globals[st.name]
+			}
+			in.emit(st.sid, []Assignment{{Name: st.name, Val: root}})
+		}
+		return ctrlNone, nil
+
+	case *ifStmt:
+		in.usedInput = false
+		for i, cond := range st.conds {
+			v, c, err := in.eval(cond, locals)
+			if err != nil || c != ctrlNone {
+				return c, err
+			}
+			if v.Truthy() {
+				in.emit(st.sid, nil)
+				return in.execBlock(st.bodies[i], locals)
+			}
+		}
+		in.emit(st.sid, nil)
+		if st.els != nil {
+			return in.execBlock(st.els, locals)
+		}
+		return ctrlNone, nil
+
+	case *whileStmt:
+		for {
+			in.steps++
+			if in.steps > in.fuel {
+				return ctrlNone, fmt.Errorf("%w (limit %d)", ErrFuelExhausted, in.fuel)
+			}
+			in.usedInput = false
+			v, c, err := in.eval(st.cond, locals)
+			if err != nil || c != ctrlNone {
+				return c, err
+			}
+			in.emit(st.sid, nil)
+			if !v.Truthy() {
+				return ctrlNone, nil
+			}
+			c, err = in.execBlock(st.body, locals)
+			if err != nil {
+				return ctrlNone, err
+			}
+			switch c {
+			case ctrlBreak:
+				return ctrlNone, nil
+			case ctrlNone, ctrlContinue:
+				// next iteration
+			default:
+				return c, nil
+			}
+		}
+
+	case *forStmt:
+		if st.init != nil {
+			if c, err := in.execStmt(st.init, locals); err != nil || c != ctrlNone {
+				return c, err
+			}
+		}
+		for {
+			in.steps++
+			if in.steps > in.fuel {
+				return ctrlNone, fmt.Errorf("%w (limit %d)", ErrFuelExhausted, in.fuel)
+			}
+			in.usedInput = false
+			v, c, err := in.eval(st.cond, locals)
+			if err != nil || c != ctrlNone {
+				return c, err
+			}
+			in.emit(st.sid, nil)
+			if !v.Truthy() {
+				return ctrlNone, nil
+			}
+			c, err = in.execBlock(st.body, locals)
+			if err != nil {
+				return ctrlNone, err
+			}
+			switch c {
+			case ctrlBreak:
+				return ctrlNone, nil
+			case ctrlNone, ctrlContinue:
+			default:
+				return c, nil
+			}
+			if st.post != nil {
+				if c, err := in.execStmt(st.post, locals); err != nil || c != ctrlNone {
+					return c, err
+				}
+			}
+		}
+
+	case *returnStmt:
+		in.usedInput = false
+		in.retVal = value.Null()
+		if st.val != nil {
+			v, c, err := in.eval(st.val, locals)
+			if err != nil || c != ctrlNone {
+				return c, err
+			}
+			in.retVal = v
+		}
+		in.emit(st.sid, nil)
+		return ctrlReturn, nil
+
+	case *breakStmt:
+		in.emit(st.sid, nil)
+		return ctrlBreak, nil
+
+	case *continueStmt:
+		in.emit(st.sid, nil)
+		return ctrlContinue, nil
+
+	case *exprStmt:
+		in.usedInput = false
+		_, c, err := in.evalCall(st.call, locals)
+		if err != nil || c != ctrlNone {
+			return c, err
+		}
+		in.emit(st.sid, nil)
+		return ctrlNone, nil
+
+	default:
+		return ctrlNone, rtErrf(s.pos(), "internal: unknown statement type %T", s)
+	}
+}
+
+// emit reports a statement execution to the hook. Assignments are only
+// passed through when the statement consumed external input, matching
+// the trace format of Fig. 3.
+func (in *interp) emit(sid int, assigned []Assignment) {
+	if in.hook == nil {
+		return
+	}
+	if in.usedInput {
+		in.hook.Statement(sid, true, assigned)
+	} else {
+		in.hook.Statement(sid, false, nil)
+	}
+}
+
+// assignPath performs an indexed write like xs[i] = v or m["k"]["j"] = v.
+// Composite values have reference semantics (like the Java objects of
+// the paper's Mole agents), so the write mutates shared storage.
+func (in *interp) assignPath(st *assignStmt, v value.Value, locals []value.Value) error {
+	var cur value.Value
+	if st.local >= 0 {
+		cur = locals[st.local]
+	} else {
+		var ok bool
+		cur, ok = in.globals[st.name]
+		if !ok {
+			return rtErrf(st.p, "indexed assignment to undefined variable %q", st.name)
+		}
+	}
+	for depth, idxExpr := range st.path {
+		idx, c, err := in.eval(idxExpr, locals)
+		if err != nil {
+			return err
+		}
+		if c != ctrlNone {
+			return rtErrf(st.p, "control transfer inside index expression")
+		}
+		last := depth == len(st.path)-1
+		switch cur.Kind {
+		case value.KindList:
+			if idx.Kind != value.KindInt {
+				return rtErrf(st.p, "list index must be int, got %s", idx.Kind)
+			}
+			if idx.Int < 0 || idx.Int >= int64(len(cur.List)) {
+				return rtErrf(st.p, "list index %d out of range (len %d)", idx.Int, len(cur.List))
+			}
+			if last {
+				cur.List[idx.Int] = v
+				return nil
+			}
+			cur = cur.List[idx.Int]
+		case value.KindMap:
+			if idx.Kind != value.KindString {
+				return rtErrf(st.p, "map key must be string, got %s", idx.Kind)
+			}
+			if last {
+				cur.Map[idx.Str] = v
+				return nil
+			}
+			next, ok := cur.Map[idx.Str]
+			if !ok {
+				return rtErrf(st.p, "map key %q not present", idx.Str)
+			}
+			cur = next
+		default:
+			return rtErrf(st.p, "cannot index into %s", cur.Kind)
+		}
+	}
+	return nil
+}
+
+func (in *interp) eval(e expr, locals []value.Value) (value.Value, ctrl, error) {
+	switch ex := e.(type) {
+	case *intLit:
+		return value.Int(ex.v), ctrlNone, nil
+	case *strLit:
+		return value.Str(ex.v), ctrlNone, nil
+	case *boolLit:
+		return value.Bool(ex.v), ctrlNone, nil
+	case *nullLit:
+		return value.Null(), ctrlNone, nil
+	case *varRef:
+		if ex.local >= 0 {
+			return locals[ex.local], ctrlNone, nil
+		}
+		v, ok := in.globals[ex.name]
+		if !ok {
+			return value.Null(), ctrlNone, rtErrf(ex.p, "undefined variable %q", ex.name)
+		}
+		return v, ctrlNone, nil
+	case *listLit:
+		elems := make([]value.Value, len(ex.elems))
+		for i, el := range ex.elems {
+			v, c, err := in.eval(el, locals)
+			if err != nil || c != ctrlNone {
+				return value.Null(), c, err
+			}
+			elems[i] = v
+		}
+		return value.List(elems...), ctrlNone, nil
+	case *mapLit:
+		m := make(map[string]value.Value, len(ex.keys))
+		for i := range ex.keys {
+			k, c, err := in.eval(ex.keys[i], locals)
+			if err != nil || c != ctrlNone {
+				return value.Null(), c, err
+			}
+			if k.Kind != value.KindString {
+				return value.Null(), ctrlNone, rtErrf(ex.p, "map literal key must be string, got %s", k.Kind)
+			}
+			v, c, err := in.eval(ex.vals[i], locals)
+			if err != nil || c != ctrlNone {
+				return value.Null(), c, err
+			}
+			m[k.Str] = v
+		}
+		return value.Map(m), ctrlNone, nil
+	case *indexExpr:
+		base, c, err := in.eval(ex.base, locals)
+		if err != nil || c != ctrlNone {
+			return value.Null(), c, err
+		}
+		idx, c, err := in.eval(ex.idx, locals)
+		if err != nil || c != ctrlNone {
+			return value.Null(), c, err
+		}
+		switch base.Kind {
+		case value.KindList:
+			if idx.Kind != value.KindInt {
+				return value.Null(), ctrlNone, rtErrf(ex.p, "list index must be int, got %s", idx.Kind)
+			}
+			if idx.Int < 0 || idx.Int >= int64(len(base.List)) {
+				return value.Null(), ctrlNone, rtErrf(ex.p, "list index %d out of range (len %d)", idx.Int, len(base.List))
+			}
+			return base.List[idx.Int], ctrlNone, nil
+		case value.KindMap:
+			if idx.Kind != value.KindString {
+				return value.Null(), ctrlNone, rtErrf(ex.p, "map key must be string, got %s", idx.Kind)
+			}
+			v, ok := base.Map[idx.Str]
+			if !ok {
+				return value.Null(), ctrlNone, rtErrf(ex.p, "map key %q not present", idx.Str)
+			}
+			return v, ctrlNone, nil
+		case value.KindString:
+			if idx.Kind != value.KindInt {
+				return value.Null(), ctrlNone, rtErrf(ex.p, "string index must be int, got %s", idx.Kind)
+			}
+			if idx.Int < 0 || idx.Int >= int64(len(base.Str)) {
+				return value.Null(), ctrlNone, rtErrf(ex.p, "string index %d out of range (len %d)", idx.Int, len(base.Str))
+			}
+			return value.Str(base.Str[idx.Int : idx.Int+1]), ctrlNone, nil
+		default:
+			return value.Null(), ctrlNone, rtErrf(ex.p, "cannot index into %s", base.Kind)
+		}
+	case *unaryExpr:
+		v, c, err := in.eval(ex.x, locals)
+		if err != nil || c != ctrlNone {
+			return value.Null(), c, err
+		}
+		switch ex.op {
+		case tokMinus:
+			if v.Kind != value.KindInt {
+				return value.Null(), ctrlNone, rtErrf(ex.p, "unary - needs int, got %s", v.Kind)
+			}
+			return value.Int(-v.Int), ctrlNone, nil
+		default: // tokBang
+			return value.Bool(!v.Truthy()), ctrlNone, nil
+		}
+	case *binaryExpr:
+		return in.evalBinary(ex, locals)
+	case *callExpr:
+		return in.evalCall(ex, locals)
+	default:
+		return value.Null(), ctrlNone, rtErrf(e.pos(), "internal: unknown expression type %T", e)
+	}
+}
+
+func (in *interp) evalBinary(ex *binaryExpr, locals []value.Value) (value.Value, ctrl, error) {
+	// Short-circuit operators evaluate lazily; this matters for replay
+	// determinism because the right operand may consume input.
+	if ex.op == tokAndAnd || ex.op == tokOrOr {
+		l, c, err := in.eval(ex.l, locals)
+		if err != nil || c != ctrlNone {
+			return value.Null(), c, err
+		}
+		if ex.op == tokAndAnd && !l.Truthy() {
+			return value.Bool(false), ctrlNone, nil
+		}
+		if ex.op == tokOrOr && l.Truthy() {
+			return value.Bool(true), ctrlNone, nil
+		}
+		r, c, err := in.eval(ex.r, locals)
+		if err != nil || c != ctrlNone {
+			return value.Null(), c, err
+		}
+		return value.Bool(r.Truthy()), ctrlNone, nil
+	}
+
+	l, c, err := in.eval(ex.l, locals)
+	if err != nil || c != ctrlNone {
+		return value.Null(), c, err
+	}
+	r, c, err := in.eval(ex.r, locals)
+	if err != nil || c != ctrlNone {
+		return value.Null(), c, err
+	}
+
+	switch ex.op {
+	case tokEq:
+		return value.Bool(l.Equal(r)), ctrlNone, nil
+	case tokNe:
+		return value.Bool(!l.Equal(r)), ctrlNone, nil
+	}
+
+	// '+' concatenates strings and lists.
+	if ex.op == tokPlus {
+		switch {
+		case l.Kind == value.KindString && r.Kind == value.KindString:
+			return value.Str(l.Str + r.Str), ctrlNone, nil
+		case l.Kind == value.KindList && r.Kind == value.KindList:
+			out := make([]value.Value, 0, len(l.List)+len(r.List))
+			out = append(out, l.List...)
+			out = append(out, r.List...)
+			return value.List(out...), ctrlNone, nil
+		}
+	}
+
+	// Ordering comparisons work on ints and strings.
+	switch ex.op {
+	case tokLt, tokLe, tokGt, tokGe:
+		if l.Kind != r.Kind || (l.Kind != value.KindInt && l.Kind != value.KindString) {
+			return value.Null(), ctrlNone, rtErrf(ex.p, "cannot compare %s and %s", l.Kind, r.Kind)
+		}
+		cmp := l.Compare(r)
+		switch ex.op {
+		case tokLt:
+			return value.Bool(cmp < 0), ctrlNone, nil
+		case tokLe:
+			return value.Bool(cmp <= 0), ctrlNone, nil
+		case tokGt:
+			return value.Bool(cmp > 0), ctrlNone, nil
+		default:
+			return value.Bool(cmp >= 0), ctrlNone, nil
+		}
+	}
+
+	// Arithmetic needs ints.
+	if l.Kind != value.KindInt || r.Kind != value.KindInt {
+		return value.Null(), ctrlNone, rtErrf(ex.p, "operator needs ints, got %s and %s", l.Kind, r.Kind)
+	}
+	switch ex.op {
+	case tokPlus:
+		return value.Int(l.Int + r.Int), ctrlNone, nil
+	case tokMinus:
+		return value.Int(l.Int - r.Int), ctrlNone, nil
+	case tokStar:
+		return value.Int(l.Int * r.Int), ctrlNone, nil
+	case tokSlash:
+		if r.Int == 0 {
+			return value.Null(), ctrlNone, rtErrf(ex.p, "division by zero")
+		}
+		return value.Int(l.Int / r.Int), ctrlNone, nil
+	case tokPercent:
+		if r.Int == 0 {
+			return value.Null(), ctrlNone, rtErrf(ex.p, "modulo by zero")
+		}
+		return value.Int(l.Int % r.Int), ctrlNone, nil
+	default:
+		return value.Null(), ctrlNone, rtErrf(ex.p, "internal: unknown operator")
+	}
+}
+
+func (in *interp) evalCall(ex *callExpr, locals []value.Value) (value.Value, ctrl, error) {
+	args := make([]value.Value, len(ex.args))
+	for i, a := range ex.args {
+		v, c, err := in.eval(a, locals)
+		if err != nil || c != ctrlNone {
+			return value.Null(), c, err
+		}
+		args[i] = v
+	}
+	switch ex.kind {
+	case callBuiltin:
+		v, err := ex.builtin(args)
+		if err != nil {
+			return value.Null(), ctrlNone, rtErrf(ex.p, "%s", err)
+		}
+		return v, ctrlNone, nil
+
+	case callExternal:
+		switch {
+		case ex.ext.isControl:
+			if ex.name == "migrate" {
+				if args[0].Kind != value.KindString || args[1].Kind != value.KindString {
+					return value.Null(), ctrlNone, rtErrf(ex.p, "migrate(host, entry) needs string arguments")
+				}
+				in.migrateHost = args[0].Str
+				in.migrateEntry = args[1].Str
+				return value.Null(), ctrlMigrate, nil
+			}
+			return value.Null(), ctrlDone, nil // done()
+		case ex.ext.isInput:
+			v, err := in.env.Input(ex.name, args)
+			if err != nil {
+				return value.Null(), ctrlNone, &RuntimeError{
+					Pos: ex.p, Msg: fmt.Sprintf("input %s: %s", ex.name, err), Cause: err}
+			}
+			in.usedInput = true
+			return v, ctrlNone, nil
+		default: // output
+			if err := in.env.Output(ex.name, args); err != nil {
+				return value.Null(), ctrlNone, &RuntimeError{
+					Pos: ex.p, Msg: fmt.Sprintf("output %s: %s", ex.name, err), Cause: err}
+			}
+			return value.Null(), ctrlNone, nil
+		}
+
+	case callProc:
+		// The callee's statements reset and set the per-statement input
+		// flag; restore the caller's view afterwards so the calling
+		// statement is marked only for input consumed in its own
+		// expression (input inside the callee is traced at the callee's
+		// own statements).
+		savedUsedInput := in.usedInput
+		c, err := in.callProcBody(ex.proc, args)
+		in.usedInput = savedUsedInput
+		if err != nil {
+			return value.Null(), ctrlNone, err
+		}
+		if c != ctrlNone {
+			// migrate/done propagate out of nested calls.
+			return value.Null(), c, nil
+		}
+		v := in.retVal
+		in.retVal = value.Null()
+		return v, ctrlNone, nil
+
+	default:
+		return value.Null(), ctrlNone, rtErrf(ex.p, "internal: unknown call kind")
+	}
+}

@@ -1,0 +1,203 @@
+package agentlang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// lexer turns agentlang source into a token stream. Comments start with
+// '#' and run to end of line.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Pos: Pos{Line: l.line, Col: l.col}, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *lexer) advance() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, size := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		r := l.peek()
+		switch {
+		case r == '#':
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.advance()
+			}
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	startLine, startCol := l.line, l.col
+	mk := func(k tokenKind, text string) token {
+		return token{kind: k, text: text, line: startLine, col: startCol}
+	}
+	r := l.peek()
+	switch {
+	case r == 0:
+		return mk(tokEOF, ""), nil
+	case isIdentStart(r):
+		var b strings.Builder
+		for isIdentPart(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		name := b.String()
+		if kw, ok := keywords[name]; ok {
+			return mk(kw, name), nil
+		}
+		return mk(tokIdent, name), nil
+	case unicode.IsDigit(r):
+		var b strings.Builder
+		for unicode.IsDigit(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		if isIdentStart(l.peek()) {
+			return token{}, l.errf("malformed number: digit followed by %q", l.peek())
+		}
+		n, err := strconv.ParseInt(b.String(), 10, 64)
+		if err != nil {
+			return token{}, l.errf("integer literal %q out of range", b.String())
+		}
+		t := mk(tokInt, b.String())
+		t.num = n
+		return t, nil
+	case r == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			c := l.peek()
+			switch c {
+			case 0, '\n':
+				return token{}, l.errf("unterminated string literal")
+			case '"':
+				l.advance()
+				return mk(tokString, b.String()), nil
+			case '\\':
+				l.advance()
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				default:
+					return token{}, l.errf("unknown escape \\%c", esc)
+				}
+			default:
+				b.WriteRune(l.advance())
+			}
+		}
+	}
+	l.advance()
+	two := func(second rune, withKind, withoutKind tokenKind) (token, error) {
+		if l.peek() == second {
+			l.advance()
+			if withKind == 0 {
+				return token{}, l.errf("unexpected character %q", second)
+			}
+			return mk(withKind, ""), nil
+		}
+		if withoutKind == 0 {
+			return token{}, l.errf("unexpected character %q", r)
+		}
+		return mk(withoutKind, ""), nil
+	}
+	switch r {
+	case '(':
+		return mk(tokLParen, ""), nil
+	case ')':
+		return mk(tokRParen, ""), nil
+	case '{':
+		return mk(tokLBrace, ""), nil
+	case '}':
+		return mk(tokRBrace, ""), nil
+	case '[':
+		return mk(tokLBracket, ""), nil
+	case ']':
+		return mk(tokRBracket, ""), nil
+	case ',':
+		return mk(tokComma, ""), nil
+	case ';':
+		return mk(tokSemicolon, ""), nil
+	case ':':
+		return mk(tokColon, ""), nil
+	case '+':
+		return mk(tokPlus, ""), nil
+	case '-':
+		return mk(tokMinus, ""), nil
+	case '*':
+		return mk(tokStar, ""), nil
+	case '/':
+		return mk(tokSlash, ""), nil
+	case '%':
+		return mk(tokPercent, ""), nil
+	case '=':
+		return two('=', tokEq, tokAssign)
+	case '!':
+		return two('=', tokNe, tokBang)
+	case '<':
+		return two('=', tokLe, tokLt)
+	case '>':
+		return two('=', tokGe, tokGt)
+	case '&':
+		return two('&', tokAndAnd, 0)
+	case '|':
+		return two('|', tokOrOr, 0)
+	default:
+		return token{}, &SyntaxError{
+			Pos: Pos{Line: startLine, Col: startCol},
+			Msg: fmt.Sprintf("unexpected character %q", r),
+		}
+	}
+}

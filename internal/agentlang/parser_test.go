@@ -1,0 +1,198 @@
+package agentlang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"empty", ``, "no procedures"},
+		{"junk", `42`, "expected 'proc'"},
+		{"missing paren", `proc main { }`, "expected '('"},
+		{"missing body", `proc main()`, "expected '{'"},
+		{"unterminated block", `proc main() { x = 1`, "unexpected end of input"},
+		{"bad statement", `proc main() { 42 }`, "expected statement"},
+		{"assign to call", `proc main() { f() = 1 }`, "expected statement"},
+		{"duplicate proc", `proc a() {} proc a() {}`, "duplicate procedure"},
+		{"duplicate param", `proc f(x, x) {} proc main() {}`, "duplicate parameter"},
+		{"duplicate let", `proc main() { let x = 1 let x = 2 }`, "already declared"},
+		{"undefined proc call", `proc main() { nothere() }`, "undefined procedure"},
+		{"arity mismatch", `proc f(a, b) {} proc main() { f(1) }`, "takes 2 parameters"},
+		{"builtin arity", `proc main() { x = len() }`, "builtin len called with 0"},
+		{"external arity", `proc main() { x = read() }`, "read expects 1"},
+		{"migrate arity", `proc main() { migrate("h") }`, "migrate expects 2"},
+		{"unterminated string", `proc main() { x = "abc }`, "unterminated string"},
+		{"bad escape", `proc main() { x = "a\q" }`, "unknown escape"},
+		{"stray char", `proc main() { x = 1 @ }`, "unexpected character"},
+		{"lonely ampersand", `proc main() { x = 1 & 2 }`, "unexpected character"},
+		{"number then letter", `proc main() { x = 12ab }`, "malformed number"},
+		{"huge int", `proc main() { x = 99999999999999999999 }`, "out of range"},
+		{"missing colon in map", `proc main() { m = {"a" 1} }`, "expected ':'"},
+		{"missing comma in list", `proc main() { l = [1 2] }`, "expected ','"},
+		{"unclosed paren", `proc main() { x = (1 + 2 }`, "expected ')'"},
+		{"for without semicolons", `proc main() { for x { } }`, "expected '='"},
+		{"for with bad init", `proc main() { for 1; x; { } }`, "expected init statement"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatal("Parse succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not contain %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("proc main() {\n    x = 1 +\n}")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T, want *SyntaxError", err)
+	}
+	if se.Pos.Line != 3 {
+		t.Errorf("error line = %d, want 3", se.Pos.Line)
+	}
+}
+
+func TestStatementIDsAreStable(t *testing.T) {
+	src := `
+proc main() {
+    a = 1
+    if a > 0 { b = 2 } else { c = 3 }
+    while a < 10 { a = a + 1 }
+}`
+	p1 := MustParse(src)
+	p2 := MustParse(src)
+	if p1.NumStatements() != p2.NumStatements() {
+		t.Fatal("statement counts differ between parses")
+	}
+	for id := 1; id <= p1.NumStatements(); id++ {
+		if p1.StatementText(id) != p2.StatementText(id) {
+			t.Errorf("statement %d text differs: %q vs %q", id, p1.StatementText(id), p2.StatementText(id))
+		}
+	}
+}
+
+func TestStatementIDsSequential(t *testing.T) {
+	prog := MustParse(`
+proc main() {
+    a = 1
+    b = 2
+    c = 3
+}`)
+	if prog.NumStatements() != 3 {
+		t.Fatalf("NumStatements = %d, want 3", prog.NumStatements())
+	}
+	for id := 1; id <= 3; id++ {
+		if prog.StatementText(id) == "" {
+			t.Errorf("statement %d has no text", id)
+		}
+	}
+	if prog.StatementText(0) != "" || prog.StatementText(99) != "" {
+		t.Error("out-of-range statement IDs returned text")
+	}
+}
+
+func TestStatementTextStripsComments(t *testing.T) {
+	prog := MustParse(`
+proc main() {
+    a = 1   # this comment must not appear
+}`)
+	if got := prog.StatementText(1); got != "a = 1" {
+		t.Errorf("StatementText = %q, want %q", got, "a = 1")
+	}
+}
+
+func TestHasProcAndSource(t *testing.T) {
+	src := `proc main() { x = 1 }`
+	prog := MustParse(src)
+	if !prog.HasProc("main") || prog.HasProc("other") {
+		t.Error("HasProc misreports")
+	}
+	if prog.Source() != src {
+		t.Error("Source() does not round-trip")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	prog := MustParse(`
+# leading comment
+proc main() {   # trailing
+    # interior
+    x = 1
+}
+# closing comment`)
+	if prog.NumStatements() != 1 {
+		t.Errorf("NumStatements = %d, want 1", prog.NumStatements())
+	}
+}
+
+func TestNestedIndexingParse(t *testing.T) {
+	// Parses and runs: deep index paths on both sides.
+	_, g := run(t, `
+proc main() {
+    m = {"a": [{"b": 1}]}
+    m["a"][0]["b"] = 2
+    v = m["a"][0]["b"]
+}`, nil, nil)
+	if g["v"].Int != 2 {
+		t.Errorf("v = %s, want 2", g["v"])
+	}
+}
+
+func TestMustParsePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad source")
+		}
+	}()
+	MustParse("not a program")
+}
+
+func TestKeywordsNotIdentifiers(t *testing.T) {
+	_, err := Parse(`proc main() { while = 1 }`)
+	if err == nil {
+		t.Error("keyword used as identifier accepted")
+	}
+}
+
+func TestEscapeSequences(t *testing.T) {
+	_, g := run(t, `proc main() { s = "a\nb\t\"c\\" }`, nil, nil)
+	if g["s"].Str != "a\nb\t\"c\\" {
+		t.Errorf("escapes decoded to %q", g["s"].Str)
+	}
+}
+
+func TestBareReturn(t *testing.T) {
+	_, g := run(t, `
+proc f() {
+    early = 1
+    return
+}
+proc main() { f() marker = 1 }`, nil, nil)
+	if g["marker"].Int != 1 || g["early"].Int != 1 {
+		t.Errorf("bare return: %v", g)
+	}
+}
+
+func TestReturnFollowedByBlockEnd(t *testing.T) {
+	// `return` directly before '}' must parse as bare return, not try to
+	// consume '}' as an expression.
+	_, g := run(t, `
+proc f(x) { if x > 0 { return } hit = 1 }
+proc main() { f(1) f(0) }`, nil, nil)
+	if g["hit"].Int != 1 {
+		t.Errorf("hit = %s", g["hit"])
+	}
+}

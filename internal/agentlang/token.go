@@ -1,0 +1,180 @@
+package agentlang
+
+import "fmt"
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokInt
+	tokString
+	// Punctuation and operators.
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokSemicolon
+	tokColon
+	tokAssign
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokEq
+	tokNe
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokAndAnd
+	tokOrOr
+	tokBang
+	// Keywords.
+	tokProc
+	tokLet
+	tokIf
+	tokElse
+	tokWhile
+	tokFor
+	tokReturn
+	tokBreak
+	tokContinue
+	tokTrue
+	tokFalse
+	tokNull
+)
+
+var keywords = map[string]tokenKind{
+	"proc":     tokProc,
+	"let":      tokLet,
+	"if":       tokIf,
+	"else":     tokElse,
+	"while":    tokWhile,
+	"for":      tokFor,
+	"return":   tokReturn,
+	"break":    tokBreak,
+	"continue": tokContinue,
+	"true":     tokTrue,
+	"false":    tokFalse,
+	"null":     tokNull,
+}
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer literal"
+	case tokString:
+		return "string literal"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokSemicolon:
+		return "';'"
+	case tokColon:
+		return "':'"
+	case tokAssign:
+		return "'='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokPercent:
+		return "'%'"
+	case tokEq:
+		return "'=='"
+	case tokNe:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	case tokAndAnd:
+		return "'&&'"
+	case tokOrOr:
+		return "'||'"
+	case tokBang:
+		return "'!'"
+	case tokProc:
+		return "'proc'"
+	case tokLet:
+		return "'let'"
+	case tokIf:
+		return "'if'"
+	case tokElse:
+		return "'else'"
+	case tokWhile:
+		return "'while'"
+	case tokFor:
+		return "'for'"
+	case tokReturn:
+		return "'return'"
+	case tokBreak:
+		return "'break'"
+	case tokContinue:
+		return "'continue'"
+	case tokTrue:
+		return "'true'"
+	case tokFalse:
+		return "'false'"
+	case tokNull:
+		return "'null'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source position.
+type token struct {
+	kind tokenKind
+	text string // identifier name, decoded string literal, or digits
+	num  int64  // value for tokInt
+	line int
+	col  int
+}
+
+// Pos describes a source location in agent code.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// SyntaxError describes a lexing or parsing failure with its location.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("agentlang: %s: %s", e.Pos, e.Msg)
+}

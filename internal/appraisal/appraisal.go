@@ -1,0 +1,230 @@
+// Package appraisal implements the "state appraisal" mechanism of
+// Farmer, Guttman and Swarup as analysed by the paper (§3.1): the
+// receiving host "checks the validity of the state of an agent as the
+// first step of executing an agent arrived at a host", using "a set of
+// conditions that have to be fulfilled", "formulated by the programmer
+// who stated relations between certain elements of the state".
+//
+// Its place in the framework's attribute space: moment = after every
+// session (on arrival), reference data = only the arrived (resulting)
+// state, algorithm = rules (non-Turing-complete first-order
+// conditions). Because neither the input nor the initial state is
+// available, the mechanism detects only attacks that leave the state
+// rule-inconsistent: "the host may modify the execution and/or the
+// prices at its will without being detected as it is impossible to
+// find an inconsistency in the resulting state without the used
+// prices" — a limitation the detection-matrix tests pin down.
+//
+// Rules travel with the agent, signed by the owner at launch, so a
+// malicious host can neither weaken nor strip them unnoticed.
+package appraisal
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/agentlang"
+	"repro/internal/canon"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/sigcrypto"
+	"repro/internal/value"
+)
+
+// MechanismName is the baggage key and verdict label.
+const MechanismName = "appraisal"
+
+// Rule is one named condition over agent state.
+type Rule struct {
+	Name string
+	expr *agentlang.Expr
+}
+
+// NewRule compiles a rule from an expression source like
+// "moneySpent + moneyRest == moneyInitial".
+func NewRule(name, src string) (Rule, error) {
+	e, err := agentlang.ParseExpression(src)
+	if err != nil {
+		return Rule{}, fmt.Errorf("appraisal: rule %q: %w", name, err)
+	}
+	return Rule{Name: name, expr: e}, nil
+}
+
+// MustRule panics on compile errors; for static rule tables.
+func MustRule(name, src string) Rule {
+	r, err := NewRule(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Source returns the rule's expression text.
+func (r Rule) Source() string { return r.expr.Source() }
+
+// Holds evaluates the rule against a state.
+func (r Rule) Holds(st value.State) (bool, error) {
+	return r.expr.EvalBool(st)
+}
+
+// RuleSet is an ordered set of rules; it implements core.Checker so it
+// can serve as the "rules" checking algorithm in any mechanism.
+type RuleSet []Rule
+
+var _ core.Checker = (RuleSet)(nil)
+
+// Check implements core.Checker: every rule must hold on the resulting
+// state.
+func (rs RuleSet) Check(cc *core.CheckContext) (bool, []string, error) {
+	st, err := cc.ResultingState()
+	if err != nil {
+		return false, nil, err
+	}
+	return rs.evaluate(st)
+}
+
+// evaluate applies all rules to a state directly.
+func (rs RuleSet) evaluate(st value.State) (bool, []string, error) {
+	var violations []string
+	for _, r := range rs {
+		holds, err := r.Holds(st)
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("rule %q not evaluable: %v", r.Name, err))
+			continue
+		}
+		if !holds {
+			violations = append(violations, fmt.Sprintf("rule %q violated: %s", r.Name, r.Source()))
+		}
+	}
+	return len(violations) == 0, violations, nil
+}
+
+// wireRules is the signed baggage carrying rule sources.
+type wireRules struct {
+	Names   []string
+	Sources []string
+	Sig     sigcrypto.Signature
+}
+
+func rulesDigest(agentID string, names, sources []string) canon.Digest {
+	fields := [][]byte{[]byte("appraisal-rules"), []byte(agentID)}
+	for i := range names {
+		fields = append(fields, []byte(names[i]), []byte(sources[i]))
+	}
+	return canon.HashTuple(fields...)
+}
+
+// Attach signs the rule set with the owner's key and stores it in the
+// agent's baggage. Call once at launch, before the first session.
+func Attach(ag *agent.Agent, rules RuleSet, owner *sigcrypto.KeyPair) error {
+	w := wireRules{}
+	for _, r := range rules {
+		w.Names = append(w.Names, r.Name)
+		w.Sources = append(w.Sources, r.Source())
+	}
+	w.Sig = owner.SignDigest(rulesDigest(ag.ID, w.Names, w.Sources))
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return fmt.Errorf("appraisal: encoding rules: %w", err)
+	}
+	ag.SetBaggage(MechanismName, buf.Bytes())
+	return nil
+}
+
+// Mechanism evaluates the agent's signed rules on every arrival and on
+// task end.
+type Mechanism struct {
+	core.BaseMechanism
+}
+
+var (
+	_ core.Mechanism               = (*Mechanism)(nil)
+	_ core.ResultingStateRequester = (*Mechanism)(nil)
+)
+
+// New returns the mechanism.
+func New() *Mechanism { return &Mechanism{} }
+
+// Name implements core.Mechanism.
+func (m *Mechanism) Name() string { return MechanismName }
+
+// RequestsResultingState declares the only reference data appraisal
+// uses: the state as it arrived (Fig. 4).
+func (m *Mechanism) RequestsResultingState() {}
+
+// CheckAfterSession appraises the arrived state.
+func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*core.Verdict, error) {
+	if ag.Hop == 0 {
+		return nil, nil
+	}
+	return m.appraise(hc, ag, core.AfterSession)
+}
+
+// CheckAfterTask appraises the final state on the last host. By this
+// point the final session has run, so ag.State is the state the task
+// produced.
+func (m *Mechanism) CheckAfterTask(hc *core.HostContext, ag *agent.Agent, rec *host.SessionRecord) (*core.Verdict, error) {
+	return m.appraise(hc, ag, core.AfterTask)
+}
+
+func (m *Mechanism) appraise(hc *core.HostContext, ag *agent.Agent, moment core.Moment) (*core.Verdict, error) {
+	prev := ""
+	if len(ag.Route) > 0 {
+		prev = ag.Route[len(ag.Route)-1]
+	}
+	v := &core.Verdict{
+		Mechanism:   MechanismName,
+		Moment:      moment,
+		CheckedHost: prev,
+		CheckedHop:  ag.Hop - 1,
+		Checker:     hc.Host.Name(),
+		Suspect:     prev,
+	}
+	ok, violations, err := m.loadRules(hc, ag, ag.State)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		v.OK = false
+		v.Reason = "arrived state violates owner rules"
+		v.Evidence = violations
+		return v, nil
+	}
+	v.OK = true
+	return v, nil
+}
+
+// loadRules verifies and compiles the signed rule baggage, then
+// evaluates it against st. A missing or unverifiable rule set is a
+// violation (the rules were stripped or tampered with).
+func (m *Mechanism) loadRules(hc *core.HostContext, ag *agent.Agent, st value.State) (bool, []string, error) {
+	data, present := ag.GetBaggage(MechanismName)
+	if !present {
+		return false, []string{"rule baggage missing (stripped or never attached)"}, nil
+	}
+	var w wireRules
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return false, []string{fmt.Sprintf("malformed rule baggage: %v", err)}, nil
+	}
+	if len(w.Names) != len(w.Sources) {
+		return false, []string{"malformed rule baggage: name/source count mismatch"}, nil
+	}
+	d := rulesDigest(ag.ID, w.Names, w.Sources)
+	if err := hc.Host.Registry().VerifyDigest(d, w.Sig); err != nil {
+		return false, []string{fmt.Sprintf("rule signature invalid: %v", err)}, nil
+	}
+	if w.Sig.Signer != ag.Owner {
+		return false, []string{fmt.Sprintf("rules signed by %q, not by owner %q", w.Sig.Signer, ag.Owner)}, nil
+	}
+	rules := make(RuleSet, 0, len(w.Names))
+	for i := range w.Names {
+		r, err := NewRule(w.Names[i], w.Sources[i])
+		if err != nil {
+			return false, []string{fmt.Sprintf("rule %q does not compile: %v", w.Names[i], err)}, nil
+		}
+		rules = append(rules, r)
+	}
+	return rules.evaluate(st)
+}

@@ -1,0 +1,287 @@
+package appraisal_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/appraisal"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/platformtest"
+	"repro/internal/sigcrypto"
+	"repro/internal/value"
+)
+
+func TestRuleCompileAndEvaluate(t *testing.T) {
+	r := appraisal.MustRule("money", "moneySpent + moneyRest == moneyInitial")
+	st := value.State{
+		"moneySpent":   value.Int(30),
+		"moneyRest":    value.Int(70),
+		"moneyInitial": value.Int(100),
+	}
+	if ok, err := r.Holds(st); err != nil || !ok {
+		t.Errorf("Holds = %v, %v", ok, err)
+	}
+	st["moneySpent"] = value.Int(31)
+	if ok, err := r.Holds(st); err != nil || ok {
+		t.Errorf("violated rule holds: %v, %v", ok, err)
+	}
+}
+
+func TestRuleRejectsImpureExpressions(t *testing.T) {
+	if _, err := appraisal.NewRule("bad", `read("x") == 1`); err == nil {
+		t.Error("rule with input external compiled")
+	}
+	if _, err := appraisal.NewRule("bad", `f() == 1`); err == nil {
+		t.Error("rule with procedure call compiled")
+	}
+	if _, err := appraisal.NewRule("bad", `1 +`); err == nil {
+		t.Error("malformed rule compiled")
+	}
+}
+
+func TestRuleOnMissingVariableFails(t *testing.T) {
+	r := appraisal.MustRule("r", "x == 1")
+	if _, err := r.Holds(value.State{}); err == nil {
+		t.Error("rule over missing variable evaluated")
+	}
+}
+
+func TestRuleSetEvaluation(t *testing.T) {
+	rules := appraisal.RuleSet{
+		appraisal.MustRule("nonneg", "rest >= 0"),
+		appraisal.MustRule("budget", "spent + rest == 100"),
+		appraisal.MustRule("items", "len(items) <= 3"),
+	}
+	good := value.State{
+		"rest":  value.Int(60),
+		"spent": value.Int(40),
+		"items": value.List(value.Str("a")),
+	}
+	mech := appraisal.New()
+	pkg := &core.ReferencePackage{ResultingState: good}
+	cc := core.NewCheckContext(mech, pkg, nil, nil, core.AfterSession)
+	ok, violations, err := rules.Check(cc)
+	if err != nil || !ok {
+		t.Fatalf("good state rejected: %v %v", violations, err)
+	}
+	bad := good.Clone()
+	bad["rest"] = value.Int(-5)
+	bad["spent"] = value.Int(40)
+	cc = core.NewCheckContext(mech, &core.ReferencePackage{ResultingState: bad}, nil, nil, core.AfterSession)
+	ok, violations, err = rules.Check(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || len(violations) != 2 {
+		t.Errorf("ok=%v violations=%v (want 2: nonneg and budget)", ok, violations)
+	}
+}
+
+// buyerCode is an agent with a money invariant: it "spends" on the shop
+// host.
+const buyerCode = `
+proc main() {
+    moneyInitial = 100
+    moneyRest = 100
+    moneySpent = 0
+    migrate("shop", "buy")
+}
+proc buy() {
+    let price = read("price")
+    moneySpent = moneySpent + price
+    moneyRest = moneyRest - price
+    migrate("home2", "finish")
+}
+proc finish() { done() }`
+
+var buyerRules = appraisal.RuleSet{
+	appraisal.MustRule("conservation", "moneySpent + moneyRest == moneyInitial"),
+	appraisal.MustRule("no-overdraft", "moneyRest >= 0"),
+}
+
+// ownerKeys generates and registers the owner principal.
+func ownerKeys(t *testing.T, bed *platformtest.Bed) *sigcrypto.KeyPair {
+	t.Helper()
+	keys, err := sigcrypto.GenerateKeyPair("owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bed.Reg.RegisterKeyPair(keys); err != nil {
+		t.Fatal(err)
+	}
+	return keys
+}
+
+func buildBed(t *testing.T, shopBehavior host.Behavior) (*platformtest.Bed, *agent.Agent) {
+	t.Helper()
+	bed := platformtest.New(t)
+	for _, name := range []string{"home", "shop", "home2"} {
+		name := name
+		bed.AddHost(name, platformtest.HostOptions{
+			Trusted:    strings.HasPrefix(name, "home"),
+			Mechanisms: func() []core.Mechanism { return []core.Mechanism{appraisal.New()} },
+			Configure: func(c *host.Config) {
+				if name == "shop" {
+					c.Resources = map[string]value.Value{"price": value.Int(30)}
+					c.Behavior = shopBehavior
+				}
+			},
+		})
+	}
+	owner := ownerKeys(t, bed)
+	ag := bed.NewAgent("buyer", buyerCode)
+	if err := appraisal.Attach(ag, buyerRules, owner); err != nil {
+		t.Fatal(err)
+	}
+	return bed, ag
+}
+
+func TestHonestJourneyPasses(t *testing.T) {
+	bed, ag := buildBed(t, nil)
+	if err := bed.Nodes["home"].Launch(ag); err != nil {
+		t.Fatal(err)
+	}
+	done, aborted := bed.Completed()
+	if len(done) != 1 || aborted {
+		t.Fatalf("done=%d aborted=%v", len(done), aborted)
+	}
+	if got := done[0].State["moneyRest"].Int; got != 70 {
+		t.Errorf("moneyRest = %d", got)
+	}
+	for _, v := range bed.Verdicts() {
+		if !v.OK {
+			t.Errorf("failed verdict on honest run: %s", v)
+		}
+	}
+}
+
+func TestRuleViolatingManipulationDetected(t *testing.T) {
+	// The shop drains the wallet without booking the spend: violates
+	// conservation.
+	bed, ag := buildBed(t, attack.DataManipulation{Var: "moneyRest", Val: value.Int(0)})
+	err := bed.Nodes["home"].Launch(ag)
+	if !errors.Is(err, core.ErrDetection) {
+		t.Fatalf("err = %v, want ErrDetection", err)
+	}
+	failed := bed.FailedVerdicts()
+	if len(failed) != 1 || failed[0].Suspect != "shop" {
+		t.Fatalf("failed = %v", failed)
+	}
+	if !strings.Contains(strings.Join(failed[0].Evidence, " "), "conservation") {
+		t.Errorf("evidence does not name the violated rule: %v", failed[0].Evidence)
+	}
+}
+
+func TestRuleConsistentManipulationMissed(t *testing.T) {
+	// The documented §3.1 limitation: a manipulation that keeps the
+	// rules satisfied (here: inflating the price consistently on both
+	// sides of the invariant) is undetectable by appraisal.
+	bed, ag := buildBed(t, attack.StateMutation{Mutate: func(st value.State) {
+		st["moneySpent"] = value.Int(90)
+		st["moneyRest"] = value.Int(10)
+	}})
+	if err := bed.Nodes["home"].Launch(ag); err != nil {
+		t.Fatalf("rule-consistent manipulation should pass, got %v", err)
+	}
+	if len(bed.FailedVerdicts()) != 0 {
+		t.Errorf("rule-consistent manipulation detected, contradicting §3.1: %v", bed.FailedVerdicts())
+	}
+	done, _ := bed.Completed()
+	if done[0].State["moneySpent"].Int != 90 {
+		t.Error("manipulation did not survive")
+	}
+}
+
+func TestStrippedRulesDetected(t *testing.T) {
+	bed, ag := buildBed(t, attack.RecordLie{}) // honest execution
+	// Strip rule baggage before launch to simulate in-flight removal at
+	// the first hop boundary.
+	ag.ClearBaggage(appraisal.MechanismName)
+	err := bed.Nodes["home"].Launch(ag)
+	if !errors.Is(err, core.ErrDetection) {
+		t.Fatalf("err = %v, want ErrDetection", err)
+	}
+	if f := bed.FailedVerdicts(); len(f) == 0 || !strings.Contains(strings.Join(f[0].Evidence, " "), "missing") {
+		t.Errorf("failed = %v", f)
+	}
+}
+
+func TestForgedRulesDetected(t *testing.T) {
+	bed, ag := buildBed(t, nil)
+	// A host replaces the rules with permissive ones, signed by itself.
+	forger, err := sigcrypto.GenerateKeyPair("forger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bed.Reg.RegisterKeyPair(forger); err != nil {
+		t.Fatal(err)
+	}
+	if err := appraisal.Attach(ag, appraisal.RuleSet{appraisal.MustRule("always", "true")}, forger); err != nil {
+		t.Fatal(err)
+	}
+	errLaunch := bed.Nodes["home"].Launch(ag)
+	if !errors.Is(errLaunch, core.ErrDetection) {
+		t.Fatalf("err = %v, want ErrDetection", errLaunch)
+	}
+	if f := bed.FailedVerdicts(); len(f) == 0 || !strings.Contains(strings.Join(f[0].Evidence, " "), "owner") {
+		t.Errorf("failed = %v", f)
+	}
+}
+
+func TestCheckAfterTaskAppraisesFinalState(t *testing.T) {
+	// The final host's own session breaks the invariant; only
+	// checkAfterTask can see it (there is no next host).
+	bed := platformtest.New(t)
+	for _, name := range []string{"home", "shop"} {
+		name := name
+		bed.AddHost(name, platformtest.HostOptions{
+			Trusted:    name == "home",
+			Mechanisms: func() []core.Mechanism { return []core.Mechanism{appraisal.New()} },
+			Configure: func(c *host.Config) {
+				if name == "shop" {
+					c.Resources = map[string]value.Value{"price": value.Int(30)}
+					c.Behavior = attack.DataManipulation{Var: "moneyRest", Val: value.Int(-1)}
+				}
+			},
+		})
+	}
+	owner := ownerKeys(t, bed)
+	// Task ends on the shop host itself.
+	code := `
+proc main() {
+    moneyInitial = 100
+    moneyRest = 100
+    moneySpent = 0
+    migrate("shop", "buy")
+}
+proc buy() {
+    let price = read("price")
+    moneySpent = moneySpent + price
+    moneyRest = moneyRest - price
+    done()
+}`
+	ag := bed.NewAgent("buyer2", code)
+	if err := appraisal.Attach(ag, buyerRules, owner); err != nil {
+		t.Fatal(err)
+	}
+	if err := bed.Nodes["home"].Launch(ag); err != nil {
+		t.Fatal(err)
+	}
+	var taskVerdict *core.Verdict
+	for _, v := range bed.Verdicts() {
+		if v.Moment == core.AfterTask {
+			vv := v
+			taskVerdict = &vv
+		}
+	}
+	if taskVerdict == nil {
+		t.Fatal("no checkAfterTask verdict")
+	}
+	if taskVerdict.OK {
+		t.Error("final-state violation not caught by checkAfterTask")
+	}
+}

@@ -1,0 +1,224 @@
+// Package attack implements the malicious-host behaviours of the
+// paper's attack taxonomy (Fig. 2) that touch agent state, plus an
+// in-flight interceptor for transit attacks. The detection-matrix
+// integration tests use these to verify each mechanism's protection
+// claims (§3, §4): which attacks are detected, which are documented
+// misses.
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/agentlang"
+	"repro/internal/host"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// Area enumerates the attack areas of Fig. 2.
+type Area int
+
+// The twelve areas, numbered as in the paper.
+const (
+	SpyOutCode Area = iota + 1
+	SpyOutData
+	SpyOutControlFlow
+	ManipulationOfCode
+	ManipulationOfData
+	ManipulationOfControlFlow
+	IncorrectExecution
+	Masquerading
+	DenialOfExecution
+	SpyOutInteraction
+	ManipulationOfInteraction
+	FalseSystemCallResults
+)
+
+// String names the area as the paper lists it.
+func (a Area) String() string {
+	names := [...]string{
+		"spying out code",
+		"spying out data",
+		"spying out control flow",
+		"manipulation of code",
+		"manipulation of data",
+		"manipulation of control flow",
+		"incorrect execution of code",
+		"masquerading of the host",
+		"denial of execution",
+		"spying out interaction with other agents",
+		"manipulation of interaction with other agents",
+		"returning wrong results of system calls issued by the agent",
+	}
+	if a < 1 || int(a) > len(names) {
+		return fmt.Sprintf("area(%d)", int(a))
+	}
+	return names[a-1]
+}
+
+// InBlackboxSet reports whether the area belongs to the "blackbox set"
+// (areas 2 and 4-7) to which [3] reduces the list.
+func (a Area) InBlackboxSet() bool {
+	return a == SpyOutData || (a >= ManipulationOfCode && a <= IncorrectExecution)
+}
+
+// Honest is the no-op behaviour.
+type Honest struct{}
+
+var _ host.Behavior = Honest{}
+
+// WrapEnv implements host.Behavior.
+func (Honest) WrapEnv(env agentlang.Env) agentlang.Env { return env }
+
+// TamperState implements host.Behavior.
+func (Honest) TamperState(value.State) {}
+
+// TamperRecord implements host.Behavior.
+func (Honest) TamperRecord(*host.SessionRecord) {}
+
+// DataManipulation overwrites a state variable after execution —
+// Fig. 2 area 5, the canonical modification attack (e.g. raising the
+// lowest price an agent collected).
+type DataManipulation struct {
+	Honest
+	Var string
+	Val value.Value
+}
+
+// TamperState implements host.Behavior.
+func (d DataManipulation) TamperState(st value.State) { st[d.Var] = d.Val.Clone() }
+
+// StateMutation applies an arbitrary mutation to the resulting state —
+// used for incorrect-execution attacks (area 7), where the host runs
+// the code wrongly rather than editing a variable, and for
+// control-flow manipulation (area 6), which always materializes as a
+// state that correct execution cannot produce.
+type StateMutation struct {
+	Honest
+	Mutate func(value.State)
+}
+
+// TamperState implements host.Behavior.
+func (s StateMutation) TamperState(st value.State) {
+	if s.Mutate != nil {
+		s.Mutate(st)
+	}
+}
+
+// InputForgery makes the host lie to the agent about input (area 12,
+// "returning wrong results of system calls", and the §4.2 limitation:
+// "attacks where the executing host lies about the input an agent
+// receives" are undetectable). The forged value is recorded in the
+// input log as if it were genuine, so re-execution reproduces the
+// forged run perfectly.
+type InputForgery struct {
+	Honest
+	// Call restricts forgery to one input external (e.g. "read"); empty
+	// forges every call.
+	Call string
+	// Forge maps the honest result to the forged one.
+	Forge func(call string, args []value.Value, honest value.Value) value.Value
+}
+
+// WrapEnv implements host.Behavior.
+func (f InputForgery) WrapEnv(env agentlang.Env) agentlang.Env {
+	return &forgingEnv{inner: env, f: f}
+}
+
+type forgingEnv struct {
+	inner agentlang.Env
+	f     InputForgery
+}
+
+func (e *forgingEnv) Input(call string, args []value.Value) (value.Value, error) {
+	v, err := e.inner.Input(call, args)
+	if err != nil {
+		return value.Null(), err
+	}
+	if e.f.Call != "" && e.f.Call != call {
+		return v, nil
+	}
+	if e.f.Forge == nil {
+		return v, nil
+	}
+	return e.f.Forge(call, args, v), nil
+}
+
+func (e *forgingEnv) Output(action string, args []value.Value) error {
+	return e.inner.Output(action, args)
+}
+
+// RecordLie falsifies what the host reports about its session without
+// changing the actual execution: the reported input log (or states) no
+// longer matches what happened. Unlike InputForgery, the resulting
+// state was computed from the *real* input, so the reported triple is
+// internally inconsistent and re-execution checking exposes it.
+type RecordLie struct {
+	Honest
+	Mutate func(*host.SessionRecord)
+}
+
+// TamperRecord implements host.Behavior.
+func (r RecordLie) TamperRecord(rec *host.SessionRecord) {
+	if r.Mutate != nil {
+		r.Mutate(rec)
+	}
+}
+
+// InterceptNetwork wraps a transport.Network and lets an attacker
+// manipulate agents in flight: strip protection baggage, replay old
+// states, redirect deliveries. It models both a man-in-the-middle and
+// a malicious forwarding host (which, controlling the channel, can do
+// anything the interceptor can).
+type InterceptNetwork struct {
+	Inner transport.Network
+	// MutateAgent, when non-nil, is applied to every migrating agent.
+	// Returning an error drops the delivery.
+	MutateAgent func(dest string, ag *agent.Agent) error
+}
+
+var _ transport.Network = (*InterceptNetwork)(nil)
+
+// SendAgent implements transport.Network.
+func (n *InterceptNetwork) SendAgent(hostName string, wire []byte) error {
+	if n.MutateAgent == nil {
+		return n.Inner.SendAgent(hostName, wire)
+	}
+	ag, err := agent.Unmarshal(wire)
+	if err != nil {
+		return fmt.Errorf("attack: intercepting: %w", err)
+	}
+	if err := n.MutateAgent(hostName, ag); err != nil {
+		return err
+	}
+	mutated, err := ag.Marshal()
+	if err != nil {
+		return fmt.Errorf("attack: re-marshaling intercepted agent: %w", err)
+	}
+	return n.Inner.SendAgent(hostName, mutated)
+}
+
+// Call implements transport.Network.
+func (n *InterceptNetwork) Call(hostName, method string, body []byte) ([]byte, error) {
+	return n.Inner.Call(hostName, method, body)
+}
+
+// StripBaggage returns an interceptor mutation that removes the named
+// mechanism's baggage from every migrating agent ("the host simply
+// discards the protocol data").
+func StripBaggage(mechanism string) func(string, *agent.Agent) error {
+	return func(_ string, ag *agent.Agent) error {
+		ag.ClearBaggage(mechanism)
+		return nil
+	}
+}
+
+// TamperStateInFlight returns an interceptor mutation that rewrites a
+// state variable while the agent is in transit.
+func TamperStateInFlight(name string, val value.Value) func(string, *agent.Agent) error {
+	return func(_ string, ag *agent.Agent) error {
+		ag.State[name] = val.Clone()
+		return nil
+	}
+}

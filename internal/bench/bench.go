@@ -1,0 +1,291 @@
+// Package bench reproduces the paper's evaluation (§5.2-§5.3): the
+// generic example agent, the four workload configurations of Tables 1
+// and 2, per-phase timing (sign&verify / cycle / remainder / overall),
+// and the sweep series of DESIGN.md §4.
+//
+// The workload, per the paper: an agent migrating along three hosts —
+// trusted, untrusted, trusted — parameterized by a "cycle" count
+// (every cycle is an integer summation of 1000 values, emulating the
+// computational part) and an input-element count (each element a
+// 10-byte string). Four instances are measured: {1,100} inputs ×
+// {1,10000} cycles, each run "plain" (signed and verified as a whole)
+// and "protected" (the refproto example mechanism).
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/agentlang"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/protection"
+	"repro/internal/sigcrypto"
+	"repro/internal/stopwatch"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// Workload is one measured agent configuration.
+type Workload struct {
+	// Inputs is the number of 10-byte input elements read per session.
+	Inputs int
+	// Cycles is the number of 1000-value summation cycles per session.
+	Cycles int
+}
+
+// String renders the configuration as the paper's row labels do.
+func (w Workload) String() string {
+	return fmt.Sprintf("%d inputs, %d cycles", w.Inputs, w.Cycles)
+}
+
+// PaperWorkloads are the four configurations of Tables 1 and 2.
+func PaperWorkloads() []Workload {
+	return []Workload{
+		{Inputs: 1, Cycles: 1},
+		{Inputs: 100, Cycles: 1},
+		{Inputs: 1, Cycles: 10000},
+		{Inputs: 100, Cycles: 10000},
+	}
+}
+
+// Result is one measured run, split into the paper's columns.
+type Result struct {
+	SignVerify time.Duration
+	Cycle      time.Duration
+	Remainder  time.Duration
+	Overall    time.Duration
+}
+
+// Factor returns r's column-wise overhead factors relative to base
+// (Table 2's bracketed numbers).
+func (r Result) Factor(base Result) (signVerify, cycle, remainder, overall float64) {
+	f := func(a, b time.Duration) float64 {
+		if b <= 0 {
+			return 0
+		}
+		return float64(a) / float64(b)
+	}
+	return f(r.SignVerify, base.SignVerify), f(r.Cycle, base.Cycle),
+		f(r.Remainder, base.Remainder), f(r.Overall, base.Overall)
+}
+
+// AgentCode generates the generic example agent's source for a
+// workload. The itinerary is host1 -> host2 -> host3; the summation
+// cycle lives in its own procedure so the harness can time it (the
+// "cycle" column).
+func AgentCode(w Workload) string {
+	return fmt.Sprintf(`
+proc main() {
+    collect()
+    cycle()
+    hops = hops + 1
+    let at = here()
+    if at == "host1" { migrate("host2", "main") }
+    if at == "host2" { migrate("host3", "main") }
+    done()
+}
+proc collect() {
+    let i = 0
+    while i < %d {
+        got = append(got, read("elem"))
+        i = i + 1
+    }
+}
+proc cycle() {
+    let c = 0
+    while c < %d {
+        let s = 0
+        let j = 0
+        while j < 1000 {
+            s = s + j
+            j = j + 1
+        }
+        sum = s
+        c = c + 1
+    }
+}`, w.Inputs, w.Cycles)
+}
+
+// procTimer accumulates wall time spent inside one named procedure.
+// It implements agentlang.ProcEventsOnly, so attaching it adds no
+// per-statement cost.
+type procTimer struct {
+	timer *stopwatch.PhaseTimer
+	proc  string
+
+	mu    sync.Mutex
+	depth int
+	start time.Time
+}
+
+var (
+	_ agentlang.Hook           = (*procTimer)(nil)
+	_ agentlang.ProcEventsOnly = (*procTimer)(nil)
+)
+
+func (p *procTimer) Statement(int, bool, []agentlang.Assignment) {}
+
+// ProcEventsOnly marks the hook as statement-free.
+func (p *procTimer) ProcEventsOnly() {}
+
+func (p *procTimer) EnterProc(name string) {
+	if name != p.proc {
+		return
+	}
+	p.mu.Lock()
+	if p.depth == 0 {
+		p.start = time.Now()
+	}
+	p.depth++
+	p.mu.Unlock()
+}
+
+func (p *procTimer) ExitProc(name string) {
+	if name != p.proc {
+		return
+	}
+	p.mu.Lock()
+	p.depth--
+	if p.depth == 0 {
+		p.timer.Add(stopwatch.PhaseCycle, time.Since(p.start))
+	}
+	p.mu.Unlock()
+}
+
+// Run executes the generic agent once at the given protection level and
+// returns the per-phase measurement.
+func Run(level protection.Level, w Workload) (Result, error) {
+	timer := &stopwatch.PhaseTimer{}
+	pt := &procTimer{timer: timer, proc: "cycle"}
+
+	reg := sigcrypto.NewRegistry()
+	net := transport.NewInProc()
+
+	var completed *agent.Agent
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("host%d", i)
+		keys, err := sigcrypto.GenerateKeyPair(name)
+		if err != nil {
+			return Result{}, err
+		}
+		h, err := host.New(host.Config{
+			Name:     name,
+			Keys:     keys,
+			Registry: reg,
+			// Per §5.2: first and last host trusted, middle untrusted.
+			Trusted: i != 2,
+			Feed: func(agentID, key string) (value.Value, error) {
+				return value.Str("0123456789"), nil // 10-byte input element
+			},
+			RecordTrace: protection.NeedsTraceRecording(level),
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		mechs, err := protection.Mechanisms(level, protection.Options{Timer: timer, ExecHook: pt})
+		if err != nil {
+			return Result{}, err
+		}
+		node, err := core.NewNode(core.NodeConfig{
+			Host:           h,
+			Net:            net,
+			Mechanisms:     mechs,
+			SessionOptions: host.SessionOptions{ExtraHook: pt},
+			OnComplete: func(ag *agent.Agent, _ []core.Verdict, aborted bool) {
+				if !aborted {
+					completed = ag
+				}
+			},
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		net.Register(name, node)
+	}
+
+	ag, err := agent.New(fmt.Sprintf("bench-%s-%s", level, w), "owner", AgentCode(w), "main")
+	if err != nil {
+		return Result{}, err
+	}
+	ag.State["hops"] = value.Int(0)
+	ag.State["got"] = value.List()
+	ag.State["sum"] = value.Int(0)
+
+	begin := time.Now()
+	// The first host runs the first session itself; delivery to host1
+	// starts the pipeline. Launch directly through the node.
+	firstWire, err := ag.Marshal()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := net.SendAgent("host1", firstWire); err != nil {
+		return Result{}, fmt.Errorf("bench: %w", err)
+	}
+	overall := time.Since(begin)
+
+	if completed == nil {
+		return Result{}, fmt.Errorf("bench: agent did not complete")
+	}
+	if got := completed.State["hops"]; got.Int != 3 {
+		return Result{}, fmt.Errorf("bench: agent ran %d sessions, want 3", got.Int)
+	}
+
+	res := Result{
+		SignVerify: timer.Get(stopwatch.PhaseSignVerify),
+		Cycle:      timer.Get(stopwatch.PhaseCycle),
+		Overall:    overall,
+	}
+	res.Remainder = res.Overall - res.SignVerify - res.Cycle
+	if res.Remainder < 0 {
+		res.Remainder = 0
+	}
+	return res, nil
+}
+
+// RunPlain measures the paper's "plain" configuration (whole-agent
+// signature only) — one Table 1 row.
+func RunPlain(w Workload) (Result, error) {
+	return Repeat(repsFor(w), func() (Result, error) { return Run(protection.LevelSigned, w) })
+}
+
+// RunProtected measures the protected configuration (the example
+// mechanism) — one Table 2 row.
+func RunProtected(w Workload) (Result, error) {
+	return Repeat(repsFor(w), func() (Result, error) { return Run(protection.LevelFull, w) })
+}
+
+// repsFor picks the repetition count: light configurations are
+// millisecond-scale and need min-of-k to suppress scheduler and GC
+// noise; the 10000-cycle configurations are seconds-scale and stable.
+func repsFor(w Workload) int {
+	switch {
+	case w.Cycles <= 10:
+		return 9
+	case w.Cycles <= 1000:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// Repeat runs f n times and returns the run with the smallest overall
+// time — the standard microbenchmark noise filter.
+func Repeat(n int, f func() (Result, error)) (Result, error) {
+	if n < 1 {
+		n = 1
+	}
+	var best Result
+	for i := 0; i < n; i++ {
+		r, err := f()
+		if err != nil {
+			return Result{}, err
+		}
+		if i == 0 || r.Overall < best.Overall {
+			best = r
+		}
+	}
+	return best, nil
+}

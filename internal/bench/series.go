@@ -1,0 +1,394 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/proof"
+	"repro/internal/protection"
+	"repro/internal/replication"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/value"
+	"repro/internal/vigna"
+)
+
+// The sweep series of DESIGN.md §4. Each regenerates one analytic
+// claim from the paper as a data series.
+
+// SeriesPoint is one (x, columns...) row of a series.
+type SeriesPoint struct {
+	Label  string
+	Values map[string]float64
+}
+
+// FormatSeries renders a series as an aligned table.
+func FormatSeries(w io.Writer, title string, cols []string, points []SeriesPoint) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-28s", "")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %14s", c)
+	}
+	fmt.Fprintln(w)
+	for _, p := range points {
+		fmt.Fprintf(w, "%-28s", p.Label)
+		for _, c := range cols {
+			fmt.Fprintf(w, " %14.2f", p.Values[c])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// SeriesOverhead (Series A) sweeps the computation share: overall
+// overhead factor of the protected agent vs cycles, for 1 and 100
+// inputs. The paper's analytic claim (§4.1, §6): the factor approaches
+// the 4-executions/3-executions ratio (~1.33) as computation dominates
+// and rises toward ~2 for input-dominated agents.
+func SeriesOverhead(cycles []int, inputs []int) ([]SeriesPoint, error) {
+	var points []SeriesPoint
+	for _, in := range inputs {
+		for _, c := range cycles {
+			w := Workload{Inputs: in, Cycles: c}
+			plain, err := RunPlain(w)
+			if err != nil {
+				return nil, err
+			}
+			prot, err := RunProtected(w)
+			if err != nil {
+				return nil, err
+			}
+			_, _, _, fo := prot.Factor(plain)
+			points = append(points, SeriesPoint{
+				Label: w.String(),
+				Values: map[string]float64{
+					"plain_ms":  float64(plain.Overall.Microseconds()) / 1000,
+					"prot_ms":   float64(prot.Overall.Microseconds()) / 1000,
+					"factor":    fo,
+					"cycle_pct": 100 * float64(plain.Cycle) / float64(plain.Overall+1),
+				},
+			})
+		}
+	}
+	return points, nil
+}
+
+// replicaDeployment builds s stages of n replicas on an in-process
+// network.
+func replicaDeployment(stages, n int) (*replication.Coordinator, error) {
+	reg := sigcrypto.NewRegistry()
+	net := transport.NewInProc()
+	coord := &replication.Coordinator{Net: net, Registry: reg}
+	for s := 0; s < stages; s++ {
+		var names []string
+		for r := 0; r < n; r++ {
+			name := fmt.Sprintf("s%dr%d", s, r)
+			names = append(names, name)
+			keys, err := sigcrypto.GenerateKeyPair(name)
+			if err != nil {
+				return nil, err
+			}
+			h, err := host.New(host.Config{
+				Name: name, Keys: keys, Registry: reg,
+				Resources: map[string]value.Value{"offer": value.Int(21)},
+				RandSeed:  42,
+			})
+			if err != nil {
+				return nil, err
+			}
+			node, err := core.NewNode(core.NodeConfig{
+				Host: h, Net: net,
+				Mechanisms: []core.Mechanism{replication.New()},
+			})
+			if err != nil {
+				return nil, err
+			}
+			net.Register(name, node)
+		}
+		coord.Stages = append(coord.Stages, names)
+	}
+	return coord, nil
+}
+
+const replicaCode = `
+proc main() {
+    offer = read("offer")
+    work()
+    migrate("next", "second")
+}
+proc second() {
+    work()
+    result = offer * 2
+    done()
+}
+proc work() {
+    let s = 0
+    let j = 0
+    while j < 5000 { s = s + j j = j + 1 }
+    sum = s
+}`
+
+// SeriesReplication (Series B) sweeps the replica-set size: execution
+// cost grows with n while the tolerated number of identical colluders
+// is ceil(n/2)-1 (§3.2).
+func SeriesReplication(sizes []int) ([]SeriesPoint, error) {
+	var base time.Duration
+	var points []SeriesPoint
+	for _, n := range sizes {
+		coord, err := replicaDeployment(2, n)
+		if err != nil {
+			return nil, err
+		}
+		ag, err := agent.New(fmt.Sprintf("rep-%d", n), "owner", replicaCode, "main")
+		if err != nil {
+			return nil, err
+		}
+		begin := time.Now()
+		rep, err := coord.Run(ag)
+		if err != nil {
+			return nil, fmt.Errorf("bench: replication n=%d: %w", n, err)
+		}
+		elapsed := time.Since(begin)
+		if rep.Final.State["result"].Int != 42 {
+			return nil, fmt.Errorf("bench: replication n=%d wrong result", n)
+		}
+		if base == 0 {
+			base = elapsed
+		}
+		points = append(points, SeriesPoint{
+			Label: fmt.Sprintf("n=%d replicas/stage", n),
+			Values: map[string]float64{
+				"time_ms":   float64(elapsed.Microseconds()) / 1000,
+				"cost_vs_1": float64(elapsed) / float64(base),
+				"tolerated": float64(replication.MaxTolerated(n)),
+			},
+		})
+	}
+	return points, nil
+}
+
+// tracedDeployment builds the home -> h1 -> h2 -> home2 journey at
+// LevelTraces, returning the bed pieces needed for audits.
+func tracedDeployment(cycles int) (*transport.InProc, *sigcrypto.Registry, *agent.Agent, error) {
+	reg := sigcrypto.NewRegistry()
+	net := transport.NewInProc()
+	var completed *agent.Agent
+	for _, name := range []string{"home", "h1", "h2", "home2"} {
+		keys, err := sigcrypto.GenerateKeyPair(name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		h, err := host.New(host.Config{
+			Name: name, Keys: keys, Registry: reg,
+			Trusted:     name == "home" || name == "home2",
+			Resources:   map[string]value.Value{"offer": value.Int(10)},
+			RecordTrace: true,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		mechs, err := protection.Mechanisms(protection.LevelTraces, protection.Options{})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		node, err := core.NewNode(core.NodeConfig{
+			Host: h, Net: net, Mechanisms: mechs,
+			OnComplete: func(ag *agent.Agent, _ []core.Verdict, aborted bool) {
+				if !aborted {
+					completed = ag
+				}
+			},
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		net.Register(name, node)
+	}
+	code := fmt.Sprintf(`
+proc main() {
+    total = 0
+    work()
+    migrate("h1", "visit")
+}
+proc visit() {
+    total = total + read("offer")
+    work()
+    if here() == "h1" { migrate("h2", "visit") } else { migrate("home2", "finish") }
+}
+proc finish() { done() }
+proc work() {
+    let c = 0
+    while c < %d {
+        let s = 0
+        let j = 0
+        while j < 100 { s = s + j j = j + 1 }
+        sum = s
+        c = c + 1
+    }
+}`, cycles)
+	ag, err := agent.New(fmt.Sprintf("trace-%d", cycles), "owner", code, "main")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	wire, err := ag.Marshal()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := net.SendAgent("home", wire); err != nil {
+		return nil, nil, nil, err
+	}
+	if completed == nil {
+		return nil, nil, nil, fmt.Errorf("bench: traced agent did not complete")
+	}
+	return net, reg, completed, nil
+}
+
+// SeriesTrace (Series C) sweeps executed statements: trace length
+// grows linearly and audit cost tracks re-execution cost (§3.3: "the
+// length of a trace increases with every execution step").
+func SeriesTrace(cycles []int) ([]SeriesPoint, error) {
+	var points []SeriesPoint
+	for _, c := range cycles {
+		net, reg, returned, err := tracedDeployment(c)
+		if err != nil {
+			return nil, err
+		}
+		begin := time.Now()
+		rep, err := vigna.Audit(vigna.AuditConfig{
+			Net: net, Registry: reg,
+			LaunchState: value.State{}, LaunchEntry: "main",
+		}, returned)
+		if err != nil {
+			return nil, err
+		}
+		auditTime := time.Since(begin)
+		if !rep.OK {
+			return nil, fmt.Errorf("bench: honest audit failed: %+v", rep)
+		}
+		points = append(points, SeriesPoint{
+			Label: fmt.Sprintf("work=%d cycles/session", c),
+			Values: map[string]float64{
+				"audit_ms":      float64(auditTime.Microseconds()) / 1000,
+				"trace_entries": float64(rep.TotalTraceEntries),
+				"sessions":      float64(rep.SessionsChecked),
+			},
+		})
+	}
+	return points, nil
+}
+
+// proofDeployment runs a journey at the proof level and returns what
+// verification needs.
+func proofDeployment(iters int) (*transport.InProc, *sigcrypto.Registry, *agent.Agent, error) {
+	reg := sigcrypto.NewRegistry()
+	net := transport.NewInProc()
+	var completed *agent.Agent
+	for _, name := range []string{"home", "h1", "home2"} {
+		keys, err := sigcrypto.GenerateKeyPair(name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		h, err := host.New(host.Config{
+			Name: name, Keys: keys, Registry: reg,
+			Trusted:     name != "h1",
+			Resources:   map[string]value.Value{"offer": value.Int(10)},
+			RecordTrace: true,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		node, err := core.NewNode(core.NodeConfig{
+			Host: h, Net: net,
+			Mechanisms: []core.Mechanism{proof.New()},
+			OnComplete: func(ag *agent.Agent, _ []core.Verdict, aborted bool) {
+				if !aborted {
+					completed = ag
+				}
+			},
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		net.Register(name, node)
+	}
+	code := fmt.Sprintf(`
+proc main() {
+    total = 0
+    migrate("h1", "visit")
+}
+proc visit() {
+    let i = 0
+    while i < %d {
+        total = total + i
+        i = i + 1
+    }
+    total = total + read("offer")
+    migrate("home2", "finish")
+}
+proc finish() { done() }`, iters)
+	ag, err := agent.New(fmt.Sprintf("proof-%d", iters), "owner", code, "main")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	wire, err := ag.Marshal()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := net.SendAgent("home", wire); err != nil {
+		return nil, nil, nil, err
+	}
+	if completed == nil {
+		return nil, nil, nil, fmt.Errorf("bench: proof agent did not complete")
+	}
+	return net, reg, completed, nil
+}
+
+// SeriesProof (Series D) sweeps trace length: spot-check verification
+// touches O(k·log n) entries while full rechecking touches O(n) —
+// the cost asymmetry that motivates proofs (§3.4, [1]: proofs
+// "sublinear or polylogarithmic in the size of the agent's running
+// time").
+func SeriesProof(iters []int, k int) ([]SeriesPoint, error) {
+	var points []SeriesPoint
+	for _, n := range iters {
+		net, reg, returned, err := proofDeployment(n)
+		if err != nil {
+			return nil, err
+		}
+		cfg := proof.VerifyConfig{Net: net, Registry: reg, K: k}
+
+		begin := time.Now()
+		spot, err := proof.Verify(cfg, returned)
+		if err != nil {
+			return nil, err
+		}
+		spotTime := time.Since(begin)
+		if !spot.OK {
+			return nil, fmt.Errorf("bench: spot check failed: %+v", spot)
+		}
+
+		begin = time.Now()
+		full, err := proof.FullRecheck(cfg, returned)
+		if err != nil {
+			return nil, err
+		}
+		fullTime := time.Since(begin)
+		if !full.OK {
+			return nil, fmt.Errorf("bench: full recheck failed: %+v", full)
+		}
+
+		points = append(points, SeriesPoint{
+			Label: fmt.Sprintf("trace n=%d entries", spot.TotalTraceLen),
+			Values: map[string]float64{
+				"spot_opened": float64(spot.EntriesOpened),
+				"full_opened": float64(full.EntriesOpened),
+				"spot_ms":     float64(spotTime.Microseconds()) / 1000,
+				"full_ms":     float64(fullTime.Microseconds()) / 1000,
+			},
+		})
+	}
+	return points, nil
+}

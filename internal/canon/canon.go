@@ -1,0 +1,347 @@
+// Package canon provides the canonical, deterministic binary encoding
+// of agent values and states.
+//
+// Reference-state mechanisms compare states produced on different hosts
+// by comparing cryptographic digests. That only works if the encoding of
+// a state is a pure function of its logical content: map iteration
+// order, struct field padding, or gob type negotiation must not leak
+// into the bytes. canon therefore defines its own minimal tag-length-
+// value format with sorted map keys and fixed-width big-endian integers.
+//
+// The format is versioned by a leading magic byte so that future
+// revisions cannot be confused with the current one.
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// Format tags. Every encoded value starts with one tag byte.
+const (
+	tagNull   byte = 0x01
+	tagInt    byte = 0x02
+	tagString byte = 0x03
+	tagBool   byte = 0x04
+	tagList   byte = 0x05
+	tagMap    byte = 0x06
+	tagState  byte = 0x07
+	tagBytes  byte = 0x08
+	tagTuple  byte = 0x09
+)
+
+// version is the leading byte of every top-level encoding.
+const version byte = 0x01
+
+// ErrMalformed is returned when decoding input that is not a valid
+// canonical encoding.
+var ErrMalformed = errors.New("canon: malformed encoding")
+
+// maxLen bounds individual string/list/map lengths during decoding so a
+// hostile peer cannot force huge allocations from a short message.
+const maxLen = 1 << 26
+
+// AppendValue appends the canonical encoding of v to dst and returns
+// the extended slice.
+func AppendValue(dst []byte, v value.Value) []byte {
+	switch v.Kind {
+	case value.KindInt:
+		dst = append(dst, tagInt)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(v.Int))
+	case value.KindString:
+		dst = append(dst, tagString)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.Str)))
+		dst = append(dst, v.Str...)
+	case value.KindBool:
+		dst = append(dst, tagBool)
+		if v.Bool {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case value.KindList:
+		dst = append(dst, tagList)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.List)))
+		for _, e := range v.List {
+			dst = AppendValue(dst, e)
+		}
+	case value.KindMap:
+		dst = append(dst, tagMap)
+		keys := value.SortedKeys(v.Map)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(keys)))
+		for _, k := range keys {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(k)))
+			dst = append(dst, k...)
+			dst = AppendValue(dst, v.Map[k])
+		}
+	default:
+		dst = append(dst, tagNull)
+	}
+	return dst
+}
+
+// EncodeValue returns the canonical encoding of a single value,
+// including the version prefix.
+func EncodeValue(v value.Value) []byte {
+	dst := make([]byte, 0, 64)
+	dst = append(dst, version)
+	return AppendValue(dst, v)
+}
+
+// AppendState appends the canonical encoding of a state (sorted by
+// variable name) to dst.
+func AppendState(dst []byte, s value.State) []byte {
+	dst = append(dst, tagState)
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(names)))
+	for _, k := range names {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(k)))
+		dst = append(dst, k...)
+		dst = AppendValue(dst, s[k])
+	}
+	return dst
+}
+
+// EncodeState returns the canonical encoding of an agent state,
+// including the version prefix.
+func EncodeState(s value.State) []byte {
+	dst := make([]byte, 0, 256)
+	dst = append(dst, version)
+	return AppendState(dst, s)
+}
+
+// Tuple encodes a heterogeneous sequence of already-encoded byte fields
+// with length framing. It is used to bind several digests together
+// (e.g. agent ID + hop + state digest) before signing, preventing
+// ambiguity attacks that concatenation without framing would allow.
+func Tuple(fields ...[]byte) []byte {
+	n := 2 + 4
+	for _, f := range fields {
+		n += 4 + len(f)
+	}
+	dst := make([]byte, 0, n)
+	dst = append(dst, version, tagTuple)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(fields)))
+	for _, f := range fields {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(f)))
+		dst = append(dst, f...)
+	}
+	return dst
+}
+
+// Digest is a SHA-256 digest of a canonical encoding.
+type Digest [sha256.Size]byte
+
+// String returns the first 12 hex digits, enough for log readability.
+func (d Digest) String() string { return fmt.Sprintf("%x", d[:6]) }
+
+// IsZero reports whether d is the all-zero digest (i.e. unset).
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+// HashBytes digests an arbitrary byte string.
+func HashBytes(b []byte) Digest { return sha256.Sum256(b) }
+
+// HashValue digests the canonical encoding of a value.
+func HashValue(v value.Value) Digest { return sha256.Sum256(EncodeValue(v)) }
+
+// HashState digests the canonical encoding of a state. Two states have
+// equal digests iff value.State.Equal holds (up to hash collisions).
+func HashState(s value.State) Digest { return sha256.Sum256(EncodeState(s)) }
+
+// HashTuple digests a framed tuple of byte fields.
+func HashTuple(fields ...[]byte) Digest { return sha256.Sum256(Tuple(fields...)) }
+
+// decoder walks an encoded buffer.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) uint32() (uint32, error) {
+	if d.off+4 > len(d.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) uint64() (uint64, error) {
+	if d.off+8 > len(d.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || n > maxLen || d.off+n > len(d.buf) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *decoder) value() (value.Value, error) {
+	tag, err := d.byte()
+	if err != nil {
+		return value.Null(), err
+	}
+	switch tag {
+	case tagNull:
+		return value.Null(), nil
+	case tagInt:
+		u, err := d.uint64()
+		if err != nil {
+			return value.Null(), err
+		}
+		return value.Int(int64(u)), nil
+	case tagString:
+		n, err := d.uint32()
+		if err != nil {
+			return value.Null(), err
+		}
+		b, err := d.bytes(int(n))
+		if err != nil {
+			return value.Null(), err
+		}
+		return value.Str(string(b)), nil
+	case tagBool:
+		b, err := d.byte()
+		if err != nil {
+			return value.Null(), err
+		}
+		return value.Bool(b != 0), nil
+	case tagList:
+		n, err := d.uint32()
+		if err != nil {
+			return value.Null(), err
+		}
+		if n > maxLen {
+			return value.Null(), ErrMalformed
+		}
+		elems := make([]value.Value, 0, min(int(n), 1024))
+		for i := 0; i < int(n); i++ {
+			e, err := d.value()
+			if err != nil {
+				return value.Null(), err
+			}
+			elems = append(elems, e)
+		}
+		return value.List(elems...), nil
+	case tagMap:
+		n, err := d.uint32()
+		if err != nil {
+			return value.Null(), err
+		}
+		if n > maxLen {
+			return value.Null(), ErrMalformed
+		}
+		m := make(map[string]value.Value, min(int(n), 1024))
+		for i := 0; i < int(n); i++ {
+			kn, err := d.uint32()
+			if err != nil {
+				return value.Null(), err
+			}
+			kb, err := d.bytes(int(kn))
+			if err != nil {
+				return value.Null(), err
+			}
+			e, err := d.value()
+			if err != nil {
+				return value.Null(), err
+			}
+			m[string(kb)] = e
+		}
+		return value.Map(m), nil
+	default:
+		return value.Null(), fmt.Errorf("%w: unknown tag 0x%02x", ErrMalformed, tag)
+	}
+}
+
+// DecodeValue parses a canonical value encoding produced by EncodeValue.
+func DecodeValue(b []byte) (value.Value, error) {
+	d := &decoder{buf: b}
+	v, err := d.byte()
+	if err != nil {
+		return value.Null(), err
+	}
+	if v != version {
+		return value.Null(), fmt.Errorf("%w: unsupported version 0x%02x", ErrMalformed, v)
+	}
+	out, err := d.value()
+	if err != nil {
+		return value.Null(), err
+	}
+	if d.off != len(b) {
+		return value.Null(), fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(b)-d.off)
+	}
+	return out, nil
+}
+
+// DecodeState parses a canonical state encoding produced by EncodeState.
+func DecodeState(b []byte) (value.State, error) {
+	d := &decoder{buf: b}
+	v, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("%w: unsupported version 0x%02x", ErrMalformed, v)
+	}
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if tag != tagState {
+		return nil, fmt.Errorf("%w: expected state tag, got 0x%02x", ErrMalformed, tag)
+	}
+	n, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxLen {
+		return nil, ErrMalformed
+	}
+	s := make(value.State, min(int(n), 1024))
+	for i := 0; i < int(n); i++ {
+		kn, err := d.uint32()
+		if err != nil {
+			return nil, err
+		}
+		kb, err := d.bytes(int(kn))
+		if err != nil {
+			return nil, err
+		}
+		e, err := d.value()
+		if err != nil {
+			return nil, err
+		}
+		s[string(kb)] = e
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(b)-d.off)
+	}
+	return s, nil
+}

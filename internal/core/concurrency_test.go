@@ -1,0 +1,127 @@
+package core_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/refproto"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/value"
+	"repro/internal/wholesig"
+)
+
+// TestConcurrentAgentsThroughSharedNodes drives many agents through the
+// same three platform nodes at once: nodes, hosts, mechanisms and the
+// registry must all be safe for concurrent sessions (the refproto
+// mechanism in particular keeps per-agent pending handoffs keyed by
+// agent ID).
+func TestConcurrentAgentsThroughSharedNodes(t *testing.T) {
+	reg := sigcrypto.NewRegistry()
+	net := transport.NewInProc()
+
+	var mu sync.Mutex
+	completed := make(map[string]*agent.Agent)
+
+	for i, name := range []string{"alpha", "beta", "gamma"} {
+		keys, err := sigcrypto.GenerateKeyPair(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := host.New(host.Config{
+			Name:     name,
+			Keys:     keys,
+			Registry: reg,
+			Trusted:  i != 1,
+			Resources: map[string]value.Value{
+				"step": value.Int(int64(i + 1)),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := core.NewNode(core.NodeConfig{
+			Host: h,
+			Net:  net,
+			Mechanisms: []core.Mechanism{
+				wholesig.New(nil),
+				refproto.New(refproto.Config{}),
+			},
+			OnComplete: func(ag *agent.Agent, _ []core.Verdict, aborted bool) {
+				if aborted {
+					return
+				}
+				mu.Lock()
+				completed[ag.ID] = ag
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Register(name, node)
+	}
+
+	const agents = 24
+	code := `
+proc main() {
+    acc = resource("step")
+    migrate("beta", "mid")
+}
+proc mid() {
+    acc = acc * 10 + resource("step")
+    migrate("gamma", "fin")
+}
+proc fin() {
+    acc = acc * 10 + resource("step")
+    done()
+}`
+	var wg sync.WaitGroup
+	errs := make(chan error, agents)
+	for i := 0; i < agents; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ag, err := agent.New(fmt.Sprintf("swarm-%02d", i), "owner", code, "main")
+			if err != nil {
+				errs <- err
+				return
+			}
+			wire, err := ag.Marshal()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := net.SendAgent("alpha", wire); err != nil {
+				errs <- fmt.Errorf("agent %d: %w", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(completed) != agents {
+		t.Fatalf("completed %d of %d agents", len(completed), agents)
+	}
+	for id, ag := range completed {
+		if got := ag.State["acc"]; got.Int != 123 {
+			t.Errorf("%s: acc = %s, want 123", id, got)
+		}
+		vs := core.AgentVerdicts(ag)
+		for _, v := range vs {
+			if !v.OK {
+				t.Errorf("%s: failed verdict in concurrent honest run: %s", id, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/host"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+)
+
+// ---- shared test fixtures ----
+
+// testbed wires N hosts into an in-process network with a shared
+// registry, each running the given mechanisms.
+type testbed struct {
+	t        *testing.T
+	reg      *sigcrypto.Registry
+	net      *transport.InProc
+	nodes    map[string]*Node
+	mu       sync.Mutex
+	verdicts []Verdict
+	done     []*agent.Agent
+	aborted  bool
+}
+
+func newTestbed(t *testing.T) *testbed {
+	return &testbed{
+		t:     t,
+		reg:   sigcrypto.NewRegistry(),
+		net:   transport.NewInProc(),
+		nodes: make(map[string]*Node),
+	}
+}
+
+func (tb *testbed) addHost(name string, trusted bool, mechs []Mechanism, mutate func(*host.Config)) *Node {
+	tb.t.Helper()
+	keys, err := sigcrypto.GenerateKeyPair(name)
+	if err != nil {
+		tb.t.Fatal(err)
+	}
+	cfg := host.Config{Name: name, Keys: keys, Registry: tb.reg, Trusted: trusted}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	h, err := host.New(cfg)
+	if err != nil {
+		tb.t.Fatal(err)
+	}
+	node, err := NewNode(NodeConfig{
+		Host:       h,
+		Net:        tb.net,
+		Mechanisms: mechs,
+		OnVerdict: func(v Verdict) {
+			tb.mu.Lock()
+			defer tb.mu.Unlock()
+			tb.verdicts = append(tb.verdicts, v)
+		},
+		OnComplete: func(ag *agent.Agent, vs []Verdict, aborted bool) {
+			tb.mu.Lock()
+			defer tb.mu.Unlock()
+			tb.done = append(tb.done, ag)
+			tb.aborted = aborted
+		},
+	})
+	if err != nil {
+		tb.t.Fatal(err)
+	}
+	tb.nodes[name] = node
+	tb.net.Register(name, node)
+	return node
+}
+
+func mkAgent(t *testing.T, code string) *agent.Agent {
+	t.Helper()
+	ag, err := agent.New("test-agent", "owner", code, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ag
+}
+
+// countingMechanism records which callbacks fired, in order.
+type countingMechanism struct {
+	BaseMechanism
+	mu     sync.Mutex
+	events []string
+}
+
+func (m *countingMechanism) Name() string { return "counting" }
+
+func (m *countingMechanism) log(ev string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, ev)
+}
+
+func (m *countingMechanism) CheckAfterSession(hc *HostContext, ag *agent.Agent) (*Verdict, error) {
+	m.log("session@" + hc.Host.Name())
+	return nil, nil
+}
+
+func (m *countingMechanism) PrepareDeparture(hc *HostContext, ag *agent.Agent, rec *host.SessionRecord) error {
+	m.log("depart@" + hc.Host.Name())
+	return nil
+}
+
+func (m *countingMechanism) CheckAfterTask(hc *HostContext, ag *agent.Agent, rec *host.SessionRecord) (*Verdict, error) {
+	m.log("task@" + hc.Host.Name())
+	return &Verdict{Mechanism: "counting", Moment: AfterTask, Checker: hc.Host.Name(), OK: true}, nil
+}
+
+func TestPipelineLifecycleOrder(t *testing.T) {
+	tb := newTestbed(t)
+	m := &countingMechanism{}
+	mechs := []Mechanism{m}
+	tb.addHost("h1", true, mechs, nil)
+	tb.addHost("h2", false, mechs, nil)
+	tb.addHost("h3", true, mechs, nil)
+
+	ag := mkAgent(t, `
+proc main() { n = 0 migrate("h2", "step") }
+proc step() { n = n + 1 migrate("h3", "fin") }
+proc fin() { n = n + 1 done() }`)
+	if err := tb.nodes["h1"].Launch(ag); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{
+		"session@h1", "depart@h1",
+		"session@h2", "depart@h2",
+		"session@h3", "task@h3",
+	}
+	if len(m.events) != len(want) {
+		t.Fatalf("events = %v, want %v", m.events, want)
+	}
+	for i := range want {
+		if m.events[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, m.events[i], want[i], m.events)
+		}
+	}
+	// Completion fired exactly once, at h3, with the task verdict.
+	if len(tb.done) != 1 || tb.aborted {
+		t.Fatalf("done=%d aborted=%v", len(tb.done), tb.aborted)
+	}
+	if got := tb.done[0].State["n"]; got.Int != 2 {
+		t.Errorf("final n = %s", got)
+	}
+	if len(tb.verdicts) != 1 || !tb.verdicts[0].OK {
+		t.Errorf("verdicts = %v", tb.verdicts)
+	}
+	// Verdicts also travelled in baggage.
+	if vs := AgentVerdicts(tb.done[0]); len(vs) != 1 || vs[0].Mechanism != "counting" {
+		t.Errorf("baggage verdicts = %v", vs)
+	}
+}
+
+// failingMechanism flags every session as an attack.
+type failingMechanism struct {
+	BaseMechanism
+}
+
+func (failingMechanism) Name() string { return "paranoid" }
+
+func (failingMechanism) CheckAfterSession(hc *HostContext, ag *agent.Agent) (*Verdict, error) {
+	if ag.Hop == 0 {
+		return nil, nil // nothing to check before the first session
+	}
+	return &Verdict{
+		Mechanism: "paranoid", Moment: AfterSession,
+		CheckedHost: ag.Route[len(ag.Route)-1], CheckedHop: ag.Hop - 1,
+		Checker: hc.Host.Name(), OK: false, Suspect: ag.Route[len(ag.Route)-1],
+		Reason: "always suspicious",
+	}, nil
+}
+
+func TestDetectionQuarantinesAgent(t *testing.T) {
+	tb := newTestbed(t)
+	mechs := []Mechanism{failingMechanism{}}
+	tb.addHost("h1", true, mechs, nil)
+	tb.addHost("h2", false, mechs, nil)
+
+	ag := mkAgent(t, `
+proc main() { migrate("h2", "step") }
+proc step() { done() }`)
+	err := tb.nodes["h1"].Launch(ag)
+	if !errors.Is(err, ErrDetection) {
+		t.Fatalf("err = %v, want ErrDetection", err)
+	}
+	q, ok := tb.nodes["h2"].Quarantined("test-agent")
+	if !ok {
+		t.Fatal("agent not quarantined at detecting node")
+	}
+	if len(AgentVerdicts(q)) != 1 {
+		t.Error("quarantined agent lost its verdicts")
+	}
+	if !tb.aborted {
+		t.Error("completion not marked aborted")
+	}
+}
+
+func TestContinueOnDetection(t *testing.T) {
+	tb := newTestbed(t)
+	keys, err := sigcrypto.GenerateKeyPair("h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := host.New(host.Config{Name: "h2", Keys: keys, Registry: tb.reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node2, err := NewNode(NodeConfig{
+		Host: h2, Net: tb.net, Mechanisms: []Mechanism{failingMechanism{}},
+		ContinueOnDetection: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.net.Register("h2", node2)
+	tb.addHost("h1", true, []Mechanism{failingMechanism{}}, nil)
+
+	ag := mkAgent(t, `
+proc main() { migrate("h2", "step") }
+proc step() { done() }`)
+	if err := tb.nodes["h1"].Launch(ag); err != nil {
+		t.Fatalf("ContinueOnDetection still aborted: %v", err)
+	}
+}
+
+func TestHandleAgentRejectsGarbage(t *testing.T) {
+	tb := newTestbed(t)
+	node := tb.addHost("h1", true, nil, nil)
+	if err := node.HandleAgent([]byte("junk")); err == nil {
+		t.Error("garbage wire agent accepted")
+	}
+}
+
+// callableMechanism answers protocol calls.
+type callableMechanism struct {
+	BaseMechanism
+}
+
+func (callableMechanism) Name() string { return "callable" }
+
+func (callableMechanism) HandleCall(hc *HostContext, method string, body []byte) ([]byte, error) {
+	if method == "ping" {
+		return append([]byte("pong:"), body...), nil
+	}
+	return nil, errors.New("no such method")
+}
+
+func TestHandleCallDispatch(t *testing.T) {
+	tb := newTestbed(t)
+	tb.addHost("h1", true, []Mechanism{callableMechanism{}, &countingMechanism{}}, nil)
+
+	resp, err := tb.net.Call("h1", "callable/ping", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "pong:x" {
+		t.Errorf("resp = %q", resp)
+	}
+	if _, err := tb.net.Call("h1", "counting/ping", nil); !errors.Is(err, transport.ErrUnknownMethod) {
+		t.Errorf("non-callable mechanism: %v", err)
+	}
+	if _, err := tb.net.Call("h1", "ghost/ping", nil); !errors.Is(err, transport.ErrUnknownMethod) {
+		t.Errorf("unknown mechanism: %v", err)
+	}
+	if _, err := tb.net.Call("h1", "nomethodsep", nil); !errors.Is(err, transport.ErrUnknownMethod) {
+		t.Errorf("malformed method: %v", err)
+	}
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	if _, err := NewNode(NodeConfig{}); err == nil {
+		t.Error("nil host accepted")
+	}
+	keys, err := sigcrypto.GenerateKeyPair("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := host.New(host.Config{Name: "h", Keys: keys, Registry: sigcrypto.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNode(NodeConfig{Host: h}); err == nil {
+		t.Error("nil network accepted")
+	}
+}
+
+func TestForwardToUnknownHostFails(t *testing.T) {
+	tb := newTestbed(t)
+	tb.addHost("h1", true, nil, nil)
+	ag := mkAgent(t, `proc main() { migrate("nowhere", "main") }`)
+	err := tb.nodes["h1"].Launch(ag)
+	if err == nil || !strings.Contains(err.Error(), "unknown host") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	v := Verdict{
+		Mechanism: "m", Moment: AfterSession, CheckedHost: "evil", CheckedHop: 2,
+		Checker: "good", OK: false, Suspect: "evil", Reason: "state mismatch",
+		Evidence: []string{"x: 1 != 2"},
+	}
+	s := v.String()
+	for _, want := range []string{"checkAfterSession", "session 2@evil", "ATTACK DETECTED", "suspect evil", "x: 1 != 2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	ok := Verdict{Mechanism: "m", Moment: AfterTask, OK: true}
+	if !strings.Contains(ok.String(), "OK") || !strings.Contains(ok.String(), "checkAfterTask") {
+		t.Errorf("ok verdict string = %q", ok.String())
+	}
+}

@@ -1,0 +1,33 @@
+// Package core implements the paper's contribution: a checking
+// framework for mobile-agent systems that lets the agent programmer
+// choose a protection mechanism from the reference-states design space
+// (paper §5).
+//
+// The design space has three axes (§3.5):
+//
+//   - Moment of checking: after every execution session (the
+//     CheckAfterSession callback, invoked as the first action on the
+//     next host) or after the agent finished its task (CheckAfterTask,
+//     invoked by the last host). See Moment.
+//
+//   - Used reference data: initial state, resulting state, session
+//     input, execution log (trace), replicated host resources. A
+//     mechanism declares what it needs by implementing the requester
+//     marker interfaces (InitialStateRequester, ResultingStateRequester,
+//     InputRequester, ExecutionLogRequester, ResourceRequester — Fig. 4),
+//     and accesses it through the CheckContext accessor methods
+//     (InitialState, ResultingState, Input, ExecutionLog, Resource —
+//     Fig. 5). Data that was not declared is not packed into the agent
+//     and not accessible: the framework enforces the declaration.
+//
+//   - Checking algorithm: rules, proofs, re-execution, or an arbitrary
+//     program (the most powerful option, which subsumes the others).
+//     The Checker interface abstracts the algorithm; ReExecChecker and
+//     ProgramChecker live here, the rule engine in package appraisal,
+//     and Merkle spot-check proofs in package proof.
+//
+// Mechanisms plug into the platform through the Mechanism lifecycle
+// interface; Node drives agents through hosts, invoking mechanism
+// callbacks at the right moments and forwarding agents over any
+// transport.Network.
+package core

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/agentlang"
+	"repro/internal/host"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// HostContext gives a mechanism access to the host it is running on and
+// the network, for protocol calls to other hosts (trace fetches, vote
+// exchanges, partner confirmation).
+type HostContext struct {
+	Host *host.Host
+	Net  transport.Network
+}
+
+// Mechanism is a protection mechanism plugged into the platform. The
+// lifecycle maps onto the paper's callbacks:
+//
+//   - CheckAfterSession runs as the first action when an agent arrives,
+//     before the local session — checking the *previous* host's session
+//     ("it is called as the first action on the next host, as it would
+//     be useless to check a session on the same host", §5).
+//   - PrepareDeparture runs after the local session, before migration;
+//     here the mechanism attaches reference data to the agent.
+//   - CheckAfterTask runs on the final host after the last session.
+//
+// A mechanism returns a nil *Verdict when it has nothing to report
+// (e.g. first hop, or the mechanism only checks at the other moment).
+type Mechanism interface {
+	// Name identifies the mechanism; also used as its baggage key.
+	Name() string
+	// CheckAfterSession examines the previous session's execution.
+	CheckAfterSession(hc *HostContext, ag *agent.Agent) (*Verdict, error)
+	// PrepareDeparture attaches whatever the mechanism needs to check
+	// the session later. rec is the host-side ground truth of the
+	// session just executed (possibly tampered by a malicious host).
+	PrepareDeparture(hc *HostContext, ag *agent.Agent, rec *host.SessionRecord) error
+	// CheckAfterTask examines the whole journey on the final host.
+	CheckAfterTask(hc *HostContext, ag *agent.Agent, rec *host.SessionRecord) (*Verdict, error)
+}
+
+// CallHandler is an optional Mechanism extension for mechanisms that
+// answer protocol calls from other hosts (e.g. trace fetches in the
+// vigna mechanism, vote collection in replication).
+type CallHandler interface {
+	// HandleCall services a method addressed to this mechanism.
+	HandleCall(hc *HostContext, method string, body []byte) ([]byte, error)
+}
+
+// CheckContext is the checking-time view of one session's reference
+// data — the paper's Fig. 5 host methods (getInitialState,
+// getResultingState, getInput, getExecutionLog, getResource). Access is
+// gated by the requester interfaces the mechanism declares (Fig. 4):
+// undeclared data returns ErrNotRequested even if present.
+type CheckContext struct {
+	// Agent is the agent being checked, as it arrived.
+	Agent *agent.Agent
+	// Checker is the host performing the check.
+	Checker *HostContext
+	// Moment is the check moment.
+	Moment Moment
+
+	mech Mechanism
+	pkg  *ReferencePackage
+}
+
+// NewCheckContext builds a context serving pkg's data to mechanism m.
+func NewCheckContext(m Mechanism, pkg *ReferencePackage, ag *agent.Agent, hc *HostContext, moment Moment) *CheckContext {
+	return &CheckContext{Agent: ag, Checker: hc, Moment: moment, mech: m, pkg: pkg}
+}
+
+// Package exposes the raw reference package (session identification
+// fields are always accessible).
+func (c *CheckContext) Package() *ReferencePackage { return c.pkg }
+
+// InitialState returns the checked session's initial state.
+func (c *CheckContext) InitialState() (value.State, error) {
+	if _, ok := c.mech.(InitialStateRequester); !ok {
+		return nil, fmt.Errorf("%w: initial state", ErrNotRequested)
+	}
+	if c.pkg == nil || c.pkg.InitialState == nil {
+		return nil, fmt.Errorf("%w: initial state", ErrNoReference)
+	}
+	return c.pkg.InitialState, nil
+}
+
+// ResultingState returns the checked session's resulting state.
+func (c *CheckContext) ResultingState() (value.State, error) {
+	if _, ok := c.mech.(ResultingStateRequester); !ok {
+		return nil, fmt.Errorf("%w: resulting state", ErrNotRequested)
+	}
+	if c.pkg == nil || c.pkg.ResultingState == nil {
+		return nil, fmt.Errorf("%w: resulting state", ErrNoReference)
+	}
+	return c.pkg.ResultingState, nil
+}
+
+// Input returns the checked session's input log.
+func (c *CheckContext) Input() ([]agentlang.InputRecord, error) {
+	if _, ok := c.mech.(InputRequester); !ok {
+		return nil, fmt.Errorf("%w: input", ErrNotRequested)
+	}
+	if c.pkg == nil || c.pkg.Input == nil {
+		return nil, fmt.Errorf("%w: input", ErrNoReference)
+	}
+	return c.pkg.Input, nil
+}
+
+// ExecutionLog returns the checked session's trace.
+func (c *CheckContext) ExecutionLog() (*trace.Trace, error) {
+	if _, ok := c.mech.(ExecutionLogRequester); !ok {
+		return nil, fmt.Errorf("%w: execution log", ErrNotRequested)
+	}
+	if c.pkg == nil || c.pkg.Trace == nil {
+		return nil, fmt.Errorf("%w: execution log", ErrNoReference)
+	}
+	return c.pkg.Trace, nil
+}
+
+// Resource returns the replicated host resources appended to the agent.
+func (c *CheckContext) Resource() (map[string]value.Value, error) {
+	if _, ok := c.mech.(ResourceRequester); !ok {
+		return nil, fmt.Errorf("%w: resources", ErrNotRequested)
+	}
+	if c.pkg == nil || c.pkg.Resources == nil {
+		return nil, fmt.Errorf("%w: resources", ErrNoReference)
+	}
+	return c.pkg.Resources, nil
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/agent"
+	"repro/internal/host"
+	"repro/internal/transport"
+)
+
+// NodeConfig configures a platform node: one host plus the protection
+// mechanisms active on it.
+type NodeConfig struct {
+	Host *host.Host
+	Net  transport.Network
+	// Mechanisms run in list order for arrival checks and in reverse
+	// list order for departure preparation (onion layering; see
+	// Node.process). All hosts on an itinerary must run the same
+	// mechanism set for the protocols to line up.
+	Mechanisms []Mechanism
+	// OnVerdict is invoked for every verdict produced at this node; may
+	// be nil.
+	OnVerdict func(Verdict)
+	// OnComplete is invoked when an agent finishes (or is aborted) at
+	// this node, with all verdicts accumulated over its journey; may be
+	// nil.
+	OnComplete func(ag *agent.Agent, verdicts []Verdict, aborted bool)
+	// ContinueOnDetection keeps forwarding an agent even after a failed
+	// check. The default (false) quarantines the agent at the detecting
+	// node: "a compromised agent continues to work on other hosts" is
+	// exactly the low end of the protection scale the paper criticizes
+	// (§4.1).
+	ContinueOnDetection bool
+	// SessionOptions is passed to every session run (benchmark hooks).
+	SessionOptions host.SessionOptions
+}
+
+// Node is a platform node: it accepts migrating agents, runs the
+// framework callback pipeline around each execution session, and
+// forwards agents onward. It implements transport.Endpoint.
+type Node struct {
+	cfg NodeConfig
+	hc  *HostContext
+
+	mu sync.Mutex
+	// quarantined agents by ID, kept for evidence after detection.
+	quarantine map[string]*agent.Agent
+}
+
+var _ transport.Endpoint = (*Node)(nil)
+
+// ErrDetection is returned by HandleAgent when a check failed and the
+// agent was quarantined.
+var ErrDetection = errors.New("core: attack detected")
+
+// NewNode builds a platform node.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Host == nil {
+		return nil, errors.New("core: node host must not be nil")
+	}
+	if cfg.Net == nil {
+		return nil, errors.New("core: node network must not be nil")
+	}
+	return &Node{
+		cfg:        cfg,
+		hc:         &HostContext{Host: cfg.Host, Net: cfg.Net},
+		quarantine: make(map[string]*agent.Agent),
+	}, nil
+}
+
+// Host returns the node's host.
+func (n *Node) Host() *host.Host { return n.cfg.Host }
+
+// Quarantined returns the quarantined agent with the given ID, if any.
+func (n *Node) Quarantined(id string) (*agent.Agent, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ag, ok := n.quarantine[id]
+	return ag, ok
+}
+
+// Launch injects a locally created agent into the pipeline as if it had
+// just arrived (the home host runs the first session itself).
+func (n *Node) Launch(ag *agent.Agent) error {
+	return n.process(ag)
+}
+
+// HandleAgent implements transport.Endpoint for migration deliveries.
+func (n *Node) HandleAgent(wire []byte) error {
+	ag, err := agent.Unmarshal(wire)
+	if err != nil {
+		return fmt.Errorf("core: node %s: %w", n.cfg.Host.Name(), err)
+	}
+	return n.process(ag)
+}
+
+// HandleCall implements transport.Endpoint: methods are namespaced
+// "mechanism/method" and dispatched to the mechanism's CallHandler.
+func (n *Node) HandleCall(method string, body []byte) ([]byte, error) {
+	name, rest, ok := strings.Cut(method, "/")
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", transport.ErrUnknownMethod, method)
+	}
+	for _, m := range n.cfg.Mechanisms {
+		if m.Name() != name {
+			continue
+		}
+		h, ok := m.(CallHandler)
+		if !ok {
+			return nil, fmt.Errorf("%w: mechanism %q takes no calls", transport.ErrUnknownMethod, name)
+		}
+		return h.HandleCall(n.hc, rest, body)
+	}
+	return nil, fmt.Errorf("%w: no mechanism %q", transport.ErrUnknownMethod, name)
+}
+
+// process runs the full per-hop pipeline for one arriving agent.
+func (n *Node) process(ag *agent.Agent) error {
+	hostName := n.cfg.Host.Name()
+
+	// Phase 1: checkAfterSession — verify the previous host's session
+	// as the first action on this host.
+	for _, m := range n.cfg.Mechanisms {
+		v, err := m.CheckAfterSession(n.hc, ag)
+		if err != nil {
+			return fmt.Errorf("core: %s at %s: %w", m.Name(), hostName, err)
+		}
+		if v != nil {
+			n.recordVerdict(ag, *v)
+			if !v.OK && !n.cfg.ContinueOnDetection {
+				n.quarantineAgent(ag)
+				return fmt.Errorf("%w: %s", ErrDetection, v)
+			}
+		}
+	}
+
+	// Phase 2: the execution session itself.
+	rec, err := n.cfg.Host.RunSession(ag, n.cfg.SessionOptions)
+	if err != nil {
+		return fmt.Errorf("core: node %s: %w", hostName, err)
+	}
+
+	// Phase 3a: the agent finished — checkAfterTask on this, the final
+	// host.
+	if rec.ResultEntry == "" {
+		for _, m := range n.cfg.Mechanisms {
+			v, err := m.CheckAfterTask(n.hc, ag, rec)
+			if err != nil {
+				return fmt.Errorf("core: %s at %s: %w", m.Name(), hostName, err)
+			}
+			if v != nil {
+				n.recordVerdict(ag, *v)
+			}
+		}
+		n.complete(ag, false)
+		return nil
+	}
+
+	// Phase 3b: departure — mechanisms attach reference data, then the
+	// agent migrates. Departure runs in *reverse* mechanism order so the
+	// list forms an onion: the first mechanism checks first on arrival
+	// and seals last on departure. A whole-agent signature mechanism
+	// placed first therefore covers every other mechanism's baggage.
+	for i := len(n.cfg.Mechanisms) - 1; i >= 0; i-- {
+		m := n.cfg.Mechanisms[i]
+		if err := m.PrepareDeparture(n.hc, ag, rec); err != nil {
+			return fmt.Errorf("core: %s departure at %s: %w", m.Name(), hostName, err)
+		}
+	}
+	wire, err := ag.Marshal()
+	if err != nil {
+		return fmt.Errorf("core: node %s: %w", hostName, err)
+	}
+	if err := n.cfg.Net.SendAgent(rec.Outcome.MigrateHost, wire); err != nil {
+		return fmt.Errorf("core: node %s forwarding to %s: %w", hostName, rec.Outcome.MigrateHost, err)
+	}
+	return nil
+}
+
+// recordVerdict appends the verdict to the agent's travelling record
+// and notifies the local sink.
+func (n *Node) recordVerdict(ag *agent.Agent, v Verdict) {
+	if n.cfg.OnVerdict != nil {
+		n.cfg.OnVerdict(v)
+	}
+	existing, _ := ag.GetBaggage(verdictBaggageKey)
+	vs, err := decodeVerdicts(existing)
+	if err != nil {
+		vs = nil // corrupted verdict baggage: start fresh, keep the new one
+	}
+	vs = append(vs, v)
+	enc, err := encodeVerdicts(vs)
+	if err != nil {
+		return // encoding canonical Go structs cannot realistically fail
+	}
+	ag.SetBaggage(verdictBaggageKey, enc)
+}
+
+// AgentVerdicts extracts the verdicts accumulated in an agent's
+// baggage.
+func AgentVerdicts(ag *agent.Agent) []Verdict {
+	data, _ := ag.GetBaggage(verdictBaggageKey)
+	vs, err := decodeVerdicts(data)
+	if err != nil {
+		return nil
+	}
+	return vs
+}
+
+func (n *Node) quarantineAgent(ag *agent.Agent) {
+	n.mu.Lock()
+	n.quarantine[ag.ID] = ag
+	n.mu.Unlock()
+	n.complete(ag, true)
+}
+
+func (n *Node) complete(ag *agent.Agent, aborted bool) {
+	if n.cfg.OnComplete != nil {
+		n.cfg.OnComplete(ag, AgentVerdicts(ag), aborted)
+	}
+}
+
+// BaseMechanism provides no-op lifecycle methods; mechanisms embed it
+// and override what they use.
+type BaseMechanism struct{}
+
+// CheckAfterSession implements Mechanism with no check.
+func (BaseMechanism) CheckAfterSession(*HostContext, *agent.Agent) (*Verdict, error) {
+	return nil, nil
+}
+
+// PrepareDeparture implements Mechanism with no preparation.
+func (BaseMechanism) PrepareDeparture(*HostContext, *agent.Agent, *host.SessionRecord) error {
+	return nil
+}
+
+// CheckAfterTask implements Mechanism with no check.
+func (BaseMechanism) CheckAfterTask(*HostContext, *agent.Agent, *host.SessionRecord) (*Verdict, error) {
+	return nil, nil
+}

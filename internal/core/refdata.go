@@ -1,0 +1,278 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"repro/internal/agentlang"
+	"repro/internal/canon"
+	"repro/internal/host"
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+// The requester marker interfaces of Fig. 4. A mechanism implements the
+// interfaces for the reference data its checking algorithm needs; the
+// framework packs exactly the declared data into the agent and the
+// CheckContext serves exactly the declared data back. This mirrors the
+// paper's "similar to the usage of Clonable in Java".
+
+// InitialStateRequester declares need for the initial state.
+type InitialStateRequester interface{ RequestsInitialState() }
+
+// ResultingStateRequester declares need for the resulting state.
+type ResultingStateRequester interface{ RequestsResultingState() }
+
+// InputRequester declares need for the session input.
+type InputRequester interface{ RequestsInput() }
+
+// ExecutionLogRequester declares need for the execution log (trace).
+type ExecutionLogRequester interface{ RequestsExecutionLog() }
+
+// ResourceRequester declares need for the host resources.
+type ResourceRequester interface{ RequestsResource() }
+
+// ErrNotRequested is returned by CheckContext accessors for reference
+// data the mechanism did not declare.
+var ErrNotRequested = errors.New("core: reference data not requested by mechanism")
+
+// ErrNoReference is returned when the agent carries no reference
+// package for the mechanism (e.g. first hop, or a malicious host
+// stripped it).
+var ErrNoReference = errors.New("core: no reference package attached")
+
+// ReferencePackage is the reference data of one execution session, in
+// the combination the mechanism declared (§3.5, "used reference data").
+// It travels in the agent's data part ("all we have to do is to include
+// the data in the data part of the agent as this part is transported
+// automatically", §5).
+type ReferencePackage struct {
+	// Session identification.
+	HostName    string
+	Hop         int
+	Entry       string
+	ResultEntry string
+	// The five reference-data kinds; nil/empty when not requested.
+	InitialState   value.State
+	ResultingState value.State
+	Input          []agentlang.InputRecord
+	Trace          *trace.Trace
+	Resources      map[string]value.Value
+}
+
+// BuildReferencePackage assembles a package from a session record,
+// including only the data kinds the mechanism declares via requester
+// interfaces. Snapshots are deep copies.
+func BuildReferencePackage(m Mechanism, rec *host.SessionRecord, resources map[string]value.Value) *ReferencePackage {
+	pkg := &ReferencePackage{
+		HostName:    rec.HostName,
+		Hop:         rec.Hop,
+		Entry:       rec.Entry,
+		ResultEntry: rec.ResultEntry,
+	}
+	if _, ok := m.(InitialStateRequester); ok {
+		pkg.InitialState = rec.Initial.Clone()
+	}
+	if _, ok := m.(ResultingStateRequester); ok {
+		pkg.ResultingState = rec.Resulting.Clone()
+	}
+	if _, ok := m.(InputRequester); ok {
+		pkg.Input = rec.CloneInput()
+	}
+	if _, ok := m.(ExecutionLogRequester); ok {
+		tr := rec.Trace
+		pkg.Trace = &tr
+	}
+	if _, ok := m.(ResourceRequester); ok {
+		pkg.Resources = make(map[string]value.Value, len(resources))
+		for k, v := range resources {
+			pkg.Resources[k] = v.Clone()
+		}
+	}
+	return pkg
+}
+
+// wireRefPkg is the gob wire form; states and values travel in
+// canonical encoding.
+type wireRefPkg struct {
+	HostName    string
+	Hop         int
+	Entry       string
+	ResultEntry string
+
+	HasInitial   bool
+	InitialEnc   []byte
+	HasResulting bool
+	ResultingEnc []byte
+
+	HasInput   bool
+	InputCalls []string
+	InputArgs  [][][]byte
+	InputRes   [][]byte
+
+	HasTrace bool
+	TraceEnc []byte
+
+	HasResources bool
+	ResourceKeys []string
+	ResourceVals [][]byte
+}
+
+// Marshal serializes the package for agent baggage.
+func (p *ReferencePackage) Marshal() ([]byte, error) {
+	w := wireRefPkg{
+		HostName:    p.HostName,
+		Hop:         p.Hop,
+		Entry:       p.Entry,
+		ResultEntry: p.ResultEntry,
+	}
+	if p.InitialState != nil {
+		w.HasInitial = true
+		w.InitialEnc = canon.EncodeState(p.InitialState)
+	}
+	if p.ResultingState != nil {
+		w.HasResulting = true
+		w.ResultingEnc = canon.EncodeState(p.ResultingState)
+	}
+	if p.Input != nil {
+		w.HasInput = true
+		for _, rec := range p.Input {
+			w.InputCalls = append(w.InputCalls, rec.Call)
+			args := make([][]byte, len(rec.Args))
+			for i, a := range rec.Args {
+				args[i] = canon.EncodeValue(a)
+			}
+			w.InputArgs = append(w.InputArgs, args)
+			w.InputRes = append(w.InputRes, canon.EncodeValue(rec.Result))
+		}
+	}
+	if p.Trace != nil {
+		enc, err := p.Trace.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		w.HasTrace = true
+		w.TraceEnc = enc
+	}
+	if p.Resources != nil {
+		w.HasResources = true
+		for _, k := range value.SortedKeys(p.Resources) {
+			w.ResourceKeys = append(w.ResourceKeys, k)
+			w.ResourceVals = append(w.ResourceVals, canon.EncodeValue(p.Resources[k]))
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("core: encoding reference package: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalReferencePackage parses a package from agent baggage.
+func UnmarshalReferencePackage(data []byte) (*ReferencePackage, error) {
+	var w wireRefPkg
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("core: decoding reference package: %w", err)
+	}
+	p := &ReferencePackage{
+		HostName:    w.HostName,
+		Hop:         w.Hop,
+		Entry:       w.Entry,
+		ResultEntry: w.ResultEntry,
+	}
+	if w.HasInitial {
+		st, err := canon.DecodeState(w.InitialEnc)
+		if err != nil {
+			return nil, fmt.Errorf("core: initial state: %w", err)
+		}
+		p.InitialState = st
+	}
+	if w.HasResulting {
+		st, err := canon.DecodeState(w.ResultingEnc)
+		if err != nil {
+			return nil, fmt.Errorf("core: resulting state: %w", err)
+		}
+		p.ResultingState = st
+	}
+	if w.HasInput {
+		p.Input = make([]agentlang.InputRecord, 0, len(w.InputCalls))
+		for i := range w.InputCalls {
+			rec := agentlang.InputRecord{Seq: i, Call: w.InputCalls[i]}
+			for _, enc := range w.InputArgs[i] {
+				v, err := canon.DecodeValue(enc)
+				if err != nil {
+					return nil, fmt.Errorf("core: input arg: %w", err)
+				}
+				rec.Args = append(rec.Args, v)
+			}
+			res, err := canon.DecodeValue(w.InputRes[i])
+			if err != nil {
+				return nil, fmt.Errorf("core: input result: %w", err)
+			}
+			rec.Result = res
+			p.Input = append(p.Input, rec)
+		}
+	}
+	if w.HasTrace {
+		tr, err := trace.Unmarshal(w.TraceEnc)
+		if err != nil {
+			return nil, err
+		}
+		p.Trace = &tr
+	}
+	if w.HasResources {
+		p.Resources = make(map[string]value.Value, len(w.ResourceKeys))
+		for i, k := range w.ResourceKeys {
+			v, err := canon.DecodeValue(w.ResourceVals[i])
+			if err != nil {
+				return nil, fmt.Errorf("core: resource %q: %w", k, err)
+			}
+			p.Resources[k] = v
+		}
+	}
+	return p, nil
+}
+
+// Digest returns a canonical digest of the package contents, used by
+// mechanisms that sign reference data.
+func (p *ReferencePackage) Digest() canon.Digest {
+	fields := [][]byte{
+		[]byte("refpkg"),
+		[]byte(p.HostName),
+		[]byte(fmt.Sprintf("%d", p.Hop)),
+		[]byte(p.Entry),
+		[]byte(p.ResultEntry),
+	}
+	if p.InitialState != nil {
+		fields = append(fields, []byte("initial"), canon.EncodeState(p.InitialState))
+	}
+	if p.ResultingState != nil {
+		fields = append(fields, []byte("resulting"), canon.EncodeState(p.ResultingState))
+	}
+	if p.Input != nil {
+		fields = append(fields, []byte("input"))
+		for _, rec := range p.Input {
+			// Each record is framed in its own tuple so record boundaries
+			// are unambiguous in the digest.
+			recFields := [][]byte{[]byte(rec.Call)}
+			for _, a := range rec.Args {
+				recFields = append(recFields, canon.EncodeValue(a))
+			}
+			recFields = append(recFields, canon.EncodeValue(rec.Result))
+			fields = append(fields, canon.Tuple(recFields...))
+		}
+	}
+	if p.Trace != nil {
+		d := p.Trace.Digest()
+		fields = append(fields, []byte("trace"), d[:])
+	}
+	if p.Resources != nil {
+		fields = append(fields, []byte("resources"))
+		for _, k := range value.SortedKeys(p.Resources) {
+			fields = append(fields, []byte(k), canon.EncodeValue(p.Resources[k]))
+		}
+	}
+	return canon.HashTuple(fields...)
+}

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/agentlang"
+	"repro/internal/host"
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+// Requester-combination test mechanisms.
+type wantsNothing struct{ BaseMechanism }
+
+func (wantsNothing) Name() string { return "nothing" }
+
+type wantsAll struct{ BaseMechanism }
+
+func (wantsAll) Name() string            { return "all" }
+func (wantsAll) RequestsInitialState()   {}
+func (wantsAll) RequestsResultingState() {}
+func (wantsAll) RequestsInput()          {}
+func (wantsAll) RequestsExecutionLog()   {}
+func (wantsAll) RequestsResource()       {}
+
+type wantsStates struct{ BaseMechanism }
+
+func (wantsStates) Name() string            { return "states" }
+func (wantsStates) RequestsInitialState()   {}
+func (wantsStates) RequestsResultingState() {}
+
+func sampleRecord() *host.SessionRecord {
+	return &host.SessionRecord{
+		HostName:    "h1",
+		Hop:         3,
+		Entry:       "main",
+		ResultEntry: "step",
+		Initial:     value.State{"x": value.Int(1)},
+		Resulting:   value.State{"x": value.Int(2), "y": value.Str("s")},
+		Input: []agentlang.InputRecord{
+			{Seq: 0, Call: "read", Args: []value.Value{value.Str("k")}, Result: value.Int(7)},
+			{Seq: 1, Call: "time", Result: value.Int(99)},
+		},
+		Trace: trace.Trace{Entries: []trace.Entry{
+			{StmtID: 1, Bindings: []trace.Binding{{Name: "x", Val: value.Int(7)}}},
+			{StmtID: 2},
+		}},
+	}
+}
+
+func TestBuildReferencePackageHonorsRequesters(t *testing.T) {
+	rec := sampleRecord()
+	resources := map[string]value.Value{"db": value.Int(5)}
+
+	full := BuildReferencePackage(wantsAll{}, rec, resources)
+	if full.InitialState == nil || full.ResultingState == nil || full.Input == nil ||
+		full.Trace == nil || full.Resources == nil {
+		t.Error("wantsAll package missing declared data")
+	}
+
+	none := BuildReferencePackage(wantsNothing{}, rec, resources)
+	if none.InitialState != nil || none.ResultingState != nil || none.Input != nil ||
+		none.Trace != nil || none.Resources != nil {
+		t.Error("wantsNothing package carries undeclared data")
+	}
+	if none.HostName != "h1" || none.Hop != 3 || none.Entry != "main" || none.ResultEntry != "step" {
+		t.Error("session identification must always be present")
+	}
+
+	partial := BuildReferencePackage(wantsStates{}, rec, resources)
+	if partial.InitialState == nil || partial.ResultingState == nil {
+		t.Error("wantsStates package missing states")
+	}
+	if partial.Input != nil || partial.Trace != nil || partial.Resources != nil {
+		t.Error("wantsStates package carries undeclared data")
+	}
+}
+
+func TestBuildReferencePackageDeepCopies(t *testing.T) {
+	rec := sampleRecord()
+	pkg := BuildReferencePackage(wantsAll{}, rec, nil)
+	rec.Initial["x"] = value.Int(999)
+	rec.Input[0].Result = value.Int(999)
+	if pkg.InitialState["x"].Int != 1 {
+		t.Error("package shares initial state with record")
+	}
+	if pkg.Input[0].Result.Int != 7 {
+		t.Error("package shares input with record")
+	}
+}
+
+func TestReferencePackageMarshalRoundTrip(t *testing.T) {
+	rec := sampleRecord()
+	pkg := BuildReferencePackage(wantsAll{}, rec, map[string]value.Value{"db": value.List(value.Int(1))})
+	data, err := pkg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalReferencePackage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != pkg.Digest() {
+		t.Error("digest changed across marshal round trip")
+	}
+	if got.HostName != "h1" || got.Hop != 3 {
+		t.Error("identification lost")
+	}
+	if !got.InitialState.Equal(pkg.InitialState) || !got.ResultingState.Equal(pkg.ResultingState) {
+		t.Error("states lost")
+	}
+	if len(got.Input) != 2 || got.Input[0].Call != "read" || !got.Input[0].Result.Equal(value.Int(7)) {
+		t.Errorf("input lost: %+v", got.Input)
+	}
+	if got.Trace == nil || got.Trace.Digest() != pkg.Trace.Digest() {
+		t.Error("trace lost")
+	}
+	if got.Resources["db"].List[0].Int != 1 {
+		t.Error("resources lost")
+	}
+}
+
+func TestReferencePackageMarshalMinimal(t *testing.T) {
+	pkg := BuildReferencePackage(wantsNothing{}, sampleRecord(), nil)
+	data, err := pkg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalReferencePackage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.InitialState != nil || got.Input != nil || got.Trace != nil {
+		t.Error("minimal package grew data")
+	}
+	if _, err := UnmarshalReferencePackage([]byte("junk")); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+func TestReferencePackageDigestSensitivity(t *testing.T) {
+	rec := sampleRecord()
+	base := BuildReferencePackage(wantsAll{}, rec, nil).Digest()
+
+	mut := sampleRecord()
+	mut.Resulting["x"] = value.Int(777)
+	if BuildReferencePackage(wantsAll{}, mut, nil).Digest() == base {
+		t.Error("digest insensitive to resulting state")
+	}
+	mut2 := sampleRecord()
+	mut2.Input[0].Result = value.Int(777)
+	if BuildReferencePackage(wantsAll{}, mut2, nil).Digest() == base {
+		t.Error("digest insensitive to input")
+	}
+	mut3 := sampleRecord()
+	mut3.Hop = 4
+	if BuildReferencePackage(wantsAll{}, mut3, nil).Digest() == base {
+		t.Error("digest insensitive to hop")
+	}
+}
+
+func TestCheckContextEnforcesRequesters(t *testing.T) {
+	rec := sampleRecord()
+	pkgAll := BuildReferencePackage(wantsAll{}, rec, map[string]value.Value{"r": value.Int(1)})
+
+	// A mechanism that declared nothing gets nothing, even though the
+	// package happens to contain everything.
+	ccNone := NewCheckContext(wantsNothing{}, pkgAll, nil, nil, AfterSession)
+	if _, err := ccNone.InitialState(); !errors.Is(err, ErrNotRequested) {
+		t.Errorf("InitialState: %v", err)
+	}
+	if _, err := ccNone.ResultingState(); !errors.Is(err, ErrNotRequested) {
+		t.Errorf("ResultingState: %v", err)
+	}
+	if _, err := ccNone.Input(); !errors.Is(err, ErrNotRequested) {
+		t.Errorf("Input: %v", err)
+	}
+	if _, err := ccNone.ExecutionLog(); !errors.Is(err, ErrNotRequested) {
+		t.Errorf("ExecutionLog: %v", err)
+	}
+	if _, err := ccNone.Resource(); !errors.Is(err, ErrNotRequested) {
+		t.Errorf("Resource: %v", err)
+	}
+
+	ccAll := NewCheckContext(wantsAll{}, pkgAll, nil, nil, AfterSession)
+	if st, err := ccAll.InitialState(); err != nil || st["x"].Int != 1 {
+		t.Errorf("InitialState: %v %v", st, err)
+	}
+	if st, err := ccAll.ResultingState(); err != nil || st["y"].Str != "s" {
+		t.Errorf("ResultingState: %v %v", st, err)
+	}
+	if in, err := ccAll.Input(); err != nil || len(in) != 2 {
+		t.Errorf("Input: %v %v", in, err)
+	}
+	if tr, err := ccAll.ExecutionLog(); err != nil || tr.Len() != 2 {
+		t.Errorf("ExecutionLog: %v", err)
+	}
+	if rs, err := ccAll.Resource(); err != nil || rs["r"].Int != 1 {
+		t.Errorf("Resource: %v", err)
+	}
+}
+
+func TestCheckContextMissingReference(t *testing.T) {
+	// Declared but absent (e.g. stripped by a malicious host): the
+	// accessor reports ErrNoReference.
+	pkgEmpty := BuildReferencePackage(wantsNothing{}, sampleRecord(), nil)
+	cc := NewCheckContext(wantsAll{}, pkgEmpty, nil, nil, AfterSession)
+	if _, err := cc.InitialState(); !errors.Is(err, ErrNoReference) {
+		t.Errorf("InitialState on empty pkg: %v", err)
+	}
+	ccNil := NewCheckContext(wantsAll{}, nil, nil, nil, AfterSession)
+	if _, err := ccNil.Input(); !errors.Is(err, ErrNoReference) {
+		t.Errorf("Input on nil pkg: %v", err)
+	}
+}
+
+// reexecMech is a minimal mechanism carrying a ReExecChecker.
+type reexecMech struct{ BaseMechanism }
+
+func (reexecMech) Name() string            { return "reexec-test" }
+func (reexecMech) RequestsInitialState()   {}
+func (reexecMech) RequestsResultingState() {}
+func (reexecMech) RequestsInput()          {}
+
+const reexecCode = `
+proc main() {
+    offer = read("price")
+    best = offer * 2
+    migrate("h2", "next")
+}
+proc next() { done() }`
+
+// runReexecSession executes one real session and returns the agent and
+// the truthful record.
+func runReexecSession(t *testing.T) (*agent.Agent, *host.SessionRecord) {
+	t.Helper()
+	tb := newTestbed(t)
+	tb.addHost("solo", true, nil, func(c *host.Config) {
+		c.Resources = map[string]value.Value{"price": value.Int(21)}
+	})
+	ag := mkAgent(t, reexecCode)
+	rec, err := tb.nodes["solo"].Host().RunSession(ag, host.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ag, rec
+}
+
+func TestReExecCheckerAcceptsHonestSession(t *testing.T) {
+	ag, rec := runReexecSession(t)
+	pkg := BuildReferencePackage(reexecMech{}, rec, nil)
+	cc := NewCheckContext(reexecMech{}, pkg, ag, nil, AfterSession)
+	checker := &ReExecChecker{}
+	ok, evidence, err := checker.Check(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("honest session rejected: %v", evidence)
+	}
+}
+
+func TestReExecCheckerDetectsStateTampering(t *testing.T) {
+	ag, rec := runReexecSession(t)
+	rec.Resulting["best"] = value.Int(1) // manipulate the result
+	pkg := BuildReferencePackage(reexecMech{}, rec, nil)
+	cc := NewCheckContext(reexecMech{}, pkg, ag, nil, AfterSession)
+	ok, evidence, err := (&ReExecChecker{}).Check(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("tampered resulting state accepted")
+	}
+	if len(evidence) == 0 {
+		t.Error("no evidence produced")
+	}
+}
+
+func TestReExecCheckerDetectsEntryRedirect(t *testing.T) {
+	ag, rec := runReexecSession(t)
+	rec.ResultEntry = "main" // claim the agent continues at a different proc
+	pkg := BuildReferencePackage(reexecMech{}, rec, nil)
+	cc := NewCheckContext(reexecMech{}, pkg, ag, nil, AfterSession)
+	ok, evidence, err := (&ReExecChecker{}).Check(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("entry redirect accepted: %v", evidence)
+	}
+}
+
+func TestReExecCheckerDetectsExtraInput(t *testing.T) {
+	ag, rec := runReexecSession(t)
+	rec.Input = append(rec.Input, agentlang.InputRecord{
+		Seq: len(rec.Input), Call: "read",
+		Args: []value.Value{value.Str("phantom")}, Result: value.Int(0),
+	})
+	pkg := BuildReferencePackage(reexecMech{}, rec, nil)
+	cc := NewCheckContext(reexecMech{}, pkg, ag, nil, AfterSession)
+	ok, _, err := (&ReExecChecker{}).Check(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("padded input log accepted")
+	}
+}
+
+func TestReExecCheckerDetectsTruncatedInput(t *testing.T) {
+	ag, rec := runReexecSession(t)
+	rec.Input = rec.Input[:0]
+	pkg := BuildReferencePackage(reexecMech{}, rec, nil)
+	cc := NewCheckContext(reexecMech{}, pkg, ag, nil, AfterSession)
+	ok, evidence, err := (&ReExecChecker{}).Check(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("truncated input accepted: %v", evidence)
+	}
+}
+
+func TestReExecCheckerErrsWithoutReferenceData(t *testing.T) {
+	ag, _ := runReexecSession(t)
+	cc := NewCheckContext(reexecMech{}, nil, ag, nil, AfterSession)
+	if _, _, err := (&ReExecChecker{}).Check(cc); !errors.Is(err, ErrNoReference) {
+		t.Errorf("err = %v, want ErrNoReference", err)
+	}
+}
+
+func TestProgramChecker(t *testing.T) {
+	called := false
+	pc := ProgramChecker(func(cc *CheckContext) (bool, []string, error) {
+		called = true
+		return false, []string{"custom"}, nil
+	})
+	ok, ev, err := pc.Check(&CheckContext{})
+	if err != nil || ok || !called || len(ev) != 1 {
+		t.Errorf("ProgramChecker: ok=%v ev=%v err=%v called=%v", ok, ev, err, called)
+	}
+}
+
+func TestStrictComparer(t *testing.T) {
+	a := value.State{"x": value.Int(1)}
+	if ok, _ := StrictComparer(a, a.Clone()); !ok {
+		t.Error("equal states rejected")
+	}
+	ok, diffs := StrictComparer(a, value.State{"x": value.Int(2)})
+	if ok || len(diffs) != 1 {
+		t.Errorf("diffs = %v", diffs)
+	}
+}
+
+func TestUnorderedListComparer(t *testing.T) {
+	cmp := UnorderedListComparer("offers")
+	a := value.State{
+		"offers": value.List(value.Int(3), value.Int(1), value.Int(2)),
+		"n":      value.Int(3),
+	}
+	b := value.State{
+		"offers": value.List(value.Int(1), value.Int(2), value.Int(3)),
+		"n":      value.Int(3),
+	}
+	if ok, diffs := cmp(a, b); !ok {
+		t.Errorf("permuted list rejected: %v", diffs)
+	}
+	// Multiset inequality still detected.
+	c := value.State{
+		"offers": value.List(value.Int(1), value.Int(1), value.Int(3)),
+		"n":      value.Int(3),
+	}
+	if ok, _ := cmp(a, c); ok {
+		t.Error("different multiset accepted")
+	}
+	// Other variables remain strict.
+	d := b.Clone()
+	d["n"] = value.Int(4)
+	if ok, _ := cmp(a, d); ok {
+		t.Error("strict variable difference ignored")
+	}
+	// Inputs must not be mutated by normalization.
+	if a["offers"].List[0].Int != 3 {
+		t.Error("comparer mutated its input")
+	}
+}

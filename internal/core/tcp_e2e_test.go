@@ -1,0 +1,197 @@
+package core_test
+
+import (
+	"errors"
+
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/refproto"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/value"
+	"repro/internal/wholesig"
+)
+
+// TestTCPEndToEnd runs the full stack — agent, platform nodes, the
+// example mechanism, whole-agent signatures — over real TCP sockets:
+// the deployment shape of cmd/agenthost. One journey is honest; one
+// has a tampering middle host whose attack must be detected across the
+// wire.
+func TestTCPEndToEnd(t *testing.T) {
+	run := func(t *testing.T, tamper bool) ([]core.Verdict, *agent.Agent, error) {
+		t.Helper()
+		reg := sigcrypto.NewRegistry()
+		net := transport.NewTCPNetwork(nil)
+
+		var verdicts []core.Verdict
+		var completed *agent.Agent
+		var servers []*transport.Server
+		t.Cleanup(func() {
+			for _, s := range servers {
+				if err := s.Close(); err != nil {
+					t.Errorf("closing server: %v", err)
+				}
+			}
+		})
+
+		for i, name := range []string{"home", "mid", "back"} {
+			keys, err := sigcrypto.GenerateKeyPair(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := host.Config{
+				Name:     name,
+				Keys:     keys,
+				Registry: reg,
+				Trusted:  i != 1,
+				Resources: map[string]value.Value{
+					"data": value.Int(int64(10 * (i + 1))),
+				},
+			}
+			if name == "mid" && tamper {
+				cfg.Behavior = attack.DataManipulation{Var: "acc", Val: value.Int(-1)}
+			}
+			h, err := host.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			node, err := core.NewNode(core.NodeConfig{
+				Host: h,
+				Net:  net,
+				Mechanisms: []core.Mechanism{
+					wholesig.New(nil),
+					refproto.New(refproto.Config{}),
+				},
+				OnVerdict: func(v core.Verdict) { verdicts = append(verdicts, v) },
+				OnComplete: func(ag *agent.Agent, _ []core.Verdict, aborted bool) {
+					if !aborted {
+						completed = ag
+					}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, err := transport.Serve("127.0.0.1:0", node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			servers = append(servers, srv)
+			net.AddHost(name, srv.Addr())
+		}
+
+		ag, err := agent.New("tcp-agent", "owner", `
+proc main() {
+    acc = resource("data")
+    migrate("mid", "step")
+}
+proc step() {
+    acc = acc + resource("data")
+    migrate("back", "fin")
+}
+proc fin() {
+    acc = acc + resource("data")
+    done()
+}`, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := ag.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sendErr := net.SendAgent("home", wire)
+		return verdicts, completed, sendErr
+	}
+
+	t.Run("honest", func(t *testing.T) {
+		verdicts, completed, err := run(t, false)
+		if err != nil {
+			t.Fatalf("honest journey: %v", err)
+		}
+		if completed == nil {
+			t.Fatal("agent did not complete")
+		}
+		if completed.State["acc"].Int != 60 {
+			t.Errorf("acc = %s, want 60", completed.State["acc"])
+		}
+		for _, v := range verdicts {
+			if !v.OK {
+				t.Errorf("failed verdict on honest TCP run: %s", v)
+			}
+		}
+	})
+
+	t.Run("tampering", func(t *testing.T) {
+		verdicts, _, err := run(t, true)
+		if err == nil {
+			t.Fatal("tampering journey completed without error")
+		}
+		// The detection error crosses the TCP boundary as a RemoteError
+		// chain; the local verdict on the detecting node names the
+		// suspect.
+		var re *transport.RemoteError
+		if !errors.As(err, &re) && !errors.Is(err, core.ErrDetection) {
+			t.Errorf("err = %v, want remote detection", err)
+		}
+		found := false
+		for _, v := range verdicts {
+			if !v.OK && v.Suspect == "mid" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no verdict blaming mid; got %v", verdicts)
+		}
+	})
+}
+
+// TestTCPVignaAuditAcrossSockets exercises the audit call path over
+// real TCP.
+func TestTCPVignaAuditAcrossSockets(t *testing.T) {
+	// Covered structurally by vigna tests over InProc; this test pins
+	// that mechanism protocol calls (namespaced methods) work through
+	// the TCP server dispatch.
+	reg := sigcrypto.NewRegistry()
+	net := transport.NewTCPNetwork(nil)
+	keys, err := sigcrypto.GenerateKeyPair("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := host.New(host.Config{Name: "solo", Keys: keys, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := core.NewNode(core.NodeConfig{
+		Host: h, Net: net,
+		Mechanisms: []core.Mechanism{refproto.New(refproto.Config{})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := transport.Serve("127.0.0.1:0", node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	net.AddHost("solo", srv.Addr())
+
+	// refproto takes no calls: the namespaced dispatch must answer with
+	// a remote error, not hang or crash.
+	_, err = net.Call("solo", "refproto/anything", nil)
+	var re *transport.RemoteError
+	if !errors.As(err, &re) {
+		t.Errorf("err = %v, want RemoteError", err)
+	}
+	if _, err := net.Call("solo", "nope/x", nil); err == nil {
+		t.Error("unknown mechanism call succeeded")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+)
+
+// Moment identifies when a check runs (paper §3.5, "moment of
+// checking").
+type Moment int
+
+const (
+	// AfterSession checks one execution session, as the first action on
+	// the following host.
+	AfterSession Moment = iota + 1
+	// AfterTask checks the whole journey on the final host.
+	AfterTask
+)
+
+// String returns the framework callback name associated with the
+// moment, matching Fig. 4.
+func (m Moment) String() string {
+	switch m {
+	case AfterSession:
+		return "checkAfterSession"
+	case AfterTask:
+		return "checkAfterTask"
+	default:
+		return fmt.Sprintf("moment(%d)", int(m))
+	}
+}
+
+// Verdict is the outcome of one check.
+type Verdict struct {
+	// Mechanism names the mechanism that produced the verdict.
+	Mechanism string
+	// Moment is when the check ran.
+	Moment Moment
+	// CheckedHost is the host whose execution was examined; CheckedHop
+	// its session index. For AfterTask verdicts covering the whole
+	// journey, CheckedHost may be empty.
+	CheckedHost string
+	CheckedHop  int
+	// Checker is the host that performed the check.
+	Checker string
+	// OK reports whether the execution was found consistent.
+	OK bool
+	// Suspect is the principal blamed when OK is false.
+	Suspect string
+	// Reason is a one-line explanation.
+	Reason string
+	// Evidence holds supporting detail, e.g. state diffs (the example
+	// mechanism "is able to present the complete state of an attacked
+	// agent", §5.1).
+	Evidence []string
+}
+
+// String renders the verdict for logs.
+func (v Verdict) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s/%s]", v.Mechanism, v.Moment)
+	if v.CheckedHost != "" {
+		fmt.Fprintf(&b, " session %d@%s", v.CheckedHop, v.CheckedHost)
+	}
+	if v.Checker != "" {
+		fmt.Fprintf(&b, " checked by %s", v.Checker)
+	}
+	if v.OK {
+		b.WriteString(": OK")
+	} else {
+		fmt.Fprintf(&b, ": ATTACK DETECTED (suspect %s): %s", v.Suspect, v.Reason)
+		for _, e := range v.Evidence {
+			fmt.Fprintf(&b, "\n    evidence: %s", e)
+		}
+	}
+	return b.String()
+}
+
+// verdictBaggageKey is where accumulated verdicts travel inside the
+// agent so the final host (usually the owner's home host) sees the
+// whole journey's results.
+const verdictBaggageKey = "core/verdicts"
+
+// encodeVerdicts serializes a verdict list for agent baggage.
+func encodeVerdicts(vs []Verdict) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(vs); err != nil {
+		return nil, fmt.Errorf("core: encoding verdicts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeVerdicts parses a verdict list from agent baggage.
+func decodeVerdicts(data []byte) ([]Verdict, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	var vs []Verdict
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&vs); err != nil {
+		return nil, fmt.Errorf("core: decoding verdicts: %w", err)
+	}
+	return vs, nil
+}

@@ -1,0 +1,147 @@
+// Package platformtest provides a shared in-process test bed: a set of
+// platform nodes wired through an InProc network with a common key
+// registry, verdict collection, and completion tracking. The mechanism
+// packages' integration tests and the benchmark harness build on it.
+package platformtest
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+)
+
+// Bed is a running multi-host deployment.
+type Bed struct {
+	TB  testing.TB
+	Reg *sigcrypto.Registry
+	// InProc is the underlying network; Net is what nodes send through
+	// (possibly an attack interceptor wrapped around InProc).
+	InProc *transport.InProc
+	Net    transport.Network
+	Nodes  map[string]*core.Node
+
+	mu        sync.Mutex
+	verdicts  []core.Verdict
+	completed []*agent.Agent
+	aborted   bool
+}
+
+// New creates an empty test bed.
+func New(tb testing.TB) *Bed {
+	inproc := transport.NewInProc()
+	return &Bed{
+		TB:     tb,
+		Reg:    sigcrypto.NewRegistry(),
+		InProc: inproc,
+		Net:    inproc,
+		Nodes:  make(map[string]*core.Node),
+	}
+}
+
+// WrapNet interposes a network wrapper (e.g. an attack interceptor).
+// Call before AddHost; nodes created afterwards send through the
+// wrapped network. Deliveries still arrive via the InProc registry.
+func (b *Bed) WrapNet(wrap func(transport.Network) transport.Network) {
+	b.Net = wrap(b.Net)
+}
+
+// HostOptions configures one host in the bed.
+type HostOptions struct {
+	Trusted bool
+	// Mechanisms builds the node's mechanism list; instances must be
+	// per-node, hence a factory. May be nil.
+	Mechanisms func() []core.Mechanism
+	// Configure mutates the host config (resources, behaviour, trace
+	// recording). May be nil.
+	Configure func(*host.Config)
+	// Node mutates the node config before creation. May be nil.
+	Node func(*core.NodeConfig)
+}
+
+// AddHost creates a host + node and registers it in the network.
+func (b *Bed) AddHost(name string, opts HostOptions) *core.Node {
+	b.TB.Helper()
+	keys, err := sigcrypto.GenerateKeyPair(name)
+	if err != nil {
+		b.TB.Fatal(err)
+	}
+	hcfg := host.Config{Name: name, Keys: keys, Registry: b.Reg, Trusted: opts.Trusted}
+	if opts.Configure != nil {
+		opts.Configure(&hcfg)
+	}
+	h, err := host.New(hcfg)
+	if err != nil {
+		b.TB.Fatal(err)
+	}
+	var mechs []core.Mechanism
+	if opts.Mechanisms != nil {
+		mechs = opts.Mechanisms()
+	}
+	ncfg := core.NodeConfig{
+		Host:       h,
+		Net:        b.Net,
+		Mechanisms: mechs,
+		OnVerdict: func(v core.Verdict) {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			b.verdicts = append(b.verdicts, v)
+		},
+		OnComplete: func(ag *agent.Agent, vs []core.Verdict, aborted bool) {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			b.completed = append(b.completed, ag)
+			b.aborted = aborted
+		},
+	}
+	if opts.Node != nil {
+		opts.Node(&ncfg)
+	}
+	node, err := core.NewNode(ncfg)
+	if err != nil {
+		b.TB.Fatal(err)
+	}
+	b.Nodes[name] = node
+	b.InProc.Register(name, node)
+	return node
+}
+
+// Verdicts returns all verdicts observed so far.
+func (b *Bed) Verdicts() []core.Verdict {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]core.Verdict(nil), b.verdicts...)
+}
+
+// FailedVerdicts returns the verdicts with OK == false.
+func (b *Bed) FailedVerdicts() []core.Verdict {
+	var out []core.Verdict
+	for _, v := range b.Verdicts() {
+		if !v.OK {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Completed returns agents that finished (or aborted) and whether the
+// last completion was an abort.
+func (b *Bed) Completed() ([]*agent.Agent, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]*agent.Agent(nil), b.completed...), b.aborted
+}
+
+// NewAgent builds an agent with entry "main".
+func (b *Bed) NewAgent(id, code string) *agent.Agent {
+	b.TB.Helper()
+	ag, err := agent.New(id, "owner", code, "main")
+	if err != nil {
+		b.TB.Fatal(err)
+	}
+	return ag
+}

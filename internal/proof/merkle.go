@@ -1,0 +1,112 @@
+package proof
+
+import (
+	"fmt"
+
+	"repro/internal/canon"
+)
+
+// Merkle tree over trace-entry digests, with domain-separated leaf and
+// interior hashing (preventing leaf/node confusion attacks). The last
+// leaf is duplicated at odd levels, the classic balanced construction.
+
+// merkleLeaf / merkleNode compute the domain-separated hashes.
+func merkleLeaf(d canon.Digest) canon.Digest {
+	return canon.HashTuple([]byte("merkle-leaf"), d[:])
+}
+
+func merkleNode(l, r canon.Digest) canon.Digest {
+	return canon.HashTuple([]byte("merkle-node"), l[:], r[:])
+}
+
+// Tree is a Merkle tree with all levels retained (the prover keeps it
+// to answer openings).
+type Tree struct {
+	// levels[0] is the leaf-hash level; the last level has one root.
+	levels [][]canon.Digest
+}
+
+// BuildTree hashes the given leaf digests into a tree. At least one
+// leaf is required.
+func BuildTree(leaves []canon.Digest) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("proof: cannot build a tree over zero leaves")
+	}
+	level := make([]canon.Digest, len(leaves))
+	for i, d := range leaves {
+		level[i] = merkleLeaf(d)
+	}
+	t := &Tree{levels: [][]canon.Digest{level}}
+	for len(level) > 1 {
+		next := make([]canon.Digest, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, merkleNode(level[i], level[i+1]))
+			} else {
+				next = append(next, merkleNode(level[i], level[i]))
+			}
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t, nil
+}
+
+// Root returns the tree root.
+func (t *Tree) Root() canon.Digest {
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// N returns the number of leaves.
+func (t *Tree) N() int { return len(t.levels[0]) }
+
+// PathElem is one sibling on an opening path. The sibling's side is
+// not carried on the wire: the verifier derives it from the claimed
+// index, so an opening cannot be replayed at a different position.
+type PathElem struct {
+	Sibling canon.Digest
+}
+
+// Open returns the authentication path for leaf index i.
+func (t *Tree) Open(i int) ([]PathElem, error) {
+	if i < 0 || i >= t.N() {
+		return nil, fmt.Errorf("proof: leaf index %d out of range (n=%d)", i, t.N())
+	}
+	var path []PathElem
+	idx := i
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		level := t.levels[lvl]
+		sib := idx ^ 1
+		if sib >= len(level) {
+			sib = idx // odd level: duplicated self
+		}
+		path = append(path, PathElem{Sibling: level[sib]})
+		idx /= 2
+	}
+	return path, nil
+}
+
+// VerifyPath checks that a leaf digest at index i authenticates against
+// the root via the given path, for a tree of n leaves.
+func VerifyPath(leaf canon.Digest, i, n int, path []PathElem, root canon.Digest) bool {
+	if i < 0 || i >= n || n <= 0 {
+		return false
+	}
+	cur := merkleLeaf(leaf)
+	idx := i
+	width := n
+	for _, el := range path {
+		if idx%2 == 1 {
+			cur = merkleNode(el.Sibling, cur)
+		} else {
+			cur = merkleNode(cur, el.Sibling)
+		}
+		idx /= 2
+		width = (width + 1) / 2
+	}
+	if width != 1 {
+		return false
+	}
+	return cur == root
+}

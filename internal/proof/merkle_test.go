@@ -1,0 +1,184 @@
+package proof
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/canon"
+)
+
+func leaves(n int) []canon.Digest {
+	out := make([]canon.Digest, n)
+	for i := range out {
+		out[i] = canon.HashBytes([]byte{byte(i), byte(i >> 8)})
+	}
+	return out
+}
+
+func TestBuildTreeValidation(t *testing.T) {
+	if _, err := BuildTree(nil); err == nil {
+		t.Error("empty tree built")
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	ls := leaves(1)
+	tr, err := BuildTree(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := tr.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 0 {
+		t.Errorf("single-leaf path length %d", len(path))
+	}
+	if !VerifyPath(ls[0], 0, 1, path, tr.Root()) {
+		t.Error("single leaf does not verify")
+	}
+}
+
+func TestAllLeavesVerifyAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 100} {
+		ls := leaves(n)
+		tr, err := BuildTree(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			path, err := tr.Open(i)
+			if err != nil {
+				t.Fatalf("n=%d open(%d): %v", n, i, err)
+			}
+			if !VerifyPath(ls[i], i, n, path, tr.Root()) {
+				t.Errorf("n=%d leaf %d does not verify", n, i)
+			}
+		}
+	}
+}
+
+func TestWrongLeafFails(t *testing.T) {
+	ls := leaves(9)
+	tr, err := BuildTree(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		path, err := tr.Open(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := ls[i]
+		bad[0] ^= 1
+		if VerifyPath(bad, i, 9, path, tr.Root()) {
+			t.Errorf("tampered leaf %d verified", i)
+		}
+		// Wrong index with right leaf must also fail (except by rare
+		// structural coincidence — none at this size).
+		other := (i + 1) % 9
+		if VerifyPath(ls[i], other, 9, path, tr.Root()) {
+			t.Errorf("leaf %d verified at index %d", i, other)
+		}
+	}
+}
+
+func TestTruncatedPathFails(t *testing.T) {
+	ls := leaves(16)
+	tr, err := BuildTree(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := tr.Open(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyPath(ls[5], 5, 16, path[:len(path)-1], tr.Root()) {
+		t.Error("truncated path verified")
+	}
+	if VerifyPath(ls[5], 5, 16, append(path, path[0]), tr.Root()) {
+		t.Error("padded path verified")
+	}
+}
+
+func TestOpenOutOfRange(t *testing.T) {
+	tr, err := BuildTree(leaves(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Open(-1); err == nil {
+		t.Error("Open(-1) succeeded")
+	}
+	if _, err := tr.Open(4); err == nil {
+		t.Error("Open(4) succeeded")
+	}
+	if VerifyPath(leaves(1)[0], -1, 4, nil, tr.Root()) {
+		t.Error("negative index verified")
+	}
+}
+
+func TestRootSensitivity(t *testing.T) {
+	ls := leaves(8)
+	tr1, err := BuildTree(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls2 := leaves(8)
+	ls2[3][0] ^= 1
+	tr2, err := BuildTree(ls2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Root() == tr2.Root() {
+		t.Error("different leaves, same root")
+	}
+	// Order matters.
+	ls3 := leaves(8)
+	ls3[0], ls3[1] = ls3[1], ls3[0]
+	tr3, err := BuildTree(ls3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Root() == tr3.Root() {
+		t.Error("permuted leaves, same root")
+	}
+}
+
+func TestPathLengthLogarithmic(t *testing.T) {
+	tr, err := BuildTree(leaves(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := tr.Open(513)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 10 {
+		t.Errorf("path length %d for n=1024, want 10", len(path))
+	}
+}
+
+func TestRandomizedProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(64)
+		ls := make([]canon.Digest, n)
+		for i := range ls {
+			var b [8]byte
+			r.Read(b[:])
+			ls[i] = canon.HashBytes(b[:])
+		}
+		tr, err := BuildTree(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := r.Intn(n)
+		path, err := tr.Open(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyPath(ls[i], i, n, path, tr.Root()) {
+			t.Fatalf("trial %d: n=%d i=%d does not verify", trial, n, i)
+		}
+	}
+}

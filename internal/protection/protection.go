@@ -1,0 +1,114 @@
+// Package protection assembles mechanism stacks for the protection
+// levels spanned by the framework's attribute space (paper §4.1). The
+// agent programmer picks a Level; the platform instantiates the
+// matching mechanisms on every node.
+//
+// The levels trace the paper's "protection bandwidth":
+//
+//   - LevelNone: nothing — the unprotected baseline.
+//   - LevelSigned: whole-agent signatures only (the paper's "plain"
+//     measurement configuration: "without using the protocol (but
+//     being signed and verified as a whole)").
+//   - LevelRules: signatures + state appraisal ("the lower end of the
+//     protection scale ... uses only the resulting agent state, and
+//     employs rules").
+//   - LevelTraces: signatures + Vigna traces (suspicion-driven owner
+//     audit; requires trace-recording hosts).
+//   - LevelFull: signatures + the example mechanism ("the higher end":
+//     every session checked by the next host via re-execution).
+//
+// Levels are independent presets, not a strict subset chain; custom
+// combinations can always be assembled by hand from the mechanism
+// packages.
+package protection
+
+import (
+	"fmt"
+
+	"repro/internal/agentlang"
+	appraisalpkg "repro/internal/appraisal"
+	"repro/internal/core"
+	"repro/internal/refproto"
+	"repro/internal/stopwatch"
+	"repro/internal/vigna"
+	"repro/internal/wholesig"
+)
+
+// Level selects a protection preset.
+type Level int
+
+// The presets, ordered by increasing protection.
+const (
+	LevelNone Level = iota + 1
+	LevelSigned
+	LevelRules
+	LevelTraces
+	LevelFull
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelSigned:
+		return "signed"
+	case LevelRules:
+		return "rules"
+	case LevelTraces:
+		return "traces"
+	case LevelFull:
+		return "full"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// ParseLevel converts a string (as used by command-line flags).
+func ParseLevel(s string) (Level, error) {
+	for _, l := range []Level{LevelNone, LevelSigned, LevelRules, LevelTraces, LevelFull} {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("protection: unknown level %q (want none|signed|rules|traces|full)", s)
+}
+
+// Options carries per-level parameters.
+type Options struct {
+	// Timer receives sign&verify time accounting; may be nil.
+	Timer *stopwatch.PhaseTimer
+	// Compare overrides the resulting-state comparison for LevelFull.
+	Compare core.StateComparer
+	// Fuel bounds checking re-executions.
+	Fuel int64
+	// ExecHook observes checking re-executions (benchmark phase
+	// timing); may be nil.
+	ExecHook agentlang.Hook
+}
+
+// Mechanisms builds a fresh per-node mechanism stack for the level.
+// Call once per node: mechanism instances hold per-node protocol state.
+func Mechanisms(l Level, opts Options) ([]core.Mechanism, error) {
+	switch l {
+	case LevelNone:
+		return nil, nil
+	case LevelSigned:
+		return []core.Mechanism{wholesig.New(opts.Timer)}, nil
+	case LevelRules:
+		return []core.Mechanism{wholesig.New(opts.Timer), appraisalpkg.New()}, nil
+	case LevelTraces:
+		return []core.Mechanism{wholesig.New(opts.Timer), vigna.New()}, nil
+	case LevelFull:
+		return []core.Mechanism{
+			wholesig.New(opts.Timer),
+			refproto.New(refproto.Config{Compare: opts.Compare, Fuel: opts.Fuel, Timer: opts.Timer, ExecHook: opts.ExecHook}),
+		}, nil
+	default:
+		return nil, fmt.Errorf("protection: unknown level %d", int(l))
+	}
+}
+
+// NeedsTraceRecording reports whether hosts must record execution
+// traces for the level to function.
+func NeedsTraceRecording(l Level) bool { return l == LevelTraces }

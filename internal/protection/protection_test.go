@@ -1,0 +1,78 @@
+package protection
+
+import (
+	"testing"
+
+	"repro/internal/stopwatch"
+)
+
+func TestParseLevelRoundTrip(t *testing.T) {
+	for _, l := range []Level{LevelNone, LevelSigned, LevelRules, LevelTraces, LevelFull} {
+		got, err := ParseLevel(l.String())
+		if err != nil || got != l {
+			t.Errorf("ParseLevel(%q) = %v, %v", l.String(), got, err)
+		}
+	}
+	if _, err := ParseLevel("bogus"); err == nil {
+		t.Error("bogus level parsed")
+	}
+	if Level(42).String() != "level(42)" {
+		t.Error("unknown level String")
+	}
+}
+
+func TestMechanismStacks(t *testing.T) {
+	timer := &stopwatch.PhaseTimer{}
+	tests := []struct {
+		level Level
+		names []string
+	}{
+		{LevelNone, nil},
+		{LevelSigned, []string{"wholesig"}},
+		{LevelRules, []string{"wholesig", "appraisal"}},
+		{LevelTraces, []string{"wholesig", "vigna"}},
+		{LevelFull, []string{"wholesig", "refproto"}},
+	}
+	for _, tt := range tests {
+		mechs, err := Mechanisms(tt.level, Options{Timer: timer})
+		if err != nil {
+			t.Fatalf("%s: %v", tt.level, err)
+		}
+		if len(mechs) != len(tt.names) {
+			t.Fatalf("%s: %d mechanisms, want %d", tt.level, len(mechs), len(tt.names))
+		}
+		for i, want := range tt.names {
+			if mechs[i].Name() != want {
+				t.Errorf("%s[%d] = %s, want %s", tt.level, i, mechs[i].Name(), want)
+			}
+		}
+	}
+	if _, err := Mechanisms(Level(99), Options{}); err == nil {
+		t.Error("unknown level built a stack")
+	}
+}
+
+func TestMechanismInstancesAreFresh(t *testing.T) {
+	a, err := Mechanisms(LevelFull, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mechanisms(LevelFull, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] == b[i] {
+			t.Errorf("mechanism %d shared between calls (per-node state would leak)", i)
+		}
+	}
+}
+
+func TestNeedsTraceRecording(t *testing.T) {
+	if !NeedsTraceRecording(LevelTraces) {
+		t.Error("traces level does not need recording")
+	}
+	if NeedsTraceRecording(LevelFull) {
+		t.Error("full level should not require trace recording (input log suffices)")
+	}
+}

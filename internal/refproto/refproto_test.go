@@ -1,0 +1,432 @@
+package refproto_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/platformtest"
+	"repro/internal/refproto"
+	"repro/internal/stopwatch"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// shopAgent visits two shops and keeps the lowest offer — the paper's
+// motivating scenario ("comparing different flight prizes").
+const shopCode = `
+proc main() {
+    best = 999999
+    bestShop = ""
+    migrate("shop1", "visit")
+}
+proc visit() {
+    let offer = read("price")
+    if offer < best {
+        best = offer
+        bestShop = here()
+    }
+    if here() == "shop1" { migrate("shop2", "visit") } else { migrate("home2", "finish") }
+}
+proc finish() { done() }`
+
+// buildBed wires home -> shop1 -> shop2 -> home2 with refproto on every
+// node. mut lets callers plant attacks per host.
+func buildBed(t *testing.T, mut map[string]func(*host.Config), mechCfg func(hostName string) refproto.Config) *platformtest.Bed {
+	t.Helper()
+	bed := platformtest.New(t)
+	if mechCfg == nil {
+		mechCfg = func(string) refproto.Config { return refproto.Config{} }
+	}
+	prices := map[string]int64{"shop1": 120, "shop2": 80}
+	for _, name := range []string{"home", "shop1", "shop2", "home2"} {
+		name := name
+		trusted := strings.HasPrefix(name, "home")
+		bed.AddHost(name, platformtest.HostOptions{
+			Trusted: trusted,
+			Mechanisms: func() []core.Mechanism {
+				return []core.Mechanism{refproto.New(mechCfg(name))}
+			},
+			Configure: func(c *host.Config) {
+				if p, ok := prices[name]; ok {
+					c.Resources = map[string]value.Value{"price": value.Int(p)}
+				}
+				if m, ok := mut[name]; ok {
+					m(c)
+				}
+			},
+		})
+	}
+	return bed
+}
+
+func launch(t *testing.T, bed *platformtest.Bed) error {
+	t.Helper()
+	ag := bed.NewAgent("shopper", shopCode)
+	return bed.Nodes["home"].Launch(ag)
+}
+
+func TestHonestJourneyPasses(t *testing.T) {
+	bed := buildBed(t, nil, nil)
+	if err := launch(t, bed); err != nil {
+		t.Fatalf("honest journey failed: %v", err)
+	}
+	done, aborted := bed.Completed()
+	if len(done) != 1 || aborted {
+		t.Fatalf("done=%d aborted=%v", len(done), aborted)
+	}
+	ag := done[0]
+	if ag.State["best"].Int != 80 || ag.State["bestShop"].Str != "shop2" {
+		t.Errorf("task result wrong: %v", ag.State)
+	}
+	for _, v := range bed.Verdicts() {
+		if !v.OK {
+			t.Errorf("honest journey produced failed verdict: %s", v)
+		}
+	}
+	// Untrusted sessions were actually checked: shop1's and shop2's
+	// sessions must have verdicts from their successors.
+	var checked []string
+	for _, v := range bed.Verdicts() {
+		checked = append(checked, v.CheckedHost+"->"+v.Checker)
+	}
+	wantPairs := []string{"shop1->shop2", "shop2->home2"}
+	for _, want := range wantPairs {
+		found := false
+		for _, c := range checked {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing check %s (got %v)", want, checked)
+		}
+	}
+}
+
+func TestTrustedHostSkipped(t *testing.T) {
+	bed := buildBed(t, nil, nil)
+	if err := launch(t, bed); err != nil {
+		t.Fatal(err)
+	}
+	// home is trusted: the verdict for its session must say "not
+	// checked" rather than reporting a re-execution.
+	for _, v := range bed.Verdicts() {
+		if v.CheckedHost == "home" && !strings.Contains(v.Reason, "trusted") {
+			t.Errorf("trusted session was checked: %s", v)
+		}
+	}
+}
+
+func TestDataManipulationDetected(t *testing.T) {
+	// shop1 raises the collected best price after execution (area 5).
+	bed := buildBed(t, map[string]func(*host.Config){
+		"shop1": func(c *host.Config) {
+			c.Behavior = attack.DataManipulation{Var: "best", Val: value.Int(500)}
+		},
+	}, nil)
+	err := launch(t, bed)
+	if !errors.Is(err, core.ErrDetection) {
+		t.Fatalf("err = %v, want ErrDetection", err)
+	}
+	failed := bed.FailedVerdicts()
+	if len(failed) != 1 {
+		t.Fatalf("failed verdicts = %v", failed)
+	}
+	v := failed[0]
+	if v.Suspect != "shop1" || v.Checker != "shop2" {
+		t.Errorf("suspect=%q checker=%q", v.Suspect, v.Checker)
+	}
+	// Full-state evidence (§5.1): the diff names the tampered variable.
+	joined := strings.Join(v.Evidence, "\n")
+	if !strings.Contains(joined, "best") {
+		t.Errorf("evidence does not name the tampered variable: %q", joined)
+	}
+}
+
+func TestIncorrectExecutionDetected(t *testing.T) {
+	// shop1 "runs" the comparison wrongly: keeps its own high price as
+	// best (area 7) — materialized as a state correct execution cannot
+	// produce given the recorded input.
+	bed := buildBed(t, map[string]func(*host.Config){
+		"shop1": func(c *host.Config) {
+			c.Behavior = attack.StateMutation{Mutate: func(st value.State) {
+				st["best"] = value.Int(120)
+				st["bestShop"] = value.Str("shop1-forced")
+			}}
+		},
+	}, nil)
+	err := launch(t, bed)
+	if !errors.Is(err, core.ErrDetection) {
+		t.Fatalf("err = %v, want ErrDetection", err)
+	}
+}
+
+func TestInputForgeryNotDetected(t *testing.T) {
+	// shop1 lies about the price it offers (area 12 / §4.2): the forged
+	// input is recorded as genuine, so the protocol CANNOT detect it —
+	// the documented limitation.
+	bed := buildBed(t, map[string]func(*host.Config){
+		"shop1": func(c *host.Config) {
+			c.Behavior = attack.InputForgery{
+				Call: "read",
+				Forge: func(call string, args []value.Value, honest value.Value) value.Value {
+					return value.Int(5) // absurdly low price lures the agent
+				},
+			}
+		},
+	}, nil)
+	if err := launch(t, bed); err != nil {
+		t.Fatalf("input forgery should pass undetected, got %v", err)
+	}
+	done, _ := bed.Completed()
+	if len(done) != 1 {
+		t.Fatal("agent did not complete")
+	}
+	if done[0].State["best"].Int != 5 {
+		t.Errorf("forged price not in final state: %v", done[0].State)
+	}
+	if len(bed.FailedVerdicts()) != 0 {
+		t.Errorf("input forgery was detected, contradicting §4.2: %v", bed.FailedVerdicts())
+	}
+}
+
+func TestRecordLieDetected(t *testing.T) {
+	// shop1 executes honestly but reports a doctored input log: the
+	// reported triple is internally inconsistent, so re-execution
+	// diverges.
+	bed := buildBed(t, map[string]func(*host.Config){
+		"shop1": func(c *host.Config) {
+			c.Behavior = attack.RecordLie{Mutate: func(rec *host.SessionRecord) {
+				for i := range rec.Input {
+					if rec.Input[i].Call == "read" {
+						rec.Input[i].Result = value.Int(7777)
+					}
+				}
+			}}
+		},
+	}, nil)
+	err := launch(t, bed)
+	if !errors.Is(err, core.ErrDetection) {
+		t.Fatalf("err = %v, want ErrDetection", err)
+	}
+}
+
+func TestBaggageStrippingDetected(t *testing.T) {
+	// A man-in-the-middle (or the forwarding host itself) discards the
+	// protocol baggage between shop1 and shop2.
+	bed := platformtest.New(t)
+	strip := attack.StripBaggage(refproto.MechanismName)
+	bed.WrapNet(func(n transport.Network) transport.Network {
+		return &attack.InterceptNetwork{
+			Inner: n,
+			MutateAgent: func(dest string, ag *agent.Agent) error {
+				if dest == "shop2" {
+					return strip(dest, ag)
+				}
+				return nil
+			},
+		}
+	})
+	prices := map[string]int64{"shop1": 120, "shop2": 80}
+	for _, name := range []string{"home", "shop1", "shop2", "home2"} {
+		name := name
+		bed.AddHost(name, platformtest.HostOptions{
+			Trusted: strings.HasPrefix(name, "home"),
+			Mechanisms: func() []core.Mechanism {
+				return []core.Mechanism{refproto.New(refproto.Config{})}
+			},
+			Configure: func(c *host.Config) {
+				if p, ok := prices[name]; ok {
+					c.Resources = map[string]value.Value{"price": value.Int(p)}
+				}
+			},
+		})
+	}
+	err := launch(t, bed)
+	if !errors.Is(err, core.ErrDetection) {
+		t.Fatalf("err = %v, want ErrDetection", err)
+	}
+	failed := bed.FailedVerdicts()
+	if len(failed) != 1 || !strings.Contains(failed[0].Reason, "baggage") {
+		t.Errorf("failed verdicts = %v", failed)
+	}
+}
+
+func TestInFlightStateTamperingDetected(t *testing.T) {
+	// The state is rewritten in transit: the arrived state no longer
+	// matches the previous host's signed resulting-state commitment.
+	bed := platformtest.New(t)
+	tamper := attack.TamperStateInFlight("best", value.Int(1))
+	bed.WrapNet(func(n transport.Network) transport.Network {
+		return &attack.InterceptNetwork{
+			Inner: n,
+			MutateAgent: func(dest string, ag *agent.Agent) error {
+				if dest == "shop2" {
+					return tamper(dest, ag)
+				}
+				return nil
+			},
+		}
+	})
+	prices := map[string]int64{"shop1": 120, "shop2": 80}
+	for _, name := range []string{"home", "shop1", "shop2", "home2"} {
+		name := name
+		bed.AddHost(name, platformtest.HostOptions{
+			Trusted: strings.HasPrefix(name, "home"),
+			Mechanisms: func() []core.Mechanism {
+				return []core.Mechanism{refproto.New(refproto.Config{})}
+			},
+			Configure: func(c *host.Config) {
+				if p, ok := prices[name]; ok {
+					c.Resources = map[string]value.Value{"price": value.Int(p)}
+				}
+			},
+		})
+	}
+	err := launch(t, bed)
+	if !errors.Is(err, core.ErrDetection) {
+		t.Fatalf("err = %v, want ErrDetection", err)
+	}
+	if f := bed.FailedVerdicts(); len(f) != 1 || !strings.Contains(f[0].Reason, "signed resulting state") {
+		t.Errorf("failed verdicts = %v", f)
+	}
+}
+
+func TestConsecutiveCollusionNotDetected(t *testing.T) {
+	// shop1 tampers; shop2 colludes (vouches without checking). The host
+	// after shop2 can only check shop2's own — honest — session, so the
+	// attack goes unnoticed: the documented §5.1 limitation.
+	bed := buildBed(t, map[string]func(*host.Config){
+		"shop1": func(c *host.Config) {
+			c.Behavior = attack.DataManipulation{Var: "best", Val: value.Int(500)}
+		},
+	}, func(hostName string) refproto.Config {
+		return refproto.Config{Colluding: hostName == "shop2"}
+	})
+	if err := launch(t, bed); err != nil {
+		t.Fatalf("collusion should evade detection, got %v", err)
+	}
+	if len(bed.FailedVerdicts()) != 0 {
+		t.Errorf("collusion detected, contradicting §5.1: %v", bed.FailedVerdicts())
+	}
+	done, _ := bed.Completed()
+	if len(done) != 1 {
+		t.Fatal("agent did not complete")
+	}
+	// The damage is real — the tampered price survived to the end.
+	if best := done[0].State["best"].Int; best != 80 && best == 0 {
+		t.Errorf("unexpected final best: %d", best)
+	}
+}
+
+func TestReplayedBaggageDetected(t *testing.T) {
+	// Replay: deliver an agent whose baggage hop index does not match
+	// its position. Simulated by bumping the hop in flight.
+	bed := platformtest.New(t)
+	bed.WrapNet(func(n transport.Network) transport.Network {
+		return &attack.InterceptNetwork{
+			Inner: n,
+			MutateAgent: func(dest string, ag *agent.Agent) error {
+				if dest == "shop2" {
+					ag.Hop++ // baggage now belongs to hop-1, not hop
+				}
+				return nil
+			},
+		}
+	})
+	prices := map[string]int64{"shop1": 120, "shop2": 80}
+	for _, name := range []string{"home", "shop1", "shop2", "home2"} {
+		name := name
+		bed.AddHost(name, platformtest.HostOptions{
+			Trusted: strings.HasPrefix(name, "home"),
+			Mechanisms: func() []core.Mechanism {
+				return []core.Mechanism{refproto.New(refproto.Config{})}
+			},
+			Configure: func(c *host.Config) {
+				if p, ok := prices[name]; ok {
+					c.Resources = map[string]value.Value{"price": value.Int(p)}
+				}
+			},
+		})
+	}
+	err := launch(t, bed)
+	if !errors.Is(err, core.ErrDetection) {
+		t.Fatalf("err = %v, want ErrDetection", err)
+	}
+}
+
+func TestCryptoTimerAccumulates(t *testing.T) {
+	timer := &stopwatch.PhaseTimer{}
+	bed := buildBed(t, nil, func(string) refproto.Config {
+		return refproto.Config{Timer: timer}
+	})
+	if err := launch(t, bed); err != nil {
+		t.Fatal(err)
+	}
+	if timer.Get(stopwatch.PhaseSignVerify) <= 0 {
+		t.Error("no sign&verify time accumulated")
+	}
+}
+
+func TestUnorderedComparerAcceptsPermutation(t *testing.T) {
+	// An agent collects offers into a list whose order could legally
+	// vary (the paper's two-thread example); the deployment uses an
+	// order-insensitive comparer, so an in-flight permutation-equivalent
+	// report passes while content changes still fail.
+	code := `
+proc main() {
+    offers = []
+    migrate("shop1", "visit")
+}
+proc visit() {
+    offers = append(offers, read("price"))
+    if here() == "shop1" { migrate("shop2", "visit") } else { migrate("home2", "finish") }
+}
+proc finish() { done() }`
+	bed := platformtest.New(t)
+	prices := map[string]int64{"shop1": 120, "shop2": 80}
+	// shop1 reports its resulting state with the offers list permuted —
+	// legal under the unordered comparer.
+	behaviors := map[string]host.Behavior{
+		"shop1": attack.RecordLie{Mutate: func(rec *host.SessionRecord) {
+			v, ok := rec.Resulting["offers"]
+			if ok && v.Kind == value.KindList && len(v.List) >= 2 {
+				v.List[0], v.List[len(v.List)-1] = v.List[len(v.List)-1], v.List[0]
+			}
+		}},
+	}
+	_ = behaviors // single-element list on shop1; permutation is a no-op there.
+	for _, name := range []string{"home", "shop1", "shop2", "home2"} {
+		name := name
+		bed.AddHost(name, platformtest.HostOptions{
+			Trusted: strings.HasPrefix(name, "home"),
+			Mechanisms: func() []core.Mechanism {
+				return []core.Mechanism{refproto.New(refproto.Config{
+					Compare: core.UnorderedListComparer("offers"),
+				})}
+			},
+			Configure: func(c *host.Config) {
+				if p, ok := prices[name]; ok {
+					c.Resources = map[string]value.Value{"price": value.Int(p)}
+				}
+			},
+		})
+	}
+	ag := bed.NewAgent("collector", code)
+	if err := bed.Nodes["home"].Launch(ag); err != nil {
+		t.Fatalf("unordered comparer run failed: %v", err)
+	}
+	done, _ := bed.Completed()
+	if len(done) != 1 {
+		t.Fatal("agent did not complete")
+	}
+	offers := done[0].State["offers"]
+	if offers.Kind != value.KindList || len(offers.List) != 2 {
+		t.Errorf("offers = %s", offers)
+	}
+}

@@ -1,0 +1,308 @@
+// Package replication implements the server-replication mechanism of
+// Minsky, van Renesse, Schneider and Stoller as analysed by the paper
+// (§3.2): "for every stage, i.e. an execution session on one host, a
+// set of independent, replicated hosts" executes the agent in parallel,
+// and "after the execution, the hosts vote about the result of the
+// step. ... The executions with the most votes wins, and the next step
+// is executed. Obviously, even (n/2 - 1) malicious hosts can be
+// tolerated."
+//
+// In the framework's attribute space: moment = after every session;
+// reference data = the replicated resources (each replica offers the
+// same data) and the resulting states of the peer executions; checking
+// algorithm = counting equal results ("an execution is checked by
+// using a set of other executions").
+//
+// The reproduction centralizes vote collection in a Coordinator driven
+// by the agent owner; the paper's fully distributed collection ("at
+// all hosts of the next step, the votes are collected") changes who
+// tallies, not what is tallied. Replicas answer execute requests over
+// the network and sign their votes, so a replica cannot impersonate
+// another's result.
+package replication
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/agent"
+	"repro/internal/canon"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// MechanismName is the call namespace.
+const MechanismName = "replication"
+
+// Mechanism is the replica-side protocol: it answers "execute" calls by
+// running one session locally and returning a signed vote. It performs
+// no per-migration checking (replication replaces the migration
+// pipeline entirely).
+type Mechanism struct {
+	core.BaseMechanism
+}
+
+var (
+	_ core.Mechanism         = (*Mechanism)(nil)
+	_ core.CallHandler       = (*Mechanism)(nil)
+	_ core.ResourceRequester = (*Mechanism)(nil)
+)
+
+// New builds the replica-side mechanism.
+func New() *Mechanism { return &Mechanism{} }
+
+// Name implements core.Mechanism.
+func (m *Mechanism) Name() string { return MechanismName }
+
+// RequestsResource declares that replication relies on replicated host
+// resources (Fig. 4).
+func (m *Mechanism) RequestsResource() {}
+
+// Vote is a replica's signed execution result.
+type Vote struct {
+	Replica     string
+	Hop         int
+	StateEnc    []byte // canonical encoding of the resulting state
+	ResultEntry string
+	Sig         sigcrypto.Signature
+}
+
+// Digest returns the vote's ballot: what equality is counted over.
+func (v *Vote) Digest() canon.Digest {
+	return canon.HashTuple([]byte("replication-ballot"), v.StateEnc, []byte(v.ResultEntry))
+}
+
+func (v *Vote) bindingBytes(agentID string) []byte {
+	d := v.Digest()
+	return canon.Tuple(
+		[]byte("replication-vote"),
+		[]byte(agentID),
+		[]byte(v.Replica),
+		[]byte(fmt.Sprintf("%d", v.Hop)),
+		d[:],
+	)
+}
+
+// HandleCall implements core.CallHandler: method "execute" runs one
+// session on the local host and returns the signed vote.
+func (m *Mechanism) HandleCall(hc *core.HostContext, method string, body []byte) ([]byte, error) {
+	if method != "execute" {
+		return nil, fmt.Errorf("%w: replication/%s", transport.ErrUnknownMethod, method)
+	}
+	ag, err := agent.Unmarshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("replication: %w", err)
+	}
+	hop := ag.Hop
+	if _, err := hc.Host.RunSession(ag, host.SessionOptions{}); err != nil {
+		return nil, fmt.Errorf("replication: session: %w", err)
+	}
+	v := Vote{
+		Replica:     hc.Host.Name(),
+		Hop:         hop,
+		StateEnc:    canon.EncodeState(ag.State),
+		ResultEntry: ag.Entry,
+	}
+	v.Sig = hc.Host.Keys().Sign(v.bindingBytes(ag.ID))
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("replication: encoding vote: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// StageReport describes one stage's vote.
+type StageReport struct {
+	Stage    int
+	Replicas []string
+	// Votes maps replica name to its ballot digest; replicas that
+	// failed to answer are absent.
+	Votes map[string]canon.Digest
+	// Winner is the majority ballot; Dissenters voted differently or
+	// not at all — under the honest-majority assumption these are the
+	// attacking (or faulty) hosts.
+	Winner     canon.Digest
+	WinnerN    int
+	Dissenters []string
+}
+
+// Report is the whole journey's outcome.
+type Report struct {
+	Final  *agent.Agent
+	Stages []StageReport
+}
+
+// Errors returned by the coordinator.
+var (
+	// ErrNoMajority is returned when no ballot reaches a strict
+	// majority of the stage's replica set.
+	ErrNoMajority = errors.New("replication: no majority among replicas")
+	// ErrAgentFailed is returned when the winning execution terminated
+	// the agent before the itinerary's last stage.
+	ErrAgentFailed = errors.New("replication: agent finished before the last stage")
+)
+
+// Coordinator drives an agent through staged replicated execution.
+type Coordinator struct {
+	// Net reaches the replicas.
+	Net transport.Network
+	// Registry verifies vote signatures.
+	Registry *sigcrypto.Registry
+	// Stages is the itinerary: one replica set per stage.
+	Stages [][]string
+}
+
+// Run executes the agent through all stages and returns the report.
+// The input agent is not mutated; the final agent is a fresh instance
+// carrying the majority state.
+func (c *Coordinator) Run(ag *agent.Agent) (*Report, error) {
+	if len(c.Stages) == 0 {
+		return nil, errors.New("replication: no stages configured")
+	}
+	cur := ag.Clone()
+	rep := &Report{}
+	for i, replicas := range c.Stages {
+		if len(replicas) == 0 {
+			return nil, fmt.Errorf("replication: stage %d has no replicas", i)
+		}
+		stage, winnerVote, err := c.runStage(i, replicas, cur)
+		rep.Stages = append(rep.Stages, stage)
+		if err != nil {
+			return rep, err
+		}
+		st, err := canon.DecodeState(winnerVote.StateEnc)
+		if err != nil {
+			return rep, fmt.Errorf("replication: stage %d: decoding winner state: %w", i, err)
+		}
+		cur.State = st
+		cur.Entry = winnerVote.ResultEntry
+		cur.Hop++
+		cur.Route = append(cur.Route, fmt.Sprintf("stage%d", i))
+		if cur.Entry == "" {
+			if i != len(c.Stages)-1 {
+				rep.Final = cur
+				return rep, fmt.Errorf("%w (stage %d of %d)", ErrAgentFailed, i+1, len(c.Stages))
+			}
+			break
+		}
+	}
+	rep.Final = cur
+	return rep, nil
+}
+
+// runStage fans the agent out to the stage's replicas, collects signed
+// votes, and tallies.
+func (c *Coordinator) runStage(stageIdx int, replicas []string, cur *agent.Agent) (StageReport, *Vote, error) {
+	report := StageReport{
+		Stage:    stageIdx,
+		Replicas: append([]string(nil), replicas...),
+		Votes:    make(map[string]canon.Digest, len(replicas)),
+	}
+	wire, err := cur.Marshal()
+	if err != nil {
+		return report, nil, fmt.Errorf("replication: stage %d: %w", stageIdx, err)
+	}
+
+	type result struct {
+		replica string
+		vote    *Vote
+		err     error
+	}
+	results := make(chan result, len(replicas))
+	var wg sync.WaitGroup
+	for _, r := range replicas {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, err := c.Net.Call(r, MechanismName+"/execute", wire)
+			if err != nil {
+				results <- result{replica: r, err: err}
+				return
+			}
+			var v Vote
+			if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&v); err != nil {
+				results <- result{replica: r, err: err}
+				return
+			}
+			results <- result{replica: r, vote: &v}
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	votes := make(map[string]*Vote, len(replicas))
+	for res := range results {
+		if res.err != nil {
+			continue // unresponsive replica = implicit dissent
+		}
+		v := res.vote
+		// A vote must be attributable: right replica, right hop, valid
+		// signature.
+		if v.Replica != res.replica || v.Hop != cur.Hop {
+			continue
+		}
+		if err := c.Registry.Verify(v.bindingBytes(cur.ID), v.Sig); err != nil {
+			continue
+		}
+		votes[res.replica] = v
+		report.Votes[res.replica] = v.Digest()
+	}
+
+	// Tally.
+	counts := make(map[canon.Digest]int)
+	for _, v := range votes {
+		counts[v.Digest()]++
+	}
+	var winner canon.Digest
+	best := 0
+	for d, n := range counts {
+		if n > best {
+			winner, best = d, n
+		}
+	}
+	report.Winner = winner
+	report.WinnerN = best
+	for _, r := range replicas {
+		d, ok := report.Votes[r]
+		if !ok || d != winner {
+			report.Dissenters = append(report.Dissenters, r)
+		}
+	}
+	sort.Strings(report.Dissenters)
+
+	// Strict majority of the configured replica set, as the fault bound
+	// requires ("even (n/2 - 1) malicious hosts can be tolerated").
+	if best*2 <= len(replicas) {
+		return report, nil, fmt.Errorf("%w: stage %d: best ballot has %d of %d", ErrNoMajority, stageIdx, best, len(replicas))
+	}
+	for _, v := range votes {
+		if v.Digest() == winner {
+			return report, v, nil
+		}
+	}
+	return report, nil, fmt.Errorf("replication: stage %d: internal: winner vote not found", stageIdx)
+}
+
+// MaxTolerated returns the number of malicious replicas a stage of
+// size n tolerates: ceil(n/2) - 1.
+func MaxTolerated(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n+1)/2 - 1
+}
+
+// EqualResources reports whether two hosts' resource offerings are
+// identical — the precondition for replicas ("hosts that offer the
+// same set of resources").
+func EqualResources(a, b map[string]value.Value) bool {
+	return value.State(a).Equal(value.State(b))
+}

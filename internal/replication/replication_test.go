@@ -1,0 +1,255 @@
+package replication_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/platformtest"
+	"repro/internal/replication"
+	"repro/internal/value"
+)
+
+// stagedCode runs two stages: collect an offer, then double it.
+const stagedCode = `
+proc main() {
+    offer = read("offer")
+    migrate("stage1", "second")
+}
+proc second() {
+    result = offer * 2
+    done()
+}`
+
+// buildReplicaBed creates two stages of n replicas each; badReplicas
+// maps replica names to malicious behaviours.
+func buildReplicaBed(t *testing.T, n int, badReplicas map[string]host.Behavior) (*platformtest.Bed, *replication.Coordinator) {
+	t.Helper()
+	bed := platformtest.New(t)
+	coord := &replication.Coordinator{Net: bed.Net, Registry: bed.Reg}
+	for stage := 0; stage < 2; stage++ {
+		var names []string
+		for r := 0; r < n; r++ {
+			name := fmt.Sprintf("s%dr%d", stage, r)
+			names = append(names, name)
+			bed.AddHost(name, platformtest.HostOptions{
+				Mechanisms: func() []core.Mechanism { return []core.Mechanism{replication.New()} },
+				Configure: func(c *host.Config) {
+					// Replicated resources: identical on every replica.
+					c.Resources = map[string]value.Value{"offer": value.Int(21)}
+					c.RandSeed = 42 // shared input source
+					if b, ok := badReplicas[name]; ok {
+						c.Behavior = b
+					}
+				},
+			})
+		}
+		coord.Stages = append(coord.Stages, names)
+	}
+	return bed, coord
+}
+
+func TestAllHonestReplicasAgree(t *testing.T) {
+	bed, coord := buildReplicaBed(t, 3, nil)
+	ag := bed.NewAgent("staged", stagedCode)
+	rep, err := coord.Run(ag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Final.State["result"].Int != 42 {
+		t.Errorf("result = %s", rep.Final.State["result"])
+	}
+	for _, s := range rep.Stages {
+		if len(s.Dissenters) != 0 {
+			t.Errorf("stage %d dissenters: %v", s.Stage, s.Dissenters)
+		}
+		if s.WinnerN != 3 {
+			t.Errorf("stage %d winner votes = %d", s.Stage, s.WinnerN)
+		}
+	}
+}
+
+func TestMinorityAttackOutvotedAndIdentified(t *testing.T) {
+	// One of three replicas tampers: out-voted, identified as dissenter.
+	bed, coord := buildReplicaBed(t, 3, map[string]host.Behavior{
+		"s0r1": attack.DataManipulation{Var: "offer", Val: value.Int(9999)},
+	})
+	ag := bed.NewAgent("staged", stagedCode)
+	rep, err := coord.Run(ag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Final.State["result"].Int != 42 {
+		t.Errorf("attack affected result = %s", rep.Final.State["result"])
+	}
+	s0 := rep.Stages[0]
+	if len(s0.Dissenters) != 1 || s0.Dissenters[0] != "s0r1" {
+		t.Errorf("dissenters = %v, want [s0r1]", s0.Dissenters)
+	}
+	if s0.WinnerN != 2 {
+		t.Errorf("winner votes = %d, want 2", s0.WinnerN)
+	}
+}
+
+func TestMajorityCollusionWins(t *testing.T) {
+	// Two of three replicas collude on the same wrong result: the vote
+	// cannot help (the n/2 bound is tight). The colluders must produce
+	// the SAME wrong state to win.
+	evil := attack.DataManipulation{Var: "offer", Val: value.Int(9999)}
+	bed, coord := buildReplicaBed(t, 3, map[string]host.Behavior{
+		"s0r0": evil, "s0r2": evil,
+	})
+	ag := bed.NewAgent("staged", stagedCode)
+	rep, err := coord.Run(ag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Final.State["result"].Int != 2*9999 {
+		t.Errorf("majority collusion did not prevail: result = %s", rep.Final.State["result"])
+	}
+	// The honest replica is (wrongly) the dissenter — exactly the
+	// failure mode the assumption excludes.
+	if d := rep.Stages[0].Dissenters; len(d) != 1 || d[0] != "s0r1" {
+		t.Errorf("dissenters = %v", d)
+	}
+}
+
+func TestSplitVoteNoMajority(t *testing.T) {
+	// Two replicas, one tampers: 1-1 split, no strict majority.
+	bed, coord := buildReplicaBed(t, 2, map[string]host.Behavior{
+		"s0r0": attack.DataManipulation{Var: "offer", Val: value.Int(1)},
+	})
+	ag := bed.NewAgent("staged", stagedCode)
+	_, err := coord.Run(ag)
+	if !errors.Is(err, replication.ErrNoMajority) {
+		t.Errorf("err = %v, want ErrNoMajority", err)
+	}
+}
+
+func TestUnresponsiveReplicaTolerated(t *testing.T) {
+	// A replica that is not registered in the network simply doesn't
+	// vote; the remaining majority carries the stage.
+	bed, coord := buildReplicaBed(t, 3, nil)
+	coord.Stages[0] = append(coord.Stages[0], "ghost") // 4th replica, absent
+	ag := bed.NewAgent("staged", stagedCode)
+	rep, err := coord.Run(ag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := rep.Stages[0]
+	if len(s0.Dissenters) != 1 || s0.Dissenters[0] != "ghost" {
+		t.Errorf("dissenters = %v", s0.Dissenters)
+	}
+	if rep.Final.State["result"].Int != 42 {
+		t.Errorf("result = %s", rep.Final.State["result"])
+	}
+}
+
+func TestCrossStageCollusionBounded(t *testing.T) {
+	// Malicious replicas in different stages, each a minority in its
+	// stage: both out-voted ("even collaboration attacks between hosts
+	// of different steps can be found as long as the above condition
+	// holds").
+	bed, coord := buildReplicaBed(t, 3, map[string]host.Behavior{
+		"s0r0": attack.DataManipulation{Var: "offer", Val: value.Int(1)},
+		"s1r2": attack.DataManipulation{Var: "result", Val: value.Int(1)},
+	})
+	ag := bed.NewAgent("staged", stagedCode)
+	rep, err := coord.Run(ag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Final.State["result"].Int != 42 {
+		t.Errorf("result = %s", rep.Final.State["result"])
+	}
+	if d := rep.Stages[0].Dissenters; len(d) != 1 || d[0] != "s0r0" {
+		t.Errorf("stage 0 dissenters = %v", d)
+	}
+	if d := rep.Stages[1].Dissenters; len(d) != 1 || d[0] != "s1r2" {
+		t.Errorf("stage 1 dissenters = %v", d)
+	}
+}
+
+func TestAgentFinishingEarlyFails(t *testing.T) {
+	bed, coord := buildReplicaBed(t, 3, nil)
+	ag := bed.NewAgent("early", `proc main() { x = read("offer") done() }`)
+	_, err := coord.Run(ag)
+	if !errors.Is(err, replication.ErrAgentFailed) {
+		t.Errorf("err = %v, want ErrAgentFailed", err)
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	bed, _ := buildReplicaBed(t, 1, nil)
+	ag := bed.NewAgent("x", stagedCode)
+	c := &replication.Coordinator{Net: bed.Net, Registry: bed.Reg}
+	if _, err := c.Run(ag); err == nil {
+		t.Error("no stages accepted")
+	}
+	c.Stages = [][]string{{}}
+	if _, err := c.Run(ag); err == nil {
+		t.Error("empty stage accepted")
+	}
+}
+
+func TestCoordinatorDoesNotMutateInput(t *testing.T) {
+	bed, coord := buildReplicaBed(t, 3, nil)
+	ag := bed.NewAgent("staged", stagedCode)
+	if _, err := coord.Run(ag); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Hop != 0 || len(ag.Route) != 0 || len(ag.State) != 0 {
+		t.Error("coordinator mutated the input agent")
+	}
+}
+
+func TestMaxTolerated(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 2}, {7, 3},
+	}
+	for _, tt := range tests {
+		if got := replication.MaxTolerated(tt.n); got != tt.want {
+			t.Errorf("MaxTolerated(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestToleranceBoundProperty(t *testing.T) {
+	// For n=5: up to 2 identical-colluding attackers are out-voted; 3
+	// win the vote. This pins the (n/2 - 1) bound from §3.2.
+	for _, f := range []int{1, 2, 3} {
+		evil := attack.DataManipulation{Var: "offer", Val: value.Int(1)}
+		bad := map[string]host.Behavior{}
+		for i := 0; i < f; i++ {
+			bad[fmt.Sprintf("s0r%d", i)] = evil
+		}
+		bed, coord := buildReplicaBed(t, 5, bad)
+		ag := bed.NewAgent("staged", stagedCode)
+		rep, err := coord.Run(ag)
+		if err != nil {
+			t.Fatalf("f=%d: %v", f, err)
+		}
+		honest := rep.Final.State["result"].Int == 42
+		if f <= replication.MaxTolerated(5) && !honest {
+			t.Errorf("f=%d within bound but attack prevailed", f)
+		}
+		if f > replication.MaxTolerated(5) && honest {
+			t.Errorf("f=%d beyond bound but honest result prevailed", f)
+		}
+	}
+}
+
+func TestEqualResources(t *testing.T) {
+	a := map[string]value.Value{"db": value.Int(1)}
+	b := map[string]value.Value{"db": value.Int(1)}
+	if !replication.EqualResources(a, b) {
+		t.Error("equal resources reported unequal")
+	}
+	b["db"] = value.Int(2)
+	if replication.EqualResources(a, b) {
+		t.Error("unequal resources reported equal")
+	}
+}

@@ -1,0 +1,70 @@
+// Package stopwatch accumulates wall-clock time per named phase. The
+// benchmark harness uses it to reproduce the column structure of the
+// paper's Tables 1 and 2: "sign & verify" (cryptographic operations),
+// "cycle" (the agent's computation loop), and "remainder" (everything
+// else), against the measured "overall" time.
+package stopwatch
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Well-known phase names used across the repository.
+const (
+	PhaseSignVerify = "sign&verify"
+	PhaseCycle      = "cycle"
+)
+
+// PhaseTimer accumulates durations per phase. It is safe for concurrent
+// use. The zero value is ready to use.
+type PhaseTimer struct {
+	mu     sync.Mutex
+	phases map[string]time.Duration
+}
+
+// Add accumulates d into the named phase.
+func (t *PhaseTimer) Add(phase string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.phases == nil {
+		t.phases = make(map[string]time.Duration)
+	}
+	t.phases[phase] += d
+}
+
+// Time starts timing the named phase and returns a stop function;
+// intended for defer:
+//
+//	defer timer.Time(stopwatch.PhaseSignVerify)()
+func (t *PhaseTimer) Time(phase string) func() {
+	start := time.Now()
+	return func() { t.Add(phase, time.Since(start)) }
+}
+
+// Get returns the accumulated duration for a phase.
+func (t *PhaseTimer) Get(phase string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.phases[phase]
+}
+
+// Reset clears all phases.
+func (t *PhaseTimer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.phases = nil
+}
+
+// Phases returns the recorded phase names in sorted order.
+func (t *PhaseTimer) Phases() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.phases))
+	for p := range t.phases {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire format: each connection carries exactly one request and one
+// response, both gob-encoded. Connection-per-request keeps the protocol
+// trivially correct under failures; migration frequency is far too low
+// for connection setup to matter.
+
+type rpcRequest struct {
+	// Kind is "agent" for migration delivery or "call" for sync RPC.
+	Kind   string
+	Method string
+	Body   []byte
+}
+
+type rpcResponse struct {
+	Err  string
+	Body []byte
+}
+
+// dialTimeout bounds connection establishment; ioTimeout bounds each
+// request/response exchange. Sessions run before the response is sent,
+// so the I/O timeout must accommodate the slowest workload (the
+// paper's 10000-cycle agent).
+const (
+	dialTimeout = 5 * time.Second
+	ioTimeout   = 120 * time.Second
+)
+
+// Server exposes an Endpoint over TCP.
+type Server struct {
+	ep Endpoint
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a TCP server for the endpoint on addr (e.g.
+// "127.0.0.1:7001"). It returns once the listener is bound; connection
+// handling proceeds in background goroutines until Close.
+func Serve(addr string, ep Endpoint) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{ep: ep, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+	}()
+	_ = conn.SetDeadline(time.Now().Add(ioTimeout))
+	br := bufio.NewReader(conn)
+	var req rpcRequest
+	if err := gob.NewDecoder(br).Decode(&req); err != nil {
+		return // malformed request; nothing to answer
+	}
+	var resp rpcResponse
+	switch req.Kind {
+	case "agent":
+		if err := s.ep.HandleAgent(req.Body); err != nil {
+			resp.Err = err.Error()
+		}
+	case "call":
+		body, err := s.ep.HandleCall(req.Method, req.Body)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Body = body
+		}
+	default:
+		resp.Err = fmt.Sprintf("unknown request kind %q", req.Kind)
+	}
+	bw := bufio.NewWriter(conn)
+	if err := gob.NewEncoder(bw).Encode(resp); err != nil {
+		return
+	}
+	_ = bw.Flush()
+}
+
+// TCPNetwork is a Network that reaches hosts by TCP address. The
+// address book maps host principal names to "host:port" strings.
+type TCPNetwork struct {
+	mu    sync.RWMutex
+	addrs map[string]string
+}
+
+var _ Network = (*TCPNetwork)(nil)
+
+// NewTCPNetwork creates a network with the given address book; the map
+// is copied.
+func NewTCPNetwork(addrs map[string]string) *TCPNetwork {
+	book := make(map[string]string, len(addrs))
+	for k, v := range addrs {
+		book[k] = v
+	}
+	return &TCPNetwork{addrs: book}
+}
+
+// AddHost adds or replaces an address-book entry.
+func (n *TCPNetwork) AddHost(host, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.addrs[host] = addr
+}
+
+func (n *TCPNetwork) addr(host string) (string, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	a, ok := n.addrs[host]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownHost, host)
+	}
+	return a, nil
+}
+
+// SendAgent implements Network.
+func (n *TCPNetwork) SendAgent(host string, wire []byte) error {
+	_, err := n.roundTrip(host, rpcRequest{Kind: "agent", Body: wire})
+	return err
+}
+
+// Call implements Network.
+func (n *TCPNetwork) Call(host, method string, body []byte) ([]byte, error) {
+	resp, err := n.roundTrip(host, rpcRequest{Kind: "call", Method: method, Body: body})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+func (n *TCPNetwork) roundTrip(host string, req rpcRequest) (rpcResponse, error) {
+	addr, err := n.addr(host)
+	if err != nil {
+		return rpcResponse{}, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return rpcResponse{}, fmt.Errorf("transport: dial %s (%s): %w", host, addr, err)
+	}
+	defer func() {
+		_ = conn.Close()
+	}()
+	_ = conn.SetDeadline(time.Now().Add(ioTimeout))
+	bw := bufio.NewWriter(conn)
+	if err := gob.NewEncoder(bw).Encode(req); err != nil {
+		return rpcResponse{}, fmt.Errorf("transport: send to %s: %w", host, err)
+	}
+	if err := bw.Flush(); err != nil {
+		return rpcResponse{}, fmt.Errorf("transport: send to %s: %w", host, err)
+	}
+	var resp rpcResponse
+	if err := gob.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return rpcResponse{}, fmt.Errorf("transport: receive from %s: %w", host, err)
+	}
+	if resp.Err != "" {
+		return rpcResponse{}, &RemoteError{Host: host, Msg: resp.Err}
+	}
+	return resp, nil
+}

@@ -1,0 +1,246 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// echoEndpoint records agent deliveries and echoes calls.
+type echoEndpoint struct {
+	mu     sync.Mutex
+	agents [][]byte
+	name   string
+	// forward, if set, re-sends received agents to the named host —
+	// exercising chained synchronous migration.
+	forward string
+	net     Network
+}
+
+func (e *echoEndpoint) HandleAgent(wire []byte) error {
+	e.mu.Lock()
+	e.agents = append(e.agents, append([]byte(nil), wire...))
+	forward := e.forward
+	e.mu.Unlock()
+	if forward != "" {
+		return e.net.SendAgent(forward, append(wire, '>'))
+	}
+	return nil
+}
+
+func (e *echoEndpoint) HandleCall(method string, body []byte) ([]byte, error) {
+	switch method {
+	case "echo":
+		return append([]byte(e.name+":"), body...), nil
+	case "fail":
+		return nil, errors.New("deliberate failure")
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrUnknownMethod, method)
+	}
+}
+
+func (e *echoEndpoint) received() [][]byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.agents
+}
+
+func TestInProcSendAndCall(t *testing.T) {
+	net := NewInProc()
+	a := &echoEndpoint{name: "a"}
+	net.Register("a", a)
+
+	if err := net.SendAgent("a", []byte("agent-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.received(); len(got) != 1 || string(got[0]) != "agent-bytes" {
+		t.Errorf("received = %q", got)
+	}
+
+	resp, err := net.Call("a", "echo", []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "a:hi" {
+		t.Errorf("call response = %q", resp)
+	}
+}
+
+func TestInProcUnknownHost(t *testing.T) {
+	net := NewInProc()
+	if err := net.SendAgent("ghost", nil); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("SendAgent: %v", err)
+	}
+	if _, err := net.Call("ghost", "m", nil); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("Call: %v", err)
+	}
+}
+
+func TestInProcChainedMigration(t *testing.T) {
+	net := NewInProc()
+	c := &echoEndpoint{name: "c"}
+	b := &echoEndpoint{name: "b", forward: "c", net: net}
+	a := &echoEndpoint{name: "a", forward: "b", net: net}
+	net.Register("a", a)
+	net.Register("b", b)
+	net.Register("c", c)
+
+	if err := net.SendAgent("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.received(); len(got) != 1 || string(got[0]) != "x>>" {
+		t.Errorf("chained delivery = %q", got)
+	}
+}
+
+func TestInProcHostsSorted(t *testing.T) {
+	net := NewInProc()
+	for _, n := range []string{"zebra", "alpha"} {
+		net.Register(n, &echoEndpoint{name: n})
+	}
+	hosts := net.Hosts()
+	if len(hosts) != 2 || hosts[0] != "alpha" || hosts[1] != "zebra" {
+		t.Errorf("Hosts() = %v", hosts)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	ep := &echoEndpoint{name: "srv"}
+	srv, err := Serve("127.0.0.1:0", ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	net := NewTCPNetwork(map[string]string{"srv": srv.Addr()})
+
+	if err := net.SendAgent("srv", []byte("wire")); err != nil {
+		t.Fatal(err)
+	}
+	if got := ep.received(); len(got) != 1 || string(got[0]) != "wire" {
+		t.Errorf("received = %q", got)
+	}
+
+	resp, err := net.Call("srv", "echo", []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "srv:ping" {
+		t.Errorf("response = %q", resp)
+	}
+}
+
+func TestTCPRemoteError(t *testing.T) {
+	ep := &echoEndpoint{name: "srv"}
+	srv, err := Serve("127.0.0.1:0", ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	net := NewTCPNetwork(map[string]string{"srv": srv.Addr()})
+	_, err = net.Call("srv", "fail", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.Host != "srv" || !strings.Contains(re.Msg, "deliberate failure") {
+		t.Errorf("remote error = %+v", re)
+	}
+
+	_, err = net.Call("srv", "nosuch", nil)
+	if !errors.As(err, &re) {
+		t.Errorf("unknown method: err = %v", err)
+	}
+}
+
+func TestTCPUnknownHostAndDialFailure(t *testing.T) {
+	net := NewTCPNetwork(nil)
+	if _, err := net.Call("ghost", "m", nil); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("unknown host: %v", err)
+	}
+	// Address book entry pointing at a closed port.
+	net.AddHost("dead", "127.0.0.1:1")
+	if err := net.SendAgent("dead", nil); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	ep := &echoEndpoint{name: "srv"}
+	srv, err := Serve("127.0.0.1:0", ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	net := NewTCPNetwork(map[string]string{"srv": srv.Addr()})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := fmt.Sprintf("m%d", i)
+			resp, err := net.Call("srv", "echo", []byte(msg))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(resp) != "srv:"+msg {
+				errs <- fmt.Errorf("bad response %q", resp)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", &echoEndpoint{name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestTCPBetweenTwoServers(t *testing.T) {
+	// Full duplex deployment: two servers forwarding to each other via
+	// the same address book.
+	netw := NewTCPNetwork(nil)
+	b := &echoEndpoint{name: "b"}
+	srvB, err := Serve("127.0.0.1:0", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srvB.Close() }()
+	a := &echoEndpoint{name: "a", forward: "b", net: netw}
+	srvA, err := Serve("127.0.0.1:0", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srvA.Close() }()
+	netw.AddHost("a", srvA.Addr())
+	netw.AddHost("b", srvB.Addr())
+
+	if err := netw.SendAgent("a", []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.received(); len(got) != 1 || string(got[0]) != "m>" {
+		t.Errorf("b received %q", got)
+	}
+}

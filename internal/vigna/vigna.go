@@ -1,0 +1,346 @@
+// Package vigna implements the execution-traces protocol of Vigna's
+// "Cryptographic Traces for Mobile Agents" as analysed by the paper
+// (§3.3). Its place in the framework's attribute space: moment = after
+// the task, and only when the owner suspects fraud; reference data =
+// execution log (trace) + input, retained at each host, with signed
+// hash commitments travelling in the agent; algorithm = re-execution.
+//
+// Per session, the executing host records a trace and the input log,
+// stores both locally ("the trace itself has to be stored by the
+// host"), and appends a signed commitment — hash of (trace, input) and
+// hash of the resulting state — to the agent. When the agent returns
+// and the owner suspects fraud, the owner audits: fetch each host's
+// trace over the network, verify it against the committed hash,
+// re-execute session by session from the launch state, and compare
+// each resulting state hash with the commitment. The first host whose
+// committed hash cannot be reproduced is the cheater.
+//
+// Two properties the paper highlights are visible in the API: the
+// owner "can only determine which host played wrong, but not the
+// difference in the agent state as only hashes of the final states
+// exist" (Report carries digests, not states — contrast with refproto),
+// and the approach "detects all attacks that result in a different
+// state as long as the host does not lie about the input to the
+// agent".
+package vigna
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/agent"
+	"repro/internal/agentlang"
+	"repro/internal/canon"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// MechanismName is the baggage key, call namespace, and verdict label.
+const MechanismName = "vigna"
+
+// Commitment is one session's signed record in the travelling chain.
+type Commitment struct {
+	Host        string
+	Hop         int
+	Entry       string
+	ResultEntry string
+	// PkgHash commits the retained (trace, input) package.
+	PkgHash canon.Digest
+	// StateHash commits the resulting agent state.
+	StateHash canon.Digest
+	Sig       sigcrypto.Signature
+}
+
+// bindingBytes is what the commitment signature covers.
+func (c *Commitment) bindingBytes(agentID string) []byte {
+	return canon.Tuple(
+		[]byte("vigna-commitment"),
+		[]byte(agentID),
+		[]byte(c.Host),
+		[]byte(fmt.Sprintf("%d", c.Hop)),
+		[]byte(c.Entry),
+		[]byte(c.ResultEntry),
+		c.PkgHash[:],
+		c.StateHash[:],
+	)
+}
+
+// Mechanism is the per-node protocol instance. Hosts running it must
+// set host.Config.RecordTrace.
+type Mechanism struct {
+	core.BaseMechanism
+
+	mu    sync.Mutex
+	store map[storeKey][]byte // encoded reference package (trace+input)
+}
+
+type storeKey struct {
+	agentID string
+	hop     int
+}
+
+var (
+	_ core.Mechanism             = (*Mechanism)(nil)
+	_ core.ExecutionLogRequester = (*Mechanism)(nil)
+	_ core.InputRequester        = (*Mechanism)(nil)
+	_ core.CallHandler           = (*Mechanism)(nil)
+)
+
+// New builds the mechanism.
+func New() *Mechanism {
+	return &Mechanism{store: make(map[storeKey][]byte)}
+}
+
+// Name implements core.Mechanism.
+func (m *Mechanism) Name() string { return MechanismName }
+
+// RequestsExecutionLog declares reference data (Fig. 4).
+func (m *Mechanism) RequestsExecutionLog() {}
+
+// RequestsInput declares reference data (Fig. 4).
+func (m *Mechanism) RequestsInput() {}
+
+// PrepareDeparture retains (trace, input) locally and appends a signed
+// commitment to the agent's chain.
+func (m *Mechanism) PrepareDeparture(hc *core.HostContext, ag *agent.Agent, rec *host.SessionRecord) error {
+	if rec.Trace.Len() == 0 && rec.Outcome.Steps > 0 {
+		return fmt.Errorf("vigna: host %s does not record traces (set host.Config.RecordTrace)", rec.HostName)
+	}
+	tr := rec.Trace
+	pkg := &core.ReferencePackage{
+		HostName:    rec.HostName,
+		Hop:         rec.Hop,
+		Entry:       rec.Entry,
+		ResultEntry: rec.ResultEntry,
+		Trace:       &tr,
+		Input:       rec.CloneInput(),
+	}
+	enc, err := pkg.Marshal()
+	if err != nil {
+		return fmt.Errorf("vigna: %w", err)
+	}
+	m.mu.Lock()
+	m.store[storeKey{ag.ID, rec.Hop}] = enc
+	m.mu.Unlock()
+
+	c := Commitment{
+		Host:        rec.HostName,
+		Hop:         rec.Hop,
+		Entry:       rec.Entry,
+		ResultEntry: rec.ResultEntry,
+		PkgHash:     pkg.Digest(),
+		StateHash:   canon.HashState(rec.Resulting),
+	}
+	c.Sig = hc.Host.Keys().Sign(c.bindingBytes(ag.ID))
+
+	chain, err := ChainFromAgent(ag)
+	if err != nil {
+		return fmt.Errorf("vigna: reading chain: %w", err)
+	}
+	chain = append(chain, c)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(chain); err != nil {
+		return fmt.Errorf("vigna: encoding chain: %w", err)
+	}
+	ag.SetBaggage(MechanismName, buf.Bytes())
+	return nil
+}
+
+// CheckAfterSession verifies that the arrived state matches the chain
+// head — the receipt exchange that "prevents the following host from
+// pretending to have received a different initial agent state".
+func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*core.Verdict, error) {
+	if ag.Hop == 0 {
+		return nil, nil
+	}
+	chain, err := ChainFromAgent(ag)
+	if err != nil || len(chain) == 0 {
+		prev := ""
+		if len(ag.Route) > 0 {
+			prev = ag.Route[len(ag.Route)-1]
+		}
+		return &core.Verdict{
+			Mechanism: MechanismName, Moment: core.AfterSession,
+			CheckedHost: prev, CheckedHop: ag.Hop - 1, Checker: hc.Host.Name(),
+			OK: false, Suspect: prev,
+			Reason: "commitment chain missing or malformed",
+		}, nil
+	}
+	head := chain[len(chain)-1]
+	if head.StateHash != ag.StateDigest() {
+		return &core.Verdict{
+			Mechanism: MechanismName, Moment: core.AfterSession,
+			CheckedHost: head.Host, CheckedHop: head.Hop, Checker: hc.Host.Name(),
+			OK: false, Suspect: head.Host,
+			Reason: "arrived state does not match the committed resulting state",
+		}, nil
+	}
+	return nil, nil // silent unless something is off: checks happen on suspicion
+}
+
+// HandleCall serves audit fetches: method "fetch" with a gob-encoded
+// FetchRequest returns the retained (trace, input) package.
+func (m *Mechanism) HandleCall(hc *core.HostContext, method string, body []byte) ([]byte, error) {
+	if method != "fetch" {
+		return nil, fmt.Errorf("%w: vigna/%s", transport.ErrUnknownMethod, method)
+	}
+	var req FetchRequest
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
+		return nil, fmt.Errorf("vigna: malformed fetch request: %w", err)
+	}
+	m.mu.Lock()
+	enc, ok := m.store[storeKey{req.AgentID, req.Hop}]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("vigna: no retained trace for agent %q hop %d", req.AgentID, req.Hop)
+	}
+	return enc, nil
+}
+
+// FetchRequest asks a host for its retained session package.
+type FetchRequest struct {
+	AgentID string
+	Hop     int
+}
+
+// ChainFromAgent decodes the commitment chain from agent baggage.
+func ChainFromAgent(ag *agent.Agent) ([]Commitment, error) {
+	data, ok := ag.GetBaggage(MechanismName)
+	if !ok {
+		return nil, nil
+	}
+	var chain []Commitment
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&chain); err != nil {
+		return nil, fmt.Errorf("vigna: decoding chain: %w", err)
+	}
+	return chain, nil
+}
+
+// Report is the audit outcome. It carries digests, not full states:
+// "only hashes of the final states exist".
+type Report struct {
+	OK bool
+	// Cheater and CheatHop identify the first inconsistent session.
+	Cheater  string
+	CheatHop int
+	Reason   string
+	// SessionsChecked is the number of sessions successfully verified
+	// (before the cheater, if any).
+	SessionsChecked int
+	// TotalTraceEntries counts trace entries fetched and re-executed —
+	// the audit's cost, linear in the agent's running time.
+	TotalTraceEntries int
+	Details           []string
+}
+
+// ErrNoChain is returned when the agent carries no commitments.
+var ErrNoChain = errors.New("vigna: agent carries no commitment chain")
+
+// AuditConfig parameterizes an audit.
+type AuditConfig struct {
+	Net      transport.Network
+	Registry *sigcrypto.Registry
+	// LaunchState and LaunchEntry are the agent's state and entry as
+	// launched by the owner — the root of the re-execution chain.
+	LaunchState value.State
+	LaunchEntry string
+	// Fuel bounds each re-execution; 0 means agentlang.DefaultFuel.
+	Fuel int64
+}
+
+// Audit re-checks an agent's whole journey from its commitment chain,
+// fetching retained traces from the visited hosts and re-executing
+// session by session. It is invoked by the owner "when a fraud is
+// suspected".
+func Audit(cfg AuditConfig, ag *agent.Agent) (*Report, error) {
+	chain, err := ChainFromAgent(ag)
+	if err != nil {
+		return nil, err
+	}
+	if len(chain) == 0 {
+		return nil, ErrNoChain
+	}
+	prog, err := ag.Program()
+	if err != nil {
+		return nil, fmt.Errorf("vigna: audit: %w", err)
+	}
+
+	rep := &Report{}
+	blame := func(c Commitment, reason string) *Report {
+		rep.OK = false
+		rep.Cheater = c.Host
+		rep.CheatHop = c.Hop
+		rep.Reason = reason
+		return rep
+	}
+
+	state := cfg.LaunchState.Clone()
+	entry := cfg.LaunchEntry
+	for i, c := range chain {
+		// Chain continuity.
+		if c.Hop != i {
+			return blame(c, fmt.Sprintf("commitment claims hop %d at position %d", c.Hop, i)), nil
+		}
+		if c.Entry != entry {
+			return blame(c, fmt.Sprintf("session entry %q does not continue previous session (%q expected)", c.Entry, entry)), nil
+		}
+		// Signature.
+		if err := cfg.Registry.Verify(c.bindingBytes(ag.ID), c.Sig); err != nil {
+			return blame(c, fmt.Sprintf("commitment signature invalid: %v", err)), nil
+		}
+		if c.Sig.Signer != c.Host {
+			return blame(c, fmt.Sprintf("commitment signed by %q, not by %q", c.Sig.Signer, c.Host)), nil
+		}
+		// Fetch the retained trace+input and verify against the
+		// commitment ("computes a hash of the received trace and
+		// compares").
+		reqBuf := &bytes.Buffer{}
+		if err := gob.NewEncoder(reqBuf).Encode(FetchRequest{AgentID: ag.ID, Hop: c.Hop}); err != nil {
+			return nil, fmt.Errorf("vigna: encoding fetch: %w", err)
+		}
+		resp, err := cfg.Net.Call(c.Host, MechanismName+"/fetch", reqBuf.Bytes())
+		if err != nil {
+			return blame(c, fmt.Sprintf("host refused audit fetch: %v", err)), nil
+		}
+		pkg, err := core.UnmarshalReferencePackage(resp)
+		if err != nil {
+			return blame(c, fmt.Sprintf("returned package malformed: %v", err)), nil
+		}
+		if pkg.Digest() != c.PkgHash {
+			return blame(c, "returned trace does not match the committed hash"), nil
+		}
+		if pkg.Trace != nil {
+			rep.TotalTraceEntries += pkg.Trace.Len()
+		}
+		// Re-execute from the chained state with the recorded input.
+		replay := agentlang.NewReplayEnv(pkg.Input)
+		outcome, err := agentlang.Run(prog, entry, state, replay, agentlang.Options{Fuel: cfg.Fuel})
+		if err != nil {
+			return blame(c, fmt.Sprintf("re-execution with recorded input fails: %v", err)), nil
+		}
+		if replay.Remaining() != 0 {
+			return blame(c, fmt.Sprintf("recorded input has %d unconsumed records", replay.Remaining())), nil
+		}
+		if canon.HashState(state) != c.StateHash {
+			return blame(c, "re-executed state hash differs from committed resulting state"), nil
+		}
+		nextEntry := ""
+		if outcome.Kind == agentlang.OutcomeMigrated {
+			nextEntry = outcome.MigrateEntry
+		}
+		if nextEntry != c.ResultEntry {
+			return blame(c, fmt.Sprintf("re-execution continues at %q, commitment claims %q", nextEntry, c.ResultEntry)), nil
+		}
+		entry = nextEntry
+		rep.SessionsChecked++
+		rep.Details = append(rep.Details, fmt.Sprintf("session %d@%s verified (state %s)", c.Hop, c.Host, c.StateHash))
+	}
+	rep.OK = true
+	return rep, nil
+}

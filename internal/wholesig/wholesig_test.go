@@ -1,0 +1,130 @@
+package wholesig_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/platformtest"
+	"repro/internal/stopwatch"
+	"repro/internal/transport"
+	"repro/internal/value"
+	"repro/internal/wholesig"
+)
+
+const hopCode = `
+proc main() { x = 1 migrate("h2", "step") }
+proc step() { x = x + 1 migrate("h3", "fin") }
+proc fin() { done() }`
+
+func buildBed(t *testing.T, timer *stopwatch.PhaseTimer, wrap func(transport.Network) transport.Network) *platformtest.Bed {
+	t.Helper()
+	bed := platformtest.New(t)
+	if wrap != nil {
+		bed.WrapNet(wrap)
+	}
+	for _, name := range []string{"h1", "h2", "h3"} {
+		bed.AddHost(name, platformtest.HostOptions{
+			Trusted:    name != "h2",
+			Mechanisms: func() []core.Mechanism { return []core.Mechanism{wholesig.New(timer)} },
+		})
+	}
+	return bed
+}
+
+func TestHonestJourneyVerifiesEveryHop(t *testing.T) {
+	timer := &stopwatch.PhaseTimer{}
+	bed := buildBed(t, timer, nil)
+	ag := bed.NewAgent("a", hopCode)
+	if err := bed.Nodes["h1"].Launch(ag); err != nil {
+		t.Fatal(err)
+	}
+	var okCount int
+	for _, v := range bed.Verdicts() {
+		if v.Mechanism != wholesig.MechanismName {
+			continue
+		}
+		if !v.OK {
+			t.Errorf("failed verdict: %s", v)
+		}
+		okCount++
+	}
+	if okCount != 2 {
+		t.Errorf("verdicts = %d, want 2 (h2 and h3 arrivals)", okCount)
+	}
+	if timer.Get(stopwatch.PhaseSignVerify) <= 0 {
+		t.Error("no crypto time recorded")
+	}
+}
+
+func TestInFlightTamperDetected(t *testing.T) {
+	tamper := attack.TamperStateInFlight("x", value.Int(99))
+	bed := buildBed(t, nil, func(n transport.Network) transport.Network {
+		return &attack.InterceptNetwork{Inner: n, MutateAgent: func(dest string, ag *agent.Agent) error {
+			if dest == "h3" {
+				return tamper(dest, ag)
+			}
+			return nil
+		}}
+	})
+	ag := bed.NewAgent("a", hopCode)
+	err := bed.Nodes["h1"].Launch(ag)
+	if !errors.Is(err, core.ErrDetection) {
+		t.Fatalf("err = %v, want ErrDetection", err)
+	}
+	f := bed.FailedVerdicts()
+	if len(f) != 1 || !strings.Contains(f[0].Reason, "tampered in transit") {
+		t.Errorf("failed = %v", f)
+	}
+}
+
+func TestStrippedSignatureDetected(t *testing.T) {
+	strip := attack.StripBaggage(wholesig.MechanismName)
+	bed := buildBed(t, nil, func(n transport.Network) transport.Network {
+		return &attack.InterceptNetwork{Inner: n, MutateAgent: func(dest string, ag *agent.Agent) error {
+			if dest == "h2" {
+				return strip(dest, ag)
+			}
+			return nil
+		}}
+	})
+	ag := bed.NewAgent("a", hopCode)
+	err := bed.Nodes["h1"].Launch(ag)
+	if !errors.Is(err, core.ErrDetection) {
+		t.Fatalf("err = %v, want ErrDetection", err)
+	}
+	if f := bed.FailedVerdicts(); len(f) != 1 || !strings.Contains(f[0].Reason, "without whole-agent signature") {
+		t.Errorf("failed = %v", f)
+	}
+}
+
+func TestExecutingHostTamperingNOTDetected(t *testing.T) {
+	// The baseline's fundamental gap: a malicious *executing* host signs
+	// whatever it produced — nothing to catch. This is why the paper
+	// needs reference states at all.
+	bed := platformtest.New(t)
+	for _, name := range []string{"h1", "h2", "h3"} {
+		name := name
+		bed.AddHost(name, platformtest.HostOptions{
+			Trusted:    name != "h2",
+			Mechanisms: func() []core.Mechanism { return []core.Mechanism{wholesig.New(nil)} },
+			Configure: func(c *host.Config) {
+				if name == "h2" {
+					c.Behavior = attack.DataManipulation{Var: "x", Val: value.Int(1000)}
+				}
+			},
+		})
+	}
+	ag := bed.NewAgent("a", hopCode)
+	if err := bed.Nodes["h1"].Launch(ag); err != nil {
+		t.Fatalf("executing-host tampering should pass the baseline, got %v", err)
+	}
+	done, _ := bed.Completed()
+	if len(done) != 1 || done[0].State["x"].Int != 1000 {
+		t.Error("tampering did not survive the baseline")
+	}
+}
