@@ -15,11 +15,12 @@
 package agent
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 
 	"repro/internal/agentlang"
 	"repro/internal/canon"
@@ -66,6 +67,17 @@ type Agent struct {
 
 	// prog caches the parsed program; not serialized.
 	prog *agentlang.Program
+
+	// digest memoizes the canonical state digest between mutations.
+	// Every protection mechanism digests the state at sign, handoff,
+	// countersign, and verify time — refproto alone 3-4 times per hop —
+	// so StateDigest is O(1) while the state is unchanged. The platform
+	// write paths (RunSession, SetVar, SetState, MutateState) invalidate
+	// it; direct Go-level writes to State must be followed by
+	// InvalidateStateDigest.
+	digMu    sync.Mutex
+	dig      canon.Digest
+	digValid bool
 }
 
 // New creates an agent with the given identity and code, validating
@@ -131,8 +143,62 @@ func (a *Agent) Validate() error {
 	return nil
 }
 
-// StateDigest returns the canonical digest of the data state.
-func (a *Agent) StateDigest() canon.Digest { return canon.HashState(a.State) }
+// StateDigest returns the canonical digest of the data state. The
+// digest is memoized: repeated calls between mutations cost a mutex
+// acquisition, not a rehash of the whole state.
+func (a *Agent) StateDigest() canon.Digest {
+	a.digMu.Lock()
+	defer a.digMu.Unlock()
+	if !a.digValid {
+		a.dig = canon.HashState(a.State)
+		a.digValid = true
+	}
+	return a.dig
+}
+
+// InvalidateStateDigest drops the memoized state digest. Call it after
+// mutating State directly; the SetVar/SetState/MutateState write paths
+// call it themselves.
+func (a *Agent) InvalidateStateDigest() {
+	a.digMu.Lock()
+	a.digValid = false
+	a.digMu.Unlock()
+}
+
+// seedStateDigest installs a digest computed from the wire encoding.
+func (a *Agent) seedStateDigest(d canon.Digest) {
+	a.digMu.Lock()
+	a.dig = d
+	a.digValid = true
+	a.digMu.Unlock()
+}
+
+// SetVar binds one state variable and invalidates the digest cache.
+func (a *Agent) SetVar(name string, v value.Value) {
+	if a.State == nil {
+		a.State = value.State{}
+	}
+	a.State[name] = v
+	a.InvalidateStateDigest()
+}
+
+// SetState replaces the whole data state and invalidates the digest
+// cache.
+func (a *Agent) SetState(st value.State) {
+	a.State = st
+	a.InvalidateStateDigest()
+}
+
+// MutateState exposes the state for in-place mutation and invalidates
+// the digest cache afterwards, keeping cache coherence in one place for
+// callers that need multi-variable updates.
+func (a *Agent) MutateState(fn func(value.State)) {
+	if a.State == nil {
+		a.State = value.State{}
+	}
+	fn(a.State)
+	a.InvalidateStateDigest()
+}
 
 // Clone returns a deep copy of the agent (sharing only the immutable
 // parsed program).
@@ -152,6 +218,9 @@ func (a *Agent) Clone() *Agent {
 	for k, v := range a.Baggage {
 		out.Baggage[k] = append([]byte(nil), v...)
 	}
+	a.digMu.Lock()
+	out.dig, out.digValid = a.dig, a.digValid
+	a.digMu.Unlock()
 	return out
 }
 
@@ -182,18 +251,24 @@ func (a *Agent) BaggageKeys() []string {
 	return keys
 }
 
-// wireAgent is the gob wire representation.
-type wireAgent struct {
-	ID         string
-	Owner      string
-	Code       string
-	CodeDigest canon.Digest
-	StateEnc   []byte // canonical state encoding
-	Entry      string
-	Hop        int
-	Route      []string
-	Baggage    map[string][]byte
-}
+// Wire layout: one canonical tuple. The agent used to travel as gob;
+// migration happens once per hop per agent, and gob's encoder setup
+// plus type negotiation dominated the marshalling profile, so the wire
+// is now the same length-framed tuple format everything else uses.
+//
+//	0  format label ("agent-wire")
+//	1  ID
+//	2  Owner
+//	3  Code
+//	4  CodeDigest
+//	5  canonical state encoding
+//	6  Entry
+//	7  Hop, 8-byte big-endian
+//	8  route length, 8-byte big-endian
+//	9  baggage count, 8-byte big-endian
+//	10+ route hosts, then (mechanism, payload) baggage pairs in sorted
+//	    mechanism order
+const agentWireLabel = "agent-wire"
 
 // Marshal serializes the agent for migration. The data state travels in
 // canonical encoding so that the bytes a host signs are exactly the
@@ -202,52 +277,87 @@ func (a *Agent) Marshal() ([]byte, error) {
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("agent: refusing to marshal invalid agent: %w", err)
 	}
-	w := wireAgent{
-		ID:         a.ID,
-		Owner:      a.Owner,
-		Code:       a.Code,
-		CodeDigest: a.CodeDigest,
-		StateEnc:   canon.EncodeState(a.State),
-		Entry:      a.Entry,
-		Hop:        a.Hop,
-		Route:      a.Route,
-		Baggage:    a.Baggage,
+	var hopBuf, routeBuf, bagBuf [8]byte
+	binary.BigEndian.PutUint64(hopBuf[:], uint64(a.Hop))
+	binary.BigEndian.PutUint64(routeBuf[:], uint64(len(a.Route)))
+	binary.BigEndian.PutUint64(bagBuf[:], uint64(len(a.Baggage)))
+	fields := make([][]byte, 0, 10+len(a.Route)+2*len(a.Baggage))
+	fields = append(fields,
+		[]byte(agentWireLabel),
+		[]byte(a.ID),
+		[]byte(a.Owner),
+		[]byte(a.Code),
+		a.CodeDigest[:],
+		canon.EncodeState(a.State),
+		[]byte(a.Entry),
+		hopBuf[:],
+		routeBuf[:],
+		bagBuf[:],
+	)
+	for _, h := range a.Route {
+		fields = append(fields, []byte(h))
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		return nil, fmt.Errorf("agent: encoding: %w", err)
+	for _, k := range a.BaggageKeys() {
+		fields = append(fields, []byte(k), a.Baggage[k])
 	}
-	return buf.Bytes(), nil
+	return canon.Tuple(fields...), nil
 }
 
 // Unmarshal deserializes an agent received from the network and
 // validates it.
 func Unmarshal(data []byte) (*Agent, error) {
-	var w wireAgent
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+	fields, err := canon.ParseTuple(data)
+	if err != nil {
 		return nil, fmt.Errorf("agent: decoding: %w", err)
 	}
-	st, err := canon.DecodeState(w.StateEnc)
+	if len(fields) < 10 || string(fields[0]) != agentWireLabel {
+		return nil, fmt.Errorf("agent: decoding: %w", canon.ErrMalformed)
+	}
+	if len(fields[4]) != len(canon.Digest{}) ||
+		len(fields[7]) != 8 || len(fields[8]) != 8 || len(fields[9]) != 8 {
+		return nil, fmt.Errorf("agent: decoding: %w", canon.ErrMalformed)
+	}
+	nRoute := binary.BigEndian.Uint64(fields[8])
+	nBag := binary.BigEndian.Uint64(fields[9])
+	// Bound each count individually before the arithmetic: the counts
+	// are attacker controlled, and an unchecked sum could wrap uint64
+	// and admit an encoding whose trailing fields are silently dropped.
+	if nRoute > uint64(len(fields)) || nBag > uint64(len(fields)) ||
+		uint64(len(fields)) != 10+nRoute+2*nBag {
+		return nil, fmt.Errorf("agent: decoding: %w: field count", canon.ErrMalformed)
+	}
+	st, err := canon.DecodeState(fields[5])
 	if err != nil {
 		return nil, fmt.Errorf("agent: decoding state: %w", err)
 	}
 	a := &Agent{
-		ID:         w.ID,
-		Owner:      w.Owner,
-		Code:       w.Code,
-		CodeDigest: w.CodeDigest,
+		ID:         string(fields[1]),
+		Owner:      string(fields[2]),
+		Code:       string(fields[3]),
+		CodeDigest: canon.Digest(fields[4]),
 		State:      st,
-		Entry:      w.Entry,
-		Hop:        w.Hop,
-		Route:      w.Route,
-		Baggage:    w.Baggage,
+		Entry:      string(fields[6]),
+		Hop:        int(binary.BigEndian.Uint64(fields[7])),
+		Baggage:    make(map[string][]byte, nBag),
 	}
-	if a.Baggage == nil {
-		a.Baggage = make(map[string][]byte)
+	off := 10
+	for i := 0; i < int(nRoute); i++ {
+		a.Route = append(a.Route, string(fields[off]))
+		off++
+	}
+	for i := 0; i < int(nBag); i++ {
+		// Copy the payload: baggage outlives the wire buffer.
+		a.Baggage[string(fields[off])] = append([]byte(nil), fields[off+1]...)
+		off += 2
 	}
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
+	// The wire encoding IS the canonical state encoding, so the arrival
+	// digest comes from one pass over bytes already in hand — the first
+	// StateDigest call on a freshly arrived agent (every mechanism's
+	// CheckAfterSession makes one) costs nothing extra.
+	a.seedStateDigest(canon.HashBytes(fields[5]))
 	return a, nil
 }
 
@@ -257,11 +367,19 @@ func Unmarshal(data []byte) (*Agent, error) {
 // initial-state signature from being replayed as a resulting-state
 // signature and vice versa.
 func (a *Agent) SessionBinding(role string, hop int, stateDigest canon.Digest) []byte {
-	return canon.Tuple(
+	return a.AppendSessionBinding(nil, role, hop, stateDigest)
+}
+
+// AppendSessionBinding appends the session binding to dst and returns
+// the extended slice. Hot signing paths pass a pooled buffer
+// (canon.GetBuf) so per-signature allocation stays flat.
+func (a *Agent) AppendSessionBinding(dst []byte, role string, hop int, stateDigest canon.Digest) []byte {
+	var hopBuf [20]byte
+	return canon.AppendTuple(dst,
 		[]byte("session"),
 		[]byte(a.ID),
 		a.CodeDigest[:],
-		[]byte(fmt.Sprintf("%d", hop)),
+		strconv.AppendInt(hopBuf[:0], int64(hop), 10),
 		[]byte(role),
 		stateDigest[:],
 	)

@@ -206,7 +206,7 @@ func TestSessionBindingDistinguishesRoles(t *testing.T) {
 func TestSessionBindingDependsOnState(t *testing.T) {
 	a := newTestAgent(t)
 	d1 := a.StateDigest()
-	a.State["x"] = value.Int(1)
+	a.SetVar("x", value.Int(1))
 	d2 := a.StateDigest()
 	if string(a.SessionBinding("initial", 0, d1)) == string(a.SessionBinding("initial", 0, d2)) {
 		t.Error("binding ignores state digest")

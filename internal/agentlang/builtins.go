@@ -70,7 +70,11 @@ var builtins = map[string]builtinSpec{
 			return value.Null(), err
 		}
 		out := make([]value.Value, 0, len(args[0].List)+len(args)-1)
-		out = append(out, args[0].List...)
+		for _, e := range args[0].List {
+			// ShareFrom: elements copied out of a snapshot-shared list
+			// still point into snapshot storage one level down.
+			out = append(out, value.ShareFrom(args[0], e))
+		}
 		out = append(out, args[1:]...)
 		return value.List(out...), nil
 	}},
@@ -170,7 +174,7 @@ var builtins = map[string]builtinSpec{
 			return value.Null(), err
 		}
 		if v, ok := args[0].Map[args[1].Str]; ok {
-			return v, nil
+			return value.ShareFrom(args[0], v), nil
 		}
 		return args[2], nil
 	}},
@@ -184,7 +188,7 @@ var builtins = map[string]builtinSpec{
 		out := make(map[string]value.Value, len(args[0].Map))
 		for k, v := range args[0].Map {
 			if k != args[1].Str {
-				out[k] = v
+				out[k] = value.ShareFrom(args[0], v)
 			}
 		}
 		return value.Map(out), nil
@@ -194,7 +198,9 @@ var builtins = map[string]builtinSpec{
 			return value.Null(), err
 		}
 		out := make([]value.Value, len(args[0].List))
-		copy(out, args[0].List)
+		for i, e := range args[0].List {
+			out[i] = value.ShareFrom(args[0], e)
+		}
 		sort.SliceStable(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 		return value.List(out...), nil
 	}},
@@ -219,7 +225,9 @@ var builtins = map[string]builtinSpec{
 				return value.Null(), fmt.Errorf("slice: bounds [%d:%d] out of range for length %d", i, j, n)
 			}
 			out := make([]value.Value, j-i)
-			copy(out, args[0].List[i:j])
+			for n, e := range args[0].List[i:j] {
+				out[n] = value.ShareFrom(args[0], e)
+			}
 			return value.List(out...), nil
 		default:
 			return value.Null(), fmt.Errorf("slice: unsupported kind %s", args[0].Kind)
@@ -240,8 +248,10 @@ var builtins = map[string]builtinSpec{
 
 func extremum(name string, args []value.Value, better func(int) bool) (value.Value, error) {
 	items := args
+	parent := value.Null()
 	if len(args) == 1 && args[0].Kind == value.KindList {
 		items = args[0].List
+		parent = args[0]
 		if len(items) == 0 {
 			return value.Null(), fmt.Errorf("%s: empty list", name)
 		}
@@ -255,5 +265,5 @@ func extremum(name string, args []value.Value, better func(int) bool) (value.Val
 			best = e
 		}
 	}
-	return best, nil
+	return value.ShareFrom(parent, best), nil
 }

@@ -394,19 +394,17 @@ func (in *interp) emit(sid int, assigned []Assignment) {
 
 // assignPath performs an indexed write like xs[i] = v or m["k"]["j"] = v.
 // Composite values have reference semantics (like the Java objects of
-// the paper's Mole agents), so the write mutates shared storage.
+// the paper's Mole agents), so the write mutates shared storage —
+// unless a level is marked as co-owned with a copy-on-write snapshot
+// (value.State.Snapshot), in which case that level is copied before
+// the write so the snapshot stays intact.
 func (in *interp) assignPath(st *assignStmt, v value.Value, locals []value.Value) error {
-	var cur value.Value
-	if st.local >= 0 {
-		cur = locals[st.local]
-	} else {
-		var ok bool
-		cur, ok = in.globals[st.name]
-		if !ok {
-			return rtErrf(st.p, "indexed assignment to undefined variable %q", st.name)
-		}
-	}
-	for depth, idxExpr := range st.path {
+	// Evaluate the index expressions up front (left to right, as the
+	// in-place walk did) so the copy-on-write descent below is a pure
+	// structural operation.
+	var idxBuf [4]value.Value
+	idxs := idxBuf[:0]
+	for _, idxExpr := range st.path {
 		idx, c, err := in.eval(idxExpr, locals)
 		if err != nil {
 			return err
@@ -414,38 +412,80 @@ func (in *interp) assignPath(st *assignStmt, v value.Value, locals []value.Value
 		if c != ctrlNone {
 			return rtErrf(st.p, "control transfer inside index expression")
 		}
-		last := depth == len(st.path)-1
-		switch cur.Kind {
-		case value.KindList:
-			if idx.Kind != value.KindInt {
-				return rtErrf(st.p, "list index must be int, got %s", idx.Kind)
-			}
-			if idx.Int < 0 || idx.Int >= int64(len(cur.List)) {
-				return rtErrf(st.p, "list index %d out of range (len %d)", idx.Int, len(cur.List))
-			}
-			if last {
-				cur.List[idx.Int] = v
-				return nil
-			}
-			cur = cur.List[idx.Int]
-		case value.KindMap:
-			if idx.Kind != value.KindString {
-				return rtErrf(st.p, "map key must be string, got %s", idx.Kind)
-			}
-			if last {
-				cur.Map[idx.Str] = v
-				return nil
-			}
-			next, ok := cur.Map[idx.Str]
-			if !ok {
-				return rtErrf(st.p, "map key %q not present", idx.Str)
-			}
-			cur = next
-		default:
-			return rtErrf(st.p, "cannot index into %s", cur.Kind)
+		idxs = append(idxs, idx)
+	}
+	var root value.Value
+	if st.local >= 0 {
+		root = locals[st.local]
+	} else {
+		var ok bool
+		root, ok = in.globals[st.name]
+		if !ok {
+			return rtErrf(st.p, "indexed assignment to undefined variable %q", st.name)
 		}
 	}
+	root, err := in.setAt(root, idxs, v, st)
+	if err != nil {
+		return err
+	}
+	// Store the (possibly copied) root back into its binding.
+	if st.local >= 0 {
+		locals[st.local] = root
+	} else {
+		in.globals[st.name] = root
+	}
 	return nil
+}
+
+// setAt writes v at the position named by idxs inside cur, taking
+// exclusive ownership of every level on the path (copy-on-write), and
+// returns the updated node. On error nothing observable is mutated.
+func (in *interp) setAt(cur value.Value, idxs []value.Value, v value.Value, st *assignStmt) (value.Value, error) {
+	idx := idxs[0]
+	switch cur.Kind {
+	case value.KindList:
+		if idx.Kind != value.KindInt {
+			return cur, rtErrf(st.p, "list index must be int, got %s", idx.Kind)
+		}
+		if idx.Int < 0 || idx.Int >= int64(len(cur.List)) {
+			return cur, rtErrf(st.p, "list index %d out of range (len %d)", idx.Int, len(cur.List))
+		}
+		// Own before descending: the copy pushes the shared flag down
+		// onto its elements, so a deeper write cannot mutate storage the
+		// snapshot still co-owns.
+		cur = value.Owned(cur)
+		if len(idxs) == 1 {
+			cur.List[idx.Int] = v
+			return cur, nil
+		}
+		child, err := in.setAt(cur.List[idx.Int], idxs[1:], v, st)
+		if err != nil {
+			return cur, err
+		}
+		cur.List[idx.Int] = child
+		return cur, nil
+	case value.KindMap:
+		if idx.Kind != value.KindString {
+			return cur, rtErrf(st.p, "map key must be string, got %s", idx.Kind)
+		}
+		cur = value.Owned(cur)
+		if len(idxs) == 1 {
+			cur.Map[idx.Str] = v
+			return cur, nil
+		}
+		next, ok := cur.Map[idx.Str]
+		if !ok {
+			return cur, rtErrf(st.p, "map key %q not present", idx.Str)
+		}
+		child, err := in.setAt(next, idxs[1:], v, st)
+		if err != nil {
+			return cur, err
+		}
+		cur.Map[idx.Str] = child
+		return cur, nil
+	default:
+		return cur, rtErrf(st.p, "cannot index into %s", cur.Kind)
+	}
 }
 
 func (in *interp) eval(e expr, locals []value.Value) (value.Value, ctrl, error) {
@@ -511,7 +551,10 @@ func (in *interp) eval(e expr, locals []value.Value) (value.Value, ctrl, error) 
 			if idx.Int < 0 || idx.Int >= int64(len(base.List)) {
 				return value.Null(), ctrlNone, rtErrf(ex.p, "list index %d out of range (len %d)", idx.Int, len(base.List))
 			}
-			return base.List[idx.Int], ctrlNone, nil
+			// ShareFrom: a child read out of a snapshot-shared composite
+			// co-owns snapshot storage, so writes through the extracted
+			// value must copy-on-write too.
+			return value.ShareFrom(base, base.List[idx.Int]), ctrlNone, nil
 		case value.KindMap:
 			if idx.Kind != value.KindString {
 				return value.Null(), ctrlNone, rtErrf(ex.p, "map key must be string, got %s", idx.Kind)
@@ -520,7 +563,7 @@ func (in *interp) eval(e expr, locals []value.Value) (value.Value, ctrl, error) 
 			if !ok {
 				return value.Null(), ctrlNone, rtErrf(ex.p, "map key %q not present", idx.Str)
 			}
-			return v, ctrlNone, nil
+			return value.ShareFrom(base, v), ctrlNone, nil
 		case value.KindString:
 			if idx.Kind != value.KindInt {
 				return value.Null(), ctrlNone, rtErrf(ex.p, "string index must be int, got %s", idx.Kind)

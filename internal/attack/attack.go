@@ -218,7 +218,10 @@ func StripBaggage(mechanism string) func(string, *agent.Agent) error {
 // state variable while the agent is in transit.
 func TamperStateInFlight(name string, val value.Value) func(string, *agent.Agent) error {
 	return func(_ string, ag *agent.Agent) error {
-		ag.State[name] = val.Clone()
+		// SetVar keeps the agent's memoized state digest coherent — the
+		// attack must be visible to digest-based checks, not hidden by a
+		// stale cache.
+		ag.SetVar(name, val.Clone())
 		return nil
 	}
 }

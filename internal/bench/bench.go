@@ -210,9 +210,9 @@ func Run(level protection.Level, w Workload) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	ag.State["hops"] = value.Int(0)
-	ag.State["got"] = value.List()
-	ag.State["sum"] = value.Int(0)
+	ag.SetVar("hops", value.Int(0))
+	ag.SetVar("got", value.List())
+	ag.SetVar("sum", value.Int(0))
 
 	begin := time.Now()
 	// The first host runs the first session itself; delivery to host1

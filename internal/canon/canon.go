@@ -43,8 +43,41 @@ const version byte = 0x01
 // canonical encoding.
 var ErrMalformed = errors.New("canon: malformed encoding")
 
+// ErrTooLarge is the sentinel wrapped by the *SizeError panic raised
+// when encoding a value whose length exceeds the format's maximum. It
+// exists so callers can errors.Is a recovered panic value.
+var ErrTooLarge = errors.New("canon: length exceeds encodable maximum")
+
+// SizeError is the typed panic value raised by the encoding paths when
+// a string, list, map, state, or tuple is too long for the format's
+// 32-bit length prefixes. Emitting a truncated prefix instead would
+// produce bytes the decoder misparses — a silent digest mismatch — so
+// oversized input is treated as a programming error, not a value.
+type SizeError struct {
+	What string
+	N    int
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("canon: %s length %d exceeds maximum %d", e.What, e.N, maxLen)
+}
+
+// Unwrap lets errors.Is(err, ErrTooLarge) match a recovered SizeError.
+func (e *SizeError) Unwrap() error { return ErrTooLarge }
+
+// guardLen validates a length against maxLen before it is narrowed to
+// the wire's uint32 prefix.
+func guardLen(what string, n int) uint32 {
+	if n > maxLen {
+		panic(&SizeError{What: what, N: n})
+	}
+	return uint32(n)
+}
+
 // maxLen bounds individual string/list/map lengths during decoding so a
-// hostile peer cannot force huge allocations from a short message.
+// hostile peer cannot force huge allocations from a short message, and
+// bounds the same lengths during encoding so a length can never be
+// silently truncated to its 32-bit prefix.
 const maxLen = 1 << 26
 
 // AppendValue appends the canonical encoding of v to dst and returns
@@ -56,7 +89,7 @@ func AppendValue(dst []byte, v value.Value) []byte {
 		dst = binary.BigEndian.AppendUint64(dst, uint64(v.Int))
 	case value.KindString:
 		dst = append(dst, tagString)
-		dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.Str)))
+		dst = binary.BigEndian.AppendUint32(dst, guardLen("string", len(v.Str)))
 		dst = append(dst, v.Str...)
 	case value.KindBool:
 		dst = append(dst, tagBool)
@@ -67,16 +100,16 @@ func AppendValue(dst []byte, v value.Value) []byte {
 		}
 	case value.KindList:
 		dst = append(dst, tagList)
-		dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.List)))
+		dst = binary.BigEndian.AppendUint32(dst, guardLen("list", len(v.List)))
 		for _, e := range v.List {
 			dst = AppendValue(dst, e)
 		}
 	case value.KindMap:
 		dst = append(dst, tagMap)
 		keys := value.SortedKeys(v.Map)
-		dst = binary.BigEndian.AppendUint32(dst, uint32(len(keys)))
+		dst = binary.BigEndian.AppendUint32(dst, guardLen("map", len(keys)))
 		for _, k := range keys {
-			dst = binary.BigEndian.AppendUint32(dst, uint32(len(k)))
+			dst = binary.BigEndian.AppendUint32(dst, guardLen("map key", len(k)))
 			dst = append(dst, k...)
 			dst = AppendValue(dst, v.Map[k])
 		}
@@ -103,9 +136,9 @@ func AppendState(dst []byte, s value.State) []byte {
 		names = append(names, k)
 	}
 	sort.Strings(names)
-	dst = binary.BigEndian.AppendUint32(dst, uint32(len(names)))
+	dst = binary.BigEndian.AppendUint32(dst, guardLen("state", len(names)))
 	for _, k := range names {
-		dst = binary.BigEndian.AppendUint32(dst, uint32(len(k)))
+		dst = binary.BigEndian.AppendUint32(dst, guardLen("state var", len(k)))
 		dst = append(dst, k...)
 		dst = AppendValue(dst, s[k])
 	}
@@ -129,14 +162,63 @@ func Tuple(fields ...[]byte) []byte {
 	for _, f := range fields {
 		n += 4 + len(f)
 	}
-	dst := make([]byte, 0, n)
+	return AppendTuple(make([]byte, 0, n), fields...)
+}
+
+// AppendTuple appends the framed tuple encoding of fields to dst and
+// returns the extended slice. Combined with GetBuf/PutBuf it lets hot
+// signing paths assemble bindings without a per-message allocation.
+func AppendTuple(dst []byte, fields ...[]byte) []byte {
 	dst = append(dst, version, tagTuple)
-	dst = binary.BigEndian.AppendUint32(dst, uint32(len(fields)))
+	dst = binary.BigEndian.AppendUint32(dst, guardLen("tuple", len(fields)))
 	for _, f := range fields {
-		dst = binary.BigEndian.AppendUint32(dst, uint32(len(f)))
+		dst = binary.BigEndian.AppendUint32(dst, guardLen("tuple field", len(f)))
 		dst = append(dst, f...)
 	}
 	return dst
+}
+
+// ParseTuple splits a framed tuple produced by Tuple/AppendTuple back
+// into its fields. The returned sub-slices alias b.
+func ParseTuple(b []byte) ([][]byte, error) {
+	d := &decoder{buf: b}
+	v, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("%w: unsupported version 0x%02x", ErrMalformed, v)
+	}
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if tag != tagTuple {
+		return nil, fmt.Errorf("%w: expected tuple tag, got 0x%02x", ErrMalformed, tag)
+	}
+	n, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxLen {
+		return nil, ErrMalformed
+	}
+	fields := make([][]byte, 0, min(int(n), 1024))
+	for i := 0; i < int(n); i++ {
+		ln, err := d.uint32()
+		if err != nil {
+			return nil, err
+		}
+		f, err := d.bytes(int(ln))
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, f)
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(b)-d.off)
+	}
+	return fields, nil
 }
 
 // Digest is a SHA-256 digest of a canonical encoding.
@@ -151,15 +233,44 @@ func (d Digest) IsZero() bool { return d == Digest{} }
 // HashBytes digests an arbitrary byte string.
 func HashBytes(b []byte) Digest { return sha256.Sum256(b) }
 
-// HashValue digests the canonical encoding of a value.
-func HashValue(v value.Value) Digest { return sha256.Sum256(EncodeValue(v)) }
+// HashValue digests the canonical encoding of a value by streaming it
+// into a pooled SHA-256 state — no intermediate slice is built.
+func HashValue(v value.Value) Digest {
+	x := hasherPool.Get().(*Hasher)
+	x.Reset()
+	x.Version()
+	x.Value(v)
+	d := x.Sum()
+	hasherPool.Put(x)
+	return d
+}
 
-// HashState digests the canonical encoding of a state. Two states have
-// equal digests iff value.State.Equal holds (up to hash collisions).
-func HashState(s value.State) Digest { return sha256.Sum256(EncodeState(s)) }
+// HashState digests the canonical encoding of a state without
+// materializing it. Two states have equal digests iff value.State.Equal
+// holds (up to hash collisions).
+func HashState(s value.State) Digest {
+	x := hasherPool.Get().(*Hasher)
+	x.Reset()
+	x.Version()
+	x.State(s)
+	d := x.Sum()
+	hasherPool.Put(x)
+	return d
+}
 
-// HashTuple digests a framed tuple of byte fields.
-func HashTuple(fields ...[]byte) Digest { return sha256.Sum256(Tuple(fields...)) }
+// HashTuple digests a framed tuple of byte fields via the streaming
+// path.
+func HashTuple(fields ...[]byte) Digest {
+	x := hasherPool.Get().(*Hasher)
+	x.Reset()
+	x.TupleHeader(len(fields))
+	for _, f := range fields {
+		x.Field(f)
+	}
+	d := x.Sum()
+	hasherPool.Put(x)
+	return d
+}
 
 // decoder walks an encoded buffer.
 type decoder struct {

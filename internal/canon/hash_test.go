@@ -1,0 +1,187 @@
+package canon
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// hashStates covers every kind, nesting, and map-ordering hazard the
+// streaming hasher must reproduce byte-for-byte.
+func hashStates() []value.State {
+	return []value.State{
+		{},
+		{"x": value.Int(-7)},
+		{"s": value.Str("0123456789"), "b": value.Bool(true), "n": value.Null()},
+		{"xs": value.List(value.Int(1), value.Str("two"), value.List(value.Bool(false)))},
+		{"m": value.Map(map[string]value.Value{
+			"zz": value.Int(1),
+			"aa": value.Map(map[string]value.Value{"inner": value.List(value.Str("deep"))}),
+			"mm": value.Str(""),
+		})},
+		benchState(50),
+	}
+}
+
+func benchState(vars int) value.State {
+	s := value.State{}
+	for c := 0; c < vars; c++ {
+		s[fmt.Sprintf("var%02d", c)] = value.List(
+			value.Int(int64(c)), value.Str("0123456789"),
+			value.Map(map[string]value.Value{"k": value.Int(int64(c * 2))}))
+	}
+	return s
+}
+
+func TestStreamingHashMatchesMaterialized(t *testing.T) {
+	for i, s := range hashStates() {
+		want := Digest(sha256.Sum256(EncodeState(s)))
+		if got := HashState(s); got != want {
+			t.Errorf("state %d: streaming digest %s != materialized %s", i, got, want)
+		}
+		for k, v := range s {
+			want := Digest(sha256.Sum256(EncodeValue(v)))
+			if got := HashValue(v); got != want {
+				t.Errorf("state %d, value %q: streaming digest mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestStreamingHashTupleMatchesMaterialized(t *testing.T) {
+	fields := [][]byte{[]byte("role"), nil, []byte("0123456789")}
+	want := Digest(sha256.Sum256(Tuple(fields...)))
+	if got := HashTuple(fields...); got != want {
+		t.Errorf("tuple digest: streaming %s != materialized %s", got, want)
+	}
+}
+
+func TestHasherFieldHelpersMatchMaterializedTuple(t *testing.T) {
+	s := value.State{"x": value.Int(1), "ys": value.List(value.Str("a"))}
+	v := value.Map(map[string]value.Value{"k": value.Int(2)})
+	fields := [][]byte{[]byte("label"), EncodeValue(v), EncodeState(s)}
+	want := Digest(sha256.Sum256(Tuple(fields...)))
+
+	x := NewHasher()
+	x.TupleHeader(3)
+	x.StringField("label")
+	x.ValueField(v)
+	x.StateField(s)
+	if got := x.Sum(); got != want {
+		t.Errorf("field helpers: streaming %s != materialized %s", got, want)
+	}
+
+	// Reset must produce an independent second digest.
+	x.Reset()
+	x.Version()
+	x.State(s)
+	if got, want := x.Sum(), HashState(s); got != want {
+		t.Errorf("after Reset: %s != %s", got, want)
+	}
+}
+
+func TestSizeHelpersMatchEncoding(t *testing.T) {
+	for i, s := range hashStates() {
+		if got, want := SizeState(s), len(AppendState(nil, s)); got != want {
+			t.Errorf("state %d: SizeState = %d, encoded length = %d", i, got, want)
+		}
+		for k, v := range s {
+			if got, want := SizeValue(v), len(AppendValue(nil, v)); got != want {
+				t.Errorf("state %d, value %q: SizeValue = %d, encoded length = %d", i, k, got, want)
+			}
+		}
+	}
+}
+
+func TestParseTupleRoundTrip(t *testing.T) {
+	fields := [][]byte{[]byte("a"), nil, []byte("0123456789")}
+	got, err := ParseTuple(Tuple(fields...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(fields) {
+		t.Fatalf("got %d fields, want %d", len(got), len(fields))
+	}
+	for i := range fields {
+		if string(got[i]) != string(fields[i]) {
+			t.Errorf("field %d: %q != %q", i, got[i], fields[i])
+		}
+	}
+	if _, err := ParseTuple(append(Tuple(fields...), 0)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("trailing byte accepted: %v", err)
+	}
+	if _, err := ParseTuple([]byte{version, tagTuple, 0, 0, 0, 9}); err == nil {
+		t.Error("truncated tuple accepted")
+	}
+}
+
+func TestEncodeOversizedPanicsTyped(t *testing.T) {
+	big := value.Str(string(make([]byte, maxLen+1)))
+	cases := map[string]func(){
+		"AppendValue": func() { AppendValue(nil, big) },
+		"AppendState": func() { AppendState(nil, value.State{"x": big}) },
+		"Tuple":       func() { Tuple(make([]byte, maxLen+1)) },
+		"Hasher":      func() { NewHasher().Value(big) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s: no panic on oversized input", name)
+					return
+				}
+				err, ok := r.(error)
+				if !ok || !errors.Is(err, ErrTooLarge) {
+					t.Errorf("%s: panic value %v does not wrap ErrTooLarge", name, r)
+				}
+				var se *SizeError
+				if !errors.As(err, &se) {
+					t.Errorf("%s: panic value %T is not a *SizeError", name, err)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestHashStateAllocs pins the streaming path's allocation ceiling: the
+// pooled hasher makes steady-state digesting allocation-free.
+func TestHashStateAllocs(t *testing.T) {
+	s := benchState(50)
+	HashState(s) // warm the pool and key scratch
+	if avg := testing.AllocsPerRun(100, func() { HashState(s) }); avg > 0 {
+		t.Errorf("HashState allocs/op = %.1f, want 0", avg)
+	}
+	v := s["var01"]
+	HashValue(v)
+	if avg := testing.AllocsPerRun(100, func() { HashValue(v) }); avg > 0 {
+		t.Errorf("HashValue allocs/op = %.1f, want 0", avg)
+	}
+	fields := [][]byte{[]byte("trace"), []byte("0123456789")}
+	if avg := testing.AllocsPerRun(100, func() { HashTuple(fields...) }); avg > 1 {
+		t.Errorf("HashTuple allocs/op = %.1f, want <= 1 (variadic slice)", avg)
+	}
+}
+
+// BenchmarkHashStateStreaming measures the new zero-copy digest path;
+// BenchmarkHashStateMaterialized is the seed's encode-then-hash
+// baseline kept for comparison (the PR's headline numbers).
+func BenchmarkHashStateStreaming(b *testing.B) {
+	s := benchState(50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HashState(s)
+	}
+}
+
+func BenchmarkHashStateMaterialized(b *testing.B) {
+	s := benchState(50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Digest(sha256.Sum256(EncodeState(s)))
+	}
+}

@@ -55,7 +55,9 @@ func UnorderedListComparer(unorderedVars ...string) StateComparer {
 		unordered[v] = true
 	}
 	return func(reexecuted, claimed value.State) (bool, []string) {
-		a, b := reexecuted.Clone(), claimed.Clone()
+		// Snapshots suffice: normalizeList only rebinds whole variables
+		// to freshly built lists.
+		a, b := reexecuted.Snapshot(), claimed.Snapshot()
 		for name := range unordered {
 			normalizeList(a, name)
 			normalizeList(b, name)
@@ -123,7 +125,11 @@ func (r *ReExecChecker) Check(cc *CheckContext) (bool, []string, error) {
 		return false, nil, fmt.Errorf("core: re-execution: %w", err)
 	}
 
-	working := initial.Clone()
+	// A copy-on-write snapshot instead of a deep clone: the live session
+	// ran on a state flagged by RunSession's own snapshot, so the
+	// re-execution sees the same copy-on-write behaviour — and the
+	// packaged initial state stays intact for later evidence.
+	working := initial.Snapshot()
 	replay := agentlang.NewReplayEnv(input)
 	outcome, err := agentlang.Run(prog, pkg.Entry, working, replay, agentlang.Options{Fuel: r.Fuel, Hook: r.Hook})
 	if err != nil {

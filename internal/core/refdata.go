@@ -1,8 +1,7 @@
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -64,7 +63,9 @@ type ReferencePackage struct {
 
 // BuildReferencePackage assembles a package from a session record,
 // including only the data kinds the mechanism declares via requester
-// interfaces. Snapshots are deep copies.
+// interfaces. States are copy-on-write snapshots of the (finalized)
+// record; resources are deep copies because the host's resource store
+// is shared across concurrent sessions and must not carry flags.
 func BuildReferencePackage(m Mechanism, rec *host.SessionRecord, resources map[string]value.Value) *ReferencePackage {
 	pkg := &ReferencePackage{
 		HostName:    rec.HostName,
@@ -73,10 +74,10 @@ func BuildReferencePackage(m Mechanism, rec *host.SessionRecord, resources map[s
 		ResultEntry: rec.ResultEntry,
 	}
 	if _, ok := m.(InitialStateRequester); ok {
-		pkg.InitialState = rec.Initial.Clone()
+		pkg.InitialState = rec.Initial.Snapshot()
 	}
 	if _, ok := m.(ResultingStateRequester); ok {
-		pkg.ResultingState = rec.Resulting.Clone()
+		pkg.ResultingState = rec.Resulting.Snapshot()
 	}
 	if _, ok := m.(InputRequester); ok {
 		pkg.Input = rec.CloneInput()
@@ -94,185 +95,283 @@ func BuildReferencePackage(m Mechanism, rec *host.SessionRecord, resources map[s
 	return pkg
 }
 
-// wireRefPkg is the gob wire form; states and values travel in
-// canonical encoding.
-type wireRefPkg struct {
-	HostName    string
-	Hop         int
-	Entry       string
-	ResultEntry string
+// Wire layout: one canonical tuple with a presence bitmap. Reference
+// packages are built and parsed once per hop per mechanism; the gob
+// form this replaces paid encoder setup and type negotiation every
+// time.
+//
+//	0  format label ("refpkg-wire")
+//	1  HostName
+//	2  Hop, 8-byte big-endian
+//	3  Entry
+//	4  ResultEntry
+//	5  presence flags, 1 byte
+//	6  initial state encoding (empty unless flagged)
+//	7  resulting state encoding (empty unless flagged)
+//	8  trace encoding (empty unless flagged)
+//	9  input record count, 8-byte big-endian
+//	10 resource count, 8-byte big-endian
+//	11+ per input record: call, arg count (8-byte), args..., result;
+//	    then per resource (sorted): key, value encoding
+const refPkgWireLabel = "refpkg-wire"
 
-	HasInitial   bool
-	InitialEnc   []byte
-	HasResulting bool
-	ResultingEnc []byte
-
-	HasInput   bool
-	InputCalls []string
-	InputArgs  [][][]byte
-	InputRes   [][]byte
-
-	HasTrace bool
-	TraceEnc []byte
-
-	HasResources bool
-	ResourceKeys []string
-	ResourceVals [][]byte
-}
+const (
+	refPkgHasInitial = 1 << iota
+	refPkgHasResulting
+	refPkgHasInput
+	refPkgHasTrace
+	refPkgHasResources
+)
 
 // Marshal serializes the package for agent baggage.
 func (p *ReferencePackage) Marshal() ([]byte, error) {
-	w := wireRefPkg{
-		HostName:    p.HostName,
-		Hop:         p.Hop,
-		Entry:       p.Entry,
-		ResultEntry: p.ResultEntry,
-	}
+	var flags byte
+	nfields := 11
 	if p.InitialState != nil {
-		w.HasInitial = true
-		w.InitialEnc = canon.EncodeState(p.InitialState)
+		flags |= refPkgHasInitial
 	}
 	if p.ResultingState != nil {
-		w.HasResulting = true
-		w.ResultingEnc = canon.EncodeState(p.ResultingState)
+		flags |= refPkgHasResulting
 	}
 	if p.Input != nil {
-		w.HasInput = true
+		flags |= refPkgHasInput
+		nfields += 3 * len(p.Input)
 		for _, rec := range p.Input {
-			w.InputCalls = append(w.InputCalls, rec.Call)
-			args := make([][]byte, len(rec.Args))
-			for i, a := range rec.Args {
-				args[i] = canon.EncodeValue(a)
-			}
-			w.InputArgs = append(w.InputArgs, args)
-			w.InputRes = append(w.InputRes, canon.EncodeValue(rec.Result))
+			nfields += len(rec.Args)
 		}
+	}
+	if p.Trace != nil {
+		flags |= refPkgHasTrace
+	}
+	if p.Resources != nil {
+		flags |= refPkgHasResources
+		nfields += 2 * len(p.Resources)
+	}
+
+	var hopBuf, nInBuf, nResBuf [8]byte
+	binary.BigEndian.PutUint64(hopBuf[:], uint64(p.Hop))
+	binary.BigEndian.PutUint64(nInBuf[:], uint64(len(p.Input)))
+	binary.BigEndian.PutUint64(nResBuf[:], uint64(len(p.Resources)))
+
+	var initialEnc, resultingEnc, traceEnc []byte
+	if p.InitialState != nil {
+		initialEnc = canon.EncodeState(p.InitialState)
+	}
+	if p.ResultingState != nil {
+		resultingEnc = canon.EncodeState(p.ResultingState)
 	}
 	if p.Trace != nil {
 		enc, err := p.Trace.Marshal()
 		if err != nil {
 			return nil, err
 		}
-		w.HasTrace = true
-		w.TraceEnc = enc
+		traceEnc = enc
 	}
-	if p.Resources != nil {
-		w.HasResources = true
-		for _, k := range value.SortedKeys(p.Resources) {
-			w.ResourceKeys = append(w.ResourceKeys, k)
-			w.ResourceVals = append(w.ResourceVals, canon.EncodeValue(p.Resources[k]))
+
+	fields := make([][]byte, 0, nfields)
+	fields = append(fields,
+		[]byte(refPkgWireLabel),
+		[]byte(p.HostName),
+		hopBuf[:],
+		[]byte(p.Entry),
+		[]byte(p.ResultEntry),
+		[]byte{flags},
+		initialEnc,
+		resultingEnc,
+		traceEnc,
+		nInBuf[:],
+		nResBuf[:],
+	)
+	for _, rec := range p.Input {
+		var nArgBuf [8]byte
+		binary.BigEndian.PutUint64(nArgBuf[:], uint64(len(rec.Args)))
+		fields = append(fields, []byte(rec.Call), nArgBuf[:])
+		for _, a := range rec.Args {
+			fields = append(fields, canon.EncodeValue(a))
 		}
+		fields = append(fields, canon.EncodeValue(rec.Result))
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		return nil, fmt.Errorf("core: encoding reference package: %w", err)
+	for _, k := range value.SortedKeys(p.Resources) {
+		fields = append(fields, []byte(k), canon.EncodeValue(p.Resources[k]))
 	}
-	return buf.Bytes(), nil
+	return canon.Tuple(fields...), nil
 }
 
 // UnmarshalReferencePackage parses a package from agent baggage.
 func UnmarshalReferencePackage(data []byte) (*ReferencePackage, error) {
-	var w wireRefPkg
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+	malformed := func(what string) error {
+		return fmt.Errorf("core: decoding reference package: %w: %s", canon.ErrMalformed, what)
+	}
+	fields, err := canon.ParseTuple(data)
+	if err != nil {
 		return nil, fmt.Errorf("core: decoding reference package: %w", err)
 	}
-	p := &ReferencePackage{
-		HostName:    w.HostName,
-		Hop:         w.Hop,
-		Entry:       w.Entry,
-		ResultEntry: w.ResultEntry,
+	if len(fields) < 11 || string(fields[0]) != refPkgWireLabel {
+		return nil, malformed("header")
 	}
-	if w.HasInitial {
-		st, err := canon.DecodeState(w.InitialEnc)
+	if len(fields[2]) != 8 || len(fields[5]) != 1 || len(fields[9]) != 8 || len(fields[10]) != 8 {
+		return nil, malformed("fixed fields")
+	}
+	flags := fields[5][0]
+	p := &ReferencePackage{
+		HostName:    string(fields[1]),
+		Hop:         int(binary.BigEndian.Uint64(fields[2])),
+		Entry:       string(fields[3]),
+		ResultEntry: string(fields[4]),
+	}
+	if flags&refPkgHasInitial != 0 {
+		st, err := canon.DecodeState(fields[6])
 		if err != nil {
 			return nil, fmt.Errorf("core: initial state: %w", err)
 		}
 		p.InitialState = st
 	}
-	if w.HasResulting {
-		st, err := canon.DecodeState(w.ResultingEnc)
+	if flags&refPkgHasResulting != 0 {
+		st, err := canon.DecodeState(fields[7])
 		if err != nil {
 			return nil, fmt.Errorf("core: resulting state: %w", err)
 		}
 		p.ResultingState = st
 	}
-	if w.HasInput {
-		p.Input = make([]agentlang.InputRecord, 0, len(w.InputCalls))
-		for i := range w.InputCalls {
-			rec := agentlang.InputRecord{Seq: i, Call: w.InputCalls[i]}
-			for _, enc := range w.InputArgs[i] {
-				v, err := canon.DecodeValue(enc)
-				if err != nil {
-					return nil, fmt.Errorf("core: input arg: %w", err)
-				}
-				rec.Args = append(rec.Args, v)
-			}
-			res, err := canon.DecodeValue(w.InputRes[i])
-			if err != nil {
-				return nil, fmt.Errorf("core: input result: %w", err)
-			}
-			rec.Result = res
-			p.Input = append(p.Input, rec)
-		}
-	}
-	if w.HasTrace {
-		tr, err := trace.Unmarshal(w.TraceEnc)
+	if flags&refPkgHasTrace != 0 {
+		tr, err := trace.Unmarshal(fields[8])
 		if err != nil {
 			return nil, err
 		}
 		p.Trace = &tr
 	}
-	if w.HasResources {
-		p.Resources = make(map[string]value.Value, len(w.ResourceKeys))
-		for i, k := range w.ResourceKeys {
-			v, err := canon.DecodeValue(w.ResourceVals[i])
-			if err != nil {
-				return nil, fmt.Errorf("core: resource %q: %w", k, err)
+	nInput := binary.BigEndian.Uint64(fields[9])
+	nRes := binary.BigEndian.Uint64(fields[10])
+	// Bound the claimed counts by the fields actually present before
+	// any of them sizes an allocation: the counts are attacker
+	// controlled and must not be able to panic make() or reserve
+	// gigabytes from a short message.
+	if nInput > uint64(len(fields)) || nRes > uint64(len(fields)) {
+		return nil, malformed("counts exceed field count")
+	}
+	off := 11
+	if flags&refPkgHasInput != 0 {
+		p.Input = make([]agentlang.InputRecord, 0, nInput)
+		for i := 0; i < int(nInput); i++ {
+			if off+2 > len(fields) || len(fields[off+1]) != 8 {
+				return nil, malformed("input record header")
 			}
-			p.Resources[k] = v
+			rec := agentlang.InputRecord{Seq: i, Call: string(fields[off])}
+			nArgs64 := binary.BigEndian.Uint64(fields[off+1])
+			if nArgs64 > uint64(len(fields)) {
+				return nil, malformed("input record args")
+			}
+			nArgs := int(nArgs64)
+			off += 2
+			if off+nArgs+1 > len(fields) {
+				return nil, malformed("input record args")
+			}
+			for j := 0; j < nArgs; j++ {
+				v, err := canon.DecodeValue(fields[off])
+				if err != nil {
+					return nil, fmt.Errorf("core: input arg: %w", err)
+				}
+				rec.Args = append(rec.Args, v)
+				off++
+			}
+			res, err := canon.DecodeValue(fields[off])
+			if err != nil {
+				return nil, fmt.Errorf("core: input result: %w", err)
+			}
+			rec.Result = res
+			off++
+			p.Input = append(p.Input, rec)
 		}
+	}
+	if flags&refPkgHasResources != 0 {
+		if off+2*int(nRes) > len(fields) {
+			return nil, malformed("resources")
+		}
+		p.Resources = make(map[string]value.Value, nRes)
+		for i := 0; i < int(nRes); i++ {
+			v, err := canon.DecodeValue(fields[off+1])
+			if err != nil {
+				return nil, fmt.Errorf("core: resource %q: %w", fields[off], err)
+			}
+			p.Resources[string(fields[off])] = v
+			off += 2
+		}
+	}
+	if off != len(fields) {
+		return nil, malformed("trailing fields")
 	}
 	return p, nil
 }
 
 // Digest returns a canonical digest of the package contents, used by
-// mechanisms that sign reference data.
+// mechanisms that sign reference data. The encoding is streamed into a
+// pooled SHA-256 state; the bytes hashed are identical to the
+// materialized tuple framing this digest always used (each input
+// record framed in its own nested tuple, so record boundaries are
+// unambiguous).
 func (p *ReferencePackage) Digest() canon.Digest {
-	fields := [][]byte{
-		[]byte("refpkg"),
-		[]byte(p.HostName),
-		[]byte(fmt.Sprintf("%d", p.Hop)),
-		[]byte(p.Entry),
-		[]byte(p.ResultEntry),
-	}
+	nfields := 5
 	if p.InitialState != nil {
-		fields = append(fields, []byte("initial"), canon.EncodeState(p.InitialState))
+		nfields += 2
 	}
 	if p.ResultingState != nil {
-		fields = append(fields, []byte("resulting"), canon.EncodeState(p.ResultingState))
+		nfields += 2
 	}
 	if p.Input != nil {
-		fields = append(fields, []byte("input"))
+		nfields += 1 + len(p.Input)
+	}
+	if p.Trace != nil {
+		nfields += 2
+	}
+	if p.Resources != nil {
+		nfields += 1 + 2*len(p.Resources)
+	}
+
+	x := canon.AcquireHasher()
+	defer canon.ReleaseHasher(x)
+	x.TupleHeader(nfields)
+	x.StringField("refpkg")
+	x.StringField(p.HostName)
+	x.IntField(int64(p.Hop))
+	x.StringField(p.Entry)
+	x.StringField(p.ResultEntry)
+	if p.InitialState != nil {
+		x.StringField("initial")
+		x.StateField(p.InitialState)
+	}
+	if p.ResultingState != nil {
+		x.StringField("resulting")
+		x.StateField(p.ResultingState)
+	}
+	if p.Input != nil {
+		x.StringField("input")
 		for _, rec := range p.Input {
-			// Each record is framed in its own tuple so record boundaries
-			// are unambiguous in the digest.
-			recFields := [][]byte{[]byte(rec.Call)}
+			// Nested per-record tuple: header + call + args + result.
+			size := 2 + 4 + 4 + len(rec.Call)
 			for _, a := range rec.Args {
-				recFields = append(recFields, canon.EncodeValue(a))
+				size += 4 + 1 + canon.SizeValue(a)
 			}
-			recFields = append(recFields, canon.EncodeValue(rec.Result))
-			fields = append(fields, canon.Tuple(recFields...))
+			size += 4 + 1 + canon.SizeValue(rec.Result)
+			x.BeginField(size)
+			x.TupleHeader(2 + len(rec.Args))
+			x.StringField(rec.Call)
+			for _, a := range rec.Args {
+				x.ValueField(a)
+			}
+			x.ValueField(rec.Result)
 		}
 	}
 	if p.Trace != nil {
 		d := p.Trace.Digest()
-		fields = append(fields, []byte("trace"), d[:])
+		x.StringField("trace")
+		x.Field(d[:])
 	}
 	if p.Resources != nil {
-		fields = append(fields, []byte("resources"))
+		x.StringField("resources")
 		for _, k := range value.SortedKeys(p.Resources) {
-			fields = append(fields, []byte(k), canon.EncodeValue(p.Resources[k]))
+			x.StringField(k)
+			x.ValueField(p.Resources[k])
 		}
 	}
-	return canon.HashTuple(fields...)
+	return x.Sum()
 }

@@ -1,0 +1,78 @@
+package host
+
+import (
+	"testing"
+
+	"repro/internal/agentlang"
+	"repro/internal/canon"
+	"repro/internal/value"
+)
+
+// tamperBehavior flips one variable after execution, modelling a
+// "manipulation of data" attack for the digest-coherence test.
+type tamperBehavior struct{}
+
+func (tamperBehavior) WrapEnv(env agentlang.Env) agentlang.Env { return env }
+func (tamperBehavior) TamperState(st value.State)              { st["forged"] = value.Int(666) }
+func (tamperBehavior) TamperRecord(rec *SessionRecord)         {}
+
+// TestSessionInvalidatesStateDigest covers the session-level state
+// write paths the agent package cannot reach: interpreter writes
+// (including copy-on-write indexed assignment) and malicious
+// TamperState mutation. After each, the memoized digest must equal a
+// from-scratch rehash.
+func TestSessionInvalidatesStateDigest(t *testing.T) {
+	h := newHost(t, "h1", func(c *Config) {
+		c.Behavior = tamperBehavior{}
+	})
+	ag := newAgent(t, `
+proc main() { xs = [1, 2] migrate("h1", "second") }
+proc second() { xs[0] = 99 done() }`, "main")
+
+	check := func(step string) canon.Digest {
+		t.Helper()
+		got, want := ag.StateDigest(), canon.HashState(ag.State)
+		if got != want {
+			t.Fatalf("%s: cached digest %s != recomputed %s", step, got, want)
+		}
+		return got
+	}
+
+	d0 := check("before first session")
+	if _, err := h.RunSession(ag, SessionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	d1 := check("after first session")
+	if d1 == d0 {
+		t.Fatal("digest unchanged by session writes")
+	}
+	if ag.State["forged"].Int != 666 {
+		t.Fatal("tamper behavior did not run")
+	}
+	if _, err := h.RunSession(ag, SessionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if d2 := check("after indexed-assignment session"); d2 == d1 {
+		t.Fatal("digest unchanged by copy-on-write indexed assignment")
+	}
+}
+
+// TestRecordDigestsMemoized pins the SessionRecord digest cache against
+// recomputation.
+func TestRecordDigestsMemoized(t *testing.T) {
+	h := newHost(t, "h1", nil)
+	ag := newAgent(t, `proc main() { x = 1 done() }`, "main")
+	rec, err := h.RunSession(ag, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.InitialDigest() != canon.HashState(rec.Initial) {
+		t.Error("initial digest mismatch")
+	}
+	if rec.ResultingDigest() != canon.HashState(rec.Resulting) {
+		t.Error("resulting digest mismatch")
+	}
+	if rec.InitialDigest() == rec.ResultingDigest() {
+		t.Error("distinct states share a digest")
+	}
+}

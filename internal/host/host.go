@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/agentlang"
+	"repro/internal/canon"
 	"repro/internal/sigcrypto"
 	"repro/internal/trace"
 	"repro/internal/value"
@@ -178,8 +179,12 @@ type SessionRecord struct {
 	AgentID  string
 	Hop      int
 	Entry    string
-	// Initial and Resulting are deep snapshots of the data state before
-	// and after the session.
+	// Initial and Resulting are copy-on-write snapshots of the data
+	// state before and after the session (value.State.Snapshot): they
+	// are isolated from every platform write path — further sessions,
+	// Agent.SetVar, interpreter writes — without paying a deep copy.
+	// Code outside the platform that mutates nested agent state
+	// directly must Clone first.
 	Initial   value.State
 	Resulting value.State
 	// ResultEntry is the execution state after the session: the entry
@@ -194,6 +199,37 @@ type SessionRecord struct {
 	Outputs []ActionRecord
 	// Outcome is how the session ended.
 	Outcome agentlang.Outcome
+
+	// Memoized state digests: several mechanisms digest the same
+	// finalized record (refproto signs both states, vigna and proof the
+	// resulting one), so each state is hashed at most once per session.
+	digMu           sync.Mutex
+	initDig, resDig canon.Digest
+	initOK, resOK   bool
+}
+
+// InitialDigest returns the canonical digest of the initial state,
+// memoized on first use. Call only once the record is finalized.
+func (r *SessionRecord) InitialDigest() canon.Digest {
+	r.digMu.Lock()
+	defer r.digMu.Unlock()
+	if !r.initOK {
+		r.initDig = canon.HashState(r.Initial)
+		r.initOK = true
+	}
+	return r.initDig
+}
+
+// ResultingDigest returns the canonical digest of the resulting state,
+// memoized on first use. Call only once the record is finalized.
+func (r *SessionRecord) ResultingDigest() canon.Digest {
+	r.digMu.Lock()
+	defer r.digMu.Unlock()
+	if !r.resOK {
+		r.resDig = canon.HashState(r.Resulting)
+		r.resOK = true
+	}
+	return r.resDig
 }
 
 // CloneInput returns a deep copy of the input log.
@@ -233,7 +269,7 @@ func (h *Host) RunSession(ag *agent.Agent, opts SessionOptions) (*SessionRecord,
 		AgentID:  ag.ID,
 		Hop:      ag.Hop,
 		Entry:    ag.Entry,
-		Initial:  ag.State.Clone(),
+		Initial:  ag.State.Snapshot(),
 	}
 
 	// Build the environment stack: base host env -> (malicious wrapper)
@@ -273,10 +309,13 @@ func (h *Host) RunSession(ag *agent.Agent, opts SessionOptions) (*SessionRecord,
 	if h.cfg.Behavior != nil {
 		h.cfg.Behavior.TamperState(ag.State)
 	}
+	// The interpreter (and a malicious Behavior) wrote the state map
+	// directly; drop the memoized digest before anyone reads it.
+	ag.InvalidateStateDigest()
 
 	rec.Outcome = outcome
 	rec.Input = recEnv.Records
-	rec.Resulting = ag.State.Clone()
+	rec.Resulting = ag.State.Snapshot()
 	if tracer != nil {
 		rec.Trace = tracer.Take()
 		h.traces.Put(ag.ID, ag.Hop, rec.Trace)

@@ -110,16 +110,34 @@ proc next() { done() }`, "main")
 	}
 }
 
-func TestRunSessionSnapshotsAreDeep(t *testing.T) {
+func TestRunSessionSnapshotsAreIsolated(t *testing.T) {
+	// Records are copy-on-write snapshots: later mutation of the agent
+	// through any platform write path — a further session's indexed
+	// writes, Agent.SetVar — must not leak into a returned record.
 	h := newHost(t, "h1", nil)
-	ag := newAgent(t, `proc main() { xs = [1] done() }`, "main")
-	rec, err := h.RunSession(ag, SessionOptions{})
+	ag := newAgent(t, `
+proc main() { xs = [1] migrate("h1", "second") }
+proc second() { xs[0] = 99 done() }`, "main")
+	rec1, err := h.RunSession(ag, SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ag.State["xs"].List[0] = value.Int(99)
-	if rec.Resulting["xs"].List[0].Int != 1 {
-		t.Error("record shares storage with live agent state")
+	rec2, err := h.RunSession(ag, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Resulting["xs"].List[0].Int != 99 {
+		t.Error("second session's write lost")
+	}
+	if rec1.Resulting["xs"].List[0].Int != 1 {
+		t.Error("first record shares storage with live agent state")
+	}
+	if rec2.Initial["xs"].List[0].Int != 1 {
+		t.Error("second record's initial snapshot saw the session's own write")
+	}
+	ag.SetVar("xs", value.List(value.Int(7)))
+	if rec2.Resulting["xs"].List[0].Int != 99 {
+		t.Error("SetVar leaked into record")
 	}
 }
 

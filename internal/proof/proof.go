@@ -143,7 +143,7 @@ func (m *Mechanism) PrepareDeparture(hc *core.HostContext, ag *agent.Agent, rec 
 		Entry:     rec.Entry,
 		Root:      tree.Root(),
 		N:         tree.N(),
-		StateHash: canon.HashState(rec.Resulting),
+		StateHash: rec.ResultingDigest(),
 	}
 	c.Sig = hc.Host.Keys().Sign(c.bindingBytes(ag.ID))
 

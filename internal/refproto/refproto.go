@@ -32,8 +32,7 @@
 package refproto
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -118,7 +117,10 @@ type handoff struct {
 }
 
 // payload is the wire baggage: everything the next host needs to check
-// the previous session.
+// the previous session. It travels in the canonical tuple encoding
+// (see appendPayload), not gob: the hot sign→handoff→verify path runs
+// once per hop, and gob's per-encoder type negotiation dominated its
+// allocation profile.
 type payload struct {
 	// Hop is the checked session's index.
 	Hop int
@@ -146,10 +148,117 @@ func (m *Mechanism) timeCrypto() func() {
 	return m.cfg.Timer.Time(stopwatch.PhaseSignVerify)
 }
 
-// bindingFor returns the signed bytes committing a state digest to a
-// session role.
-func bindingFor(ag *agent.Agent, role string, hop int, d canon.Digest) []byte {
-	return ag.SessionBinding(role, hop, d)
+// signBinding signs a session binding assembled in a pooled buffer; the
+// binding bytes never outlive the call.
+func signBinding(keys *sigcrypto.KeyPair, ag *agent.Agent, role string, hop int, d canon.Digest) sigcrypto.Signature {
+	buf := canon.GetBuf()
+	msg := ag.AppendSessionBinding((*buf)[:0], role, hop, d)
+	sig := keys.Sign(msg)
+	*buf = msg
+	canon.PutBuf(buf)
+	return sig
+}
+
+// verifyBinding verifies a signature over a session binding assembled
+// in a pooled buffer.
+func verifyBinding(reg *sigcrypto.Registry, ag *agent.Agent, role string, hop int, d canon.Digest, sig sigcrypto.Signature) error {
+	buf := canon.GetBuf()
+	msg := ag.AppendSessionBinding((*buf)[:0], role, hop, d)
+	err := reg.Verify(msg, sig)
+	*buf = msg
+	canon.PutBuf(buf)
+	return err
+}
+
+// Payload wire layout: one canonical tuple whose field count varies
+// with the number of handoff signatures.
+//
+//	0  format label ("refproto-payload")
+//	1  hop, 8-byte big-endian
+//	2  flags, 1 byte (bit0 TrustedSkip, bit1 handoff origin)
+//	3  package encoding (empty when TrustedSkip)
+//	4  package signature: signer
+//	5  package signature: bytes
+//	6  resulting-state digest
+//	7  resulting-state signature: signer
+//	8  resulting-state signature: bytes
+//	9  handoff digest
+//	10+ one (signer, bytes) field pair per handoff signature
+const (
+	payloadLabel     = "refproto-payload"
+	payloadMinFields = 10
+	flagTrustedSkip  = 1 << 0
+	flagOrigin       = 1 << 1
+)
+
+// appendPayload appends p's canonical encoding to dst.
+func appendPayload(dst []byte, p *payload) []byte {
+	var hopBuf [8]byte
+	binary.BigEndian.PutUint64(hopBuf[:], uint64(p.Hop))
+	var flags byte
+	if p.TrustedSkip {
+		flags |= flagTrustedSkip
+	}
+	if p.Handoff.Origin {
+		flags |= flagOrigin
+	}
+	fields := make([][]byte, 0, payloadMinFields+2*len(p.Handoff.Sigs))
+	fields = append(fields,
+		[]byte(payloadLabel),
+		hopBuf[:],
+		[]byte{flags},
+		p.PkgEnc,
+		[]byte(p.PkgSig.Signer),
+		p.PkgSig.Sig,
+		p.ResultDigest[:],
+		[]byte(p.ResultSig.Signer),
+		p.ResultSig.Sig,
+		p.Handoff.Digest[:],
+	)
+	for _, s := range p.Handoff.Sigs {
+		fields = append(fields, []byte(s.Signer), s.Sig)
+	}
+	return canon.AppendTuple(dst, fields...)
+}
+
+// parsePayload decodes a payload produced by appendPayload. The
+// returned payload's byte slices alias data.
+func parsePayload(data []byte) (payload, error) {
+	var p payload
+	fields, err := canon.ParseTuple(data)
+	if err != nil {
+		return p, err
+	}
+	if len(fields) < payloadMinFields || (len(fields)-payloadMinFields)%2 != 0 {
+		return p, fmt.Errorf("%w: payload has %d fields", canon.ErrMalformed, len(fields))
+	}
+	if string(fields[0]) != payloadLabel {
+		return p, fmt.Errorf("%w: payload label %q", canon.ErrMalformed, fields[0])
+	}
+	if len(fields[1]) != 8 || len(fields[2]) != 1 {
+		return p, fmt.Errorf("%w: payload header", canon.ErrMalformed)
+	}
+	if len(fields[6]) != len(canon.Digest{}) || len(fields[9]) != len(canon.Digest{}) {
+		return p, fmt.Errorf("%w: payload digest length", canon.ErrMalformed)
+	}
+	p.Hop = int(binary.BigEndian.Uint64(fields[1]))
+	flags := fields[2][0]
+	p.TrustedSkip = flags&flagTrustedSkip != 0
+	p.Handoff.Origin = flags&flagOrigin != 0
+	if len(fields[3]) > 0 {
+		p.PkgEnc = fields[3]
+	}
+	p.PkgSig = sigcrypto.Signature{Signer: string(fields[4]), Sig: fields[5]}
+	p.ResultDigest = canon.Digest(fields[6])
+	p.ResultSig = sigcrypto.Signature{Signer: string(fields[7]), Sig: fields[8]}
+	p.Handoff.Digest = canon.Digest(fields[9])
+	for i := payloadMinFields; i < len(fields); i += 2 {
+		p.Handoff.Sigs = append(p.Handoff.Sigs, sigcrypto.Signature{
+			Signer: string(fields[i]),
+			Sig:    fields[i+1],
+		})
+	}
+	return p, nil
 }
 
 // PrepareDeparture packages the just-executed session for checking by
@@ -159,11 +268,13 @@ func (m *Mechanism) PrepareDeparture(hc *core.HostContext, ag *agent.Agent, rec 
 	p := payload{Hop: rec.Hop}
 
 	// Resulting-state commitment: always present; it authenticates the
-	// next session's initial state.
-	p.ResultDigest = canon.HashState(rec.Resulting)
+	// next session's initial state. The record's memoized digest means
+	// the resulting state is hashed once per session no matter how many
+	// mechanisms commit to it.
+	p.ResultDigest = rec.ResultingDigest()
 	func() {
 		defer m.timeCrypto()()
-		p.ResultSig = keys.Sign(bindingFor(ag, "resulting", rec.Hop, p.ResultDigest))
+		p.ResultSig = signBinding(keys, ag, "resulting", rec.Hop, p.ResultDigest)
 	}()
 
 	// Handoff for the session just executed: retrieve the pending
@@ -174,10 +285,10 @@ func (m *Mechanism) PrepareDeparture(hc *core.HostContext, ag *agent.Agent, rec 
 	delete(m.pending, ag.ID)
 	m.mu.Unlock()
 	if !ok {
-		h = handoff{Digest: canon.HashState(rec.Initial), Origin: true}
+		h = handoff{Digest: rec.InitialDigest(), Origin: true}
 		func() {
 			defer m.timeCrypto()()
-			h.Sigs = []sigcrypto.Signature{keys.Sign(bindingFor(ag, "initial", rec.Hop, h.Digest))}
+			h.Sigs = []sigcrypto.Signature{signBinding(keys, ag, "initial", rec.Hop, h.Digest)}
 		}()
 	}
 	p.Handoff = h
@@ -195,15 +306,17 @@ func (m *Mechanism) PrepareDeparture(hc *core.HostContext, ag *agent.Agent, rec 
 		d := pkg.Digest()
 		func() {
 			defer m.timeCrypto()()
-			p.PkgSig = keys.Sign(bindingFor(ag, "package", rec.Hop, d))
+			p.PkgSig = signBinding(keys, ag, "package", rec.Hop, d)
 		}()
 	}
 
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
-		return fmt.Errorf("refproto: encoding payload: %w", err)
-	}
-	ag.SetBaggage(MechanismName, buf.Bytes())
+	// Encode into a pooled buffer; SetBaggage copies, so the scratch
+	// goes straight back to the pool.
+	buf := canon.GetBuf()
+	enc := appendPayload((*buf)[:0], &p)
+	ag.SetBaggage(MechanismName, enc)
+	*buf = enc
+	canon.PutBuf(buf)
 	return nil
 }
 
@@ -237,8 +350,8 @@ func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*c
 	if !ok {
 		return fail("agent arrived without protocol baggage (stripped or never attached)")
 	}
-	var p payload
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+	p, err := parsePayload(data)
+	if err != nil {
 		return fail(fmt.Sprintf("malformed protocol baggage: %v", err))
 	}
 
@@ -250,7 +363,7 @@ func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*c
 		var mySig sigcrypto.Signature
 		func() {
 			defer m.timeCrypto()()
-			mySig = hc.Host.Keys().Sign(bindingFor(ag, "initial", ag.Hop, arrived))
+			mySig = signBinding(hc.Host.Keys(), ag, "initial", ag.Hop, arrived)
 		}()
 		m.mu.Lock()
 		m.pending[ag.ID] = handoff{Digest: arrived, Sigs: []sigcrypto.Signature{p.ResultSig, mySig}}
@@ -264,7 +377,9 @@ func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*c
 	reg := hc.Host.Registry()
 
 	// 1. The resulting-state commitment must match the state that
-	// actually arrived, and be signed by the previous host.
+	// actually arrived, and be signed by the previous host. The arrival
+	// digest was seeded from the wire bytes during unmarshalling, so
+	// this is a cache read, not a rehash.
 	arrived := ag.StateDigest()
 	if arrived != p.ResultDigest {
 		return fail("arrived state does not match the previous host's signed resulting state")
@@ -272,7 +387,7 @@ func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*c
 	var sigErr error
 	func() {
 		defer m.timeCrypto()()
-		sigErr = reg.Verify(bindingFor(ag, "resulting", p.Hop, p.ResultDigest), p.ResultSig)
+		sigErr = verifyBinding(reg, ag, "resulting", p.Hop, p.ResultDigest, p.ResultSig)
 	}()
 	if sigErr != nil {
 		return fail(fmt.Sprintf("resulting-state signature invalid: %v", sigErr))
@@ -287,7 +402,7 @@ func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*c
 	var mySig sigcrypto.Signature
 	func() {
 		defer m.timeCrypto()()
-		mySig = hc.Host.Keys().Sign(bindingFor(ag, "initial", ag.Hop, arrived))
+		mySig = signBinding(hc.Host.Keys(), ag, "initial", ag.Hop, arrived)
 	}()
 	m.mu.Lock()
 	m.pending[ag.ID] = handoff{
@@ -325,7 +440,7 @@ func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*c
 	pkgDigest := pkg.Digest()
 	func() {
 		defer m.timeCrypto()()
-		sigErr = reg.Verify(bindingFor(ag, "package", p.Hop, pkgDigest), p.PkgSig)
+		sigErr = verifyBinding(reg, ag, "package", p.Hop, pkgDigest, p.PkgSig)
 	}()
 	if sigErr != nil {
 		return fail(fmt.Sprintf("package signature invalid: %v", sigErr))
@@ -368,7 +483,6 @@ func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*c
 // initial state.
 func (m *Mechanism) verifyHandoff(hc *core.HostContext, ag *agent.Agent, hop int, checkedHost string, h handoff) error {
 	reg := hc.Host.Registry()
-	msg := bindingFor(ag, "initial", hop, h.Digest)
 	defer m.timeCrypto()()
 	if h.Origin {
 		if len(h.Sigs) != 1 {
@@ -377,18 +491,18 @@ func (m *Mechanism) verifyHandoff(hc *core.HostContext, ag *agent.Agent, hop int
 		if h.Sigs[0].Signer != checkedHost {
 			return fmt.Errorf("origin handoff signed by %q, want launching host %q", h.Sigs[0].Signer, checkedHost)
 		}
-		return reg.Verify(msg, h.Sigs[0])
+		return verifyBinding(reg, ag, "initial", hop, h.Digest, h.Sigs[0])
 	}
 	if len(h.Sigs) < 2 {
 		return fmt.Errorf("handoff carries %d signatures, want producer and receiver", len(h.Sigs))
 	}
 	receiverSigned := false
 	for _, sig := range h.Sigs {
-		if err := reg.Verify(msg, sig); err != nil {
+		if err := verifyBinding(reg, ag, "initial", hop, h.Digest, sig); err != nil {
 			// The producer signed the same digest under the *previous*
 			// hop's "resulting" role; accept that binding as the
 			// producer signature.
-			if err2 := reg.Verify(bindingFor(ag, "resulting", hop-1, h.Digest), sig); err2 != nil {
+			if err2 := verifyBinding(reg, ag, "resulting", hop-1, h.Digest, sig); err2 != nil {
 				return fmt.Errorf("signature by %q invalid under both bindings: %v", sig.Signer, err)
 			}
 		}

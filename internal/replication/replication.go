@@ -181,7 +181,7 @@ func (c *Coordinator) Run(ag *agent.Agent) (*Report, error) {
 		if err != nil {
 			return rep, fmt.Errorf("replication: stage %d: decoding winner state: %w", i, err)
 		}
-		cur.State = st
+		cur.SetState(st)
 		cur.Entry = winnerVote.ResultEntry
 		cur.Hop++
 		cur.Route = append(cur.Route, fmt.Sprintf("stage%d", i))

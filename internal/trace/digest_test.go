@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/value"
+)
+
+// materializedEntry reproduces the seed's encode-then-hash entry
+// framing; the streamed digests must stay byte-compatible with it
+// because trace commitments cross host boundaries.
+func materializedEntry(e Entry) []byte {
+	fields := make([][]byte, 0, 1+2*len(e.Bindings))
+	fields = append(fields, []byte(fmt.Sprintf("%d", e.StmtID)))
+	for _, b := range e.Bindings {
+		fields = append(fields, []byte(b.Name), canon.EncodeValue(b.Val))
+	}
+	return canon.Tuple(fields...)
+}
+
+func digestTrace() Trace {
+	return Trace{Entries: []Entry{
+		{StmtID: 1},
+		{StmtID: 42, Bindings: []Binding{
+			{Name: "x", Val: value.Int(7)},
+			{Name: "xs", Val: value.List(value.Str("abc"), value.Map(map[string]value.Value{"k": value.Bool(true)}))},
+		}},
+		{StmtID: 123456789},
+	}}
+}
+
+func TestEntryDigestMatchesMaterialized(t *testing.T) {
+	for i, e := range digestTrace().Entries {
+		if got, want := EntryDigest(e), canon.HashBytes(materializedEntry(e)); got != want {
+			t.Errorf("entry %d: streamed %s != materialized %s", i, got, want)
+		}
+	}
+}
+
+func TestTraceDigestMatchesMaterialized(t *testing.T) {
+	tr := digestTrace()
+	var buf []byte
+	for _, e := range tr.Entries {
+		buf = append(buf, materializedEntry(e)...)
+	}
+	want := canon.HashBytes(canon.Tuple([]byte("trace"), buf))
+	if got := tr.Digest(); got != want {
+		t.Errorf("streamed %s != materialized %s", got, want)
+	}
+	// Empty trace still digests the framing deterministically.
+	if (Trace{}).Digest() != canon.HashBytes(canon.Tuple([]byte("trace"), nil)) {
+		t.Error("empty trace digest diverged")
+	}
+}
+
+// TestEntryDigestAllocs pins the Merkle-leaf path: building a tree over
+// a long trace must not allocate per leaf.
+func TestEntryDigestAllocs(t *testing.T) {
+	e := digestTrace().Entries[1]
+	EntryDigest(e)
+	if avg := testing.AllocsPerRun(100, func() { EntryDigest(e) }); avg > 0 {
+		t.Errorf("EntryDigest allocs/op = %.1f, want 0", avg)
+	}
+}

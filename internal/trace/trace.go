@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -83,34 +84,59 @@ func (r *Recorder) Take() Trace {
 // Len returns the number of entries.
 func (t Trace) Len() int { return len(t.Entries) }
 
-// Digest returns the canonical digest of the whole trace. The encoding
-// frames every entry, so traces with shifted boundaries cannot collide.
+// Digest returns the canonical digest of the whole trace, streamed into
+// a pooled SHA-256 state: even a 10^5-entry trace digests without
+// materializing its encoding. The encoding frames every entry, so
+// traces with shifted boundaries cannot collide.
 func (t Trace) Digest() canon.Digest {
-	return canon.HashBytes(t.encode())
-}
-
-// encode produces the canonical byte encoding of the trace.
-func (t Trace) encode() []byte {
-	buf := make([]byte, 0, 16*len(t.Entries))
+	total := 0
 	for _, e := range t.Entries {
-		buf = appendEntry(buf, e)
+		total += entrySize(e)
 	}
-	return canon.Tuple([]byte("trace"), buf)
+	x := canon.AcquireHasher()
+	defer canon.ReleaseHasher(x)
+	x.TupleHeader(2)
+	x.StringField("trace")
+	x.BeginField(total)
+	for _, e := range t.Entries {
+		streamEntry(x, e)
+	}
+	return x.Sum()
 }
 
 // EntryDigest returns the canonical digest of a single entry, used as a
-// Merkle leaf by the proof mechanism.
+// Merkle leaf by the proof mechanism. Building a Merkle tree over a
+// long trace calls this once per statement, so it streams too.
 func EntryDigest(e Entry) canon.Digest {
-	return canon.HashBytes(appendEntry(nil, e))
+	x := canon.AcquireHasher()
+	defer canon.ReleaseHasher(x)
+	streamEntry(x, e)
+	return x.Sum()
 }
 
-func appendEntry(buf []byte, e Entry) []byte {
-	fields := make([][]byte, 0, 1+2*len(e.Bindings))
-	fields = append(fields, []byte(fmt.Sprintf("%d", e.StmtID)))
+// entrySize returns the exact byte length of one entry's tuple framing.
+func entrySize(e Entry) int {
+	n := 2 + 4 + 4 + decimalLen(e.StmtID)
 	for _, b := range e.Bindings {
-		fields = append(fields, []byte(b.Name), canon.EncodeValue(b.Val))
+		n += 4 + len(b.Name) + 4 + 1 + canon.SizeValue(b.Val)
 	}
-	return append(buf, canon.Tuple(fields...)...)
+	return n
+}
+
+func decimalLen(n int) int {
+	var buf [20]byte
+	return len(strconv.AppendInt(buf[:0], int64(n), 10))
+}
+
+// streamEntry writes the entry's tuple framing — byte-identical to
+// Tuple(stmtID, name, EncodeValue(val), ...) — into the hasher.
+func streamEntry(x *canon.Hasher, e Entry) {
+	x.TupleHeader(1 + 2*len(e.Bindings))
+	x.IntField(int64(e.StmtID))
+	for _, b := range e.Bindings {
+		x.StringField(b.Name)
+		x.ValueField(b.Val)
+	}
 }
 
 // Marshal serializes the trace for network transfer (audit fetches).

@@ -66,6 +66,13 @@ type Value struct {
 	Bool bool
 	List []Value
 	Map  map[string]Value
+
+	// shared marks composite storage as co-owned with a copy-on-write
+	// snapshot (see State.Snapshot). Write paths that honour the flag
+	// (Owned, the interpreter's indexed assignment) copy the level
+	// before mutating it. The flag is unexported and ignored by gob;
+	// decoded values are always exclusively owned.
+	shared bool
 }
 
 // Null is the canonical null value.
@@ -136,6 +143,58 @@ func (v Value) Clone() Value {
 		}
 		return Value{Kind: KindMap, Map: out}
 	default:
+		return v
+	}
+}
+
+// Shared reports whether v's composite storage is marked as co-owned
+// with a copy-on-write snapshot. It exists for tests and diagnostics.
+func (v Value) Shared() bool { return v.shared }
+
+// ShareFrom returns child carrying parent's copy-on-write flag. Every
+// operation that extracts a value from inside a composite (indexed
+// reads, map lookups, element copies) must route the result through
+// this: a child of a shared composite co-owns snapshot storage, so
+// writes through the extracted value have to copy exactly like writes
+// through the parent would.
+func ShareFrom(parent, child Value) Value {
+	if parent.shared && (child.Kind == KindList || child.Kind == KindMap) {
+		child.shared = true
+	}
+	return child
+}
+
+// Owned returns v ready for in-place mutation of its top-level storage.
+// If v is marked shared with a copy-on-write snapshot, the list or map
+// is copied one level deep and the copy's composite elements are in
+// turn marked shared, pushing the lazy isolation down one level. Write
+// paths must store the returned value back into v's binding: after a
+// copy, v's old storage still belongs to the snapshot.
+func Owned(v Value) Value {
+	if !v.shared {
+		return v
+	}
+	switch v.Kind {
+	case KindList:
+		out := make([]Value, len(v.List))
+		for i, e := range v.List {
+			if e.Kind == KindList || e.Kind == KindMap {
+				e.shared = true
+			}
+			out[i] = e
+		}
+		return Value{Kind: KindList, List: out}
+	case KindMap:
+		out := make(map[string]Value, len(v.Map))
+		for k, e := range v.Map {
+			if e.Kind == KindList || e.Kind == KindMap {
+				e.shared = true
+			}
+			out[k] = e
+		}
+		return Value{Kind: KindMap, Map: out}
+	default:
+		v.shared = false
 		return v
 	}
 }
@@ -320,6 +379,29 @@ func (s State) Clone() State {
 	out := make(State, len(s))
 	for k, v := range s {
 		out[k] = v.Clone()
+	}
+	return out
+}
+
+// Snapshot returns a copy-on-write snapshot of the state in O(vars)
+// time, sharing all composite storage with s. Both the snapshot's and
+// s's composite bindings are marked shared; any later write through a
+// flag-honouring path (the interpreter's indexed assignment, Owned)
+// copies the touched level first, so neither side can observe the
+// other's mutations.
+//
+// Unlike Clone, a Snapshot is NOT isolated against direct Go-level
+// mutation of nested storage (st[k].List[i] = x) that bypasses the
+// copy-on-write machinery; use Clone when handing values to code
+// outside the platform's write paths.
+func (s State) Snapshot() State {
+	out := make(State, len(s))
+	for k, v := range s {
+		if v.Kind == KindList || v.Kind == KindMap {
+			v.shared = true
+			s[k] = v
+		}
+		out[k] = v
 	}
 	return out
 }

@@ -135,7 +135,7 @@ func (m *Mechanism) PrepareDeparture(hc *core.HostContext, ag *agent.Agent, rec 
 		Entry:       rec.Entry,
 		ResultEntry: rec.ResultEntry,
 		PkgHash:     pkg.Digest(),
-		StateHash:   canon.HashState(rec.Resulting),
+		StateHash:   rec.ResultingDigest(),
 	}
 	c.Sig = hc.Host.Keys().Sign(c.bindingBytes(ag.ID))
 
@@ -319,6 +319,11 @@ func Audit(cfg AuditConfig, ag *agent.Agent) (*Report, error) {
 			rep.TotalTraceEntries += pkg.Trace.Len()
 		}
 		// Re-execute from the chained state with the recorded input.
+		// Flag parity with the live run: hosts snapshot the state before
+		// every session, marking bindings copy-on-write; the audit runs
+		// under the same flags so alias-sensitive programs behave
+		// identically. The snapshot itself is discarded.
+		state.Snapshot()
 		replay := agentlang.NewReplayEnv(pkg.Input)
 		outcome, err := agentlang.Run(prog, entry, state, replay, agentlang.Options{Fuel: cfg.Fuel})
 		if err != nil {
