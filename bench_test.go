@@ -1,6 +1,6 @@
 // Package repro_test holds the top-level benchmark harness: one
 // testing.B benchmark per table and figure-series of the paper's
-// evaluation (see DESIGN.md §4 for the experiment index). Each
+// evaluation (see DESIGN.md §5 for the experiment index). Each
 // benchmark reports the paper's columns as custom metrics, so
 // `go test -bench=. -benchmem` regenerates the evaluation.
 package repro_test
@@ -8,6 +8,7 @@ package repro_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -97,5 +98,33 @@ func BenchmarkSeriesProof(b *testing.B) {
 		if _, err := bench.SeriesProof([]int{100, 1000, 5000}, 8); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkConcurrentItineraries measures the worker-pool win of the
+// async intake: N agents launched at once through a three-host
+// deployment whose sessions wait on external data. workers=1
+// reproduces the serialized seed behaviour; workers=4 overlaps
+// distinct agents. The itineraries/s metric is the comparison the
+// redesign is accountable to (>2x at 4 workers).
+func BenchmarkConcurrentItineraries(b *testing.B) {
+	const agents = 16
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				d, err := bench.ConcurrentItineraries(bench.ConcurrentConfig{
+					Workers:     workers,
+					Agents:      agents,
+					FeedLatency: 2 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed = d
+			}
+			b.ReportMetric(float64(agents)/elapsed.Seconds(), "itineraries/s")
+			b.ReportMetric(float64(elapsed.Microseconds())/1000, "batch-ms")
+		})
 	}
 }

@@ -1,5 +1,9 @@
 // Command agentctl injects a mobile agent into a running agenthost
-// deployment. The agent's code (agentlang source) decides its own
+// deployment and tracks the journey. Delivery is asynchronous: the
+// launch returns once the home host has enqueued the agent, and
+// agentctl then polls the deployment's built-in node/status call until
+// some host reports a terminal outcome (completed, quarantined, or
+// failed). The agent's code (agentlang source) decides its own
 // itinerary via migrate(); verdicts and the final state are printed by
 // the host where the journey ends (see cmd/agenthost).
 //
@@ -10,12 +14,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/agent"
+	"repro/internal/core"
 	"repro/internal/transport"
 )
 
@@ -33,6 +40,8 @@ func run() error {
 	entry := flag.String("entry", "main", "entry procedure")
 	home := flag.String("home", "", "host to launch on (required)")
 	peers := flag.String("peers", "", "address book: name=host:port,...")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall journey deadline (0 = launch only, don't track)")
+	poll := flag.Duration("poll", 250*time.Millisecond, "status poll interval")
 	flag.Parse()
 
 	if *codePath == "" || *home == "" {
@@ -63,10 +72,72 @@ func run() error {
 		book[strings.TrimSpace(name)] = strings.TrimSpace(addr)
 	}
 	net := transport.NewTCPNetwork(book)
+	defer net.Close()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	fmt.Printf("agentctl: launching %s (owner %s, entry %s) on %s\n", *id, *owner, *entry, *home)
-	if err := net.SendAgent(*home, wire); err != nil {
+	if err := net.SendAgent(ctx, *home, wire); err != nil {
 		return fmt.Errorf("launch failed: %w", err)
 	}
-	fmt.Println("agentctl: journey finished; see the final host's output for verdicts and state")
-	return nil
+	fmt.Println("agentctl: accepted; delivery is asynchronous")
+	if *timeout == 0 {
+		return nil
+	}
+	return track(ctx, net, book, *id, *poll)
+}
+
+// track polls every peer's node/status until one reports a terminal
+// phase, printing progress transitions along the way.
+func track(ctx context.Context, net *transport.TCPNetwork, book map[string]string, agentID string, poll time.Duration) error {
+	lastSeen := make(map[string]string)
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		for peer := range book {
+			body, err := net.Call(ctx, peer, core.NodeCallNamespace+"/status", core.StatusCallBody(agentID))
+			if err != nil {
+				if ctx.Err() != nil {
+					return fmt.Errorf("tracking %s: %w", agentID, ctx.Err())
+				}
+				continue // peer unreachable or pre-async build; keep polling others
+			}
+			st, err := core.DecodeStatusReply(body)
+			if err != nil {
+				return err
+			}
+			if st.Phase == core.PhaseUnknown {
+				continue
+			}
+			key := st.Phase + "/" + st.NextHost + "/" + st.Err
+			if lastSeen[peer] != key {
+				lastSeen[peer] = key
+				switch st.Phase {
+				case core.PhaseForwarded:
+					fmt.Printf("agentctl: %s: %s -> %s\n", peer, st.Phase, st.NextHost)
+				case core.PhaseFailed:
+					fmt.Printf("agentctl: %s: %s (%s)\n", peer, st.Phase, st.Err)
+				default:
+					fmt.Printf("agentctl: %s: %s\n", peer, st.Phase)
+				}
+			}
+			if st.Terminal() {
+				fmt.Printf("agentctl: journey finished (%s at %s); see that host's output for verdicts and state\n", st.Phase, peer)
+				if st.Phase != core.PhaseCompleted {
+					return fmt.Errorf("journey ended %s at %s", st.Phase, peer)
+				}
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("tracking %s: %w", agentID, ctx.Err())
+		case <-ticker.C:
+		}
+	}
 }

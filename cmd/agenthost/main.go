@@ -158,6 +158,11 @@ func run() error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	fmt.Printf("agenthost %s: shutting down\n", *name)
+	// Stop intake first so queued deliveries drain with ErrNodeClosed,
+	// then tear down the listener.
+	if err := node.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "agenthost %s: closing node: %v\n", *name, err)
+	}
 	return srv.Close()
 }
 

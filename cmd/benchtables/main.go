@@ -1,5 +1,5 @@
 // Command benchtables regenerates the paper's evaluation artifacts:
-// Tables 1 and 2 (§5.3) and the sweep series of DESIGN.md §4.
+// Tables 1 and 2 (§5.3) and the sweep series of DESIGN.md §5.
 //
 // Usage:
 //

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/attack"
@@ -50,8 +52,15 @@ func main() {
 func run() error {
 	reg := sigcrypto.NewRegistry()
 	net := transport.NewInProc()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 
-	var returned *agent.Agent
+	nodes := make(map[string]*core.Node, 4)
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
 	sensors := map[string]int64{"field-1": 17, "field-2": 25, "field-3": 40}
 	for _, name := range []string{"home", "field-1", "field-2", "field-3"} {
 		keys, err := sigcrypto.GenerateKeyPair(name)
@@ -82,15 +91,11 @@ func run() error {
 			Host:       h,
 			Net:        net,
 			Mechanisms: []core.Mechanism{vigna.New()},
-			OnComplete: func(ag *agent.Agent, _ []core.Verdict, aborted bool) {
-				if !aborted {
-					returned = ag
-				}
-			},
 		})
 		if err != nil {
 			return err
 		}
+		nodes[name] = node
 		net.Register(name, node)
 	}
 
@@ -98,21 +103,29 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Watch every node: the journey ends back home, but a quarantine
+	// or failure at a field host should surface immediately too.
+	receipts := make([]*core.Receipt, 0, len(nodes))
+	for _, n := range nodes {
+		receipts = append(receipts, n.Watch(ag.ID))
+	}
 	wire, err := ag.Marshal()
 	if err != nil {
 		return err
 	}
-	if err := net.SendAgent("home", wire); err != nil {
+	if err := net.SendAgent(ctx, "home", wire); err != nil {
 		return err
 	}
-	if returned == nil {
-		return fmt.Errorf("agent did not return")
+	res, err := core.AwaitAny(ctx, receipts...)
+	if err != nil {
+		return fmt.Errorf("agent did not return: %w", err)
 	}
+	returned := res.Agent
 
 	fmt.Printf("agent returned: total=%s readings=%s\n", returned.State["total"], returned.State["readings"])
 	fmt.Println("owner expected 17+25+40 = 82 — suspicion! starting audit...")
 
-	report, err := vigna.Audit(vigna.AuditConfig{
+	report, err := vigna.Audit(ctx, vigna.AuditConfig{
 		Net:         net,
 		Registry:    reg,
 		LaunchState: value.State{},

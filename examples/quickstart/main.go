@@ -9,8 +9,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/attack"
@@ -59,6 +61,14 @@ func runJourney(label string, workerBehavior host.Behavior) error {
 	fmt.Printf("=== %s ===\n", label)
 	reg := sigcrypto.NewRegistry()
 	net := transport.NewInProc()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var nodes []*core.Node
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
 
 	hosts := []struct {
 		name    string
@@ -112,6 +122,7 @@ func runJourney(label string, workerBehavior host.Behavior) error {
 		if err != nil {
 			return err
 		}
+		nodes = append(nodes, node)
 		net.Register(spec.name, node)
 	}
 
@@ -119,9 +130,21 @@ func runJourney(label string, workerBehavior host.Behavior) error {
 	if err != nil {
 		return err
 	}
+	// Delivery is accept-and-queue: SendAgent returns once home enqueued
+	// the agent. The journey's terminal outcome — completion at "back",
+	// or quarantine at the detecting node — surfaces on that node's
+	// receipt.
+	receipts := make([]*core.Receipt, len(nodes))
+	for i, n := range nodes {
+		receipts[i] = n.Watch(ag.ID)
+	}
 	wire, err := ag.Marshal()
 	if err != nil {
 		return err
 	}
-	return net.SendAgent("home", wire)
+	if err := net.SendAgent(ctx, "home", wire); err != nil {
+		return err
+	}
+	_, err = core.AwaitAny(ctx, receipts...)
+	return err
 }

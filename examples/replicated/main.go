@@ -9,8 +9,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/attack"
@@ -43,7 +45,15 @@ func main() {
 func run() error {
 	reg := sigcrypto.NewRegistry()
 	net := transport.NewInProc()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 	coord := &replication.Coordinator{Net: net, Registry: reg}
+	var nodes []*core.Node
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
 
 	// Two stages of three replicas; one attacker per stage.
 	attackers := map[string]host.Behavior{
@@ -87,6 +97,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
+			nodes = append(nodes, node)
 			net.Register(name, node)
 		}
 		coord.Stages = append(coord.Stages, names)
@@ -96,7 +107,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	report, err := coord.Run(ag)
+	report, err := coord.Run(ctx, ag)
 	if err != nil {
 		return err
 	}

@@ -16,9 +16,11 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/appraisal"
@@ -90,6 +92,14 @@ func main() {
 func run(airlineBBehavior host.Behavior) error {
 	reg := sigcrypto.NewRegistry()
 	net := transport.NewInProc()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var nodes []*core.Node
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
 
 	owner, err := sigcrypto.GenerateKeyPair("alice")
 	if err != nil {
@@ -158,6 +168,7 @@ func run(airlineBBehavior host.Behavior) error {
 		if err != nil {
 			return err
 		}
+		nodes = append(nodes, node)
 		net.Register(spec.name, node)
 	}
 
@@ -174,9 +185,17 @@ func run(airlineBBehavior host.Behavior) error {
 	if err := appraisal.Attach(ag, rules, owner); err != nil {
 		return err
 	}
+	receipts := make([]*core.Receipt, len(nodes))
+	for i, n := range nodes {
+		receipts[i] = n.Watch(ag.ID)
+	}
 	wire, err := ag.Marshal()
 	if err != nil {
 		return err
 	}
-	return net.SendAgent("home", wire)
+	if err := net.SendAgent(ctx, "home", wire); err != nil {
+		return err
+	}
+	_, err = core.AwaitAny(ctx, receipts...)
+	return err
 }

@@ -21,6 +21,7 @@ package appraisal
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 
@@ -155,7 +156,7 @@ func (m *Mechanism) Name() string { return MechanismName }
 func (m *Mechanism) RequestsResultingState() {}
 
 // CheckAfterSession appraises the arrived state.
-func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*core.Verdict, error) {
+func (m *Mechanism) CheckAfterSession(_ context.Context, hc *core.HostContext, ag *agent.Agent) (*core.Verdict, error) {
 	if ag.Hop == 0 {
 		return nil, nil
 	}
@@ -165,7 +166,7 @@ func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*c
 // CheckAfterTask appraises the final state on the last host. By this
 // point the final session has run, so ag.State is the state the task
 // produced.
-func (m *Mechanism) CheckAfterTask(hc *core.HostContext, ag *agent.Agent, rec *host.SessionRecord) (*core.Verdict, error) {
+func (m *Mechanism) CheckAfterTask(_ context.Context, hc *core.HostContext, ag *agent.Agent, rec *host.SessionRecord) (*core.Verdict, error) {
 	return m.appraise(hc, ag, core.AfterTask)
 }
 

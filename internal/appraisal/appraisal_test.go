@@ -142,7 +142,7 @@ func buildBed(t *testing.T, shopBehavior host.Behavior) (*platformtest.Bed, *age
 
 func TestHonestJourneyPasses(t *testing.T) {
 	bed, ag := buildBed(t, nil)
-	if err := bed.Nodes["home"].Launch(ag); err != nil {
+	if err := bed.Run("home", ag); err != nil {
 		t.Fatal(err)
 	}
 	done, aborted := bed.Completed()
@@ -163,7 +163,7 @@ func TestRuleViolatingManipulationDetected(t *testing.T) {
 	// The shop drains the wallet without booking the spend: violates
 	// conservation.
 	bed, ag := buildBed(t, attack.DataManipulation{Var: "moneyRest", Val: value.Int(0)})
-	err := bed.Nodes["home"].Launch(ag)
+	err := bed.Run("home", ag)
 	if !errors.Is(err, core.ErrDetection) {
 		t.Fatalf("err = %v, want ErrDetection", err)
 	}
@@ -184,7 +184,7 @@ func TestRuleConsistentManipulationMissed(t *testing.T) {
 		st["moneySpent"] = value.Int(90)
 		st["moneyRest"] = value.Int(10)
 	}})
-	if err := bed.Nodes["home"].Launch(ag); err != nil {
+	if err := bed.Run("home", ag); err != nil {
 		t.Fatalf("rule-consistent manipulation should pass, got %v", err)
 	}
 	if len(bed.FailedVerdicts()) != 0 {
@@ -201,7 +201,7 @@ func TestStrippedRulesDetected(t *testing.T) {
 	// Strip rule baggage before launch to simulate in-flight removal at
 	// the first hop boundary.
 	ag.ClearBaggage(appraisal.MechanismName)
-	err := bed.Nodes["home"].Launch(ag)
+	err := bed.Run("home", ag)
 	if !errors.Is(err, core.ErrDetection) {
 		t.Fatalf("err = %v, want ErrDetection", err)
 	}
@@ -223,7 +223,7 @@ func TestForgedRulesDetected(t *testing.T) {
 	if err := appraisal.Attach(ag, appraisal.RuleSet{appraisal.MustRule("always", "true")}, forger); err != nil {
 		t.Fatal(err)
 	}
-	errLaunch := bed.Nodes["home"].Launch(ag)
+	errLaunch := bed.Run("home", ag)
 	if !errors.Is(errLaunch, core.ErrDetection) {
 		t.Fatalf("err = %v, want ErrDetection", errLaunch)
 	}
@@ -268,7 +268,7 @@ proc buy() {
 	if err := appraisal.Attach(ag, buyerRules, owner); err != nil {
 		t.Fatal(err)
 	}
-	if err := bed.Nodes["home"].Launch(ag); err != nil {
+	if err := bed.Run("home", ag); err != nil {
 		t.Fatal(err)
 	}
 	var taskVerdict *core.Verdict

@@ -7,6 +7,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/agent"
@@ -181,9 +182,9 @@ type InterceptNetwork struct {
 var _ transport.Network = (*InterceptNetwork)(nil)
 
 // SendAgent implements transport.Network.
-func (n *InterceptNetwork) SendAgent(hostName string, wire []byte) error {
+func (n *InterceptNetwork) SendAgent(ctx context.Context, hostName string, wire []byte) error {
 	if n.MutateAgent == nil {
-		return n.Inner.SendAgent(hostName, wire)
+		return n.Inner.SendAgent(ctx, hostName, wire)
 	}
 	ag, err := agent.Unmarshal(wire)
 	if err != nil {
@@ -196,12 +197,12 @@ func (n *InterceptNetwork) SendAgent(hostName string, wire []byte) error {
 	if err != nil {
 		return fmt.Errorf("attack: re-marshaling intercepted agent: %w", err)
 	}
-	return n.Inner.SendAgent(hostName, mutated)
+	return n.Inner.SendAgent(ctx, hostName, mutated)
 }
 
 // Call implements transport.Network.
-func (n *InterceptNetwork) Call(hostName, method string, body []byte) ([]byte, error) {
-	return n.Inner.Call(hostName, method, body)
+func (n *InterceptNetwork) Call(ctx context.Context, hostName, method string, body []byte) ([]byte, error) {
+	return n.Inner.Call(ctx, hostName, method, body)
 }
 
 // StripBaggage returns an interceptor mutation that removes the named

@@ -1,6 +1,7 @@
 package attack_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -149,7 +150,7 @@ proc finish() { done() }`
 					}
 				}
 
-				launchErr := bed.Nodes["home"].Launch(ag)
+				launchErr := bed.Run("home", ag)
 				detected := len(bed.FailedVerdicts()) > 0
 				if detected != exp.journeyDetects {
 					t.Errorf("journey detection = %v, want %v (launch err: %v, verdicts: %v)",
@@ -161,7 +162,7 @@ proc finish() { done() }`
 					if len(done) != 1 {
 						t.Fatal("agent did not complete")
 					}
-					rep, err := vigna.Audit(vigna.AuditConfig{
+					rep, err := vigna.Audit(context.Background(), vigna.AuditConfig{
 						Net:         bed.Net,
 						Registry:    bed.Reg,
 						LaunchState: value.State{},

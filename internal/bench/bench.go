@@ -1,7 +1,7 @@
 // Package bench reproduces the paper's evaluation (§5.2-§5.3): the
 // generic example agent, the four workload configurations of Tables 1
 // and 2, per-phase timing (sign&verify / cycle / remainder / overall),
-// and the sweep series of DESIGN.md §4.
+// and the sweep series of DESIGN.md §5.
 //
 // The workload, per the paper: an agent migrating along three hosts —
 // trusted, untrusted, trusted — parameterized by a "cycle" count
@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -163,8 +164,17 @@ func Run(level protection.Level, w Workload) (Result, error) {
 
 	reg := sigcrypto.NewRegistry()
 	net := transport.NewInProc()
+	// Generous ceiling: the heaviest paper workload is seconds-scale;
+	// this only guards against a wedged pipeline hanging the harness.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
 
-	var completed *agent.Agent
+	nodes := make(map[string]*core.Node, 3)
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
 	for i := 1; i <= 3; i++ {
 		name := fmt.Sprintf("host%d", i)
 		keys, err := sigcrypto.GenerateKeyPair(name)
@@ -194,15 +204,11 @@ func Run(level protection.Level, w Workload) (Result, error) {
 			Net:            net,
 			Mechanisms:     mechs,
 			SessionOptions: host.SessionOptions{ExtraHook: pt},
-			OnComplete: func(ag *agent.Agent, _ []core.Verdict, aborted bool) {
-				if !aborted {
-					completed = ag
-				}
-			},
 		})
 		if err != nil {
 			return Result{}, err
 		}
+		nodes[name] = node
 		net.Register(name, node)
 	}
 
@@ -216,19 +222,26 @@ func Run(level protection.Level, w Workload) (Result, error) {
 
 	begin := time.Now()
 	// The first host runs the first session itself; delivery to host1
-	// starts the pipeline. Launch directly through the node.
+	// starts the pipeline. Watch every node so a failure or quarantine
+	// at any hop surfaces immediately instead of timing out.
+	receipts := make([]*core.Receipt, 0, len(nodes))
+	for _, n := range nodes {
+		receipts = append(receipts, n.Watch(ag.ID))
+	}
 	firstWire, err := ag.Marshal()
 	if err != nil {
 		return Result{}, err
 	}
-	if err := net.SendAgent("host1", firstWire); err != nil {
+	if err := net.SendAgent(ctx, "host1", firstWire); err != nil {
+		return Result{}, fmt.Errorf("bench: %w", err)
+	}
+	outcome, err := core.AwaitAny(ctx, receipts...)
+	if err != nil {
 		return Result{}, fmt.Errorf("bench: %w", err)
 	}
 	overall := time.Since(begin)
 
-	if completed == nil {
-		return Result{}, fmt.Errorf("bench: agent did not complete")
-	}
+	completed := outcome.Agent
 	if got := completed.State["hops"]; got.Int != 3 {
 		return Result{}, fmt.Errorf("bench: agent ran %d sessions, want 3", got.Int)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -147,7 +148,7 @@ func SeriesReplication(sizes []int) ([]SeriesPoint, error) {
 			return nil, err
 		}
 		begin := time.Now()
-		rep, err := coord.Run(ag)
+		rep, err := coord.Run(context.Background(), ag)
 		if err != nil {
 			return nil, fmt.Errorf("bench: replication n=%d: %w", n, err)
 		}
@@ -175,7 +176,9 @@ func SeriesReplication(sizes []int) ([]SeriesPoint, error) {
 func tracedDeployment(cycles int) (*transport.InProc, *sigcrypto.Registry, *agent.Agent, error) {
 	reg := sigcrypto.NewRegistry()
 	net := transport.NewInProc()
-	var completed *agent.Agent
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	nodes := make(map[string]*core.Node, 4)
 	for _, name := range []string{"home", "h1", "h2", "home2"} {
 		keys, err := sigcrypto.GenerateKeyPair(name)
 		if err != nil {
@@ -196,15 +199,11 @@ func tracedDeployment(cycles int) (*transport.InProc, *sigcrypto.Registry, *agen
 		}
 		node, err := core.NewNode(core.NodeConfig{
 			Host: h, Net: net, Mechanisms: mechs,
-			OnComplete: func(ag *agent.Agent, _ []core.Verdict, aborted bool) {
-				if !aborted {
-					completed = ag
-				}
-			},
 		})
 		if err != nil {
 			return nil, nil, nil, err
 		}
+		nodes[name] = node
 		net.Register(name, node)
 	}
 	code := fmt.Sprintf(`
@@ -233,17 +232,27 @@ proc work() {
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	receipts := make([]*core.Receipt, 0, len(nodes))
+	for _, n := range nodes {
+		receipts = append(receipts, n.Watch(ag.ID))
+	}
 	wire, err := ag.Marshal()
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	if err := net.SendAgent("home", wire); err != nil {
+	if err := net.SendAgent(ctx, "home", wire); err != nil {
 		return nil, nil, nil, err
 	}
-	if completed == nil {
-		return nil, nil, nil, fmt.Errorf("bench: traced agent did not complete")
+	res, err := core.AwaitAny(ctx, receipts...)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("bench: traced agent did not complete: %w", err)
 	}
-	return net, reg, completed, nil
+	// The itinerary is done; stop the intake workers. Audit fetches go
+	// through HandleCall, which keeps working after Close.
+	for _, n := range nodes {
+		_ = n.Close()
+	}
+	return net, reg, res.Agent, nil
 }
 
 // SeriesTrace (Series C) sweeps executed statements: trace length
@@ -257,7 +266,7 @@ func SeriesTrace(cycles []int) ([]SeriesPoint, error) {
 			return nil, err
 		}
 		begin := time.Now()
-		rep, err := vigna.Audit(vigna.AuditConfig{
+		rep, err := vigna.Audit(context.Background(), vigna.AuditConfig{
 			Net: net, Registry: reg,
 			LaunchState: value.State{}, LaunchEntry: "main",
 		}, returned)
@@ -285,7 +294,9 @@ func SeriesTrace(cycles []int) ([]SeriesPoint, error) {
 func proofDeployment(iters int) (*transport.InProc, *sigcrypto.Registry, *agent.Agent, error) {
 	reg := sigcrypto.NewRegistry()
 	net := transport.NewInProc()
-	var completed *agent.Agent
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	nodes := make(map[string]*core.Node, 3)
 	for _, name := range []string{"home", "h1", "home2"} {
 		keys, err := sigcrypto.GenerateKeyPair(name)
 		if err != nil {
@@ -303,15 +314,11 @@ func proofDeployment(iters int) (*transport.InProc, *sigcrypto.Registry, *agent.
 		node, err := core.NewNode(core.NodeConfig{
 			Host: h, Net: net,
 			Mechanisms: []core.Mechanism{proof.New()},
-			OnComplete: func(ag *agent.Agent, _ []core.Verdict, aborted bool) {
-				if !aborted {
-					completed = ag
-				}
-			},
 		})
 		if err != nil {
 			return nil, nil, nil, err
 		}
+		nodes[name] = node
 		net.Register(name, node)
 	}
 	code := fmt.Sprintf(`
@@ -333,17 +340,25 @@ proc finish() { done() }`, iters)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	receipts := make([]*core.Receipt, 0, len(nodes))
+	for _, n := range nodes {
+		receipts = append(receipts, n.Watch(ag.ID))
+	}
 	wire, err := ag.Marshal()
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	if err := net.SendAgent("home", wire); err != nil {
+	if err := net.SendAgent(ctx, "home", wire); err != nil {
 		return nil, nil, nil, err
 	}
-	if completed == nil {
-		return nil, nil, nil, fmt.Errorf("bench: proof agent did not complete")
+	res, err := core.AwaitAny(ctx, receipts...)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("bench: proof agent did not complete: %w", err)
 	}
-	return net, reg, completed, nil
+	for _, n := range nodes {
+		_ = n.Close()
+	}
+	return net, reg, res.Agent, nil
 }
 
 // SeriesProof (Series D) sweeps trace length: spot-check verification
@@ -361,7 +376,7 @@ func SeriesProof(iters []int, k int) ([]SeriesPoint, error) {
 		cfg := proof.VerifyConfig{Net: net, Registry: reg, K: k}
 
 		begin := time.Now()
-		spot, err := proof.Verify(cfg, returned)
+		spot, err := proof.Verify(context.Background(), cfg, returned)
 		if err != nil {
 			return nil, err
 		}
@@ -371,7 +386,7 @@ func SeriesProof(iters []int, k int) ([]SeriesPoint, error) {
 		}
 
 		begin = time.Now()
-		full, err := proof.FullRecheck(cfg, returned)
+		full, err := proof.FullRecheck(context.Background(), cfg, returned)
 		if err != nil {
 			return nil, err
 		}

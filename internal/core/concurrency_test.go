@@ -1,9 +1,11 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/core"
@@ -19,14 +21,18 @@ import (
 // same three platform nodes at once: nodes, hosts, mechanisms and the
 // registry must all be safe for concurrent sessions (the refproto
 // mechanism in particular keeps per-agent pending handoffs keyed by
-// agent ID).
+// agent ID). With the async intake, distinct agents genuinely run
+// concurrently inside each node's worker pool.
 func TestConcurrentAgentsThroughSharedNodes(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
 	reg := sigcrypto.NewRegistry()
 	net := transport.NewInProc()
 
 	var mu sync.Mutex
 	completed := make(map[string]*agent.Agent)
 
+	nodes := make(map[string]*core.Node, 3)
 	for i, name := range []string{"alpha", "beta", "gamma"} {
 		keys, err := sigcrypto.GenerateKeyPair(name)
 		if err != nil {
@@ -63,6 +69,8 @@ func TestConcurrentAgentsThroughSharedNodes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(func() { _ = node.Close() })
+		nodes[name] = node
 		net.Register(name, node)
 	}
 
@@ -80,6 +88,23 @@ proc fin() {
     acc = acc * 10 + resource("step")
     done()
 }`
+	// All itineraries finish at gamma; watch before launching so no
+	// completion can race past us.
+	receipts := make([]*core.Receipt, agents)
+	wires := make([][]byte, agents)
+	for i := 0; i < agents; i++ {
+		ag, err := agent.New(fmt.Sprintf("swarm-%02d", i), "owner", code, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := ag.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wires[i] = wire
+		receipts[i] = nodes["gamma"].Watch(ag.ID)
+	}
+
 	var wg sync.WaitGroup
 	errs := make(chan error, agents)
 	for i := 0; i < agents; i++ {
@@ -87,17 +112,7 @@ proc fin() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ag, err := agent.New(fmt.Sprintf("swarm-%02d", i), "owner", code, "main")
-			if err != nil {
-				errs <- err
-				return
-			}
-			wire, err := ag.Marshal()
-			if err != nil {
-				errs <- err
-				return
-			}
-			if err := net.SendAgent("alpha", wire); err != nil {
+			if err := net.SendAgent(ctx, "alpha", wires[i]); err != nil {
 				errs <- fmt.Errorf("agent %d: %w", i, err)
 			}
 		}()
@@ -106,6 +121,12 @@ proc fin() {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+
+	for i, rc := range receipts {
+		if _, err := rc.Wait(ctx); err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
 	}
 
 	mu.Lock()

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/host"
@@ -71,7 +73,30 @@ func (tb *testbed) addHost(name string, trusted bool, mechs []Mechanism, mutate 
 	}
 	tb.nodes[name] = node
 	tb.net.Register(name, node)
+	tb.t.Cleanup(func() {
+		if err := node.Close(); err != nil {
+			tb.t.Errorf("closing node %s: %v", name, err)
+		}
+	})
 	return node
+}
+
+// run launches the agent on the named node and awaits the itinerary's
+// terminal outcome anywhere in the bed — the async equivalent of the
+// old synchronous Launch chain.
+func (tb *testbed) run(start string, ag *agent.Agent) error {
+	tb.t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	receipts := make([]*Receipt, 0, len(tb.nodes))
+	for _, n := range tb.nodes {
+		receipts = append(receipts, n.Watch(ag.ID))
+	}
+	if _, err := tb.nodes[start].Launch(ctx, ag); err != nil {
+		return err
+	}
+	_, err := AwaitAny(ctx, receipts...)
+	return err
 }
 
 func mkAgent(t *testing.T, code string) *agent.Agent {
@@ -98,17 +123,17 @@ func (m *countingMechanism) log(ev string) {
 	m.events = append(m.events, ev)
 }
 
-func (m *countingMechanism) CheckAfterSession(hc *HostContext, ag *agent.Agent) (*Verdict, error) {
+func (m *countingMechanism) CheckAfterSession(_ context.Context, hc *HostContext, ag *agent.Agent) (*Verdict, error) {
 	m.log("session@" + hc.Host.Name())
 	return nil, nil
 }
 
-func (m *countingMechanism) PrepareDeparture(hc *HostContext, ag *agent.Agent, rec *host.SessionRecord) error {
+func (m *countingMechanism) PrepareDeparture(_ context.Context, hc *HostContext, ag *agent.Agent, rec *host.SessionRecord) error {
 	m.log("depart@" + hc.Host.Name())
 	return nil
 }
 
-func (m *countingMechanism) CheckAfterTask(hc *HostContext, ag *agent.Agent, rec *host.SessionRecord) (*Verdict, error) {
+func (m *countingMechanism) CheckAfterTask(_ context.Context, hc *HostContext, ag *agent.Agent, rec *host.SessionRecord) (*Verdict, error) {
 	m.log("task@" + hc.Host.Name())
 	return &Verdict{Mechanism: "counting", Moment: AfterTask, Checker: hc.Host.Name(), OK: true}, nil
 }
@@ -125,7 +150,7 @@ func TestPipelineLifecycleOrder(t *testing.T) {
 proc main() { n = 0 migrate("h2", "step") }
 proc step() { n = n + 1 migrate("h3", "fin") }
 proc fin() { n = n + 1 done() }`)
-	if err := tb.nodes["h1"].Launch(ag); err != nil {
+	if err := tb.run("h1", ag); err != nil {
 		t.Fatal(err)
 	}
 
@@ -165,7 +190,7 @@ type failingMechanism struct {
 
 func (failingMechanism) Name() string { return "paranoid" }
 
-func (failingMechanism) CheckAfterSession(hc *HostContext, ag *agent.Agent) (*Verdict, error) {
+func (failingMechanism) CheckAfterSession(_ context.Context, hc *HostContext, ag *agent.Agent) (*Verdict, error) {
 	if ag.Hop == 0 {
 		return nil, nil // nothing to check before the first session
 	}
@@ -186,7 +211,7 @@ func TestDetectionQuarantinesAgent(t *testing.T) {
 	ag := mkAgent(t, `
 proc main() { migrate("h2", "step") }
 proc step() { done() }`)
-	err := tb.nodes["h1"].Launch(ag)
+	err := tb.run("h1", ag)
 	if !errors.Is(err, ErrDetection) {
 		t.Fatalf("err = %v, want ErrDetection", err)
 	}
@@ -219,13 +244,15 @@ func TestContinueOnDetection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tb.nodes["h2"] = node2
 	tb.net.Register("h2", node2)
+	t.Cleanup(func() { _ = node2.Close() })
 	tb.addHost("h1", true, []Mechanism{failingMechanism{}}, nil)
 
 	ag := mkAgent(t, `
 proc main() { migrate("h2", "step") }
 proc step() { done() }`)
-	if err := tb.nodes["h1"].Launch(ag); err != nil {
+	if err := tb.run("h1", ag); err != nil {
 		t.Fatalf("ContinueOnDetection still aborted: %v", err)
 	}
 }
@@ -233,7 +260,7 @@ proc step() { done() }`)
 func TestHandleAgentRejectsGarbage(t *testing.T) {
 	tb := newTestbed(t)
 	node := tb.addHost("h1", true, nil, nil)
-	if err := node.HandleAgent([]byte("junk")); err == nil {
+	if err := node.HandleAgent(context.Background(), []byte("junk")); err == nil {
 		t.Error("garbage wire agent accepted")
 	}
 }
@@ -245,7 +272,7 @@ type callableMechanism struct {
 
 func (callableMechanism) Name() string { return "callable" }
 
-func (callableMechanism) HandleCall(hc *HostContext, method string, body []byte) ([]byte, error) {
+func (callableMechanism) HandleCall(_ context.Context, hc *HostContext, method string, body []byte) ([]byte, error) {
 	if method == "ping" {
 		return append([]byte("pong:"), body...), nil
 	}
@@ -256,20 +283,21 @@ func TestHandleCallDispatch(t *testing.T) {
 	tb := newTestbed(t)
 	tb.addHost("h1", true, []Mechanism{callableMechanism{}, &countingMechanism{}}, nil)
 
-	resp, err := tb.net.Call("h1", "callable/ping", []byte("x"))
+	ctx := context.Background()
+	resp, err := tb.net.Call(ctx, "h1", "callable/ping", []byte("x"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(resp) != "pong:x" {
 		t.Errorf("resp = %q", resp)
 	}
-	if _, err := tb.net.Call("h1", "counting/ping", nil); !errors.Is(err, transport.ErrUnknownMethod) {
+	if _, err := tb.net.Call(ctx, "h1", "counting/ping", nil); !errors.Is(err, transport.ErrUnknownMethod) {
 		t.Errorf("non-callable mechanism: %v", err)
 	}
-	if _, err := tb.net.Call("h1", "ghost/ping", nil); !errors.Is(err, transport.ErrUnknownMethod) {
+	if _, err := tb.net.Call(ctx, "h1", "ghost/ping", nil); !errors.Is(err, transport.ErrUnknownMethod) {
 		t.Errorf("unknown mechanism: %v", err)
 	}
-	if _, err := tb.net.Call("h1", "nomethodsep", nil); !errors.Is(err, transport.ErrUnknownMethod) {
+	if _, err := tb.net.Call(ctx, "h1", "nomethodsep", nil); !errors.Is(err, transport.ErrUnknownMethod) {
 		t.Errorf("malformed method: %v", err)
 	}
 }
@@ -295,7 +323,7 @@ func TestForwardToUnknownHostFails(t *testing.T) {
 	tb := newTestbed(t)
 	tb.addHost("h1", true, nil, nil)
 	ag := mkAgent(t, `proc main() { migrate("nowhere", "main") }`)
-	err := tb.nodes["h1"].Launch(ag)
+	err := tb.run("h1", ag)
 	if err == nil || !strings.Contains(err.Error(), "unknown host") {
 		t.Errorf("err = %v", err)
 	}

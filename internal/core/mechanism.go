@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/agent"
@@ -32,25 +33,32 @@ type HostContext struct {
 //
 // A mechanism returns a nil *Verdict when it has nothing to report
 // (e.g. first hop, or the mechanism only checks at the other moment).
+//
+// Every lifecycle method takes a context.Context carrying the
+// processing deadline and cancellation of the delivery being handled.
+// Mechanism authors must pass ctx to any network call (hc.Net) and
+// should honour cancellation between expensive steps; they must not
+// retain ctx beyond the call.
 type Mechanism interface {
 	// Name identifies the mechanism; also used as its baggage key.
 	Name() string
 	// CheckAfterSession examines the previous session's execution.
-	CheckAfterSession(hc *HostContext, ag *agent.Agent) (*Verdict, error)
+	CheckAfterSession(ctx context.Context, hc *HostContext, ag *agent.Agent) (*Verdict, error)
 	// PrepareDeparture attaches whatever the mechanism needs to check
 	// the session later. rec is the host-side ground truth of the
 	// session just executed (possibly tampered by a malicious host).
-	PrepareDeparture(hc *HostContext, ag *agent.Agent, rec *host.SessionRecord) error
+	PrepareDeparture(ctx context.Context, hc *HostContext, ag *agent.Agent, rec *host.SessionRecord) error
 	// CheckAfterTask examines the whole journey on the final host.
-	CheckAfterTask(hc *HostContext, ag *agent.Agent, rec *host.SessionRecord) (*Verdict, error)
+	CheckAfterTask(ctx context.Context, hc *HostContext, ag *agent.Agent, rec *host.SessionRecord) (*Verdict, error)
 }
 
 // CallHandler is an optional Mechanism extension for mechanisms that
 // answer protocol calls from other hosts (e.g. trace fetches in the
 // vigna mechanism, vote collection in replication).
 type CallHandler interface {
-	// HandleCall services a method addressed to this mechanism.
-	HandleCall(hc *HostContext, method string, body []byte) ([]byte, error)
+	// HandleCall services a method addressed to this mechanism. ctx is
+	// the serving node's request context.
+	HandleCall(ctx context.Context, hc *HostContext, method string, body []byte) ([]byte, error)
 }
 
 // CheckContext is the checking-time view of one session's reference

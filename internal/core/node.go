@@ -1,14 +1,40 @@
 package core
 
 import (
+	"bytes"
+	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/host"
 	"repro/internal/transport"
+)
+
+// Defaults for the node's intake stage.
+const (
+	// DefaultWorkers is the number of concurrent intake workers when
+	// NodeConfig.Workers is zero.
+	DefaultWorkers = 4
+	// DefaultQueueDepth is the per-worker intake queue bound when
+	// NodeConfig.QueueDepth is zero. Total queued intake per node is
+	// bounded by Workers x QueueDepth.
+	DefaultQueueDepth = 16
+	// DefaultJournalLimit bounds retained terminal receipts/status
+	// entries when NodeConfig.JournalLimit is zero (see JournalLimit).
+	DefaultJournalLimit = 4096
+	// maxIntakeWait caps how long an enqueue blocks on a full queue
+	// even under a deadline-free ctx. It sits below the TCP
+	// transport's 30s I/O fallback so a remote delivery gives up on
+	// the server side before the client stops waiting — otherwise a
+	// late enqueue could produce a second terminal outcome for an
+	// itinerary the sender already reported as failed.
+	maxIntakeWait = 25 * time.Second
 )
 
 // NodeConfig configures a platform node: one host plus the protection
@@ -21,13 +47,39 @@ type NodeConfig struct {
 	// Node.process). All hosts on an itinerary must run the same
 	// mechanism set for the protocols to line up.
 	Mechanisms []Mechanism
+	// Workers is the number of concurrent intake workers. Distinct
+	// agents are processed concurrently; deliveries of the same agent
+	// stay ordered because agents are striped onto workers by ID. 0
+	// means DefaultWorkers; 1 reproduces the fully serialized seed
+	// behaviour.
+	Workers int
+	// QueueDepth bounds each worker's intake queue. An enqueue against
+	// a full queue blocks until space frees up or the intake ctx is
+	// done — backpressure, not unbounded buffering. 0 means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// JournalLimit bounds how many receipts and status entries the
+	// node retains; beyond it the oldest settled entries (any phase
+	// but queued/running) are evicted so neither transiting agents nor
+	// a stream of fresh agent IDs can grow memory without bound.
+	// Resolved receipts already handed out keep working after
+	// eviction; an evicted receipt that never resolved (a watch on a
+	// node the agent only transited) resolves with ErrJournalEvicted.
+	// Late Watch/Status lookups of evicted agents read "unknown". 0
+	// means DefaultJournalLimit.
+	JournalLimit int
 	// OnVerdict is invoked for every verdict produced at this node; may
-	// be nil.
+	// be nil. It may be called from multiple workers concurrently.
 	OnVerdict func(Verdict)
 	// OnComplete is invoked when an agent finishes (or is aborted) at
 	// this node, with all verdicts accumulated over its journey; may be
-	// nil.
+	// nil. It may be called from multiple workers concurrently.
 	OnComplete func(ag *agent.Agent, verdicts []Verdict, aborted bool)
+	// OnError is invoked when processing a delivery fails for any
+	// reason (detection, refused agent, forwarding failure,
+	// cancellation); may be nil. The same outcome also resolves the
+	// agent's Receipt.
+	OnError func(ag *agent.Agent, err error)
 	// ContinueOnDetection keeps forwarding an agent even after a failed
 	// check. The default (false) quarantines the agent at the detecting
 	// node: "a compromised agent continues to work on other hosts" is
@@ -38,25 +90,73 @@ type NodeConfig struct {
 	SessionOptions host.SessionOptions
 }
 
-// Node is a platform node: it accepts migrating agents, runs the
-// framework callback pipeline around each execution session, and
-// forwards agents onward. It implements transport.Endpoint.
+// Node is a platform node: it accepts migrating agents into a bounded
+// intake queue, runs the framework callback pipeline around each
+// execution session on a worker pool, and forwards agents onward. It
+// implements transport.Endpoint.
+//
+// Intake is asynchronous: HandleAgent/Launch return once the agent is
+// enqueued. Terminal outcomes (task completion, quarantine, failure)
+// are observed through Watch receipts; forwarding to the next host is
+// not terminal. Per-agent processing stays serialized (deliveries of
+// one agent are handled in arrival order on one worker), while
+// distinct agents run concurrently.
 type Node struct {
 	cfg NodeConfig
 	hc  *HostContext
 
+	rootCtx context.Context
+	cancel  context.CancelFunc
+	queues  []chan intakeItem
+	wg      sync.WaitGroup
+	// intake counts in-flight enqueue calls; Close waits for them
+	// before draining so no delivery is accepted and then silently
+	// lost.
+	intake sync.WaitGroup
+
 	mu sync.Mutex
 	// quarantined agents by ID, kept for evidence after detection.
 	quarantine map[string]*agent.Agent
+	// receipts journal outcomes per agent ID; settled entries (any
+	// phase but queued/running) are evicted oldest-first beyond the
+	// journal limit.
+	receipts map[string]*Receipt
+	// phases tracks each agent's latest processing phase at this node
+	// (served by the built-in node/status call).
+	phases map[string]AgentStatus
+	// journal orders agent IDs by first appearance, for eviction.
+	journal []string
+	closed  bool
+}
+
+// intakeItem is one queued delivery. ctx is the delivery's processing
+// context: for Launch it is the caller's ctx (propagated across
+// in-process forwards), for TCP deliveries the serving node's base
+// context.
+type intakeItem struct {
+	ctx context.Context
+	ag  *agent.Agent
 }
 
 var _ transport.Endpoint = (*Node)(nil)
 
-// ErrDetection is returned by HandleAgent when a check failed and the
-// agent was quarantined.
-var ErrDetection = errors.New("core: attack detected")
+// Errors returned by the intake and pipeline.
+var (
+	// ErrDetection is the terminal error when a check failed and the
+	// agent was quarantined.
+	ErrDetection = errors.New("core: attack detected")
+	// ErrNodeClosed is returned for deliveries to a closed node, and
+	// resolves receipts of deliveries still queued at close.
+	ErrNodeClosed = errors.New("core: node closed")
+	// ErrJournalEvicted resolves a receipt whose journal entry was
+	// evicted under memory pressure before the agent reached a
+	// terminal outcome at this node (e.g. a watch on a node the agent
+	// only transited). The journey itself is unaffected.
+	ErrJournalEvicted = errors.New("core: receipt evicted from journal")
+)
 
-// NewNode builds a platform node.
+// NewNode builds a platform node and starts its worker pool. Callers
+// own the node's lifecycle: Close it when the deployment winds down.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Host == nil {
 		return nil, errors.New("core: node host must not be nil")
@@ -64,15 +164,73 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Net == nil {
 		return nil, errors.New("core: node network must not be nil")
 	}
-	return &Node{
+	if cfg.Workers < 0 || cfg.QueueDepth < 0 {
+		return nil, errors.New("core: workers and queue depth must be non-negative")
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = DefaultWorkers
+	}
+	depth := cfg.QueueDepth
+	if depth == 0 {
+		depth = DefaultQueueDepth
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := &Node{
 		cfg:        cfg,
 		hc:         &HostContext{Host: cfg.Host, Net: cfg.Net},
+		rootCtx:    ctx,
+		cancel:     cancel,
+		queues:     make([]chan intakeItem, workers),
 		quarantine: make(map[string]*agent.Agent),
-	}, nil
+		receipts:   make(map[string]*Receipt),
+		phases:     make(map[string]AgentStatus),
+	}
+	for i := range n.queues {
+		q := make(chan intakeItem, depth)
+		n.queues[i] = q
+		n.wg.Add(1)
+		go n.worker(q)
+	}
+	return n, nil
 }
 
 // Host returns the node's host.
 func (n *Node) Host() *host.Host { return n.cfg.Host }
+
+// Close stops the intake workers, drains queued-but-unprocessed
+// deliveries (their receipts resolve with ErrNodeClosed), and returns
+// once the node is quiescent. Deliveries racing with Close either
+// complete their enqueue (and are then drained with ErrNodeClosed) or
+// fail with ErrNodeClosed — never silently lost. Synchronous protocol
+// calls (HandleCall) keep working after Close.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.cancel()
+	// In-flight enqueuers see the cancelled rootCtx if blocked on a
+	// full queue; wait them out before draining so nothing lands in a
+	// queue after the drain.
+	n.intake.Wait()
+	n.wg.Wait()
+	for _, q := range n.queues {
+		for {
+			select {
+			case item := <-q:
+				n.resolve(item.ag.ID, Result{Agent: item.ag, Err: ErrNodeClosed})
+			default:
+				goto nextQueue
+			}
+		}
+	nextQueue:
+	}
+	return nil
+}
 
 // Quarantined returns the quarantined agent with the given ID, if any.
 func (n *Node) Quarantined(id string) (*agent.Agent, bool) {
@@ -82,49 +240,206 @@ func (n *Node) Quarantined(id string) (*agent.Agent, bool) {
 	return ag, ok
 }
 
-// Launch injects a locally created agent into the pipeline as if it had
-// just arrived (the home host runs the first session itself).
-func (n *Node) Launch(ag *agent.Agent) error {
-	return n.process(ag)
+// Watch returns the receipt for the given agent at this node, creating
+// it if needed. The receipt resolves when the agent reaches a terminal
+// outcome here (task completion, quarantine, or processing failure);
+// watching before launch is race-free, and watching after the outcome
+// returns an already-resolved receipt.
+func (n *Node) Watch(agentID string) *Receipt {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.receiptLocked(agentID)
 }
 
-// HandleAgent implements transport.Endpoint for migration deliveries.
-func (n *Node) HandleAgent(wire []byte) error {
+func (n *Node) receiptLocked(agentID string) *Receipt {
+	rc, ok := n.receipts[agentID]
+	if !ok {
+		rc = newReceipt(agentID)
+		n.receipts[agentID] = rc
+		n.journal = append(n.journal, agentID)
+		n.evictLocked()
+	}
+	return rc
+}
+
+// evictLocked drops the oldest settled journal entries (receipt +
+// phase) beyond the configured limit, so neither transiting agents nor
+// a hostile stream of fresh IDs can grow the node's memory without
+// bound. Entries still queued or running are never evicted — an
+// active worker must resolve the receipt a waiter may hold. Any other
+// evicted entry whose receipt is still unresolved (a watch on a node
+// the agent only transited, or never reached) is resolved with
+// ErrJournalEvicted so held pointers report explicitly instead of
+// hanging forever.
+func (n *Node) evictLocked() {
+	limit := n.cfg.JournalLimit
+	if limit <= 0 {
+		limit = DefaultJournalLimit
+	}
+	for len(n.journal) > limit {
+		evicted := false
+		for i, id := range n.journal {
+			switch n.phases[id].Phase {
+			case PhaseQueued, PhaseRunning:
+				continue
+			}
+			rc := n.receipts[id]
+			n.journal = append(n.journal[:i], n.journal[i+1:]...)
+			delete(n.receipts, id)
+			delete(n.phases, id)
+			if rc != nil {
+				rc.resolve(Result{Err: fmt.Errorf("core: node %s: %w", n.cfg.Host.Name(), ErrJournalEvicted)})
+			}
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything in flight; tolerate transient overshoot
+		}
+	}
+}
+
+// Launch injects a locally created agent into the intake as if it had
+// just arrived (the home host runs the first session itself). It
+// returns once the agent is enqueued, with the receipt tracking this
+// node's terminal outcome; ctx bounds both the enqueue and the agent's
+// processing at this node and — over in-process transports — its
+// onward itinerary.
+func (n *Node) Launch(ctx context.Context, ag *agent.Agent) (*Receipt, error) {
+	return n.enqueue(ctx, ag)
+}
+
+// HandleAgent implements transport.Endpoint for migration deliveries:
+// unmarshal, then accept-and-queue.
+func (n *Node) HandleAgent(ctx context.Context, wire []byte) error {
 	ag, err := agent.Unmarshal(wire)
 	if err != nil {
 		return fmt.Errorf("core: node %s: %w", n.cfg.Host.Name(), err)
 	}
-	return n.process(ag)
+	_, err = n.enqueue(ctx, ag)
+	return err
 }
 
-// HandleCall implements transport.Endpoint: methods are namespaced
-// "mechanism/method" and dispatched to the mechanism's CallHandler.
-func (n *Node) HandleCall(method string, body []byte) ([]byte, error) {
-	name, rest, ok := strings.Cut(method, "/")
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", transport.ErrUnknownMethod, method)
+// stripe maps an agent ID onto a worker queue; one agent always lands
+// on the same worker, which is what serializes per-agent processing.
+func (n *Node) stripe(agentID string) chan intakeItem {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(agentID))
+	return n.queues[h.Sum32()%uint32(len(n.queues))]
+}
+
+func (n *Node) enqueue(ctx context.Context, ag *agent.Agent) (*Receipt, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("core: node %s: %w", n.cfg.Host.Name(), ErrNodeClosed)
 	}
-	for _, m := range n.cfg.Mechanisms {
-		if m.Name() != name {
-			continue
-		}
-		h, ok := m.(CallHandler)
-		if !ok {
-			return nil, fmt.Errorf("%w: mechanism %q takes no calls", transport.ErrUnknownMethod, name)
-		}
-		return h.HandleCall(n.hc, rest, body)
+	// Registering with the intake group under the same lock as the
+	// closed check means Close (which flips closed, then waits for the
+	// group) cannot drain the queues while this send is in flight —
+	// an accepted delivery is either processed or drained, never lost.
+	n.intake.Add(1)
+	defer n.intake.Done()
+	rc := n.receiptLocked(ag.ID)
+	n.phases[ag.ID] = AgentStatus{Phase: PhaseQueued}
+	n.mu.Unlock()
+
+	q := n.stripe(ag.ID)
+	select {
+	case q <- intakeItem{ctx: ctx, ag: ag}:
+		return rc, nil
+	default:
 	}
-	return nil, fmt.Errorf("%w: no mechanism %q", transport.ErrUnknownMethod, name)
+	// Queue full: block with backpressure until space, cancellation,
+	// node shutdown, or the intake cap.
+	wait := time.NewTimer(maxIntakeWait)
+	defer wait.Stop()
+	var err error
+	select {
+	case q <- intakeItem{ctx: ctx, ag: ag}:
+		return rc, nil
+	case <-ctx.Done():
+		err = fmt.Errorf("core: intake at %s: %w", n.cfg.Host.Name(), ctx.Err())
+	case <-wait.C:
+		err = fmt.Errorf("core: intake at %s: %w", n.cfg.Host.Name(), context.DeadlineExceeded)
+	case <-n.rootCtx.Done():
+		err = fmt.Errorf("core: node %s: %w", n.cfg.Host.Name(), ErrNodeClosed)
+	}
+	// The delivery never entered the queue: record the intake failure
+	// (a "queued" phase with no worker coming would both lie to
+	// node/status and be unevictable) and resolve the receipt so a
+	// Watch-before-launch waiter wakes with the error instead of
+	// hanging. If a concurrent duplicate delivery of the same ID
+	// already progressed to running, leave its phase alone.
+	n.mu.Lock()
+	if st := n.phases[ag.ID]; st.Phase != PhaseRunning {
+		n.phases[ag.ID] = AgentStatus{Phase: PhaseFailed, Err: err.Error()}
+	}
+	n.mu.Unlock()
+	rc.resolve(Result{Agent: ag, Err: err})
+	return nil, err
+}
+
+func (n *Node) worker(q chan intakeItem) {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.rootCtx.Done():
+			return
+		case item := <-q:
+			n.runOne(item)
+		}
+	}
+}
+
+// runOne drives one delivery through the pipeline and resolves the
+// receipt on failure (success paths resolve inside process).
+func (n *Node) runOne(item intakeItem) {
+	n.setPhase(item.ag.ID, AgentStatus{Phase: PhaseRunning})
+	err := n.process(item.ctx, item.ag)
+	if err != nil {
+		// The quarantine path already recorded PhaseQuarantined; only
+		// non-detection failures report as failed.
+		if !errors.Is(err, ErrDetection) {
+			n.setPhase(item.ag.ID, AgentStatus{Phase: PhaseFailed, Err: err.Error()})
+		}
+		n.resolve(item.ag.ID, Result{
+			Agent:    item.ag,
+			Verdicts: AgentVerdicts(item.ag),
+			Aborted:  errors.Is(err, ErrDetection),
+			Err:      err,
+		})
+		if n.cfg.OnError != nil {
+			n.cfg.OnError(item.ag, err)
+		}
+	}
+}
+
+// ctxErr folds the delivery ctx and the node lifecycle together; it is
+// checked between pipeline phases so cancellation and shutdown take
+// effect at the next phase boundary.
+func (n *Node) ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n.rootCtx.Err() != nil {
+		return ErrNodeClosed
+	}
+	return nil
 }
 
 // process runs the full per-hop pipeline for one arriving agent.
-func (n *Node) process(ag *agent.Agent) error {
+func (n *Node) process(ctx context.Context, ag *agent.Agent) error {
 	hostName := n.cfg.Host.Name()
+
+	if err := n.ctxErr(ctx); err != nil {
+		return fmt.Errorf("core: node %s: %w", hostName, err)
+	}
 
 	// Phase 1: checkAfterSession — verify the previous host's session
 	// as the first action on this host.
 	for _, m := range n.cfg.Mechanisms {
-		v, err := m.CheckAfterSession(n.hc, ag)
+		v, err := m.CheckAfterSession(ctx, n.hc, ag)
 		if err != nil {
 			return fmt.Errorf("core: %s at %s: %w", m.Name(), hostName, err)
 		}
@@ -137,8 +452,12 @@ func (n *Node) process(ag *agent.Agent) error {
 		}
 	}
 
+	if err := n.ctxErr(ctx); err != nil {
+		return fmt.Errorf("core: node %s: %w", hostName, err)
+	}
+
 	// Phase 2: the execution session itself.
-	rec, err := n.cfg.Host.RunSession(ag, n.cfg.SessionOptions)
+	rec, err := n.cfg.Host.RunSession(ctx, ag, n.cfg.SessionOptions)
 	if err != nil {
 		return fmt.Errorf("core: node %s: %w", hostName, err)
 	}
@@ -147,7 +466,7 @@ func (n *Node) process(ag *agent.Agent) error {
 	// host.
 	if rec.ResultEntry == "" {
 		for _, m := range n.cfg.Mechanisms {
-			v, err := m.CheckAfterTask(n.hc, ag, rec)
+			v, err := m.CheckAfterTask(ctx, n.hc, ag, rec)
 			if err != nil {
 				return fmt.Errorf("core: %s at %s: %w", m.Name(), hostName, err)
 			}
@@ -155,8 +474,13 @@ func (n *Node) process(ag *agent.Agent) error {
 				n.recordVerdict(ag, *v)
 			}
 		}
+		n.setPhase(ag.ID, AgentStatus{Phase: PhaseCompleted})
 		n.complete(ag, false)
 		return nil
+	}
+
+	if err := n.ctxErr(ctx); err != nil {
+		return fmt.Errorf("core: node %s: %w", hostName, err)
 	}
 
 	// Phase 3b: departure — mechanisms attach reference data, then the
@@ -166,7 +490,7 @@ func (n *Node) process(ag *agent.Agent) error {
 	// placed first therefore covers every other mechanism's baggage.
 	for i := len(n.cfg.Mechanisms) - 1; i >= 0; i-- {
 		m := n.cfg.Mechanisms[i]
-		if err := m.PrepareDeparture(n.hc, ag, rec); err != nil {
+		if err := m.PrepareDeparture(ctx, n.hc, ag, rec); err != nil {
 			return fmt.Errorf("core: %s departure at %s: %w", m.Name(), hostName, err)
 		}
 	}
@@ -174,9 +498,10 @@ func (n *Node) process(ag *agent.Agent) error {
 	if err != nil {
 		return fmt.Errorf("core: node %s: %w", hostName, err)
 	}
-	if err := n.cfg.Net.SendAgent(rec.Outcome.MigrateHost, wire); err != nil {
+	if err := n.cfg.Net.SendAgent(ctx, rec.Outcome.MigrateHost, wire); err != nil {
 		return fmt.Errorf("core: node %s forwarding to %s: %w", hostName, rec.Outcome.MigrateHost, err)
 	}
+	n.setPhase(ag.ID, AgentStatus{Phase: PhaseForwarded, NextHost: rec.Outcome.MigrateHost})
 	return nil
 }
 
@@ -214,13 +539,130 @@ func (n *Node) quarantineAgent(ag *agent.Agent) {
 	n.mu.Lock()
 	n.quarantine[ag.ID] = ag
 	n.mu.Unlock()
+	n.setPhase(ag.ID, AgentStatus{Phase: PhaseQuarantined})
 	n.complete(ag, true)
 }
 
+// complete fires the completion callback. The receipt resolution for
+// the aborted path happens in runOne (where the detection error is in
+// hand); the clean-finish path resolves here.
 func (n *Node) complete(ag *agent.Agent, aborted bool) {
 	if n.cfg.OnComplete != nil {
 		n.cfg.OnComplete(ag, AgentVerdicts(ag), aborted)
 	}
+	if !aborted {
+		n.resolve(ag.ID, Result{Agent: ag, Verdicts: AgentVerdicts(ag)})
+	}
+}
+
+func (n *Node) resolve(agentID string, res Result) {
+	n.mu.Lock()
+	rc := n.receiptLocked(agentID)
+	n.mu.Unlock()
+	rc.resolve(res)
+}
+
+func (n *Node) setPhase(agentID string, st AgentStatus) {
+	n.mu.Lock()
+	n.phases[agentID] = st
+	n.mu.Unlock()
+}
+
+// Processing phases reported by the node/status built-in call.
+const (
+	PhaseUnknown     = "unknown"
+	PhaseQueued      = "queued"
+	PhaseRunning     = "running"
+	PhaseForwarded   = "forwarded"
+	PhaseCompleted   = "completed"
+	PhaseQuarantined = "quarantined"
+	PhaseFailed      = "failed"
+)
+
+// AgentStatus is the answer to a node/status call: the latest
+// processing phase of an agent at this node. Completed, quarantined,
+// and failed are terminal.
+type AgentStatus struct {
+	Phase string
+	// NextHost names the forwarding destination when Phase is
+	// "forwarded".
+	NextHost string
+	// Err carries the failure when Phase is "failed".
+	Err string
+}
+
+// Terminal reports whether the status is a journey-ending phase at
+// this node.
+func (s AgentStatus) Terminal() bool {
+	switch s.Phase {
+	case PhaseCompleted, PhaseQuarantined, PhaseFailed:
+		return true
+	}
+	return false
+}
+
+// Status returns the latest processing phase of the agent at this
+// node (PhaseUnknown if it never arrived).
+func (n *Node) Status(agentID string) AgentStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.phases[agentID]
+	if !ok {
+		return AgentStatus{Phase: PhaseUnknown}
+	}
+	return st
+}
+
+// NodeCallNamespace is the reserved HandleCall namespace for built-in
+// node methods (mechanism names must differ).
+const NodeCallNamespace = "node"
+
+// StatusCallBody builds the body for a node/status call.
+func StatusCallBody(agentID string) []byte { return []byte(agentID) }
+
+// DecodeStatusReply decodes a node/status response.
+func DecodeStatusReply(body []byte) (AgentStatus, error) {
+	var st AgentStatus
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&st); err != nil {
+		return AgentStatus{}, fmt.Errorf("core: decoding status reply: %w", err)
+	}
+	return st, nil
+}
+
+// HandleCall implements transport.Endpoint: methods are namespaced
+// "mechanism/method" and dispatched to the mechanism's CallHandler.
+// The "node" namespace is reserved for built-ins: "node/status" takes
+// an agent ID and returns its gob-encoded AgentStatus, which is how
+// remote launchers (cmd/agentctl) track asynchronous journeys.
+func (n *Node) HandleCall(ctx context.Context, method string, body []byte) ([]byte, error) {
+	name, rest, ok := strings.Cut(method, "/")
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", transport.ErrUnknownMethod, method)
+	}
+	if name == NodeCallNamespace {
+		switch rest {
+		case "status":
+			st := n.Status(string(body))
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+				return nil, fmt.Errorf("core: encoding status: %w", err)
+			}
+			return buf.Bytes(), nil
+		default:
+			return nil, fmt.Errorf("%w: node/%s", transport.ErrUnknownMethod, rest)
+		}
+	}
+	for _, m := range n.cfg.Mechanisms {
+		if m.Name() != name {
+			continue
+		}
+		h, ok := m.(CallHandler)
+		if !ok {
+			return nil, fmt.Errorf("%w: mechanism %q takes no calls", transport.ErrUnknownMethod, name)
+		}
+		return h.HandleCall(ctx, n.hc, rest, body)
+	}
+	return nil, fmt.Errorf("%w: no mechanism %q", transport.ErrUnknownMethod, name)
 }
 
 // BaseMechanism provides no-op lifecycle methods; mechanisms embed it
@@ -228,16 +670,16 @@ func (n *Node) complete(ag *agent.Agent, aborted bool) {
 type BaseMechanism struct{}
 
 // CheckAfterSession implements Mechanism with no check.
-func (BaseMechanism) CheckAfterSession(*HostContext, *agent.Agent) (*Verdict, error) {
+func (BaseMechanism) CheckAfterSession(context.Context, *HostContext, *agent.Agent) (*Verdict, error) {
 	return nil, nil
 }
 
 // PrepareDeparture implements Mechanism with no preparation.
-func (BaseMechanism) PrepareDeparture(*HostContext, *agent.Agent, *host.SessionRecord) error {
+func (BaseMechanism) PrepareDeparture(context.Context, *HostContext, *agent.Agent, *host.SessionRecord) error {
 	return nil
 }
 
 // CheckAfterTask implements Mechanism with no check.
-func (BaseMechanism) CheckAfterTask(*HostContext, *agent.Agent, *host.SessionRecord) (*Verdict, error) {
+func (BaseMechanism) CheckAfterTask(context.Context, *HostContext, *agent.Agent, *host.SessionRecord) (*Verdict, error) {
 	return nil, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -241,7 +242,7 @@ func runReexecSession(t *testing.T) (*agent.Agent, *host.SessionRecord) {
 		c.Resources = map[string]value.Value{"price": value.Int(21)}
 	})
 	ag := mkAgent(t, reexecCode)
-	rec, err := tb.nodes["solo"].Host().RunSession(ag, host.SessionOptions{})
+	rec, err := tb.nodes["solo"].Host().RunSession(context.Background(), ag, host.SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

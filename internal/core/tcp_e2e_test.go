@@ -1,9 +1,11 @@
 package core_test
 
 import (
+	"context"
 	"errors"
-
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/attack"
@@ -20,23 +22,22 @@ import (
 // example mechanism, whole-agent signatures — over real TCP sockets:
 // the deployment shape of cmd/agenthost. One journey is honest; one
 // has a tampering middle host whose attack must be detected across the
-// wire.
+// wire. Under the async contract, SendAgent returns at enqueue time
+// and the journey's terminal outcome surfaces on the receipt of the
+// node where it ends — completion at "back", or quarantine at the
+// detecting node.
 func TestTCPEndToEnd(t *testing.T) {
-	run := func(t *testing.T, tamper bool) ([]core.Verdict, *agent.Agent, error) {
+	run := func(t *testing.T, tamper bool) ([]core.Verdict, core.Result, map[string]*core.Node) {
 		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
 		reg := sigcrypto.NewRegistry()
 		net := transport.NewTCPNetwork(nil)
+		t.Cleanup(net.Close)
 
+		var vmu sync.Mutex
 		var verdicts []core.Verdict
-		var completed *agent.Agent
-		var servers []*transport.Server
-		t.Cleanup(func() {
-			for _, s := range servers {
-				if err := s.Close(); err != nil {
-					t.Errorf("closing server: %v", err)
-				}
-			}
-		})
+		nodes := make(map[string]*core.Node, 3)
 
 		for i, name := range []string{"home", "mid", "back"} {
 			keys, err := sigcrypto.GenerateKeyPair(name)
@@ -66,21 +67,26 @@ func TestTCPEndToEnd(t *testing.T) {
 					wholesig.New(nil),
 					refproto.New(refproto.Config{}),
 				},
-				OnVerdict: func(v core.Verdict) { verdicts = append(verdicts, v) },
-				OnComplete: func(ag *agent.Agent, _ []core.Verdict, aborted bool) {
-					if !aborted {
-						completed = ag
-					}
+				OnVerdict: func(v core.Verdict) {
+					vmu.Lock()
+					verdicts = append(verdicts, v)
+					vmu.Unlock()
 				},
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
+			t.Cleanup(func() { _ = node.Close() })
+			nodes[name] = node
 			srv, err := transport.Serve("127.0.0.1:0", node)
 			if err != nil {
 				t.Fatal(err)
 			}
-			servers = append(servers, srv)
+			t.Cleanup(func() {
+				if err := srv.Close(); err != nil {
+					t.Errorf("closing server: %v", err)
+				}
+			})
 			net.AddHost(name, srv.Addr())
 		}
 
@@ -100,24 +106,33 @@ proc fin() {
 		if err != nil {
 			t.Fatal(err)
 		}
+		receipts := make([]*core.Receipt, 0, len(nodes))
+		for _, n := range nodes {
+			receipts = append(receipts, n.Watch(ag.ID))
+		}
 		wire, err := ag.Marshal()
 		if err != nil {
 			t.Fatal(err)
 		}
-		sendErr := net.SendAgent("home", wire)
-		return verdicts, completed, sendErr
+		if err := net.SendAgent(ctx, "home", wire); err != nil {
+			t.Fatalf("launch: %v", err)
+		}
+		res, _ := core.AwaitAny(ctx, receipts...)
+		vmu.Lock()
+		defer vmu.Unlock()
+		return append([]core.Verdict(nil), verdicts...), res, nodes
 	}
 
 	t.Run("honest", func(t *testing.T) {
-		verdicts, completed, err := run(t, false)
-		if err != nil {
-			t.Fatalf("honest journey: %v", err)
+		verdicts, res, _ := run(t, false)
+		if res.Err != nil {
+			t.Fatalf("honest journey: %v", res.Err)
 		}
-		if completed == nil {
+		if res.Agent == nil {
 			t.Fatal("agent did not complete")
 		}
-		if completed.State["acc"].Int != 60 {
-			t.Errorf("acc = %s, want 60", completed.State["acc"])
+		if res.Agent.State["acc"].Int != 60 {
+			t.Errorf("acc = %s, want 60", res.Agent.State["acc"])
 		}
 		for _, v := range verdicts {
 			if !v.OK {
@@ -127,16 +142,24 @@ proc fin() {
 	})
 
 	t.Run("tampering", func(t *testing.T) {
-		verdicts, _, err := run(t, true)
-		if err == nil {
+		verdicts, res, nodes := run(t, true)
+		if res.Err == nil {
 			t.Fatal("tampering journey completed without error")
 		}
-		// The detection error crosses the TCP boundary as a RemoteError
-		// chain; the local verdict on the detecting node names the
-		// suspect.
-		var re *transport.RemoteError
-		if !errors.As(err, &re) && !errors.Is(err, core.ErrDetection) {
-			t.Errorf("err = %v, want remote detection", err)
+		// Detection happens asynchronously at the next host ("back"):
+		// its receipt resolves aborted with ErrDetection, and the agent
+		// is quarantined there with the evidence.
+		if !errors.Is(res.Err, core.ErrDetection) {
+			t.Errorf("err = %v, want ErrDetection", res.Err)
+		}
+		if !res.Aborted {
+			t.Error("terminal result not marked aborted")
+		}
+		if _, ok := nodes["back"].Quarantined("tcp-agent"); !ok {
+			t.Error("agent not quarantined at the detecting node")
+		}
+		if st := nodes["back"].Status("tcp-agent"); st.Phase != core.PhaseQuarantined {
+			t.Errorf("status at detecting node = %+v, want phase %q", st, core.PhaseQuarantined)
 		}
 		found := false
 		for _, v := range verdicts {
@@ -153,11 +176,14 @@ proc fin() {
 // TestTCPVignaAuditAcrossSockets exercises the audit call path over
 // real TCP.
 func TestTCPVignaAuditAcrossSockets(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 	// Covered structurally by vigna tests over InProc; this test pins
 	// that mechanism protocol calls (namespaced methods) work through
 	// the TCP server dispatch.
 	reg := sigcrypto.NewRegistry()
 	net := transport.NewTCPNetwork(nil)
+	defer net.Close()
 	keys, err := sigcrypto.GenerateKeyPair("solo")
 	if err != nil {
 		t.Fatal(err)
@@ -173,6 +199,7 @@ func TestTCPVignaAuditAcrossSockets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer func() { _ = node.Close() }()
 	srv, err := transport.Serve("127.0.0.1:0", node)
 	if err != nil {
 		t.Fatal(err)
@@ -186,12 +213,26 @@ func TestTCPVignaAuditAcrossSockets(t *testing.T) {
 
 	// refproto takes no calls: the namespaced dispatch must answer with
 	// a remote error, not hang or crash.
-	_, err = net.Call("solo", "refproto/anything", nil)
+	_, err = net.Call(ctx, "solo", "refproto/anything", nil)
 	var re *transport.RemoteError
 	if !errors.As(err, &re) {
 		t.Errorf("err = %v, want RemoteError", err)
 	}
-	if _, err := net.Call("solo", "nope/x", nil); err == nil {
+	if _, err := net.Call(ctx, "solo", "nope/x", nil); err == nil {
 		t.Error("unknown mechanism call succeeded")
+	}
+
+	// The built-in node/status call answers over TCP, too — this is
+	// what agentctl polls.
+	body, err := net.Call(ctx, "solo", "node/status", core.StatusCallBody("nobody"))
+	if err != nil {
+		t.Fatalf("node/status: %v", err)
+	}
+	st, err := core.DecodeStatusReply(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase != core.PhaseUnknown {
+		t.Errorf("status of unknown agent = %+v", st)
 	}
 }

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/agentlang"
@@ -39,7 +40,7 @@ proc second() { xs[0] = 99 done() }`, "main")
 	}
 
 	d0 := check("before first session")
-	if _, err := h.RunSession(ag, SessionOptions{}); err != nil {
+	if _, err := h.RunSession(context.Background(), ag, SessionOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	d1 := check("after first session")
@@ -49,7 +50,7 @@ proc second() { xs[0] = 99 done() }`, "main")
 	if ag.State["forged"].Int != 666 {
 		t.Fatal("tamper behavior did not run")
 	}
-	if _, err := h.RunSession(ag, SessionOptions{}); err != nil {
+	if _, err := h.RunSession(context.Background(), ag, SessionOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if d2 := check("after indexed-assignment session"); d2 == d1 {
@@ -62,7 +63,7 @@ proc second() { xs[0] = 99 done() }`, "main")
 func TestRecordDigestsMemoized(t *testing.T) {
 	h := newHost(t, "h1", nil)
 	ag := newAgent(t, `proc main() { x = 1 done() }`, "main")
-	rec, err := h.RunSession(ag, SessionOptions{})
+	rec, err := h.RunSession(context.Background(), ag, SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package host
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -81,6 +82,11 @@ type Config struct {
 	// vigna and proof mechanisms; the example mechanism needs only the
 	// input log).
 	RecordTrace bool
+	// MailboxLimit bounds the number of undelivered messages queued per
+	// agent; Deliver fails with ErrMailboxFull beyond it. 0 means
+	// DefaultMailboxLimit; a hostile peer must not be able to grow a
+	// host's memory without bound.
+	MailboxLimit int
 	// Behavior injects malicious conduct; nil means honest.
 	Behavior Behavior
 }
@@ -107,6 +113,14 @@ type ActionRecord struct {
 // ErrRefused is returned when a host refuses an agent (failed
 // validation).
 var ErrRefused = errors.New("host: agent refused")
+
+// ErrMailboxFull is returned by Deliver when an agent's mailbox is at
+// its configured bound.
+var ErrMailboxFull = errors.New("host: mailbox full")
+
+// DefaultMailboxLimit is the per-agent mailbox bound when
+// Config.MailboxLimit is zero.
+const DefaultMailboxLimit = 256
 
 // New creates a host and registers its key with the registry.
 func New(cfg Config) (*Host, error) {
@@ -154,11 +168,21 @@ func (h *Host) Registry() *sigcrypto.Registry { return h.cfg.Registry }
 func (h *Host) Traces() *trace.Store { return h.traces }
 
 // Deliver queues a message for an agent; the agent receives it via
-// recv().
-func (h *Host) Deliver(agentID string, msg value.Value) {
+// recv(). The per-agent mailbox is bounded (Config.MailboxLimit):
+// overflow returns ErrMailboxFull to the caller instead of growing
+// memory without limit.
+func (h *Host) Deliver(agentID string, msg value.Value) error {
+	limit := h.cfg.MailboxLimit
+	if limit <= 0 {
+		limit = DefaultMailboxLimit
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if len(h.mailbox[agentID]) >= limit {
+		return fmt.Errorf("%w: host %s, agent %s at %d messages", ErrMailboxFull, h.cfg.Name, agentID, limit)
+	}
 	h.mailbox[agentID] = append(h.mailbox[agentID], msg.Clone())
+	return nil
 }
 
 // Actions returns the output actions the given agent performed on this
@@ -253,9 +277,17 @@ type SessionOptions struct {
 // recording, applies malicious behaviour if configured, and advances
 // the agent's execution state (entry, hop, route).
 //
+// ctx gates session admission: a session never starts under a done
+// context. The execution itself is bounded by fuel, not ctx — an
+// admitted session runs to completion so the platform never observes a
+// half-executed state.
+//
 // The agent is mutated in place. The returned record holds deep
 // snapshots, so later mutation of the agent cannot alter it.
-func (h *Host) RunSession(ag *agent.Agent, opts SessionOptions) (*SessionRecord, error) {
+func (h *Host) RunSession(ctx context.Context, ag *agent.Agent, opts SessionOptions) (*SessionRecord, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("host %s: session admission: %w", h.cfg.Name, err)
+	}
 	if err := ag.Validate(); err != nil {
 		return nil, fmt.Errorf("%w by %s: %v", ErrRefused, h.cfg.Name, err)
 	}

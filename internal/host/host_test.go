@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -82,7 +83,7 @@ proc main() {
 }
 proc next() { done() }`, "main")
 
-	rec, err := h.RunSession(ag, SessionOptions{})
+	rec, err := h.RunSession(context.Background(), ag, SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,11 +119,11 @@ func TestRunSessionSnapshotsAreIsolated(t *testing.T) {
 	ag := newAgent(t, `
 proc main() { xs = [1] migrate("h1", "second") }
 proc second() { xs[0] = 99 done() }`, "main")
-	rec1, err := h.RunSession(ag, SessionOptions{})
+	rec1, err := h.RunSession(context.Background(), ag, SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec2, err := h.RunSession(ag, SessionOptions{})
+	rec2, err := h.RunSession(context.Background(), ag, SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestRunSessionRefusesInvalidAgent(t *testing.T) {
 	h := newHost(t, "h1", nil)
 	ag := newAgent(t, `proc main() { done() }`, "main")
 	ag.Code = `proc main() { hacked = 1 }` // digest now mismatches
-	_, err := h.RunSession(ag, SessionOptions{})
+	_, err := h.RunSession(context.Background(), ag, SessionOptions{})
 	if !errors.Is(err, ErrRefused) {
 		t.Errorf("err = %v, want ErrRefused", err)
 	}
@@ -154,7 +155,7 @@ func TestRunSessionRefusesInvalidAgent(t *testing.T) {
 func TestRunSessionUnknownMigrateEntry(t *testing.T) {
 	h := newHost(t, "h1", nil)
 	ag := newAgent(t, `proc main() { migrate("x", "ghost") }`, "main")
-	if _, err := h.RunSession(ag, SessionOptions{}); err == nil {
+	if _, err := h.RunSession(context.Background(), ag, SessionOptions{}); err == nil {
 		t.Error("migrate to unknown entry accepted")
 	}
 }
@@ -162,7 +163,7 @@ func TestRunSessionUnknownMigrateEntry(t *testing.T) {
 func TestAgentTerminates(t *testing.T) {
 	h := newHost(t, "h1", nil)
 	ag := newAgent(t, `proc main() { x = 1 }`, "main")
-	rec, err := h.RunSession(ag, SessionOptions{})
+	rec, err := h.RunSession(context.Background(), ag, SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,18 +172,54 @@ func TestAgentTerminates(t *testing.T) {
 	}
 }
 
+// TestMailboxBounded pins the overflow contract: a hostile peer
+// cannot grow a host's memory without limit — Deliver fails with
+// ErrMailboxFull at the configured bound, and draining via recv()
+// reopens capacity.
+func TestMailboxBounded(t *testing.T) {
+	h := newHost(t, "h1", func(c *Config) { c.MailboxLimit = 2 })
+	if err := h.Deliver("ag", value.Str("m1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Deliver("ag", value.Str("m2")); err != nil {
+		t.Fatal(err)
+	}
+	err := h.Deliver("ag", value.Str("m3"))
+	if !errors.Is(err, ErrMailboxFull) {
+		t.Fatalf("overflow: err = %v, want ErrMailboxFull", err)
+	}
+	// Other agents' mailboxes are unaffected by one agent's overflow.
+	if err := h.Deliver("other", value.Str("ok")); err != nil {
+		t.Errorf("unrelated mailbox rejected: %v", err)
+	}
+	// Draining reopens capacity.
+	ag := newAgent(t, `proc main() { a = recv() }`, "main")
+	ag.ID = "ag"
+	if _, err := h.RunSession(context.Background(), ag, SessionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Deliver("ag", value.Str("m3")); err != nil {
+		t.Errorf("after drain: %v", err)
+	}
+}
+
 func TestMailbox(t *testing.T) {
 	h := newHost(t, "h1", nil)
-	h.Deliver("ag-1", value.Str("offer-1"))
-	h.Deliver("ag-1", value.Str("offer-2"))
-	h.Deliver("other", value.Str("not-yours"))
+	for _, d := range []struct {
+		agent string
+		msg   string
+	}{{"ag-1", "offer-1"}, {"ag-1", "offer-2"}, {"other", "not-yours"}} {
+		if err := h.Deliver(d.agent, value.Str(d.msg)); err != nil {
+			t.Fatalf("Deliver(%s, %s): %v", d.agent, d.msg, err)
+		}
+	}
 	ag := newAgent(t, `
 proc main() {
     a = recv()
     b = recv()
     c = recv()
 }`, "main")
-	rec, err := h.RunSession(ag, SessionOptions{})
+	rec, err := h.RunSession(context.Background(), ag, SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +239,7 @@ proc main() {
     t2 = time()
     r = rand(100)
 }`, "main")
-	rec, err := h.RunSession(ag, SessionOptions{})
+	rec, err := h.RunSession(context.Background(), ag, SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +263,7 @@ func TestCustomClockAndFeed(t *testing.T) {
 		}
 	})
 	ag := newAgent(t, `proc main() { t = time() v = read("k") }`, "main")
-	rec, err := h.RunSession(ag, SessionOptions{})
+	rec, err := h.RunSession(context.Background(), ag, SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +275,7 @@ func TestCustomClockAndFeed(t *testing.T) {
 func TestReadMissingKeyFails(t *testing.T) {
 	h := newHost(t, "h1", nil)
 	ag := newAgent(t, `proc main() { v = read("missing") }`, "main")
-	if _, err := h.RunSession(ag, SessionOptions{}); err == nil {
+	if _, err := h.RunSession(context.Background(), ag, SessionOptions{}); err == nil {
 		t.Error("missing input key did not fail the session")
 	}
 }
@@ -249,7 +286,7 @@ func TestResourceCloneIsolation(t *testing.T) {
 		c.Resources = map[string]value.Value{"db": res}
 	})
 	ag := newAgent(t, `proc main() { xs = resource("db") xs[0] = 99 }`, "main")
-	if _, err := h.RunSession(ag, SessionOptions{}); err != nil {
+	if _, err := h.RunSession(context.Background(), ag, SessionOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if res.List[0].Int != 1 {
@@ -270,7 +307,7 @@ proc main() {
     send("partner", "hello")
     act("buy", "book", 42)
 }`, "main")
-	rec, err := h.RunSession(ag, SessionOptions{})
+	rec, err := h.RunSession(context.Background(), ag, SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +330,7 @@ func TestSinkErrorAbortsSession(t *testing.T) {
 		}
 	})
 	ag := newAgent(t, `proc main() { act("buy", "x") }`, "main")
-	_, err := h.RunSession(ag, SessionOptions{})
+	_, err := h.RunSession(context.Background(), ag, SessionOptions{})
 	if err == nil || !strings.Contains(err.Error(), "payment rejected") {
 		t.Errorf("sink error not propagated: %v", err)
 	}
@@ -309,7 +346,7 @@ proc main() {
     x = read("k")
     y = x + 1
 }`, "main")
-	rec, err := h.RunSession(ag, SessionOptions{})
+	rec, err := h.RunSession(context.Background(), ag, SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +362,7 @@ proc main() {
 func TestNoTraceByDefault(t *testing.T) {
 	h := newHost(t, "h1", nil)
 	ag := newAgent(t, `proc main() { x = 1 }`, "main")
-	rec, err := h.RunSession(ag, SessionOptions{})
+	rec, err := h.RunSession(context.Background(), ag, SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +392,7 @@ func TestBehaviorHooksCalled(t *testing.T) {
 	beh := &flagBehavior{}
 	h := newHost(t, "evil", func(c *Config) { c.Behavior = beh })
 	ag := newAgent(t, `proc main() { x = 1 }`, "main")
-	rec, err := h.RunSession(ag, SessionOptions{})
+	rec, err := h.RunSession(context.Background(), ag, SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +419,7 @@ func TestExtraHookAloneAndCombined(t *testing.T) {
 		ph := &phaseHook{}
 		h := newHost(t, "h1", func(c *Config) { c.RecordTrace = withTrace })
 		ag := newAgent(t, `proc sub() { return 1 } proc main() { x = sub() }`, "main")
-		if _, err := h.RunSession(ag, SessionOptions{ExtraHook: ph}); err != nil {
+		if _, err := h.RunSession(context.Background(), ag, SessionOptions{ExtraHook: ph}); err != nil {
 			t.Fatal(err)
 		}
 		if ph.enters != 2 {
@@ -398,10 +435,10 @@ func TestSequentialSessionsOnSameHost(t *testing.T) {
 	ag := newAgent(t, `
 proc main() { n = 1 migrate("h1", "again") }
 proc again() { n = n + 1 done() }`, "main")
-	if _, err := h.RunSession(ag, SessionOptions{}); err != nil {
+	if _, err := h.RunSession(context.Background(), ag, SessionOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	rec, err := h.RunSession(ag, SessionOptions{})
+	rec, err := h.RunSession(context.Background(), ag, SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

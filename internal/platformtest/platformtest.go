@@ -2,11 +2,17 @@
 // platform nodes wired through an InProc network with a common key
 // registry, verdict collection, and completion tracking. The mechanism
 // packages' integration tests and the benchmark harness build on it.
+//
+// The platform API is asynchronous (accept-and-queue intake, receipt
+// completion); Run wraps the launch-then-await-terminal dance so
+// mechanism tests keep the shape of the old synchronous contract.
 package platformtest
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/core"
@@ -14,6 +20,9 @@ import (
 	"repro/internal/sigcrypto"
 	"repro/internal/transport"
 )
+
+// Timeout bounds one whole itinerary in tests.
+const Timeout = 60 * time.Second
 
 // Bed is a running multi-host deployment.
 type Bed struct {
@@ -63,7 +72,8 @@ type HostOptions struct {
 	Node func(*core.NodeConfig)
 }
 
-// AddHost creates a host + node and registers it in the network.
+// AddHost creates a host + node and registers it in the network. The
+// node is closed automatically when the test finishes.
 func (b *Bed) AddHost(name string, opts HostOptions) *core.Node {
 	b.TB.Helper()
 	keys, err := sigcrypto.GenerateKeyPair(name)
@@ -105,9 +115,39 @@ func (b *Bed) AddHost(name string, opts HostOptions) *core.Node {
 	if err != nil {
 		b.TB.Fatal(err)
 	}
+	b.TB.Cleanup(func() {
+		if err := node.Close(); err != nil {
+			b.TB.Errorf("closing node %s: %v", name, err)
+		}
+	})
 	b.Nodes[name] = node
 	b.InProc.Register(name, node)
 	return node
+}
+
+// Run launches the agent on the named node and blocks until the
+// itinerary reaches a terminal outcome anywhere in the bed, returning
+// that outcome's error — the asynchronous equivalent of the seed's
+// synchronous Launch chain.
+func (b *Bed) Run(start string, ag *agent.Agent) error {
+	b.TB.Helper()
+	_, err := b.RunResult(start, ag)
+	return err
+}
+
+// RunResult is Run returning the full terminal Result.
+func (b *Bed) RunResult(start string, ag *agent.Agent) (core.Result, error) {
+	b.TB.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), Timeout)
+	defer cancel()
+	receipts := make([]*core.Receipt, 0, len(b.Nodes))
+	for _, n := range b.Nodes {
+		receipts = append(receipts, n.Watch(ag.ID))
+	}
+	if _, err := b.Nodes[start].Launch(ctx, ag); err != nil {
+		return core.Result{}, err
+	}
+	return core.AwaitAny(ctx, receipts...)
 }
 
 // Verdicts returns all verdicts observed so far.

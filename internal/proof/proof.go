@@ -27,6 +27,7 @@ package proof
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"encoding/gob"
 	"fmt"
@@ -121,7 +122,7 @@ func (m *Mechanism) Name() string { return MechanismName }
 func (m *Mechanism) RequestsExecutionLog() {}
 
 // PrepareDeparture builds and signs the proof commitment.
-func (m *Mechanism) PrepareDeparture(hc *core.HostContext, ag *agent.Agent, rec *host.SessionRecord) error {
+func (m *Mechanism) PrepareDeparture(_ context.Context, hc *core.HostContext, ag *agent.Agent, rec *host.SessionRecord) error {
 	if rec.Trace.Len() == 0 {
 		return fmt.Errorf("proof: host %s records no trace (set host.Config.RecordTrace)", rec.HostName)
 	}
@@ -161,7 +162,7 @@ func (m *Mechanism) PrepareDeparture(hc *core.HostContext, ag *agent.Agent, rec 
 }
 
 // HandleCall answers "open" requests with Merkle openings.
-func (m *Mechanism) HandleCall(hc *core.HostContext, method string, body []byte) ([]byte, error) {
+func (m *Mechanism) HandleCall(_ context.Context, hc *core.HostContext, method string, body []byte) ([]byte, error) {
 	if method != "open" {
 		return nil, fmt.Errorf("%w: proof/%s", transport.ErrUnknownMethod, method)
 	}
@@ -281,8 +282,8 @@ type Report struct {
 // each session it verifies the commitment signature, then opens K
 // random trace positions and authenticates them against the committed
 // root, also checking that each opened entry's statement identifier
-// exists in the agent's program.
-func Verify(cfg VerifyConfig, ag *agent.Agent) (*Report, error) {
+// exists in the agent's program. ctx bounds the open calls.
+func Verify(ctx context.Context, cfg VerifyConfig, ag *agent.Agent) (*Report, error) {
 	chain, err := ChainFromAgent(ag)
 	if err != nil {
 		return nil, err
@@ -318,6 +319,9 @@ func Verify(cfg VerifyConfig, ag *agent.Agent) (*Report, error) {
 		return rep
 	}
 	for _, c := range chain {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("proof: verify: %w", err)
+		}
 		rep.TotalTraceLen += c.N
 		if err := cfg.Registry.Verify(c.bindingBytes(ag.ID), c.Sig); err != nil {
 			return blame(c, fmt.Sprintf("commitment signature invalid: %v", err)), nil
@@ -342,7 +346,7 @@ func Verify(cfg VerifyConfig, ag *agent.Agent) (*Report, error) {
 		if err := gob.NewEncoder(reqBuf).Encode(OpenRequest{AgentID: ag.ID, Hop: c.Hop, Indices: indices}); err != nil {
 			return nil, fmt.Errorf("proof: encoding request: %w", err)
 		}
-		resp, err := cfg.Net.Call(c.Host, MechanismName+"/open", reqBuf.Bytes())
+		resp, err := cfg.Net.Call(ctx, c.Host, MechanismName+"/open", reqBuf.Bytes())
 		if err != nil {
 			return blame(c, fmt.Sprintf("host refused to open proof: %v", err)), nil
 		}
@@ -380,7 +384,7 @@ func Verify(cfg VerifyConfig, ag *agent.Agent) (*Report, error) {
 // journey like a Vigna audit would, for cost comparison in Series D.
 // It requires the full traces, so it asks each host to open *every*
 // index.
-func FullRecheck(cfg VerifyConfig, ag *agent.Agent) (*Report, error) {
+func FullRecheck(ctx context.Context, cfg VerifyConfig, ag *agent.Agent) (*Report, error) {
 	chain, err := ChainFromAgent(ag)
 	if err != nil {
 		return nil, err
@@ -396,7 +400,7 @@ func FullRecheck(cfg VerifyConfig, ag *agent.Agent) (*Report, error) {
 		if err := gob.NewEncoder(reqBuf).Encode(OpenRequest{AgentID: ag.ID, Hop: c.Hop, Indices: indices}); err != nil {
 			return nil, err
 		}
-		resp, err := cfg.Net.Call(c.Host, MechanismName+"/open", reqBuf.Bytes())
+		resp, err := cfg.Net.Call(ctx, c.Host, MechanismName+"/open", reqBuf.Bytes())
 		if err != nil {
 			rep.OK = false
 			rep.Suspect = c.Host

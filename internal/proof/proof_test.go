@@ -1,6 +1,7 @@
 package proof_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -65,14 +66,14 @@ func verifyCfg(bed *platformtest.Bed) proof.VerifyConfig {
 func TestHonestJourneyVerifies(t *testing.T) {
 	bed := buildBed(t)
 	ag := bed.NewAgent("tourist", tourCode)
-	if err := bed.Nodes["home"].Launch(ag); err != nil {
+	if err := bed.Run("home", ag); err != nil {
 		t.Fatal(err)
 	}
 	done, _ := bed.Completed()
 	if len(done) != 1 {
 		t.Fatal("agent did not complete")
 	}
-	rep, err := proof.Verify(verifyCfg(bed), done[0])
+	rep, err := proof.Verify(context.Background(), verifyCfg(bed), done[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestHonestJourneyVerifies(t *testing.T) {
 func TestChainCommitmentsPerHop(t *testing.T) {
 	bed := buildBed(t)
 	ag := bed.NewAgent("tourist", tourCode)
-	if err := bed.Nodes["home"].Launch(ag); err != nil {
+	if err := bed.Run("home", ag); err != nil {
 		t.Fatal(err)
 	}
 	done, _ := bed.Completed()
@@ -116,7 +117,7 @@ func TestChainCommitmentsPerHop(t *testing.T) {
 func TestTamperedCommitmentDetected(t *testing.T) {
 	bed := buildBed(t)
 	ag := bed.NewAgent("tourist", tourCode)
-	if err := bed.Nodes["home"].Launch(ag); err != nil {
+	if err := bed.Run("home", ag); err != nil {
 		t.Fatal(err)
 	}
 	done, _ := bed.Completed()
@@ -127,7 +128,7 @@ func TestTamperedCommitmentDetected(t *testing.T) {
 	chain[1].Root[0] ^= 0xFF
 	// Re-attach: signature over the binding no longer matches.
 	reattachChain(t, done[0], chain)
-	rep, err := proof.Verify(verifyCfg(bed), done[0])
+	rep, err := proof.Verify(context.Background(), verifyCfg(bed), done[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestServedEntryMismatchDetected(t *testing.T) {
 	// we instead re-point the chain's N, making path verification fail.
 	bed := buildBed(t)
 	ag := bed.NewAgent("tourist", tourCode)
-	if err := bed.Nodes["home"].Launch(ag); err != nil {
+	if err := bed.Run("home", ag); err != nil {
 		t.Fatal(err)
 	}
 	done, _ := bed.Completed()
@@ -154,7 +155,7 @@ func TestServedEntryMismatchDetected(t *testing.T) {
 	}
 	chain[0].N = chain[0].N / 2
 	reattachChain(t, done[0], chain)
-	rep, err := proof.Verify(verifyCfg(bed), done[0])
+	rep, err := proof.Verify(context.Background(), verifyCfg(bed), done[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestServedEntryMismatchDetected(t *testing.T) {
 func TestVerifyWithoutCommitments(t *testing.T) {
 	bed := buildBed(t)
 	ag := bed.NewAgent("fresh", tourCode)
-	if _, err := proof.Verify(verifyCfg(bed), ag); err == nil {
+	if _, err := proof.Verify(context.Background(), verifyCfg(bed), ag); err == nil {
 		t.Error("agent without commitments verified")
 	}
 }
@@ -174,11 +175,11 @@ func TestVerifyWithoutCommitments(t *testing.T) {
 func TestFullRecheckOpensEverything(t *testing.T) {
 	bed := buildBed(t)
 	ag := bed.NewAgent("tourist", tourCode)
-	if err := bed.Nodes["home"].Launch(ag); err != nil {
+	if err := bed.Run("home", ag); err != nil {
 		t.Fatal(err)
 	}
 	done, _ := bed.Completed()
-	rep, err := proof.FullRecheck(verifyCfg(bed), done[0])
+	rep, err := proof.FullRecheck(context.Background(), verifyCfg(bed), done[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestFullRecheckOpensEverything(t *testing.T) {
 		t.Errorf("full recheck opened %d of %d", rep.EntriesOpened, rep.TotalTraceLen)
 	}
 	// The cost asymmetry that motivates proofs:
-	spot, err := proof.Verify(verifyCfg(bed), done[0])
+	spot, err := proof.Verify(context.Background(), verifyCfg(bed), done[0])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,8 +2,10 @@ package refproto
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
+	"repro/internal/testutil"
 	"testing"
 
 	"repro/internal/agent"
@@ -55,7 +57,7 @@ proc main() {
 			value.Int(int64(i)), value.Str("0123456789"),
 			value.Map(map[string]value.Value{"k": value.Int(int64(i))})))
 	}
-	rec, err := prev.RunSession(ag, host.SessionOptions{})
+	rec, err := prev.RunSession(context.Background(), ag, host.SessionOptions{})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -72,7 +74,7 @@ proc main() {
 // hop performs one full protocol hop: sign and package at departure,
 // migrate over the wire, verify (including re-execution) on arrival.
 func (bed *hopBed) hop(tb testing.TB) {
-	if err := bed.mPrev.PrepareDeparture(bed.hcPrev, bed.ag, bed.rec); err != nil {
+	if err := bed.mPrev.PrepareDeparture(context.Background(), bed.hcPrev, bed.ag, bed.rec); err != nil {
 		tb.Fatal(err)
 	}
 	wire, err := bed.ag.Marshal()
@@ -83,7 +85,7 @@ func (bed *hopBed) hop(tb testing.TB) {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	v, err := bed.mNext.CheckAfterSession(bed.hcNext, arrived)
+	v, err := bed.mNext.CheckAfterSession(context.Background(), bed.hcNext, arrived)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -109,6 +111,9 @@ func BenchmarkRefprotoHop(b *testing.B) {
 // ceiling leaves headroom over the current measurement without letting
 // the old profile back in.
 func TestRefprotoHopAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation ceilings are not meaningful under the race detector")
+	}
 	bed := newHopBed(t, 20)
 	bed.hop(t) // warm pools
 	if avg := testing.AllocsPerRun(20, func() { bed.hop(t) }); avg > 700 {

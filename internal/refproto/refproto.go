@@ -32,6 +32,7 @@
 package refproto
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -263,7 +264,7 @@ func parsePayload(data []byte) (payload, error) {
 
 // PrepareDeparture packages the just-executed session for checking by
 // the next host.
-func (m *Mechanism) PrepareDeparture(hc *core.HostContext, ag *agent.Agent, rec *host.SessionRecord) error {
+func (m *Mechanism) PrepareDeparture(_ context.Context, hc *core.HostContext, ag *agent.Agent, rec *host.SessionRecord) error {
 	keys := hc.Host.Keys()
 	p := payload{Hop: rec.Hop}
 
@@ -322,7 +323,7 @@ func (m *Mechanism) PrepareDeparture(hc *core.HostContext, ag *agent.Agent, rec 
 
 // CheckAfterSession verifies the previous host's session as the first
 // action after arrival (Fig. 4).
-func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*core.Verdict, error) {
+func (m *Mechanism) CheckAfterSession(ctx context.Context, hc *core.HostContext, ag *agent.Agent) (*core.Verdict, error) {
 	if ag.Hop == 0 {
 		// Freshly launched on this host; nothing to check yet.
 		return nil, nil
@@ -463,7 +464,11 @@ func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*c
 		return fail(fmt.Sprintf("initial-state handoff invalid: %v", err))
 	}
 
-	// 4. Re-execute the session against the packaged reference data.
+	// 4. Re-execute the session against the packaged reference data —
+	// the expensive step; do not start it under a dead context.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("refproto: %w", err)
+	}
 	checker := &core.ReExecChecker{Compare: m.cfg.Compare, Fuel: m.cfg.Fuel, Hook: m.cfg.ExecHook}
 	cc := core.NewCheckContext(m, pkg, ag, hc, core.AfterSession)
 	ok, evidence, err := checker.Check(cc)

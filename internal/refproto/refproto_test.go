@@ -67,7 +67,7 @@ func buildBed(t *testing.T, mut map[string]func(*host.Config), mechCfg func(host
 func launch(t *testing.T, bed *platformtest.Bed) error {
 	t.Helper()
 	ag := bed.NewAgent("shopper", shopCode)
-	return bed.Nodes["home"].Launch(ag)
+	return bed.Run("home", ag)
 }
 
 func TestHonestJourneyPasses(t *testing.T) {
@@ -418,7 +418,7 @@ proc finish() { done() }`
 		})
 	}
 	ag := bed.NewAgent("collector", code)
-	if err := bed.Nodes["home"].Launch(ag); err != nil {
+	if err := bed.Run("home", ag); err != nil {
 		t.Fatalf("unordered comparer run failed: %v", err)
 	}
 	done, _ := bed.Completed()

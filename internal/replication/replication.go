@@ -23,6 +23,7 @@ package replication
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -92,7 +93,7 @@ func (v *Vote) bindingBytes(agentID string) []byte {
 
 // HandleCall implements core.CallHandler: method "execute" runs one
 // session on the local host and returns the signed vote.
-func (m *Mechanism) HandleCall(hc *core.HostContext, method string, body []byte) ([]byte, error) {
+func (m *Mechanism) HandleCall(ctx context.Context, hc *core.HostContext, method string, body []byte) ([]byte, error) {
 	if method != "execute" {
 		return nil, fmt.Errorf("%w: replication/%s", transport.ErrUnknownMethod, method)
 	}
@@ -101,7 +102,7 @@ func (m *Mechanism) HandleCall(hc *core.HostContext, method string, body []byte)
 		return nil, fmt.Errorf("replication: %w", err)
 	}
 	hop := ag.Hop
-	if _, err := hc.Host.RunSession(ag, host.SessionOptions{}); err != nil {
+	if _, err := hc.Host.RunSession(ctx, ag, host.SessionOptions{}); err != nil {
 		return nil, fmt.Errorf("replication: session: %w", err)
 	}
 	v := Vote{
@@ -161,18 +162,22 @@ type Coordinator struct {
 
 // Run executes the agent through all stages and returns the report.
 // The input agent is not mutated; the final agent is a fresh instance
-// carrying the majority state.
-func (c *Coordinator) Run(ag *agent.Agent) (*Report, error) {
+// carrying the majority state. ctx bounds every replica call;
+// cancellation between stages aborts the run.
+func (c *Coordinator) Run(ctx context.Context, ag *agent.Agent) (*Report, error) {
 	if len(c.Stages) == 0 {
 		return nil, errors.New("replication: no stages configured")
 	}
 	cur := ag.Clone()
 	rep := &Report{}
 	for i, replicas := range c.Stages {
+		if err := ctx.Err(); err != nil {
+			return rep, fmt.Errorf("replication: stage %d: %w", i, err)
+		}
 		if len(replicas) == 0 {
 			return nil, fmt.Errorf("replication: stage %d has no replicas", i)
 		}
-		stage, winnerVote, err := c.runStage(i, replicas, cur)
+		stage, winnerVote, err := c.runStage(ctx, i, replicas, cur)
 		rep.Stages = append(rep.Stages, stage)
 		if err != nil {
 			return rep, err
@@ -199,7 +204,7 @@ func (c *Coordinator) Run(ag *agent.Agent) (*Report, error) {
 
 // runStage fans the agent out to the stage's replicas, collects signed
 // votes, and tallies.
-func (c *Coordinator) runStage(stageIdx int, replicas []string, cur *agent.Agent) (StageReport, *Vote, error) {
+func (c *Coordinator) runStage(ctx context.Context, stageIdx int, replicas []string, cur *agent.Agent) (StageReport, *Vote, error) {
 	report := StageReport{
 		Stage:    stageIdx,
 		Replicas: append([]string(nil), replicas...),
@@ -222,7 +227,7 @@ func (c *Coordinator) runStage(stageIdx int, replicas []string, cur *agent.Agent
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			body, err := c.Net.Call(r, MechanismName+"/execute", wire)
+			body, err := c.Net.Call(ctx, r, MechanismName+"/execute", wire)
 			if err != nil {
 				results <- result{replica: r, err: err}
 				return

@@ -1,6 +1,7 @@
 package replication_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -55,7 +56,7 @@ func buildReplicaBed(t *testing.T, n int, badReplicas map[string]host.Behavior) 
 func TestAllHonestReplicasAgree(t *testing.T) {
 	bed, coord := buildReplicaBed(t, 3, nil)
 	ag := bed.NewAgent("staged", stagedCode)
-	rep, err := coord.Run(ag)
+	rep, err := coord.Run(context.Background(), ag)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestMinorityAttackOutvotedAndIdentified(t *testing.T) {
 		"s0r1": attack.DataManipulation{Var: "offer", Val: value.Int(9999)},
 	})
 	ag := bed.NewAgent("staged", stagedCode)
-	rep, err := coord.Run(ag)
+	rep, err := coord.Run(context.Background(), ag)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestMajorityCollusionWins(t *testing.T) {
 		"s0r0": evil, "s0r2": evil,
 	})
 	ag := bed.NewAgent("staged", stagedCode)
-	rep, err := coord.Run(ag)
+	rep, err := coord.Run(context.Background(), ag)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestSplitVoteNoMajority(t *testing.T) {
 		"s0r0": attack.DataManipulation{Var: "offer", Val: value.Int(1)},
 	})
 	ag := bed.NewAgent("staged", stagedCode)
-	_, err := coord.Run(ag)
+	_, err := coord.Run(context.Background(), ag)
 	if !errors.Is(err, replication.ErrNoMajority) {
 		t.Errorf("err = %v, want ErrNoMajority", err)
 	}
@@ -135,7 +136,7 @@ func TestUnresponsiveReplicaTolerated(t *testing.T) {
 	bed, coord := buildReplicaBed(t, 3, nil)
 	coord.Stages[0] = append(coord.Stages[0], "ghost") // 4th replica, absent
 	ag := bed.NewAgent("staged", stagedCode)
-	rep, err := coord.Run(ag)
+	rep, err := coord.Run(context.Background(), ag)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestCrossStageCollusionBounded(t *testing.T) {
 		"s1r2": attack.DataManipulation{Var: "result", Val: value.Int(1)},
 	})
 	ag := bed.NewAgent("staged", stagedCode)
-	rep, err := coord.Run(ag)
+	rep, err := coord.Run(context.Background(), ag)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestCrossStageCollusionBounded(t *testing.T) {
 func TestAgentFinishingEarlyFails(t *testing.T) {
 	bed, coord := buildReplicaBed(t, 3, nil)
 	ag := bed.NewAgent("early", `proc main() { x = read("offer") done() }`)
-	_, err := coord.Run(ag)
+	_, err := coord.Run(context.Background(), ag)
 	if !errors.Is(err, replication.ErrAgentFailed) {
 		t.Errorf("err = %v, want ErrAgentFailed", err)
 	}
@@ -186,11 +187,11 @@ func TestCoordinatorValidation(t *testing.T) {
 	bed, _ := buildReplicaBed(t, 1, nil)
 	ag := bed.NewAgent("x", stagedCode)
 	c := &replication.Coordinator{Net: bed.Net, Registry: bed.Reg}
-	if _, err := c.Run(ag); err == nil {
+	if _, err := c.Run(context.Background(), ag); err == nil {
 		t.Error("no stages accepted")
 	}
 	c.Stages = [][]string{{}}
-	if _, err := c.Run(ag); err == nil {
+	if _, err := c.Run(context.Background(), ag); err == nil {
 		t.Error("empty stage accepted")
 	}
 }
@@ -198,7 +199,7 @@ func TestCoordinatorValidation(t *testing.T) {
 func TestCoordinatorDoesNotMutateInput(t *testing.T) {
 	bed, coord := buildReplicaBed(t, 3, nil)
 	ag := bed.NewAgent("staged", stagedCode)
-	if _, err := coord.Run(ag); err != nil {
+	if _, err := coord.Run(context.Background(), ag); err != nil {
 		t.Fatal(err)
 	}
 	if ag.Hop != 0 || len(ag.Route) != 0 || len(ag.State) != 0 {
@@ -228,7 +229,7 @@ func TestToleranceBoundProperty(t *testing.T) {
 		}
 		bed, coord := buildReplicaBed(t, 5, bad)
 		ag := bed.NewAgent("staged", stagedCode)
-		rep, err := coord.Run(ag)
+		rep, err := coord.Run(context.Background(), ag)
 		if err != nil {
 			t.Fatalf("f=%d: %v", f, err)
 		}

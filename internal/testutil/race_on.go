@@ -1,0 +1,9 @@
+//go:build race
+
+// Package testutil carries small cross-cutting test helpers.
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector; allocation-ceiling tests skip under it because the
+// detector's bookkeeping adds allocations (notably around sync.Pool).
+const RaceEnabled = true

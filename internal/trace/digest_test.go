@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"repro/internal/testutil"
 	"testing"
 
 	"repro/internal/canon"
@@ -58,6 +59,9 @@ func TestTraceDigestMatchesMaterialized(t *testing.T) {
 // TestEntryDigestAllocs pins the Merkle-leaf path: building a tree over
 // a long trace must not allocate per leaf.
 func TestEntryDigestAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation ceilings are not meaningful under the race detector")
+	}
 	e := digestTrace().Entries[1]
 	EntryDigest(e)
 	if avg := testing.AllocsPerRun(100, func() { EntryDigest(e) }); avg > 0 {

@@ -2,23 +2,42 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Wire format: each connection carries exactly one request and one
-// response, both gob-encoded. Connection-per-request keeps the protocol
-// trivially correct under failures; migration frequency is far too low
-// for connection setup to matter.
+// Wire format: a connection carries a sequence of request/response
+// exchanges, both gob-encoded on a persistent encoder/decoder pair.
+// Connections are reused per peer: the client keeps a small idle pool
+// for each destination instead of dialling per request, and the server
+// answers requests on a connection until the peer closes it or it goes
+// idle. Since HandleAgent is accept-and-queue, a response is an intake
+// acknowledgement, not an itinerary result, so exchanges are short and
+// a single fixed "slowest workload" I/O budget is no longer needed —
+// deadlines derive from the caller's ctx.
 
 type rpcRequest struct {
 	// Kind is "agent" for migration delivery or "call" for sync RPC.
 	Kind   string
 	Method string
 	Body   []byte
+	// TimeoutNanos propagates the caller's remaining *application*
+	// budget (time until its ctx deadline, not the transport's I/O
+	// fallback) as a duration, so cross-machine clock skew cannot
+	// shrink or inflate it. The server rebuilds it into the handling
+	// context: as with in-process delivery, a launch deadline keeps
+	// bounding the itinerary across TCP hops, and a blocked intake is
+	// abandoned around when the client stops waiting instead of
+	// enqueuing a delivery the client already reported as failed. 0
+	// means no deadline.
+	TimeoutNanos int64
 }
 
 type rpcResponse struct {
@@ -26,23 +45,58 @@ type rpcResponse struct {
 	Body []byte
 }
 
-// dialTimeout bounds connection establishment; ioTimeout bounds each
-// request/response exchange. Sessions run before the response is sent,
-// so the I/O timeout must accommodate the slowest workload (the
-// paper's 10000-cycle agent).
+// Fallback budgets used when the caller's ctx carries no deadline, and
+// server-side policing. Exchanges are intake acks and protocol calls,
+// not whole itineraries, so these are transport-scale, not
+// workload-scale.
 const (
-	dialTimeout = 5 * time.Second
-	ioTimeout   = 120 * time.Second
+	defaultDialTimeout = 5 * time.Second
+	defaultIOTimeout   = 30 * time.Second
+	// serverIdleTimeout bounds how long the server keeps an idle
+	// connection open waiting for the next request.
+	serverIdleTimeout = 2 * time.Minute
+	// idlePerHost bounds the client-side idle pool per destination.
+	idlePerHost = 4
 )
+
+// wrapTimeout classifies an I/O error: context cancellation and network
+// timeouts surface as the ctx error (context.DeadlineExceeded or
+// context.Canceled) wrapped in the transport error, so callers can
+// errors.Is-distinguish a timeout from a remote failure.
+func wrapTimeout(ctx context.Context, op, host string, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("transport: %s %s: %w", op, host, ctxErr)
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return fmt.Errorf("transport: %s %s: %w (%v)", op, host, context.DeadlineExceeded, err)
+	}
+	return fmt.Errorf("transport: %s %s: %w", op, host, err)
+}
+
+// ioDeadline derives the per-exchange I/O deadline from ctx, falling
+// back to defaultIOTimeout when the caller set none.
+func ioDeadline(ctx context.Context) time.Time {
+	if d, ok := ctx.Deadline(); ok {
+		return d
+	}
+	return time.Now().Add(defaultIOTimeout)
+}
 
 // Server exposes an Endpoint over TCP.
 type Server struct {
-	ep Endpoint
-	ln net.Listener
+	ep     Endpoint
+	ln     net.Listener
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu     sync.Mutex
 	closed bool
 	wg     sync.WaitGroup
+
+	// conns counts accepted connections (observable by tests pinning
+	// connection reuse).
+	conns atomic.Int64
 }
 
 // Serve starts a TCP server for the endpoint on addr (e.g.
@@ -53,7 +107,8 @@ func Serve(addr string, ep Endpoint) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	s := &Server{ep: ep, ln: ln}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{ep: ep, ln: ln, ctx: ctx, cancel: cancel}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -61,6 +116,9 @@ func Serve(addr string, ep Endpoint) (*Server, error) {
 
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// ConnCount reports how many connections the server has accepted.
+func (s *Server) ConnCount() int64 { return s.conns.Load() }
 
 // Close stops the listener and waits for in-flight connections.
 func (s *Server) Close() error {
@@ -71,6 +129,7 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.cancel()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
@@ -83,6 +142,7 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.conns.Add(1)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -91,44 +151,96 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// handle serves request/response exchanges on one connection until the
+// peer closes it, it idles out, or the server shuts down.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		_ = conn.Close()
 	}()
-	_ = conn.SetDeadline(time.Now().Add(ioTimeout))
+	// Tear the connection down promptly on server close.
+	stop := context.AfterFunc(s.ctx, func() { _ = conn.Close() })
+	defer stop()
+
 	br := bufio.NewReader(conn)
-	var req rpcRequest
-	if err := gob.NewDecoder(br).Decode(&req); err != nil {
-		return // malformed request; nothing to answer
-	}
-	var resp rpcResponse
-	switch req.Kind {
-	case "agent":
-		if err := s.ep.HandleAgent(req.Body); err != nil {
-			resp.Err = err.Error()
-		}
-	case "call":
-		body, err := s.ep.HandleCall(req.Method, req.Body)
-		if err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Body = body
-		}
-	default:
-		resp.Err = fmt.Sprintf("unknown request kind %q", req.Kind)
-	}
 	bw := bufio.NewWriter(conn)
-	if err := gob.NewEncoder(bw).Encode(resp); err != nil {
-		return
+	dec := gob.NewDecoder(br)
+	enc := gob.NewEncoder(bw)
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(serverIdleTimeout))
+		var req rpcRequest
+		if err := dec.Decode(&req); err != nil {
+			return // peer closed, idled out, or malformed stream
+		}
+		// Rebuild the caller's application deadline, if it sent one.
+		hctx := s.ctx
+		var hcancel context.CancelFunc
+		var budget time.Duration
+		if req.TimeoutNanos > 0 {
+			budget = time.Duration(req.TimeoutNanos)
+			hctx, hcancel = context.WithTimeout(s.ctx, budget)
+		}
+		var resp rpcResponse
+		switch req.Kind {
+		case "agent":
+			// Like an in-process delivery, the deadline bounds the
+			// agent's remaining processing, not just this exchange; the
+			// ctx outlives the ack for the queued delivery and is
+			// released when the deadline itself passes.
+			if hcancel != nil {
+				time.AfterFunc(budget+time.Second, hcancel)
+			}
+			if err := s.ep.HandleAgent(hctx, req.Body); err != nil {
+				resp.Err = err.Error()
+			}
+		case "call":
+			// Synchronous: done before the response goes out, so the
+			// ctx is released immediately (agentctl polls node/status
+			// frequently under a long journey deadline — retaining a
+			// timer per poll would pile up).
+			body, err := s.ep.HandleCall(hctx, req.Method, req.Body)
+			if hcancel != nil {
+				hcancel()
+			}
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Body = body
+			}
+		default:
+			if hcancel != nil {
+				hcancel()
+			}
+			resp.Err = fmt.Sprintf("unknown request kind %q", req.Kind)
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(defaultIOTimeout))
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
 	}
-	_ = bw.Flush()
 }
 
-// TCPNetwork is a Network that reaches hosts by TCP address. The
-// address book maps host principal names to "host:port" strings.
+// clientConn is one pooled connection with its persistent gob codec
+// state (gob transmits type descriptions once per stream, so the
+// encoder/decoder pair must live as long as the connection).
+type clientConn struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func (c *clientConn) close() { _ = c.conn.Close() }
+
+// TCPNetwork is a Network that reaches hosts by TCP address, reusing
+// connections per peer. The address book maps host principal names to
+// "host:port" strings.
 type TCPNetwork struct {
 	mu    sync.RWMutex
 	addrs map[string]string
+	idle  map[string][]*clientConn
 }
 
 var _ Network = (*TCPNetwork)(nil)
@@ -140,7 +252,7 @@ func NewTCPNetwork(addrs map[string]string) *TCPNetwork {
 	for k, v := range addrs {
 		book[k] = v
 	}
-	return &TCPNetwork{addrs: book}
+	return &TCPNetwork{addrs: book, idle: make(map[string][]*clientConn)}
 }
 
 // AddHost adds or replaces an address-book entry.
@@ -148,6 +260,18 @@ func (n *TCPNetwork) AddHost(host, addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.addrs[host] = addr
+}
+
+// Close drops all pooled idle connections.
+func (n *TCPNetwork) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, conns := range n.idle {
+		for _, c := range conns {
+			c.close()
+		}
+	}
+	n.idle = make(map[string][]*clientConn)
 }
 
 func (n *TCPNetwork) addr(host string) (string, error) {
@@ -160,47 +284,152 @@ func (n *TCPNetwork) addr(host string) (string, error) {
 	return a, nil
 }
 
+// takeIdle pops a pooled connection for host, if any.
+func (n *TCPNetwork) takeIdle(host string) *clientConn {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	conns := n.idle[host]
+	if len(conns) == 0 {
+		return nil
+	}
+	c := conns[len(conns)-1]
+	n.idle[host] = conns[:len(conns)-1]
+	return c
+}
+
+// putIdle returns a healthy connection to the pool, closing it instead
+// when the pool is full.
+func (n *TCPNetwork) putIdle(host string, c *clientConn) {
+	n.mu.Lock()
+	if len(n.idle[host]) < idlePerHost {
+		n.idle[host] = append(n.idle[host], c)
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	c.close()
+}
+
+func (n *TCPNetwork) dial(ctx context.Context, host, addr string) (*clientConn, error) {
+	dctx := ctx
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, defaultDialTimeout)
+		defer cancel()
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(dctx, "tcp", addr)
+	if err != nil {
+		return nil, wrapTimeout(ctx, "dial", fmt.Sprintf("%s (%s)", host, addr), err)
+	}
+	bw := bufio.NewWriter(conn)
+	return &clientConn{
+		conn: conn,
+		bw:   bw,
+		enc:  gob.NewEncoder(bw),
+		dec:  gob.NewDecoder(bufio.NewReader(conn)),
+	}, nil
+}
+
 // SendAgent implements Network.
-func (n *TCPNetwork) SendAgent(host string, wire []byte) error {
-	_, err := n.roundTrip(host, rpcRequest{Kind: "agent", Body: wire})
+func (n *TCPNetwork) SendAgent(ctx context.Context, host string, wire []byte) error {
+	_, err := n.roundTrip(ctx, host, rpcRequest{Kind: "agent", Body: wire})
 	return err
 }
 
 // Call implements Network.
-func (n *TCPNetwork) Call(host, method string, body []byte) ([]byte, error) {
-	resp, err := n.roundTrip(host, rpcRequest{Kind: "call", Method: method, Body: body})
+func (n *TCPNetwork) Call(ctx context.Context, host, method string, body []byte) ([]byte, error) {
+	resp, err := n.roundTrip(ctx, host, rpcRequest{Kind: "call", Method: method, Body: body})
 	if err != nil {
 		return nil, err
 	}
 	return resp.Body, nil
 }
 
-func (n *TCPNetwork) roundTrip(host string, req rpcRequest) (rpcResponse, error) {
+func (n *TCPNetwork) roundTrip(ctx context.Context, host string, req rpcRequest) (rpcResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return rpcResponse{}, fmt.Errorf("transport: send to %s: %w", host, err)
+	}
 	addr, err := n.addr(host)
 	if err != nil {
 		return rpcResponse{}, err
 	}
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if d, ok := ctx.Deadline(); ok {
+		if req.TimeoutNanos = int64(time.Until(d)); req.TimeoutNanos <= 0 {
+			req.TimeoutNanos = 1 // already expired; make the server see it so
+		}
+	}
+
+	// First attempt on a pooled connection, if one exists. A pooled
+	// connection may have been closed by the server since it was last
+	// used; that surfaces either as a write failure or as a clean EOF
+	// before any response byte, and both are retried once on a fresh
+	// connection. A failure after response bytes started flowing is
+	// not retried — the request was processed, and deliveries must not
+	// be duplicated. (A server that dies mid-exchange is
+	// indistinguishable from an idle close; that crash window is the
+	// usual at-least-once caveat of connection reuse.)
+	if c := n.takeIdle(host); c != nil {
+		resp, retryable, err := n.exchange(ctx, host, c, req)
+		if err == nil || isRemote(err) {
+			// A RemoteError is a complete, healthy exchange — the far
+			// endpoint answered with a failure. Keep the connection.
+			n.putIdle(host, c)
+			return resp, err
+		}
+		c.close()
+		if !retryable || ctx.Err() != nil {
+			return rpcResponse{}, err
+		}
+	}
+
+	c, err := n.dial(ctx, host, addr)
 	if err != nil {
-		return rpcResponse{}, fmt.Errorf("transport: dial %s (%s): %w", host, addr, err)
+		return rpcResponse{}, err
 	}
-	defer func() {
-		_ = conn.Close()
-	}()
-	_ = conn.SetDeadline(time.Now().Add(ioTimeout))
-	bw := bufio.NewWriter(conn)
-	if err := gob.NewEncoder(bw).Encode(req); err != nil {
-		return rpcResponse{}, fmt.Errorf("transport: send to %s: %w", host, err)
+	resp, _, err := n.exchange(ctx, host, c, req)
+	if err != nil && !isRemote(err) {
+		c.close()
+		return rpcResponse{}, err
 	}
-	if err := bw.Flush(); err != nil {
-		return rpcResponse{}, fmt.Errorf("transport: send to %s: %w", host, err)
+	n.putIdle(host, c)
+	return resp, err
+}
+
+// isRemote reports whether the error is a failure reported by the far
+// endpoint over an intact connection.
+func isRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// exchange performs one request/response on the connection under the
+// ctx-derived deadline. retryable reports that the failure happened
+// before any response byte arrived — a write error, or a clean EOF at
+// the start of the response (gob returns io.EOF only when zero bytes
+// of the message were read), which is how a server's idle close of a
+// pooled connection manifests.
+func (n *TCPNetwork) exchange(ctx context.Context, host string, c *clientConn, req rpcRequest) (rpcResponse, bool, error) {
+	_ = c.conn.SetDeadline(ioDeadline(ctx))
+	if err := c.enc.Encode(req); err != nil {
+		return rpcResponse{}, true, wrapTimeout(ctx, "send to", host, err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return rpcResponse{}, true, wrapTimeout(ctx, "send to", host, err)
 	}
 	var resp rpcResponse
-	if err := gob.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
-		return rpcResponse{}, fmt.Errorf("transport: receive from %s: %w", host, err)
+	if err := c.dec.Decode(&resp); err != nil {
+		// Only a clean io.EOF is retryable: gob returns it exclusively
+		// when zero bytes of the response were read, i.e. the server
+		// closed the pooled connection idle before seeing the request.
+		// A reset or partial read may mean the request was processed,
+		// and retrying would risk duplicate delivery.
+		retryable := errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF)
+		return rpcResponse{}, retryable, wrapTimeout(ctx, "receive from", host, err)
 	}
+	_ = c.conn.SetDeadline(time.Time{})
 	if resp.Err != "" {
-		return rpcResponse{}, &RemoteError{Host: host, Msg: resp.Err}
+		return rpcResponse{}, false, &RemoteError{Host: host, Msg: resp.Err}
 	}
-	return resp, nil
+	return resp, false, nil
 }

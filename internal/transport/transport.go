@@ -4,14 +4,22 @@
 // transfer analysed separately): an agent migrates by serializing
 // itself and being delivered to the destination's Endpoint.
 //
+// Delivery is asynchronous: HandleAgent is accept-and-queue. The call
+// returns once the destination has durably enqueued the agent, not
+// after the onward itinerary completes; completion is observed through
+// the platform's receipt API (core.Node.Watch). Every operation takes
+// a context.Context, which bounds the intake handshake on the sending
+// side and is honoured as dial/IO deadlines by the TCP transport.
+//
 // Two implementations are provided. InProc wires endpoints directly,
 // for tests, examples, and the benchmark harness. TCP runs each node
-// behind a length-framed gob RPC listener, for the cmd/agenthost
-// deployment. Both present the same Network interface, so platform
-// code is transport-agnostic.
+// behind a length-framed gob RPC listener with per-peer connection
+// reuse, for the cmd/agenthost deployment. Both present the same
+// Network interface, so platform code is transport-agnostic.
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -21,21 +29,27 @@ import (
 // Endpoint is the receiving side of a platform node.
 type Endpoint interface {
 	// HandleAgent accepts a migrating agent in wire form. The call
-	// returns when the node has finished processing the delivery
-	// (including any onward migration), so a chain of synchronous
-	// deliveries completes the whole itinerary.
-	HandleAgent(wire []byte) error
+	// returns once the agent is durably enqueued at the node
+	// (accept-and-queue); processing and any onward migration proceed
+	// asynchronously. ctx bounds the intake handshake, and any
+	// deadline or cancellation of it that outlives the ack — an
+	// in-process caller's itinerary context, or a TCP-propagated
+	// application deadline — continues to bound the delivery's
+	// processing at phase boundaries.
+	HandleAgent(ctx context.Context, wire []byte) error
 	// HandleCall services a synchronous protocol request (trace fetch,
-	// vote exchange, state commitments, ...).
-	HandleCall(method string, body []byte) ([]byte, error)
+	// vote exchange, state commitments, ...). ctx carries the caller's
+	// cancellation and deadline.
+	HandleCall(ctx context.Context, method string, body []byte) ([]byte, error)
 }
 
 // Network is the sending side available to a platform node.
 type Network interface {
-	// SendAgent delivers an agent to the named host.
-	SendAgent(host string, wire []byte) error
+	// SendAgent delivers an agent to the named host. It returns once
+	// the destination acknowledges the enqueue.
+	SendAgent(ctx context.Context, host string, wire []byte) error
 	// Call performs a synchronous request against the named host.
-	Call(host, method string, body []byte) ([]byte, error)
+	Call(ctx context.Context, host, method string, body []byte) ([]byte, error)
 }
 
 // Errors shared by implementations.
@@ -102,20 +116,22 @@ func (n *InProc) lookup(host string) (Endpoint, error) {
 	return ep, nil
 }
 
-// SendAgent implements Network.
-func (n *InProc) SendAgent(host string, wire []byte) error {
+// SendAgent implements Network. The caller's ctx is handed to the
+// endpoint directly, so in-process deliveries propagate cancellation
+// across the whole itinerary.
+func (n *InProc) SendAgent(ctx context.Context, host string, wire []byte) error {
 	ep, err := n.lookup(host)
 	if err != nil {
 		return err
 	}
-	return ep.HandleAgent(wire)
+	return ep.HandleAgent(ctx, wire)
 }
 
 // Call implements Network.
-func (n *InProc) Call(host, method string, body []byte) ([]byte, error) {
+func (n *InProc) Call(ctx context.Context, host, method string, body []byte) ([]byte, error) {
 	ep, err := n.lookup(host)
 	if err != nil {
 		return nil, err
 	}
-	return ep.HandleCall(method, body)
+	return ep.HandleCall(ctx, method, body)
 }

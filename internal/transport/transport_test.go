@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // echoEndpoint records agent deliveries and echoes calls.
@@ -14,23 +16,32 @@ type echoEndpoint struct {
 	agents [][]byte
 	name   string
 	// forward, if set, re-sends received agents to the named host —
-	// exercising chained synchronous migration.
+	// exercising chained migration.
 	forward string
 	net     Network
+	// stall delays call handling (deadline tests).
+	stall time.Duration
 }
 
-func (e *echoEndpoint) HandleAgent(wire []byte) error {
+func (e *echoEndpoint) HandleAgent(ctx context.Context, wire []byte) error {
 	e.mu.Lock()
 	e.agents = append(e.agents, append([]byte(nil), wire...))
 	forward := e.forward
 	e.mu.Unlock()
 	if forward != "" {
-		return e.net.SendAgent(forward, append(wire, '>'))
+		return e.net.SendAgent(ctx, forward, append(wire, '>'))
 	}
 	return nil
 }
 
-func (e *echoEndpoint) HandleCall(method string, body []byte) ([]byte, error) {
+func (e *echoEndpoint) HandleCall(ctx context.Context, method string, body []byte) ([]byte, error) {
+	if e.stall > 0 {
+		select {
+		case <-time.After(e.stall):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 	switch method {
 	case "echo":
 		return append([]byte(e.name+":"), body...), nil
@@ -47,19 +58,27 @@ func (e *echoEndpoint) received() [][]byte {
 	return e.agents
 }
 
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
 func TestInProcSendAndCall(t *testing.T) {
+	ctx := ctxT(t)
 	net := NewInProc()
 	a := &echoEndpoint{name: "a"}
 	net.Register("a", a)
 
-	if err := net.SendAgent("a", []byte("agent-bytes")); err != nil {
+	if err := net.SendAgent(ctx, "a", []byte("agent-bytes")); err != nil {
 		t.Fatal(err)
 	}
 	if got := a.received(); len(got) != 1 || string(got[0]) != "agent-bytes" {
 		t.Errorf("received = %q", got)
 	}
 
-	resp, err := net.Call("a", "echo", []byte("hi"))
+	resp, err := net.Call(ctx, "a", "echo", []byte("hi"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,16 +88,18 @@ func TestInProcSendAndCall(t *testing.T) {
 }
 
 func TestInProcUnknownHost(t *testing.T) {
+	ctx := ctxT(t)
 	net := NewInProc()
-	if err := net.SendAgent("ghost", nil); !errors.Is(err, ErrUnknownHost) {
+	if err := net.SendAgent(ctx, "ghost", nil); !errors.Is(err, ErrUnknownHost) {
 		t.Errorf("SendAgent: %v", err)
 	}
-	if _, err := net.Call("ghost", "m", nil); !errors.Is(err, ErrUnknownHost) {
+	if _, err := net.Call(ctx, "ghost", "m", nil); !errors.Is(err, ErrUnknownHost) {
 		t.Errorf("Call: %v", err)
 	}
 }
 
 func TestInProcChainedMigration(t *testing.T) {
+	ctx := ctxT(t)
 	net := NewInProc()
 	c := &echoEndpoint{name: "c"}
 	b := &echoEndpoint{name: "b", forward: "c", net: net}
@@ -87,7 +108,7 @@ func TestInProcChainedMigration(t *testing.T) {
 	net.Register("b", b)
 	net.Register("c", c)
 
-	if err := net.SendAgent("a", []byte("x")); err != nil {
+	if err := net.SendAgent(ctx, "a", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.received(); len(got) != 1 || string(got[0]) != "x>>" {
@@ -107,6 +128,7 @@ func TestInProcHostsSorted(t *testing.T) {
 }
 
 func TestTCPRoundTrip(t *testing.T) {
+	ctx := ctxT(t)
 	ep := &echoEndpoint{name: "srv"}
 	srv, err := Serve("127.0.0.1:0", ep)
 	if err != nil {
@@ -119,15 +141,16 @@ func TestTCPRoundTrip(t *testing.T) {
 	}()
 
 	net := NewTCPNetwork(map[string]string{"srv": srv.Addr()})
+	defer net.Close()
 
-	if err := net.SendAgent("srv", []byte("wire")); err != nil {
+	if err := net.SendAgent(ctx, "srv", []byte("wire")); err != nil {
 		t.Fatal(err)
 	}
 	if got := ep.received(); len(got) != 1 || string(got[0]) != "wire" {
 		t.Errorf("received = %q", got)
 	}
 
-	resp, err := net.Call("srv", "echo", []byte("ping"))
+	resp, err := net.Call(ctx, "srv", "echo", []byte("ping"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +159,74 @@ func TestTCPRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTCPConnectionReuse pins the per-peer pooling: sequential requests
+// ride one connection instead of dialling each time.
+func TestTCPConnectionReuse(t *testing.T) {
+	ctx := ctxT(t)
+	ep := &echoEndpoint{name: "srv"}
+	srv, err := Serve("127.0.0.1:0", ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	net := NewTCPNetwork(map[string]string{"srv": srv.Addr()})
+	defer net.Close()
+
+	const reqs = 12
+	for i := 0; i < reqs; i++ {
+		if _, err := net.Call(ctx, "srv", "echo", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.ConnCount(); got != 1 {
+		t.Errorf("server accepted %d connections for %d sequential requests, want 1", got, reqs)
+	}
+}
+
+// TestTCPDeadlineFromContext pins the satellite contract: the caller's
+// ctx deadline maps onto I/O deadlines and timeouts surface as wrapped
+// context.DeadlineExceeded, distinguishable from remote failures.
+func TestTCPDeadlineFromContext(t *testing.T) {
+	ep := &echoEndpoint{name: "srv", stall: 2 * time.Second}
+	srv, err := Serve("127.0.0.1:0", ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	net := NewTCPNetwork(map[string]string{"srv": srv.Addr()})
+	defer net.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err = net.Call(ctx, "srv", "echo", []byte("x"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("stalled call: err = %v, want context.DeadlineExceeded", err)
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		t.Errorf("timeout misclassified as remote failure: %v", err)
+	}
+}
+
+func TestTCPCancelledContext(t *testing.T) {
+	ep := &echoEndpoint{name: "srv"}
+	srv, err := Serve("127.0.0.1:0", ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	net := NewTCPNetwork(map[string]string{"srv": srv.Addr()})
+	defer net.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := net.SendAgent(ctx, "srv", []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled send: err = %v, want context.Canceled", err)
+	}
+}
+
 func TestTCPRemoteError(t *testing.T) {
+	ctx := ctxT(t)
 	ep := &echoEndpoint{name: "srv"}
 	srv, err := Serve("127.0.0.1:0", ep)
 	if err != nil {
@@ -145,7 +235,8 @@ func TestTCPRemoteError(t *testing.T) {
 	defer func() { _ = srv.Close() }()
 
 	net := NewTCPNetwork(map[string]string{"srv": srv.Addr()})
-	_, err = net.Call("srv", "fail", nil)
+	defer net.Close()
+	_, err = net.Call(ctx, "srv", "fail", nil)
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("err = %v, want RemoteError", err)
@@ -153,26 +244,31 @@ func TestTCPRemoteError(t *testing.T) {
 	if re.Host != "srv" || !strings.Contains(re.Msg, "deliberate failure") {
 		t.Errorf("remote error = %+v", re)
 	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("remote failure misclassified as timeout: %v", err)
+	}
 
-	_, err = net.Call("srv", "nosuch", nil)
+	_, err = net.Call(ctx, "srv", "nosuch", nil)
 	if !errors.As(err, &re) {
 		t.Errorf("unknown method: err = %v", err)
 	}
 }
 
 func TestTCPUnknownHostAndDialFailure(t *testing.T) {
+	ctx := ctxT(t)
 	net := NewTCPNetwork(nil)
-	if _, err := net.Call("ghost", "m", nil); !errors.Is(err, ErrUnknownHost) {
+	if _, err := net.Call(ctx, "ghost", "m", nil); !errors.Is(err, ErrUnknownHost) {
 		t.Errorf("unknown host: %v", err)
 	}
 	// Address book entry pointing at a closed port.
 	net.AddHost("dead", "127.0.0.1:1")
-	if err := net.SendAgent("dead", nil); err == nil {
+	if err := net.SendAgent(ctx, "dead", nil); err == nil {
 		t.Error("dial to closed port succeeded")
 	}
 }
 
 func TestTCPConcurrentCalls(t *testing.T) {
+	ctx := ctxT(t)
 	ep := &echoEndpoint{name: "srv"}
 	srv, err := Serve("127.0.0.1:0", ep)
 	if err != nil {
@@ -180,6 +276,7 @@ func TestTCPConcurrentCalls(t *testing.T) {
 	}
 	defer func() { _ = srv.Close() }()
 	net := NewTCPNetwork(map[string]string{"srv": srv.Addr()})
+	defer net.Close()
 
 	var wg sync.WaitGroup
 	errs := make(chan error, 16)
@@ -188,7 +285,7 @@ func TestTCPConcurrentCalls(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			msg := fmt.Sprintf("m%d", i)
-			resp, err := net.Call("srv", "echo", []byte(msg))
+			resp, err := net.Call(ctx, "srv", "echo", []byte(msg))
 			if err != nil {
 				errs <- err
 				return
@@ -219,9 +316,11 @@ func TestServerCloseIdempotent(t *testing.T) {
 }
 
 func TestTCPBetweenTwoServers(t *testing.T) {
+	ctx := ctxT(t)
 	// Full duplex deployment: two servers forwarding to each other via
 	// the same address book.
 	netw := NewTCPNetwork(nil)
+	defer netw.Close()
 	b := &echoEndpoint{name: "b"}
 	srvB, err := Serve("127.0.0.1:0", b)
 	if err != nil {
@@ -237,10 +336,43 @@ func TestTCPBetweenTwoServers(t *testing.T) {
 	netw.AddHost("a", srvA.Addr())
 	netw.AddHost("b", srvB.Addr())
 
-	if err := netw.SendAgent("a", []byte("m")); err != nil {
+	if err := netw.SendAgent(ctx, "a", []byte("m")); err != nil {
 		t.Fatal(err)
 	}
 	if got := b.received(); len(got) != 1 || string(got[0]) != "m>" {
 		t.Errorf("b received %q", got)
+	}
+}
+
+// TestTCPStaleConnectionRetry pins that a pooled connection invalidated
+// by a server restart is retried on a fresh dial instead of failing the
+// request.
+func TestTCPStaleConnectionRetry(t *testing.T) {
+	ctx := ctxT(t)
+	ep := &echoEndpoint{name: "srv"}
+	srv, err := Serve("127.0.0.1:0", ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	net := NewTCPNetwork(map[string]string{"srv": addr})
+	defer net.Close()
+
+	if _, err := net.Call(ctx, "srv", "echo", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the server on the same address: the pooled connection is
+	// now stale.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := Serve(addr, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv2.Close() }()
+
+	if _, err := net.Call(ctx, "srv", "echo", []byte("2")); err != nil {
+		t.Fatalf("call after server restart: %v", err)
 	}
 }

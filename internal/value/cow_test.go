@@ -2,6 +2,7 @@ package value
 
 import (
 	"fmt"
+	"repro/internal/testutil"
 	"testing"
 )
 
@@ -112,6 +113,9 @@ func benchCloneState(vars int) State {
 // TestSnapshotAllocs pins the snapshot path: one map allocation,
 // regardless of how deep the state's values are.
 func TestSnapshotAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation ceilings are not meaningful under the race detector")
+	}
 	s := benchCloneState(50)
 	if avg := testing.AllocsPerRun(100, func() { s.Snapshot() }); avg > 3 {
 		t.Errorf("Snapshot allocs/op = %.1f, want <= 3 (one map)", avg)

@@ -26,6 +26,7 @@ package vigna
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -108,7 +109,7 @@ func (m *Mechanism) RequestsInput() {}
 
 // PrepareDeparture retains (trace, input) locally and appends a signed
 // commitment to the agent's chain.
-func (m *Mechanism) PrepareDeparture(hc *core.HostContext, ag *agent.Agent, rec *host.SessionRecord) error {
+func (m *Mechanism) PrepareDeparture(_ context.Context, hc *core.HostContext, ag *agent.Agent, rec *host.SessionRecord) error {
 	if rec.Trace.Len() == 0 && rec.Outcome.Steps > 0 {
 		return fmt.Errorf("vigna: host %s does not record traces (set host.Config.RecordTrace)", rec.HostName)
 	}
@@ -155,7 +156,7 @@ func (m *Mechanism) PrepareDeparture(hc *core.HostContext, ag *agent.Agent, rec 
 // CheckAfterSession verifies that the arrived state matches the chain
 // head — the receipt exchange that "prevents the following host from
 // pretending to have received a different initial agent state".
-func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*core.Verdict, error) {
+func (m *Mechanism) CheckAfterSession(_ context.Context, hc *core.HostContext, ag *agent.Agent) (*core.Verdict, error) {
 	if ag.Hop == 0 {
 		return nil, nil
 	}
@@ -186,7 +187,7 @@ func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*c
 
 // HandleCall serves audit fetches: method "fetch" with a gob-encoded
 // FetchRequest returns the retained (trace, input) package.
-func (m *Mechanism) HandleCall(hc *core.HostContext, method string, body []byte) ([]byte, error) {
+func (m *Mechanism) HandleCall(_ context.Context, hc *core.HostContext, method string, body []byte) ([]byte, error) {
 	if method != "fetch" {
 		return nil, fmt.Errorf("%w: vigna/%s", transport.ErrUnknownMethod, method)
 	}
@@ -257,8 +258,9 @@ type AuditConfig struct {
 // Audit re-checks an agent's whole journey from its commitment chain,
 // fetching retained traces from the visited hosts and re-executing
 // session by session. It is invoked by the owner "when a fraud is
-// suspected".
-func Audit(cfg AuditConfig, ag *agent.Agent) (*Report, error) {
+// suspected". ctx bounds the network fetches; cancellation between
+// sessions aborts the audit.
+func Audit(ctx context.Context, cfg AuditConfig, ag *agent.Agent) (*Report, error) {
 	chain, err := ChainFromAgent(ag)
 	if err != nil {
 		return nil, err
@@ -283,6 +285,9 @@ func Audit(cfg AuditConfig, ag *agent.Agent) (*Report, error) {
 	state := cfg.LaunchState.Clone()
 	entry := cfg.LaunchEntry
 	for i, c := range chain {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("vigna: audit: %w", err)
+		}
 		// Chain continuity.
 		if c.Hop != i {
 			return blame(c, fmt.Sprintf("commitment claims hop %d at position %d", c.Hop, i)), nil
@@ -304,7 +309,7 @@ func Audit(cfg AuditConfig, ag *agent.Agent) (*Report, error) {
 		if err := gob.NewEncoder(reqBuf).Encode(FetchRequest{AgentID: ag.ID, Hop: c.Hop}); err != nil {
 			return nil, fmt.Errorf("vigna: encoding fetch: %w", err)
 		}
-		resp, err := cfg.Net.Call(c.Host, MechanismName+"/fetch", reqBuf.Bytes())
+		resp, err := cfg.Net.Call(ctx, c.Host, MechanismName+"/fetch", reqBuf.Bytes())
 		if err != nil {
 			return blame(c, fmt.Sprintf("host refused audit fetch: %v", err)), nil
 		}

@@ -2,6 +2,7 @@ package vigna_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"strings"
@@ -59,7 +60,7 @@ func buildBed(t *testing.T, o bedOpts) *platformtest.Bed {
 func launchAndReturn(t *testing.T, bed *platformtest.Bed) *agent.Agent {
 	t.Helper()
 	ag := bed.NewAgent("tourist", tourCode)
-	if err := bed.Nodes["home"].Launch(ag); err != nil {
+	if err := bed.Run("home", ag); err != nil {
 		t.Fatalf("launch: %v", err)
 	}
 	done, _ := bed.Completed()
@@ -84,7 +85,7 @@ func TestHonestJourneyAuditsClean(t *testing.T) {
 	if returned.State["total"].Int != 30 {
 		t.Errorf("total = %s", returned.State["total"])
 	}
-	rep, err := vigna.Audit(auditCfg(bed), returned)
+	rep, err := vigna.Audit(context.Background(), auditCfg(bed), returned)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestStateManipulationIdentifiedByAudit(t *testing.T) {
 	if returned.State["total"].Int != 999+20 {
 		t.Errorf("tampered total = %s", returned.State["total"])
 	}
-	rep, err := vigna.Audit(auditCfg(bed), returned)
+	rep, err := vigna.Audit(context.Background(), auditCfg(bed), returned)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestInputLieNotDetectedByAudit(t *testing.T) {
 	if returned.State["total"].Int != 1020 {
 		t.Errorf("total = %s", returned.State["total"])
 	}
-	rep, err := vigna.Audit(auditCfg(bed), returned)
+	rep, err := vigna.Audit(context.Background(), auditCfg(bed), returned)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestRecordLieIdentifiedByAudit(t *testing.T) {
 		}},
 	}})
 	returned := launchAndReturn(t, bed)
-	rep, err := vigna.Audit(auditCfg(bed), returned)
+	rep, err := vigna.Audit(context.Background(), auditCfg(bed), returned)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestTransitTamperCaughtByReceiptCheck(t *testing.T) {
 		})
 	}
 	ag := bed.NewAgent("tourist", tourCode)
-	err := bed.Nodes["home"].Launch(ag)
+	err := bed.Run("home", ag)
 	if !errors.Is(err, core.ErrDetection) {
 		t.Fatalf("err = %v, want ErrDetection", err)
 	}
@@ -220,7 +221,7 @@ func TestAuditRejectsForgedCommitmentSignature(t *testing.T) {
 	// Attribute h1's commitment to h2.
 	chain[1].Host = "h2"
 	reenc := encodeChain(t, returned, chain)
-	rep, err := vigna.Audit(auditCfg(bed), reenc)
+	rep, err := vigna.Audit(context.Background(), auditCfg(bed), reenc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestAuditMissingChain(t *testing.T) {
 	bed := buildBed(t, bedOpts{})
 	returned := launchAndReturn(t, bed)
 	returned.ClearBaggage(vigna.MechanismName)
-	if _, err := vigna.Audit(auditCfg(bed), returned); !errors.Is(err, vigna.ErrNoChain) {
+	if _, err := vigna.Audit(context.Background(), auditCfg(bed), returned); !errors.Is(err, vigna.ErrNoChain) {
 		t.Errorf("err = %v, want ErrNoChain", err)
 	}
 }
@@ -256,7 +257,7 @@ func TestAuditDetectsRefetchedTraceMismatch(t *testing.T) {
 	// PkgHash and confirm the audit blames the host (signature check).
 	chain[1].PkgHash[0] ^= 0xFF
 	reenc := encodeChain(t, returned, chain)
-	rep, err := vigna.Audit(auditCfg(bed), reenc)
+	rep, err := vigna.Audit(context.Background(), auditCfg(bed), reenc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestMechanismRequiresTraceRecording(t *testing.T) {
 		})
 	}
 	ag := bed.NewAgent("t", `proc main() { x = 1 migrate("h1", "fin") } proc fin() { done() }`)
-	if err := bed.Nodes["home"].Launch(ag); err == nil {
+	if err := bed.Run("home", ag); err == nil {
 		t.Error("mechanism accepted a host without trace recording")
 	}
 }

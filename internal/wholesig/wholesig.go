@@ -14,6 +14,7 @@ package wholesig
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"strings"
@@ -77,7 +78,7 @@ func agentDigest(ag *agent.Agent) canon.Digest {
 }
 
 // PrepareDeparture signs the whole agent.
-func (m *Mechanism) PrepareDeparture(hc *core.HostContext, ag *agent.Agent, rec *host.SessionRecord) error {
+func (m *Mechanism) PrepareDeparture(_ context.Context, hc *core.HostContext, ag *agent.Agent, rec *host.SessionRecord) error {
 	stop := func() {}
 	if m.Timer != nil {
 		stop = m.Timer.Time(stopwatch.PhaseSignVerify)
@@ -94,7 +95,7 @@ func (m *Mechanism) PrepareDeparture(hc *core.HostContext, ag *agent.Agent, rec 
 }
 
 // CheckAfterSession verifies the previous host's whole-agent signature.
-func (m *Mechanism) CheckAfterSession(hc *core.HostContext, ag *agent.Agent) (*core.Verdict, error) {
+func (m *Mechanism) CheckAfterSession(_ context.Context, hc *core.HostContext, ag *agent.Agent) (*core.Verdict, error) {
 	if ag.Hop == 0 {
 		return nil, nil // freshly launched, nothing signed yet
 	}

@@ -40,7 +40,7 @@ func TestHonestJourneyVerifiesEveryHop(t *testing.T) {
 	timer := &stopwatch.PhaseTimer{}
 	bed := buildBed(t, timer, nil)
 	ag := bed.NewAgent("a", hopCode)
-	if err := bed.Nodes["h1"].Launch(ag); err != nil {
+	if err := bed.Run("h1", ag); err != nil {
 		t.Fatal(err)
 	}
 	var okCount int
@@ -72,7 +72,7 @@ func TestInFlightTamperDetected(t *testing.T) {
 		}}
 	})
 	ag := bed.NewAgent("a", hopCode)
-	err := bed.Nodes["h1"].Launch(ag)
+	err := bed.Run("h1", ag)
 	if !errors.Is(err, core.ErrDetection) {
 		t.Fatalf("err = %v, want ErrDetection", err)
 	}
@@ -93,7 +93,7 @@ func TestStrippedSignatureDetected(t *testing.T) {
 		}}
 	})
 	ag := bed.NewAgent("a", hopCode)
-	err := bed.Nodes["h1"].Launch(ag)
+	err := bed.Run("h1", ag)
 	if !errors.Is(err, core.ErrDetection) {
 		t.Fatalf("err = %v, want ErrDetection", err)
 	}
@@ -120,7 +120,7 @@ func TestExecutingHostTamperingNOTDetected(t *testing.T) {
 		})
 	}
 	ag := bed.NewAgent("a", hopCode)
-	if err := bed.Nodes["h1"].Launch(ag); err != nil {
+	if err := bed.Run("h1", ag); err != nil {
 		t.Fatalf("executing-host tampering should pass the baseline, got %v", err)
 	}
 	done, _ := bed.Completed()
