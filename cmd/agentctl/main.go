@@ -1,16 +1,26 @@
-// Command agentctl injects a mobile agent into a running agenthost
-// deployment and tracks the journey. Delivery is asynchronous: the
-// launch returns once the home host has enqueued the agent, and
-// agentctl then polls the deployment's built-in node/status call until
-// some host reports a terminal outcome (completed, quarantined, or
-// failed). The agent's code (agentlang source) decides its own
-// itinerary via migrate(); verdicts and the final state are printed by
-// the host where the journey ends (see cmd/agenthost).
+// Command agentctl operates on a running agenthost deployment: it
+// injects mobile agents and inspects the deployment's protection
+// state over the nodes' built-in TCP calls.
 //
-// Example:
+// Subcommands:
 //
-//	agentctl -code shopper.agent -id shopper-1 -owner alice \
+//	agentctl launch -code shopper.agent -id shopper-1 -owner alice \
 //	         -home home -peers home=:7001,shop=:7002,back=:7003
+//	agentctl reputation -peers ... <host>
+//	agentctl quarantine -peers ... <agent-id>
+//
+// Invoking agentctl with flags only (no subcommand) is the legacy
+// launch form. Delivery is asynchronous: the launch returns once the
+// home host has enqueued the agent, and agentctl then polls the
+// deployment's built-in node/status call until some host reports a
+// terminal outcome (completed, quarantined, or failed). The agent's
+// code (agentlang source) decides its own itinerary via migrate().
+//
+// "reputation" prints every node's local view of one host's standing
+// (reputation is per-node knowledge: each node fuses its own verdicts
+// plus the signed gossip it verified, so nodes legitimately differ).
+// "quarantine" locates a quarantined agent and prints the verdicts it
+// carries as evidence.
 package main
 
 import (
@@ -18,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -34,15 +45,37 @@ func main() {
 }
 
 func run() error {
-	codePath := flag.String("code", "", "path to agentlang source (required)")
-	id := flag.String("id", "agent-1", "agent instance ID")
-	owner := flag.String("owner", "owner", "owning principal")
-	entry := flag.String("entry", "main", "entry procedure")
-	home := flag.String("home", "", "host to launch on (required)")
-	peers := flag.String("peers", "", "address book: name=host:port,...")
-	timeout := flag.Duration("timeout", 5*time.Minute, "overall journey deadline (0 = launch only, don't track)")
-	poll := flag.Duration("poll", 250*time.Millisecond, "status poll interval")
-	flag.Parse()
+	args := os.Args[1:]
+	cmd := "launch"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd = args[0]
+		args = args[1:]
+	}
+	switch cmd {
+	case "launch":
+		return runLaunch(args)
+	case "reputation":
+		return runReputation(args)
+	case "quarantine":
+		return runQuarantine(args)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want launch|reputation|quarantine)", cmd)
+	}
+}
+
+func runLaunch(args []string) error {
+	fs := flag.NewFlagSet("launch", flag.ExitOnError)
+	codePath := fs.String("code", "", "path to agentlang source (required)")
+	id := fs.String("id", "agent-1", "agent instance ID")
+	owner := fs.String("owner", "owner", "owning principal")
+	entry := fs.String("entry", "main", "entry procedure")
+	home := fs.String("home", "", "host to launch on (required)")
+	peers := fs.String("peers", "", "address book: name=host:port,...")
+	timeout := fs.Duration("timeout", 5*time.Minute, "overall journey deadline (0 = launch only, don't track)")
+	poll := fs.Duration("poll", 250*time.Millisecond, "status poll interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *codePath == "" || *home == "" {
 		return fmt.Errorf("-code and -home are required")
@@ -60,26 +93,15 @@ func run() error {
 		return err
 	}
 
-	book := make(map[string]string)
-	for _, pair := range strings.Split(*peers, ",") {
-		if pair == "" {
-			continue
-		}
-		name, addr, ok := strings.Cut(pair, "=")
-		if !ok {
-			return fmt.Errorf("malformed -peers entry %q", pair)
-		}
-		book[strings.TrimSpace(name)] = strings.TrimSpace(addr)
+	book, err := parsePeers(*peers)
+	if err != nil {
+		return err
 	}
 	net := transport.NewTCPNetwork(book)
 	defer net.Close()
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := deadlineCtx(*timeout)
+	defer cancel()
 
 	fmt.Printf("agentctl: launching %s (owner %s, entry %s) on %s\n", *id, *owner, *entry, *home)
 	if err := net.SendAgent(ctx, *home, wire); err != nil {
@@ -90,6 +112,145 @@ func run() error {
 		return nil
 	}
 	return track(ctx, net, book, *id, *poll)
+}
+
+// runReputation serves `agentctl reputation <host>`: every peer's
+// local view of the host's standing via the node/reputation built-in.
+func runReputation(args []string) error {
+	fs := flag.NewFlagSet("reputation", flag.ExitOnError)
+	peers := fs.String("peers", "", "address book: name=host:port,...")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-call deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	subject := fs.Arg(0)
+	if subject == "" {
+		return fmt.Errorf("usage: agentctl reputation -peers ... <host>")
+	}
+	book, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	net := transport.NewTCPNetwork(book)
+	defer net.Close()
+
+	fmt.Printf("agentctl: reputation of %s across %d nodes:\n", subject, len(book))
+	for _, peer := range sortedNames(book) {
+		body, err := callPeer(net, peer, "reputation", core.ReputationCallBody(subject), *timeout)
+		if err != nil {
+			fmt.Printf("  %-8s unreachable: %v\n", peer, err)
+			continue
+		}
+		rep, err := core.DecodeReputationReply(body)
+		if err != nil {
+			return err
+		}
+		switch {
+		case !rep.Tracked:
+			fmt.Printf("  %-8s policy=%s (no reputation ledger)\n", peer, rep.Policy)
+		case !rep.Known:
+			fmt.Printf("  %-8s policy=%s no observations\n", peer, rep.Policy)
+		default:
+			fmt.Printf("  %-8s policy=%s suspicion=%.3f events=%d failures=%d updated=%s\n",
+				peer, rep.Policy, rep.Rep.Suspicion, rep.Rep.Events, rep.Rep.Failures,
+				time.Unix(0, rep.Rep.UpdatedUnixNano).Format(time.RFC3339))
+		}
+	}
+	return nil
+}
+
+// runQuarantine serves `agentctl quarantine <agent-id>`: locate a
+// quarantined agent and print the evidence it carries.
+func runQuarantine(args []string) error {
+	fs := flag.NewFlagSet("quarantine", flag.ExitOnError)
+	peers := fs.String("peers", "", "address book: name=host:port,...")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-call deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	agentID := fs.Arg(0)
+	if agentID == "" {
+		return fmt.Errorf("usage: agentctl quarantine -peers ... <agent-id>")
+	}
+	book, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	net := transport.NewTCPNetwork(book)
+	defer net.Close()
+
+	found := false
+	for _, peer := range sortedNames(book) {
+		body, err := callPeer(net, peer, "quarantine", core.QuarantineCallBody(agentID), *timeout)
+		if err != nil {
+			fmt.Printf("  %-8s unreachable: %v\n", peer, err)
+			continue
+		}
+		q, err := core.DecodeQuarantineReply(body)
+		if err != nil {
+			return err
+		}
+		switch {
+		case q.Held:
+			found = true
+			fmt.Printf("agentctl: %s held in quarantine at %s (owner %s, %d hops):\n", agentID, peer, q.Owner, q.Hops)
+			for _, v := range q.Verdicts {
+				fmt.Printf("    %s\n", v)
+			}
+		case q.Evicted:
+			found = true
+			fmt.Printf("agentctl: %s was quarantined at %s; retained copy evicted under capacity pressure (status %s)\n",
+				agentID, peer, q.Status.Phase)
+		case q.Status.Phase != core.PhaseUnknown:
+			fmt.Printf("  %-8s not quarantined (status %s, flags %d)\n", peer, q.Status.Phase, q.Status.Flags)
+		}
+	}
+	if !found {
+		return fmt.Errorf("agent %s is not quarantined on any reachable node", agentID)
+	}
+	return nil
+}
+
+func parsePeers(s string) (map[string]string, error) {
+	book := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		if pair == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed -peers entry %q", pair)
+		}
+		book[strings.TrimSpace(name)] = strings.TrimSpace(addr)
+	}
+	if len(book) == 0 {
+		return nil, fmt.Errorf("-peers is required")
+	}
+	return book, nil
+}
+
+func sortedNames(book map[string]string) []string {
+	names := make([]string, 0, len(book))
+	for n := range book {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func deadlineCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.WithCancel(context.Background())
+	}
+	return context.WithTimeout(context.Background(), timeout)
+}
+
+// callPeer issues one built-in node call under its own deadline, so a
+// hung peer cannot consume the time budget of the peers after it.
+func callPeer(net *transport.TCPNetwork, peer, method string, body []byte, timeout time.Duration) ([]byte, error) {
+	ctx, cancel := deadlineCtx(timeout)
+	defer cancel()
+	return net.Call(ctx, peer, core.NodeCallNamespace+"/"+method, body)
 }
 
 // track polls every peer's node/status until one reports a terminal

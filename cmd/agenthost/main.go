@@ -48,7 +48,7 @@ func run() error {
 	name := flag.String("name", "", "host principal name (required)")
 	addr := flag.String("addr", "127.0.0.1:0", "TCP listen address")
 	trusted := flag.Bool("trusted", false, "mark this host as trusted by agent owners")
-	level := flag.String("level", "full", "protection level: none|signed|rules|traces|full")
+	level := flag.String("level", "full", "protection level: none|signed|rules|traces|full|adaptive")
 	keydir := flag.String("keydir", "", "shared directory for public keys (required)")
 	peers := flag.String("peers", "", "address book: name=host:port,name=host:port,...")
 	resources := flag.String("resource", "", "host resources: key=intvalue,key=strvalue,...")
@@ -108,16 +108,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	mechs, err := protection.Mechanisms(lvl, protection.Options{})
+	stack, err := protection.Assemble(lvl, protection.Options{})
 	if err != nil {
 		return err
 	}
 	node, err := core.NewNode(core.NodeConfig{
 		Host:       h,
 		Net:        net,
-		Mechanisms: mechs,
+		Mechanisms: stack.Mechanisms,
+		Policy:     stack.Policy,
 		OnVerdict: func(v core.Verdict) {
 			fmt.Printf("agenthost %s: %s\n", *name, v)
+		},
+		OnOwnerNotice: func(agentID string, v core.Verdict, reason string) {
+			fmt.Printf("agenthost %s: OWNER NOTICE for %s: %s (%s)\n", *name, agentID, v, reason)
 		},
 		OnComplete: func(ag *agent.Agent, vs []core.Verdict, aborted bool) {
 			status := "completed"

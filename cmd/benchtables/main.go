@@ -1,5 +1,7 @@
 // Command benchtables regenerates the paper's evaluation artifacts:
-// Tables 1 and 2 (§5.3) and the sweep series of DESIGN.md §5.
+// Tables 1 and 2 (§5.3) and the sweep series of DESIGN.md §6, plus the
+// adaptive-fleet trajectory file (BENCH_fleet.json) that tracks the
+// policy layer's throughput/detection numbers across PRs.
 //
 // Usage:
 //
@@ -7,14 +9,18 @@
 //	benchtables -tables=false -series overhead
 //	benchtables -quick           # smaller sweeps, skips 10000-cycle rows
 //	benchtables -series all
+//	benchtables -tables=false -fleet -fleet-out BENCH_fleet.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/protection"
 )
 
 func main() {
@@ -28,6 +34,8 @@ func run() error {
 	tables := flag.Bool("tables", true, "regenerate Tables 1 and 2")
 	series := flag.String("series", "", "sweep series to run: overhead|replication|trace|proof|all")
 	quick := flag.Bool("quick", false, "smaller parameter ranges (for smoke runs)")
+	fleet := flag.Bool("fleet", false, "run the mixed honest/malicious fleet scenario")
+	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "trajectory file for the fleet numbers")
 	flag.Parse()
 
 	out := os.Stdout
@@ -111,6 +119,110 @@ func run() error {
 			return err
 		}
 	}
+
+	if *fleet {
+		if err := runFleet(*fleetOut, *quick); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fleetRun is one scenario's record in the trajectory file.
+type fleetRun struct {
+	Scenario        string  `json:"scenario"`
+	Level           string  `json:"level"`
+	Agents          int     `json:"agents"`
+	UntrustedHosts  int     `json:"untrusted_hosts"`
+	MaliciousHosts  int     `json:"malicious_hosts"`
+	ElapsedMs       float64 `json:"elapsed_ms"`
+	ItinerariesPerS float64 `json:"itineraries_per_s"`
+	Completed       int     `json:"completed"`
+	Quarantined     int     `json:"quarantined"`
+	Failed          int     `json:"failed"`
+	Tampered        int     `json:"tampered_sessions"`
+	Detected        int     `json:"detected_tampered"`
+	FailedVerdicts  int     `json:"failed_verdicts"`
+}
+
+// fleetFile is the BENCH_fleet.json layout. The two derived ratios are
+// the acceptance numbers future PRs track: adaptive throughput
+// relative to the cheap-rules baseline on an all-honest fleet, and
+// detection parity with LevelFull on the mixed fleet.
+type fleetFile struct {
+	GeneratedAt           string     `json:"generated_at"`
+	AdaptiveVsRulesHonest float64    `json:"adaptive_vs_rules_honest_throughput_ratio"`
+	AdaptiveDetectionRate float64    `json:"adaptive_mixed_detection_rate"`
+	Runs                  []fleetRun `json:"runs"`
+}
+
+// runFleet measures the fleet scenarios and writes the trajectory file.
+func runFleet(outPath string, quick bool) error {
+	cfg := bench.FleetConfig{Agents: 16, UntrustedHosts: 6, Workers: 4}
+	if quick {
+		cfg.Agents, cfg.UntrustedHosts, cfg.Cycles = 6, 4, 2
+	}
+	scenarios := []struct {
+		name      string
+		level     protection.Level
+		malicious int
+	}{
+		{"honest", protection.LevelRules, 0},
+		{"honest", protection.LevelAdaptive, 0},
+		{"honest", protection.LevelFull, 0},
+		{"mixed", protection.LevelRules, 2},
+		{"mixed", protection.LevelAdaptive, 2},
+		{"mixed", protection.LevelFull, 2},
+	}
+	out := fleetFile{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+	var honestRules, honestAdaptive float64
+	for _, sc := range scenarios {
+		c := cfg
+		c.Level = sc.level
+		c.MaliciousHosts = sc.malicious
+		fmt.Fprintf(os.Stderr, "running fleet %s/%s...\n", sc.name, sc.level)
+		res, err := bench.RunFleet(c)
+		if err != nil {
+			return err
+		}
+		out.Runs = append(out.Runs, fleetRun{
+			Scenario:        sc.name,
+			Level:           sc.level.String(),
+			Agents:          res.Agents,
+			UntrustedHosts:  c.UntrustedHosts,
+			MaliciousHosts:  c.MaliciousHosts,
+			ElapsedMs:       float64(res.Elapsed.Microseconds()) / 1000,
+			ItinerariesPerS: res.ItinerariesPerSecond(),
+			Completed:       res.Completed,
+			Quarantined:     res.Quarantined,
+			Failed:          res.Failed,
+			Tampered:        res.TamperedSessions,
+			Detected:        res.DetectedTampered,
+			FailedVerdicts:  res.FailedVerdicts,
+		})
+		switch {
+		case sc.name == "honest" && sc.level == protection.LevelRules:
+			honestRules = res.ItinerariesPerSecond()
+		case sc.name == "honest" && sc.level == protection.LevelAdaptive:
+			honestAdaptive = res.ItinerariesPerSecond()
+		case sc.name == "mixed" && sc.level == protection.LevelAdaptive:
+			if res.TamperedSessions > 0 {
+				out.AdaptiveDetectionRate = float64(res.DetectedTampered) / float64(res.TamperedSessions)
+			}
+		}
+	}
+	if honestRules > 0 {
+		out.AdaptiveVsRulesHonest = honestAdaptive / honestRules
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("fleet trajectory written to %s (adaptive/rules honest throughput %.3f, mixed detection rate %.3f)\n",
+		outPath, out.AdaptiveVsRulesHonest, out.AdaptiveDetectionRate)
 	return nil
 }
 

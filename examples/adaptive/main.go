@@ -1,0 +1,208 @@
+// Adaptive: suspicion-driven checking as a running deployment. The
+// paper's framework treats a failed check as the *start* of a response
+// — suspicion accumulates against a host and drives escalating
+// consequences — and the adaptive protection level makes that loop
+// concrete: agents crossing hosts in good standing are checked with
+// cheap appraisal rules only, while a host whose reputation drops is
+// re-executed on every session and finally has agents quarantined.
+//
+// The demo runs a stream of courier agents over one trusted home host
+// and three workers, one of which skims the couriers' audited total.
+// Watch the deployment's view of the cheater evolve journey by
+// journey: first offense flagged (owner notified, agent continues),
+// escalation to full re-execution, quarantine once suspicion crosses
+// the threshold — and the reputation spreading to other nodes as
+// signed gossip in the surviving agents' baggage.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/appraisal"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/protection"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+const courierCode = `
+proc main() {
+    total = total + 1
+    hops = hops + 1
+    migrate("w1", "step")
+}
+proc step() {
+    total = total + 1
+    hops = hops + 1
+    let at = here()
+    if at == "w1" { migrate("w2", "step") }
+    if at == "w2" { migrate("w3", "step") }
+    if at == "w3" { migrate("home", "fin") }
+    done()
+}
+proc fin() {
+    total = total + 1
+    hops = hops + 1
+    done()
+}`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptive:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	reg := sigcrypto.NewRegistry()
+	net := transport.NewInProc()
+
+	// w2 skims every courier that passes through — a manipulation-of-
+	// data attack the owner's signed rule makes visible.
+	behaviors := map[string]host.Behavior{
+		"w2": attack.StateMutation{Mutate: func(st value.State) {
+			st["total"] = value.Int(st["total"].Int + 1000)
+		}},
+	}
+
+	nodes := make(map[string]*core.Node)
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	for _, name := range []string{"home", "w1", "w2", "w3"} {
+		keys, err := sigcrypto.GenerateKeyPair(name)
+		if err != nil {
+			return err
+		}
+		h, err := host.New(host.Config{
+			Name:     name,
+			Keys:     keys,
+			Registry: reg,
+			Trusted:  name == "home",
+			Behavior: behaviors[name],
+		})
+		if err != nil {
+			return err
+		}
+		// One adaptive stack per node: its own ledger and gate, fed by
+		// its own verdicts plus verified gossip from arriving agents.
+		stack, err := protection.Assemble(protection.LevelAdaptive, protection.Options{})
+		if err != nil {
+			return err
+		}
+		name := name
+		node, err := core.NewNode(core.NodeConfig{
+			Host:       h,
+			Net:        net,
+			Mechanisms: stack.Mechanisms,
+			Policy:     stack.Policy,
+			OnOwnerNotice: func(agentID string, v core.Verdict, reason string) {
+				fmt.Printf("  [owner notice @%s] %s: %s\n", name, agentID, reason)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		nodes[name] = node
+		net.Register(name, node)
+	}
+
+	owner, err := sigcrypto.GenerateKeyPair("courier-owner")
+	if err != nil {
+		return err
+	}
+	if err := reg.RegisterKeyPair(owner); err != nil {
+		return err
+	}
+	rules := appraisal.RuleSet{appraisal.MustRule("total-tracks-hops", "total == hops")}
+
+	printReputation := func(at string) {
+		body, err := nodes[at].HandleCall(ctx, "node/reputation", core.ReputationCallBody("w2"))
+		if err != nil {
+			fmt.Println("  reputation call failed:", err)
+			return
+		}
+		rep, err := core.DecodeReputationReply(body)
+		if err != nil || !rep.Known {
+			fmt.Printf("  %s's view of w2: no observations yet\n", at)
+			return
+		}
+		fmt.Printf("  %s's view of w2: suspicion %.2f (%d events, %d failures)\n",
+			at, rep.Rep.Suspicion, rep.Rep.Events, rep.Rep.Failures)
+	}
+
+	for i := 1; i <= 3; i++ {
+		id := fmt.Sprintf("courier-%d", i)
+		fmt.Printf("--- journey %d: %s ---\n", i, id)
+		ag, err := agent.New(id, "courier-owner", courierCode, "main")
+		if err != nil {
+			return err
+		}
+		ag.SetVar("total", value.Int(0))
+		ag.SetVar("hops", value.Int(0))
+		if err := appraisal.Attach(ag, rules, owner); err != nil {
+			return err
+		}
+		var rcs []*core.Receipt
+		for _, n := range nodes {
+			rcs = append(rcs, n.Watch(id))
+		}
+		if _, err := nodes["home"].Launch(ctx, ag); err != nil {
+			return err
+		}
+		res, err := core.AwaitAny(ctx, rcs...)
+		switch {
+		case err == nil:
+			fmt.Printf("  %s completed (total=%s, %d flagged checks on record)\n",
+				id, res.Agent.State["total"], countFailed(res.Verdicts))
+		case errors.Is(err, core.ErrDetection):
+			fmt.Printf("  %s QUARANTINED: %v\n", id, err)
+		default:
+			return err
+		}
+		printReputation("w3") // w3 checks w2's sessions first-hand
+		printReputation("w1") // w1 only ever hears about w2 via gossip
+	}
+
+	// The evidence a quarantined agent carries, via the built-in call
+	// agentctl's quarantine subcommand uses.
+	body, err := nodes["w3"].HandleCall(ctx, "node/quarantine", core.QuarantineCallBody("courier-3"))
+	if err != nil {
+		return err
+	}
+	q, err := core.DecodeQuarantineReply(body)
+	if err != nil {
+		return err
+	}
+	if q.Held {
+		fmt.Println("--- quarantine evidence at w3 ---")
+		for _, v := range q.Verdicts {
+			if !v.OK {
+				fmt.Printf("  %s\n", v)
+			}
+		}
+	}
+	return nil
+}
+
+func countFailed(vs []core.Verdict) int {
+	n := 0
+	for _, v := range vs {
+		if !v.OK {
+			n++
+		}
+	}
+	return n
+}

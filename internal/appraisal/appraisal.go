@@ -191,6 +191,43 @@ func (m *Mechanism) appraise(hc *core.HostContext, ag *agent.Agent, moment core.
 		v.OK = false
 		v.Reason = "arrived state violates owner rules"
 		v.Evidence = violations
+		// Appraisal's reference data is only the arrived state, so a
+		// rule violation alone cannot say *which* session broke it. If
+		// the agent's travelling record already carries a failed
+		// appraisal verdict from an earlier hop, the damage predates
+		// the previous session: under a policy that let the agent
+		// continue, blaming the previous host would charge an innocent
+		// intermediary. The repeat detection stays on record but
+		// travels unattributed.
+		//
+		// Verdict baggage is host-writable, so a prior failure only
+		// suppresses attribution if it is a verifiable voucher: signed
+		// by its named checker, bound to this agent, and vouched by
+		// someone other than the host now under suspicion (a cheater
+		// can sign a "prior failure" as itself; it cannot forge another
+		// host's signature). Refusing the suspect's own voucher can
+		// transiently re-blame an innocent intermediary that detected
+		// someone else earlier — but that charge is self-correcting
+		// (escalated checking exonerates an honest host), whereas
+		// honoring it would let a cheater dodge reputation forever.
+		// Two colluding consecutive hosts can still launder blame —
+		// the protocol family's documented collusion limit (§5.1), not
+		// a new hole.
+		reg := hc.Host.Registry()
+		for _, prior := range core.AgentVerdicts(ag) {
+			if prior.Mechanism != MechanismName || prior.OK || prior.CheckedHop >= v.CheckedHop {
+				continue
+			}
+			if prior.AgentID != ag.ID || prior.Checker == v.Suspect {
+				continue
+			}
+			if prior.VerifySig(reg) != nil {
+				continue
+			}
+			v.Suspect = ""
+			v.Reason = fmt.Sprintf("arrived state violates owner rules (damage on record since session %d; previous host not blamed)", prior.CheckedHop)
+			break
+		}
 		return v, nil
 	}
 	v.OK = true

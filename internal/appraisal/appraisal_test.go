@@ -1,6 +1,9 @@
 package appraisal_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/gob"
 	"errors"
 	"strings"
 	"testing"
@@ -284,4 +287,103 @@ proc buy() {
 	if taskVerdict.OK {
 		t.Error("final-state violation not caught by checkAfterTask")
 	}
+}
+
+// TestRepeatDamageAttribution pins the voucher rules for appraisal's
+// repeat-detection suppression: a prior failed verdict suppresses
+// blame only when it is signed by its named checker and that checker
+// is not the host now under suspicion — a cheater signing a fake
+// "prior failure" as itself (or forging another host's voucher) must
+// still be blamed.
+func TestRepeatDamageAttribution(t *testing.T) {
+	ctx := context.Background()
+	reg := sigcrypto.NewRegistry()
+	keys := make(map[string]*sigcrypto.KeyPair)
+	for _, name := range []string{"mallory", "checker", "witness", "owner"} {
+		kp, err := sigcrypto.GenerateKeyPair(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.RegisterKeyPair(kp); err != nil {
+			t.Fatal(err)
+		}
+		keys[name] = kp
+	}
+	h, err := host.New(host.Config{Name: "checker", Keys: keys["checker"], Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := &core.HostContext{Host: h}
+	mech := appraisal.New()
+	rules := appraisal.RuleSet{appraisal.MustRule("track", "total == hops")}
+
+	mkAgent := func(forged []core.Verdict) *agent.Agent {
+		ag, err := agent.New("vic", "owner", `proc main() { done() }`, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag.SetVar("total", value.Int(5)) // violates total == hops
+		ag.SetVar("hops", value.Int(1))
+		if err := appraisal.Attach(ag, rules, keys["owner"]); err != nil {
+			t.Fatal(err)
+		}
+		// Two sessions behind us: the checked session is hop 1 (ran on
+		// mallory), so a hop-0 voucher is strictly earlier.
+		ag.Route = []string{"witness", "mallory"}
+		ag.Hop = 2
+		if forged != nil {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(forged); err != nil {
+				t.Fatal(err)
+			}
+			ag.SetBaggage("core/verdicts", buf.Bytes())
+		}
+		return ag
+	}
+	prior := func(checker string, signer *sigcrypto.KeyPair) core.Verdict {
+		v := core.Verdict{
+			AgentID: "vic", Mechanism: "appraisal", Moment: core.AfterSession,
+			CheckedHost: "elsewhere", CheckedHop: 0, Checker: checker,
+			OK: false, Suspect: "elsewhere", Reason: "earlier damage",
+		}
+		if signer != nil {
+			v.Sign(signer)
+		}
+		return v
+	}
+	check := func(t *testing.T, forged []core.Verdict, wantSuspect string) {
+		t.Helper()
+		v, err := mech.CheckAfterSession(ctx, hc, mkAgent(forged))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == nil || v.OK {
+			t.Fatalf("violation not detected: %+v", v)
+		}
+		if v.Suspect != wantSuspect {
+			t.Errorf("suspect = %q, want %q (reason: %s)", v.Suspect, wantSuspect, v.Reason)
+		}
+	}
+
+	t.Run("fresh damage blames previous host", func(t *testing.T) {
+		check(t, nil, "mallory")
+	})
+	t.Run("self-vouched prior failure does not excuse the suspect", func(t *testing.T) {
+		check(t, []core.Verdict{prior("mallory", keys["mallory"])}, "mallory")
+	})
+	t.Run("voucher with forged signature is refused", func(t *testing.T) {
+		v := prior("witness", keys["mallory"]) // mallory cannot sign as witness
+		check(t, []core.Verdict{v}, "mallory")
+	})
+	t.Run("voucher for another agent is refused", func(t *testing.T) {
+		v := core.Verdict{
+			AgentID: "other-agent", Mechanism: "appraisal", Moment: core.AfterSession,
+			CheckedHop: 0, Checker: "witness", OK: false, Suspect: "elsewhere",
+		}
+		v.Sign(keys["witness"])
+		check(t, []core.Verdict{v}, "mallory")
+	})
+	t.Run("genuine third-party voucher suppresses attribution", func(t *testing.T) {
+		check(t, []core.Verdict{prior("witness", keys["witness"])}, "")
+	})
 }

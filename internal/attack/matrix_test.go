@@ -16,7 +16,7 @@ import (
 	"repro/internal/vigna"
 )
 
-// TestDetectionMatrix pins the protection claims of DESIGN.md §5
+// TestDetectionMatrix pins the protection claims the mechanism packages document
 // (derived from the paper's §3-§5): for each (attack, mechanism) pair,
 // whether the attack is detected during the journey or by a
 // post-journey audit. Each cell runs a fresh 4-host journey
@@ -70,7 +70,7 @@ proc finish() { done() }`
 		// auditDetects: only meaningful for vigna (post-journey audit).
 		auditDetects bool
 	}
-	// The claims of DESIGN.md §5.
+	// The per-mechanism detection/miss claims (paper §3, §4.2).
 	want := map[string]map[string]expectation{
 		"appraisal": {
 			"rule-breaking manipulation":   {journeyDetects: true},

@@ -1,7 +1,7 @@
 // Package bench reproduces the paper's evaluation (§5.2-§5.3): the
 // generic example agent, the four workload configurations of Tables 1
 // and 2, per-phase timing (sign&verify / cycle / remainder / overall),
-// and the sweep series of DESIGN.md §5.
+// and the sweep series of DESIGN.md §6.
 //
 // The workload, per the paper: an agent migrating along three hosts —
 // trusted, untrusted, trusted — parameterized by a "cycle" count
@@ -195,14 +195,15 @@ func Run(level protection.Level, w Workload) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		mechs, err := protection.Mechanisms(level, protection.Options{Timer: timer, ExecHook: pt})
+		stack, err := protection.Assemble(level, protection.Options{Timer: timer, ExecHook: pt})
 		if err != nil {
 			return Result{}, err
 		}
 		node, err := core.NewNode(core.NodeConfig{
 			Host:           h,
 			Net:            net,
-			Mechanisms:     mechs,
+			Mechanisms:     stack.Mechanisms,
+			Policy:         stack.Policy,
 			SessionOptions: host.SessionOptions{ExtraHook: pt},
 		})
 		if err != nil {

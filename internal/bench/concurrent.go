@@ -80,14 +80,15 @@ func ConcurrentItineraries(cfg ConcurrentConfig) (time.Duration, error) {
 		if err != nil {
 			return 0, err
 		}
-		mechs, err := protection.Mechanisms(cfg.Level, protection.Options{})
+		stack, err := protection.Assemble(cfg.Level, protection.Options{})
 		if err != nil {
 			return 0, err
 		}
 		node, err := core.NewNode(core.NodeConfig{
 			Host:       h,
 			Net:        net,
-			Mechanisms: mechs,
+			Mechanisms: stack.Mechanisms,
+			Policy:     stack.Policy,
 			Workers:    cfg.Workers,
 			// Deep enough that the whole batch enqueues without
 			// backpressure; the measurement is processing overlap, not

@@ -18,7 +18,7 @@ import (
 	"repro/internal/vigna"
 )
 
-// The sweep series of DESIGN.md §4. Each regenerates one analytic
+// The sweep series of DESIGN.md §6. Each regenerates one analytic
 // claim from the paper as a data series.
 
 // SeriesPoint is one (x, columns...) row of a series.

@@ -215,9 +215,9 @@ proc step() { done() }`)
 	if !errors.Is(err, ErrDetection) {
 		t.Fatalf("err = %v, want ErrDetection", err)
 	}
-	q, ok := tb.nodes["h2"].Quarantined("test-agent")
-	if !ok {
-		t.Fatal("agent not quarantined at detecting node")
+	q, qerr := tb.nodes["h2"].Quarantined("test-agent")
+	if qerr != nil {
+		t.Fatalf("agent not quarantined at detecting node: %v", qerr)
 	}
 	if len(AgentVerdicts(q)) != 1 {
 		t.Error("quarantined agent lost its verdicts")

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/host"
+	"repro/internal/shardstore"
 	"repro/internal/transport"
 )
 
@@ -28,6 +29,9 @@ const (
 	// DefaultJournalLimit bounds retained terminal receipts/status
 	// entries when NodeConfig.JournalLimit is zero (see JournalLimit).
 	DefaultJournalLimit = 4096
+	// DefaultQuarantineLimit bounds retained quarantined agents when
+	// NodeConfig.QuarantineLimit is zero (see QuarantineLimit).
+	DefaultQuarantineLimit = 1024
 	// maxIntakeWait caps how long an enqueue blocks on a full queue
 	// even under a deadline-free ctx. It sits below the TCP
 	// transport's 30s I/O fallback so a remote delivery gives up on
@@ -68,6 +72,24 @@ type NodeConfig struct {
 	// Late Watch/Status lookups of evicted agents read "unknown". 0
 	// means DefaultJournalLimit.
 	JournalLimit int
+	// QuarantineLimit bounds how many quarantined agents the node
+	// retains for evidence; beyond it the oldest are evicted FIFO (a
+	// flood of failing agents must not grow memory without bound).
+	// Quarantined reports an evicted agent with ErrQuarantineEvicted
+	// as long as its journal entry survives. 0 means
+	// DefaultQuarantineLimit.
+	QuarantineLimit int
+	// Policy decides the node's response to every verdict produced
+	// here: quarantine, continue-flagged, and owner notification. Nil
+	// selects a built-in: the strict seed behaviour (any failed check
+	// quarantines), or the permissive one when ContinueOnDetection is
+	// set. See internal/policy for the reputation-driven policies.
+	Policy VerdictPolicy
+	// OnOwnerNotice is invoked when the policy decides a verdict is
+	// worth reporting to the agent's owner (the paper's "notify the
+	// owner" consequence); may be nil. It may be called from multiple
+	// workers concurrently.
+	OnOwnerNotice func(agentID string, v Verdict, reason string)
 	// OnVerdict is invoked for every verdict produced at this node; may
 	// be nil. It may be called from multiple workers concurrently.
 	OnVerdict func(Verdict)
@@ -114,19 +136,30 @@ type Node struct {
 	// lost.
 	intake sync.WaitGroup
 
-	mu sync.Mutex
-	// quarantined agents by ID, kept for evidence after detection.
-	quarantine map[string]*agent.Agent
-	// receipts journal outcomes per agent ID; settled entries (any
-	// phase but queued/running) are evicted oldest-first beyond the
-	// journal limit.
-	receipts map[string]*Receipt
-	// phases tracks each agent's latest processing phase at this node
-	// (served by the built-in node/status call).
-	phases map[string]AgentStatus
-	// journal orders agent IDs by first appearance, for eviction.
-	journal []string
-	closed  bool
+	// mu guards only the closed flag and its handshake with the intake
+	// WaitGroup; all per-agent bookkeeping lives in the sharded stores
+	// below, so workers touching distinct agents never serialize here.
+	mu     sync.Mutex
+	closed bool
+
+	// journal tracks each agent's receipt and latest processing phase,
+	// striped by agent ID. Settled entries (any phase but
+	// queued/running) are evicted FIFO beyond JournalLimit; eviction
+	// resolves still-pending receipts with ErrJournalEvicted.
+	journal *shardstore.Store[*journalEntry]
+	// quarantine retains quarantined agents for evidence, bounded by
+	// QuarantineLimit with FIFO eviction.
+	quarantine *shardstore.Store[*agent.Agent]
+}
+
+// journalEntry is one agent's bookkeeping at this node. The status and
+// flag count are mutated only under the entry's shard lock (via
+// Upsert/View closures); the receipt pointer is immutable after
+// creation and safe to use outside it.
+type journalEntry struct {
+	rc    *Receipt
+	st    AgentStatus
+	flags int
 }
 
 // intakeItem is one queued delivery. ctx is the delivery's processing
@@ -153,6 +186,15 @@ var (
 	// terminal outcome at this node (e.g. a watch on a node the agent
 	// only transited). The journey itself is unaffected.
 	ErrJournalEvicted = errors.New("core: receipt evicted from journal")
+	// ErrQuarantineEvicted is returned by Quarantined when the agent
+	// was quarantined here but its retained copy has been evicted under
+	// capacity pressure; the detection itself remains on record in the
+	// journal.
+	ErrQuarantineEvicted = errors.New("core: quarantined agent evicted under capacity pressure")
+	// ErrNotQuarantined is returned by Quarantined for agents that were
+	// never quarantined at this node (or whose whole journal entry has
+	// been evicted).
+	ErrNotQuarantined = errors.New("core: agent not quarantined at this node")
 )
 
 // NewNode builds a platform node and starts its worker pool. Callers
@@ -175,17 +217,44 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if depth == 0 {
 		depth = DefaultQueueDepth
 	}
+	journalLimit := cfg.JournalLimit
+	if journalLimit <= 0 {
+		journalLimit = DefaultJournalLimit
+	}
+	quarantineLimit := cfg.QuarantineLimit
+	if quarantineLimit <= 0 {
+		quarantineLimit = DefaultQuarantineLimit
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	n := &Node{
-		cfg:        cfg,
-		hc:         &HostContext{Host: cfg.Host, Net: cfg.Net},
-		rootCtx:    ctx,
-		cancel:     cancel,
-		queues:     make([]chan intakeItem, workers),
-		quarantine: make(map[string]*agent.Agent),
-		receipts:   make(map[string]*Receipt),
-		phases:     make(map[string]AgentStatus),
+		cfg:     cfg,
+		hc:      &HostContext{Host: cfg.Host, Net: cfg.Net},
+		rootCtx: ctx,
+		cancel:  cancel,
+		queues:  make([]chan intakeItem, workers),
+		quarantine: shardstore.New[*agent.Agent](shardstore.Config[*agent.Agent]{
+			Capacity: quarantineLimit,
+		}),
 	}
+	n.journal = shardstore.New[*journalEntry](shardstore.Config[*journalEntry]{
+		Capacity: journalLimit,
+		// Entries still queued or running are never evicted — an
+		// active worker must resolve the receipt a waiter may hold.
+		Evictable: func(_ string, e *journalEntry) bool {
+			switch e.st.Phase {
+			case PhaseQueued, PhaseRunning:
+				return false
+			}
+			return true
+		},
+		// An evicted entry whose receipt never resolved (a watch on a
+		// node the agent only transited, or never reached) reports
+		// explicitly instead of hanging forever. resolve is a no-op on
+		// already-resolved receipts.
+		OnEvict: func(_ string, e *journalEntry, _ shardstore.Reason) {
+			e.rc.resolve(Result{Err: fmt.Errorf("core: node %s: %w", cfg.Host.Name(), ErrJournalEvicted)})
+		},
+	})
 	for i := range n.queues {
 		q := make(chan intakeItem, depth)
 		n.queues[i] = q
@@ -232,12 +301,19 @@ func (n *Node) Close() error {
 	return nil
 }
 
-// Quarantined returns the quarantined agent with the given ID, if any.
-func (n *Node) Quarantined(id string) (*agent.Agent, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ag, ok := n.quarantine[id]
-	return ag, ok
+// Quarantined returns the quarantined agent with the given ID. A nil
+// error means the agent is held here; ErrQuarantineEvicted means it was
+// quarantined but its retained copy has been evicted under capacity
+// pressure (the detection remains on record); ErrNotQuarantined means
+// it was never quarantined at this node.
+func (n *Node) Quarantined(id string) (*agent.Agent, error) {
+	if ag, ok := n.quarantine.Get(id); ok {
+		return ag, nil
+	}
+	if n.Status(id).Phase == PhaseQuarantined {
+		return nil, fmt.Errorf("core: node %s: agent %s: %w", n.cfg.Host.Name(), id, ErrQuarantineEvicted)
+	}
+	return nil, fmt.Errorf("core: node %s: agent %s: %w", n.cfg.Host.Name(), id, ErrNotQuarantined)
 }
 
 // Watch returns the receipt for the given agent at this node, creating
@@ -246,57 +322,16 @@ func (n *Node) Quarantined(id string) (*agent.Agent, bool) {
 // watching before launch is race-free, and watching after the outcome
 // returns an already-resolved receipt.
 func (n *Node) Watch(agentID string) *Receipt {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.receiptLocked(agentID)
+	return n.entryFor(agentID).rc
 }
 
-func (n *Node) receiptLocked(agentID string) *Receipt {
-	rc, ok := n.receipts[agentID]
-	if !ok {
-		rc = newReceipt(agentID)
-		n.receipts[agentID] = rc
-		n.journal = append(n.journal, agentID)
-		n.evictLocked()
-	}
-	return rc
-}
-
-// evictLocked drops the oldest settled journal entries (receipt +
-// phase) beyond the configured limit, so neither transiting agents nor
-// a hostile stream of fresh IDs can grow the node's memory without
-// bound. Entries still queued or running are never evicted — an
-// active worker must resolve the receipt a waiter may hold. Any other
-// evicted entry whose receipt is still unresolved (a watch on a node
-// the agent only transited, or never reached) is resolved with
-// ErrJournalEvicted so held pointers report explicitly instead of
-// hanging forever.
-func (n *Node) evictLocked() {
-	limit := n.cfg.JournalLimit
-	if limit <= 0 {
-		limit = DefaultJournalLimit
-	}
-	for len(n.journal) > limit {
-		evicted := false
-		for i, id := range n.journal {
-			switch n.phases[id].Phase {
-			case PhaseQueued, PhaseRunning:
-				continue
-			}
-			rc := n.receipts[id]
-			n.journal = append(n.journal[:i], n.journal[i+1:]...)
-			delete(n.receipts, id)
-			delete(n.phases, id)
-			if rc != nil {
-				rc.resolve(Result{Err: fmt.Errorf("core: node %s: %w", n.cfg.Host.Name(), ErrJournalEvicted)})
-			}
-			evicted = true
-			break
-		}
-		if !evicted {
-			return // everything in flight; tolerate transient overshoot
-		}
-	}
+// entryFor returns the agent's journal entry, creating it (and
+// triggering journal eviction) if needed.
+func (n *Node) entryFor(agentID string) *journalEntry {
+	e, _ := n.journal.GetOrCreate(agentID, func() *journalEntry {
+		return &journalEntry{rc: newReceipt(agentID), st: AgentStatus{Phase: PhaseUnknown}}
+	})
+	return e
 }
 
 // Launch injects a locally created agent into the intake as if it had
@@ -340,9 +375,20 @@ func (n *Node) enqueue(ctx context.Context, ag *agent.Agent) (*Receipt, error) {
 	// an accepted delivery is either processed or drained, never lost.
 	n.intake.Add(1)
 	defer n.intake.Done()
-	rc := n.receiptLocked(ag.ID)
-	n.phases[ag.ID] = AgentStatus{Phase: PhaseQueued}
 	n.mu.Unlock()
+	// Create (or adopt) the journal entry and mark it queued in one
+	// atomic step: a fresh entry in an earlier phase would be evictable,
+	// and capacity pressure from this very insert could otherwise evict
+	// the agent currently being enqueued.
+	var rc *Receipt
+	n.journal.Upsert(ag.ID, func(e *journalEntry, ok bool) *journalEntry {
+		if !ok {
+			e = &journalEntry{rc: newReceipt(ag.ID)}
+		}
+		e.st = AgentStatus{Phase: PhaseQueued}
+		rc = e.rc
+		return e
+	})
 
 	q := n.stripe(ag.ID)
 	select {
@@ -371,11 +417,15 @@ func (n *Node) enqueue(ctx context.Context, ag *agent.Agent) (*Receipt, error) {
 	// Watch-before-launch waiter wakes with the error instead of
 	// hanging. If a concurrent duplicate delivery of the same ID
 	// already progressed to running, leave its phase alone.
-	n.mu.Lock()
-	if st := n.phases[ag.ID]; st.Phase != PhaseRunning {
-		n.phases[ag.ID] = AgentStatus{Phase: PhaseFailed, Err: err.Error()}
-	}
-	n.mu.Unlock()
+	n.journal.Upsert(ag.ID, func(e *journalEntry, ok bool) *journalEntry {
+		if !ok {
+			e = &journalEntry{rc: rc}
+		}
+		if e.st.Phase != PhaseRunning {
+			e.st = AgentStatus{Phase: PhaseFailed, Err: err.Error()}
+		}
+		return e
+	})
 	rc.resolve(Result{Agent: ag, Err: err})
 	return nil, err
 }
@@ -437,15 +487,17 @@ func (n *Node) process(ctx context.Context, ag *agent.Agent) error {
 	}
 
 	// Phase 1: checkAfterSession — verify the previous host's session
-	// as the first action on this host.
+	// as the first action on this host. Every verdict is routed through
+	// the node's policy, which decides quarantine / continue-flagged /
+	// notify-owner instead of the seed's single boolean.
 	for _, m := range n.cfg.Mechanisms {
 		v, err := m.CheckAfterSession(ctx, n.hc, ag)
 		if err != nil {
 			return fmt.Errorf("core: %s at %s: %w", m.Name(), hostName, err)
 		}
 		if v != nil {
-			n.recordVerdict(ag, *v)
-			if !v.OK && !n.cfg.ContinueOnDetection {
+			stamped := n.recordVerdict(ag, *v)
+			if dec := n.decide(ag.ID, stamped); dec.Quarantine {
 				n.quarantineAgent(ag)
 				return fmt.Errorf("%w: %s", ErrDetection, v)
 			}
@@ -463,7 +515,10 @@ func (n *Node) process(ctx context.Context, ag *agent.Agent) error {
 	}
 
 	// Phase 3a: the agent finished — checkAfterTask on this, the final
-	// host.
+	// host. AfterTask verdicts still feed the policy (flagging, owner
+	// notification, reputation), but a Quarantine decision is not
+	// honoured: the journey has nothing left to stop, and the outcome
+	// stays "completed" with the failed verdict on record.
 	if rec.ResultEntry == "" {
 		for _, m := range n.cfg.Mechanisms {
 			v, err := m.CheckAfterTask(ctx, n.hc, ag, rec)
@@ -471,7 +526,7 @@ func (n *Node) process(ctx context.Context, ag *agent.Agent) error {
 				return fmt.Errorf("core: %s at %s: %w", m.Name(), hostName, err)
 			}
 			if v != nil {
-				n.recordVerdict(ag, *v)
+				n.decide(ag.ID, n.recordVerdict(ag, *v))
 			}
 		}
 		n.setPhase(ag.ID, AgentStatus{Phase: PhaseCompleted})
@@ -505,9 +560,19 @@ func (n *Node) process(ctx context.Context, ag *agent.Agent) error {
 	return nil
 }
 
-// recordVerdict appends the verdict to the agent's travelling record
-// and notifies the local sink.
-func (n *Node) recordVerdict(ag *agent.Agent, v Verdict) {
+// recordVerdict stamps the verdict (AgentID, Checker, signature),
+// appends it to the agent's travelling record, notifies the local
+// sink, and returns the stamped copy — the one every downstream
+// consumer (policy, owner notices) must see.
+func (n *Node) recordVerdict(ag *agent.Agent, v Verdict) Verdict {
+	if v.AgentID == "" {
+		v.AgentID = ag.ID
+	}
+	// Sign before anything reads it: the travelling copy must carry a
+	// verifiable voucher (Checker == this host) or later hosts will
+	// refuse to trust it.
+	v.Checker = n.cfg.Host.Name()
+	v.Sign(n.cfg.Host.Keys())
 	if n.cfg.OnVerdict != nil {
 		n.cfg.OnVerdict(v)
 	}
@@ -518,10 +583,10 @@ func (n *Node) recordVerdict(ag *agent.Agent, v Verdict) {
 	}
 	vs = append(vs, v)
 	enc, err := encodeVerdicts(vs)
-	if err != nil {
-		return // encoding canonical Go structs cannot realistically fail
+	if err == nil {
+		ag.SetBaggage(verdictBaggageKey, enc)
 	}
-	ag.SetBaggage(verdictBaggageKey, enc)
+	return v
 }
 
 // AgentVerdicts extracts the verdicts accumulated in an agent's
@@ -535,10 +600,40 @@ func AgentVerdicts(ag *agent.Agent) []Verdict {
 	return vs
 }
 
+// decide routes one verdict through the node's policy and applies the
+// flag/notify parts of the decision; the caller applies Quarantine
+// (it owes the pipeline a detection error).
+func (n *Node) decide(agentID string, v Verdict) Decision {
+	dec := n.policy().Decide(agentID, v)
+	if dec.Flag {
+		n.journal.Upsert(agentID, func(e *journalEntry, ok bool) *journalEntry {
+			if !ok {
+				e = &journalEntry{rc: newReceipt(agentID), st: AgentStatus{Phase: PhaseUnknown}}
+			}
+			e.flags++
+			return e
+		})
+	}
+	if dec.NotifyOwner && n.cfg.OnOwnerNotice != nil {
+		n.cfg.OnOwnerNotice(agentID, v, dec.Reason)
+	}
+	return dec
+}
+
+// policy resolves the node's verdict policy, falling back to the
+// built-ins that reproduce the pre-policy boolean behaviour.
+func (n *Node) policy() VerdictPolicy {
+	if n.cfg.Policy != nil {
+		return n.cfg.Policy
+	}
+	if n.cfg.ContinueOnDetection {
+		return permissivePolicy{}
+	}
+	return strictPolicy{}
+}
+
 func (n *Node) quarantineAgent(ag *agent.Agent) {
-	n.mu.Lock()
-	n.quarantine[ag.ID] = ag
-	n.mu.Unlock()
+	n.quarantine.Put(ag.ID, ag)
 	n.setPhase(ag.ID, AgentStatus{Phase: PhaseQuarantined})
 	n.complete(ag, true)
 }
@@ -556,16 +651,17 @@ func (n *Node) complete(ag *agent.Agent, aborted bool) {
 }
 
 func (n *Node) resolve(agentID string, res Result) {
-	n.mu.Lock()
-	rc := n.receiptLocked(agentID)
-	n.mu.Unlock()
-	rc.resolve(res)
+	n.entryFor(agentID).rc.resolve(res)
 }
 
 func (n *Node) setPhase(agentID string, st AgentStatus) {
-	n.mu.Lock()
-	n.phases[agentID] = st
-	n.mu.Unlock()
+	n.journal.Upsert(agentID, func(e *journalEntry, ok bool) *journalEntry {
+		if !ok {
+			e = &journalEntry{rc: newReceipt(agentID)}
+		}
+		e.st = st
+		return e
+	})
 }
 
 // Processing phases reported by the node/status built-in call.
@@ -589,6 +685,9 @@ type AgentStatus struct {
 	NextHost string
 	// Err carries the failure when Phase is "failed".
 	Err string
+	// Flags counts detections the node's policy let the agent continue
+	// past (continue-flagged decisions) at this node.
+	Flags int
 }
 
 // Terminal reports whether the status is a journey-ending phase at
@@ -604,12 +703,14 @@ func (s AgentStatus) Terminal() bool {
 // Status returns the latest processing phase of the agent at this
 // node (PhaseUnknown if it never arrived).
 func (n *Node) Status(agentID string) AgentStatus {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	st, ok := n.phases[agentID]
-	if !ok {
-		return AgentStatus{Phase: PhaseUnknown}
-	}
+	st := AgentStatus{Phase: PhaseUnknown}
+	n.journal.View(agentID, func(e *journalEntry, ok bool) {
+		if !ok {
+			return
+		}
+		st = e.st
+		st.Flags = e.flags
+	})
 	return st
 }
 
@@ -629,6 +730,65 @@ func DecodeStatusReply(body []byte) (AgentStatus, error) {
 	return st, nil
 }
 
+// ReputationCallBody builds the body for a node/reputation call.
+func ReputationCallBody(host string) []byte { return []byte(host) }
+
+// ReputationReply is the answer to a node/reputation call: this node's
+// local view of one host's standing. Reputation is per-node knowledge
+// (each node fuses its own verdicts plus the gossip it verified), so
+// different nodes legitimately answer differently.
+type ReputationReply struct {
+	// Policy names the node's verdict policy.
+	Policy string
+	// Tracked is false when the policy keeps no reputation ledger (the
+	// strict/permissive built-ins).
+	Tracked bool
+	// Known reports whether the ledger has observations for the host;
+	// Rep is meaningful only when Known.
+	Known bool
+	Rep   HostReputation
+}
+
+// DecodeReputationReply decodes a node/reputation response.
+func DecodeReputationReply(body []byte) (ReputationReply, error) {
+	var r ReputationReply
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&r); err != nil {
+		return ReputationReply{}, fmt.Errorf("core: decoding reputation reply: %w", err)
+	}
+	return r, nil
+}
+
+// QuarantineCallBody builds the body for a node/quarantine call.
+func QuarantineCallBody(agentID string) []byte { return []byte(agentID) }
+
+// QuarantineReply is the answer to a node/quarantine call: whether the
+// agent is held in quarantine at this node, and the evidence it
+// carries.
+type QuarantineReply struct {
+	// Held reports that the agent's retained copy is in quarantine
+	// here; Evicted that it was quarantined here but the copy has been
+	// evicted under capacity pressure (the detection itself remains on
+	// record in Status).
+	Held    bool
+	Evicted bool
+	// Status is the agent's journal status at this node.
+	Status AgentStatus
+	// Owner, Hops, and Verdicts describe the retained agent; set only
+	// when Held.
+	Owner    string
+	Hops     int
+	Verdicts []Verdict
+}
+
+// DecodeQuarantineReply decodes a node/quarantine response.
+func DecodeQuarantineReply(body []byte) (QuarantineReply, error) {
+	var r QuarantineReply
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&r); err != nil {
+		return QuarantineReply{}, fmt.Errorf("core: decoding quarantine reply: %w", err)
+	}
+	return r, nil
+}
+
 // HandleCall implements transport.Endpoint: methods are namespaced
 // "mechanism/method" and dispatched to the mechanism's CallHandler.
 // The "node" namespace is reserved for built-ins: "node/status" takes
@@ -642,12 +802,27 @@ func (n *Node) HandleCall(ctx context.Context, method string, body []byte) ([]by
 	if name == NodeCallNamespace {
 		switch rest {
 		case "status":
-			st := n.Status(string(body))
-			var buf bytes.Buffer
-			if err := gob.NewEncoder(&buf).Encode(st); err != nil {
-				return nil, fmt.Errorf("core: encoding status: %w", err)
+			return gobReply("status", n.Status(string(body)))
+		case "reputation":
+			reply := ReputationReply{Policy: n.policy().Name()}
+			if rr, ok := n.policy().(ReputationReporter); ok {
+				reply.Tracked = true
+				reply.Rep, reply.Known = rr.HostReputation(string(body))
 			}
-			return buf.Bytes(), nil
+			return gobReply("reputation", reply)
+		case "quarantine":
+			id := string(body)
+			reply := QuarantineReply{Status: n.Status(id)}
+			switch ag, err := n.Quarantined(id); {
+			case err == nil:
+				reply.Held = true
+				reply.Owner = ag.Owner
+				reply.Hops = ag.Hop
+				reply.Verdicts = AgentVerdicts(ag)
+			case errors.Is(err, ErrQuarantineEvicted):
+				reply.Evicted = true
+			}
+			return gobReply("quarantine", reply)
 		default:
 			return nil, fmt.Errorf("%w: node/%s", transport.ErrUnknownMethod, rest)
 		}
@@ -663,6 +838,15 @@ func (n *Node) HandleCall(ctx context.Context, method string, body []byte) ([]by
 		return h.HandleCall(ctx, n.hc, rest, body)
 	}
 	return nil, fmt.Errorf("%w: no mechanism %q", transport.ErrUnknownMethod, name)
+}
+
+// gobReply encodes a built-in call response.
+func gobReply(method string, v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("core: encoding %s reply: %w", method, err)
+	}
+	return buf.Bytes(), nil
 }
 
 // BaseMechanism provides no-op lifecycle methods; mechanisms embed it

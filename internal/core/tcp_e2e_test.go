@@ -155,8 +155,8 @@ proc fin() {
 		if !res.Aborted {
 			t.Error("terminal result not marked aborted")
 		}
-		if _, ok := nodes["back"].Quarantined("tcp-agent"); !ok {
-			t.Error("agent not quarantined at the detecting node")
+		if _, err := nodes["back"].Quarantined("tcp-agent"); err != nil {
+			t.Errorf("agent not quarantined at the detecting node: %v", err)
 		}
 		if st := nodes["back"].Status("tcp-agent"); st.Phase != core.PhaseQuarantined {
 			t.Errorf("status at detecting node = %+v, want phase %q", st, core.PhaseQuarantined)

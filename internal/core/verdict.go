@@ -2,9 +2,13 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"strings"
+
+	"repro/internal/canon"
+	"repro/internal/sigcrypto"
 )
 
 // Moment identifies when a check runs (paper §3.5, "moment of
@@ -34,6 +38,9 @@ func (m Moment) String() string {
 
 // Verdict is the outcome of one check.
 type Verdict struct {
+	// AgentID is the agent the verdict was produced for. Mechanisms may
+	// leave it empty; the node stamps it when recording the verdict.
+	AgentID string
 	// Mechanism names the mechanism that produced the verdict.
 	Mechanism string
 	// Moment is when the check ran.
@@ -55,6 +62,55 @@ type Verdict struct {
 	// mechanism "is able to present the complete state of an attacked
 	// agent", §5.1).
 	Evidence []string
+	// Sig is the recording node's signature over the verdict binding;
+	// stamped by the node alongside AgentID. Verdicts travel in plain
+	// agent baggage, so any decision that *trusts* a travelling verdict
+	// (e.g. appraisal's repeat-damage attribution) must verify it and
+	// treat the named Checker as the voucher.
+	Sig sigcrypto.Signature
+}
+
+// bindingDigest is what Sig covers: every semantic field of the
+// verdict, bound to the agent it was produced for.
+func (v *Verdict) bindingDigest() canon.Digest {
+	var hop [8]byte
+	binary.BigEndian.PutUint64(hop[:], uint64(v.CheckedHop))
+	okByte := byte(0)
+	if v.OK {
+		okByte = 1
+	}
+	fields := [][]byte{
+		[]byte("core-verdict"),
+		[]byte(v.AgentID),
+		[]byte(v.Mechanism),
+		{byte(v.Moment)},
+		[]byte(v.CheckedHost),
+		hop[:],
+		[]byte(v.Checker),
+		{okByte},
+		[]byte(v.Suspect),
+		[]byte(v.Reason),
+	}
+	for _, e := range v.Evidence {
+		fields = append(fields, []byte(e))
+	}
+	return canon.HashTuple(fields...)
+}
+
+// Sign stamps the verdict with the recording node's signature. The
+// node calls this when recording; AgentID must be set first.
+func (v *Verdict) Sign(keys *sigcrypto.KeyPair) {
+	v.Sig = keys.SignDigest(v.bindingDigest())
+}
+
+// VerifySig checks the verdict's signature and that it was produced by
+// the verdict's named Checker. A travelling verdict that fails this
+// check proves nothing — any host on the route could have written it.
+func (v *Verdict) VerifySig(reg *sigcrypto.Registry) error {
+	if v.Sig.Signer != v.Checker {
+		return fmt.Errorf("core: verdict signed by %q, not by checker %q", v.Sig.Signer, v.Checker)
+	}
+	return reg.VerifyDigest(v.bindingDigest(), v.Sig)
 }
 
 // String renders the verdict for logs.

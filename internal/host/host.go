@@ -20,6 +20,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/agentlang"
 	"repro/internal/canon"
+	"repro/internal/shardstore"
 	"repro/internal/sigcrypto"
 	"repro/internal/trace"
 	"repro/internal/value"
@@ -91,17 +92,22 @@ type Config struct {
 	Behavior Behavior
 }
 
-// Host is one agent platform node.
+// Host is one agent platform node. Per-agent journals (mailboxes and
+// the action ledger) live in sharded stores so concurrent sessions of
+// distinct agents never serialize on one mutex; mu guards only the
+// host-global clock and rand state.
 type Host struct {
 	cfg    Config
 	traces *trace.Store
+	// mailbox queues undelivered messages per agent (recv()); each
+	// queue is bounded by Config.MailboxLimit.
+	mailbox *shardstore.Store[[]value.Value]
+	// actions records output actions performed on this host, per agent.
+	actions *shardstore.Store[[]ActionRecord]
 
-	mu      sync.Mutex
-	mailbox map[string][]value.Value
-	clockN  int64
-	randSt  uint64
-	// ledger records output actions performed on this host, per agent.
-	ledger map[string][]ActionRecord
+	mu     sync.Mutex
+	clockN int64
+	randSt uint64
 }
 
 // ActionRecord is one output action performed by an agent on this host.
@@ -146,9 +152,9 @@ func New(cfg Config) (*Host, error) {
 	return &Host{
 		cfg:     cfg,
 		traces:  trace.NewStore(),
-		mailbox: make(map[string][]value.Value),
+		mailbox: shardstore.New[[]value.Value](shardstore.Config[[]value.Value]{}),
+		actions: shardstore.New[[]ActionRecord](shardstore.Config[[]ActionRecord]{}),
 		randSt:  seed,
-		ledger:  make(map[string][]ActionRecord),
 	}, nil
 }
 
@@ -176,21 +182,28 @@ func (h *Host) Deliver(agentID string, msg value.Value) error {
 	if limit <= 0 {
 		limit = DefaultMailboxLimit
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.mailbox[agentID]) >= limit {
+	full := false
+	h.mailbox.Upsert(agentID, func(q []value.Value, _ bool) []value.Value {
+		if len(q) >= limit {
+			full = true
+			return q
+		}
+		return append(q, msg.Clone())
+	})
+	if full {
 		return fmt.Errorf("%w: host %s, agent %s at %d messages", ErrMailboxFull, h.cfg.Name, agentID, limit)
 	}
-	h.mailbox[agentID] = append(h.mailbox[agentID], msg.Clone())
 	return nil
 }
 
 // Actions returns the output actions the given agent performed on this
 // host, in order.
 func (h *Host) Actions(agentID string) []ActionRecord {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return append([]ActionRecord(nil), h.ledger[agentID]...)
+	var out []ActionRecord
+	h.actions.View(agentID, func(recs []ActionRecord, _ bool) {
+		out = append(out, recs...)
+	})
+	return out
 }
 
 // SessionRecord captures everything about one execution session that
@@ -352,9 +365,7 @@ func (h *Host) RunSession(ctx context.Context, ag *agent.Agent, opts SessionOpti
 		rec.Trace = tracer.Take()
 		h.traces.Put(ag.ID, ag.Hop, rec.Trace)
 	}
-	h.mu.Lock()
-	rec.Outputs = append([]ActionRecord(nil), h.ledger[ag.ID]...)
-	h.mu.Unlock()
+	rec.Outputs = h.Actions(ag.ID)
 
 	// Advance the agent's execution state.
 	ag.Route = append(ag.Route, h.cfg.Name)
@@ -409,14 +420,19 @@ func (e *hostEnv) Input(call string, args []value.Value) (value.Value, error) {
 		}
 		return value.Null(), fmt.Errorf("host %s has no resource %q", h.cfg.Name, key.Str)
 	case "recv":
-		h.mu.Lock()
-		defer h.mu.Unlock()
-		q := h.mailbox[e.agentID]
-		if len(q) == 0 {
-			return value.Null(), nil // empty mailbox reads as null
+		msg := value.Null() // empty mailbox reads as null
+		// Probe before popping: Upsert inserts on miss, and a read of
+		// an agent that was never messaged must not grow the store.
+		if q, ok := h.mailbox.Get(e.agentID); !ok || len(q) == 0 {
+			return msg, nil
 		}
-		msg := q[0]
-		h.mailbox[e.agentID] = q[1:]
+		h.mailbox.Upsert(e.agentID, func(q []value.Value, _ bool) []value.Value {
+			if len(q) == 0 {
+				return q
+			}
+			msg = q[0]
+			return q[1:]
+		})
 		return msg, nil
 	case "time":
 		if h.cfg.Clock != nil {
@@ -452,9 +468,9 @@ func (e *hostEnv) Output(action string, args []value.Value) error {
 	for i, a := range args {
 		cloned[i] = a.Clone()
 	}
-	h.mu.Lock()
-	h.ledger[e.agentID] = append(h.ledger[e.agentID], ActionRecord{Action: action, Args: cloned})
-	h.mu.Unlock()
+	h.actions.Upsert(e.agentID, func(recs []ActionRecord, _ bool) []ActionRecord {
+		return append(recs, ActionRecord{Action: action, Args: cloned})
+	})
 	if h.cfg.Sink != nil {
 		return h.cfg.Sink(e.agentID, action, args)
 	}

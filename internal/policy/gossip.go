@@ -1,0 +1,211 @@
+package policy
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/canon"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/shardstore"
+	"repro/internal/sigcrypto"
+)
+
+// GossipMechanismName is the baggage key and mechanism name of the
+// reputation-gossip mechanism.
+const GossipMechanismName = "reputation"
+
+// Limits keeping gossip baggage bounded: a malicious host can pad its
+// own entries but cannot grow the agent without the next honest host
+// trimming the excess.
+const (
+	// maxGossipEntries bounds the entries carried in baggage.
+	maxGossipEntries = 64
+	// gossipShareLimit is how many of its own ledger extracts a host
+	// shares per departure (the most suspect hosts first).
+	gossipShareLimit = 16
+	// minGossipSuspicion is the floor below which an extract is not
+	// worth sharing.
+	minGossipSuspicion = 0.1
+)
+
+// GossipEntry is one signed reputation observation: Observer vouches
+// that Host had the given suspicion at time At.
+type GossipEntry struct {
+	Observer  string
+	Host      string
+	Suspicion float64
+	// AtUnixNano is the observation time; receivers decay from it.
+	AtUnixNano int64
+	Sig        sigcrypto.Signature
+}
+
+// bindingDigest is what the entry signature covers.
+func (e *GossipEntry) bindingDigest() canon.Digest {
+	var bits [8]byte
+	u := math.Float64bits(e.Suspicion)
+	for i := 0; i < 8; i++ {
+		bits[i] = byte(u >> (56 - 8*i))
+	}
+	var at [8]byte
+	v := uint64(e.AtUnixNano)
+	for i := 0; i < 8; i++ {
+		at[i] = byte(v >> (56 - 8*i))
+	}
+	return canon.HashTuple(
+		[]byte("policy-gossip"),
+		[]byte(e.Observer),
+		[]byte(e.Host),
+		bits[:],
+		at[:],
+	)
+}
+
+// Gossip is a core.Mechanism that propagates ledger extracts in agent
+// baggage: on departure the host signs its most-suspect ledger entries
+// into the agent; on arrival it verifies and merges the entries other
+// hosts attached. One node's detection thereby raises suspicion on
+// every host the agent subsequently visits, without a separate protocol
+// round — detection fused into a cross-event picture instead of dying
+// as a point event.
+//
+// Gossip produces no verdicts: malformed or unverifiable entries are
+// dropped silently (they are advisory second-hand evidence, and
+// punishing the carrier would blame the wrong principal). Dropping is
+// also what keeps the baggage honest: only entries that verified on
+// arrival are re-carried on departure, so forged junk cannot crowd
+// genuine extracts out of the maxGossipEntries cap — it dies at the
+// first honest host.
+type Gossip struct {
+	core.BaseMechanism
+	ledger *Ledger
+	now    func() time.Time
+	// verified holds, per agent currently on this host, the gossip
+	// entries that passed arrival verification — the only ones
+	// departure re-carries. Bounded: an agent that never departs
+	// (quarantined) ages out FIFO.
+	verified *shardstore.Store[[]GossipEntry]
+}
+
+var _ core.Mechanism = (*Gossip)(nil)
+
+// NewGossip builds the mechanism over the node's shared ledger.
+func NewGossip(ledger *Ledger) *Gossip {
+	if ledger == nil {
+		ledger = NewLedger(LedgerConfig{})
+	}
+	return &Gossip{
+		ledger:   ledger,
+		now:      time.Now,
+		verified: shardstore.New[[]GossipEntry](shardstore.Config[[]GossipEntry]{Capacity: DefaultLedgerCapacity}),
+	}
+}
+
+// Name implements core.Mechanism.
+func (m *Gossip) Name() string { return GossipMechanismName }
+
+// decodeEntries parses gossip baggage; a decode error reads as empty
+// (the carrier may have been tampered with — wholesig, layered outside
+// this mechanism, is what detects that).
+func decodeEntries(data []byte) []GossipEntry {
+	if len(data) == 0 {
+		return nil
+	}
+	var entries []GossipEntry
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&entries); err != nil {
+		return nil
+	}
+	return entries
+}
+
+// CheckAfterSession merges verified gossip entries into the local
+// ledger and records them for re-carry on departure. Self-reports (an
+// observer vouching about itself), entries from unknown observers, and
+// non-finite suspicion values are dropped.
+func (m *Gossip) CheckAfterSession(_ context.Context, hc *core.HostContext, ag *agent.Agent) (*core.Verdict, error) {
+	data, ok := ag.GetBaggage(GossipMechanismName)
+	if !ok {
+		return nil, nil
+	}
+	reg := hc.Host.Registry()
+	self := hc.Host.Name()
+	var keep []GossipEntry
+	for _, e := range decodeEntries(data) {
+		if e.Observer == e.Host || e.Observer == self {
+			continue
+		}
+		if e.Suspicion <= 0 || math.IsNaN(e.Suspicion) || math.IsInf(e.Suspicion, 0) {
+			continue
+		}
+		if e.Sig.Signer != e.Observer {
+			continue
+		}
+		if err := reg.VerifyDigest(e.bindingDigest(), e.Sig); err != nil {
+			continue
+		}
+		m.ledger.Merge(e.Host, e.Suspicion, time.Unix(0, e.AtUnixNano))
+		keep = append(keep, e)
+	}
+	m.verified.Put(ag.ID, keep)
+	return nil, nil
+}
+
+// PrepareDeparture refreshes the agent's gossip baggage: this host's
+// own most-suspect ledger extracts (signed) joined with the travelling
+// entries that verified on arrival, newest per (observer, host),
+// capped at maxGossipEntries by descending suspicion.
+func (m *Gossip) PrepareDeparture(_ context.Context, hc *core.HostContext, ag *agent.Agent, _ *host.SessionRecord) error {
+	keep := make(map[string]GossipEntry)
+	arrived, _ := m.verified.Get(ag.ID)
+	m.verified.Delete(ag.ID)
+	for _, e := range arrived {
+		k := e.Observer + "\x00" + e.Host
+		if prev, dup := keep[k]; !dup || e.AtUnixNano > prev.AtUnixNano {
+			keep[k] = e
+		}
+	}
+	self := hc.Host.Name()
+	now := m.now().UnixNano()
+	for _, rep := range m.ledger.Snapshot(gossipShareLimit) {
+		if rep.Suspicion < minGossipSuspicion || rep.Host == self {
+			continue
+		}
+		e := GossipEntry{Observer: self, Host: rep.Host, Suspicion: rep.Suspicion, AtUnixNano: now}
+		e.Sig = hc.Host.Keys().SignDigest(e.bindingDigest())
+		keep[e.Observer+"\x00"+e.Host] = e
+	}
+	if len(keep) == 0 {
+		// Nothing worth carrying: strip any baggage that failed
+		// verification rather than ferrying it onward.
+		ag.ClearBaggage(GossipMechanismName)
+		return nil
+	}
+	entries := make([]GossipEntry, 0, len(keep))
+	for _, e := range keep {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Suspicion != entries[j].Suspicion {
+			return entries[i].Suspicion > entries[j].Suspicion
+		}
+		if entries[i].Host != entries[j].Host {
+			return entries[i].Host < entries[j].Host
+		}
+		return entries[i].Observer < entries[j].Observer
+	})
+	if len(entries) > maxGossipEntries {
+		entries = entries[:maxGossipEntries]
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+		return fmt.Errorf("policy: encoding gossip: %w", err)
+	}
+	ag.SetBaggage(GossipMechanismName, buf.Bytes())
+	return nil
+}

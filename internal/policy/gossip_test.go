@@ -1,0 +1,171 @@
+package policy
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/sigcrypto"
+)
+
+// gossipBed builds named hosts sharing one registry, each with its own
+// ledger and gossip mechanism.
+type gossipBed struct {
+	reg   *sigcrypto.Registry
+	hosts map[string]*core.HostContext
+	mechs map[string]*Gossip
+	leds  map[string]*Ledger
+}
+
+func newGossipBed(t *testing.T, names ...string) *gossipBed {
+	t.Helper()
+	bed := &gossipBed{
+		reg:   sigcrypto.NewRegistry(),
+		hosts: make(map[string]*core.HostContext),
+		mechs: make(map[string]*Gossip),
+		leds:  make(map[string]*Ledger),
+	}
+	for _, name := range names {
+		keys, err := sigcrypto.GenerateKeyPair(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := host.New(host.Config{Name: name, Keys: keys, Registry: bed.reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		led := NewLedger(LedgerConfig{HalfLife: time.Hour})
+		bed.hosts[name] = &core.HostContext{Host: h}
+		bed.mechs[name] = NewGossip(led)
+		bed.leds[name] = led
+	}
+	return bed
+}
+
+func mkGossipAgent(t *testing.T) *agent.Agent {
+	t.Helper()
+	ag, err := agent.New("gossip-agent", "owner", `proc main() { done() }`, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ag
+}
+
+func setEntries(t *testing.T, ag *agent.Agent, entries []GossipEntry) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+		t.Fatal(err)
+	}
+	ag.SetBaggage(GossipMechanismName, buf.Bytes())
+}
+
+// TestGossipRoundTrip: a detection at A travels to B in agent baggage
+// and lands, damped, in B's ledger.
+func TestGossipRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	bed := newGossipBed(t, "a", "b")
+	bed.leds["a"].Observe("mallory", false, 0)
+
+	ag := mkGossipAgent(t)
+	if err := bed.mechs["a"].PrepareDeparture(ctx, bed.hosts["a"], ag, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bed.mechs["b"].CheckAfterSession(ctx, bed.hosts["b"], ag); err != nil {
+		t.Fatal(err)
+	}
+	got := bed.leds["b"].Suspicion("mallory")
+	if math.Abs(got-0.9) > 1e-6 { // 1.0 damped by 0.9, no decay (fresh)
+		t.Fatalf("gossiped suspicion at b = %v, want ~0.9", got)
+	}
+}
+
+// TestGossipForgedFloodDoesNotCrowdOutHonestExtracts pins the re-carry
+// rule: entries that fail arrival verification are dropped from the
+// baggage an honest host sends onward, so a malicious host cannot pad
+// the maxGossipEntries cap with junk and suppress real gossip.
+func TestGossipForgedFloodDoesNotCrowdOutHonestExtracts(t *testing.T) {
+	ctx := context.Background()
+	bed := newGossipBed(t, "honest", "next")
+	bed.leds["honest"].Observe("mallory", false, 0)
+
+	// A full cap of forged max-suspicion entries from an unregistered
+	// observer, plus garbage signatures.
+	forged := make([]GossipEntry, maxGossipEntries)
+	for i := range forged {
+		forged[i] = GossipEntry{
+			Observer:   "forger",
+			Host:       "victim",
+			Suspicion:  math.MaxFloat64,
+			AtUnixNano: time.Now().UnixNano(),
+			Sig:        sigcrypto.Signature{Signer: "forger", Sig: []byte("junk")},
+		}
+	}
+	ag := mkGossipAgent(t)
+	setEntries(t, ag, forged)
+
+	if _, err := bed.mechs["honest"].CheckAfterSession(ctx, bed.hosts["honest"], ag); err != nil {
+		t.Fatal(err)
+	}
+	if got := bed.leds["honest"].Suspicion("victim"); got != 0 {
+		t.Fatalf("forged entries merged: victim suspicion %v", got)
+	}
+	if err := bed.mechs["honest"].PrepareDeparture(ctx, bed.hosts["honest"], ag, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := ag.GetBaggage(GossipMechanismName)
+	if !ok {
+		t.Fatal("honest host attached no gossip")
+	}
+	out := decodeEntries(data)
+	if len(out) != 1 || out[0].Observer != "honest" || out[0].Host != "mallory" {
+		t.Fatalf("departure baggage = %+v, want only honest's own extract about mallory", out)
+	}
+	// And a pure-junk carrier is stripped entirely.
+	ag2 := mkGossipAgent(t)
+	setEntries(t, ag2, forged)
+	bed2 := newGossipBed(t, "clean")
+	if _, err := bed2.mechs["clean"].CheckAfterSession(ctx, bed2.hosts["clean"], ag2); err != nil {
+		t.Fatal(err)
+	}
+	if err := bed2.mechs["clean"].PrepareDeparture(ctx, bed2.hosts["clean"], ag2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, still := ag2.GetBaggage(GossipMechanismName); still {
+		t.Error("unverifiable gossip baggage not stripped by a host with nothing to share")
+	}
+}
+
+// TestGossipDefamationCapped pins the merge cap: even a validly signed
+// astronomical claim cannot push a victim's suspicion beyond the merge
+// ceiling.
+func TestGossipDefamationCapped(t *testing.T) {
+	ctx := context.Background()
+	bed := newGossipBed(t, "defamer", "receiver")
+
+	e := GossipEntry{
+		Observer:  "defamer",
+		Host:      "victim",
+		Suspicion: 1e12,
+		// Future-dated, trying to dodge decay.
+		AtUnixNano: time.Now().Add(time.Hour).UnixNano(),
+	}
+	e.Sig = bed.hosts["defamer"].Host.Keys().SignDigest(e.bindingDigest())
+	ag := mkGossipAgent(t)
+	setEntries(t, ag, []GossipEntry{e})
+
+	if _, err := bed.mechs["receiver"].CheckAfterSession(ctx, bed.hosts["receiver"], ag); err != nil {
+		t.Fatal(err)
+	}
+	got := bed.leds["receiver"].Suspicion("victim")
+	want := maxMergeSuspicion * 0.9
+	if got <= 0 || got > want+1e-9 {
+		t.Fatalf("defamed suspicion = %v, want in (0, %v]", got, want)
+	}
+}

@@ -1,0 +1,227 @@
+// Package policy implements the verdict-policy and host-reputation
+// layer: the paper treats a failed reference-state check as the start
+// of a response — suspicion accumulates against a host and drives
+// escalating consequences (audit, quarantine, owner notification) —
+// so this package fuses point detections into a continuous per-host
+// picture and decides what each one costs the offender.
+//
+// The pieces:
+//
+//   - Ledger: a sharded, decay-weighted suspicion ledger per host.
+//   - Reputation: a core.VerdictPolicy that feeds the ledger and maps
+//     accumulated suspicion to quarantine / continue-flagged / notify.
+//   - Gossip: a core.Mechanism that carries signed ledger extracts in
+//     agent baggage, so one node's detection raises suspicion
+//     deployment-wide without a separate protocol round.
+//   - Gate: the adaptive-checking decision ("is this host's reputation
+//     good enough to skip the expensive check?") consumed by
+//     protection.LevelAdaptive via refproto's re-execution gate.
+package policy
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shardstore"
+)
+
+// Defaults for the ledger.
+const (
+	// DefaultHalfLife is the suspicion decay half-life: a failed check
+	// stops mattering once enough clean time has passed.
+	DefaultHalfLife = 5 * time.Minute
+	// DefaultLedgerCapacity bounds tracked hosts; a flood of unknown
+	// principal names cannot grow the ledger without bound.
+	DefaultLedgerCapacity = 4096
+	// DefaultFailureWeight is the suspicion added per failed check.
+	DefaultFailureWeight = 1.0
+	// gossipDamping scales suspicion adopted from gossip below the
+	// observer's own value: second-hand evidence counts, but less, and
+	// the damping makes circulating gossip a contraction instead of an
+	// echo chamber.
+	gossipDamping = 0.9
+	// maxMergeSuspicion caps what a single gossiped claim can inject:
+	// second-hand evidence can put a host under full scrutiny (well
+	// above any escalation/quarantine threshold) but cannot defame it
+	// to an astronomically high value that outlives decay for hours —
+	// capped, a maximal claim decays below the default quarantine
+	// threshold within two half-lives.
+	maxMergeSuspicion = 8.0
+)
+
+// LedgerConfig parameterizes a Ledger.
+type LedgerConfig struct {
+	// HalfLife is the suspicion decay half-life; 0 means
+	// DefaultHalfLife, negative disables decay.
+	HalfLife time.Duration
+	// Capacity bounds tracked hosts; 0 means DefaultLedgerCapacity.
+	Capacity int
+	// FailureWeight is the suspicion added per failed check; 0 means
+	// DefaultFailureWeight.
+	FailureWeight float64
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// hostRecord is one host's ledger entry. Suspicion is stored with its
+// timestamp and decayed on read, so idle hosts cost nothing.
+type hostRecord struct {
+	suspicion float64
+	updated   time.Time
+	events    int
+	failures  int
+}
+
+// Ledger is a sharded, decay-weighted per-host suspicion ledger. All
+// methods are safe for concurrent use; hosts are striped over
+// independently locked shards like every other hot-path store.
+type Ledger struct {
+	cfg   LedgerConfig
+	store *shardstore.Store[hostRecord]
+}
+
+// NewLedger builds a ledger.
+func NewLedger(cfg LedgerConfig) *Ledger {
+	if cfg.HalfLife == 0 {
+		cfg.HalfLife = DefaultHalfLife
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = DefaultLedgerCapacity
+	}
+	if cfg.FailureWeight == 0 {
+		cfg.FailureWeight = DefaultFailureWeight
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Ledger{
+		cfg:   cfg,
+		store: shardstore.New[hostRecord](shardstore.Config[hostRecord]{Capacity: cfg.Capacity}),
+	}
+}
+
+// decayed returns r's suspicion decayed from its timestamp to now.
+func (l *Ledger) decayed(r hostRecord, now time.Time) float64 {
+	if l.cfg.HalfLife < 0 || r.suspicion == 0 {
+		return r.suspicion
+	}
+	dt := now.Sub(r.updated)
+	if dt <= 0 {
+		return r.suspicion
+	}
+	return r.suspicion * math.Exp2(-float64(dt)/float64(l.cfg.HalfLife))
+}
+
+// Observe records one first-hand check outcome against host. Failed
+// checks add weight (LedgerConfig.FailureWeight when weight is 0); OK
+// checks count as events and let decay do the forgiving.
+func (l *Ledger) Observe(host string, ok bool, weight float64) float64 {
+	if host == "" {
+		return 0
+	}
+	if weight == 0 {
+		weight = l.cfg.FailureWeight
+	}
+	now := l.cfg.Now()
+	rec := l.store.Upsert(host, func(old hostRecord, existed bool) hostRecord {
+		s := l.decayed(old, now)
+		if !ok {
+			s += weight
+			old.failures++
+		}
+		old.suspicion = s
+		old.updated = now
+		old.events++
+		return old
+	})
+	return rec.suspicion
+}
+
+// Merge folds a second-hand (gossiped) suspicion value for host into
+// the ledger: the remote value is decayed from its observation time,
+// damped, and adopted only if it exceeds the local value. Max-merge is
+// idempotent, so replayed gossip is harmless, and damping makes
+// re-circulated gossip decay rather than amplify.
+func (l *Ledger) Merge(host string, suspicion float64, at time.Time) {
+	if host == "" || suspicion <= 0 || math.IsNaN(suspicion) || math.IsInf(suspicion, 0) {
+		return
+	}
+	now := l.cfg.Now()
+	// A future-dated observation gets no decay head start; it reads as
+	// "just now".
+	remote := math.Min(suspicion, maxMergeSuspicion)
+	if l.cfg.HalfLife > 0 {
+		if dt := now.Sub(at); dt > 0 {
+			remote *= math.Exp2(-float64(dt) / float64(l.cfg.HalfLife))
+		}
+	}
+	remote *= gossipDamping
+	if remote <= 0 {
+		return
+	}
+	l.store.Upsert(host, func(old hostRecord, existed bool) hostRecord {
+		local := l.decayed(old, now)
+		if remote > local {
+			old.suspicion = remote
+			old.updated = now
+		} else {
+			old.suspicion = local
+			old.updated = now
+		}
+		return old
+	})
+}
+
+// Suspicion returns host's current (decayed) suspicion; 0 for unknown
+// hosts.
+func (l *Ledger) Suspicion(host string) float64 {
+	rec, ok := l.store.Get(host)
+	if !ok {
+		return 0
+	}
+	return l.decayed(rec, l.cfg.Now())
+}
+
+// Report returns the core.HostReputation snapshot for host.
+func (l *Ledger) Report(host string) (core.HostReputation, bool) {
+	rec, ok := l.store.Get(host)
+	if !ok {
+		return core.HostReputation{}, false
+	}
+	return core.HostReputation{
+		Host:            host,
+		Suspicion:       l.decayed(rec, l.cfg.Now()),
+		Events:          rec.events,
+		Failures:        rec.failures,
+		UpdatedUnixNano: rec.updated.UnixNano(),
+	}, true
+}
+
+// Snapshot returns every tracked host's reputation, most suspect
+// first, capped at limit (0 means all).
+func (l *Ledger) Snapshot(limit int) []core.HostReputation {
+	now := l.cfg.Now()
+	var out []core.HostReputation
+	l.store.Range(func(host string, rec hostRecord) bool {
+		out = append(out, core.HostReputation{
+			Host:            host,
+			Suspicion:       l.decayed(rec, now),
+			Events:          rec.events,
+			Failures:        rec.failures,
+			UpdatedUnixNano: rec.updated.UnixNano(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Suspicion != out[j].Suspicion {
+			return out[i].Suspicion > out[j].Suspicion
+		}
+		return out[i].Host < out[j].Host
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

@@ -16,6 +16,12 @@
 //     audit; requires trace-recording hosts).
 //   - LevelFull: signatures + the example mechanism ("the higher end":
 //     every session checked by the next host via re-execution).
+//   - LevelAdaptive: signatures, reputation gossip, appraisal rules,
+//     and the example mechanism behind a reputation gate — cheap rules
+//     against hosts in good standing, escalating to full re-execution
+//     when the executing host's suspicion crosses the gate threshold
+//     (plus a baseline audit cadence). The paper's suspicion-driven
+//     checking as a first-class preset; see internal/policy.
 //
 // Levels are independent presets, not a strict subset chain; custom
 // combinations can always be assembled by hand from the mechanism
@@ -28,6 +34,7 @@ import (
 	"repro/internal/agentlang"
 	appraisalpkg "repro/internal/appraisal"
 	"repro/internal/core"
+	"repro/internal/policy"
 	"repro/internal/refproto"
 	"repro/internal/stopwatch"
 	"repro/internal/vigna"
@@ -44,6 +51,7 @@ const (
 	LevelRules
 	LevelTraces
 	LevelFull
+	LevelAdaptive
 )
 
 // String names the level.
@@ -59,6 +67,8 @@ func (l Level) String() string {
 		return "traces"
 	case LevelFull:
 		return "full"
+	case LevelAdaptive:
+		return "adaptive"
 	default:
 		return fmt.Sprintf("level(%d)", int(l))
 	}
@@ -66,12 +76,12 @@ func (l Level) String() string {
 
 // ParseLevel converts a string (as used by command-line flags).
 func ParseLevel(s string) (Level, error) {
-	for _, l := range []Level{LevelNone, LevelSigned, LevelRules, LevelTraces, LevelFull} {
+	for _, l := range []Level{LevelNone, LevelSigned, LevelRules, LevelTraces, LevelFull, LevelAdaptive} {
 		if l.String() == s {
 			return l, nil
 		}
 	}
-	return 0, fmt.Errorf("protection: unknown level %q (want none|signed|rules|traces|full)", s)
+	return 0, fmt.Errorf("protection: unknown level %q (want none|signed|rules|traces|full|adaptive)", s)
 }
 
 // Options carries per-level parameters.
@@ -85,28 +95,96 @@ type Options struct {
 	// ExecHook observes checking re-executions (benchmark phase
 	// timing); may be nil.
 	ExecHook agentlang.Hook
+	// AdaptivePolicy tunes LevelAdaptive's reputation policy (ledger,
+	// quarantine threshold); zero values select the policy package
+	// defaults. Other levels ignore it.
+	AdaptivePolicy policy.ReputationConfig
+	// AdaptiveGate tunes LevelAdaptive's escalation gate (suspicion
+	// threshold, baseline audit cadence); zero values select the policy
+	// package defaults. Other levels ignore it.
+	AdaptiveGate policy.GateConfig
+}
+
+// Stack is one node's protection assembly: the mechanism list plus the
+// verdict policy driving the node's response to each verdict. For
+// LevelAdaptive the reputation ledger and escalation gate behind the
+// policy are exposed for inspection (benchmarks, status calls).
+type Stack struct {
+	Mechanisms []core.Mechanism
+	// Policy is the node's verdict policy; nil selects the core
+	// built-ins (strict, or permissive with ContinueOnDetection).
+	Policy core.VerdictPolicy
+	// Ledger and Gate are non-nil only for LevelAdaptive.
+	Ledger *policy.Ledger
+	Gate   *policy.Gate
+}
+
+// Assemble builds a fresh per-node protection stack for the level.
+// Call once per node: mechanism instances (and the adaptive level's
+// ledger) hold per-node state. Cross-node suspicion still propagates —
+// as signed gossip in agent baggage, not shared memory.
+func Assemble(l Level, opts Options) (Stack, error) {
+	switch l {
+	case LevelNone:
+		return Stack{}, nil
+	case LevelSigned:
+		return Stack{Mechanisms: []core.Mechanism{wholesig.New(opts.Timer)}}, nil
+	case LevelRules:
+		return Stack{Mechanisms: []core.Mechanism{wholesig.New(opts.Timer), appraisalpkg.New()}}, nil
+	case LevelTraces:
+		return Stack{Mechanisms: []core.Mechanism{wholesig.New(opts.Timer), vigna.New()}}, nil
+	case LevelFull:
+		return Stack{Mechanisms: []core.Mechanism{
+			wholesig.New(opts.Timer),
+			refproto.New(refproto.Config{Compare: opts.Compare, Fuel: opts.Fuel, Timer: opts.Timer, ExecHook: opts.ExecHook}),
+		}}, nil
+	case LevelAdaptive:
+		// One ledger per node, shared by the policy (writes suspicion),
+		// the gossip mechanism (imports/exports it), and the gate
+		// (reads it to price the next check).
+		led := opts.AdaptivePolicy.Ledger
+		if led == nil {
+			led = opts.AdaptiveGate.Ledger
+		}
+		if led == nil {
+			led = policy.NewLedger(policy.LedgerConfig{})
+		}
+		pcfg := opts.AdaptivePolicy
+		pcfg.Ledger = led
+		gcfg := opts.AdaptiveGate
+		gcfg.Ledger = led
+		gate := policy.NewGate(gcfg)
+		// Onion order: wholesig outermost (its departure signature
+		// covers the gossip and protocol baggage), gossip next so
+		// imported suspicion is in the ledger before this arrival's own
+		// verdicts are priced, then the cheap rules, then the gated
+		// re-execution protocol.
+		mechs := []core.Mechanism{
+			wholesig.New(opts.Timer),
+			policy.NewGossip(led),
+			appraisalpkg.New(),
+			refproto.New(refproto.Config{
+				Compare: opts.Compare, Fuel: opts.Fuel, Timer: opts.Timer,
+				ExecHook: opts.ExecHook, ReExecGate: gate.ShouldReExecute,
+			}),
+		}
+		return Stack{Mechanisms: mechs, Policy: policy.NewReputation(pcfg), Ledger: led, Gate: gate}, nil
+	default:
+		return Stack{}, fmt.Errorf("protection: unknown level %d", int(l))
+	}
 }
 
 // Mechanisms builds a fresh per-node mechanism stack for the level.
-// Call once per node: mechanism instances hold per-node protocol state.
+// Call once per node. LevelAdaptive is refused here: its mechanism
+// list is inseparable from its verdict policy (the gate's ledger is
+// fed by the policy), and silently dropping the policy would deploy a
+// weaker stack than asked for — use Assemble.
 func Mechanisms(l Level, opts Options) ([]core.Mechanism, error) {
-	switch l {
-	case LevelNone:
-		return nil, nil
-	case LevelSigned:
-		return []core.Mechanism{wholesig.New(opts.Timer)}, nil
-	case LevelRules:
-		return []core.Mechanism{wholesig.New(opts.Timer), appraisalpkg.New()}, nil
-	case LevelTraces:
-		return []core.Mechanism{wholesig.New(opts.Timer), vigna.New()}, nil
-	case LevelFull:
-		return []core.Mechanism{
-			wholesig.New(opts.Timer),
-			refproto.New(refproto.Config{Compare: opts.Compare, Fuel: opts.Fuel, Timer: opts.Timer, ExecHook: opts.ExecHook}),
-		}, nil
-	default:
-		return nil, fmt.Errorf("protection: unknown level %d", int(l))
+	if l == LevelAdaptive {
+		return nil, fmt.Errorf("protection: %s carries a verdict policy; use Assemble and set NodeConfig.Policy", l)
 	}
+	st, err := Assemble(l, opts)
+	return st.Mechanisms, err
 }
 
 // NeedsTraceRecording reports whether hosts must record execution

@@ -3,11 +3,12 @@ package protection
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/stopwatch"
 )
 
 func TestParseLevelRoundTrip(t *testing.T) {
-	for _, l := range []Level{LevelNone, LevelSigned, LevelRules, LevelTraces, LevelFull} {
+	for _, l := range []Level{LevelNone, LevelSigned, LevelRules, LevelTraces, LevelFull, LevelAdaptive} {
 		got, err := ParseLevel(l.String())
 		if err != nil || got != l {
 			t.Errorf("ParseLevel(%q) = %v, %v", l.String(), got, err)
@@ -32,23 +33,29 @@ func TestMechanismStacks(t *testing.T) {
 		{LevelRules, []string{"wholesig", "appraisal"}},
 		{LevelTraces, []string{"wholesig", "vigna"}},
 		{LevelFull, []string{"wholesig", "refproto"}},
+		{LevelAdaptive, []string{"wholesig", "reputation", "appraisal", "refproto"}},
 	}
 	for _, tt := range tests {
-		mechs, err := Mechanisms(tt.level, Options{Timer: timer})
+		st, err := Assemble(tt.level, Options{Timer: timer})
 		if err != nil {
 			t.Fatalf("%s: %v", tt.level, err)
 		}
-		if len(mechs) != len(tt.names) {
-			t.Fatalf("%s: %d mechanisms, want %d", tt.level, len(mechs), len(tt.names))
+		if len(st.Mechanisms) != len(tt.names) {
+			t.Fatalf("%s: %d mechanisms, want %d", tt.level, len(st.Mechanisms), len(tt.names))
 		}
 		for i, want := range tt.names {
-			if mechs[i].Name() != want {
-				t.Errorf("%s[%d] = %s, want %s", tt.level, i, mechs[i].Name(), want)
+			if st.Mechanisms[i].Name() != want {
+				t.Errorf("%s[%d] = %s, want %s", tt.level, i, st.Mechanisms[i].Name(), want)
 			}
 		}
 	}
 	if _, err := Mechanisms(Level(99), Options{}); err == nil {
 		t.Error("unknown level built a stack")
+	}
+	// The legacy wrapper must refuse the one level whose stack is
+	// inseparable from its policy, not silently weaken it.
+	if _, err := Mechanisms(LevelAdaptive, Options{}); err == nil {
+		t.Error("Mechanisms(LevelAdaptive) should refuse; the policy would be dropped")
 	}
 }
 
@@ -74,5 +81,32 @@ func TestNeedsTraceRecording(t *testing.T) {
 	}
 	if NeedsTraceRecording(LevelFull) {
 		t.Error("full level should not require trace recording (input log suffices)")
+	}
+	if NeedsTraceRecording(LevelAdaptive) {
+		t.Error("adaptive level should not require trace recording (escalation re-executes from the input log)")
+	}
+}
+
+func TestAssembleAdaptive(t *testing.T) {
+	st, err := Assemble(LevelAdaptive, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Policy == nil || st.Ledger == nil || st.Gate == nil {
+		t.Fatalf("adaptive stack incomplete: %+v", st)
+	}
+	if st.Gate.Ledger() != st.Ledger {
+		t.Error("gate does not share the stack ledger")
+	}
+	// The policy writes the same ledger the gate reads: one failed
+	// check against a host escalates its next session.
+	v := core.Verdict{Mechanism: "test", Moment: core.AfterSession, CheckedHost: "shady", Suspect: "shady"}
+	st.Policy.Decide("ag", v)
+	if !st.Gate.ShouldReExecute("shady") {
+		t.Error("failed verdict did not escalate the suspect's next session")
+	}
+	// Non-adaptive levels carry no policy.
+	if st, err := Assemble(LevelFull, Options{}); err != nil || st.Policy != nil || st.Ledger != nil {
+		t.Errorf("full stack = %+v, %v; want mechanisms only", st, err)
 	}
 }

@@ -62,6 +62,15 @@ type Config struct {
 	// ExecHook observes checking re-executions (for benchmark phase
 	// timing); may be nil.
 	ExecHook agentlang.Hook
+	// ReExecGate, when non-nil, decides per checked session whether the
+	// expensive re-execution step runs (the adaptive protection level
+	// plugs the reputation gate in here — the paper's suspicion-driven
+	// checking). When it returns false, every cheap check still runs —
+	// commitment signatures, state digests, the dual-signed handoff —
+	// and the session is accepted on that evidence alone; only the
+	// input-replay re-execution is skipped. Nil re-executes every
+	// untrusted session (the paper's full protocol).
+	ReExecGate func(checkedHost string) bool
 	// Colluding makes this node's checker accept every session without
 	// examining it, while still participating in the protocol (handoff
 	// countersignatures, departure packages). It models the paper's
@@ -465,7 +474,15 @@ func (m *Mechanism) CheckAfterSession(ctx context.Context, hc *core.HostContext,
 	}
 
 	// 4. Re-execute the session against the packaged reference data —
-	// the expensive step; do not start it under a dead context.
+	// the expensive step. A configured gate may decide the executing
+	// host's standing does not warrant it this session; the commitment
+	// checks above have already run either way.
+	if m.cfg.ReExecGate != nil && !m.cfg.ReExecGate(prev) {
+		v.OK = true
+		v.Reason = "commitments verified; re-execution skipped by reputation gate"
+		return v, nil
+	}
+	// Do not start the re-execution under a dead context.
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("refproto: %w", err)
 	}

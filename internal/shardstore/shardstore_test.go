@@ -1,0 +1,331 @@
+package shardstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// refModel is the observational reference: a plain map behind one
+// mutex. The unbounded sharded store must be indistinguishable from it
+// under any Get/Put/Delete/Upsert/Len/Range history.
+type refModel struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func newRefModel() *refModel { return &refModel{m: make(map[string]int)} }
+
+func (r *refModel) get(k string) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.m[k]
+	return v, ok
+}
+func (r *refModel) put(k string, v int) { r.mu.Lock(); defer r.mu.Unlock(); r.m[k] = v }
+func (r *refModel) del(k string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.m[k]
+	delete(r.m, k)
+	return ok
+}
+func (r *refModel) length() int { r.mu.Lock(); defer r.mu.Unlock(); return len(r.m) }
+func (r *refModel) snapshot() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.m))
+	for k, v := range r.m {
+		out[k] = v
+	}
+	return out
+}
+
+// TestPropertyEquivalence drives the store and the reference model with
+// the same pseudo-random operation sequence and checks every
+// observation matches. Sequential: this pins the sequential semantics;
+// TestConcurrentStress covers linearizability under -race.
+func TestPropertyEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 2, 16} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(42 + shards)))
+			st := New[int](Config[int]{Shards: shards})
+			ref := newRefModel()
+			keys := make([]string, 40)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%02d", i)
+			}
+			for op := 0; op < 20000; op++ {
+				k := keys[rng.Intn(len(keys))]
+				switch rng.Intn(6) {
+				case 0, 1: // put
+					v := rng.Intn(1000)
+					st.Put(k, v)
+					ref.put(k, v)
+				case 2: // get
+					gv, gok := st.Get(k)
+					wv, wok := ref.get(k)
+					if gok != wok || gv != wv {
+						t.Fatalf("op %d: Get(%q) = (%d,%v), reference (%d,%v)", op, k, gv, gok, wv, wok)
+					}
+				case 3: // delete
+					if got, want := st.Delete(k), ref.del(k); got != want {
+						t.Fatalf("op %d: Delete(%q) = %v, reference %v", op, k, got, want)
+					}
+				case 4: // upsert (increment-or-init)
+					got := st.Upsert(k, func(old int, ok bool) int {
+						if !ok {
+							return 1
+						}
+						return old + 1
+					})
+					wv, wok := ref.get(k)
+					if !wok {
+						wv = 0
+					}
+					ref.put(k, wv+1)
+					if got != wv+1 {
+						t.Fatalf("op %d: Upsert(%q) = %d, reference %d", op, k, got, wv+1)
+					}
+				case 5: // len
+					if got, want := st.Len(), ref.length(); got != want {
+						t.Fatalf("op %d: Len = %d, reference %d", op, got, want)
+					}
+				}
+			}
+			// Final snapshots must agree exactly.
+			got := make(map[string]int)
+			st.Range(func(k string, v int) bool { got[k] = v; return true })
+			want := ref.snapshot()
+			if len(got) != len(want) {
+				t.Fatalf("final snapshot has %d entries, reference %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("final snapshot: %q = %d, reference %d", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+func TestGetOrCreate(t *testing.T) {
+	st := New[string](Config[string]{})
+	v, created := st.GetOrCreate("a", func() string { return "first" })
+	if !created || v != "first" {
+		t.Fatalf("GetOrCreate fresh = (%q, %v), want (first, true)", v, created)
+	}
+	v, created = st.GetOrCreate("a", func() string { return "second" })
+	if created || v != "first" {
+		t.Fatalf("GetOrCreate existing = (%q, %v), want (first, false)", v, created)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	var evicted []string
+	st := New[int](Config[int]{
+		Shards:   4,
+		Capacity: 8,
+		OnEvict: func(key string, v int, reason Reason) {
+			if reason != EvictCapacity {
+				t.Errorf("evicting %q: reason %v, want capacity", key, reason)
+			}
+			evicted = append(evicted, key)
+		},
+	})
+	for i := 0; i < 32; i++ {
+		st.Put(fmt.Sprintf("k%02d", i), i)
+	}
+	if got := st.Len(); got != 8 {
+		t.Fatalf("Len after overflow = %d, want capacity 8", got)
+	}
+	if len(evicted) != 24 {
+		t.Fatalf("%d evictions, want 24", len(evicted))
+	}
+	// FIFO is approximated per shard: the store must retain a suffix of
+	// the insertion order within every shard, i.e. the globally newest
+	// entries survive modulo striping skew. Strong global property that
+	// must still hold: none of the 8 oldest keys survive a 4x overflow.
+	for i := 0; i < 8; i++ {
+		if _, ok := st.Get(fmt.Sprintf("k%02d", i)); ok {
+			t.Errorf("oldest key k%02d survived 4x overflow", i)
+		}
+	}
+	// Overwriting must not evict or double-count.
+	before := st.Len()
+	st.Range(func(k string, v int) bool { st.Put(k, v+1); return true })
+	if got := st.Len(); got != before {
+		t.Fatalf("Len after overwrites = %d, want %d", got, before)
+	}
+}
+
+func TestEvictableVeto(t *testing.T) {
+	pinned := map[string]bool{"k00": true, "k01": true}
+	var evicted []string
+	st := New[int](Config[int]{
+		Shards:    1,
+		Capacity:  4,
+		Evictable: func(key string, v int) bool { return !pinned[key] },
+		OnEvict:   func(key string, v int, reason Reason) { evicted = append(evicted, key) },
+	})
+	for i := 0; i < 8; i++ {
+		st.Put(fmt.Sprintf("k%02d", i), i)
+	}
+	for _, k := range []string{"k00", "k01"} {
+		if _, ok := st.Get(k); !ok {
+			t.Errorf("pinned key %s was evicted", k)
+		}
+	}
+	sort.Strings(evicted)
+	if want := []string{"k02", "k03", "k04", "k05"}; fmt.Sprint(evicted) != fmt.Sprint(want) {
+		t.Errorf("evicted %v, want %v (oldest unpinned first)", evicted, want)
+	}
+	// Unpin: the next insert may evict the previously pinned entries.
+	pinned = map[string]bool{}
+	st.Put("k08", 8)
+	if got := st.Len(); got != 4 {
+		t.Fatalf("Len after unpin = %d, want 4", got)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	var evicted []string
+	st := New[int](Config[int]{
+		Shards: 2,
+		TTL:    10 * time.Second,
+		Now:    func() time.Time { return clock },
+		OnEvict: func(key string, v int, reason Reason) {
+			if reason != EvictTTL {
+				t.Errorf("evicting %q: reason %v, want ttl", key, reason)
+			}
+			evicted = append(evicted, key)
+		},
+	})
+	st.Put("old", 1)
+	clock = clock.Add(5 * time.Second)
+	st.Put("young", 2)
+	clock = clock.Add(6 * time.Second) // old is now 11s, young 6s
+	if _, ok := st.Get("old"); ok {
+		t.Error("expired entry still readable")
+	}
+	if v, ok := st.Get("young"); !ok || v != 2 {
+		t.Error("unexpired entry lost")
+	}
+	if fmt.Sprint(evicted) != "[old]" {
+		t.Errorf("evicted %v, want [old]", evicted)
+	}
+	// Upsert over an expired entry sees it as absent.
+	clock = clock.Add(20 * time.Second)
+	got := st.Upsert("young", func(old int, ok bool) int {
+		if ok {
+			t.Error("Upsert saw an expired entry as live")
+		}
+		return 9
+	})
+	if got != 9 {
+		t.Errorf("Upsert stored %d, want 9", got)
+	}
+}
+
+func TestDeleteThenReinsertFIFO(t *testing.T) {
+	st := New[int](Config[int]{Shards: 1, Capacity: 3})
+	st.Put("a", 1)
+	st.Put("b", 2)
+	st.Delete("a")
+	st.Put("c", 3)
+	st.Put("a", 4) // re-entered at the tail
+	st.Put("d", 5) // overflows: must evict b (oldest live), not a
+	if _, ok := st.Get("b"); ok {
+		t.Error("b survived; re-inserted key did not move to the FIFO tail")
+	}
+	if v, ok := st.Get("a"); !ok || v != 4 {
+		t.Error("re-inserted key a lost")
+	}
+}
+
+func TestKeyComposite(t *testing.T) {
+	if Key("a", "7") == Key("a7") {
+		t.Error("composite key collides with concatenation")
+	}
+	if Key("x") != "x" || Key() != "" {
+		t.Error("degenerate key forms wrong")
+	}
+}
+
+// TestConcurrentStress hammers the store from many goroutines with
+// mixed operations; run under -race this checks the striped locking.
+// Invariants checked: the store never exceeds capacity by more than the
+// in-flight writer count, and every value read was written by someone.
+func TestConcurrentStress(t *testing.T) {
+	const (
+		workers  = 8
+		ops      = 5000
+		keyslot  = 64
+		capLimit = 48
+	)
+	st := New[int](Config[int]{Shards: 8, Capacity: capLimit})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < ops; i++ {
+				k := fmt.Sprintf("k%02d", rng.Intn(keyslot))
+				switch rng.Intn(5) {
+				case 0, 1:
+					st.Put(k, w*ops+i)
+				case 2:
+					if v, ok := st.Get(k); ok && v < 0 {
+						t.Error("read a value nobody wrote")
+					}
+				case 3:
+					st.Upsert(k, func(old int, ok bool) int { return old + 1 })
+				case 4:
+					st.Delete(k)
+				}
+				if n := st.Len(); n > capLimit+workers {
+					t.Errorf("size %d exceeds capacity %d plus writer slack", n, capLimit)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	st.Range(func(string, int) bool { total++; return true })
+	if total > capLimit {
+		t.Errorf("final size %d exceeds capacity %d", total, capLimit)
+	}
+}
+
+// TestDeleteChurnBoundsOrderQueue pins the FIFO-queue reclamation on
+// Put/Delete lifecycles (per-agent scratch state, e.g. gossip's
+// verified-entries store): without capacity pressure the eviction scan
+// never runs, so Delete itself must keep the order queue's memory
+// proportional to the live entry count.
+func TestDeleteChurnBoundsOrderQueue(t *testing.T) {
+	s := New[int](Config[int]{Shards: 1})
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("churn-%d", i)
+		s.Put(k, i)
+		if !s.Delete(k) {
+			t.Fatalf("delete %q missed", k)
+		}
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("store size after churn = %d, want 0", got)
+	}
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	queued := len(sh.order) - sh.head
+	sh.mu.Unlock()
+	if queued > 128 {
+		t.Errorf("order queue holds %d records for an empty store", queued)
+	}
+}

@@ -17,10 +17,10 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-	"sync"
 
 	"repro/internal/agentlang"
 	"repro/internal/canon"
+	"repro/internal/shardstore"
 	"repro/internal/value"
 )
 
@@ -223,40 +223,40 @@ func (t Trace) Format(prog *agentlang.Program) string {
 
 // Store retains traces per (agent, hop) for later audit, as Vigna's
 // protocol requires each host to do ("the trace itself has to be
-// stored by the host"). It is safe for concurrent use.
+// stored by the host"). It is safe for concurrent use; sessions of
+// distinct agents land on distinct stripes of a sharded store, so
+// trace retention never serializes a host's worker pool on one mutex.
 type Store struct {
-	mu     sync.RWMutex
-	traces map[storeKey]Trace
+	traces *shardstore.Store[Trace]
 }
 
-type storeKey struct {
-	agentID string
-	hop     int
+// NewStore returns an empty, unbounded trace store.
+func NewStore() *Store { return NewBoundedStore(0) }
+
+// NewBoundedStore returns a trace store that retains at most capacity
+// traces, evicting the oldest beyond it (0 means unbounded). An
+// evicted trace makes the host unable to answer a later audit fetch
+// for that session — deployments bounding retention trade audit depth
+// for memory.
+func NewBoundedStore(capacity int) *Store {
+	return &Store{traces: shardstore.New[Trace](shardstore.Config[Trace]{Capacity: capacity})}
 }
 
-// NewStore returns an empty trace store.
-func NewStore() *Store {
-	return &Store{traces: make(map[storeKey]Trace)}
+// storeKey composes the (agent, hop) key. Agent IDs never contain NUL,
+// which keeps the composition injective.
+func storeKey(agentID string, hop int) string {
+	return shardstore.Key(agentID, strconv.Itoa(hop))
 }
 
 // Put retains the trace for the given agent session.
 func (s *Store) Put(agentID string, hop int, t Trace) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.traces[storeKey{agentID, hop}] = t
+	s.traces.Put(storeKey(agentID, hop), t)
 }
 
 // Get returns the retained trace, if any.
 func (s *Store) Get(agentID string, hop int) (Trace, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.traces[storeKey{agentID, hop}]
-	return t, ok
+	return s.traces.Get(storeKey(agentID, hop))
 }
 
 // Len returns the number of retained traces.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.traces)
-}
+func (s *Store) Len() int { return s.traces.Len() }

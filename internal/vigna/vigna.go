@@ -30,13 +30,14 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"sync"
+	"strconv"
 
 	"repro/internal/agent"
 	"repro/internal/agentlang"
 	"repro/internal/canon"
 	"repro/internal/core"
 	"repro/internal/host"
+	"repro/internal/shardstore"
 	"repro/internal/sigcrypto"
 	"repro/internal/transport"
 	"repro/internal/value"
@@ -77,13 +78,15 @@ func (c *Commitment) bindingBytes(agentID string) []byte {
 type Mechanism struct {
 	core.BaseMechanism
 
-	mu    sync.Mutex
-	store map[storeKey][]byte // encoded reference package (trace+input)
+	// store retains the encoded reference package (trace+input) per
+	// (agent, hop), sharded so concurrent departures of distinct agents
+	// never serialize on one mutex.
+	store *shardstore.Store[[]byte]
 }
 
-type storeKey struct {
-	agentID string
-	hop     int
+// storeKey composes the (agent, hop) retention key.
+func storeKey(agentID string, hop int) string {
+	return shardstore.Key(agentID, strconv.Itoa(hop))
 }
 
 var (
@@ -95,7 +98,7 @@ var (
 
 // New builds the mechanism.
 func New() *Mechanism {
-	return &Mechanism{store: make(map[storeKey][]byte)}
+	return &Mechanism{store: shardstore.New[[]byte](shardstore.Config[[]byte]{})}
 }
 
 // Name implements core.Mechanism.
@@ -126,9 +129,7 @@ func (m *Mechanism) PrepareDeparture(_ context.Context, hc *core.HostContext, ag
 	if err != nil {
 		return fmt.Errorf("vigna: %w", err)
 	}
-	m.mu.Lock()
-	m.store[storeKey{ag.ID, rec.Hop}] = enc
-	m.mu.Unlock()
+	m.store.Put(storeKey(ag.ID, rec.Hop), enc)
 
 	c := Commitment{
 		Host:        rec.HostName,
@@ -195,9 +196,7 @@ func (m *Mechanism) HandleCall(_ context.Context, hc *core.HostContext, method s
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
 		return nil, fmt.Errorf("vigna: malformed fetch request: %w", err)
 	}
-	m.mu.Lock()
-	enc, ok := m.store[storeKey{req.AgentID, req.Hop}]
-	m.mu.Unlock()
+	enc, ok := m.store.Get(storeKey(req.AgentID, req.Hop))
 	if !ok {
 		return nil, fmt.Errorf("vigna: no retained trace for agent %q hop %d", req.AgentID, req.Hop)
 	}
