@@ -8,6 +8,7 @@
 //	         -home home -peers home=:7001,shop=:7002,back=:7003
 //	agentctl reputation -peers ... <host>
 //	agentctl quarantine -peers ... <agent-id>
+//	agentctl evidence <path/to/evidence/file.agent>
 //
 // Invoking agentctl with flags only (no subcommand) is the legacy
 // launch form. Delivery is asynchronous: the launch returns once the
@@ -20,7 +21,12 @@
 // (reputation is per-node knowledge: each node fuses its own verdicts
 // plus the signed gossip it verified, so nodes legitimately differ).
 // "quarantine" locates a quarantined agent and prints the verdicts it
-// carries as evidence.
+// carries as evidence; when the holding node has spilled the agent to
+// disk (quarantine eviction on a node with -data-dir), the reply names
+// the evidence file on that node. "evidence" inspects such a spilled
+// file locally — run it on the node's machine (or on a copy of the
+// file) to recover the byte-identical quarantined agent and print the
+// verdicts, route, and state it carries. See docs/OPERATIONS.md.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/transport"
+	"repro/internal/value"
 )
 
 func main() {
@@ -58,8 +65,10 @@ func run() error {
 		return runReputation(args)
 	case "quarantine":
 		return runQuarantine(args)
+	case "evidence":
+		return runEvidence(args)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want launch|reputation|quarantine)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want launch|reputation|quarantine|evidence)", cmd)
 	}
 }
 
@@ -201,12 +210,56 @@ func runQuarantine(args []string) error {
 			found = true
 			fmt.Printf("agentctl: %s was quarantined at %s; retained copy evicted under capacity pressure (status %s)\n",
 				agentID, peer, q.Status.Phase)
+			if q.Evidence != "" {
+				fmt.Printf("agentctl: evidence spilled on %s to %s (inspect there with `agentctl evidence %s`)\n",
+					peer, q.Evidence, q.Evidence)
+			}
 		case q.Status.Phase != core.PhaseUnknown:
 			fmt.Printf("  %-8s not quarantined (status %s, flags %d)\n", peer, q.Status.Phase, q.Status.Flags)
 		}
 	}
 	if !found {
 		return fmt.Errorf("agent %s is not quarantined on any reachable node", agentID)
+	}
+	return nil
+}
+
+// runEvidence serves `agentctl evidence <path>`: load a spilled
+// quarantine evidence file from the local filesystem and print the
+// recovered agent — identity, journey, verdicts, and final state.
+func runEvidence(args []string) error {
+	fs := flag.NewFlagSet("evidence", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := fs.Arg(0)
+	if path == "" {
+		return fmt.Errorf("usage: agentctl evidence <path>")
+	}
+	ag, err := core.LoadEvidence(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("agentctl: evidence %s\n", path)
+	fmt.Printf("  agent   %s (owner %s)\n", ag.ID, ag.Owner)
+	fmt.Printf("  hops    %d, entry %q\n", ag.Hop, ag.Entry)
+	if len(ag.Route) > 0 {
+		fmt.Printf("  route   %s\n", strings.Join(ag.Route, " -> "))
+	}
+	if keys := ag.BaggageKeys(); len(keys) > 0 {
+		fmt.Printf("  baggage %s\n", strings.Join(keys, ", "))
+	}
+	if vs := core.AgentVerdicts(ag); len(vs) > 0 {
+		fmt.Println("  verdicts:")
+		for _, v := range vs {
+			fmt.Printf("    %s\n", v)
+		}
+	}
+	if len(ag.State) > 0 {
+		fmt.Println("  state:")
+		for _, k := range value.SortedKeys(ag.State) {
+			fmt.Printf("    %s = %s\n", k, ag.State[k])
+		}
 	}
 	return nil
 }

@@ -14,6 +14,12 @@
 //	agenthost -name shop  -addr :7002 -keydir /tmp/keys -peers ... -resource price=120
 //	agenthost -name back  -addr :7003 -trusted -keydir /tmp/keys -peers ...
 //	agentctl  -code shopper.agent -home home -peers ...
+//
+// Add -data-dir to make a host's bookkeeping durable: its journal,
+// quarantine evidence, reputation ledger, and retained traces then
+// survive restarts under <data-dir>/<name> (see docs/OPERATIONS.md for
+// the layout and the crash-recovery walkthrough). -journal-ttl
+// optionally sheds settled journal entries by age.
 package main
 
 import (
@@ -52,6 +58,8 @@ func run() error {
 	keydir := flag.String("keydir", "", "shared directory for public keys (required)")
 	peers := flag.String("peers", "", "address book: name=host:port,name=host:port,...")
 	resources := flag.String("resource", "", "host resources: key=intvalue,key=strvalue,...")
+	dataDir := flag.String("data-dir", "", "root directory for durable node state; this host's state lives under <data-dir>/<name> (empty = memory only)")
+	journalTTL := flag.Duration("journal-ttl", 0, "shed settled journal entries this long after they settle (0 = keep until JournalLimit evicts)")
 	flag.Parse()
 
 	if *name == "" {
@@ -108,7 +116,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	stack, err := protection.Assemble(lvl, protection.Options{})
+	// Each host gets its own state directory: node bookkeeping
+	// (journal/, quarantine/, evidence/) and protection state (ledger/,
+	// vigna/) share it without colliding.
+	nodeDir := ""
+	if *dataDir != "" {
+		nodeDir = filepath.Join(*dataDir, *name)
+		fmt.Printf("agenthost %s: durable state under %s\n", *name, nodeDir)
+	}
+	stack, err := protection.Assemble(lvl, protection.Options{DataDir: nodeDir})
 	if err != nil {
 		return err
 	}
@@ -117,6 +133,11 @@ func run() error {
 		Net:        net,
 		Mechanisms: stack.Mechanisms,
 		Policy:     stack.Policy,
+		DataDir:    nodeDir,
+		JournalTTL: *journalTTL,
+		OnPersistError: func(err error) {
+			fmt.Fprintf(os.Stderr, "agenthost %s: persistence degraded: %v\n", *name, err)
+		},
 		OnVerdict: func(v core.Verdict) {
 			fmt.Printf("agenthost %s: %s\n", *name, v)
 		},
@@ -162,12 +183,18 @@ func run() error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	fmt.Printf("agenthost %s: shutting down\n", *name)
-	// Stop intake first so queued deliveries drain with ErrNodeClosed,
-	// then tear down the listener.
+	// Tear down the listener first so no new calls or deliveries race
+	// the store shutdown, then stop intake (queued deliveries drain
+	// with ErrNodeClosed and the node's WALs flush), then the
+	// protection stack's durable state.
+	srvErr := srv.Close()
 	if err := node.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "agenthost %s: closing node: %v\n", *name, err)
 	}
-	return srv.Close()
+	if err := stack.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "agenthost %s: closing protection stack: %v\n", *name, err)
+	}
+	return srvErr
 }
 
 func loadPeerKeys(reg *sigcrypto.Registry, dir string) error {

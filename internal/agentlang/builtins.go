@@ -33,6 +33,7 @@ type RuntimeError struct {
 	Cause error
 }
 
+// Error renders the failure with its source position.
 func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("agentlang: runtime error at %s: %s", e.Pos, e.Msg)
 }

@@ -167,6 +167,7 @@ type Pos struct {
 	Col  int
 }
 
+// String renders the position as "line:col".
 func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
 
 // SyntaxError describes a lexing or parsing failure with its location.
@@ -175,6 +176,7 @@ type SyntaxError struct {
 	Msg string
 }
 
+// Error renders the parse failure with its source position.
 func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("agentlang: %s: %s", e.Pos, e.Msg)
 }

@@ -58,6 +58,7 @@ type SizeError struct {
 	N    int
 }
 
+// Error names the oversized element and the format's maximum.
 func (e *SizeError) Error() string {
 	return fmt.Sprintf("canon: %s length %d exceeds maximum %d", e.What, e.N, maxLen)
 }

@@ -1,0 +1,365 @@
+package core
+
+// Durable node bookkeeping. With NodeConfig.DataDir set, the node's two
+// durability-critical stores — the per-agent journal and the quarantine
+// evidence store — are layered over WAL backends (internal/shardstore)
+// so settled receipts, recorded statuses, and retained quarantined
+// agents survive a platform restart. A node that forgets
+// its suspicion bookkeeping on restart would hand a malicious host a
+// free reset; see DESIGN.md §7 for the durability contract.
+//
+// This file holds the codecs that translate the in-memory bookkeeping
+// to and from the WAL's byte records, the recovery rules applied while
+// replaying them, and the quarantine spill-to-evidence path.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/agent"
+	"repro/internal/canon"
+	"repro/internal/shardstore"
+)
+
+// Data-dir layout under NodeConfig.DataDir.
+const (
+	// journalDirName holds the journal store's WAL.
+	journalDirName = "journal"
+	// quarantineDirName holds the quarantine store's WAL.
+	quarantineDirName = "quarantine"
+	// evidenceDirName holds spilled canonical agent bytes of
+	// quarantined agents evicted under capacity pressure.
+	evidenceDirName = "evidence"
+)
+
+// journalWireLabel versions the journal entry record format.
+const journalWireLabel = "journal-entry"
+
+// QuarantineEvictedError reports that an agent was quarantined at a
+// node but its retained in-memory copy has been evicted under capacity
+// pressure. It wraps ErrQuarantineEvicted (match with errors.Is); when
+// the node runs with a data dir, Evidence names the file holding the
+// agent's spilled canonical bytes, recoverable with LoadEvidence.
+type QuarantineEvictedError struct {
+	// Node is the host name of the node that held the agent.
+	Node string
+	// AgentID is the evicted agent.
+	AgentID string
+	// Evidence is the path of the spilled canonical agent bytes on the
+	// node's filesystem; empty when the node runs without a data dir
+	// (the retained copy is then unrecoverable).
+	Evidence string
+}
+
+// Error renders the eviction, naming the evidence file if one exists.
+func (e *QuarantineEvictedError) Error() string {
+	if e.Evidence == "" {
+		return fmt.Sprintf("core: node %s: agent %s: %v", e.Node, e.AgentID, ErrQuarantineEvicted)
+	}
+	return fmt.Sprintf("core: node %s: agent %s: %v (evidence spilled to %s)",
+		e.Node, e.AgentID, ErrQuarantineEvicted, e.Evidence)
+}
+
+// Unwrap lets errors.Is(err, ErrQuarantineEvicted) match.
+func (e *QuarantineEvictedError) Unwrap() error { return ErrQuarantineEvicted }
+
+// EvidencePath returns the file a node with the given evidence
+// directory spills (or would spill) the agent's canonical bytes to.
+// The agent ID is percent-escaped, so arbitrary IDs map to safe,
+// reversible file names.
+func EvidencePath(evidenceDir, agentID string) string {
+	return filepath.Join(evidenceDir, url.PathEscape(agentID)+".agent")
+}
+
+// LoadEvidence reads a spilled evidence file back into the byte-
+// identical quarantined agent: the file holds the agent's canonical
+// wire encoding (agent.Marshal), so re-marshalling the returned agent
+// reproduces the file's bytes exactly.
+func LoadEvidence(path string) (*agent.Agent, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading evidence: %w", err)
+	}
+	ag, err := agent.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: evidence %s: %w", path, err)
+	}
+	return ag, nil
+}
+
+// spillEvidence writes the agent's canonical bytes to the evidence
+// directory, pruning the oldest spilled files beyond EvidenceLimit (a
+// flood of failing agents bounded out of memory by QuarantineLimit
+// must not fill the disk instead). It runs from the quarantine store's
+// OnEvict hook — under the shard lock, before the eviction reaches the
+// WAL — so a crash between the spill and the logged delete recovers
+// the agent in memory rather than losing it. The file is written whole
+// and fsynced via a temp-and-rename so a torn spill never masquerades
+// as evidence.
+func (n *Node) spillEvidence(ag *agent.Agent) {
+	if n.evidenceDir == "" {
+		return
+	}
+	wire, err := ag.Marshal()
+	if err != nil {
+		n.persistErr(fmt.Errorf("core: spilling evidence for %s: %w", ag.ID, err))
+		return
+	}
+	path := EvidencePath(n.evidenceDir, ag.ID)
+	if err := writeFileSync(path, wire); err != nil {
+		n.persistErr(fmt.Errorf("core: spilling evidence for %s: %w", ag.ID, err))
+		return
+	}
+	n.recordEvidenceFile(path)
+}
+
+// recordEvidenceFile appends a freshly spilled file to the oldest-first
+// ledger and prunes beyond the evidence limit.
+func (n *Node) recordEvidenceFile(path string) {
+	limit := n.cfg.EvidenceLimit
+	if limit < 0 {
+		return // pruning disabled; nothing to track
+	}
+	if limit == 0 {
+		limit = DefaultEvidenceLimit
+	}
+	n.evMu.Lock()
+	defer n.evMu.Unlock()
+	// A re-spill of the same agent replaces its file in place: keep the
+	// ledger's one entry (now at its old age position) rather than
+	// double-counting.
+	for _, p := range n.evFiles {
+		if p == path {
+			return
+		}
+	}
+	n.evFiles = append(n.evFiles, path)
+	for len(n.evFiles) > limit {
+		_ = os.Remove(n.evFiles[0])
+		n.evFiles = n.evFiles[1:]
+	}
+}
+
+// loadEvidenceLedger seeds the oldest-first evidence ledger from the
+// directory's existing files (by modification time), so pruning keeps
+// working across restarts.
+func (n *Node) loadEvidenceLedger() error {
+	entries, err := os.ReadDir(n.evidenceDir)
+	if err != nil {
+		return err
+	}
+	type fileAge struct {
+		path string
+		mod  int64
+	}
+	files := make([]fileAge, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".agent") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, fileAge{filepath.Join(n.evidenceDir, e.Name()), info.ModTime().UnixNano()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
+	n.evMu.Lock()
+	defer n.evMu.Unlock()
+	n.evFiles = n.evFiles[:0]
+	for _, f := range files {
+		n.evFiles = append(n.evFiles, f.path)
+	}
+	return nil
+}
+
+// writeFileSync writes data to path atomically: temp file, sync,
+// rename.
+func writeFileSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		return werr
+	}
+	return os.Rename(tmp, path)
+}
+
+// persistErr forwards a persistence failure to the configured observer.
+func (n *Node) persistErr(err error) {
+	if n.cfg.OnPersistError != nil {
+		n.cfg.OnPersistError(err)
+	}
+}
+
+// journalCodec persists a journal entry as its status and flag count —
+// the facts worth surviving a restart. Receipts are runtime handles
+// (channels a waiter of the dead process held); decode manufactures a
+// fresh receipt and resolves it under the recovery rules:
+//
+//   - completed / quarantined / failed: the recorded outcome stands;
+//     the receipt resolves to match (with a nil Agent — the recovered
+//     journal is a record, not the agent itself).
+//   - queued / running: the delivery died with the process (intake
+//     queues are deliberately volatile), so the entry reads back as
+//     failed and the receipt resolves with ErrJournalEvicted.
+//   - forwarded / unknown: the status survives as recorded, but the
+//     receipt can never resolve from local knowledge — it resolves
+//     with ErrJournalEvicted, exactly like a journal eviction.
+func (n *Node) journalCodec() shardstore.Codec[*journalEntry] {
+	hostName := n.cfg.Host.Name()
+	return shardstore.Codec[*journalEntry]{
+		Encode: func(e *journalEntry) ([]byte, error) {
+			var flags [8]byte
+			binary.BigEndian.PutUint64(flags[:], uint64(e.flags))
+			return canon.Tuple(
+				[]byte(journalWireLabel),
+				[]byte(e.rc.AgentID()),
+				[]byte(e.st.Phase),
+				[]byte(e.st.NextHost),
+				[]byte(e.st.Err),
+				flags[:],
+			), nil
+		},
+		Decode: func(b []byte) (*journalEntry, error) {
+			fields, err := canon.ParseTuple(b)
+			if err != nil {
+				return nil, fmt.Errorf("core: decoding journal entry: %w", err)
+			}
+			if len(fields) != 6 || string(fields[0]) != journalWireLabel || len(fields[5]) != 8 {
+				return nil, fmt.Errorf("core: decoding journal entry: %w", canon.ErrMalformed)
+			}
+			st := AgentStatus{
+				Phase:    string(fields[2]),
+				NextHost: string(fields[3]),
+				Err:      string(fields[4]),
+			}
+			e := &journalEntry{
+				rc:    newReceipt(string(fields[1])),
+				st:    st,
+				flags: int(binary.BigEndian.Uint64(fields[5])),
+			}
+			switch st.Phase {
+			case PhaseCompleted:
+				e.rc.resolve(Result{})
+			case PhaseQuarantined:
+				e.rc.resolve(Result{Aborted: true, Err: fmt.Errorf("%w: recovered from journal after restart", ErrDetection)})
+			case PhaseFailed:
+				e.rc.resolve(Result{Err: errors.New(st.Err)})
+			case PhaseQueued, PhaseRunning:
+				msg := fmt.Sprintf("core: node %s: delivery interrupted by restart", hostName)
+				e.st = AgentStatus{Phase: PhaseFailed, Err: msg, Flags: st.Flags}
+				e.rc.resolve(Result{Err: fmt.Errorf("%s: %w", msg, ErrJournalEvicted)})
+			default: // forwarded, unknown
+				e.rc.resolve(Result{Err: fmt.Errorf("core: node %s: receipt recovered without a terminal outcome: %w", hostName, ErrJournalEvicted)})
+			}
+			return e, nil
+		},
+	}
+}
+
+// quarantineCodec persists retained quarantined agents as their
+// canonical wire encoding — the same bytes evidence spills use, so a
+// recovered agent re-marshals byte-identically.
+func quarantineCodec() shardstore.Codec[*agent.Agent] {
+	return shardstore.Codec[*agent.Agent]{
+		Encode: func(ag *agent.Agent) ([]byte, error) { return ag.Marshal() },
+		Decode: func(b []byte) (*agent.Agent, error) { return agent.Unmarshal(b) },
+	}
+}
+
+// openStores builds the node's journal and quarantine stores: memory-
+// only by default, WAL-backed under cfg.DataDir when set (replaying any
+// prior state before the node accepts work).
+func (n *Node) openStores(journalLimit, quarantineLimit int) error {
+	cfg := n.cfg
+	jcfg := shardstore.Config[*journalEntry]{
+		Capacity:       journalLimit,
+		RefreshOnWrite: true,
+		// Entries still queued or running are never evicted or expired —
+		// an active worker must resolve the receipt a waiter may hold.
+		Evictable: func(_ string, e *journalEntry) bool {
+			switch e.st.Phase {
+			case PhaseQueued, PhaseRunning:
+				return false
+			}
+			return true
+		},
+		// An evicted entry whose receipt never resolved (a watch on a
+		// node the agent only transited, or never reached) reports
+		// explicitly instead of hanging forever. resolve is a no-op on
+		// already-resolved receipts.
+		OnEvict: func(_ string, e *journalEntry, _ shardstore.Reason) {
+			e.rc.resolve(Result{Err: fmt.Errorf("core: node %s: %w", cfg.Host.Name(), ErrJournalEvicted)})
+		},
+	}
+	if cfg.JournalTTL > 0 {
+		jcfg.TTL = cfg.JournalTTL
+	}
+	qcfg := shardstore.Config[*agent.Agent]{
+		Capacity: quarantineLimit,
+		// Spill the canonical agent bytes before the eviction lands, so
+		// ErrQuarantineEvicted stays recoverable (no-op without a data
+		// dir).
+		OnEvict: func(_ string, ag *agent.Agent, _ shardstore.Reason) {
+			n.spillEvidence(ag)
+		},
+	}
+	if cfg.DataDir == "" {
+		n.journal = shardstore.New(jcfg)
+		n.quarantine = shardstore.New(qcfg)
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.DataDir, evidenceDirName), 0o755); err != nil {
+		return fmt.Errorf("core: node %s: %w", cfg.Host.Name(), err)
+	}
+	n.evidenceDir = filepath.Join(cfg.DataDir, evidenceDirName)
+	if cfg.EvidenceLimit >= 0 {
+		if err := n.loadEvidenceLedger(); err != nil {
+			return fmt.Errorf("core: node %s: scanning evidence: %w", cfg.Host.Name(), err)
+		}
+	}
+	jw, err := shardstore.OpenWAL(filepath.Join(cfg.DataDir, journalDirName), shardstore.WALConfig{})
+	if err != nil {
+		return fmt.Errorf("core: node %s: %w", cfg.Host.Name(), err)
+	}
+	n.journal, err = shardstore.NewPersistent(jcfg, shardstore.PersistConfig[*journalEntry]{
+		Backend: jw,
+		Codec:   n.journalCodec(),
+		OnError: cfg.OnPersistError,
+	})
+	if err != nil {
+		return fmt.Errorf("core: node %s: recovering journal: %w", cfg.Host.Name(), err)
+	}
+	qw, err := shardstore.OpenWAL(filepath.Join(cfg.DataDir, quarantineDirName), shardstore.WALConfig{})
+	if err != nil {
+		_ = n.journal.Close()
+		return fmt.Errorf("core: node %s: %w", cfg.Host.Name(), err)
+	}
+	n.quarantine, err = shardstore.NewPersistent(qcfg, shardstore.PersistConfig[*agent.Agent]{
+		Backend: qw,
+		Codec:   quarantineCodec(),
+		OnError: cfg.OnPersistError,
+	})
+	if err != nil {
+		_ = n.journal.Close()
+		return fmt.Errorf("core: node %s: recovering quarantine: %w", cfg.Host.Name(), err)
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -32,6 +33,9 @@ const (
 	// DefaultQuarantineLimit bounds retained quarantined agents when
 	// NodeConfig.QuarantineLimit is zero (see QuarantineLimit).
 	DefaultQuarantineLimit = 1024
+	// DefaultEvidenceLimit bounds retained spilled-evidence files when
+	// NodeConfig.EvidenceLimit is zero (see EvidenceLimit).
+	DefaultEvidenceLimit = 4096
 	// maxIntakeWait caps how long an enqueue blocks on a full queue
 	// even under a deadline-free ctx. It sits below the TCP
 	// transport's 30s I/O fallback so a remote delivery gives up on
@@ -76,9 +80,41 @@ type NodeConfig struct {
 	// retains for evidence; beyond it the oldest are evicted FIFO (a
 	// flood of failing agents must not grow memory without bound).
 	// Quarantined reports an evicted agent with ErrQuarantineEvicted
-	// as long as its journal entry survives. 0 means
-	// DefaultQuarantineLimit.
+	// as long as its journal entry survives; with a DataDir the
+	// eviction first spills the agent's canonical bytes to the
+	// evidence directory, so the error carries a recovery path. 0
+	// means DefaultQuarantineLimit.
 	QuarantineLimit int
+	// EvidenceLimit bounds how many spilled evidence files the node's
+	// evidence directory retains; beyond it the oldest files are
+	// removed as new spills land — the flood of failing agents that
+	// QuarantineLimit keeps out of memory must not fill the disk
+	// instead. Archive files externally for longer retention (see
+	// docs/OPERATIONS.md). 0 means DefaultEvidenceLimit; negative
+	// disables pruning. Ignored without a DataDir.
+	EvidenceLimit int
+	// JournalTTL additionally expires settled journal entries (any
+	// phase but queued/running) this long after their last update, so
+	// long-lived nodes shed terminal receipts by age as well as by
+	// JournalLimit count. Expired entries behave exactly like evicted
+	// ones: unresolved receipts resolve with ErrJournalEvicted and late
+	// lookups read "unknown". 0 disables age-based expiry (the seed
+	// behaviour).
+	JournalTTL time.Duration
+	// DataDir makes the node's bookkeeping durable. When set, the
+	// journal and quarantine stores are WAL-backed under this directory
+	// (journal/, quarantine/, evidence/): NewNode replays any prior
+	// state — settled receipts, statuses, flags, retained quarantined
+	// agents — before accepting work, and quarantine evictions spill
+	// canonical agent bytes to evidence/ before dropping the in-memory
+	// copy. Empty keeps all bookkeeping in memory (the seed behaviour).
+	// Each node needs its own directory; see docs/OPERATIONS.md.
+	DataDir string
+	// OnPersistError observes asynchronous persistence failures (WAL
+	// append/compaction I/O errors, evidence spill failures); may be
+	// nil. After a failure the node keeps serving from memory —
+	// persistence degrades, the platform does not stop.
+	OnPersistError func(error)
 	// Policy decides the node's response to every verdict produced
 	// here: quarantine, continue-flagged, and owner notification. Nil
 	// selects a built-in: the strict seed behaviour (any failed check
@@ -144,12 +180,21 @@ type Node struct {
 
 	// journal tracks each agent's receipt and latest processing phase,
 	// striped by agent ID. Settled entries (any phase but
-	// queued/running) are evicted FIFO beyond JournalLimit; eviction
-	// resolves still-pending receipts with ErrJournalEvicted.
+	// queued/running) are evicted FIFO beyond JournalLimit (and expired
+	// beyond JournalTTL); eviction resolves still-pending receipts with
+	// ErrJournalEvicted. WAL-backed when DataDir is set.
 	journal *shardstore.Store[*journalEntry]
 	// quarantine retains quarantined agents for evidence, bounded by
-	// QuarantineLimit with FIFO eviction.
+	// QuarantineLimit with FIFO eviction. WAL-backed when DataDir is
+	// set, with eviction spilling to evidenceDir.
 	quarantine *shardstore.Store[*agent.Agent]
+	// evidenceDir is where quarantine evictions spill canonical agent
+	// bytes; empty without a DataDir. evFiles tracks the directory's
+	// files oldest-first (seeded from disk at open) so spills can prune
+	// beyond EvidenceLimit; both guarded by evMu.
+	evidenceDir string
+	evMu        sync.Mutex
+	evFiles     []string
 }
 
 // journalEntry is one agent's bookkeeping at this node. The status and
@@ -232,47 +277,60 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		rootCtx: ctx,
 		cancel:  cancel,
 		queues:  make([]chan intakeItem, workers),
-		quarantine: shardstore.New[*agent.Agent](shardstore.Config[*agent.Agent]{
-			Capacity: quarantineLimit,
-		}),
 	}
-	n.journal = shardstore.New[*journalEntry](shardstore.Config[*journalEntry]{
-		Capacity: journalLimit,
-		// Entries still queued or running are never evicted — an
-		// active worker must resolve the receipt a waiter may hold.
-		Evictable: func(_ string, e *journalEntry) bool {
-			switch e.st.Phase {
-			case PhaseQueued, PhaseRunning:
-				return false
-			}
-			return true
-		},
-		// An evicted entry whose receipt never resolved (a watch on a
-		// node the agent only transited, or never reached) reports
-		// explicitly instead of hanging forever. resolve is a no-op on
-		// already-resolved receipts.
-		OnEvict: func(_ string, e *journalEntry, _ shardstore.Reason) {
-			e.rc.resolve(Result{Err: fmt.Errorf("core: node %s: %w", cfg.Host.Name(), ErrJournalEvicted)})
-		},
-	})
+	// Store construction (and, with a DataDir, WAL recovery) lives in
+	// durable.go; the node is not handed out until its prior state is
+	// back in memory.
+	if err := n.openStores(journalLimit, quarantineLimit); err != nil {
+		cancel()
+		return nil, err
+	}
 	for i := range n.queues {
 		q := make(chan intakeItem, depth)
 		n.queues[i] = q
 		n.wg.Add(1)
 		go n.worker(q)
 	}
+	if cfg.JournalTTL > 0 {
+		n.wg.Add(1)
+		go n.journalSweeper()
+	}
 	return n, nil
+}
+
+// journalSweeper periodically sheds TTL-expired settled journal
+// entries. Expiry is otherwise lazy (triggered by touching a key or by
+// capacity pressure), which would let a quiet node hold terminal
+// receipts forever.
+func (n *Node) journalSweeper() {
+	defer n.wg.Done()
+	interval := n.cfg.JournalTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.rootCtx.Done():
+			return
+		case <-t.C:
+			n.journal.SweepExpired()
+		}
+	}
 }
 
 // Host returns the node's host.
 func (n *Node) Host() *host.Host { return n.cfg.Host }
 
 // Close stops the intake workers, drains queued-but-unprocessed
-// deliveries (their receipts resolve with ErrNodeClosed), and returns
-// once the node is quiescent. Deliveries racing with Close either
-// complete their enqueue (and are then drained with ErrNodeClosed) or
-// fail with ErrNodeClosed — never silently lost. Synchronous protocol
-// calls (HandleCall) keep working after Close.
+// deliveries (their receipts resolve with ErrNodeClosed), flushes and
+// closes the bookkeeping stores (a no-op without a DataDir), and
+// returns once the node is quiescent. Deliveries racing with Close
+// either complete their enqueue (and are then drained with
+// ErrNodeClosed) or fail with ErrNodeClosed — never silently lost.
+// Synchronous protocol calls (HandleCall) keep working after Close,
+// served from the in-memory tier.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -298,22 +356,40 @@ func (n *Node) Close() error {
 		}
 	nextQueue:
 	}
-	return nil
+	// All writers (workers, enqueuers, the sweeper) are quiescent: the
+	// stores can flush their WALs and report any persistence failure
+	// accumulated over the node's lifetime.
+	return errors.Join(n.journal.Close(), n.quarantine.Close())
 }
 
 // Quarantined returns the quarantined agent with the given ID. A nil
-// error means the agent is held here; ErrQuarantineEvicted means it was
-// quarantined but its retained copy has been evicted under capacity
-// pressure (the detection remains on record); ErrNotQuarantined means
-// it was never quarantined at this node.
+// error means the agent is held here. An error matching
+// ErrQuarantineEvicted (concretely a *QuarantineEvictedError) means it
+// was quarantined but its retained copy has been evicted under capacity
+// pressure; when the node runs with a DataDir, the error's Evidence
+// field names the spilled canonical agent bytes, recoverable with
+// LoadEvidence. ErrNotQuarantined means the agent was never quarantined
+// at this node.
 func (n *Node) Quarantined(id string) (*agent.Agent, error) {
 	if ag, ok := n.quarantine.Get(id); ok {
 		return ag, nil
 	}
 	if n.Status(id).Phase == PhaseQuarantined {
-		return nil, fmt.Errorf("core: node %s: agent %s: %w", n.cfg.Host.Name(), id, ErrQuarantineEvicted)
+		evErr := &QuarantineEvictedError{Node: n.cfg.Host.Name(), AgentID: id}
+		if n.evidenceDir != "" {
+			if path := EvidencePath(n.evidenceDir, id); fileExists(path) {
+				evErr.Evidence = path
+			}
+		}
+		return nil, evErr
 	}
 	return nil, fmt.Errorf("core: node %s: agent %s: %w", n.cfg.Host.Name(), id, ErrNotQuarantined)
+}
+
+// fileExists reports whether path names an existing regular file.
+func fileExists(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && info.Mode().IsRegular()
 }
 
 // Watch returns the receipt for the given agent at this node, creating
@@ -771,6 +847,11 @@ type QuarantineReply struct {
 	// record in Status).
 	Held    bool
 	Evicted bool
+	// Evidence is the node-local path of the evicted agent's spilled
+	// canonical bytes, set only when Evicted and the node runs with a
+	// data dir. It names a file on the answering node's filesystem
+	// (inspect it there with `agentctl evidence`).
+	Evidence string
 	// Status is the agent's journal status at this node.
 	Status AgentStatus
 	// Owner, Hops, and Verdicts describe the retained agent; set only
@@ -821,6 +902,10 @@ func (n *Node) HandleCall(ctx context.Context, method string, body []byte) ([]by
 				reply.Verdicts = AgentVerdicts(ag)
 			case errors.Is(err, ErrQuarantineEvicted):
 				reply.Evicted = true
+				var evErr *QuarantineEvictedError
+				if errors.As(err, &evErr) {
+					reply.Evidence = evErr.Evidence
+				}
 			}
 			return gobReply("quarantine", reply)
 		default:

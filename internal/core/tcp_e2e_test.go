@@ -3,6 +3,8 @@ package core_test
 import (
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -17,6 +19,19 @@ import (
 	"repro/internal/value"
 	"repro/internal/wholesig"
 )
+
+// persistDir returns a per-node data dir when the suite runs in its
+// persistence-enabled variant (REPRO_E2E_PERSIST=1, see ci.yml), and ""
+// — memory-only nodes, the default — otherwise. The variant proves the
+// WAL-backed stores ride under the full TCP deployment shape without
+// changing its observable behaviour.
+func persistDir(t *testing.T, name string) string {
+	t.Helper()
+	if os.Getenv("REPRO_E2E_PERSIST") == "" {
+		return ""
+	}
+	return filepath.Join(t.TempDir(), name)
+}
 
 // TestTCPEndToEnd runs the full stack — agent, platform nodes, the
 // example mechanism, whole-agent signatures — over real TCP sockets:
@@ -67,6 +82,7 @@ func TestTCPEndToEnd(t *testing.T) {
 					wholesig.New(nil),
 					refproto.New(refproto.Config{}),
 				},
+				DataDir: persistDir(t, name),
 				OnVerdict: func(v core.Verdict) {
 					vmu.Lock()
 					verdicts = append(verdicts, v)
@@ -195,6 +211,7 @@ func TestTCPVignaAuditAcrossSockets(t *testing.T) {
 	node, err := core.NewNode(core.NodeConfig{
 		Host: h, Net: net,
 		Mechanisms: []core.Mechanism{refproto.New(refproto.Config{})},
+		DataDir:    persistDir(t, "solo"),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,107 @@
+// Package doccheck enforces the repository's godoc contract: every
+// internal package carries a package comment and every exported symbol
+// a doc comment. It is a test, not a linter binary, so the gate runs
+// wherever `go test ./...` runs — locally and in every CI job — with
+// no tool installation.
+package doccheck
+
+import (
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// specDocs maps each name declared in a grouped const/var declaration
+// to whether its own spec carries a doc or line comment (a group-level
+// doc comment is checked separately).
+func specDocs(v *doc.Value) map[string]bool {
+	out := make(map[string]bool)
+	for _, spec := range v.Decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		has := vs.Doc.Text() != "" || vs.Comment.Text() != ""
+		for _, n := range vs.Names {
+			out[n.Name] = has
+		}
+	}
+	return out
+}
+
+// TestExportedSymbolsDocumented walks every internal package (test
+// files excluded) and fails on any exported symbol without a doc
+// comment — the enforcement half of the godoc pass over shardstore,
+// policy, core, and the rest of the tree.
+func TestExportedSymbolsDocumented(t *testing.T) {
+	root := "../.."
+	var dirs []string
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(dirs)
+
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", dir, err)
+		}
+		for name, p := range pkgs {
+			d := doc.New(p, dir, 0)
+			if d.Doc == "" {
+				t.Errorf("%s: package %s has no package comment", dir, name)
+			}
+			check := func(kind, symbol string, documented bool) {
+				base := symbol
+				if i := strings.LastIndex(symbol, "."); i >= 0 {
+					base = symbol[i+1:]
+				}
+				if !documented && ast.IsExported(base) {
+					t.Errorf("%s: %s %s is undocumented", dir, kind, symbol)
+				}
+			}
+			values := func(kind string, vs []*doc.Value) {
+				for _, v := range vs {
+					perSpec := specDocs(v)
+					for _, n := range v.Names {
+						check(kind, n, v.Doc != "" || perSpec[n])
+					}
+				}
+			}
+			values("const", d.Consts)
+			values("var", d.Vars)
+			for _, f := range d.Funcs {
+				check("func", f.Name, f.Doc != "")
+			}
+			for _, ty := range d.Types {
+				check("type", ty.Name, ty.Doc != "")
+				for _, f := range ty.Funcs {
+					check("func", f.Name, f.Doc != "")
+				}
+				for _, m := range ty.Methods {
+					check("method", ty.Name+"."+m.Name, m.Doc != "")
+				}
+				values("const", ty.Consts)
+				values("var", ty.Vars)
+			}
+		}
+	}
+}

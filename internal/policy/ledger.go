@@ -19,10 +19,13 @@
 package policy
 
 import (
+	"encoding/binary"
+	"fmt"
 	"math"
 	"sort"
 	"time"
 
+	"repro/internal/canon"
 	"repro/internal/core"
 	"repro/internal/shardstore"
 )
@@ -63,6 +66,13 @@ type LedgerConfig struct {
 	FailureWeight float64
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
+	// Backend makes the ledger durable: every observation is appended
+	// to it and the per-host records are replayed from it on open, so a
+	// node's accumulated suspicion survives a restart instead of
+	// handing repeat offenders a free reset. Only OpenLedger honours
+	// it; the ledger owns the backend and closes it in Close. Nil keeps
+	// the ledger in memory.
+	Backend shardstore.Backend
 }
 
 // hostRecord is one host's ledger entry. Suspicion is stored with its
@@ -82,8 +92,25 @@ type Ledger struct {
 	store *shardstore.Store[hostRecord]
 }
 
-// NewLedger builds a ledger.
+// NewLedger builds an in-memory ledger. cfg.Backend must be nil (it
+// panics otherwise, so a durability request is never silently dropped);
+// use OpenLedger for a WAL-backed ledger.
 func NewLedger(cfg LedgerConfig) *Ledger {
+	if cfg.Backend != nil {
+		panic("policy: NewLedger cannot honour LedgerConfig.Backend; use OpenLedger")
+	}
+	l, err := OpenLedger(cfg)
+	if err != nil {
+		// Unreachable: errors only arise from backend replay.
+		panic(err)
+	}
+	return l
+}
+
+// OpenLedger builds a ledger, replaying cfg.Backend (when set) so the
+// per-host suspicion records of a previous run are back in memory
+// before the first observation lands.
+func OpenLedger(cfg LedgerConfig) (*Ledger, error) {
 	if cfg.HalfLife == 0 {
 		cfg.HalfLife = DefaultHalfLife
 	}
@@ -96,11 +123,67 @@ func NewLedger(cfg LedgerConfig) *Ledger {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Ledger{
-		cfg:   cfg,
-		store: shardstore.New[hostRecord](shardstore.Config[hostRecord]{Capacity: cfg.Capacity}),
+	l := &Ledger{cfg: cfg}
+	scfg := shardstore.Config[hostRecord]{Capacity: cfg.Capacity}
+	if cfg.Backend == nil {
+		l.store = shardstore.New[hostRecord](scfg)
+		return l, nil
+	}
+	store, err := shardstore.NewPersistent(scfg, shardstore.PersistConfig[hostRecord]{
+		Backend: cfg.Backend,
+		Codec:   hostRecordCodec(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("policy: recovering ledger: %w", err)
+	}
+	l.store = store
+	return l, nil
+}
+
+// hostRecordWireLabel versions the persisted host record format.
+const hostRecordWireLabel = "host-record"
+
+// hostRecordCodec persists one host's suspicion record. The float is
+// stored as its exact IEEE-754 bits, so a recovered ledger reports
+// bit-identical suspicion (before decay for the downtime, which Merge
+// and Suspicion apply from the stored timestamp as usual — downtime
+// counts as clean time).
+func hostRecordCodec() shardstore.Codec[hostRecord] {
+	return shardstore.Codec[hostRecord]{
+		Encode: func(r hostRecord) ([]byte, error) {
+			var buf [4][8]byte
+			binary.BigEndian.PutUint64(buf[0][:], math.Float64bits(r.suspicion))
+			binary.BigEndian.PutUint64(buf[1][:], uint64(r.updated.UnixNano()))
+			binary.BigEndian.PutUint64(buf[2][:], uint64(r.events))
+			binary.BigEndian.PutUint64(buf[3][:], uint64(r.failures))
+			return canon.Tuple([]byte(hostRecordWireLabel), buf[0][:], buf[1][:], buf[2][:], buf[3][:]), nil
+		},
+		Decode: func(b []byte) (hostRecord, error) {
+			fields, err := canon.ParseTuple(b)
+			if err != nil {
+				return hostRecord{}, fmt.Errorf("policy: decoding host record: %w", err)
+			}
+			if len(fields) != 5 || string(fields[0]) != hostRecordWireLabel {
+				return hostRecord{}, fmt.Errorf("policy: decoding host record: %w", canon.ErrMalformed)
+			}
+			for _, f := range fields[1:] {
+				if len(f) != 8 {
+					return hostRecord{}, fmt.Errorf("policy: decoding host record: %w", canon.ErrMalformed)
+				}
+			}
+			return hostRecord{
+				suspicion: math.Float64frombits(binary.BigEndian.Uint64(fields[1])),
+				updated:   time.Unix(0, int64(binary.BigEndian.Uint64(fields[2]))),
+				events:    int(binary.BigEndian.Uint64(fields[3])),
+				failures:  int(binary.BigEndian.Uint64(fields[4])),
+			}, nil
+		},
 	}
 }
+
+// Close flushes and closes the ledger's backend; a no-op (and nil) for
+// in-memory ledgers.
+func (l *Ledger) Close() error { return l.store.Close() }
 
 // decayed returns r's suspicion decayed from its timestamp to now.
 func (l *Ledger) decayed(r hostRecord, now time.Time) float64 {

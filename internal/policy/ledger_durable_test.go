@@ -1,0 +1,104 @@
+package policy
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/shardstore"
+)
+
+func openDurableLedger(t *testing.T, dir string, now func() time.Time) *Ledger {
+	t.Helper()
+	backend, err := shardstore.OpenWAL(dir, shardstore.WALConfig{FlushInterval: -1})
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	l, err := OpenLedger(LedgerConfig{HalfLife: time.Hour, Now: now, Backend: backend})
+	if err != nil {
+		t.Fatalf("OpenLedger: %v", err)
+	}
+	return l
+}
+
+func TestLedgerSurvivesReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ledger")
+	now := time.Unix(1_000_000, 0)
+	clock := func() time.Time { return now }
+
+	l := openDurableLedger(t, dir, clock)
+	l.Observe("evil", false, 0)
+	l.Observe("evil", false, 0)
+	l.Observe("evil", true, 0)
+	l.Observe("meh", false, 0.5)
+	l.Merge("gossiped", 3.0, now)
+	wantEvil := l.Suspicion("evil")
+	wantRep, ok := l.Report("evil")
+	if !ok || wantRep.Failures != 2 || wantRep.Events != 3 {
+		t.Fatalf("pre-restart report = %+v (ok=%v)", wantRep, ok)
+	}
+	wantSnap := l.Snapshot(0)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Same frozen clock: the recovered suspicion must be bit-identical,
+	// not merely close (the codec stores exact IEEE-754 bits).
+	r := openDurableLedger(t, dir, clock)
+	defer r.Close()
+	if got := r.Suspicion("evil"); got != wantEvil {
+		t.Fatalf("recovered suspicion = %v, want exactly %v", got, wantEvil)
+	}
+	rep, ok := r.Report("evil")
+	if !ok || rep != wantRep {
+		t.Fatalf("recovered report = %+v (ok=%v), want %+v", rep, ok, wantRep)
+	}
+	snap := r.Snapshot(0)
+	if len(snap) != len(wantSnap) {
+		t.Fatalf("recovered snapshot has %d hosts, want %d", len(snap), len(wantSnap))
+	}
+	for i := range wantSnap {
+		if snap[i] != wantSnap[i] {
+			t.Fatalf("recovered snapshot[%d] = %+v, want %+v", i, snap[i], wantSnap[i])
+		}
+	}
+}
+
+func TestLedgerDowntimeCountsAsCleanTime(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ledger")
+	now := time.Unix(1_000_000, 0)
+
+	l := openDurableLedger(t, dir, func() time.Time { return now })
+	l.Observe("evil", false, 4.0)
+	before := l.Suspicion("evil")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen one half-life later: the recovered record decays from its
+	// stored timestamp, so the downtime forgives like uptime would.
+	later := now.Add(time.Hour)
+	r := openDurableLedger(t, dir, func() time.Time { return later })
+	defer r.Close()
+	got := r.Suspicion("evil")
+	if got >= before {
+		t.Fatalf("suspicion did not decay across downtime: %v -> %v", before, got)
+	}
+	if diff := got - before/2; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("one half-life of downtime: suspicion %v, want ~%v", got, before/2)
+	}
+}
+
+func TestNewLedgerRefusesBackend(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLedger accepted a Backend without panicking")
+		}
+	}()
+	backend, err := shardstore.OpenWAL(t.TempDir(), shardstore.WALConfig{FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+	NewLedger(LedgerConfig{Backend: backend})
+}

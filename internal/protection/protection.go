@@ -29,17 +29,34 @@
 package protection
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"path/filepath"
 
 	"repro/internal/agentlang"
 	appraisalpkg "repro/internal/appraisal"
 	"repro/internal/core"
 	"repro/internal/policy"
 	"repro/internal/refproto"
+	"repro/internal/shardstore"
 	"repro/internal/stopwatch"
 	"repro/internal/vigna"
 	"repro/internal/wholesig"
 )
+
+// newVigna builds the traces mechanism, durable under
+// Options.DataDir/vigna when a data dir is set.
+func newVigna(opts Options) (*vigna.Mechanism, error) {
+	if opts.DataDir == "" {
+		return vigna.New(), nil
+	}
+	backend, err := shardstore.OpenWAL(filepath.Join(opts.DataDir, "vigna"), shardstore.WALConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("protection: opening vigna wal: %w", err)
+	}
+	return vigna.NewDurable(backend)
+}
 
 // Level selects a protection preset.
 type Level int
@@ -103,6 +120,14 @@ type Options struct {
 	// threshold, baseline audit cadence); zero values select the policy
 	// package defaults. Other levels ignore it.
 	AdaptiveGate policy.GateConfig
+	// DataDir makes the stack's durable protection state persistent
+	// under this directory: LevelAdaptive's reputation ledger (ledger/)
+	// and LevelTraces' retained trace packages (vigna/) are WAL-backed
+	// and replayed on Assemble. Empty keeps them in memory. Pair it
+	// with core.NodeConfig.DataDir (the same per-node directory works
+	// for both — the subdirectories do not collide); see
+	// docs/OPERATIONS.md.
+	DataDir string
 }
 
 // Stack is one node's protection assembly: the mechanism list plus the
@@ -119,6 +144,23 @@ type Stack struct {
 	Gate   *policy.Gate
 }
 
+// Close flushes and releases the stack's durable state: the adaptive
+// ledger and any mechanism holding a persistence backend (vigna's
+// retained-package store). A no-op for memory-only stacks. Call it
+// after the owning node's Close, once no mechanism can be invoked.
+func (s Stack) Close() error {
+	var errs []error
+	if s.Ledger != nil {
+		errs = append(errs, s.Ledger.Close())
+	}
+	for _, m := range s.Mechanisms {
+		if c, ok := m.(io.Closer); ok {
+			errs = append(errs, c.Close())
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // Assemble builds a fresh per-node protection stack for the level.
 // Call once per node: mechanism instances (and the adaptive level's
 // ledger) hold per-node state. Cross-node suspicion still propagates —
@@ -132,7 +174,11 @@ func Assemble(l Level, opts Options) (Stack, error) {
 	case LevelRules:
 		return Stack{Mechanisms: []core.Mechanism{wholesig.New(opts.Timer), appraisalpkg.New()}}, nil
 	case LevelTraces:
-		return Stack{Mechanisms: []core.Mechanism{wholesig.New(opts.Timer), vigna.New()}}, nil
+		v, err := newVigna(opts)
+		if err != nil {
+			return Stack{}, err
+		}
+		return Stack{Mechanisms: []core.Mechanism{wholesig.New(opts.Timer), v}}, nil
 	case LevelFull:
 		return Stack{Mechanisms: []core.Mechanism{
 			wholesig.New(opts.Timer),
@@ -147,7 +193,19 @@ func Assemble(l Level, opts Options) (Stack, error) {
 			led = opts.AdaptiveGate.Ledger
 		}
 		if led == nil {
-			led = policy.NewLedger(policy.LedgerConfig{})
+			lcfg := policy.LedgerConfig{}
+			if opts.DataDir != "" {
+				backend, err := shardstore.OpenWAL(filepath.Join(opts.DataDir, "ledger"), shardstore.WALConfig{})
+				if err != nil {
+					return Stack{}, fmt.Errorf("protection: opening ledger wal: %w", err)
+				}
+				lcfg.Backend = backend
+			}
+			var err error
+			led, err = policy.OpenLedger(lcfg)
+			if err != nil {
+				return Stack{}, err
+			}
 		}
 		pcfg := opts.AdaptivePolicy
 		pcfg.Ledger = led

@@ -10,19 +10,27 @@
 // evicts the oldest evictable entries first (FIFO by first insertion,
 // approximated per shard — eviction sweeps shards round-robin and
 // removes each shard's oldest candidate, so the global order is FIFO up
-// to striping skew). An optional TTL expires entries lazily on access.
-// Entries the Evictable hook vetoes (e.g. a receipt still running) are
-// skipped; if nothing is evictable the store tolerates transient
+// to striping skew). An optional TTL expires entries lazily on access
+// (or eagerly via SweepExpired). Entries the Evictable hook vetoes
+// (e.g. a receipt still running) are skipped by capacity eviction and
+// do not expire; if nothing is evictable the store tolerates transient
 // overshoot rather than dropping live state.
 //
 // Eviction contract:
 //
 //   - OnEvict fires exactly once per capacity- or TTL-evicted entry,
-//     synchronously, with the evicted value. It runs while the entry's
-//     shard is locked: it must not call back into the store.
+//     synchronously, with the evicted value, before the entry leaves
+//     the map. It runs while the entry's shard is locked: it must not
+//     call back into the store.
 //   - Delete and overwriting Put do not fire OnEvict.
 //   - Re-inserting a key after Delete re-enters the FIFO at the tail;
 //     overwriting an existing key keeps its original position.
+//
+// A store is memory-only by default. NewPersistent layers a pluggable
+// Backend (backend.go) under the same API: every mutation is appended
+// to the backend's log and the full state is rebuilt from it on the
+// next open, with the sharded in-memory tier staying the cache and the
+// only read path. See wal.go for the file-backed implementation.
 package shardstore
 
 import (
@@ -66,26 +74,49 @@ type Config[V any] struct {
 	// Capacity bounds the total entry count across all shards; 0 means
 	// unbounded. Inserts beyond it evict FIFO (oldest first).
 	Capacity int
-	// TTL expires entries lazily on access; 0 means no expiry.
+	// TTL expires entries lazily on access (and eagerly via
+	// SweepExpired); 0 means no expiry. Entries the Evictable hook
+	// vetoes do not expire.
 	TTL time.Duration
+	// RefreshOnWrite restarts an entry's TTL clock on every overwrite,
+	// so the TTL measures age since the last write instead of age since
+	// first insertion (e.g. a journal entry's age since it settled).
+	RefreshOnWrite bool
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 	// OnEvict observes capacity/TTL evictions; may be nil. Called under
 	// the shard lock — must not call back into the store.
 	OnEvict func(key string, v V, reason Reason)
 	// Evictable vetoes eviction of in-flight entries; nil means every
-	// entry is evictable. Called under the shard lock.
+	// entry is evictable. Called under the shard lock. The veto covers
+	// both capacity eviction and TTL expiry.
 	Evictable func(key string, v V) bool
 }
 
 // Store is a sharded string-keyed map. The zero value is not usable;
-// call New.
+// call New (memory-only) or NewPersistent (backed by a Backend).
 type Store[V any] struct {
 	cfg    Config[V]
 	shards []shard[V]
 	mask   uint32
 	size   atomic.Int64
 	sweep  atomic.Uint32 // round-robin eviction cursor
+
+	// Persistence plumbing; zero for memory-only stores. See persist.go.
+	backend      Backend
+	codec        Codec[V]
+	compactEvery int64
+	onPersistErr func(error)
+	appends      atomic.Int64 // records since the last compaction
+	compacting   atomic.Bool
+	closing      atomic.Bool
+	compactWG    sync.WaitGroup
+	loading      bool // replay in progress: suppress re-appending
+	// degraded flags a permanent persistence failure: appends stop,
+	// the memory tier keeps serving. See reportPersistErr.
+	degraded atomic.Bool
+	errMu    sync.Mutex
+	firstErr error
 }
 
 type shard[V any] struct {
@@ -176,16 +207,31 @@ func (s *Store[V]) shardFor(key string) *shard[V] {
 	return &s.shards[h&s.mask]
 }
 
-// expired reports whether e is past the TTL at time now.
-func (s *Store[V]) expired(e *entry[V], now time.Time) bool {
-	return s.cfg.TTL > 0 && now.Sub(e.at) >= s.cfg.TTL
+// expired reports whether e is past the TTL at time now and not vetoed
+// by the Evictable hook. Must be called under the entry's shard lock.
+func (s *Store[V]) expired(key string, e *entry[V], now time.Time) bool {
+	if s.cfg.TTL <= 0 || now.Sub(e.at) < s.cfg.TTL {
+		return false
+	}
+	return s.cfg.Evictable == nil || s.cfg.Evictable(key, e.v)
 }
 
 // dropLocked removes key from the shard map (the FIFO record is
-// dropped lazily by eviction scans) and decrements the global size.
+// dropped lazily by eviction scans), decrements the global size, and
+// appends the removal to the backend, if any.
 func (s *Store[V]) dropLocked(sh *shard[V], key string) {
 	delete(sh.m, key)
 	s.size.Add(-1)
+	s.appendRecord(OpDelete, key, *new(V))
+}
+
+// expireLocked evicts one TTL-expired entry: OnEvict first (so e.g. an
+// evidence spill lands before the removal is logged), then the drop.
+func (s *Store[V]) expireLocked(sh *shard[V], key string, e *entry[V]) {
+	if s.cfg.OnEvict != nil {
+		s.cfg.OnEvict(key, e.v, EvictTTL)
+	}
+	s.dropLocked(sh, key)
 }
 
 // Get returns the value for key. An entry past the TTL reads as absent
@@ -199,11 +245,8 @@ func (s *Store[V]) Get(key string) (V, bool) {
 		var zero V
 		return zero, false
 	}
-	if s.expired(e, s.now()) {
-		s.dropLocked(sh, key)
-		if s.cfg.OnEvict != nil {
-			s.cfg.OnEvict(key, e.v, EvictTTL)
-		}
+	if s.expired(key, e, s.now()) {
+		s.expireLocked(sh, key, e)
 		var zero V
 		return zero, false
 	}
@@ -217,11 +260,17 @@ func (s *Store[V]) Put(key string, v V) {
 }
 
 // GetOrCreate returns the existing value or stores and returns
-// create(). created reports whether create ran.
+// create(). created reports whether create ran. The existing-key path
+// is a pure read: it does not count as a write for RefreshOnWrite TTL
+// purposes and appends nothing to a persistence backend (an Upsert
+// returning the old value would do both).
 func (s *Store[V]) GetOrCreate(key string, create func() V) (v V, created bool) {
+	if v, ok := s.Get(key); ok {
+		return v, false
+	}
 	v = s.Upsert(key, func(old V, ok bool) V {
 		if ok {
-			return old
+			return old // lost a create race; keep the winner
 		}
 		created = true
 		return create()
@@ -237,11 +286,8 @@ func (s *Store[V]) Upsert(key string, fn func(old V, ok bool) V) V {
 	sh.mu.Lock()
 	now := s.now()
 	e, ok := sh.m[key]
-	if ok && s.expired(e, now) {
-		s.dropLocked(sh, key)
-		if s.cfg.OnEvict != nil {
-			s.cfg.OnEvict(key, e.v, EvictTTL)
-		}
+	if ok && s.expired(key, e, now) {
+		s.expireLocked(sh, key, e)
 		ok = false
 	}
 	var old V
@@ -251,12 +297,17 @@ func (s *Store[V]) Upsert(key string, fn func(old V, ok bool) V) V {
 	v := fn(old, ok)
 	if ok {
 		e.v = v
+		if s.cfg.RefreshOnWrite {
+			e.at = now
+		}
+		s.appendRecord(OpPut, key, v)
 		sh.mu.Unlock()
 		return v
 	}
 	seq := seqCounter.Add(1)
 	sh.m[key] = &entry[V]{v: v, at: now, seq: seq}
 	sh.order = append(sh.order, orderRec{key: key, seq: seq})
+	s.appendRecord(OpPut, key, v)
 	sh.mu.Unlock()
 	if n := s.size.Add(1); s.cfg.Capacity > 0 && int(n) > s.cfg.Capacity {
 		s.evict()
@@ -273,11 +324,8 @@ func (s *Store[V]) View(key string, fn func(v V, ok bool)) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	e, ok := sh.m[key]
-	if ok && s.expired(e, s.now()) {
-		s.dropLocked(sh, key)
-		if s.cfg.OnEvict != nil {
-			s.cfg.OnEvict(key, e.v, EvictTTL)
-		}
+	if ok && s.expired(key, e, s.now()) {
+		s.expireLocked(sh, key, e)
 		ok = false
 	}
 	if !ok {
@@ -323,6 +371,35 @@ func (s *Store[V]) rebuildOrderLocked(sh *shard[V]) {
 // touched).
 func (s *Store[V]) Len() int { return int(s.size.Load()) }
 
+// SweepExpired eagerly drops every TTL-expired, non-vetoed entry and
+// returns how many were dropped. Expiry is otherwise lazy (an expired
+// entry is only reclaimed when its key is touched or a capacity
+// eviction scan passes it), so long-lived stores with quiet keys call
+// this periodically to shed settled state by age.
+func (s *Store[V]) SweepExpired() int {
+	if s.cfg.TTL <= 0 {
+		return 0
+	}
+	dropped := 0
+	now := s.now()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			if s.expired(k, e, now) {
+				s.expireLocked(sh, k, e)
+				sh.stale++
+				dropped++
+			}
+		}
+		if sh.stale > 64 && sh.stale > len(sh.m) {
+			s.rebuildOrderLocked(sh)
+		}
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
 // Range calls fn over a point-in-time snapshot of each shard taken
 // under its lock; fn itself runs unlocked, so it may call back into the
 // store. Entries inserted or removed while ranging may or may not be
@@ -338,7 +415,7 @@ func (s *Store[V]) Range(fn func(key string, v V) bool) {
 		sh.mu.Lock()
 		snap := make([]kv, 0, len(sh.m))
 		for k, e := range sh.m {
-			if s.expired(e, now) {
+			if s.expired(k, e, now) {
 				continue
 			}
 			snap = append(snap, kv{k, e.v})
@@ -388,17 +465,19 @@ func (s *Store[V]) evictOneFrom(sh *shard[V]) bool {
 			continue
 		}
 		reason := EvictCapacity
-		if s.expired(e, now) {
+		if s.expired(rec.key, e, now) {
 			reason = EvictTTL
 		} else if s.cfg.Evictable != nil && !s.cfg.Evictable(rec.key, e.v) {
 			continue // pinned; look past it
 		}
+		// OnEvict before the drop: a spill hook runs before the removal
+		// reaches the backend's log.
+		if s.cfg.OnEvict != nil {
+			s.cfg.OnEvict(rec.key, e.v, reason)
+		}
 		s.dropLocked(sh, rec.key)
 		if i == sh.head {
 			sh.head++
-		}
-		if s.cfg.OnEvict != nil {
-			s.cfg.OnEvict(rec.key, e.v, reason)
 		}
 		s.compactLocked(sh)
 		return true

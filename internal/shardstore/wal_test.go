@@ -1,0 +1,332 @@
+package shardstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// replayMap replays a backend into a plain map, failing the test on
+// replay errors.
+func replayMap(t *testing.T, b Backend) map[string]string {
+	t.Helper()
+	m := make(map[string]string)
+	if err := b.Replay(func(op Op, key string, value []byte) error {
+		switch op {
+		case OpPut:
+			m[key] = string(value)
+		case OpDelete:
+			delete(m, key)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return m
+}
+
+func openWAL(t *testing.T, dir string) *WAL {
+	t.Helper()
+	// Disable the background flusher: tests control sync points.
+	w, err := OpenWAL(dir, WALConfig{FlushInterval: -1})
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	return w
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	if got := replayMap(t, w); len(got) != 0 {
+		t.Fatalf("fresh wal replays %d records, want 0", len(got))
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.Append(OpPut, "a", []byte("1")))
+	must(w.Append(OpPut, "b", []byte("2")))
+	must(w.Append(OpPut, "a", []byte("3"))) // overwrite
+	must(w.Append(OpDelete, "b", nil))
+	must(w.Append(OpPut, "c", nil)) // empty value is a valid record
+	must(w.Close())
+
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	got := replayMap(t, w2)
+	want := map[string]string{"a": "3", "c": ""}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("replayed %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWALSurvivesUnsyncedClose(t *testing.T) {
+	// Close flushes the batch buffer even when SyncEvery was never
+	// reached.
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALConfig{SyncEvery: 1 << 20, FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(OpPut, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	if got := replayMap(t, w2); got["k"] != "v" {
+		t.Fatalf("replayed %v, want k=v", got)
+	}
+}
+
+func TestWALTornFinalRecordTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := w.Append(OpPut, k, []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: chop bytes off the final record.
+	segs, _, _, err := scanDir(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("scanDir: segs=%v err=%v", segs, err)
+	}
+	path := filepath.Join(dir, segName(segs[len(segs)-1]))
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := openWAL(t, dir)
+	got := replayMap(t, w2)
+	if len(got) != 2 || got["a"] != "v-a" || got["b"] != "v-b" {
+		t.Fatalf("after torn tail, replayed %v, want a and b only", got)
+	}
+	// The truncated log must accept appends cleanly.
+	if err := w2.Append(OpPut, "d", []byte("v-d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3 := openWAL(t, dir)
+	defer w3.Close()
+	got = replayMap(t, w3)
+	if len(got) != 3 || got["d"] != "v-d" {
+		t.Fatalf("after re-append, replayed %v, want a, b, d", got)
+	}
+}
+
+func TestWALTornTailChecksumFailure(t *testing.T) {
+	// A corrupted (not just short) final record is also treated as the
+	// torn tail: dropped, and the file reopens clean.
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	for _, k := range []string{"a", "b"} {
+		if err := w.Append(OpPut, k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, _, _ := scanDir(dir)
+	path := filepath.Join(dir, segName(segs[len(segs)-1]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff // flip a payload byte of the last record
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	got := replayMap(t, w2)
+	if len(got) != 1 || got["a"] != "v" {
+		t.Fatalf("after checksum-corrupt tail, replayed %v, want a only", got)
+	}
+}
+
+func TestWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	state := map[string][]byte{}
+	for i := 0; i < 100; i++ {
+		k := string(rune('a' + i%7))
+		v := []byte{byte(i)}
+		state[k] = v
+		if err := w.Append(OpPut, k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delete(state, "a")
+	if err := w.Append(OpDelete, "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Compact(func(emit func(key string, value []byte) error) error {
+		for k, v := range state {
+			if err := emit(k, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	// Compaction must leave exactly one snapshot and one (fresh) segment.
+	segs, snaps, _, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || len(snaps) != 1 {
+		t.Fatalf("after compact: segments %v snapshots %v, want one of each", segs, snaps)
+	}
+	// Records appended after the compaction land in the new segment and
+	// survive alongside the snapshot.
+	if err := w.Append(OpPut, "z", []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	got := replayMap(t, w2)
+	if len(got) != len(state)+1 {
+		t.Fatalf("replayed %d records, want %d", len(got), len(state)+1)
+	}
+	for k, v := range state {
+		if got[k] != string(v) {
+			t.Fatalf("key %q: replayed %q, want %q", k, got[k], v)
+		}
+	}
+	if got["z"] != "post" {
+		t.Fatalf("post-compaction append lost: %v", got)
+	}
+	if _, ok := got["a"]; ok {
+		t.Fatal("deleted key resurrected by compaction")
+	}
+}
+
+func TestWALDamageBeforeValidRecordsRefusedAtOpen(t *testing.T) {
+	// A bad frame followed by frames that still parse is NOT a torn
+	// tail — it is at-rest damage, and truncating there would silently
+	// discard acknowledged records. OpenWAL must refuse with ErrCorrupt.
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	for i := 0; i < 50; i++ {
+		if err := w.Append(OpPut, fmt.Sprintf("k%d", i), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, _, _ := scanDir(dir)
+	path := filepath.Join(dir, segName(segs[len(segs)-1]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0xff // damage an early record, leaving dozens of valid ones after
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(dir, WALConfig{FlushInterval: -1}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over mid-segment damage: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestWALMidLogCorruptionIsAnError(t *testing.T) {
+	// Corruption that is not the final segment's tail must fail Replay
+	// with ErrCorrupt instead of silently dropping records.
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	if err := w.Append(OpPut, "a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Compact(func(emit func(key string, value []byte) error) error {
+		return emit("a", []byte("1"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, snaps, _, _ := scanDir(dir)
+	path := filepath.Join(dir, snapName(snaps[len(snaps)-1]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	err = w2.Replay(func(Op, string, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay of corrupt snapshot: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestWALBackgroundFlusherSyncsPartialBatch(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALConfig{SyncEvery: 1 << 20, FlushInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(OpPut, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		w.mu.Lock()
+		pending := w.pending
+		w.mu.Unlock()
+		if pending == 0 {
+			return // flushed by the background flusher
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never synced the partial batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWALAppendAfterCloseFails(t *testing.T) {
+	w := openWAL(t, t.TempDir())
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(OpPut, "k", nil); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("append after close: err=%v, want ErrWALClosed", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -68,6 +68,7 @@ type RemoteError struct {
 	Msg  string
 }
 
+// Error renders the remote failure with the answering host's name.
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("transport: remote %s: %s", e.Host, e.Msg)
 }

@@ -96,10 +96,31 @@ var (
 	_ core.CallHandler           = (*Mechanism)(nil)
 )
 
-// New builds the mechanism.
+// New builds the mechanism with in-memory retention.
 func New() *Mechanism {
 	return &Mechanism{store: shardstore.New[[]byte](shardstore.Config[[]byte]{})}
 }
+
+// NewDurable builds the mechanism with its retained (trace, input)
+// packages persisted to the backend, replaying any prior retention
+// first. The protocol's deterrent is only as strong as the host's
+// ability to answer an audit fetch — "the trace itself has to be
+// stored by the host" — so a restart must not amnesty past sessions.
+// The mechanism owns the backend; Close releases it.
+func NewDurable(backend shardstore.Backend) (*Mechanism, error) {
+	store, err := shardstore.NewPersistent(shardstore.Config[[]byte]{}, shardstore.PersistConfig[[]byte]{
+		Backend: backend,
+		Codec:   shardstore.BytesCodec(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vigna: recovering retained packages: %w", err)
+	}
+	return &Mechanism{store: store}, nil
+}
+
+// Close flushes and closes the retention backend; a no-op (and nil)
+// for in-memory mechanisms.
+func (m *Mechanism) Close() error { return m.store.Close() }
 
 // Name implements core.Mechanism.
 func (m *Mechanism) Name() string { return MechanismName }
