@@ -164,8 +164,27 @@ func runReputation(args []string) error {
 				peer, rep.Policy, rep.Rep.Suspicion, rep.Rep.Events, rep.Rep.Failures,
 				time.Unix(0, rep.Rep.UpdatedUnixNano).Format(time.RFC3339))
 		}
+		// Anti-entropy exchange counters, where the node runs (or
+		// serves) the reputation exchange loop.
+		switch {
+		case rep.ExchangeEnabled:
+			ex := rep.Exchange
+			fmt.Printf("           exchange: %d rounds (%d failed), sent=%d received=%d merged=%d served=%d last=%s\n",
+				ex.Rounds, ex.Failures, ex.EntriesSent, ex.EntriesReceived, ex.EntriesMerged,
+				ex.OffersServed, exchangeLast(ex))
+		case rep.Exchange.OffersServed > 0:
+			fmt.Printf("           exchange: loop disabled, %d offers served for peers\n", rep.Exchange.OffersServed)
+		}
 	}
 	return nil
+}
+
+// exchangeLast renders the most recent round's peer and time.
+func exchangeLast(ex core.ExchangeStats) string {
+	if ex.LastPeer == "" {
+		return "never"
+	}
+	return fmt.Sprintf("%s@%s", ex.LastPeer, time.Unix(0, ex.LastUnixNano).Format(time.RFC3339))
 }
 
 // runQuarantine serves `agentctl quarantine <agent-id>`: locate a

@@ -20,6 +20,14 @@
 // survive restarts under <data-dir>/<name> (see docs/OPERATIONS.md for
 // the layout and the crash-recovery walkthrough). -journal-ttl
 // optionally sheds settled journal entries by age.
+//
+// With -level adaptive, -exchange-interval enables the anti-entropy
+// reputation exchange: the node periodically trades signed ledger
+// extracts with fleet peers (default: every -peers entry) so suspicion
+// converges fleet-wide even between hosts no shared agent ever visits.
+// -exchange-peers narrows the partner set and -exchange-budget bounds
+// the extracts traded per round; `agentctl reputation` shows each
+// node's exchange counters.
 package main
 
 import (
@@ -60,6 +68,9 @@ func run() error {
 	resources := flag.String("resource", "", "host resources: key=intvalue,key=strvalue,...")
 	dataDir := flag.String("data-dir", "", "root directory for durable node state; this host's state lives under <data-dir>/<name> (empty = memory only)")
 	journalTTL := flag.Duration("journal-ttl", 0, "shed settled journal entries this long after they settle (0 = keep until JournalLimit evicts)")
+	exchangeInterval := flag.Duration("exchange-interval", 0, "anti-entropy reputation exchange round interval (0 = disabled; requires -level adaptive)")
+	exchangePeers := flag.String("exchange-peers", "", "exchange partner hosts, comma-separated (empty = every -peers entry except this host)")
+	exchangeBudget := flag.Int("exchange-budget", 0, "ledger extracts traded per exchange round (0 = platform default)")
 	flag.Parse()
 
 	if *name == "" {
@@ -128,11 +139,40 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Anti-entropy exchange: with an interval set, the node trades
+	// signed reputation extracts with random-order fleet peers so
+	// suspicion converges even across hosts no shared agent visits.
+	// Partial configuration is refused, not silently dropped — an
+	// operator who set peers or a budget expected an exchange to run.
+	var exchange core.ExchangeConfig
+	if *exchangeInterval <= 0 && (*exchangePeers != "" || *exchangeBudget != 0) {
+		return fmt.Errorf("-exchange-peers/-exchange-budget require -exchange-interval > 0")
+	}
+	if *exchangeInterval > 0 {
+		peersList := splitList(*exchangePeers)
+		if len(peersList) == 0 {
+			for peer := range book {
+				if peer != *name {
+					peersList = append(peersList, peer)
+				}
+			}
+		}
+		if len(peersList) == 0 {
+			return fmt.Errorf("-exchange-interval set but no exchange peers (set -peers or -exchange-peers)")
+		}
+		exchange = core.ExchangeConfig{
+			Peers:    peersList,
+			Interval: *exchangeInterval,
+			Budget:   *exchangeBudget,
+		}
+		fmt.Printf("agenthost %s: anti-entropy exchange every %s with %d peers\n", *name, *exchangeInterval, len(peersList))
+	}
 	node, err := core.NewNode(core.NodeConfig{
 		Host:       h,
 		Net:        net,
 		Mechanisms: stack.Mechanisms,
 		Policy:     stack.Policy,
+		Exchange:   exchange,
 		DataDir:    nodeDir,
 		JournalTTL: *journalTTL,
 		OnPersistError: func(err error) {
@@ -220,6 +260,17 @@ func loadPeerKeys(reg *sigcrypto.Registry, dir string) error {
 		}
 	}
 	return nil
+}
+
+// splitList parses a comma-separated list, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 func parseBook(s string) (map[string]string, error) {

@@ -145,15 +145,33 @@ type fleetRun struct {
 	FailedVerdicts  int     `json:"failed_verdicts"`
 }
 
-// fleetFile is the BENCH_fleet.json layout. The two derived ratios are
-// the acceptance numbers future PRs track: adaptive throughput
-// relative to the cheap-rules baseline on an all-honest fleet, and
-// detection parity with LevelFull on the mixed fleet.
+// convergenceRun records the disjoint-traffic anti-entropy scenario:
+// two sub-fleets with zero shared agent traffic, a malicious host seen
+// by only one, and the exchange rounds until the other sub-fleet's
+// gates escalate.
+type convergenceRun struct {
+	FleetNodes          int     `json:"fleet_nodes"`
+	Malicious           string  `json:"malicious_host"`
+	SeedSuspicion       float64 `json:"seed_suspicion"`
+	CleanBeforeExchange bool    `json:"clean_before_exchange"`
+	Rounds              int     `json:"rounds"`
+	Converged           bool    `json:"converged"`
+	MinRemoteSuspicion  float64 `json:"min_remote_suspicion"`
+	ElapsedMs           float64 `json:"elapsed_ms"`
+}
+
+// fleetFile is the BENCH_fleet.json layout. The derived numbers are
+// the acceptance values future PRs track: adaptive throughput relative
+// to the cheap-rules baseline on an all-honest fleet, detection parity
+// with LevelFull on the mixed fleet, and the exchange rounds a
+// disjoint sub-fleet needs to converge on a cheater it never met.
 type fleetFile struct {
-	GeneratedAt           string     `json:"generated_at"`
-	AdaptiveVsRulesHonest float64    `json:"adaptive_vs_rules_honest_throughput_ratio"`
-	AdaptiveDetectionRate float64    `json:"adaptive_mixed_detection_rate"`
-	Runs                  []fleetRun `json:"runs"`
+	GeneratedAt               string          `json:"generated_at"`
+	AdaptiveVsRulesHonest     float64         `json:"adaptive_vs_rules_honest_throughput_ratio"`
+	AdaptiveDetectionRate     float64         `json:"adaptive_mixed_detection_rate"`
+	DisjointConvergenceRounds int             `json:"disjoint_convergence_rounds"`
+	Disjoint                  *convergenceRun `json:"disjoint_convergence,omitempty"`
+	Runs                      []fleetRun      `json:"runs"`
 }
 
 // runFleet measures the fleet scenarios and writes the trajectory file.
@@ -214,6 +232,31 @@ func runFleet(outPath string, quick bool) error {
 	if honestRules > 0 {
 		out.AdaptiveVsRulesHonest = honestAdaptive / honestRules
 	}
+
+	// The anti-entropy scenario: how many exchange rounds until a
+	// sub-fleet with zero shared traffic escalates against a cheater
+	// the other sub-fleet caught.
+	ccfg := bench.ConvergenceConfig{SubFleetHosts: 3, Agents: 3}
+	if quick {
+		ccfg.SubFleetHosts, ccfg.Agents = 2, 2
+	}
+	fmt.Fprintln(os.Stderr, "running fleet disjoint/convergence...")
+	conv, err := bench.RunConvergence(ccfg)
+	if err != nil {
+		return err
+	}
+	out.DisjointConvergenceRounds = conv.Rounds
+	out.Disjoint = &convergenceRun{
+		FleetNodes:          conv.FleetNodes,
+		Malicious:           conv.Malicious,
+		SeedSuspicion:       conv.SeedSuspicion,
+		CleanBeforeExchange: conv.CleanBeforeExchange,
+		Rounds:              conv.Rounds,
+		Converged:           conv.Converged,
+		MinRemoteSuspicion:  conv.MinRemoteSuspicion,
+		ElapsedMs:           float64(conv.Elapsed.Microseconds()) / 1000,
+	}
+
 	enc, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -221,8 +264,8 @@ func runFleet(outPath string, quick bool) error {
 	if err := os.WriteFile(outPath, append(enc, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("fleet trajectory written to %s (adaptive/rules honest throughput %.3f, mixed detection rate %.3f)\n",
-		outPath, out.AdaptiveVsRulesHonest, out.AdaptiveDetectionRate)
+	fmt.Printf("fleet trajectory written to %s (adaptive/rules honest throughput %.3f, mixed detection rate %.3f, disjoint convergence in %d rounds)\n",
+		outPath, out.AdaptiveVsRulesHonest, out.AdaptiveDetectionRate, out.DisjointConvergenceRounds)
 	return nil
 }
 

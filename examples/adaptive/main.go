@@ -13,6 +13,12 @@
 // escalation to full re-execution, quarantine once suspicion crosses
 // the threshold — and the reputation spreading to other nodes as
 // signed gossip in the surviving agents' baggage.
+//
+// A fifth node, "archive", never sees a single courier: baggage gossip
+// can never reach it. It still converges on the cheater through the
+// anti-entropy exchange (reputation/offer rounds with random fleet
+// peers) — the fleet-wide fusion of point detections the paper's
+// response model needs.
 package main
 
 import (
@@ -81,7 +87,8 @@ func run() error {
 			_ = n.Close()
 		}
 	}()
-	for _, name := range []string{"home", "w1", "w2", "w3"} {
+	fleet := []string{"home", "w1", "w2", "w3", "archive"}
+	for _, name := range fleet {
 		keys, err := sigcrypto.GenerateKeyPair(name)
 		if err != nil {
 			return err
@@ -108,6 +115,10 @@ func run() error {
 			Net:        net,
 			Mechanisms: stack.Mechanisms,
 			Policy:     stack.Policy,
+			// Anti-entropy: every node trades signed ledger extracts
+			// with random fleet peers, so even the traffic-less archive
+			// node converges on w2's standing.
+			Exchange: core.ExchangeConfig{Peers: fleet, Interval: 150 * time.Millisecond},
 			OnOwnerNotice: func(agentID string, v core.Verdict, reason string) {
 				fmt.Printf("  [owner notice @%s] %s: %s\n", name, agentID, reason)
 			},
@@ -174,6 +185,31 @@ func run() error {
 		}
 		printReputation("w3") // w3 checks w2's sessions first-hand
 		printReputation("w1") // w1 only ever hears about w2 via gossip
+	}
+
+	// The archive node saw zero courier traffic — everything it knows
+	// about w2 arrived through anti-entropy exchange rounds.
+	fmt.Println("--- archive (no agent traffic, exchange only) ---")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		body, err := nodes["archive"].HandleCall(ctx, "node/reputation", core.ReputationCallBody("w2"))
+		if err != nil {
+			return err
+		}
+		rep, err := core.DecodeReputationReply(body)
+		if err != nil {
+			return err
+		}
+		if rep.Known && rep.Rep.Suspicion > 0 {
+			fmt.Printf("  archive's view of w2: suspicion %.2f after %d exchange rounds (%d extracts merged)\n",
+				rep.Rep.Suspicion, rep.Exchange.Rounds, rep.Exchange.EntriesMerged)
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Println("  archive never converged (unexpected)")
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 
 	// The evidence a quarantined agent carries, via the built-in call

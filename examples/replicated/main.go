@@ -112,9 +112,15 @@ func run() error {
 		return err
 	}
 	for _, st := range report.Stages {
-		fmt.Printf("stage %d: %d/%d votes for the winning state; dissenters: %v\n",
-			st.Stage, st.WinnerN, len(st.Replicas), st.Dissenters)
+		fmt.Printf("stage %d: %d/%d votes for the winning state (adopted %s); dissenters: %v\n",
+			st.Stage, st.WinnerN, len(st.Replicas), st.WinnerReplica, st.Dissenters)
+		for replica, reason := range st.Failures {
+			// Failures tell a crashed replica from one that dissented on
+			// the content — only the latter executed and voted.
+			fmt.Printf("  %s produced no countable vote: %s\n", replica, reason)
+		}
 	}
+	fmt.Printf("route of adopted executions: %v\n", report.Final.Route)
 	fmt.Printf("final settled amount: %s (honest value 130-5 = 125)\n", report.Final.State["settled"])
 	if report.Final.State["settled"].Int != 125 {
 		return fmt.Errorf("replication failed to protect the result")

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// TestDisjointTrafficConvergence is the acceptance test of the
+// anti-entropy layer: a malicious host detected only by sub-fleet A
+// crosses the gate threshold on every node of sub-fleet B within a
+// bounded number of exchange rounds, with zero shared agent traffic.
+func TestDisjointTrafficConvergence(t *testing.T) {
+	const maxRounds = 16
+	res, err := RunConvergence(ConvergenceConfig{
+		SubFleetHosts: 3,
+		Agents:        3,
+		MaxRounds:     maxRounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CleanBeforeExchange {
+		t.Error("sub-fleet B held suspicion before the first exchange round — traffic was not disjoint")
+	}
+	if res.SeedSuspicion < policy.DefaultEscalateThreshold {
+		t.Errorf("seed suspicion %.3f below escalation threshold — no first-hand detection to spread", res.SeedSuspicion)
+	}
+	if !res.Converged {
+		t.Fatalf("sub-fleet B did not converge within %d rounds (min remote suspicion %.3f)",
+			maxRounds, res.MinRemoteSuspicion)
+	}
+	if res.Rounds < 1 || res.Rounds > maxRounds {
+		t.Errorf("rounds = %d, want within [1, %d]", res.Rounds, maxRounds)
+	}
+	if res.MinRemoteSuspicion < policy.DefaultEscalateThreshold {
+		t.Errorf("min remote suspicion %.3f below the gate threshold %.2f",
+			res.MinRemoteSuspicion, policy.DefaultEscalateThreshold)
+	}
+	t.Logf("fleet of %d converged on %s in %d rounds (seed %.2f, min remote %.2f)",
+		res.FleetNodes, res.Malicious, res.Rounds, res.SeedSuspicion, res.MinRemoteSuspicion)
+}
+
+// BenchmarkFleetConvergence tracks the scenario's cost end to end
+// (node assembly, traffic phase, exchange rounds to convergence).
+func BenchmarkFleetConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunConvergence(ConvergenceConfig{SubFleetHosts: 3, Agents: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatalf("fleet did not converge (min remote suspicion %.3f)", res.MinRemoteSuspicion)
+		}
+		b.ReportMetric(float64(res.Rounds), "rounds")
+	}
+}

@@ -107,7 +107,7 @@ func (t tamperCounting) TamperRecord(rec *host.SessionRecord) {
 // in order, then back home to finish. Each session does the paper's
 // summation cycles and advances the audited counters the owner's rule
 // binds together.
-func fleetCode(untrusted []string, cycles int) string {
+func fleetCode(home string, untrusted []string, cycles int) string {
 	var b strings.Builder
 	b.WriteString("proc main() {\n    work()\n    migrate(")
 	fmt.Fprintf(&b, "%q, \"step\")\n}\n", untrusted[0])
@@ -115,7 +115,7 @@ func fleetCode(untrusted []string, cycles int) string {
 	for i := 0; i < len(untrusted)-1; i++ {
 		fmt.Fprintf(&b, "    if at == %q { migrate(%q, \"step\") }\n", untrusted[i], untrusted[i+1])
 	}
-	fmt.Fprintf(&b, "    if at == %q { migrate(\"home\", \"fin\") }\n", untrusted[len(untrusted)-1])
+	fmt.Fprintf(&b, "    if at == %q { migrate(%q, \"fin\") }\n", untrusted[len(untrusted)-1], home)
 	b.WriteString("    done()\n}\n")
 	b.WriteString("proc fin() {\n    work()\n    done()\n}\n")
 	fmt.Fprintf(&b, `proc work() {
@@ -278,7 +278,7 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 	// the class of attack appraisal rules are for.
 	rules := appraisal.RuleSet{appraisal.MustRule("total-tracks-hops", "total == hops")}
 
-	code := fleetCode(untrusted, cfg.Cycles)
+	code := fleetCode("home", untrusted, cfg.Cycles)
 	receipts := make([][]*core.Receipt, cfg.Agents)
 	wires := make([][]byte, cfg.Agents)
 	for i := 0; i < cfg.Agents; i++ {

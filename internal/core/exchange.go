@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// The anti-entropy exchange contract. Gossip in agent baggage (the
+// reputation mechanism's default transport) spreads suspicion only
+// along an agent's route; hosts with disjoint traffic never hear about
+// each other's detections. A mechanism implementing Exchanger closes
+// that gap: the node starts a background loop that periodically trades
+// ledger extracts with configured fleet peers over the ordinary call
+// path, so the fleet converges on a shared picture even with zero
+// shared agent traffic. The interfaces live here so the node can own
+// the loop's lifecycle without core depending on the policy package.
+
+// Defaults for the exchange loop.
+const (
+	// DefaultExchangeInterval paces exchange rounds when
+	// ExchangeConfig.Interval is zero.
+	DefaultExchangeInterval = 30 * time.Second
+	// DefaultExchangeBudget bounds the entries either side contributes
+	// per round when ExchangeConfig.Budget is zero.
+	DefaultExchangeBudget = 32
+	// MaxExchangeBudget caps the per-round entry budget a peer can
+	// request, so a hostile initiator cannot turn one offer into an
+	// arbitrarily large reply.
+	MaxExchangeBudget = 256
+)
+
+// ExchangeConfig configures a node's anti-entropy reputation exchange.
+// The zero value disables it.
+type ExchangeConfig struct {
+	// Peers is the fleet address list the loop draws partners from (the
+	// node's own name is skipped). Empty disables the exchange.
+	Peers []string
+	// Interval paces the rounds; one random-order peer is visited per
+	// round. 0 means DefaultExchangeInterval.
+	Interval time.Duration
+	// Budget bounds the ledger extracts each side contributes per
+	// round. 0 means DefaultExchangeBudget; values above
+	// MaxExchangeBudget are clamped.
+	Budget int
+}
+
+// Enabled reports whether the configuration asks for an exchange loop.
+func (c ExchangeConfig) Enabled() bool { return len(c.Peers) > 0 }
+
+// Exchanger is the optional Mechanism extension the node looks for when
+// NodeConfig.Exchange is set: the mechanism owns the protocol (it also
+// serves the peer-facing offer call), the node owns the lifecycle.
+type Exchanger interface {
+	// StartExchange launches the background loop. ctx is the node's
+	// root context (cancelled at Close); the returned stop function
+	// halts the loop and blocks until it has exited, and must be safe
+	// to call after ctx is cancelled.
+	StartExchange(ctx context.Context, hc *HostContext, cfg ExchangeConfig) (stop func(), err error)
+}
+
+// ExchangeStats is a snapshot of a node's exchange activity, served
+// through the node/reputation built-in call.
+type ExchangeStats struct {
+	// Rounds counts initiated exchange rounds; Failures the rounds that
+	// errored (peer unreachable, malformed reply).
+	Rounds   int64
+	Failures int64
+	// EntriesSent counts extracts pushed to peers, EntriesReceived the
+	// delta entries peers returned, EntriesMerged the received entries
+	// that survived verification and were folded into the ledger.
+	EntriesSent     int64
+	EntriesReceived int64
+	EntriesMerged   int64
+	// OffersServed counts reputation/offer calls answered for peers
+	// (counted even on nodes that initiate no rounds themselves).
+	OffersServed int64
+	// LastPeer and LastUnixNano identify the most recent initiated
+	// round.
+	LastPeer     string
+	LastUnixNano int64
+}
+
+// ExchangeReporter is the optional Mechanism extension that exposes
+// exchange statistics; enabled is false when the mechanism serves
+// offers but runs no loop of its own.
+type ExchangeReporter interface {
+	ExchangeStats() (stats ExchangeStats, enabled bool)
+}

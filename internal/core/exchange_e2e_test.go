@@ -1,0 +1,168 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/appraisal"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/protection"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// TestTCPExchangeConvergence is the exchange-enabled fleet variant of
+// the e2e suite (REPRO_E2E_EXCHANGE=1, see ci.yml): four adaptive
+// nodes over real TCP sockets, one of which ("remote") is never
+// visited by any agent. A tampering host is detected first-hand on the
+// itinerary; the anti-entropy exchange must carry the suspicion to
+// "remote", observable through the same node/reputation call agentctl
+// uses — including the exchange counters.
+func TestTCPExchangeConvergence(t *testing.T) {
+	if os.Getenv("REPRO_E2E_EXCHANGE") == "" {
+		t.Skip("set REPRO_E2E_EXCHANGE=1 to run the exchange-enabled TCP fleet variant")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	reg := sigcrypto.NewRegistry()
+	net := transport.NewTCPNetwork(nil)
+	t.Cleanup(net.Close)
+
+	names := []string{"home", "mid", "back", "remote"}
+	nodes := make(map[string]*core.Node, len(names))
+	for _, name := range names {
+		keys, err := sigcrypto.GenerateKeyPair(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := host.Config{Name: name, Keys: keys, Registry: reg, Trusted: name != "mid"}
+		if name == "mid" {
+			cfg.Behavior = attack.StateMutation{Mutate: func(st value.State) {
+				st["total"] = value.Int(st["total"].Int + 1000)
+			}}
+		}
+		h, err := host.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stack, err := protection.Assemble(protection.LevelAdaptive, protection.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = stack.Close() })
+		node, err := core.NewNode(core.NodeConfig{
+			Host:       h,
+			Net:        net,
+			Mechanisms: stack.Mechanisms,
+			Policy:     stack.Policy,
+			Exchange: core.ExchangeConfig{
+				Peers:    names,
+				Interval: 50 * time.Millisecond,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = node.Close() })
+		nodes[name] = node
+		srv, err := transport.Serve("127.0.0.1:0", node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		net.AddHost(name, srv.Addr())
+	}
+
+	owner, err := sigcrypto.GenerateKeyPair("exchange-owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterKeyPair(owner); err != nil {
+		t.Fatal(err)
+	}
+	rules := appraisal.RuleSet{appraisal.MustRule("total-tracks-hops", "total == hops")}
+
+	ag, err := agent.New("exchange-agent", "exchange-owner", `
+proc main() {
+    total = total + 1
+    hops = hops + 1
+    migrate("mid", "step")
+}
+proc step() {
+    total = total + 1
+    hops = hops + 1
+    migrate("back", "fin")
+}
+proc fin() {
+    total = total + 1
+    hops = hops + 1
+    done()
+}`, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag.SetVar("total", value.Int(0))
+	ag.SetVar("hops", value.Int(0))
+	if err := appraisal.Attach(ag, rules, owner); err != nil {
+		t.Fatal(err)
+	}
+	var receipts []*core.Receipt
+	for _, n := range nodes {
+		receipts = append(receipts, n.Watch(ag.ID))
+	}
+	wire, err := ag.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SendAgent(ctx, "home", wire); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	// Under the reputation policy a first offense is flagged, not
+	// quarantined: the journey completes (carrying the failed verdict)
+	// or, if escalation already bites, aborts with detection — either
+	// way mid's session was detected first-hand somewhere.
+	if _, err := core.AwaitAny(ctx, receipts...); err != nil && !errors.Is(err, core.ErrDetection) {
+		t.Fatalf("journey: %v", err)
+	}
+
+	// The remote node took no agent traffic; only the exchange can
+	// teach it about mid. Poll the same built-in call agentctl uses.
+	deadline := time.Now().Add(45 * time.Second)
+	var last core.ReputationReply
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("remote never learned about mid via exchange: %+v", last)
+		}
+		body, err := net.Call(ctx, "remote", "node/reputation", core.ReputationCallBody("mid"))
+		if err != nil {
+			t.Fatalf("node/reputation: %v", err)
+		}
+		last, err = core.DecodeReputationReply(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last.Known && last.Rep.Suspicion > 0.4 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !last.ExchangeEnabled {
+		t.Error("remote did not report its exchange loop enabled")
+	}
+	if last.Exchange.Rounds == 0 && last.Exchange.OffersServed == 0 {
+		t.Errorf("remote reports no exchange activity: %+v", last.Exchange)
+	}
+	if st := nodes["remote"].Status(ag.ID); st.Phase != core.PhaseUnknown {
+		t.Errorf("remote saw agent traffic (phase %s) — the scenario requires disjoint traffic", st.Phase)
+	}
+	fmt.Printf("remote's exchanged view of mid: suspicion %.3f after %d rounds\n",
+		last.Rep.Suspicion, last.Exchange.Rounds)
+}

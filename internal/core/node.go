@@ -115,6 +115,15 @@ type NodeConfig struct {
 	// nil. After a failure the node keeps serving from memory —
 	// persistence degrades, the platform does not stop.
 	OnPersistError func(error)
+	// Exchange enables periodic anti-entropy reputation exchange with
+	// the configured fleet peers (peer list, round interval, per-round
+	// entry budget; see ExchangeConfig). It requires a mechanism in
+	// Mechanisms implementing Exchanger — the adaptive level's gossip
+	// mechanism — and NewNode fails loudly otherwise rather than
+	// silently dropping the requested convergence. The zero value (no
+	// peers) keeps the seed behaviour: suspicion travels only in agent
+	// baggage.
+	Exchange ExchangeConfig
 	// Policy decides the node's response to every verdict produced
 	// here: quarantine, continue-flagged, and owner notification. Nil
 	// selects a built-in: the strict seed behaviour (any failed check
@@ -167,6 +176,10 @@ type Node struct {
 	cancel  context.CancelFunc
 	queues  []chan intakeItem
 	wg      sync.WaitGroup
+	// stopExchange halts the anti-entropy exchange loop started at
+	// construction (nil when NodeConfig.Exchange is disabled); Close
+	// calls it before waiting out the workers.
+	stopExchange func()
 	// intake counts in-flight enqueue calls; Close waits for them
 	// before draining so no delivery is accepted and then silently
 	// lost.
@@ -285,6 +298,27 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		cancel()
 		return nil, err
 	}
+	if cfg.Exchange.Enabled() {
+		var ex Exchanger
+		for _, m := range cfg.Mechanisms {
+			if e, ok := m.(Exchanger); ok {
+				ex = e
+				break
+			}
+		}
+		if ex == nil {
+			cancel()
+			return nil, errors.Join(
+				errors.New("core: exchange configured but no mechanism implements core.Exchanger (the adaptive level's gossip mechanism does)"),
+				n.journal.Close(), n.quarantine.Close())
+		}
+		stop, err := ex.StartExchange(ctx, n.hc, cfg.Exchange)
+		if err != nil {
+			cancel()
+			return nil, errors.Join(err, n.journal.Close(), n.quarantine.Close())
+		}
+		n.stopExchange = stop
+	}
 	for i := range n.queues {
 		q := make(chan intakeItem, depth)
 		n.queues[i] = q
@@ -340,6 +374,12 @@ func (n *Node) Close() error {
 	n.closed = true
 	n.mu.Unlock()
 	n.cancel()
+	// The exchange loop stops first: it makes outbound calls on the
+	// network the deployment is tearing down, and halt blocks until the
+	// loop (its in-flight round cancelled by rootCtx) has exited.
+	if n.stopExchange != nil {
+		n.stopExchange()
+	}
 	// In-flight enqueuers see the cancelled rootCtx if blocked on a
 	// full queue; wait them out before draining so nothing lands in a
 	// queue after the drain.
@@ -823,6 +863,11 @@ type ReputationReply struct {
 	// Rep is meaningful only when Known.
 	Known bool
 	Rep   HostReputation
+	// ExchangeEnabled reports whether this node runs the anti-entropy
+	// exchange loop; Exchange carries its counters (OffersServed is
+	// filled even on loop-less nodes that answer peers' offers).
+	ExchangeEnabled bool
+	Exchange        ExchangeStats
 }
 
 // DecodeReputationReply decodes a node/reputation response.
@@ -889,6 +934,12 @@ func (n *Node) HandleCall(ctx context.Context, method string, body []byte) ([]by
 			if rr, ok := n.policy().(ReputationReporter); ok {
 				reply.Tracked = true
 				reply.Rep, reply.Known = rr.HostReputation(string(body))
+			}
+			for _, m := range n.cfg.Mechanisms {
+				if er, ok := m.(ExchangeReporter); ok {
+					reply.Exchange, reply.ExchangeEnabled = er.ExchangeStats()
+					break
+				}
 			}
 			return gobReply("reputation", reply)
 		case "quarantine":

@@ -1,0 +1,448 @@
+package policy
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Anti-entropy reputation exchange. Gossip in agent baggage spreads a
+// detection only along the carrying agent's route: two sub-fleets whose
+// agents never cross paths never converge on a shared picture of a
+// cheater, no matter how many times one of them catches it. The
+// Exchange closes that gap with a classic anti-entropy protocol over
+// the existing call path:
+//
+//	initiator                         responder
+//	   | reputation/offer                 |
+//	   |  (budget, ledger summary,        |
+//	   |   own signed extracts)  -------> |  verify + Merge extracts
+//	   |                                  |  delta = own extracts the
+//	   |                                  |  summary shows the initiator
+//	   | <------ signed extract delta     |  is missing
+//	   |  verify + Merge                  |
+//
+// Both directions carry ordinary GossipEntry extracts — the same
+// signed format, the same bounded tuple codec, and the same
+// verify-then-Merge ingestion as baggage gossip — so the damping and
+// merge cap that bound defamation for in-baggage gossip bound the
+// exchange identically: a lying peer can assert at most
+// maxMergeSuspicion about a victim, adopted value contracts by
+// gossipDamping per relay hop, and replayed or duplicated offers are
+// idempotent because Merge is a decayed max.
+//
+// Peers are visited in randomized round-robin: the configured peer
+// list is shuffled once (seeded from the host name, so a node's visit
+// order is deterministic and test-replayable while differing across
+// nodes) and each round advances one position — every peer is reached
+// within len(peers) rounds, which upper-bounds fleet convergence time.
+const (
+	// offerWireLabel / summaryWireLabel / deltaWireLabel version the
+	// three exchange message framings.
+	offerWireLabel   = "policy-gossip-offer"
+	summaryWireLabel = "policy-gossip-summary"
+	deltaWireLabel   = "policy-gossip-delta"
+
+	// MaxExchangeWireBytes bounds a whole offer or delta message; it is
+	// checked before parsing, like the entry-list bound.
+	MaxExchangeWireBytes = 256 * 1024
+	// maxSummaryEntries bounds the ledger summary an offer may carry;
+	// maxSummaryWireBytes bounds its encoded size on the sending side
+	// (half the message bound, leaving room for the pushed entry list
+	// plus framing), so long principal names shrink the summary
+	// instead of failing the round.
+	maxSummaryEntries   = 1024
+	maxSummaryWireBytes = MaxExchangeWireBytes / 2
+	// exchangeCallTimeout bounds one peer call so a hung peer cannot
+	// stall the loop past its own round.
+	exchangeCallTimeout = 15 * time.Second
+)
+
+// ErrExchangeWire is wrapped by rejections of exchange message framing.
+var ErrExchangeWire = errors.New("policy: malformed exchange message")
+
+// summaryItem is one (host, suspicion) pair of an offer's ledger
+// summary: what the initiator already believes, so the responder can
+// answer with only the delta.
+type summaryItem struct {
+	Host      string
+	Suspicion float64
+}
+
+// encodeOffer renders an offer: the initiator's reply budget, its
+// ledger summary, and its own signed extracts (the push half).
+func encodeOffer(budget int, summary []summaryItem, entries []GossipEntry) ([]byte, error) {
+	enc, err := encodeEntries(entries)
+	if err != nil {
+		return nil, err
+	}
+	sfields := make([][]byte, 0, 1+len(summary))
+	sfields = append(sfields, []byte(summaryWireLabel))
+	for _, s := range summary {
+		if len(s.Host) > maxPrincipalLen {
+			return nil, fmt.Errorf("%w: summary host over bound", ErrExchangeWire)
+		}
+		sfields = append(sfields, canon.Tuple([]byte(s.Host), appendU64(floatBits(s.Suspicion))))
+	}
+	out := canon.Tuple(
+		[]byte(offerWireLabel),
+		appendU64(uint64(budget)),
+		canon.Tuple(sfields...),
+		enc,
+	)
+	if len(out) > MaxExchangeWireBytes {
+		return nil, fmt.Errorf("%w: %d bytes over %d", ErrExchangeWire, len(out), MaxExchangeWireBytes)
+	}
+	return out, nil
+}
+
+// decodeOffer parses an offer, clamping the requested budget and
+// bounding every dimension before allocation.
+func decodeOffer(body []byte) (budget int, summary map[string]float64, entries []GossipEntry, err error) {
+	if len(body) > MaxExchangeWireBytes {
+		return 0, nil, nil, fmt.Errorf("%w: %d bytes over %d", ErrExchangeWire, len(body), MaxExchangeWireBytes)
+	}
+	fields, err := canon.ParseTuple(body)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("%w: %v", ErrExchangeWire, err)
+	}
+	if len(fields) != 4 || string(fields[0]) != offerWireLabel || len(fields[1]) != 8 {
+		return 0, nil, nil, fmt.Errorf("%w: bad offer framing", ErrExchangeWire)
+	}
+	budget = int(binary.BigEndian.Uint64(fields[1]))
+	if budget < 1 {
+		budget = 1
+	}
+	if budget > core.MaxExchangeBudget {
+		budget = core.MaxExchangeBudget
+	}
+	sfields, err := canon.ParseTuple(fields[2])
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("%w: summary: %v", ErrExchangeWire, err)
+	}
+	if len(sfields) == 0 || string(sfields[0]) != summaryWireLabel {
+		return 0, nil, nil, fmt.Errorf("%w: bad summary framing", ErrExchangeWire)
+	}
+	if len(sfields)-1 > maxSummaryEntries {
+		return 0, nil, nil, fmt.Errorf("%w: %d summary entries over %d", ErrExchangeWire, len(sfields)-1, maxSummaryEntries)
+	}
+	summary = make(map[string]float64, len(sfields)-1)
+	for _, f := range sfields[1:] {
+		item, err := canon.ParseTuple(f)
+		if err != nil || len(item) != 2 || len(item[0]) > maxPrincipalLen || len(item[1]) != 8 {
+			return 0, nil, nil, fmt.Errorf("%w: bad summary item", ErrExchangeWire)
+		}
+		summary[string(item[0])] = floatFromBits(binary.BigEndian.Uint64(item[1]))
+	}
+	entries, err = decodeEntriesBounded(fields[3], core.MaxExchangeBudget)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return budget, summary, entries, nil
+}
+
+// encodeDelta renders the responder's reply: its signed extracts the
+// initiator's summary showed missing.
+func encodeDelta(entries []GossipEntry) ([]byte, error) {
+	enc, err := encodeEntries(entries)
+	if err != nil {
+		return nil, err
+	}
+	return canon.Tuple([]byte(deltaWireLabel), enc), nil
+}
+
+// decodeDelta parses a delta reply under the same bounds as an offer.
+func decodeDelta(body []byte) ([]GossipEntry, error) {
+	if len(body) > MaxExchangeWireBytes {
+		return nil, fmt.Errorf("%w: %d bytes over %d", ErrExchangeWire, len(body), MaxExchangeWireBytes)
+	}
+	fields, err := canon.ParseTuple(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrExchangeWire, err)
+	}
+	if len(fields) != 2 || string(fields[0]) != deltaWireLabel {
+		return nil, fmt.Errorf("%w: bad delta framing", ErrExchangeWire)
+	}
+	return decodeEntriesBounded(fields[1], core.MaxExchangeBudget)
+}
+
+// Exchange runs the anti-entropy loop for one node. It is created
+// through Gossip.StartExchange (the node lifecycle); tests and the
+// bench harness drive rounds deterministically with Step.
+type Exchange struct {
+	gossip *Gossip
+	hc     *core.HostContext
+	self   string
+	cfg    core.ExchangeConfig
+	now    func() time.Time
+
+	mu      sync.Mutex
+	peers   []string // shuffled ring; next indexes the coming round
+	next    int
+	stats   core.ExchangeStats
+	stopped bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newExchange validates and normalizes the configuration. The peer
+// list is deduplicated, purged of the node itself, and shuffled with a
+// seed derived from the host name.
+func newExchange(g *Gossip, hc *core.HostContext, cfg core.ExchangeConfig) (*Exchange, error) {
+	if hc == nil || hc.Host == nil || hc.Net == nil {
+		return nil, errors.New("policy: exchange needs a host context with a network")
+	}
+	self := hc.Host.Name()
+	seen := make(map[string]bool, len(cfg.Peers))
+	peers := make([]string, 0, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		if p == "" || p == self || seen[p] {
+			continue
+		}
+		seen[p] = true
+		peers = append(peers, p)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("policy: exchange at %s has no usable peers", self)
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = core.DefaultExchangeInterval
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = core.DefaultExchangeBudget
+	}
+	if cfg.Budget > core.MaxExchangeBudget {
+		cfg.Budget = core.MaxExchangeBudget
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(self))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	return &Exchange{
+		gossip: g,
+		hc:     hc,
+		self:   self,
+		cfg:    cfg,
+		now:    g.now,
+		peers:  peers,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// run paces Step until the node closes or the loop is stopped.
+func (x *Exchange) run(ctx context.Context) {
+	defer close(x.done)
+	t := time.NewTicker(x.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-x.stop:
+			return
+		case <-t.C:
+			_ = x.Step(ctx)
+		}
+	}
+}
+
+// halt stops the loop and blocks until it has exited; idempotent.
+func (x *Exchange) halt() {
+	x.mu.Lock()
+	if !x.stopped {
+		x.stopped = true
+		close(x.stop)
+	}
+	x.mu.Unlock()
+	<-x.done
+}
+
+// Stats snapshots the loop's counters (the offer-serving counter lives
+// on the Gossip mechanism; Gossip.ExchangeStats merges it in).
+func (x *Exchange) Stats() core.ExchangeStats {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.stats
+}
+
+// nextPeer advances the shuffled ring by one.
+func (x *Exchange) nextPeer() string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	p := x.peers[x.next%len(x.peers)]
+	x.next++
+	return p
+}
+
+// Step runs one exchange round against the next peer of the shuffled
+// ring: push our signed extracts, pull the peer's delta, verify and
+// merge it. Exported so tests and the convergence bench can drive
+// rounds deterministically instead of waiting out the interval; the
+// background loop calls it on every tick.
+func (x *Exchange) Step(ctx context.Context) error {
+	peer := x.nextPeer()
+	err := x.exchangeWith(ctx, peer)
+	x.mu.Lock()
+	x.stats.Rounds++
+	x.stats.LastPeer = peer
+	x.stats.LastUnixNano = x.now().UnixNano()
+	if err != nil {
+		x.stats.Failures++
+	}
+	x.mu.Unlock()
+	return err
+}
+
+// exchangeWith performs the offer/delta round trip with one peer.
+func (x *Exchange) exchangeWith(ctx context.Context, peer string) error {
+	ctx, cancel := context.WithTimeout(ctx, exchangeCallTimeout)
+	defer cancel()
+
+	// One ledger snapshot serves the whole round: the push half (our
+	// extracts, budget-capped) and the summary, which covers a wider
+	// slice than we push so the peer can skip anything we already know
+	// at least as well.
+	snap := x.gossip.ledger.Snapshot(0)
+	push := x.gossip.extracts(snap, x.self, x.hc.Host.Keys(), x.cfg.Budget, nil)
+	summaryLimit := 4 * x.cfg.Budget
+	if summaryLimit > maxSummaryEntries {
+		summaryLimit = maxSummaryEntries
+	}
+	var summary []summaryItem
+	size := 0
+	for _, rep := range snap {
+		if len(summary) >= summaryLimit {
+			break
+		}
+		if len(rep.Host) > maxPrincipalLen {
+			// Unencodable name: skip it (as extract selection does)
+			// rather than fail the round.
+			continue
+		}
+		size += summaryItemWireSize(rep.Host)
+		if size > maxSummaryWireBytes {
+			break
+		}
+		summary = append(summary, summaryItem{Host: rep.Host, Suspicion: rep.Suspicion})
+	}
+	body, err := encodeOffer(x.cfg.Budget, summary, push)
+	if err != nil {
+		return fmt.Errorf("policy: exchange at %s: %w", x.self, err)
+	}
+	reply, err := x.hc.Net.Call(ctx, peer, GossipMechanismName+"/offer", body)
+	if err != nil {
+		return fmt.Errorf("policy: exchange %s->%s: %w", x.self, peer, err)
+	}
+	delta, err := decodeDelta(reply)
+	if err != nil {
+		return fmt.Errorf("policy: exchange %s->%s: %w", x.self, peer, err)
+	}
+	merged := x.gossip.mergeVerified(x.hc.Host.Registry(), x.self, delta)
+	x.mu.Lock()
+	x.stats.EntriesSent += int64(len(push))
+	x.stats.EntriesReceived += int64(len(delta))
+	x.stats.EntriesMerged += int64(len(merged))
+	x.mu.Unlock()
+	return nil
+}
+
+// floatBits / floatFromBits keep the summary's float encoding in one
+// place (IEEE-754 big-endian bits, like every float on this wire).
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(u uint64) float64 { return math.Float64frombits(u) }
+
+// --- Gossip's exchange surface -------------------------------------
+
+// HandleCall implements core.CallHandler: "offer" answers one
+// anti-entropy round. The pushed extracts pass through the same
+// verify-then-Merge as baggage gossip; the reply carries this host's
+// own signed extracts for every ledger entry the initiator's summary
+// shows it is missing (or knows weaker than damping could improve).
+func (m *Gossip) HandleCall(_ context.Context, hc *core.HostContext, method string, body []byte) ([]byte, error) {
+	if method != "offer" {
+		return nil, fmt.Errorf("%w: %s/%s", transport.ErrUnknownMethod, GossipMechanismName, method)
+	}
+	budget, summary, pushed, err := decodeOffer(body)
+	if err != nil {
+		return nil, err
+	}
+	self := hc.Host.Name()
+	m.mergeVerified(hc.Host.Registry(), self, pushed)
+	delta := m.extracts(m.ledger.Snapshot(0), self, hc.Host.Keys(), budget, func(rep core.HostReputation) bool {
+		have, known := summary[rep.Host]
+		// Useless to send: after damping the initiator's merge could
+		// not raise what it already has.
+		return known && rep.Suspicion*gossipDamping <= have+1e-9
+	})
+	m.exMu.Lock()
+	m.offersServed++
+	m.exMu.Unlock()
+	return encodeDelta(delta)
+}
+
+// StartExchange implements core.Exchanger: the node starts the loop at
+// construction and stops it at Close. A Gossip instance runs at most
+// one loop (mechanism instances are per-node).
+func (m *Gossip) StartExchange(ctx context.Context, hc *core.HostContext, cfg core.ExchangeConfig) (func(), error) {
+	x, err := newExchange(m, hc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.exMu.Lock()
+	if m.exchange != nil {
+		m.exMu.Unlock()
+		return nil, errors.New("policy: exchange already started for this gossip mechanism")
+	}
+	m.exchange = x
+	m.exMu.Unlock()
+	go x.run(ctx)
+	return x.halt, nil
+}
+
+// Exchange returns the running anti-entropy loop, or nil when the node
+// runs gossip-in-baggage only. The convergence bench uses it to drive
+// rounds deterministically.
+func (m *Gossip) Exchange() *Exchange {
+	m.exMu.Lock()
+	defer m.exMu.Unlock()
+	return m.exchange
+}
+
+// ExchangeStats implements core.ExchangeReporter.
+func (m *Gossip) ExchangeStats() (core.ExchangeStats, bool) {
+	m.exMu.Lock()
+	x := m.exchange
+	served := m.offersServed
+	m.exMu.Unlock()
+	if x == nil {
+		return core.ExchangeStats{OffersServed: served}, false
+	}
+	st := x.Stats()
+	st.OffersServed = served
+	return st, true
+}
+
+// Close stops the exchange loop, if one is running; io.Closer so
+// protection.Stack.Close tears the loop down with the rest of the
+// stack. Safe to call alongside (or after) the owning node's Close.
+func (m *Gossip) Close() error {
+	m.exMu.Lock()
+	x := m.exchange
+	m.exMu.Unlock()
+	if x != nil {
+		x.halt()
+	}
+	return nil
+}

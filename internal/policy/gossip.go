@@ -1,12 +1,11 @@
 package policy
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/agent"
@@ -91,9 +90,22 @@ type Gossip struct {
 	// departure re-carries. Bounded: an agent that never departs
 	// (quarantined) ages out FIFO.
 	verified *shardstore.Store[[]GossipEntry]
+
+	// exchange is the anti-entropy loop started through the node
+	// lifecycle (core.Exchanger); nil when the node runs gossip-in-
+	// baggage only. offersServed counts reputation/offer calls answered
+	// regardless (a node serves peers even when it initiates no rounds
+	// itself). Both guarded by exMu.
+	exMu         sync.Mutex
+	exchange     *Exchange
+	offersServed int64
 }
 
-var _ core.Mechanism = (*Gossip)(nil)
+var (
+	_ core.Mechanism   = (*Gossip)(nil)
+	_ core.CallHandler = (*Gossip)(nil)
+	_ core.Exchanger   = (*Gossip)(nil)
+)
 
 // NewGossip builds the mechanism over the node's shared ledger.
 func NewGossip(ledger *Ledger) *Gossip {
@@ -110,33 +122,31 @@ func NewGossip(ledger *Ledger) *Gossip {
 // Name implements core.Mechanism.
 func (m *Gossip) Name() string { return GossipMechanismName }
 
-// decodeEntries parses gossip baggage; a decode error reads as empty
-// (the carrier may have been tampered with — wholesig, layered outside
-// this mechanism, is what detects that).
+// decodeEntries parses gossip baggage through the bounded tuple codec
+// (see wire.go); a decode error — including an oversized or over-count
+// message — reads as empty (the carrier may have been tampered with;
+// wholesig, layered outside this mechanism, is what detects that).
 func decodeEntries(data []byte) []GossipEntry {
 	if len(data) == 0 {
 		return nil
 	}
-	var entries []GossipEntry
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&entries); err != nil {
+	entries, err := decodeEntriesBounded(data, maxGossipEntries)
+	if err != nil {
 		return nil
 	}
 	return entries
 }
 
-// CheckAfterSession merges verified gossip entries into the local
-// ledger and records them for re-carry on departure. Self-reports (an
-// observer vouching about itself), entries from unknown observers, and
-// non-finite suspicion values are dropped.
-func (m *Gossip) CheckAfterSession(_ context.Context, hc *core.HostContext, ag *agent.Agent) (*core.Verdict, error) {
-	data, ok := ag.GetBaggage(GossipMechanismName)
-	if !ok {
-		return nil, nil
-	}
-	reg := hc.Host.Registry()
-	self := hc.Host.Name()
+// mergeVerified filters entries exactly as arrival does — dropping
+// self-reports, entries echoing our own observations back, non-finite
+// or non-positive suspicion, and anything whose signature does not
+// verify against the claimed observer — and merges the survivors into
+// the ledger. It returns the surviving entries (what baggage re-carry
+// keeps) and is shared verbatim by the anti-entropy exchange, so both
+// ingestion paths enforce one trust policy.
+func (m *Gossip) mergeVerified(reg *sigcrypto.Registry, self string, entries []GossipEntry) []GossipEntry {
 	var keep []GossipEntry
-	for _, e := range decodeEntries(data) {
+	for _, e := range entries {
 		if e.Observer == e.Host || e.Observer == self {
 			continue
 		}
@@ -152,6 +162,66 @@ func (m *Gossip) CheckAfterSession(_ context.Context, hc *core.HostContext, ag *
 		m.ledger.Merge(e.Host, e.Suspicion, time.Unix(0, e.AtUnixNano))
 		keep = append(keep, e)
 	}
+	return keep
+}
+
+// extracts selects up to limit signed extracts from snap — a ledger
+// snapshot, most suspect first — skipping the host itself, entries
+// below the sharing floor, and any host in the skip set. Both the
+// departure path and the exchange protocol share it: one extract
+// format, one signer (callers that need the snapshot for other work
+// too, like the exchange's summary, take it once and pass it in).
+// Selection also stops at the wire byte budget, so the returned list
+// always encodes within MaxGossipWireBytes — a fleet with many long
+// principal names trades fewer extracts per message, never a failing
+// one (the most suspect hosts still go first; the rest wait for the
+// next departure or round).
+func (m *Gossip) extracts(snap []core.HostReputation, self string, keys *sigcrypto.KeyPair, limit int, skip func(rep core.HostReputation) bool) []GossipEntry {
+	if len(self) > maxPrincipalLen {
+		// A node whose own name cannot travel in an entry has nothing
+		// it can share.
+		return nil
+	}
+	now := m.now().UnixNano()
+	var out []GossipEntry
+	size := entriesWireHeader
+	for _, rep := range snap {
+		if len(out) >= limit {
+			break
+		}
+		if rep.Suspicion < minGossipSuspicion || rep.Host == self {
+			continue
+		}
+		if len(rep.Host) > maxPrincipalLen {
+			// An over-bound principal name cannot go on the wire; skip
+			// it rather than fail the whole message (the codec's
+			// invariant: a host never emits what peers must reject).
+			continue
+		}
+		if skip != nil && skip(rep) {
+			continue
+		}
+		e := GossipEntry{Observer: self, Host: rep.Host, Suspicion: rep.Suspicion, AtUnixNano: now}
+		e.Sig = keys.SignDigest(e.bindingDigest())
+		if size+entryWireSize(&e) > MaxGossipWireBytes {
+			break
+		}
+		size += entryWireSize(&e)
+		out = append(out, e)
+	}
+	return out
+}
+
+// CheckAfterSession merges verified gossip entries into the local
+// ledger and records them for re-carry on departure. Self-reports (an
+// observer vouching about itself), entries from unknown observers, and
+// non-finite suspicion values are dropped.
+func (m *Gossip) CheckAfterSession(_ context.Context, hc *core.HostContext, ag *agent.Agent) (*core.Verdict, error) {
+	data, ok := ag.GetBaggage(GossipMechanismName)
+	if !ok {
+		return nil, nil
+	}
+	keep := m.mergeVerified(hc.Host.Registry(), hc.Host.Name(), decodeEntries(data))
 	m.verified.Put(ag.ID, keep)
 	return nil, nil
 }
@@ -171,13 +241,7 @@ func (m *Gossip) PrepareDeparture(_ context.Context, hc *core.HostContext, ag *a
 		}
 	}
 	self := hc.Host.Name()
-	now := m.now().UnixNano()
-	for _, rep := range m.ledger.Snapshot(gossipShareLimit) {
-		if rep.Suspicion < minGossipSuspicion || rep.Host == self {
-			continue
-		}
-		e := GossipEntry{Observer: self, Host: rep.Host, Suspicion: rep.Suspicion, AtUnixNano: now}
-		e.Sig = hc.Host.Keys().SignDigest(e.bindingDigest())
+	for _, e := range m.extracts(m.ledger.Snapshot(0), self, hc.Host.Keys(), gossipShareLimit, nil) {
 		keep[e.Observer+"\x00"+e.Host] = e
 	}
 	if len(keep) == 0 {
@@ -202,10 +266,10 @@ func (m *Gossip) PrepareDeparture(_ context.Context, hc *core.HostContext, ag *a
 	if len(entries) > maxGossipEntries {
 		entries = entries[:maxGossipEntries]
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+	enc, err := encodeEntries(entries)
+	if err != nil {
 		return fmt.Errorf("policy: encoding gossip: %w", err)
 	}
-	ag.SetBaggage(GossipMechanismName, buf.Bytes())
+	ag.SetBaggage(GossipMechanismName, enc)
 	return nil
 }

@@ -1,9 +1,7 @@
 package policy
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
 	"math"
 	"testing"
 	"time"
@@ -59,11 +57,11 @@ func mkGossipAgent(t *testing.T) *agent.Agent {
 
 func setEntries(t *testing.T, ag *agent.Agent, entries []GossipEntry) {
 	t.Helper()
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+	enc, err := encodeEntries(entries)
+	if err != nil {
 		t.Fatal(err)
 	}
-	ag.SetBaggage(GossipMechanismName, buf.Bytes())
+	ag.SetBaggage(GossipMechanismName, enc)
 }
 
 // TestGossipRoundTrip: a detection at A travels to B in agent baggage

@@ -139,9 +139,14 @@ type Stack struct {
 	// Policy is the node's verdict policy; nil selects the core
 	// built-ins (strict, or permissive with ContinueOnDetection).
 	Policy core.VerdictPolicy
-	// Ledger and Gate are non-nil only for LevelAdaptive.
+	// Ledger, Gate, and Gossip are non-nil only for LevelAdaptive.
+	// Gossip is exposed so deployments can wire the node's anti-entropy
+	// exchange (core.NodeConfig.Exchange starts it through the
+	// mechanism; Stack.Close stops it with the rest of the stack) and
+	// inspect its stats.
 	Ledger *policy.Ledger
 	Gate   *policy.Gate
+	Gossip *policy.Gossip
 }
 
 // Close flushes and releases the stack's durable state: the adaptive
@@ -217,16 +222,17 @@ func Assemble(l Level, opts Options) (Stack, error) {
 		// imported suspicion is in the ledger before this arrival's own
 		// verdicts are priced, then the cheap rules, then the gated
 		// re-execution protocol.
+		gossip := policy.NewGossip(led)
 		mechs := []core.Mechanism{
 			wholesig.New(opts.Timer),
-			policy.NewGossip(led),
+			gossip,
 			appraisalpkg.New(),
 			refproto.New(refproto.Config{
 				Compare: opts.Compare, Fuel: opts.Fuel, Timer: opts.Timer,
 				ExecHook: opts.ExecHook, ReExecGate: gate.ShouldReExecute,
 			}),
 		}
-		return Stack{Mechanisms: mechs, Policy: policy.NewReputation(pcfg), Ledger: led, Gate: gate}, nil
+		return Stack{Mechanisms: mechs, Policy: policy.NewReputation(pcfg), Ledger: led, Gate: gate, Gossip: gossip}, nil
 	default:
 		return Stack{}, fmt.Errorf("protection: unknown level %d", int(l))
 	}

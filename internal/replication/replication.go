@@ -22,11 +22,12 @@
 package replication
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"sync"
 
@@ -91,6 +92,79 @@ func (v *Vote) bindingBytes(agentID string) []byte {
 	)
 }
 
+// The vote wire codec: votes cross the untrusted network, so they move
+// in the repo's bounded canon.Tuple format (PR 1's wire policy) instead
+// of gob — total size and every field length are checked before any
+// content-proportional allocation, and a malformed message is a typed
+// error, not a speculative decode.
+const (
+	// voteWireLabel versions the vote framing.
+	voteWireLabel = "replication-vote-wire"
+	// MaxVoteWireBytes bounds an encoded vote; the dominant field is
+	// the canonical state encoding, so the bound is sized for large
+	// agent states with room to spare.
+	MaxVoteWireBytes = 1 << 20
+	// maxVoteNameLen bounds the replica-name field; maxVoteEntryLen the
+	// result-entry procedure name; maxVoteSigLen the signature.
+	maxVoteNameLen  = 256
+	maxVoteEntryLen = 1024
+	maxVoteSigLen   = 128
+)
+
+// ErrVoteWire is wrapped by every rejection of the vote wire codec.
+var ErrVoteWire = errors.New("replication: malformed vote wire data")
+
+// encodeVote renders a vote in the bounded tuple format.
+func encodeVote(v *Vote) ([]byte, error) {
+	if len(v.Replica) > maxVoteNameLen || len(v.ResultEntry) > maxVoteEntryLen ||
+		len(v.Sig.Signer) > maxVoteNameLen || len(v.Sig.Sig) > maxVoteSigLen {
+		return nil, fmt.Errorf("%w: field over bound", ErrVoteWire)
+	}
+	var hop [8]byte
+	binary.BigEndian.PutUint64(hop[:], uint64(v.Hop))
+	out := canon.Tuple(
+		[]byte(voteWireLabel),
+		[]byte(v.Replica),
+		hop[:],
+		v.StateEnc,
+		[]byte(v.ResultEntry),
+		[]byte(v.Sig.Signer),
+		v.Sig.Sig,
+	)
+	if len(out) > MaxVoteWireBytes {
+		return nil, fmt.Errorf("%w: %d encoded bytes over %d", ErrVoteWire, len(out), MaxVoteWireBytes)
+	}
+	return out, nil
+}
+
+// decodeVote parses a vote, rejecting oversized or malformed input
+// before allocating for it.
+func decodeVote(b []byte) (*Vote, error) {
+	if len(b) > MaxVoteWireBytes {
+		return nil, fmt.Errorf("%w: %d bytes over %d", ErrVoteWire, len(b), MaxVoteWireBytes)
+	}
+	fields, err := canon.ParseTuple(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrVoteWire, err)
+	}
+	if len(fields) != 7 || string(fields[0]) != voteWireLabel || len(fields[2]) != 8 {
+		return nil, fmt.Errorf("%w: bad framing", ErrVoteWire)
+	}
+	if len(fields[1]) > maxVoteNameLen || len(fields[4]) > maxVoteEntryLen ||
+		len(fields[5]) > maxVoteNameLen || len(fields[6]) > maxVoteSigLen {
+		return nil, fmt.Errorf("%w: field over bound", ErrVoteWire)
+	}
+	v := &Vote{
+		Replica:     string(fields[1]),
+		Hop:         int(binary.BigEndian.Uint64(fields[2])),
+		StateEnc:    append([]byte(nil), fields[3]...),
+		ResultEntry: string(fields[4]),
+	}
+	v.Sig.Signer = string(fields[5])
+	v.Sig.Sig = append([]byte(nil), fields[6]...)
+	return v, nil
+}
+
 // HandleCall implements core.CallHandler: method "execute" runs one
 // session on the local host and returns the signed vote.
 func (m *Mechanism) HandleCall(ctx context.Context, hc *core.HostContext, method string, body []byte) ([]byte, error) {
@@ -112,11 +186,11 @@ func (m *Mechanism) HandleCall(ctx context.Context, hc *core.HostContext, method
 		ResultEntry: ag.Entry,
 	}
 	v.Sig = hc.Host.Keys().Sign(v.bindingBytes(ag.ID))
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	enc, err := encodeVote(&v)
+	if err != nil {
 		return nil, fmt.Errorf("replication: encoding vote: %w", err)
 	}
-	return buf.Bytes(), nil
+	return enc, nil
 }
 
 // StageReport describes one stage's vote.
@@ -126,12 +200,26 @@ type StageReport struct {
 	// Votes maps replica name to its ballot digest; replicas that
 	// failed to answer are absent.
 	Votes map[string]canon.Digest
+	// Failures maps each replica whose vote could not be counted to
+	// the reason: transport errors, malformed or oversized vote wire
+	// data, a vote naming the wrong replica or hop, or a signature
+	// that did not verify. A replica present in Failures crashed,
+	// vanished, or cheated on the protocol level; a replica present in
+	// Votes with a losing ballot dissented on the content — operators
+	// can finally tell the two apart.
+	Failures map[string]string
 	// Winner is the majority ballot; Dissenters voted differently or
 	// not at all — under the honest-majority assumption these are the
 	// attacking (or faulty) hosts.
-	Winner     canon.Digest
-	WinnerN    int
-	Dissenters []string
+	Winner  canon.Digest
+	WinnerN int
+	// WinnerReplica is a real host that cast the majority ballot (the
+	// lexicographically first, for determinism); it is the name the
+	// coordinator records on the agent's route so downstream
+	// reputation and appraisal can attribute the stage to an actual
+	// principal.
+	WinnerReplica string
+	Dissenters    []string
 }
 
 // Report is the whole journey's outcome.
@@ -150,6 +238,15 @@ var (
 	ErrAgentFailed = errors.New("replication: agent finished before the last stage")
 )
 
+// ReputationSink receives the coordinator's first-hand observations of
+// replica behaviour; *policy.Ledger satisfies it. The interface lives
+// here so replication does not depend on the policy package.
+type ReputationSink interface {
+	// Observe records one check outcome against host (ok false charges
+	// the host suspicion; weight 0 selects the sink's default).
+	Observe(host string, ok bool, weight float64) float64
+}
+
 // Coordinator drives an agent through staged replicated execution.
 type Coordinator struct {
 	// Net reaches the replicas.
@@ -158,6 +255,15 @@ type Coordinator struct {
 	Registry *sigcrypto.Registry
 	// Stages is the itinerary: one replica set per stage.
 	Stages [][]string
+	// Reputation, when set, receives each decided stage's tally as
+	// first-hand observations: majority voters count as clean events,
+	// dissenters and protocol failures as failed checks — a replica
+	// out-voted here starts paying for it everywhere the ledger's
+	// suspicion reaches (gate escalation, gossip, anti-entropy
+	// exchange). Undecided stages (no majority) charge nobody: with no
+	// winning ballot there is no ground truth to dissent from. May be
+	// nil.
+	Reputation ReputationSink
 }
 
 // Run executes the agent through all stages and returns the report.
@@ -189,7 +295,11 @@ func (c *Coordinator) Run(ctx context.Context, ag *agent.Agent) (*Report, error)
 		cur.SetState(st)
 		cur.Entry = winnerVote.ResultEntry
 		cur.Hop++
-		cur.Route = append(cur.Route, fmt.Sprintf("stage%d", i))
+		// The route records the replica whose execution was adopted — a
+		// real host, so downstream reputation/appraisal can attribute
+		// the stage to a principal (a synthetic "stageN" name would be
+		// unchargeable).
+		cur.Route = append(cur.Route, stage.WinnerReplica)
 		if cur.Entry == "" {
 			if i != len(c.Stages)-1 {
 				rep.Final = cur
@@ -209,6 +319,7 @@ func (c *Coordinator) runStage(ctx context.Context, stageIdx int, replicas []str
 		Stage:    stageIdx,
 		Replicas: append([]string(nil), replicas...),
 		Votes:    make(map[string]canon.Digest, len(replicas)),
+		Failures: make(map[string]string),
 	}
 	wire, err := cur.Marshal()
 	if err != nil {
@@ -229,15 +340,15 @@ func (c *Coordinator) runStage(ctx context.Context, stageIdx int, replicas []str
 			defer wg.Done()
 			body, err := c.Net.Call(ctx, r, MechanismName+"/execute", wire)
 			if err != nil {
+				results <- result{replica: r, err: fmt.Errorf("call: %w", err)}
+				return
+			}
+			v, err := decodeVote(body)
+			if err != nil {
 				results <- result{replica: r, err: err}
 				return
 			}
-			var v Vote
-			if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&v); err != nil {
-				results <- result{replica: r, err: err}
-				return
-			}
-			results <- result{replica: r, vote: &v}
+			results <- result{replica: r, vote: v}
 		}()
 	}
 	wg.Wait()
@@ -245,16 +356,27 @@ func (c *Coordinator) runStage(ctx context.Context, stageIdx int, replicas []str
 
 	votes := make(map[string]*Vote, len(replicas))
 	for res := range results {
+		// A replica that produced no countable vote is still implicit
+		// dissent for the tally, but the report records *why* — a
+		// crashed replica and a cheating one are different operational
+		// problems.
 		if res.err != nil {
-			continue // unresponsive replica = implicit dissent
+			report.Failures[res.replica] = res.err.Error()
+			continue
 		}
 		v := res.vote
 		// A vote must be attributable: right replica, right hop, valid
 		// signature.
-		if v.Replica != res.replica || v.Hop != cur.Hop {
+		if v.Replica != res.replica {
+			report.Failures[res.replica] = fmt.Sprintf("vote names replica %q", v.Replica)
+			continue
+		}
+		if v.Hop != cur.Hop {
+			report.Failures[res.replica] = fmt.Sprintf("vote for hop %d, stage expects %d", v.Hop, cur.Hop)
 			continue
 		}
 		if err := c.Registry.Verify(v.bindingBytes(cur.ID), v.Sig); err != nil {
+			report.Failures[res.replica] = fmt.Sprintf("signature: %v", err)
 			continue
 		}
 		votes[res.replica] = v
@@ -288,12 +410,29 @@ func (c *Coordinator) runStage(ctx context.Context, stageIdx int, replicas []str
 	if best*2 <= len(replicas) {
 		return report, nil, fmt.Errorf("%w: stage %d: best ballot has %d of %d", ErrNoMajority, stageIdx, best, len(replicas))
 	}
-	for _, v := range votes {
-		if v.Digest() == winner {
-			return report, v, nil
+	// Adopt the lexicographically first majority voter's vote, so the
+	// winner recorded on the route is deterministic.
+	var winnerVote *Vote
+	for _, r := range slices.Sorted(maps.Keys(votes)) {
+		if votes[r].Digest() == winner {
+			winnerVote = votes[r]
+			report.WinnerReplica = r
+			break
 		}
 	}
-	return report, nil, fmt.Errorf("replication: stage %d: internal: winner vote not found", stageIdx)
+	if winnerVote == nil {
+		return report, nil, fmt.Errorf("replication: stage %d: internal: winner vote not found", stageIdx)
+	}
+	// The decided tally is first-hand evidence about every replica:
+	// majority voters behaved, everyone else either cheated or failed
+	// the protocol.
+	if c.Reputation != nil {
+		for _, r := range replicas {
+			d, ok := report.Votes[r]
+			c.Reputation.Observe(r, ok && d == winner, 0)
+		}
+	}
+	return report, winnerVote, nil
 }
 
 // MaxTolerated returns the number of malicious replicas a stage of

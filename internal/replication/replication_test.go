@@ -207,6 +207,117 @@ func TestCoordinatorDoesNotMutateInput(t *testing.T) {
 	}
 }
 
+// TestFailureReasonsDistinguishCrashFromDissent pins the StageReport
+// triage surface: an unreachable replica lands in Failures with a
+// reason, while a replica whose counted vote simply lost stays out of
+// Failures — operators can tell a crashed replica from a dissenting
+// one.
+func TestFailureReasonsDistinguishCrashFromDissent(t *testing.T) {
+	bed, coord := buildReplicaBed(t, 5, map[string]host.Behavior{
+		"s0r1": attack.DataManipulation{Var: "offer", Val: value.Int(9999)},
+	})
+	coord.Stages[0] = append(coord.Stages[0], "ghost") // absent replica
+	ag := bed.NewAgent("staged", stagedCode)
+	rep, err := coord.Run(context.Background(), ag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := rep.Stages[0]
+	if reason, ok := s0.Failures["ghost"]; !ok || reason == "" {
+		t.Errorf("ghost has no failure reason: %v", s0.Failures)
+	}
+	if _, ok := s0.Failures["s0r1"]; ok {
+		t.Errorf("dissenting replica recorded as failure: %v", s0.Failures)
+	}
+	if _, ok := s0.Votes["s0r1"]; !ok {
+		t.Error("dissenting replica's vote not counted")
+	}
+	// Both remain dissenters for the tally.
+	if d := s0.Dissenters; len(d) != 2 {
+		t.Errorf("dissenters = %v, want ghost and s0r1", d)
+	}
+}
+
+// TestRouteRecordsWinnerReplica pins that the agent's route names the
+// adopted replica — a real, chargeable host — instead of a synthetic
+// "stageN" label no ledger could attribute.
+func TestRouteRecordsWinnerReplica(t *testing.T) {
+	bed, coord := buildReplicaBed(t, 3, map[string]host.Behavior{
+		"s0r0": attack.DataManipulation{Var: "offer", Val: value.Int(9999)},
+	})
+	ag := bed.NewAgent("staged", stagedCode)
+	rep, err := coord.Run(context.Background(), ag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Final.Route) != 2 {
+		t.Fatalf("route = %v, want 2 stages", rep.Final.Route)
+	}
+	for i, stage := range rep.Stages {
+		if got := rep.Final.Route[i]; got != stage.WinnerReplica {
+			t.Errorf("route[%d] = %q, want winner %q", i, got, stage.WinnerReplica)
+		}
+	}
+	// The winner is an honest majority voter, deterministically the
+	// first by name — never the out-voted cheater.
+	if w := rep.Stages[0].WinnerReplica; w != "s0r1" {
+		t.Errorf("stage 0 winner = %q, want s0r1 (first honest voter)", w)
+	}
+}
+
+// recordingSink captures coordinator reputation observations.
+type recordingSink struct {
+	obs map[string][]bool
+}
+
+func (s *recordingSink) Observe(host string, ok bool, _ float64) float64 {
+	if s.obs == nil {
+		s.obs = make(map[string][]bool)
+	}
+	s.obs[host] = append(s.obs[host], ok)
+	return 0
+}
+
+// TestDissentersFeedReputation pins the ledger feeding: majority
+// voters are observed clean, dissenters and unresponsive replicas are
+// charged, and an undecided stage charges nobody.
+func TestDissentersFeedReputation(t *testing.T) {
+	sink := &recordingSink{}
+	bed, coord := buildReplicaBed(t, 5, map[string]host.Behavior{
+		"s0r2": attack.DataManipulation{Var: "offer", Val: value.Int(9999)},
+	})
+	coord.Reputation = sink
+	coord.Stages[0] = append(coord.Stages[0], "ghost")
+	ag := bed.NewAgent("staged", stagedCode)
+	if _, err := coord.Run(context.Background(), ag); err != nil {
+		t.Fatal(err)
+	}
+	for _, honest := range []string{"s0r0", "s0r1", "s0r3", "s0r4"} {
+		if got := sink.obs[honest]; len(got) != 1 || !got[0] {
+			t.Errorf("honest %s observations = %v, want one OK", honest, got)
+		}
+	}
+	for _, bad := range []string{"s0r2", "ghost"} {
+		if got := sink.obs[bad]; len(got) != 1 || got[0] {
+			t.Errorf("dissenter %s observations = %v, want one failure", bad, got)
+		}
+	}
+
+	// No majority: nobody is charged (there is no ground truth).
+	sink2 := &recordingSink{}
+	bed2, coord2 := buildReplicaBed(t, 2, map[string]host.Behavior{
+		"s0r0": attack.DataManipulation{Var: "offer", Val: value.Int(1)},
+	})
+	coord2.Reputation = sink2
+	ag2 := bed2.NewAgent("staged", stagedCode)
+	if _, err := coord2.Run(context.Background(), ag2); !errors.Is(err, replication.ErrNoMajority) {
+		t.Fatalf("err = %v, want ErrNoMajority", err)
+	}
+	if len(sink2.obs) != 0 {
+		t.Errorf("undecided stage charged principals: %v", sink2.obs)
+	}
+}
+
 func TestMaxTolerated(t *testing.T) {
 	tests := []struct{ n, want int }{
 		{0, 0}, {1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 2}, {7, 3},
