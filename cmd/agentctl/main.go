@@ -9,6 +9,7 @@
 //	agentctl reputation -peers ... <host>
 //	agentctl quarantine -peers ... <agent-id>
 //	agentctl evidence <path/to/evidence/file.agent>
+//	agentctl status -peers ...
 //
 // Invoking agentctl with flags only (no subcommand) is the legacy
 // launch form. Delivery is asynchronous: the launch returns once the
@@ -26,7 +27,11 @@
 // the evidence file on that node. "evidence" inspects such a spilled
 // file locally — run it on the node's machine (or on a copy of the
 // file) to recover the byte-identical quarantined agent and print the
-// verdicts, route, and state it carries. See docs/OPERATIONS.md.
+// verdicts, route, and state it carries. "status" prints every node's
+// durability posture via node/health — durable vs memory-only, store
+// sizes, and sticky persistence degradation (first/last WAL failure) —
+// and exits non-zero when any node is degraded, so it slots into
+// monitoring. See docs/OPERATIONS.md.
 package main
 
 import (
@@ -67,9 +72,62 @@ func run() error {
 		return runQuarantine(args)
 	case "evidence":
 		return runEvidence(args)
+	case "status":
+		return runStatus(args)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want launch|reputation|quarantine|evidence)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want launch|reputation|quarantine|evidence|status)", cmd)
 	}
+}
+
+// runStatus serves `agentctl status`: every node's durability posture
+// via the node/health built-in. A node whose WAL failed keeps running
+// from memory; this is where that degradation becomes visible before
+// the restart that would lose state.
+func runStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	peers := fs.String("peers", "", "address book: name=host:port,...")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-call deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	book, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	net := transport.NewTCPNetwork(book)
+	defer net.Close()
+
+	degraded := 0
+	fmt.Printf("agentctl: node health across %d nodes:\n", len(book))
+	for _, peer := range sortedNames(book) {
+		body, err := callPeer(net, peer, "health", core.HealthCallBody(), *timeout)
+		if err != nil {
+			fmt.Printf("  %-8s unreachable: %v\n", peer, err)
+			continue
+		}
+		h, err := core.DecodeHealthReply(body)
+		if err != nil {
+			return err
+		}
+		mode := "memory-only"
+		if h.Durable {
+			mode = "durable"
+		}
+		fmt.Printf("  %-8s %s journal=%d quarantine=%d", peer, mode, h.JournalEntries, h.QuarantineEntries)
+		if !h.Degraded {
+			fmt.Println(" ok")
+			continue
+		}
+		degraded++
+		fmt.Printf(" DEGRADED (%d persistence failures)\n", h.PersistFailures)
+		fmt.Printf("           first: %s at %s\n", h.FirstPersistError,
+			time.Unix(0, h.FirstPersistUnixNano).Format(time.RFC3339))
+		fmt.Printf("           last:  %s\n", time.Unix(0, h.LastPersistUnixNano).Format(time.RFC3339))
+	}
+	if degraded > 0 {
+		return fmt.Errorf("%d node(s) running with degraded persistence; their reputation/journal state will not survive a restart", degraded)
+	}
+	return nil
 }
 
 func runLaunch(args []string) error {

@@ -40,6 +40,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
 	"repro/internal/agent"
@@ -135,7 +136,20 @@ func run() error {
 		nodeDir = filepath.Join(*dataDir, *name)
 		fmt.Printf("agenthost %s: durable state under %s\n", *name, nodeDir)
 	}
-	stack, err := protection.Assemble(lvl, protection.Options{DataDir: nodeDir})
+	// The stack is assembled before the node exists, but its ledger WAL
+	// can degrade at any later write; route those failures into the
+	// node's health record (served by node/health and `agentctl status`)
+	// once the node is up.
+	var nodeRef atomic.Pointer[core.Node]
+	stack, err := protection.Assemble(lvl, protection.Options{
+		DataDir: nodeDir,
+		OnPersistError: func(err error) {
+			fmt.Fprintf(os.Stderr, "agenthost %s: persistence degraded: %v\n", *name, err)
+			if n := nodeRef.Load(); n != nil {
+				n.NotePersistError(err)
+			}
+		},
+	})
 	if err != nil {
 		return err
 	}
@@ -199,6 +213,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	nodeRef.Store(node)
 
 	// peersRefresh: keys written by hosts started later are picked up on
 	// demand when verification first misses. Kept simple: reload on

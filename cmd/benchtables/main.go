@@ -10,6 +10,7 @@
 //	benchtables -quick           # smaller sweeps, skips 10000-cycle rows
 //	benchtables -series all
 //	benchtables -tables=false -fleet -fleet-out BENCH_fleet.json
+//	benchtables -tables=false -campaign -campaign-out BENCH_campaign.json
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/campaign"
 	"repro/internal/protection"
 )
 
@@ -36,6 +38,8 @@ func run() error {
 	quick := flag.Bool("quick", false, "smaller parameter ranges (for smoke runs)")
 	fleet := flag.Bool("fleet", false, "run the mixed honest/malicious fleet scenario")
 	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "trajectory file for the fleet numbers")
+	camp := flag.Bool("campaign", false, "run the adversary campaign suite (churn, partitions, restarts, Sybil pressure)")
+	campOut := flag.String("campaign-out", "BENCH_campaign.json", "score file for the campaign suite")
 	flag.Parse()
 
 	out := os.Stdout
@@ -125,6 +129,57 @@ func run() error {
 			return err
 		}
 	}
+	if *camp {
+		if err := runCampaigns(*campOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// campaignFile is the BENCH_campaign.json layout: one Score per canned
+// scenario plus the summary values the acceptance criteria track — the
+// worst honest false-positive rate across all scenarios and whether
+// the restart-chaos drill proved the no-free-reset invariant.
+type campaignFile struct {
+	GeneratedAt        string           `json:"generated_at"`
+	HonestFPMax        float64          `json:"honest_fp_max"`
+	AllConverged       bool             `json:"all_non_sybil_converged"`
+	RestartNoFreeReset bool             `json:"restart_no_free_reset"`
+	Scenarios          []campaign.Score `json:"scenarios"`
+}
+
+// runCampaigns executes the canned campaign suite and writes the score
+// file. Scores are deterministic per scenario (seeded faults, virtual
+// clock); only the elapsed/throughput fields vary between machines.
+func runCampaigns(outPath string) error {
+	out := campaignFile{GeneratedAt: time.Now().UTC().Format(time.RFC3339), AllConverged: true}
+	for _, cfg := range campaign.Scenarios() {
+		fmt.Fprintf(os.Stderr, "running campaign %s...\n", cfg.Name)
+		s, err := campaign.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("campaign %s: %w", cfg.Name, err)
+		}
+		out.Scenarios = append(out.Scenarios, s)
+		if s.HonestFPRate > out.HonestFPMax {
+			out.HonestFPMax = s.HonestFPRate
+		}
+		if s.AdversaryIdentities == 1 && !s.Converged {
+			out.AllConverged = false
+		}
+		if s.NoFreeResetJudged {
+			out.RestartNoFreeReset = s.NoFreeReset
+		}
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("campaign scores written to %s (honest FP max %.3f, restart no-free-reset %v)\n",
+		outPath, out.HonestFPMax, out.RestartNoFreeReset)
 	return nil
 }
 

@@ -1,0 +1,784 @@
+// Package campaign is the adversary campaign simulator: a fleet of
+// adaptive-protection nodes (internal/protection LevelAdaptive) wired
+// over a fault-injecting fabric (internal/faultnet), driven step by
+// step through a scripted adversary playbook and infrastructure chaos
+// schedule, and scored into the metrics BENCH_campaign.json reports.
+//
+// Everything that can influence a score is deterministic given the
+// scenario: message faults draw from the fabric's seeded RNG, nodes
+// run one worker and launches are awaited serially, the exchange loop
+// is parked (interval one hour) and rounds are driven explicitly, and
+// all suspicion arithmetic runs on a shared virtual Clock the step
+// loop alone advances. The same Config therefore produces the same
+// Score fingerprint on every machine — pinned by test.
+//
+// The campaign exercises the platform end to end: real agents with
+// signed appraisal rules migrate across real nodes; the adversary is a
+// host.Behavior that manipulates the audited state exactly like the
+// bench fleet's malicious hosts; detections, quarantines, reputation
+// decay, gossip, anti-entropy exchange (with per-peer failure
+// backoff), WAL-backed restarts — all the production paths, under
+// churn, partitions, crash-restart chaos, and Sybil pressure.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/appraisal"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/faultnet"
+	"repro/internal/host"
+	"repro/internal/policy"
+	"repro/internal/protection"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultStepDuration is the virtual time one step represents.
+	// Against the ledger's default five-minute half-life it decays
+	// suspicion by ~6.7% per step: three consecutive offenses cross the
+	// default quarantine threshold, and honest-again phases of a
+	// flapping adversary drain suspicion over a couple dozen steps.
+	DefaultStepDuration = 30 * time.Second
+	// DefaultAgentsPerStep is the per-step itinerary count.
+	DefaultAgentsPerStep = 1
+	// DefaultCycles is the per-session summation workload (kept tiny:
+	// campaigns measure protection dynamics, not compute throughput).
+	DefaultCycles = 1
+	// launchTimeout bounds one journey; a journey that neither
+	// terminates nor fails within it indicates a harness bug, not
+	// chaos.
+	launchTimeout = 30 * time.Second
+)
+
+// Playbook scripts the adversary's cheating schedule against the
+// campaign's step counter.
+type Playbook struct {
+	// CheatStart is the first step the adversary manipulates sessions.
+	CheatStart int
+	// Period/Duty flap the behaviour: from CheatStart on, the adversary
+	// cheats during the first Duty steps of every Period-step window
+	// and behaves honestly for the rest — riding the ledger's decay
+	// half-life. Period 0 means cheat on every step from CheatStart.
+	Period int
+	Duty   int
+}
+
+// cheating reports whether the playbook has the adversary tampering at
+// the given step.
+func (p Playbook) cheating(step int) bool {
+	if step < p.CheatStart {
+		return false
+	}
+	if p.Period <= 0 {
+		return true
+	}
+	return (step-p.CheatStart)%p.Period < p.Duty
+}
+
+// LifecycleEvent is a fleet membership change at a step: a fresh
+// honest host joining, a host leaving for good, or the adversary
+// discarding its identity for a fresh one (Sybil churn). Exchange
+// rings on every alive node are updated live through the node's
+// peer-update path. Crash-restarts are not lifecycle events — they go
+// through the fault schedule's Kill/Restart, which enforces
+// unreachability while down.
+type LifecycleEvent struct {
+	Step int
+	// Join adds a fresh honest untrusted worker with this name.
+	Join string
+	// Leave removes the named member: its node closes, rings drop it.
+	Leave string
+	// SybilRotate retires the adversary's current identity and joins a
+	// fresh one (new name, new keys, empty reputation) that continues
+	// the same playbook.
+	SybilRotate bool
+}
+
+// Config parameterizes one campaign.
+type Config struct {
+	// Name labels the scenario in scores and data directories.
+	Name string
+	// Seed drives the fault fabric's per-message randomness.
+	Seed int64
+	// Steps is the campaign length; the step counter starts at 1.
+	Steps int
+	// StepDuration is the virtual time per step (0 means
+	// DefaultStepDuration).
+	StepDuration time.Duration
+	// Workers are the initial honest untrusted hosts, visited in order
+	// on every itinerary; Adversary is the initial malicious untrusted
+	// host, visited after them. A trusted "home" host launches and
+	// collects every journey.
+	Workers   []string
+	Adversary string
+	// AdversaryPosition places the adversary in the itinerary order (0
+	// = before all workers). The host after it checks its sessions.
+	AdversaryPosition int
+	// Playbook scripts when the adversary cheats.
+	Playbook Playbook
+	// Faults is the chaos schedule applied to the fabric step by step
+	// (partitions, link faults, node kill/restart).
+	Faults faultnet.Schedule
+	// Lifecycle is the membership churn schedule.
+	Lifecycle []LifecycleEvent
+	// AgentsPerStep itineraries are launched (and awaited, serially)
+	// per step; 0 means DefaultAgentsPerStep.
+	AgentsPerStep int
+	// Cycles is the per-session summation workload; 0 means
+	// DefaultCycles.
+	Cycles int
+	// Durable gives every node a data directory under DataRoot, so
+	// kills recover journal, quarantine, and reputation ledger from
+	// their WALs. Required for a meaningful restart-chaos scenario.
+	// With DataRoot empty a temporary directory is used and removed
+	// when the campaign ends.
+	Durable  bool
+	DataRoot string
+	// QuarantineThreshold / EscalateThreshold tune the adaptive policy;
+	// zero selects the policy defaults.
+	QuarantineThreshold float64
+	EscalateThreshold   float64
+}
+
+// member is one fleet host across its whole campaign life, surviving
+// kill/restart cycles (same keys, same data dir).
+type member struct {
+	name      string
+	trusted   bool
+	adversary bool
+	host      *host.Host
+	behavior  *switchBehavior // nil unless adversary
+	dataDir   string          // "" when the campaign is not durable
+
+	node  *core.Node
+	stack protection.Stack
+	alive bool // false while killed or after leaving
+	gone  bool // left the fleet for good
+}
+
+// switchBehavior is the adversary: honest until told otherwise, then
+// manipulating the audited total exactly like the bench fleet's
+// malicious hosts. The cheat switch is flipped by the playbook between
+// steps; TamperRecord reports ground truth to the scorer.
+type switchBehavior struct {
+	attack.Honest
+	mu       sync.Mutex
+	cheat    bool
+	onTamper func(agentID string, hop int)
+}
+
+func (b *switchBehavior) setCheat(v bool) {
+	b.mu.Lock()
+	b.cheat = v
+	b.mu.Unlock()
+}
+
+func (b *switchBehavior) cheating() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cheat
+}
+
+func (b *switchBehavior) TamperState(st value.State) {
+	if !b.cheating() {
+		return
+	}
+	st["total"] = value.Int(st["total"].Int + 1000)
+}
+
+func (b *switchBehavior) TamperRecord(rec *host.SessionRecord) {
+	if b.cheating() {
+		b.onTamper(rec.AgentID, rec.Hop)
+	}
+}
+
+// runner is one campaign in flight.
+type runner struct {
+	cfg    Config
+	ctx    context.Context
+	clock  *Clock
+	reg    *sigcrypto.Registry
+	inner  *transport.InProc
+	fabric *faultnet.Fabric
+	owner  *sigcrypto.KeyPair
+	rules  appraisal.RuleSet
+
+	members []*member // join order; index order is itinerary order
+	home    *member
+	adv     *member
+	advIDs  []string // every adversary identity, oldest first
+
+	mu       sync.Mutex
+	tampered map[string]bool // agentID -> ground truth
+
+	score           Score
+	firstTamperStep int
+	convergedStep   int
+	judgePending    bool
+}
+
+// Run executes the campaign and returns its score.
+func Run(cfg Config) (Score, error) {
+	if cfg.Steps <= 0 {
+		return Score{}, errors.New("campaign: Steps must be positive")
+	}
+	if len(cfg.Workers) == 0 || cfg.Adversary == "" {
+		return Score{}, errors.New("campaign: need at least one worker and an adversary")
+	}
+	if cfg.StepDuration <= 0 {
+		cfg.StepDuration = DefaultStepDuration
+	}
+	if cfg.AgentsPerStep <= 0 {
+		cfg.AgentsPerStep = DefaultAgentsPerStep
+	}
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = DefaultCycles
+	}
+	if cfg.AdversaryPosition < 0 || cfg.AdversaryPosition > len(cfg.Workers) {
+		return Score{}, fmt.Errorf("campaign: adversary position %d outside [0,%d]", cfg.AdversaryPosition, len(cfg.Workers))
+	}
+	if cfg.Durable && cfg.DataRoot == "" {
+		root, err := os.MkdirTemp("", "campaign-"+cfg.Name+"-")
+		if err != nil {
+			return Score{}, err
+		}
+		defer func() { _ = os.RemoveAll(root) }()
+		cfg.DataRoot = root
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	r := &runner{
+		cfg:             cfg,
+		ctx:             ctx,
+		clock:           NewClock(),
+		reg:             sigcrypto.NewRegistry(),
+		inner:           transport.NewInProc(),
+		tampered:        make(map[string]bool),
+		firstTamperStep: -1,
+		convergedStep:   -1,
+	}
+	r.fabric = faultnet.New(r.inner, cfg.Seed)
+	r.score = Score{Name: cfg.Name, Seed: cfg.Seed, Steps: cfg.Steps, DetectionLatencySteps: -1}
+
+	owner, err := sigcrypto.GenerateKeyPair("campaign-owner")
+	if err != nil {
+		return Score{}, err
+	}
+	if err := r.reg.RegisterKeyPair(owner); err != nil {
+		return Score{}, err
+	}
+	r.owner = owner
+	// The owner's invariant, as in the bench fleet: every session adds
+	// exactly one to the audited total, in lockstep with the hops.
+	r.rules = appraisal.RuleSet{appraisal.MustRule("total-tracks-hops", "total == hops")}
+
+	defer func() {
+		for _, m := range r.members {
+			if m.alive {
+				_ = r.closeMember(m)
+			}
+		}
+	}()
+	if err := r.buildFleet(); err != nil {
+		return Score{}, err
+	}
+
+	begin := time.Now()
+	if err := r.loop(); err != nil {
+		return Score{}, err
+	}
+	elapsed := time.Since(begin)
+	r.score.ElapsedMS = elapsed.Milliseconds()
+	if elapsed > 0 {
+		r.score.SurvivorThroughputPerSec = float64(r.score.Completed) / elapsed.Seconds()
+	}
+	if r.score.Converged && r.firstTamperStep >= 0 {
+		r.score.DetectionLatencySteps = r.convergedStep - r.firstTamperStep
+	}
+	untampered := r.score.Launched - r.score.TamperedAgents
+	if untampered > 0 {
+		r.score.HonestFPRate = float64(r.score.HonestQuarantines) / float64(untampered)
+	}
+	r.score.AdversaryIdentities = len(r.advIDs)
+	return r.score, nil
+}
+
+// buildFleet constructs home, the honest workers, and the adversary,
+// in itinerary order.
+func (r *runner) buildFleet() error {
+	home, err := r.newMember("home", true, false)
+	if err != nil {
+		return err
+	}
+	r.home = home
+	for i, w := range r.cfg.Workers {
+		if i == r.cfg.AdversaryPosition {
+			if err := r.joinAdversary(r.cfg.Adversary); err != nil {
+				return err
+			}
+		}
+		if _, err := r.newMember(w, false, false); err != nil {
+			return err
+		}
+	}
+	if r.cfg.AdversaryPosition == len(r.cfg.Workers) {
+		if err := r.joinAdversary(r.cfg.Adversary); err != nil {
+			return err
+		}
+	}
+	return r.updateRings()
+}
+
+func (r *runner) joinAdversary(name string) error {
+	m, err := r.newMember(name, false, true)
+	if err != nil {
+		return err
+	}
+	r.adv = m
+	r.advIDs = append(r.advIDs, name)
+	return nil
+}
+
+// peerNames is the exchange-ring membership: every member still in the
+// fleet (down-but-coming-back nodes stay in rings; peers back off via
+// the exchange's per-peer cooldown until they return).
+func (r *runner) peerNames() []string {
+	names := make([]string, 0, len(r.members))
+	for _, m := range r.members {
+		if !m.gone {
+			names = append(names, m.name)
+		}
+	}
+	return names
+}
+
+// newMember builds a fleet host and its node, wires the fabric's
+// kill/restart hooks, and registers the endpoint.
+func (r *runner) newMember(name string, trusted, adversary bool) (*member, error) {
+	for _, m := range r.members {
+		if m.name == name && !m.gone {
+			return nil, fmt.Errorf("campaign: duplicate member %s", name)
+		}
+	}
+	keys, err := sigcrypto.GenerateKeyPair(name)
+	if err != nil {
+		return nil, err
+	}
+	m := &member{name: name, trusted: trusted, adversary: adversary}
+	if adversary {
+		m.behavior = &switchBehavior{onTamper: func(agentID string, hop int) {
+			r.mu.Lock()
+			r.tampered[agentID] = true
+			r.mu.Unlock()
+		}}
+	}
+	var behavior host.Behavior
+	if m.behavior != nil {
+		behavior = m.behavior
+	}
+	h, err := host.New(host.Config{
+		Name:     name,
+		Keys:     keys,
+		Registry: r.reg,
+		Trusted:  trusted,
+		Behavior: behavior,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.host = h
+	if r.cfg.Durable {
+		m.dataDir = filepath.Join(r.cfg.DataRoot, name)
+	}
+	if err := r.openMember(m); err != nil {
+		return nil, err
+	}
+	r.members = append(r.members, m)
+	r.fabric.SetHooks(name, faultnet.Hooks{
+		Kill:    func() error { return r.closeMember(m) },
+		Restart: func() error { return r.openMember(m) },
+	})
+	return m, nil
+}
+
+// openMember assembles the protection stack and node over the member's
+// (possibly replayed) state and puts it on the network. Reused by the
+// fabric's restart hook: same host identity, same data dir — the WAL
+// decides what the node remembers.
+func (r *runner) openMember(m *member) error {
+	stack, err := protection.Assemble(protection.LevelAdaptive, protection.Options{
+		DataDir: m.dataDir,
+		Clock:   r.clock.Now,
+		AdaptivePolicy: policy.ReputationConfig{
+			QuarantineThreshold: r.cfg.QuarantineThreshold,
+		},
+		AdaptiveGate: policy.GateConfig{
+			EscalateThreshold: r.cfg.EscalateThreshold,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("campaign: assembling %s: %w", m.name, err)
+	}
+	node, err := core.NewNode(core.NodeConfig{
+		Host:       m.host,
+		Net:        r.fabric.Node(m.name),
+		Mechanisms: stack.Mechanisms,
+		Policy:     stack.Policy,
+		Workers:    1, // serialized: same inputs, same order, same score
+		QueueDepth: 16,
+		DataDir:    m.dataDir,
+		// Parked interval: rounds are driven explicitly by the step
+		// loop so their order and count are part of the scenario.
+		Exchange: core.ExchangeConfig{Peers: r.exchangePeersFor(m), Interval: time.Hour},
+	})
+	if err != nil {
+		_ = stack.Close()
+		return fmt.Errorf("campaign: opening node %s: %w", m.name, err)
+	}
+	m.stack, m.node, m.alive = stack, node, true
+	r.inner.Register(m.name, node)
+	return nil
+}
+
+// exchangePeersFor seeds a new node's ring: the current fleet, or —
+// while the fleet is still being built — the full planned initial
+// membership, so the first nodes do not fail construction for lack of
+// peers.
+func (r *runner) exchangePeersFor(m *member) []string {
+	names := r.peerNames()
+	others := 0
+	for _, n := range names {
+		if n != m.name {
+			others++
+		}
+	}
+	if others > 0 {
+		return names
+	}
+	planned := []string{"home", r.cfg.Adversary}
+	planned = append(planned, r.cfg.Workers...)
+	return planned
+}
+
+// closeMember takes the member's node off duty: node first (drains
+// intake, flushes its WALs), then the protection stack (ledger WAL).
+// Used both by the fabric's kill hook (the fabric has already marked
+// the host down, so in-flight sends are failing like a real crash) and
+// by lifecycle leaves.
+func (r *runner) closeMember(m *member) error {
+	if !m.alive {
+		return fmt.Errorf("campaign: member %s already down", m.name)
+	}
+	m.alive = false
+	nerr := m.node.Close()
+	serr := m.stack.Close()
+	return errors.Join(nerr, serr)
+}
+
+// updateRings pushes the current membership into every alive node's
+// exchange ring through the live peer-update path.
+func (r *runner) updateRings() error {
+	names := r.peerNames()
+	for _, m := range r.members {
+		if !m.alive {
+			continue
+		}
+		if err := m.node.UpdateExchangePeers(names); err != nil {
+			return fmt.Errorf("campaign: updating ring of %s: %w", m.name, err)
+		}
+	}
+	return nil
+}
+
+// loop is the campaign's step engine. Per step, in order: chaos
+// schedule and lifecycle, playbook, launches (awaited serially),
+// exchange rounds, convergence sampling, clock advance.
+func (r *runner) loop() error {
+	for step := 1; step <= r.cfg.Steps; step++ {
+		// Chaos first: this step's partitions, faults, kills, restarts.
+		for _, ev := range r.cfg.Faults {
+			if ev.Step == step && ev.Restart != "" {
+				r.score.Restarts++
+				r.judgePending = true
+			}
+		}
+		if err := r.cfg.Faults.Apply(r.fabric, step); err != nil {
+			return fmt.Errorf("campaign: step %d: %w", step, err)
+		}
+		if err := r.applyLifecycle(step); err != nil {
+			return err
+		}
+		// Playbook: flip the adversary's switch for this step.
+		if r.adv.behavior != nil {
+			r.adv.behavior.setCheat(r.cfg.Playbook.cheating(step))
+		}
+		// Launches, serial: one journey fully terminates before the
+		// next starts, keeping ledger observation order scenario-
+		// determined.
+		for i := 0; i < r.cfg.AgentsPerStep; i++ {
+			if err := r.launch(step, i); err != nil {
+				return err
+			}
+		}
+		// One exchange round per alive node, in join order. Rounds run
+		// through the fabric: partitions and downed peers fail rounds,
+		// exercising the per-peer backoff.
+		for _, m := range r.members {
+			if !m.alive {
+				continue
+			}
+			if x := m.stack.Gossip.Exchange(); x != nil {
+				_ = x.Step(r.ctx)
+			}
+		}
+		r.sample(step)
+		r.clock.Advance(r.cfg.StepDuration)
+	}
+	return nil
+}
+
+// applyLifecycle executes this step's membership events.
+func (r *runner) applyLifecycle(step int) error {
+	changed := false
+	for _, ev := range r.cfg.Lifecycle {
+		if ev.Step != step {
+			continue
+		}
+		switch {
+		case ev.Join != "":
+			if _, err := r.newMember(ev.Join, false, false); err != nil {
+				return err
+			}
+			changed = true
+		case ev.Leave != "":
+			m := r.memberByName(ev.Leave)
+			if m == nil {
+				return fmt.Errorf("campaign: step %d: leave of unknown member %s", step, ev.Leave)
+			}
+			if m.alive {
+				if err := r.closeMember(m); err != nil {
+					return err
+				}
+			}
+			m.gone = true
+			changed = true
+		case ev.SybilRotate:
+			old := r.adv
+			if old.alive {
+				if err := r.closeMember(old); err != nil {
+					return err
+				}
+			}
+			old.gone = true
+			fresh := fmt.Sprintf("%s-g%d", r.cfg.Adversary, len(r.advIDs)+1)
+			if err := r.joinAdversary(fresh); err != nil {
+				return err
+			}
+			changed = true
+		}
+	}
+	if changed {
+		return r.updateRings()
+	}
+	return nil
+}
+
+func (r *runner) memberByName(name string) *member {
+	for _, m := range r.members {
+		if m.name == name && !m.gone {
+			return m
+		}
+	}
+	return nil
+}
+
+// route builds this launch's itinerary: every alive, reachable
+// untrusted member in join order, each hop checked for reachability
+// from the previous one, closing back at home. Unreachable hosts are
+// skipped rather than letting every journey of a partition die at the
+// same cut.
+func (r *runner) route() []string {
+	var route []string
+	last := "home"
+	for _, m := range r.members {
+		if m.trusted || m.gone || !m.alive {
+			continue
+		}
+		if !r.fabric.Reachable(last, m.name) {
+			continue
+		}
+		route = append(route, m.name)
+		last = m.name
+	}
+	if len(route) > 0 && !r.fabric.Reachable(last, "home") {
+		// The final hop cannot deliver the journey home; drop the tail
+		// until it can (worst case the route empties and the launch is
+		// skipped).
+		for len(route) > 0 && !r.fabric.Reachable(route[len(route)-1], "home") {
+			route = route[:len(route)-1]
+		}
+	}
+	return route
+}
+
+// itineraryCode generates the journey program over the route, the same
+// shape as the bench fleet's: per-session summation work plus the
+// audited counters the owner's rule binds.
+func itineraryCode(route []string, cycles int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "proc main() {\n    work()\n    migrate(%q, \"step\")\n}\n", route[0])
+	b.WriteString("proc step() {\n    work()\n    let at = here()\n")
+	for i := 0; i < len(route)-1; i++ {
+		fmt.Fprintf(&b, "    if at == %q { migrate(%q, \"step\") }\n", route[i], route[i+1])
+	}
+	fmt.Fprintf(&b, "    if at == %q { migrate(\"home\", \"fin\") }\n", route[len(route)-1])
+	b.WriteString("    done()\n}\n")
+	b.WriteString("proc fin() {\n    work()\n    done()\n}\n")
+	fmt.Fprintf(&b, `proc work() {
+    total = total + 1
+    hops = hops + 1
+    let c = 0
+    while c < %d {
+        let s = 0
+        let j = 0
+        while j < 1000 {
+            s = s + j
+            j = j + 1
+        }
+        sum = s
+        c = c + 1
+    }
+}`, cycles)
+	return b.String()
+}
+
+// launch runs one journey to termination and scores it.
+func (r *runner) launch(step, i int) error {
+	route := r.route()
+	if len(route) == 0 {
+		return nil // fleet cut off from home this step; nothing to launch
+	}
+	id := fmt.Sprintf("%s-%03d-%d", r.cfg.Name, step, i)
+	ag, err := agent.New(id, "campaign-owner", itineraryCode(route, r.cfg.Cycles), "main")
+	if err != nil {
+		return err
+	}
+	ag.SetVar("total", value.Int(0))
+	ag.SetVar("hops", value.Int(0))
+	ag.SetVar("sum", value.Int(0))
+	if err := appraisal.Attach(ag, r.rules, r.owner); err != nil {
+		return err
+	}
+	wire, err := ag.Marshal()
+	if err != nil {
+		return err
+	}
+
+	var rcs []*core.Receipt
+	rcs = append(rcs, r.home.node.Watch(id))
+	for _, name := range route {
+		if m := r.memberByName(name); m != nil && m.alive {
+			rcs = append(rcs, m.node.Watch(id))
+		}
+	}
+	lctx, cancel := context.WithTimeout(r.ctx, launchTimeout)
+	defer cancel()
+	if err := r.home.node.HandleAgent(lctx, wire); err != nil {
+		return fmt.Errorf("campaign: launching %s: %w", id, err)
+	}
+	out, err := core.AwaitAny(lctx, rcs...)
+
+	r.mu.Lock()
+	wasTampered := r.tampered[id]
+	r.mu.Unlock()
+	r.score.Launched++
+	if wasTampered {
+		r.score.TamperedAgents++
+		if r.firstTamperStep < 0 {
+			r.firstTamperStep = step
+		}
+	}
+	outcome := ""
+	switch {
+	case err == nil:
+		r.score.Completed++
+		outcome = "completed"
+	case errors.Is(err, core.ErrDetection):
+		r.score.Quarantined++
+		outcome = "quarantined"
+		if wasTampered {
+			r.score.DetectedTampered++
+		} else {
+			r.score.HonestQuarantines++
+		}
+	case out.Err != nil || err != nil:
+		if r.ctx.Err() != nil {
+			return fmt.Errorf("campaign: journey %s: %w", id, err)
+		}
+		r.score.Failed++
+		outcome = "failed"
+	}
+	// No-free-reset judgment: the first tampered journey to terminate
+	// cleanly after a restart decides whether the restarted checker's
+	// recovered ledger quarantined the repeat offender immediately.
+	if r.judgePending && wasTampered && outcome != "failed" {
+		r.score.NoFreeResetJudged = true
+		r.score.NoFreeReset = outcome == "quarantined"
+		r.judgePending = false
+	}
+	return nil
+}
+
+// sample latches fleet-wide convergence on the adversary's current
+// identity and tracks the worst honest-on-honest suspicion.
+func (r *runner) sample(step int) {
+	if r.firstTamperStep >= 0 && !r.score.Converged {
+		escalate := r.cfg.EscalateThreshold
+		if escalate <= 0 {
+			escalate = policy.DefaultEscalateThreshold
+		}
+		all := true
+		sampled := 0
+		for _, m := range r.members {
+			if !m.alive || m.adversary {
+				continue
+			}
+			sampled++
+			if m.stack.Ledger.Suspicion(r.adv.name) < escalate {
+				all = false
+				break
+			}
+		}
+		if all && sampled > 0 {
+			r.score.Converged = true
+			r.convergedStep = step
+		}
+	}
+	for _, obs := range r.members {
+		if !obs.alive || obs.adversary {
+			continue
+		}
+		for _, sub := range r.members {
+			if sub.adversary || sub == obs {
+				continue
+			}
+			if s := obs.stack.Ledger.Suspicion(sub.name); s > r.score.MaxHonestSuspicion {
+				r.score.MaxHonestSuspicion = s
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package campaign
+
+import "repro/internal/faultnet"
+
+// Canned scenarios — the campaigns BENCH_campaign.json reports and CI
+// smokes. Each pressures a different seam of the protection stack;
+// together they cover behavioural flapping, identity churn, network
+// partitions, and crash-restart chaos. All run the default thresholds
+// and the default 30s virtual step against the ledger's five-minute
+// half-life, so the decay arithmetic matches production defaults.
+
+// ScenarioFlap is the behavioural flapper: mallory cheats in bursts
+// and rides the decay half-life honestly in between, trying to stay
+// under the quarantine threshold. No infrastructure faults — this one
+// isolates the reputation dynamics. Expected: fleet-wide convergence
+// during an early cheat burst, zero honest quarantines.
+func ScenarioFlap() Config {
+	return Config{
+		Name:              "flap",
+		Seed:              11,
+		Steps:             36,
+		Workers:           []string{"w1", "w2", "w3"},
+		Adversary:         "mallory",
+		AdversaryPosition: 1, // itinerary w1 -> mallory -> w2 -> w3; w2 checks
+		Playbook:          Playbook{CheatStart: 5, Period: 8, Duty: 4},
+	}
+}
+
+// ScenarioSybilChurn is identity churn under membership churn: the
+// adversary cheats continuously but discards its identity for a fresh
+// one every few steps, while honest hosts join and leave around it.
+// Each rotation wipes the fleet's per-identity reputation of the
+// adversary — the documented exposure of identity-keyed ledgers
+// (DESIGN.md) — but because session appraisal runs per journey, a
+// fresh name buys no free tampering: the score shows the rotations
+// reset ledger memory (convergence re-latches on each new identity)
+// without raising survivor throughput, and honest hosts stay clean
+// while rings churn under joins and leaves.
+func ScenarioSybilChurn() Config {
+	return Config{
+		Name:              "sybil-churn",
+		Seed:              23,
+		Steps:             32,
+		Workers:           []string{"w1", "w2", "w3"},
+		Adversary:         "sybil",
+		AdversaryPosition: 1,
+		Playbook:          Playbook{CheatStart: 3},
+		Lifecycle: []LifecycleEvent{
+			{Step: 10, SybilRotate: true},
+			{Step: 12, Join: "w4"},
+			{Step: 18, SybilRotate: true},
+			{Step: 20, Leave: "w3"},
+			{Step: 26, SybilRotate: true},
+		},
+	}
+}
+
+// ScenarioPartitionHeal cuts the fleet while the adversary cheats: w3
+// is isolated before the cheating starts, so detection knowledge
+// accumulates on one side of the cut and w3 stays ignorant — fleet-
+// wide convergence is only possible after the heal, when anti-entropy
+// exchange pulls w3 level. Mild link drops run throughout, exercising
+// send/call fault paths and the exchange's per-peer cooldown without
+// dominating the outcome.
+func ScenarioPartitionHeal() Config {
+	return Config{
+		Name:              "partition-heal",
+		Seed:              37,
+		Steps:             36,
+		Workers:           []string{"w1", "w2", "w3"},
+		Adversary:         "mallory",
+		AdversaryPosition: 1,
+		Playbook:          Playbook{CheatStart: 8},
+		Faults: faultnet.Schedule{
+			{Step: 2, Link: &faultnet.LinkEvent{
+				Src: "w1", Dst: "w2",
+				Faults: faultnet.LinkFaults{Drop: 0.05},
+			}},
+			{Step: 6, Partition: [][]string{
+				{"home", "w1", "mallory", "w2"},
+				{"w3"},
+			}},
+			{Step: 18, Heal: true},
+		},
+	}
+}
+
+// ScenarioRestartChaos is the no-free-reset drill: every node is
+// durable, and the checker that has accumulated the adversary's
+// reputation is crash-killed mid-campaign and restarted two steps
+// later. The first tampered journey after the restart judges the
+// invariant — the restarted checker's WAL-recovered ledger must
+// quarantine the repeat offender immediately, rather than handing it
+// the clean slate a memory-only restart would.
+func ScenarioRestartChaos() Config {
+	return Config{
+		Name:              "restart-chaos",
+		Seed:              41,
+		Steps:             24,
+		Workers:           []string{"w1", "w2"},
+		Adversary:         "mallory",
+		AdversaryPosition: 0, // itinerary mallory -> w1 -> w2; w1 checks
+		Playbook:          Playbook{CheatStart: 4},
+		Durable:           true,
+		Faults: faultnet.Schedule{
+			{Step: 9, Kill: "w1"},
+			{Step: 11, Restart: "w1"},
+		},
+	}
+}
+
+// Scenarios returns the full campaign suite in report order.
+func Scenarios() []Config {
+	return []Config{
+		ScenarioFlap(),
+		ScenarioSybilChurn(),
+		ScenarioPartitionHeal(),
+		ScenarioRestartChaos(),
+	}
+}

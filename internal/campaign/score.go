@@ -1,0 +1,85 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Score is one campaign's outcome ledger: how the fleet's adaptive
+// protection held up under the scenario's adversary pressure and
+// infrastructure chaos. JSON tags match BENCH_campaign.json.
+type Score struct {
+	// Name/Seed/Steps identify the scenario and its deterministic
+	// replay parameters.
+	Name  string `json:"name"`
+	Seed  int64  `json:"seed"`
+	Steps int    `json:"steps"`
+
+	// Launched = Completed + Quarantined + Failed. Failed journeys are
+	// infrastructure casualties (drops, partitions, node kills), not
+	// detections.
+	Launched    int `json:"launched"`
+	Completed   int `json:"completed"`
+	Quarantined int `json:"quarantined"`
+	Failed      int `json:"failed"`
+
+	// TamperedAgents counts journeys the adversary actually manipulated
+	// (ground truth from its own behavior hook); DetectedTampered how
+	// many of those ended quarantined somewhere in the fleet.
+	TamperedAgents   int `json:"tampered_agents"`
+	DetectedTampered int `json:"detected_tampered"`
+
+	// Converged reports that every alive honest node's suspicion of the
+	// adversary's current identity crossed the escalation threshold;
+	// DetectionLatencySteps is the number of steps from the first
+	// tampered journey to that point (-1 when never reached — e.g.
+	// Sybil identity churn outrunning per-identity reputation).
+	Converged             bool `json:"converged"`
+	DetectionLatencySteps int  `json:"detection_latency_steps"`
+
+	// False-positive pressure on honest hosts: journeys quarantined
+	// without any tampering, the rate over untampered journeys, and the
+	// worst suspicion any honest node accumulated about any honest host
+	// at any sampled step.
+	HonestQuarantines  int     `json:"honest_quarantines"`
+	HonestFPRate       float64 `json:"honest_fp_rate"`
+	MaxHonestSuspicion float64 `json:"max_honest_suspicion"`
+
+	// AdversaryIdentities counts the identities the adversary consumed
+	// (1 unless the playbook rotates Sybils); Restarts counts scheduled
+	// crash-restarts of fleet nodes.
+	AdversaryIdentities int `json:"adversary_identities"`
+	Restarts            int `json:"restarts"`
+
+	// NoFreeReset, judged on the first tampered journey after a node
+	// restart, reports whether the repeat offender was quarantined
+	// immediately — i.e. the restarted node's WAL-recovered ledger
+	// denied the free reset a memory-only restart would hand out.
+	// Meaningful only when NoFreeResetJudged (a restart happened and a
+	// tampered journey terminated after it).
+	NoFreeResetJudged bool `json:"no_free_reset_judged"`
+	NoFreeReset       bool `json:"no_free_reset"`
+
+	// Wall-clock cost and survivor throughput (completed journeys per
+	// second of real time) — the only fields excluded from the
+	// determinism fingerprint.
+	ElapsedMS                int64   `json:"elapsed_ms"`
+	SurvivorThroughputPerSec float64 `json:"survivor_throughput_per_s"`
+}
+
+// Fingerprint renders every deterministic field — everything except
+// the wall-clock-derived pair — so tests can pin that the same seed
+// and schedule reproduce the same score exactly.
+func (s Score) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s seed=%d steps=%d", s.Name, s.Seed, s.Steps)
+	fmt.Fprintf(&b, " launched=%d completed=%d quarantined=%d failed=%d",
+		s.Launched, s.Completed, s.Quarantined, s.Failed)
+	fmt.Fprintf(&b, " tampered=%d detected=%d converged=%v latency=%d",
+		s.TamperedAgents, s.DetectedTampered, s.Converged, s.DetectionLatencySteps)
+	fmt.Fprintf(&b, " honestq=%d fprate=%.6f maxhonest=%.6f",
+		s.HonestQuarantines, s.HonestFPRate, s.MaxHonestSuspicion)
+	fmt.Fprintf(&b, " identities=%d restarts=%d judged=%v nofree=%v",
+		s.AdversaryIdentities, s.Restarts, s.NoFreeResetJudged, s.NoFreeReset)
+	return b.String()
+}

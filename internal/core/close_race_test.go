@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/policy"
+	"repro/internal/sigcrypto"
+)
+
+// stallNet is a transport whose calls block until the caller's ctx
+// dies — a peer that accepted the connection and then hung. inflight
+// is signalled once per call as it starts blocking.
+type stallNet struct {
+	inflight chan struct{}
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *stallNet) SendAgent(context.Context, string, []byte) error { return nil }
+
+func (s *stallNet) Call(ctx context.Context, host, method string, body []byte) ([]byte, error) {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+	}
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestNodeCloseRacesInflightExchangeRound pins the shutdown ordering
+// when Close lands while an exchange round is mid-call against a hung
+// peer: the node's root-context cancellation must abort the round so
+// the loop's stop function (which blocks until the loop exits) returns
+// promptly, instead of Close hanging for the exchange call timeout.
+func TestNodeCloseRacesInflightExchangeRound(t *testing.T) {
+	reg := sigcrypto.NewRegistry()
+	keys, err := sigcrypto.GenerateKeyPair("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := host.New(host.Config{Name: "n", Keys: keys, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &stallNet{inflight: make(chan struct{}, 1)}
+	led := policy.NewLedger(policy.LedgerConfig{HalfLife: time.Hour})
+	// Seed an observation so the round has extracts to offer; the call
+	// stalls regardless, but this keeps the round shaped like a real one.
+	led.Observe("mallory", false, 0)
+	gossip := policy.NewGossip(led)
+	node, err := core.NewNode(core.NodeConfig{
+		Host:       h,
+		Net:        net,
+		Mechanisms: []core.Mechanism{gossip},
+		Exchange: core.ExchangeConfig{
+			Peers:    []string{"peer"},
+			Interval: time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for a round to be mid-call, then race Close against it.
+	select {
+	case <-net.inflight:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no exchange round started")
+	}
+	done := make(chan error, 1)
+	go func() { done <- node.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung behind an in-flight exchange round")
+	}
+
+	// The loop is down: no further rounds start after Close returns.
+	net.mu.Lock()
+	after := net.calls
+	net.mu.Unlock()
+	time.Sleep(50 * time.Millisecond)
+	net.mu.Lock()
+	later := net.calls
+	net.mu.Unlock()
+	if later != after {
+		t.Fatalf("exchange loop kept running after Close (%d -> %d calls)", after, later)
+	}
+}

@@ -201,8 +201,11 @@ func writeFileSync(path string, data []byte) error {
 	return os.Rename(tmp, path)
 }
 
-// persistErr forwards a persistence failure to the configured observer.
+// persistErr records a persistence failure in the node's sticky health
+// record (served by node/health) and forwards it to the configured
+// observer.
 func (n *Node) persistErr(err error) {
+	n.NotePersistError(err)
 	if n.cfg.OnPersistError != nil {
 		n.cfg.OnPersistError(err)
 	}
@@ -342,7 +345,7 @@ func (n *Node) openStores(journalLimit, quarantineLimit int) error {
 	n.journal, err = shardstore.NewPersistent(jcfg, shardstore.PersistConfig[*journalEntry]{
 		Backend: jw,
 		Codec:   n.journalCodec(),
-		OnError: cfg.OnPersistError,
+		OnError: n.persistErr,
 	})
 	if err != nil {
 		return fmt.Errorf("core: node %s: recovering journal: %w", cfg.Host.Name(), err)
@@ -355,7 +358,7 @@ func (n *Node) openStores(journalLimit, quarantineLimit int) error {
 	n.quarantine, err = shardstore.NewPersistent(qcfg, shardstore.PersistConfig[*agent.Agent]{
 		Backend: qw,
 		Codec:   quarantineCodec(),
-		OnError: cfg.OnPersistError,
+		OnError: n.persistErr,
 	})
 	if err != nil {
 		_ = n.journal.Close()

@@ -65,6 +65,9 @@ type ExchangeStats struct {
 	// errored (peer unreachable, malformed reply).
 	Rounds   int64
 	Failures int64
+	// PeersSkipped counts ring positions passed over because the peer
+	// was cooling down after failures (per-peer failure backoff).
+	PeersSkipped int64
 	// EntriesSent counts extracts pushed to peers, EntriesReceived the
 	// delta entries peers returned, EntriesMerged the received entries
 	// that survived verification and were folded into the ledger.
@@ -85,4 +88,17 @@ type ExchangeStats struct {
 // offers but runs no loop of its own.
 type ExchangeReporter interface {
 	ExchangeStats() (stats ExchangeStats, enabled bool)
+}
+
+// ExchangePeerUpdater is the optional Mechanism extension that lets a
+// running exchange loop adopt a new fleet membership without a node
+// restart — the peer-update path campaigns use when nodes join, leave,
+// or rotate identities mid-run. Implementations must preserve per-peer
+// backoff state for peers present in both the old and new lists.
+type ExchangePeerUpdater interface {
+	// UpdateExchangePeers replaces the loop's peer ring. The list is
+	// normalized like ExchangeConfig.Peers (self and duplicates
+	// dropped); an empty usable list is an error — disable the
+	// exchange by closing the node, not by starving its ring.
+	UpdateExchangePeers(peers []string) error
 }

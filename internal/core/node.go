@@ -208,6 +208,17 @@ type Node struct {
 	evidenceDir string
 	evMu        sync.Mutex
 	evFiles     []string
+
+	// healthMu guards the sticky persistence-failure record served by
+	// the node/health built-in: once a WAL append, compaction, or
+	// evidence spill fails, the node keeps running from memory, and
+	// this record is how operators see the degradation before the
+	// restart that would otherwise be its first symptom.
+	healthMu         sync.Mutex
+	persistFailures  int64
+	firstPersistErr  string
+	lastPersistUnix  int64
+	firstPersistUnix int64
 }
 
 // journalEntry is one agent's bookkeeping at this node. The status and
@@ -356,6 +367,42 @@ func (n *Node) journalSweeper() {
 
 // Host returns the node's host.
 func (n *Node) Host() *host.Host { return n.cfg.Host }
+
+// UpdateExchangePeers replaces the running exchange loop's peer ring
+// with the given fleet membership — the live peer-update path for
+// deployments whose membership changes mid-run (nodes joining,
+// leaving, or rotating identities during a campaign). It fails when
+// the node runs no exchange, or when the new list leaves no usable
+// peer.
+func (n *Node) UpdateExchangePeers(peers []string) error {
+	for _, m := range n.cfg.Mechanisms {
+		if u, ok := m.(ExchangePeerUpdater); ok {
+			return u.UpdateExchangePeers(peers)
+		}
+	}
+	return fmt.Errorf("core: node %s: no mechanism implements ExchangePeerUpdater", n.cfg.Host.Name())
+}
+
+// NotePersistError folds an externally observed persistence failure
+// into the node's sticky health record (served by node/health).
+// Deployments call it from the persistence observers of co-located
+// durable state — e.g. the protection stack's ledger WAL — so one
+// surface reports the whole host's durability. The node's own store
+// failures are recorded automatically.
+func (n *Node) NotePersistError(err error) {
+	if err == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	n.healthMu.Lock()
+	defer n.healthMu.Unlock()
+	n.persistFailures++
+	n.lastPersistUnix = now
+	if n.firstPersistErr == "" {
+		n.firstPersistErr = err.Error()
+		n.firstPersistUnix = now
+	}
+}
 
 // Close stops the intake workers, drains queued-but-unprocessed
 // deliveries (their receipts resolve with ErrNodeClosed), flushes and
@@ -879,6 +926,67 @@ func DecodeReputationReply(body []byte) (ReputationReply, error) {
 	return r, nil
 }
 
+// HealthCallBody builds the (empty) body for a node/health call.
+func HealthCallBody() []byte { return nil }
+
+// HealthReply is the answer to a node/health call: the node's
+// durability posture. A node whose WAL can no longer accept records
+// keeps serving from memory (persistence degrades, the platform does
+// not stop), which makes the degradation invisible until the restart
+// that loses state — this reply is the operator surface that breaks
+// that silence. Degraded is sticky: WAL errors are not retried (a log
+// with holes would replay into a silently wrong state), so only a
+// restart against repaired storage clears it.
+type HealthReply struct {
+	// Host is the answering node's principal name.
+	Host string
+	// Durable reports whether the node runs with a DataDir at all.
+	Durable bool
+	// Degraded reports at least one persistence failure since open;
+	// PersistFailures counts them (WAL appends, compactions, evidence
+	// spills, and any co-located state folded in via
+	// Node.NotePersistError).
+	Degraded        bool
+	PersistFailures int64
+	// FirstPersistError is the first failure's message, with its
+	// timestamp; LastPersistUnixNano the most recent failure's.
+	FirstPersistError    string
+	FirstPersistUnixNano int64
+	LastPersistUnixNano  int64
+	// JournalEntries and QuarantineEntries size the in-memory
+	// bookkeeping tiers.
+	JournalEntries    int
+	QuarantineEntries int
+}
+
+// DecodeHealthReply decodes a node/health response.
+func DecodeHealthReply(body []byte) (HealthReply, error) {
+	var r HealthReply
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&r); err != nil {
+		return HealthReply{}, fmt.Errorf("core: decoding health reply: %w", err)
+	}
+	return r, nil
+}
+
+// Health snapshots the node's durability posture (what node/health
+// serves).
+func (n *Node) Health() HealthReply {
+	n.healthMu.Lock()
+	r := HealthReply{
+		Host:                 n.cfg.Host.Name(),
+		Durable:              n.cfg.DataDir != "",
+		Degraded:             n.persistFailures > 0,
+		PersistFailures:      n.persistFailures,
+		FirstPersistError:    n.firstPersistErr,
+		FirstPersistUnixNano: n.firstPersistUnix,
+		LastPersistUnixNano:  n.lastPersistUnix,
+	}
+	n.healthMu.Unlock()
+	r.JournalEntries = n.journal.Len()
+	r.QuarantineEntries = n.quarantine.Len()
+	return r
+}
+
 // QuarantineCallBody builds the body for a node/quarantine call.
 func QuarantineCallBody(agentID string) []byte { return []byte(agentID) }
 
@@ -959,6 +1067,8 @@ func (n *Node) HandleCall(ctx context.Context, method string, body []byte) ([]by
 				}
 			}
 			return gobReply("quarantine", reply)
+		case "health":
+			return gobReply("health", n.Health())
 		default:
 			return nil, fmt.Errorf("%w: node/%s", transport.ErrUnknownMethod, rest)
 		}

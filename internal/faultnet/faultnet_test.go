@@ -1,0 +1,255 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// echoEndpoint records deliveries and answers calls with the body.
+type echoEndpoint struct {
+	agents int
+	calls  int
+}
+
+func (e *echoEndpoint) HandleAgent(context.Context, []byte) error { e.agents++; return nil }
+func (e *echoEndpoint) HandleCall(_ context.Context, _ string, body []byte) ([]byte, error) {
+	e.calls++
+	return body, nil
+}
+
+func newTestFabric(t *testing.T, seed int64, hosts ...string) (*Fabric, map[string]*echoEndpoint) {
+	t.Helper()
+	inner := transport.NewInProc()
+	eps := make(map[string]*echoEndpoint, len(hosts))
+	for _, h := range hosts {
+		ep := &echoEndpoint{}
+		eps[h] = ep
+		inner.Register(h, ep)
+	}
+	return New(inner, seed), eps
+}
+
+// TestCleanLinkPassesThrough pins that a fault-free fabric is a
+// transparent wrapper.
+func TestCleanLinkPassesThrough(t *testing.T) {
+	f, eps := newTestFabric(t, 1, "a", "b")
+	net := f.Node("a")
+	ctx := context.Background()
+	if err := net.SendAgent(ctx, "b", []byte("x")); err != nil {
+		t.Fatalf("SendAgent: %v", err)
+	}
+	out, err := net.Call(ctx, "b", "m", []byte("ping"))
+	if err != nil || string(out) != "ping" {
+		t.Fatalf("Call = %q, %v", out, err)
+	}
+	if eps["b"].agents != 1 || eps["b"].calls != 1 {
+		t.Fatalf("endpoint saw agents=%d calls=%d", eps["b"].agents, eps["b"].calls)
+	}
+	if st := f.Stats(); st.Delivered != 2 || st.Dropped+st.Blocked+st.Duplicated != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestDropDeterminism pins that the same seed yields the same drop
+// pattern, a different seed a different one, and that drop decisions
+// on one link are independent of traffic on another.
+func TestDropDeterminism(t *testing.T) {
+	pattern := func(seed int64, crossTraffic bool) []bool {
+		f, _ := newTestFabric(t, seed, "a", "b", "c")
+		f.SetLinkFaults("a", "b", LinkFaults{Drop: 0.5})
+		na, nc := f.Node("a"), f.Node("c")
+		ctx := context.Background()
+		var out []bool
+		for i := 0; i < 32; i++ {
+			if crossTraffic {
+				_ = nc.SendAgent(ctx, "b", nil) // interleaved other-link traffic
+			}
+			err := na.SendAgent(ctx, "b", nil)
+			if err != nil && !errors.Is(err, ErrDropped) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	base := pattern(42, false)
+	dropped := 0
+	for _, d := range base {
+		if d {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == len(base) {
+		t.Fatalf("drop rate 0.5 produced %d/%d drops", dropped, len(base))
+	}
+	same := pattern(42, true)
+	for i := range base {
+		if base[i] != same[i] {
+			t.Fatalf("same seed diverged at message %d despite only cross-link traffic differing", i)
+		}
+	}
+	diff := pattern(43, false)
+	equal := true
+	for i := range base {
+		if base[i] != diff[i] {
+			equal = false
+			break
+		}
+	}
+	if equal {
+		t.Fatal("different seeds produced identical drop patterns")
+	}
+}
+
+// TestPartitionAndHeal pins the cut semantics: cross-group blocked,
+// in-group and unlisted hosts fine, heal restores everything.
+func TestPartitionAndHeal(t *testing.T) {
+	f, _ := newTestFabric(t, 1, "a", "b", "c", "d")
+	f.Partition([]string{"a", "b"}, []string{"c"})
+	ctx := context.Background()
+	if err := f.Node("a").SendAgent(ctx, "c", nil); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("cross-cut send = %v, want ErrPartitioned", err)
+	}
+	if err := f.Node("a").SendAgent(ctx, "b", nil); err != nil {
+		t.Fatalf("in-group send: %v", err)
+	}
+	if err := f.Node("d").SendAgent(ctx, "c", nil); err != nil {
+		t.Fatalf("unlisted host send: %v", err)
+	}
+	if f.Reachable("a", "c") || !f.Reachable("a", "b") || !f.Reachable("d", "a") {
+		t.Fatal("Reachable disagrees with the cut")
+	}
+	f.Heal()
+	if err := f.Node("a").SendAgent(ctx, "c", nil); err != nil {
+		t.Fatalf("post-heal send: %v", err)
+	}
+}
+
+// TestKillRestartHooks pins down-state semantics in both directions
+// and the hook invocation order.
+func TestKillRestartHooks(t *testing.T) {
+	f, _ := newTestFabric(t, 1, "a", "b")
+	var killed, restarted bool
+	f.SetHooks("b", Hooks{
+		Kill: func() error {
+			// Marked down before the hook runs: the dying node's own
+			// in-flight sends must already fail.
+			if !f.Down("b") {
+				t.Error("kill hook ran before the host was marked down")
+			}
+			killed = true
+			return nil
+		},
+		Restart: func() error {
+			if !f.Down("b") {
+				t.Error("restart hook ran after the host was marked up")
+			}
+			restarted = true
+			return nil
+		},
+	})
+	ctx := context.Background()
+	if err := f.Kill("b"); err != nil || !killed {
+		t.Fatalf("Kill: %v (hook ran: %v)", err, killed)
+	}
+	if err := f.Node("a").SendAgent(ctx, "b", nil); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("send to down host = %v, want ErrHostDown", err)
+	}
+	if err := f.Node("b").SendAgent(ctx, "a", nil); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("send from down host = %v, want ErrHostDown", err)
+	}
+	if err := f.Kill("b"); err == nil {
+		t.Fatal("double kill succeeded")
+	}
+	if err := f.Restart("b"); err != nil || !restarted {
+		t.Fatalf("Restart: %v (hook ran: %v)", err, restarted)
+	}
+	if err := f.Node("a").SendAgent(ctx, "b", nil); err != nil {
+		t.Fatalf("post-restart send: %v", err)
+	}
+	if err := f.Restart("b"); err == nil {
+		t.Fatal("restart of an up host succeeded")
+	}
+}
+
+// TestDuplicateCallsOnly pins that duplication applies to protocol
+// calls, never to agent migration.
+func TestDuplicateCallsOnly(t *testing.T) {
+	f, eps := newTestFabric(t, 7, "a", "b")
+	f.SetLinkFaults("a", "b", LinkFaults{Duplicate: 1.0})
+	net := f.Node("a")
+	ctx := context.Background()
+	if _, err := net.Call(ctx, "b", "m", nil); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if eps["b"].calls != 2 {
+		t.Fatalf("duplicated call delivered %d times, want 2", eps["b"].calls)
+	}
+	if err := net.SendAgent(ctx, "b", nil); err != nil {
+		t.Fatalf("SendAgent: %v", err)
+	}
+	if eps["b"].agents != 1 {
+		t.Fatalf("agent delivered %d times, want exactly 1", eps["b"].agents)
+	}
+}
+
+// TestDelayHonoursContext pins that a delayed delivery gives up at the
+// caller's deadline instead of sleeping through it.
+func TestDelayHonoursContext(t *testing.T) {
+	f, _ := newTestFabric(t, 1, "a", "b")
+	f.SetLinkFaults("a", "b", LinkFaults{DelayMin: time.Hour, DelayMax: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := f.Node("a").SendAgent(ctx, "b", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("delayed send = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("delay ignored the context deadline")
+	}
+}
+
+// TestScheduleApply pins the schedule's event ordering and step
+// selection.
+func TestScheduleApply(t *testing.T) {
+	f, _ := newTestFabric(t, 1, "a", "b", "c")
+	f.SetHooks("c", Hooks{})
+	sched := Schedule{
+		{Step: 1, Partition: [][]string{{"a"}, {"b", "c"}}},
+		{Step: 2, Kill: "c"},
+		{Step: 3, Heal: true, Restart: "c", Link: &LinkEvent{Src: "a", Dst: "b", Faults: LinkFaults{Drop: 1.0}}},
+	}
+	if got := sched.LastStep(); got != 3 {
+		t.Fatalf("LastStep = %d, want 3", got)
+	}
+	ctx := context.Background()
+	if err := sched.Apply(f, 0); err != nil {
+		t.Fatalf("step 0: %v", err)
+	}
+	if err := sched.Apply(f, 1); err != nil {
+		t.Fatalf("step 1: %v", err)
+	}
+	if f.Reachable("a", "b") {
+		t.Fatal("step-1 partition not applied")
+	}
+	if err := sched.Apply(f, 2); err != nil {
+		t.Fatalf("step 2: %v", err)
+	}
+	if !f.Down("c") {
+		t.Fatal("step-2 kill not applied")
+	}
+	if err := sched.Apply(f, 3); err != nil {
+		t.Fatalf("step 3: %v", err)
+	}
+	if f.Down("c") || !f.Reachable("a", "c") {
+		t.Fatal("step-3 heal/restart not applied")
+	}
+	if err := f.Node("a").SendAgent(ctx, "b", nil); !errors.Is(err, ErrDropped) {
+		t.Fatalf("step-3 link fault not applied: %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+package faultnet
+
+import "fmt"
+
+// Event is one scheduled fabric intervention, keyed to a scenario
+// step. Within a step, events apply in slice order; within one event,
+// the order is partition/heal, link faults, kill, restart — so a
+// single event can heal a cut and restart a node atomically between
+// two campaign waves.
+type Event struct {
+	// Step is the scenario step this event fires at (harness-defined;
+	// the campaign package applies each step's events before launching
+	// that step's itineraries).
+	Step int
+	// Partition opens a cut between the listed host groups; empty
+	// leaves the current cut alone. Heal removes the cut (applied
+	// before Partition would re-open one).
+	Partition [][]string
+	Heal      bool
+	// Link installs a fault profile on one (possibly wildcard) link.
+	Link *LinkEvent
+	// Kill and Restart name hosts to kill/restart via their hooks.
+	Kill    string
+	Restart string
+}
+
+// LinkEvent is a scheduled SetLinkFaults.
+type LinkEvent struct {
+	Src, Dst string
+	Faults   LinkFaults
+}
+
+// Schedule is a reproducible fault script: the same schedule applied
+// to a fabric with the same seed (and the same deterministic traffic)
+// yields the same outcomes.
+type Schedule []Event
+
+// Apply fires every event scheduled for the given step.
+func (s Schedule) Apply(f *Fabric, step int) error {
+	for _, ev := range s {
+		if ev.Step != step {
+			continue
+		}
+		if ev.Heal {
+			f.Heal()
+		}
+		if len(ev.Partition) > 0 {
+			f.Partition(ev.Partition...)
+		}
+		if ev.Link != nil {
+			f.SetLinkFaults(ev.Link.Src, ev.Link.Dst, ev.Link.Faults)
+		}
+		if ev.Kill != "" {
+			if err := f.Kill(ev.Kill); err != nil {
+				return fmt.Errorf("faultnet: schedule step %d: %w", step, err)
+			}
+		}
+		if ev.Restart != "" {
+			if err := f.Restart(ev.Restart); err != nil {
+				return fmt.Errorf("faultnet: schedule step %d: %w", step, err)
+			}
+		}
+	}
+	return nil
+}
+
+// LastStep returns the highest step any event fires at (-1 for an
+// empty schedule), so harnesses can size a run to cover the script.
+func (s Schedule) LastStep() int {
+	last := -1
+	for _, ev := range s {
+		if ev.Step > last {
+			last = ev.Step
+		}
+	}
+	return last
+}

@@ -66,6 +66,13 @@ const (
 	// exchangeCallTimeout bounds one peer call so a hung peer cannot
 	// stall the loop past its own round.
 	exchangeCallTimeout = 15 * time.Second
+
+	// maxPeerCooldownRounds caps the per-peer failure backoff: a peer
+	// that keeps failing its rounds is skipped for exponentially many
+	// of its ring turns (1, 2, 4, ...), but never longer than this, so
+	// a long-dead peer stops burning exchange budget yet is probed
+	// again within a bounded number of its turns once it recovers.
+	maxPeerCooldownRounds = 16
 )
 
 // ErrExchangeWire is wrapped by rejections of exchange message framing.
@@ -186,14 +193,26 @@ type Exchange struct {
 	cfg    core.ExchangeConfig
 	now    func() time.Time
 
-	mu      sync.Mutex
-	peers   []string // shuffled ring; next indexes the coming round
-	next    int
+	mu    sync.Mutex
+	peers []string // shuffled ring; next indexes the coming round
+	next  int
+	// cool tracks per-peer failure backoff: a peer that failed its
+	// last round is skipped for exponentially many of its ring turns
+	// (reset to zero by the first success).
+	cool    map[string]*peerCooldown
 	stats   core.ExchangeStats
 	stopped bool
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+// peerCooldown is one peer's failure-backoff state.
+type peerCooldown struct {
+	// fails counts consecutive failed rounds; skip is how many of the
+	// peer's coming ring turns are passed over before the next probe.
+	fails int
+	skip  int
 }
 
 // newExchange validates and normalizes the configuration. The peer
@@ -204,17 +223,9 @@ func newExchange(g *Gossip, hc *core.HostContext, cfg core.ExchangeConfig) (*Exc
 		return nil, errors.New("policy: exchange needs a host context with a network")
 	}
 	self := hc.Host.Name()
-	seen := make(map[string]bool, len(cfg.Peers))
-	peers := make([]string, 0, len(cfg.Peers))
-	for _, p := range cfg.Peers {
-		if p == "" || p == self || seen[p] {
-			continue
-		}
-		seen[p] = true
-		peers = append(peers, p)
-	}
-	if len(peers) == 0 {
-		return nil, fmt.Errorf("policy: exchange at %s has no usable peers", self)
+	peers, err := normalizeRing(self, cfg.Peers)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.Interval <= 0 {
 		cfg.Interval = core.DefaultExchangeInterval
@@ -225,10 +236,6 @@ func newExchange(g *Gossip, hc *core.HostContext, cfg core.ExchangeConfig) (*Exc
 	if cfg.Budget > core.MaxExchangeBudget {
 		cfg.Budget = core.MaxExchangeBudget
 	}
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(self))
-	rng := rand.New(rand.NewSource(int64(h.Sum64())))
-	rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
 	return &Exchange{
 		gossip: g,
 		hc:     hc,
@@ -236,9 +243,61 @@ func newExchange(g *Gossip, hc *core.HostContext, cfg core.ExchangeConfig) (*Exc
 		cfg:    cfg,
 		now:    g.now,
 		peers:  peers,
+		cool:   make(map[string]*peerCooldown),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}, nil
+}
+
+// normalizeRing deduplicates the peer list, purges the node itself,
+// and shuffles with a seed derived from the host name — so a node's
+// visit order is deterministic and test-replayable while differing
+// across nodes. Shared by construction and live peer updates, so a
+// membership change reshuffles the same way a restart would.
+func normalizeRing(self string, list []string) ([]string, error) {
+	seen := make(map[string]bool, len(list))
+	peers := make([]string, 0, len(list))
+	for _, p := range list {
+		if p == "" || p == self || seen[p] {
+			continue
+		}
+		seen[p] = true
+		peers = append(peers, p)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("policy: exchange at %s has no usable peers", self)
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(self))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	return peers, nil
+}
+
+// UpdatePeers replaces the ring with a new fleet membership: the list
+// is normalized and reshuffled exactly as at construction, the ring
+// position resets, and cooldown state survives for peers present in
+// both lists (a dead peer does not earn a fresh probe budget just
+// because an unrelated node joined).
+func (x *Exchange) UpdatePeers(peers []string) error {
+	ring, err := normalizeRing(x.self, peers)
+	if err != nil {
+		return err
+	}
+	keep := make(map[string]bool, len(ring))
+	for _, p := range ring {
+		keep[p] = true
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.peers = ring
+	x.next = 0
+	for p := range x.cool {
+		if !keep[p] {
+			delete(x.cool, p)
+		}
+	}
+	return nil
 }
 
 // run paces Step until the node closes or the loop is stopped.
@@ -277,22 +336,63 @@ func (x *Exchange) Stats() core.ExchangeStats {
 	return x.stats
 }
 
-// nextPeer advances the shuffled ring by one.
+// nextPeer advances the shuffled ring to the next peer that is not
+// cooling down, consuming one skip credit from each cooling peer it
+// passes. It returns "" when every peer is cooling — the round is a
+// no-op rather than a forced probe of a known-dead fleet.
 func (x *Exchange) nextPeer() string {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	p := x.peers[x.next%len(x.peers)]
-	x.next++
-	return p
+	n := len(x.peers)
+	for i := 0; i < n; i++ {
+		p := x.peers[x.next%n]
+		x.next++
+		if c := x.cool[p]; c != nil && c.skip > 0 {
+			c.skip--
+			x.stats.PeersSkipped++
+			continue
+		}
+		return p
+	}
+	return ""
+}
+
+// noteOutcome updates the peer's failure backoff after a round: a
+// success clears it; a failure doubles the number of the peer's ring
+// turns skipped before the next probe (1, 2, 4, ... capped at
+// maxPeerCooldownRounds).
+func (x *Exchange) noteOutcome(peer string, err error) {
+	if err == nil {
+		delete(x.cool, peer)
+		return
+	}
+	c := x.cool[peer]
+	if c == nil {
+		c = &peerCooldown{}
+		x.cool[peer] = c
+	}
+	c.fails++
+	skip := maxPeerCooldownRounds
+	if c.fails <= 5 { // 2^(fails-1) overtakes the cap from the 6th failure
+		skip = 1 << (c.fails - 1)
+	}
+	if skip > maxPeerCooldownRounds {
+		skip = maxPeerCooldownRounds
+	}
+	c.skip = skip
 }
 
 // Step runs one exchange round against the next peer of the shuffled
 // ring: push our signed extracts, pull the peer's delta, verify and
 // merge it. Exported so tests and the convergence bench can drive
 // rounds deterministically instead of waiting out the interval; the
-// background loop calls it on every tick.
+// background loop calls it on every tick. A round where every peer is
+// cooling down after failures performs no call and counts no round.
 func (x *Exchange) Step(ctx context.Context) error {
 	peer := x.nextPeer()
+	if peer == "" {
+		return nil
+	}
 	err := x.exchangeWith(ctx, peer)
 	x.mu.Lock()
 	x.stats.Rounds++
@@ -301,6 +401,7 @@ func (x *Exchange) Step(ctx context.Context) error {
 	if err != nil {
 		x.stats.Failures++
 	}
+	x.noteOutcome(peer, err)
 	x.mu.Unlock()
 	return err
 }
@@ -419,6 +520,22 @@ func (m *Gossip) Exchange() *Exchange {
 	defer m.exMu.Unlock()
 	return m.exchange
 }
+
+// UpdateExchangePeers implements core.ExchangePeerUpdater: the running
+// loop adopts a new fleet membership without a node restart. Errors
+// when no loop is running (gossip-in-baggage only) or when the new
+// list normalizes to empty.
+func (m *Gossip) UpdateExchangePeers(peers []string) error {
+	m.exMu.Lock()
+	x := m.exchange
+	m.exMu.Unlock()
+	if x == nil {
+		return errors.New("policy: no exchange loop running for this gossip mechanism")
+	}
+	return x.UpdatePeers(peers)
+}
+
+var _ core.ExchangePeerUpdater = (*Gossip)(nil)
 
 // ExchangeStats implements core.ExchangeReporter.
 func (m *Gossip) ExchangeStats() (core.ExchangeStats, bool) {

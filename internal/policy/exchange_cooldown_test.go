@@ -1,0 +1,164 @@
+package policy
+
+import (
+	"context"
+	"testing"
+)
+
+// TestExchangeCooldownSingleDeadPeer pins the backoff cadence against
+// one unreachable peer: probes land on rounds 1, 3, 6, 11, ... (skip
+// 1, 2, 4, ... turns between), no-op steps count no round, and the
+// skip cap bounds how long a recovered peer waits for its next probe.
+func TestExchangeCooldownSingleDeadPeer(t *testing.T) {
+	ctx := context.Background()
+	// n1 exists but is never registered: every call to it fails.
+	bed := newExBed(t, 2, [][]string{{exName(1)}, nil}, func(i int) bool { return i == 0 })
+	x := bed.nodes[0].x
+
+	type expect struct{ rounds, failures, skipped int64 }
+	// step: probe, skip, probe, skip, skip, probe
+	wants := []expect{
+		{1, 1, 0},
+		{1, 1, 1},
+		{2, 2, 1},
+		{2, 2, 2},
+		{2, 2, 3},
+		{3, 3, 3},
+	}
+	for i, w := range wants {
+		_ = x.Step(ctx)
+		st := x.Stats()
+		if st.Rounds != w.rounds || st.Failures != w.failures || st.PeersSkipped != w.skipped {
+			t.Fatalf("after step %d: rounds=%d failures=%d skipped=%d, want %+v",
+				i+1, st.Rounds, st.Failures, st.PeersSkipped, w)
+		}
+	}
+
+	// Exhaust the backoff growth: after enough failures the skip count
+	// pins at maxPeerCooldownRounds instead of growing forever.
+	for i := 0; i < 200; i++ {
+		_ = x.Step(ctx)
+	}
+	x.mu.Lock()
+	c := x.cool[exName(1)]
+	skip, fails := c.skip, c.fails
+	x.mu.Unlock()
+	if skip > maxPeerCooldownRounds {
+		t.Fatalf("skip %d exceeds cap %d", skip, maxPeerCooldownRounds)
+	}
+	if fails <= 5 {
+		t.Fatalf("expected many failures by now, got %d", fails)
+	}
+
+	// The peer comes back: the next probe succeeds and clears the
+	// backoff entirely — every following turn probes again.
+	node1 := bed.nodes[1]
+	bed.net.Register(node1.name, gossipEndpoint{hc: node1.hc, g: node1.g})
+	for i := 0; i <= maxPeerCooldownRounds; i++ {
+		_ = x.Step(ctx)
+	}
+	x.mu.Lock()
+	_, cooling := x.cool[exName(1)]
+	x.mu.Unlock()
+	if cooling {
+		t.Fatal("successful round did not clear the peer's cooldown")
+	}
+	before := x.Stats()
+	if err := x.Step(ctx); err != nil {
+		t.Fatalf("post-recovery step: %v", err)
+	}
+	after := x.Stats()
+	if after.Rounds != before.Rounds+1 || after.PeersSkipped != before.PeersSkipped {
+		t.Fatalf("recovered peer still skipped: before=%+v after=%+v", before, after)
+	}
+}
+
+// TestExchangeCooldownShieldsHealthyPeers pins that a dead peer's
+// backoff does not starve rounds against healthy ones: with one dead
+// and one live peer, far fewer than half the rounds fail.
+func TestExchangeCooldownShieldsHealthyPeers(t *testing.T) {
+	ctx := context.Background()
+	// Peers n1 (live) and n2 (never registered).
+	bed := newExBed(t, 3, [][]string{{exName(1), exName(2)}, nil, nil}, func(i int) bool { return i != 2 })
+	x := bed.nodes[0].x
+	for i := 0; i < 64; i++ {
+		_ = x.Step(ctx)
+	}
+	st := x.Stats()
+	if st.Rounds == 0 {
+		t.Fatal("no rounds ran")
+	}
+	// Without backoff the dead peer owns every other ring turn: ~32
+	// failures. With exponential skips only ~log2 probes reach it.
+	if st.Failures > 10 {
+		t.Fatalf("dead peer consumed %d/%d rounds despite backoff", st.Failures, st.Rounds)
+	}
+	if st.PeersSkipped == 0 {
+		t.Fatal("no ring turns were skipped")
+	}
+}
+
+// TestExchangeUpdatePeers pins the live membership swap: cooldown
+// state survives for retained peers, is pruned for removed ones, and
+// a list that normalizes to empty is refused without touching the
+// ring.
+func TestExchangeUpdatePeers(t *testing.T) {
+	ctx := context.Background()
+	bed := newExBed(t, 3, [][]string{{exName(1), exName(2)}, nil, nil}, func(i int) bool { return i != 2 })
+	x := bed.nodes[0].x
+	for i := 0; i < 8; i++ {
+		_ = x.Step(ctx)
+	}
+	x.mu.Lock()
+	_, hadCool := x.cool[exName(2)]
+	x.mu.Unlock()
+	if !hadCool {
+		t.Fatal("dead peer accumulated no cooldown")
+	}
+
+	// Retained dead peer keeps its backoff through a membership change.
+	if err := x.UpdatePeers([]string{exName(1), exName(2)}); err != nil {
+		t.Fatalf("UpdatePeers: %v", err)
+	}
+	x.mu.Lock()
+	_, stillCool := x.cool[exName(2)]
+	x.mu.Unlock()
+	if !stillCool {
+		t.Fatal("membership change reset a retained peer's cooldown")
+	}
+
+	// Removing the peer prunes its state; adding it back starts fresh.
+	if err := x.UpdatePeers([]string{exName(1)}); err != nil {
+		t.Fatalf("UpdatePeers shrink: %v", err)
+	}
+	x.mu.Lock()
+	_, pruned := x.cool[exName(2)]
+	peersNow := len(x.peers)
+	x.mu.Unlock()
+	if pruned || peersNow != 1 {
+		t.Fatalf("removed peer not pruned (cool kept: %v, ring len %d)", pruned, peersNow)
+	}
+
+	// Empty (or self-only) lists are refused and leave the ring alone.
+	if err := x.UpdatePeers(nil); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if err := x.UpdatePeers([]string{exName(0), ""}); err == nil {
+		t.Fatal("self-only peer list accepted")
+	}
+	x.mu.Lock()
+	peersNow = len(x.peers)
+	x.mu.Unlock()
+	if peersNow != 1 {
+		t.Fatalf("failed update mutated the ring (len %d)", peersNow)
+	}
+
+	// The Gossip-level entry point reaches the same loop.
+	if err := bed.nodes[0].g.UpdateExchangePeers([]string{exName(1), exName(2)}); err != nil {
+		t.Fatalf("Gossip.UpdateExchangePeers: %v", err)
+	}
+	// A responder-only mechanism (no loop) refuses.
+	if err := bed.nodes[1].g.UpdateExchangePeers([]string{exName(0)}); err == nil {
+		t.Fatal("UpdateExchangePeers on a loopless mechanism succeeded")
+	}
+}

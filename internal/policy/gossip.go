@@ -119,6 +119,18 @@ func NewGossip(ledger *Ledger) *Gossip {
 	}
 }
 
+// SetClock replaces the clock that stamps outgoing gossip extracts
+// (entry AtUnixNano fields and exchange-round timestamps). Campaign
+// harnesses running on virtual time call it once, right after
+// construction and before the node starts any exchange loop — the
+// loop captures the clock at start, so later calls do not reach an
+// already-running exchange.
+func (m *Gossip) SetClock(now func() time.Time) {
+	if now != nil {
+		m.now = now
+	}
+}
+
 // Name implements core.Mechanism.
 func (m *Gossip) Name() string { return GossipMechanismName }
 

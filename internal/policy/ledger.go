@@ -73,6 +73,11 @@ type LedgerConfig struct {
 	// it; the ledger owns the backend and closes it in Close. Nil keeps
 	// the ledger in memory.
 	Backend shardstore.Backend
+	// OnPersistError is forwarded to the backing store's persistence
+	// error hook (fires once, on the first write failure, after which
+	// the store is degraded to memory-only). Nil means failures are
+	// silent. Ignored without Backend.
+	OnPersistError func(error)
 }
 
 // hostRecord is one host's ledger entry. Suspicion is stored with its
@@ -132,6 +137,7 @@ func OpenLedger(cfg LedgerConfig) (*Ledger, error) {
 	store, err := shardstore.NewPersistent(scfg, shardstore.PersistConfig[hostRecord]{
 		Backend: cfg.Backend,
 		Codec:   hostRecordCodec(),
+		OnError: cfg.OnPersistError,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("policy: recovering ledger: %w", err)

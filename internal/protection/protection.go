@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"time"
 
 	"repro/internal/agentlang"
 	appraisalpkg "repro/internal/appraisal"
@@ -128,6 +129,18 @@ type Options struct {
 	// for both — the subdirectories do not collide); see
 	// docs/OPERATIONS.md.
 	DataDir string
+	// Clock overrides the stack's clock for LevelAdaptive: the
+	// default-built ledger's decay clock and the gossip mechanism's
+	// extract timestamps. Campaign harnesses on virtual time set it;
+	// nil means time.Now. A caller-supplied AdaptivePolicy/AdaptiveGate
+	// ledger keeps its own Now — only gossip adopts the clock then.
+	Clock func() time.Time
+	// OnPersistError receives the stack's durable-state write failures
+	// (the adaptive ledger WAL; fires once, then the store is degraded
+	// to memory-only). Nil means failures are silent. Pair it with
+	// core.NodeConfig.OnPersistError so both the node's stores and the
+	// stack's report through one channel.
+	OnPersistError func(error)
 }
 
 // Stack is one node's protection assembly: the mechanism list plus the
@@ -198,7 +211,7 @@ func Assemble(l Level, opts Options) (Stack, error) {
 			led = opts.AdaptiveGate.Ledger
 		}
 		if led == nil {
-			lcfg := policy.LedgerConfig{}
+			lcfg := policy.LedgerConfig{Now: opts.Clock, OnPersistError: opts.OnPersistError}
 			if opts.DataDir != "" {
 				backend, err := shardstore.OpenWAL(filepath.Join(opts.DataDir, "ledger"), shardstore.WALConfig{})
 				if err != nil {
@@ -223,6 +236,9 @@ func Assemble(l Level, opts Options) (Stack, error) {
 		// verdicts are priced, then the cheap rules, then the gated
 		// re-execution protocol.
 		gossip := policy.NewGossip(led)
+		if opts.Clock != nil {
+			gossip.SetClock(opts.Clock)
+		}
 		mechs := []core.Mechanism{
 			wholesig.New(opts.Timer),
 			gossip,

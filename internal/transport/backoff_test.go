@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// reserveAddr grabs a free loopback port and releases it, so a test
+// can dial it before anything listens and bind it later.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// TestTCPDialBackoffRidesOutRestart pins the restart window the
+// backoff exists for: the first dial attempts hit a closed port
+// (connection refused), the server comes up mid-retry, and the call
+// succeeds without the caller ever seeing a failure.
+func TestTCPDialBackoffRidesOutRestart(t *testing.T) {
+	addr := reserveAddr(t)
+	ep := &echoEndpoint{name: "srv"}
+	go func() {
+		time.Sleep(250 * time.Millisecond)
+		srv, err := Serve(addr, ep)
+		if err != nil {
+			t.Errorf("late serve: %v", err)
+			return
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+	}()
+
+	nw := NewTCPNetwork(map[string]string{"srv": addr})
+	defer nw.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out, err := nw.Call(ctx, "srv", "echo", []byte("hi"))
+	if err != nil {
+		t.Fatalf("call through restart window: %v", err)
+	}
+	if string(out) != "srv:hi" {
+		t.Fatalf("echo = %q", out)
+	}
+}
+
+// TestTCPDialBackoffExhaustion pins the give-up path: a peer that
+// stays down produces an error distinguishable via
+// errors.Is(ErrDialRetriesExhausted) that still wraps the underlying
+// refusal, and respects the caller's deadline instead of the default
+// retry budget.
+func TestTCPDialBackoffExhaustion(t *testing.T) {
+	nw := NewTCPNetwork(map[string]string{"dead": "127.0.0.1:1"})
+	defer nw.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := nw.Call(ctx, "dead", "m", nil)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrDialRetriesExhausted) {
+		t.Fatalf("call to dead peer = %v, want ErrDialRetriesExhausted", err)
+	}
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("exhaustion error lost the underlying cause: %v", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("retries ran %v past a 250ms deadline", elapsed)
+	}
+}
+
+// TestTCPDialBackoffNonTransientFailsFast pins that only refusal and
+// reset are retried: a failure that cannot heal by waiting (here an
+// unresolvable address) surfaces immediately, without the exhaustion
+// marker.
+func TestTCPDialBackoffNonTransientFailsFast(t *testing.T) {
+	nw := NewTCPNetwork(map[string]string{"bad": "definitely-not-a-host.invalid:1"})
+	defer nw.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := nw.Call(ctx, "bad", "m", nil)
+	if err == nil {
+		t.Fatal("dial to unresolvable host succeeded")
+	}
+	if errors.Is(err, ErrDialRetriesExhausted) {
+		t.Fatalf("non-transient failure reported as retry exhaustion: %v", err)
+	}
+	if time.Since(start) > 8*time.Second {
+		t.Fatal("non-transient dial failure was retried")
+	}
+}

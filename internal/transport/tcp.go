@@ -7,9 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -57,7 +59,30 @@ const (
 	serverIdleTimeout = 2 * time.Minute
 	// idlePerHost bounds the client-side idle pool per destination.
 	idlePerHost = 4
+
+	// Dial retry policy: a transient dial failure (connection refused
+	// or reset before any byte arrived — the signature of a peer
+	// mid-restart) is retried with jittered exponential backoff until
+	// the caller's deadline, or dialRetryBudget when the caller set
+	// none. Sleeps are drawn uniformly from [backoff/2, backoff) so a
+	// fleet that lost a node does not reconverge on it in lockstep.
+	dialBackoffBase = 25 * time.Millisecond
+	dialBackoffMax  = time.Second
+	dialRetryBudget = 5 * time.Second
 )
+
+// ErrDialRetriesExhausted marks a dial that kept failing transiently
+// until the retry budget ran out, so callers can distinguish "peer
+// stayed down through every retry" from a single hard failure.
+var ErrDialRetriesExhausted = errors.New("transport: dial retries exhausted")
+
+// isTransientDial reports whether a dial failure is worth retrying: the
+// peer actively refused (nothing listening yet — a restart in progress)
+// or reset the handshake. Anything else (no route, DNS, ctx expiry) is
+// returned to the caller at once.
+func isTransientDial(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET)
+}
 
 // wrapTimeout classifies an I/O error: context cancellation and network
 // timeouts surface as the ctx error (context.DeadlineExceeded or
@@ -331,6 +356,45 @@ func (n *TCPNetwork) dial(ctx context.Context, host, addr string) (*clientConn, 
 	}, nil
 }
 
+// dialBackoff dials with jittered exponential backoff across transient
+// failures. The retry window is the caller's ctx deadline when it has
+// one, else dialRetryBudget; each individual attempt still runs under
+// dial's own per-attempt timeout. On exhaustion the returned error
+// wraps both ErrDialRetriesExhausted and the last dial failure.
+func (n *TCPNetwork) dialBackoff(ctx context.Context, host, addr string) (*clientConn, error) {
+	rctx := ctx
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, dialRetryBudget)
+		defer cancel()
+	}
+	backoff := dialBackoffBase
+	attempts := 0
+	for {
+		c, err := n.dial(rctx, host, addr)
+		attempts++
+		if err == nil {
+			return c, nil
+		}
+		if !isTransientDial(err) {
+			return nil, err
+		}
+		// Jitter: sleep somewhere in [backoff/2, backoff).
+		delay := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)))
+		t := time.NewTimer(delay)
+		select {
+		case <-rctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("transport: dial %s (%s): %w after %d attempts: %w",
+				host, addr, ErrDialRetriesExhausted, attempts, err)
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > dialBackoffMax {
+			backoff = dialBackoffMax
+		}
+	}
+}
+
 // SendAgent implements Network.
 func (n *TCPNetwork) SendAgent(ctx context.Context, host string, wire []byte) error {
 	_, err := n.roundTrip(ctx, host, rpcRequest{Kind: "agent", Body: wire})
@@ -383,13 +447,26 @@ func (n *TCPNetwork) roundTrip(ctx context.Context, host string, req rpcRequest)
 		}
 	}
 
-	c, err := n.dial(ctx, host, addr)
+	c, err := n.dialBackoff(ctx, host, addr)
 	if err != nil {
 		return rpcResponse{}, err
 	}
-	resp, _, err := n.exchange(ctx, host, c, req)
+	resp, retryable, err := n.exchange(ctx, host, c, req)
 	if err != nil && !isRemote(err) {
 		c.close()
+		// A reset before the first response byte on a fresh connection
+		// is the same restart signature dialBackoff retries: the server
+		// accepted and died before reading. One more backoff-dialled
+		// attempt; past that the error stands.
+		if retryable && isTransientDial(err) && ctx.Err() == nil {
+			if c, derr := n.dialBackoff(ctx, host, addr); derr == nil {
+				if resp, _, rerr := n.exchange(ctx, host, c, req); rerr == nil || isRemote(rerr) {
+					n.putIdle(host, c)
+					return resp, rerr
+				}
+				c.close()
+			}
+		}
 		return rpcResponse{}, err
 	}
 	n.putIdle(host, c)

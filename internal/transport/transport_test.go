@@ -260,10 +260,14 @@ func TestTCPUnknownHostAndDialFailure(t *testing.T) {
 	if _, err := net.Call(ctx, "ghost", "m", nil); !errors.Is(err, ErrUnknownHost) {
 		t.Errorf("unknown host: %v", err)
 	}
-	// Address book entry pointing at a closed port.
+	// Address book entry pointing at a closed port: connection refused
+	// is retried with backoff until the caller's deadline, then surfaces
+	// as the distinguishable exhaustion error.
 	net.AddHost("dead", "127.0.0.1:1")
-	if err := net.SendAgent(ctx, "dead", nil); err == nil {
-		t.Error("dial to closed port succeeded")
+	dctx, cancel := context.WithTimeout(ctx, 300*time.Millisecond)
+	defer cancel()
+	if err := net.SendAgent(dctx, "dead", nil); !errors.Is(err, ErrDialRetriesExhausted) {
+		t.Errorf("dial to closed port = %v, want ErrDialRetriesExhausted", err)
 	}
 }
 
