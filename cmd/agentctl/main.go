@@ -10,6 +10,9 @@
 //	agentctl quarantine -peers ... <agent-id>
 //	agentctl evidence <path/to/evidence/file.agent>
 //	agentctl status -peers ...
+//	agentctl metrics -peers ...
+//	agentctl watch -peers ...
+//	agentctl flight -peers ... <node>
 //
 // Invoking agentctl with flags only (no subcommand) is the legacy
 // launch form. Delivery is asynchronous: the launch returns once the
@@ -32,6 +35,16 @@
 // sizes, and sticky persistence degradation (first/last WAL failure) —
 // and exits non-zero when any node is degraded, so it slots into
 // monitoring. See docs/OPERATIONS.md.
+//
+// The observability plane (see DESIGN.md §8): "metrics" prints every
+// node's event-derived counters, gauges, and histograms plus the
+// per-subscriber drop ledger. "watch" tails the fleet's event journals
+// live — a cursor poll against each node's node/events call, so it
+// needs no transport extension and a watcher that falls behind sees an
+// explicit "missed N" line instead of silent loss. "flight" replays
+// one node's durable flight-recorder window: after a crash and
+// restart, the last events before the crash. See docs/OPERATIONS.md
+// for the post-incident walkthrough.
 package main
 
 import (
@@ -45,6 +58,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/transport"
 	"repro/internal/value"
 )
@@ -74,8 +88,14 @@ func run() error {
 		return runEvidence(args)
 	case "status":
 		return runStatus(args)
+	case "metrics":
+		return runMetrics(args)
+	case "watch":
+		return runWatch(args)
+	case "flight":
+		return runFlight(args)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want launch|reputation|quarantine|evidence|status)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want launch|reputation|quarantine|evidence|status|metrics|watch|flight)", cmd)
 	}
 }
 
@@ -114,20 +134,239 @@ func runStatus(args []string) error {
 			mode = "durable"
 		}
 		fmt.Printf("  %-8s %s journal=%d quarantine=%d", peer, mode, h.JournalEntries, h.QuarantineEntries)
+		if h.EventsEnabled {
+			fmt.Printf(" events=%d drops=%d", h.EventsPublished, h.EventDrops)
+			if h.FlightRecorder {
+				flight := "flight=ok"
+				if h.FlightDegraded {
+					flight = "flight=DEGRADED"
+				}
+				fmt.Printf(" %s", flight)
+			}
+		}
 		if !h.Degraded {
 			fmt.Println(" ok")
 			continue
 		}
 		degraded++
 		fmt.Printf(" DEGRADED (%d persistence failures)\n", h.PersistFailures)
-		fmt.Printf("           first: %s at %s\n", h.FirstPersistError,
-			time.Unix(0, h.FirstPersistUnixNano).Format(time.RFC3339))
-		fmt.Printf("           last:  %s\n", time.Unix(0, h.LastPersistUnixNano).Format(time.RFC3339))
+		if h.PersistFailures > 0 {
+			fmt.Printf("           first: %s at %s\n", h.FirstPersistError,
+				time.Unix(0, h.FirstPersistUnixNano).Format(time.RFC3339))
+			fmt.Printf("           last:  %s\n", time.Unix(0, h.LastPersistUnixNano).Format(time.RFC3339))
+		}
+		if h.FlightDegraded {
+			fmt.Printf("           flight recorder WAL degraded; pre-crash events will not survive the next restart\n")
+		}
 	}
 	if degraded > 0 {
 		return fmt.Errorf("%d node(s) running with degraded persistence; their reputation/journal state will not survive a restart", degraded)
 	}
 	return nil
+}
+
+// runMetrics serves `agentctl metrics`: every node's event-derived
+// counters, gauges, and histograms via the node/metrics built-in, plus
+// the per-subscriber drop ledger (the loss the bus contract permits,
+// reported rather than hidden).
+func runMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	peers := fs.String("peers", "", "address book: name=host:port,...")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-call deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	book, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	net := transport.NewTCPNetwork(book)
+	defer net.Close()
+
+	for _, peer := range sortedNames(book) {
+		body, err := callPeer(net, peer, "metrics", core.MetricsCallBody(), *timeout)
+		if err != nil {
+			fmt.Printf("%s: unreachable: %v\n", peer, err)
+			continue
+		}
+		r, err := core.DecodeMetricsReply(body)
+		if err != nil {
+			return err
+		}
+		if !r.Enabled {
+			fmt.Printf("%s: no event pipeline (journal=%d quarantine=%d)\n", peer, r.JournalEntries, r.QuarantineEntries)
+			continue
+		}
+		s := r.Snapshot
+		fmt.Printf("%s: published=%d drops=%d journal=%d quarantine=%d at=%s\n",
+			peer, s.Published, s.Drops(), r.JournalEntries, r.QuarantineEntries,
+			time.Unix(0, s.AtUnixNano).Format(time.RFC3339))
+		for _, name := range s.SortedCounterNames() {
+			fmt.Printf("  counter   %-32s %d\n", name, s.Counters[name])
+		}
+		for _, name := range s.SortedGaugeNames() {
+			fmt.Printf("  gauge     %-32s %g\n", name, s.Gauges[name])
+		}
+		for _, name := range s.SortedHistogramNames() {
+			h := s.Histograms[name]
+			fmt.Printf("  histogram %-32s count=%d sum=%g\n", name, h.Count, h.Sum)
+			for _, b := range h.Buckets {
+				le := fmt.Sprintf("%g", b.LE)
+				if b.LE < 0 {
+					le = "+inf"
+				}
+				fmt.Printf("              le=%-8s %d\n", le, b.N)
+			}
+		}
+		for _, sub := range s.Subscribers {
+			fmt.Printf("  subscriber %-31s received=%d dropped=%d\n", sub.Name, sub.Received, sub.Dropped)
+		}
+	}
+	return nil
+}
+
+// runWatch serves `agentctl watch`: tail the fleet's event journals
+// live. Each node is polled with its own resume cursor against the
+// node/events built-in — a bounded batch per poll, so a chatty node
+// cannot wedge the watcher, and a watcher that falls behind a node's
+// journal ring sees an explicit "missed N" line.
+func runWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	peers := fs.String("peers", "", "address book: name=host:port,...")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-call deadline")
+	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval")
+	kind := fs.String("kind", "", "only print events of this kind (empty = all)")
+	tail := fs.Bool("tail", true, "start at each node's journal tail (false = replay the retained journal first)")
+	duration := fs.Duration("for", 0, "stop after this long (0 = watch until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	book, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	net := transport.NewTCPNetwork(book)
+	defer net.Close()
+
+	ctx, cancel := deadlineCtx(*duration)
+	defer cancel()
+
+	cursors := make(map[string]uint64, len(book))
+	if *tail {
+		// Resolve each node's current tail so the watch starts with
+		// "what happens next", not a replay of history.
+		for _, peer := range sortedNames(book) {
+			body, err := callPeer(net, peer, "events", core.EventsCallBody(^uint64(0), 1), *timeout)
+			if err != nil {
+				continue
+			}
+			if r, err := core.DecodeEventsReply(body); err == nil && r.Enabled {
+				cursors[peer] = r.Next
+			}
+		}
+	}
+	fmt.Printf("agentctl: watching %d nodes (poll %s)\n", len(book), *poll)
+	ticker := time.NewTicker(*poll)
+	defer ticker.Stop()
+	for {
+		for _, peer := range sortedNames(book) {
+			body, err := callPeer(net, peer, "events", core.EventsCallBody(cursors[peer], 0), *timeout)
+			if err != nil {
+				continue
+			}
+			r, err := core.DecodeEventsReply(body)
+			if err != nil {
+				return err
+			}
+			if !r.Enabled {
+				continue
+			}
+			if r.Missed > 0 && cursors[peer] > 0 {
+				fmt.Printf("%s: missed %d events (journal ring overwrote them)\n", peer, r.Missed)
+			}
+			for _, ev := range r.Events {
+				if *kind != "" && ev.Kind != *kind {
+					continue
+				}
+				printEvent(ev)
+			}
+			cursors[peer] = r.Next
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+	}
+}
+
+// runFlight serves `agentctl flight <node>`: replay the node's flight
+// recorder — the durable window of its most recent events, including
+// what it recorded before its last crash.
+func runFlight(args []string) error {
+	fs := flag.NewFlagSet("flight", flag.ExitOnError)
+	peers := fs.String("peers", "", "address book: name=host:port,...")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-call deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	node := fs.Arg(0)
+	if node == "" {
+		return fmt.Errorf("usage: agentctl flight -peers ... <node>")
+	}
+	book, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	net := transport.NewTCPNetwork(book)
+	defer net.Close()
+
+	body, err := callPeer(net, node, "flight", core.FlightCallBody(), *timeout)
+	if err != nil {
+		return fmt.Errorf("node %s unreachable: %w", node, err)
+	}
+	r, err := core.DecodeFlightReply(body)
+	if err != nil {
+		return err
+	}
+	if !r.Enabled {
+		return fmt.Errorf("node %s runs without a flight recorder (no event pipeline or memory-only node)", node)
+	}
+	fmt.Printf("agentctl: flight recorder of %s: %d events", node, len(r.Events))
+	if r.Degraded {
+		fmt.Printf(" (recorder WAL DEGRADED — this window will not survive the next crash)")
+	}
+	fmt.Println()
+	for _, ev := range r.Events {
+		printEvent(ev)
+	}
+	return nil
+}
+
+// printEvent renders one bus event as a watch/flight output line.
+func printEvent(ev events.Event) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s #%d %-16s", time.Unix(0, ev.UnixNano).Format("15:04:05.000"), ev.Node, ev.Seq, ev.Kind)
+	if ev.Agent != "" {
+		fmt.Fprintf(&b, " agent=%s", ev.Agent)
+	}
+	if ev.Host != "" {
+		fmt.Fprintf(&b, " host=%s", ev.Host)
+	}
+	for _, k := range sortedFieldKeys(ev.Fields) {
+		fmt.Fprintf(&b, " %s=%q", k, ev.Fields[k])
+	}
+	fmt.Println(b.String())
+}
+
+// sortedFieldKeys sorts an event's extra-field keys for stable output.
+func sortedFieldKeys(fields map[string]string) []string {
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func runLaunch(args []string) error {

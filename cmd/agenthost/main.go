@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/host"
 	"repro/internal/protection"
 	"repro/internal/sigcrypto"
@@ -136,6 +137,21 @@ func run() error {
 		nodeDir = filepath.Join(*dataDir, *name)
 		fmt.Printf("agenthost %s: durable state under %s\n", *name, nodeDir)
 	}
+	// The event pipeline (bus + metrics + flight recorder) is the node's
+	// operations surface: every layer publishes into one bus, and
+	// `agentctl metrics|watch|flight` read it back through the node's
+	// built-in calls. With a data dir the flight recorder persists its
+	// window so the last events before a crash replay after restart.
+	pipe, err := events.Open(events.PipelineConfig{
+		Node:    *name,
+		DataDir: nodeDir,
+		OnPersistError: func(err error) {
+			fmt.Fprintf(os.Stderr, "agenthost %s: flight recorder degraded: %v\n", *name, err)
+		},
+	})
+	if err != nil {
+		return err
+	}
 	// The stack is assembled before the node exists, but its ledger WAL
 	// can degrade at any later write; route those failures into the
 	// node's health record (served by node/health and `agentctl status`)
@@ -143,6 +159,7 @@ func run() error {
 	var nodeRef atomic.Pointer[core.Node]
 	stack, err := protection.Assemble(lvl, protection.Options{
 		DataDir: nodeDir,
+		Events:  pipe.Bus,
 		OnPersistError: func(err error) {
 			fmt.Fprintf(os.Stderr, "agenthost %s: persistence degraded: %v\n", *name, err)
 			if n := nodeRef.Load(); n != nil {
@@ -187,6 +204,7 @@ func run() error {
 		Mechanisms: stack.Mechanisms,
 		Policy:     stack.Policy,
 		Exchange:   exchange,
+		Events:     pipe,
 		DataDir:    nodeDir,
 		JournalTTL: *journalTTL,
 		OnPersistError: func(err error) {
@@ -248,6 +266,9 @@ func run() error {
 	}
 	if err := stack.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "agenthost %s: closing protection stack: %v\n", *name, err)
+	}
+	if err := pipe.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "agenthost %s: closing event pipeline: %v\n", *name, err)
 	}
 	return srvErr
 }

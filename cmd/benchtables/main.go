@@ -142,11 +142,15 @@ func run() error {
 // worst honest false-positive rate across all scenarios and whether
 // the restart-chaos drill proved the no-free-reset invariant.
 type campaignFile struct {
-	GeneratedAt        string           `json:"generated_at"`
-	HonestFPMax        float64          `json:"honest_fp_max"`
-	AllConverged       bool             `json:"all_non_sybil_converged"`
-	RestartNoFreeReset bool             `json:"restart_no_free_reset"`
-	Scenarios          []campaign.Score `json:"scenarios"`
+	GeneratedAt        string  `json:"generated_at"`
+	HonestFPMax        float64 `json:"honest_fp_max"`
+	AllConverged       bool    `json:"all_non_sybil_converged"`
+	RestartNoFreeReset bool    `json:"restart_no_free_reset"`
+	// EventDropsTotal sums every scenario's bus-subscriber drops — the
+	// suite-level check that the observability plane kept up (excluded
+	// from per-scenario fingerprints; reported here, not hidden).
+	EventDropsTotal uint64           `json:"event_drops_total"`
+	Scenarios       []campaign.Score `json:"scenarios"`
 }
 
 // runCampaigns executes the canned campaign suite and writes the score
@@ -170,6 +174,7 @@ func runCampaigns(outPath string) error {
 		if s.NoFreeResetJudged {
 			out.RestartNoFreeReset = s.NoFreeReset
 		}
+		out.EventDropsTotal += s.EventDrops
 	}
 	enc, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -178,8 +183,8 @@ func runCampaigns(outPath string) error {
 	if err := os.WriteFile(outPath, append(enc, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("campaign scores written to %s (honest FP max %.3f, restart no-free-reset %v)\n",
-		outPath, out.HonestFPMax, out.RestartNoFreeReset)
+	fmt.Printf("campaign scores written to %s (honest FP max %.3f, restart no-free-reset %v, event drops %d)\n",
+		outPath, out.HonestFPMax, out.RestartNoFreeReset, out.EventDropsTotal)
 	return nil
 }
 

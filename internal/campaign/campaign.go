@@ -35,6 +35,7 @@ import (
 	"repro/internal/appraisal"
 	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/faultnet"
 	"repro/internal/host"
 	"repro/internal/policy"
@@ -165,8 +166,14 @@ type member struct {
 
 	node  *core.Node
 	stack protection.Stack
-	alive bool // false while killed or after leaving
-	gone  bool // left the fleet for good
+	pipe  *events.Pipeline
+	// scoreSub is the campaign's own bus subscription: the step loop
+	// drains it each step to fold verdict/quarantine events into the
+	// score (the observability cross-check of the ground-truth
+	// counters).
+	scoreSub *events.Subscription
+	alive    bool // false while killed or after leaving
+	gone     bool // left the fleet for good
 }
 
 // switchBehavior is the adversary: honest until told otherwise, then
@@ -228,6 +235,13 @@ type runner struct {
 	firstTamperStep int
 	convergedStep   int
 	judgePending    bool
+	// busDetectStep is the first step the campaign's bus subscription
+	// drained a failed-verdict event naming an adversary identity —
+	// the event-derived twin of the ledger-sampled convergence latch.
+	busDetectStep int
+	// step is the loop's current step, read by the drain path (kill
+	// hooks fire mid-step, outside the loop's scope).
+	step int
 }
 
 // Run executes the campaign and returns its score.
@@ -270,9 +284,10 @@ func Run(cfg Config) (Score, error) {
 		tampered:        make(map[string]bool),
 		firstTamperStep: -1,
 		convergedStep:   -1,
+		busDetectStep:   -1,
 	}
 	r.fabric = faultnet.New(r.inner, cfg.Seed)
-	r.score = Score{Name: cfg.Name, Seed: cfg.Seed, Steps: cfg.Steps, DetectionLatencySteps: -1}
+	r.score = Score{Name: cfg.Name, Seed: cfg.Seed, Steps: cfg.Steps, DetectionLatencySteps: -1, BusDetectionLatencySteps: -1}
 
 	owner, err := sigcrypto.GenerateKeyPair("campaign-owner")
 	if err != nil {
@@ -302,12 +317,23 @@ func Run(cfg Config) (Score, error) {
 		return Score{}, err
 	}
 	elapsed := time.Since(begin)
+	// Retire the fleet before the score freezes: each close folds the
+	// member's remaining bus events and whole-life drop total into the
+	// score (the deferred sweep above is then a no-op safety net).
+	for _, m := range r.members {
+		if m.alive {
+			_ = r.closeMember(m)
+		}
+	}
 	r.score.ElapsedMS = elapsed.Milliseconds()
 	if elapsed > 0 {
 		r.score.SurvivorThroughputPerSec = float64(r.score.Completed) / elapsed.Seconds()
 	}
 	if r.score.Converged && r.firstTamperStep >= 0 {
 		r.score.DetectionLatencySteps = r.convergedStep - r.firstTamperStep
+	}
+	if r.busDetectStep >= 0 && r.firstTamperStep >= 0 {
+		r.score.BusDetectionLatencySteps = r.busDetectStep - r.firstTamperStep
 	}
 	untampered := r.score.Launched - r.score.TamperedAgents
 	if untampered > 0 {
@@ -420,9 +446,22 @@ func (r *runner) newMember(name string, trusted, adversary bool) (*member, error
 // fabric's restart hook: same host identity, same data dir — the WAL
 // decides what the node remembers.
 func (r *runner) openMember(m *member) error {
+	// Each member life gets its own pipeline; with a data dir the
+	// flight recorder replays its WAL, so a restarted member's events
+	// resume with monotone sequence numbers (the restart-chaos
+	// scenarios exercise exactly that).
+	pipe, err := events.Open(events.PipelineConfig{
+		Node:    m.name,
+		Now:     r.clock.Now,
+		DataDir: m.dataDir,
+	})
+	if err != nil {
+		return fmt.Errorf("campaign: opening pipeline of %s: %w", m.name, err)
+	}
 	stack, err := protection.Assemble(protection.LevelAdaptive, protection.Options{
 		DataDir: m.dataDir,
 		Clock:   r.clock.Now,
+		Events:  pipe.Bus,
 		AdaptivePolicy: policy.ReputationConfig{
 			QuarantineThreshold: r.cfg.QuarantineThreshold,
 		},
@@ -431,6 +470,7 @@ func (r *runner) openMember(m *member) error {
 		},
 	})
 	if err != nil {
+		_ = pipe.Close()
 		return fmt.Errorf("campaign: assembling %s: %w", m.name, err)
 	}
 	node, err := core.NewNode(core.NodeConfig{
@@ -438,6 +478,7 @@ func (r *runner) openMember(m *member) error {
 		Net:        r.fabric.Node(m.name),
 		Mechanisms: stack.Mechanisms,
 		Policy:     stack.Policy,
+		Events:     pipe,
 		Workers:    1, // serialized: same inputs, same order, same score
 		QueueDepth: 16,
 		DataDir:    m.dataDir,
@@ -447,8 +488,11 @@ func (r *runner) openMember(m *member) error {
 	})
 	if err != nil {
 		_ = stack.Close()
+		_ = pipe.Close()
 		return fmt.Errorf("campaign: opening node %s: %w", m.name, err)
 	}
+	m.pipe = pipe
+	m.scoreSub = pipe.Bus.Subscribe("score", scoreSubCapacity)
 	m.stack, m.node, m.alive = stack, node, true
 	r.inner.Register(m.name, node)
 	return nil
@@ -486,7 +530,14 @@ func (r *runner) closeMember(m *member) error {
 	m.alive = false
 	nerr := m.node.Close()
 	serr := m.stack.Close()
-	return errors.Join(nerr, serr)
+	// Fold the member's final events and its whole-life drop total into
+	// the score before the pipeline goes away (a restart opens a fresh
+	// one).
+	r.drainScoreEvents(m)
+	r.score.EventDrops += m.pipe.Drops()
+	perr := m.pipe.Close()
+	m.pipe, m.scoreSub = nil, nil
+	return errors.Join(nerr, serr, perr)
 }
 
 // updateRings pushes the current membership into every alive node's
@@ -509,6 +560,7 @@ func (r *runner) updateRings() error {
 // exchange rounds, convergence sampling, clock advance.
 func (r *runner) loop() error {
 	for step := 1; step <= r.cfg.Steps; step++ {
+		r.step = step
 		// Chaos first: this step's partitions, faults, kills, restarts.
 		for _, ev := range r.cfg.Faults {
 			if ev.Step == step && ev.Restart != "" {
@@ -743,9 +795,57 @@ func (r *runner) launch(step, i int) error {
 	return nil
 }
 
+// scoreSubCapacity bounds the campaign's per-member score
+// subscription; sized so a step's worth of events never wraps (drops
+// would not corrupt the score — they are counted — but would blind
+// the bus-derived cross-check).
+const scoreSubCapacity = 4096
+
+// drainScoreEvents folds one member's pending bus events into the
+// score: verdict and quarantine counts, and the first failed verdict
+// naming an adversary identity latches the bus-derived detection step.
+// Called per member per step (after the step's serial launches, so the
+// events a journey published are all there) and once more at close.
+func (r *runner) drainScoreEvents(m *member) {
+	if m.scoreSub == nil {
+		return
+	}
+	for _, ev := range m.scoreSub.Drain() {
+		switch ev.Kind {
+		case events.KindVerdict:
+			r.score.BusVerdictEvents++
+			if ev.Field("ok") == "false" {
+				r.score.BusFailedVerdicts++
+				if r.busDetectStep < 0 && r.isAdversaryName(ev.Host) {
+					r.busDetectStep = r.step
+				}
+			}
+		case events.KindQuarantine:
+			r.score.BusQuarantineEvents++
+		}
+	}
+}
+
+// isAdversaryName reports whether name is any adversary identity the
+// campaign has used (Sybil rotation retires names; their events still
+// count as detections of the adversary).
+func (r *runner) isAdversaryName(name string) bool {
+	for _, id := range r.advIDs {
+		if id == name {
+			return true
+		}
+	}
+	return false
+}
+
 // sample latches fleet-wide convergence on the adversary's current
 // identity and tracks the worst honest-on-honest suspicion.
 func (r *runner) sample(step int) {
+	for _, m := range r.members {
+		if m.alive {
+			r.drainScoreEvents(m)
+		}
+	}
 	if r.firstTamperStep >= 0 && !r.score.Converged {
 		escalate := r.cfg.EscalateThreshold
 		if escalate <= 0 {

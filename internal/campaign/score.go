@@ -60,9 +60,28 @@ type Score struct {
 	NoFreeResetJudged bool `json:"no_free_reset_judged"`
 	NoFreeReset       bool `json:"no_free_reset"`
 
+	// The event-bus cross-check: every fleet node runs the full
+	// observability pipeline, and the campaign's own bus subscription
+	// folds verdict/quarantine events into the score. The counts (and
+	// the bus-derived detection latency — the step the first failed
+	// verdict naming an adversary identity arrived on the stream,
+	// relative to the first tampering, -1 if never) are deterministic
+	// and fingerprinted: they pin that the stream agrees with the
+	// ground-truth ledger replay for replay.
+	BusVerdictEvents         int `json:"bus_verdict_events"`
+	BusFailedVerdicts        int `json:"bus_failed_verdicts"`
+	BusQuarantineEvents      int `json:"bus_quarantine_events"`
+	BusDetectionLatencySteps int `json:"bus_detection_latency_steps"`
+
+	// EventDrops totals events dropped by bus subscribers across every
+	// member's whole life — reported, not hidden, but excluded from
+	// the fingerprint: drops depend on consumer goroutine scheduling,
+	// not on the scenario.
+	EventDrops uint64 `json:"event_drops"`
+
 	// Wall-clock cost and survivor throughput (completed journeys per
-	// second of real time) — the only fields excluded from the
-	// determinism fingerprint.
+	// second of real time) — with EventDrops, the only fields excluded
+	// from the determinism fingerprint.
 	ElapsedMS                int64   `json:"elapsed_ms"`
 	SurvivorThroughputPerSec float64 `json:"survivor_throughput_per_s"`
 }
@@ -81,5 +100,7 @@ func (s Score) Fingerprint() string {
 		s.HonestQuarantines, s.HonestFPRate, s.MaxHonestSuspicion)
 	fmt.Fprintf(&b, " identities=%d restarts=%d judged=%v nofree=%v",
 		s.AdversaryIdentities, s.Restarts, s.NoFreeResetJudged, s.NoFreeReset)
+	fmt.Fprintf(&b, " busverdicts=%d busfailed=%d busquarantines=%d buslatency=%d",
+		s.BusVerdictEvents, s.BusFailedVerdicts, s.BusQuarantineEvents, s.BusDetectionLatencySteps)
 	return b.String()
 }

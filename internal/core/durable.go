@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/canon"
+	"repro/internal/events"
 	"repro/internal/shardstore"
 )
 
@@ -116,12 +117,21 @@ func (n *Node) spillEvidence(ag *agent.Agent) {
 		n.persistErr(fmt.Errorf("core: spilling evidence for %s: %w", ag.ID, err))
 		return
 	}
-	n.recordEvidenceFile(path)
+	n.recordEvidenceFile(path, int64(len(wire)))
+}
+
+// evidenceFile is one spilled evidence file in the oldest-first ledger.
+type evidenceFile struct {
+	path string
+	size int64
 }
 
 // recordEvidenceFile appends a freshly spilled file to the oldest-first
-// ledger and prunes beyond the evidence limit.
-func (n *Node) recordEvidenceFile(path string) {
+// ledger and prunes beyond the count and byte budgets. The archive hook
+// (NodeConfig.OnEvidencePrune, plus an evidence-prune bus event) fires
+// for each pruned file *before* its removal, while the bytes are still
+// readable.
+func (n *Node) recordEvidenceFile(path string, size int64) {
 	limit := n.cfg.EvidenceLimit
 	if limit < 0 {
 		return // pruning disabled; nothing to track
@@ -133,17 +143,43 @@ func (n *Node) recordEvidenceFile(path string) {
 	defer n.evMu.Unlock()
 	// A re-spill of the same agent replaces its file in place: keep the
 	// ledger's one entry (now at its old age position) rather than
-	// double-counting.
-	for _, p := range n.evFiles {
-		if p == path {
-			return
+	// double-counting, but account the new size.
+	replaced := false
+	for i := range n.evFiles {
+		if n.evFiles[i].path == path {
+			n.evBytes += size - n.evFiles[i].size
+			n.evFiles[i].size = size
+			replaced = true
+			break
 		}
 	}
-	n.evFiles = append(n.evFiles, path)
-	for len(n.evFiles) > limit {
-		_ = os.Remove(n.evFiles[0])
-		n.evFiles = n.evFiles[1:]
+	if !replaced {
+		n.evFiles = append(n.evFiles, evidenceFile{path: path, size: size})
+		n.evBytes += size
 	}
+	for len(n.evFiles) > limit || (n.cfg.EvidenceByteLimit > 0 && n.evBytes > n.cfg.EvidenceByteLimit && len(n.evFiles) > 1) {
+		n.pruneOldestEvidenceLocked()
+	}
+	// A single file larger than the whole byte budget is kept: the
+	// newest evidence always survives its own spill (dropping what was
+	// just preserved would defeat the spill's purpose).
+}
+
+// pruneOldestEvidenceLocked fires the archive hook for the oldest
+// ledgered file, removes it, and updates the byte total; caller holds
+// evMu.
+func (n *Node) pruneOldestEvidenceLocked() {
+	f := n.evFiles[0]
+	if n.cfg.OnEvidencePrune != nil {
+		n.cfg.OnEvidencePrune(f.path, f.size)
+	}
+	n.publish(events.Event{
+		Kind:   events.KindEvidencePrune,
+		Fields: map[string]string{"path": f.path, "bytes": fmt.Sprintf("%d", f.size)},
+	})
+	_ = os.Remove(f.path)
+	n.evFiles = n.evFiles[1:]
+	n.evBytes -= f.size
 }
 
 // loadEvidenceLedger seeds the oldest-first evidence ledger from the
@@ -157,6 +193,7 @@ func (n *Node) loadEvidenceLedger() error {
 	type fileAge struct {
 		path string
 		mod  int64
+		size int64
 	}
 	files := make([]fileAge, 0, len(entries))
 	for _, e := range entries {
@@ -167,14 +204,16 @@ func (n *Node) loadEvidenceLedger() error {
 		if err != nil {
 			continue
 		}
-		files = append(files, fileAge{filepath.Join(n.evidenceDir, e.Name()), info.ModTime().UnixNano()})
+		files = append(files, fileAge{filepath.Join(n.evidenceDir, e.Name()), info.ModTime().UnixNano(), info.Size()})
 	}
 	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
 	n.evMu.Lock()
 	defer n.evMu.Unlock()
 	n.evFiles = n.evFiles[:0]
+	n.evBytes = 0
 	for _, f := range files {
-		n.evFiles = append(n.evFiles, f.path)
+		n.evFiles = append(n.evFiles, evidenceFile{path: f.path, size: f.size})
+		n.evBytes += f.size
 	}
 	return nil
 }
@@ -202,13 +241,17 @@ func writeFileSync(path string, data []byte) error {
 }
 
 // persistErr records a persistence failure in the node's sticky health
-// record (served by node/health) and forwards it to the configured
-// observer.
+// record (served by node/health), forwards it to the configured
+// observer, and publishes it on the event bus.
 func (n *Node) persistErr(err error) {
 	n.NotePersistError(err)
 	if n.cfg.OnPersistError != nil {
 		n.cfg.OnPersistError(err)
 	}
+	n.publish(events.Event{
+		Kind:   events.KindPersistError,
+		Fields: map[string]string{"error": err.Error()},
+	})
 }
 
 // journalCodec persists a journal entry as its status and flag count —
@@ -308,8 +351,13 @@ func (n *Node) openStores(journalLimit, quarantineLimit int) error {
 		// node the agent only transited, or never reached) reports
 		// explicitly instead of hanging forever. resolve is a no-op on
 		// already-resolved receipts.
-		OnEvict: func(_ string, e *journalEntry, _ shardstore.Reason) {
+		OnEvict: func(key string, e *journalEntry, reason shardstore.Reason) {
 			e.rc.resolve(Result{Err: fmt.Errorf("core: node %s: %w", cfg.Host.Name(), ErrJournalEvicted)})
+			n.publish(events.Event{
+				Kind:   events.KindJournalEvict,
+				Agent:  key,
+				Fields: map[string]string{"reason": reason.String()},
+			})
 		},
 	}
 	if cfg.JournalTTL > 0 {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -265,6 +266,64 @@ func TestEvidenceDirectoryIsBounded(t *testing.T) {
 	}
 	if count == 0 {
 		t.Fatal("no evidence spilled at all")
+	}
+}
+
+func TestEvidenceByteBudgetAndPruneHook(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		pruned []string
+	)
+	b := newDurableBed(t, func(cfg *NodeConfig) {
+		cfg.QuarantineLimit = 1
+		// A budget below two spilled agents: every spill beyond the
+		// first prunes the oldest file, but the newest always survives
+		// (the single-over-budget-file allowance).
+		cfg.EvidenceByteLimit = 700
+		cfg.OnEvidencePrune = func(path string, size int64) {
+			if size <= 0 {
+				t.Errorf("prune hook got size %d for %s", size, path)
+			}
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("prune hook fired after deletion, not before: %v", err)
+			}
+			mu.Lock()
+			pruned = append(pruned, path)
+			mu.Unlock()
+		}
+	})
+	for i := 0; i < 5; i++ {
+		b.runToCheck(fmt.Sprintf("budget-%d", i))
+	}
+	files, err := os.ReadDir(filepath.Join(b.cfgC.DataDir, "evidence"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	count := 0
+	for _, f := range files {
+		if !strings.HasSuffix(f.Name(), ".agent") {
+			continue
+		}
+		count++
+		info, err := f.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	if count == 0 {
+		t.Fatal("no evidence spilled at all")
+	}
+	// Either the directory is within budget, or a single file blew it
+	// (the newest spill is never pruned to make room for itself).
+	if total > 700 && count > 1 {
+		t.Fatalf("evidence directory %d bytes in %d files, want within the 700-byte budget (or one over-budget file)", total, count)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(pruned) == 0 {
+		t.Fatal("byte budget never pruned despite repeated spills")
 	}
 }
 

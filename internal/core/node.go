@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/events"
 	"repro/internal/host"
 	"repro/internal/shardstore"
 	"repro/internal/transport"
@@ -93,6 +94,27 @@ type NodeConfig struct {
 	// docs/OPERATIONS.md). 0 means DefaultEvidenceLimit; negative
 	// disables pruning. Ignored without a DataDir.
 	EvidenceLimit int
+	// EvidenceByteLimit additionally bounds the evidence directory by
+	// total bytes: after every spill, the oldest files are pruned until
+	// the directory fits the budget (the count budget above bounds file
+	// *number*; large agents can blow a disk budget long before the
+	// count trips). 0 disables the byte budget. Ignored without a
+	// DataDir or with EvidenceLimit < 0.
+	EvidenceByteLimit int64
+	// OnEvidencePrune fires immediately *before* a spilled evidence
+	// file is removed by either budget, with the file still intact —
+	// the archive hook: copy the file elsewhere during the callback for
+	// retention beyond the node's budgets. May be nil. Called under the
+	// evidence ledger lock; keep it brief. The same fact is published
+	// on the event bus as an evidence-prune event.
+	OnEvidencePrune func(path string, size int64)
+	// Events, when non-nil, receives the node's operational facts
+	// (intake, verdicts, quarantines, completions, forwards, journal
+	// evictions, persistence errors, evidence pruning, owner notices)
+	// on its bounded non-blocking bus, and backs the node/metrics,
+	// node/events, and node/flight built-in calls. Nil disables
+	// observability (the seed behaviour).
+	Events *events.Pipeline
 	// JournalTTL additionally expires settled journal entries (any
 	// phase but queued/running) this long after their last update, so
 	// long-lived nodes shed terminal receipts by age as well as by
@@ -203,11 +225,13 @@ type Node struct {
 	quarantine *shardstore.Store[*agent.Agent]
 	// evidenceDir is where quarantine evictions spill canonical agent
 	// bytes; empty without a DataDir. evFiles tracks the directory's
-	// files oldest-first (seeded from disk at open) so spills can prune
-	// beyond EvidenceLimit; both guarded by evMu.
+	// files oldest-first with their sizes (seeded from disk at open) so
+	// spills can prune beyond EvidenceLimit and EvidenceByteLimit;
+	// evBytes is the tracked total. All guarded by evMu.
 	evidenceDir string
 	evMu        sync.Mutex
-	evFiles     []string
+	evFiles     []evidenceFile
+	evBytes     int64
 
 	// healthMu guards the sticky persistence-failure record served by
 	// the node/health built-in: once a WAL append, compaction, or
@@ -556,6 +580,7 @@ func (n *Node) enqueue(ctx context.Context, ag *agent.Agent) (*Receipt, error) {
 	q := n.stripe(ag.ID)
 	select {
 	case q <- intakeItem{ctx: ctx, ag: ag}:
+		n.publish(events.Event{Kind: events.KindIntake, Agent: ag.ID})
 		return rc, nil
 	default:
 	}
@@ -566,6 +591,7 @@ func (n *Node) enqueue(ctx context.Context, ag *agent.Agent) (*Receipt, error) {
 	var err error
 	select {
 	case q <- intakeItem{ctx: ctx, ag: ag}:
+		n.publish(events.Event{Kind: events.KindIntake, Agent: ag.ID})
 		return rc, nil
 	case <-ctx.Done():
 		err = fmt.Errorf("core: intake at %s: %w", n.cfg.Host.Name(), ctx.Err())
@@ -615,6 +641,11 @@ func (n *Node) runOne(item intakeItem) {
 		// non-detection failures report as failed.
 		if !errors.Is(err, ErrDetection) {
 			n.setPhase(item.ag.ID, AgentStatus{Phase: PhaseFailed, Err: err.Error()})
+			n.publish(events.Event{
+				Kind:   events.KindFailed,
+				Agent:  item.ag.ID,
+				Fields: map[string]string{"reason": err.Error()},
+			})
 		}
 		n.resolve(item.ag.ID, Result{
 			Agent:    item.ag,
@@ -720,6 +751,7 @@ func (n *Node) process(ctx context.Context, ag *agent.Agent) error {
 		return fmt.Errorf("core: node %s forwarding to %s: %w", hostName, rec.Outcome.MigrateHost, err)
 	}
 	n.setPhase(ag.ID, AgentStatus{Phase: PhaseForwarded, NextHost: rec.Outcome.MigrateHost})
+	n.publish(events.Event{Kind: events.KindForward, Agent: ag.ID, Host: rec.Outcome.MigrateHost})
 	return nil
 }
 
@@ -739,6 +771,7 @@ func (n *Node) recordVerdict(ag *agent.Agent, v Verdict) Verdict {
 	if n.cfg.OnVerdict != nil {
 		n.cfg.OnVerdict(v)
 	}
+	n.publishVerdict(v)
 	existing, _ := ag.GetBaggage(verdictBaggageKey)
 	vs, err := decodeVerdicts(existing)
 	if err != nil {
@@ -777,8 +810,16 @@ func (n *Node) decide(agentID string, v Verdict) Decision {
 			return e
 		})
 	}
-	if dec.NotifyOwner && n.cfg.OnOwnerNotice != nil {
-		n.cfg.OnOwnerNotice(agentID, v, dec.Reason)
+	if dec.NotifyOwner {
+		if n.cfg.OnOwnerNotice != nil {
+			n.cfg.OnOwnerNotice(agentID, v, dec.Reason)
+		}
+		n.publish(events.Event{
+			Kind:   events.KindOwnerNotice,
+			Agent:  agentID,
+			Host:   v.Suspect,
+			Fields: map[string]string{"reason": dec.Reason},
+		})
 	}
 	return dec
 }
@@ -798,6 +839,7 @@ func (n *Node) policy() VerdictPolicy {
 func (n *Node) quarantineAgent(ag *agent.Agent) {
 	n.quarantine.Put(ag.ID, ag)
 	n.setPhase(ag.ID, AgentStatus{Phase: PhaseQuarantined})
+	n.publish(events.Event{Kind: events.KindQuarantine, Agent: ag.ID})
 	n.complete(ag, true)
 }
 
@@ -809,6 +851,7 @@ func (n *Node) complete(ag *agent.Agent, aborted bool) {
 		n.cfg.OnComplete(ag, AgentVerdicts(ag), aborted)
 	}
 	if !aborted {
+		n.publish(events.Event{Kind: events.KindComplete, Agent: ag.ID})
 		n.resolve(ag.ID, Result{Agent: ag, Verdicts: AgentVerdicts(ag)})
 	}
 }
@@ -957,6 +1000,20 @@ type HealthReply struct {
 	// bookkeeping tiers.
 	JournalEntries    int
 	QuarantineEntries int
+	// EventsEnabled reports whether the node runs an event pipeline;
+	// EventsPublished and EventDrops are then its delivery ledger
+	// (total events accepted by the bus, and total dropped across all
+	// subscribers — the loss the best-effort-bounded contract permits,
+	// reported rather than hidden).
+	EventsEnabled   bool
+	EventsPublished uint64
+	EventDrops      uint64
+	// FlightRecorder reports whether a WAL-backed flight recorder
+	// runs; FlightDegraded that its WAL hit a sticky persistence
+	// failure (recording continues in memory but will not survive the
+	// next crash). FlightDegraded implies Degraded.
+	FlightRecorder bool
+	FlightDegraded bool
 }
 
 // DecodeHealthReply decodes a node/health response.
@@ -984,6 +1041,21 @@ func (n *Node) Health() HealthReply {
 	n.healthMu.Unlock()
 	r.JournalEntries = n.journal.Len()
 	r.QuarantineEntries = n.quarantine.Len()
+	if p := n.cfg.Events; p != nil {
+		r.EventsEnabled = true
+		if p.Bus != nil {
+			r.EventsPublished = p.Bus.Stats().Published
+		}
+		r.EventDrops = p.Drops()
+		r.FlightRecorder = p.Flight != nil
+		if p.Degraded() {
+			// A flight recorder that can no longer persist is a
+			// durability degradation like any other WAL failure: the
+			// next crash silently loses the incident record.
+			r.FlightDegraded = true
+			r.Degraded = true
+		}
+	}
 	return r
 }
 
@@ -1069,6 +1141,12 @@ func (n *Node) HandleCall(ctx context.Context, method string, body []byte) ([]by
 			return gobReply("quarantine", reply)
 		case "health":
 			return gobReply("health", n.Health())
+		case "metrics":
+			return gobReply("metrics", n.metricsReply())
+		case "events":
+			return gobReply("events", n.eventsReply(body))
+		case "flight":
+			return gobReply("flight", n.flightReply())
 		default:
 			return nil, fmt.Errorf("%w: node/%s", transport.ErrUnknownMethod, rest)
 		}

@@ -1,0 +1,238 @@
+// Package events is the platform's observability spine: a bounded,
+// non-blocking pub/sub bus that every producing layer (core node,
+// policy, protection, replication) publishes typed facts into, plus
+// the three built-in consumers the operations control plane is made
+// of — a metrics registry (counters/gauges/histograms), a cursor-based
+// journal that `agentctl watch` tails over plain request/response, and
+// a WAL-backed flight recorder for post-incident replay.
+//
+// The bus contract is best-effort-bounded: Publish never blocks and
+// never waits on a consumer; a subscriber that falls behind loses the
+// oldest buffered events and its drop counter says exactly how many.
+// Ordering is per publisher — sequence numbers are assigned under the
+// bus lock, so every consumer observes the same total order, but no
+// cross-node ordering exists or is implied.
+package events
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/canon"
+)
+
+// Event kinds. One constant per fact the platform publishes; consumers
+// switch on these, so the strings are wire/WAL-stable.
+const (
+	// KindIntake fires when an agent is accepted into a node's queue.
+	KindIntake = "intake"
+	// KindVerdict fires for every mechanism verdict a node records.
+	KindVerdict = "verdict"
+	// KindQuarantine fires when a journey is quarantined.
+	KindQuarantine = "quarantine"
+	// KindComplete fires when a journey finishes its itinerary clean.
+	KindComplete = "complete"
+	// KindForward fires when an agent is forwarded to its next hop.
+	KindForward = "forward"
+	// KindFailed fires when a journey fails for a non-detection reason
+	// (transport error, context cancellation, mechanism error).
+	KindFailed = "failed"
+	// KindJournalEvict fires when the node journal evicts an entry to
+	// capacity or TTL pressure.
+	KindJournalEvict = "journal-evict"
+	// KindPersistError fires when a durable store reports a (sticky)
+	// persistence failure.
+	KindPersistError = "persist-error"
+	// KindEvidencePrune fires immediately before an evidence file is
+	// removed by the count or byte budget — the archive-before-drop
+	// hook.
+	KindEvidencePrune = "evidence-prune"
+	// KindEscalation fires when a host's ledger suspicion crosses the
+	// escalation threshold upward (via local observation or merge).
+	KindEscalation = "escalation"
+	// KindGossipMerge fires when verified gossip/exchange extracts are
+	// merged into the local ledger.
+	KindGossipMerge = "gossip-merge"
+	// KindExchangeRound fires after every anti-entropy exchange round,
+	// successful or not.
+	KindExchangeRound = "exchange-round"
+	// KindPeerCooldown fires when an exchange peer enters or extends
+	// its failure cooldown.
+	KindPeerCooldown = "peer-cooldown"
+	// KindLevelEscalation fires when the adaptive gate escalates a
+	// session to full re-execution because of suspicion.
+	KindLevelEscalation = "level-escalation"
+	// KindOwnerNotice fires when policy asks the platform to notify
+	// the agent's owner.
+	KindOwnerNotice = "owner-notice"
+	// KindStageDissent fires once per dissenting or failed replica in
+	// a replicated stage.
+	KindStageDissent = "stage-dissent"
+)
+
+// Event is one typed fact on the bus. Node, Seq, and UnixNano are
+// stamped by the bus at publish; producers fill Kind and whichever of
+// Agent/Host/Fields apply. Fields is a small bag of extras (reason,
+// mechanism, counts) — bounded at publish so the canonical encoding is
+// total.
+type Event struct {
+	// Seq is the publisher-local sequence number; dense and monotone
+	// per bus, and — when a flight recorder seeds the bus — monotone
+	// across restarts of the same node.
+	Seq uint64
+	// Kind is one of the Kind* constants.
+	Kind string
+	// Node is the publishing node's name.
+	Node string
+	// Agent is the subject agent ID, if any.
+	Agent string
+	// Host is the subject host or peer name, if any (the suspect of a
+	// failed verdict, the exchange partner, the next hop).
+	Host string
+	// UnixNano is the publish time on the bus clock.
+	UnixNano int64
+	// Fields holds bounded key/value extras; may be nil.
+	Fields map[string]string
+}
+
+// Time returns the event timestamp as a time.Time.
+func (e Event) Time() time.Time { return time.Unix(0, e.UnixNano) }
+
+// Field returns a field value or "" when absent.
+func (e Event) Field(key string) string {
+	if e.Fields == nil {
+		return ""
+	}
+	return e.Fields[key]
+}
+
+// Bounds on the canonical event encoding. Publish sanitizes events to
+// fit, so EncodeEvent is total on anything that went through a bus.
+const (
+	// MaxEventFields caps the Fields map size.
+	MaxEventFields = 16
+	// MaxEventStringLen caps every string in an event (kind, names,
+	// field keys and values). Longer strings are truncated at publish.
+	MaxEventStringLen = 1024
+)
+
+// eventWireLabel versions the canonical event encoding.
+const eventWireLabel = "event-v1"
+
+// ErrEventWire reports a malformed canonical event encoding.
+var ErrEventWire = errors.New("events: malformed event encoding")
+
+// EncodeEvent renders an event as a bounded canonical tuple, the
+// format the flight recorder persists through the WAL backend.
+func EncodeEvent(e Event) []byte {
+	var seq, ts [8]byte
+	binary.BigEndian.PutUint64(seq[:], e.Seq)
+	binary.BigEndian.PutUint64(ts[:], uint64(e.UnixNano))
+	keys := make([]string, 0, len(e.Fields))
+	for k := range e.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kv := make([][]byte, 0, 2*len(keys))
+	for _, k := range keys {
+		kv = append(kv, []byte(k), []byte(e.Fields[k]))
+	}
+	return canon.Tuple(
+		[]byte(eventWireLabel),
+		seq[:],
+		[]byte(e.Kind),
+		[]byte(e.Node),
+		[]byte(e.Agent),
+		[]byte(e.Host),
+		ts[:],
+		canon.Tuple(kv...),
+	)
+}
+
+// DecodeEvent parses a canonical event encoding produced by
+// EncodeEvent, enforcing the same bounds Publish does.
+func DecodeEvent(b []byte) (Event, error) {
+	fields, err := canon.ParseTuple(b)
+	if err != nil {
+		return Event{}, fmt.Errorf("%w: %v", ErrEventWire, err)
+	}
+	if len(fields) != 8 || string(fields[0]) != eventWireLabel {
+		return Event{}, ErrEventWire
+	}
+	if len(fields[1]) != 8 || len(fields[6]) != 8 {
+		return Event{}, ErrEventWire
+	}
+	e := Event{
+		Seq:      binary.BigEndian.Uint64(fields[1]),
+		Kind:     string(fields[2]),
+		Node:     string(fields[3]),
+		Agent:    string(fields[4]),
+		Host:     string(fields[5]),
+		UnixNano: int64(binary.BigEndian.Uint64(fields[6])),
+	}
+	for _, s := range []string{e.Kind, e.Node, e.Agent, e.Host} {
+		if len(s) > MaxEventStringLen {
+			return Event{}, ErrEventWire
+		}
+	}
+	kv, err := canon.ParseTuple(fields[7])
+	if err != nil || len(kv)%2 != 0 {
+		return Event{}, ErrEventWire
+	}
+	if len(kv) > 2*MaxEventFields {
+		return Event{}, ErrEventWire
+	}
+	if len(kv) > 0 {
+		e.Fields = make(map[string]string, len(kv)/2)
+		for i := 0; i < len(kv); i += 2 {
+			k, v := string(kv[i]), string(kv[i+1])
+			if len(k) > MaxEventStringLen || len(v) > MaxEventStringLen {
+				return Event{}, ErrEventWire
+			}
+			e.Fields[k] = v
+		}
+	}
+	return e, nil
+}
+
+// clip truncates a string to the event string bound.
+func clip(s string) string {
+	if len(s) > MaxEventStringLen {
+		return s[:MaxEventStringLen]
+	}
+	return s
+}
+
+// sanitize bounds an event's strings and fields in place so every
+// published event has a valid canonical encoding.
+func sanitize(e *Event) {
+	e.Kind = clip(e.Kind)
+	e.Node = clip(e.Node)
+	e.Agent = clip(e.Agent)
+	e.Host = clip(e.Host)
+	if len(e.Fields) == 0 {
+		return
+	}
+	if len(e.Fields) > MaxEventFields {
+		keys := make([]string, 0, len(e.Fields))
+		for k := range e.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		trimmed := make(map[string]string, MaxEventFields)
+		for _, k := range keys[:MaxEventFields] {
+			trimmed[k] = e.Fields[k]
+		}
+		e.Fields = trimmed
+	}
+	for k, v := range e.Fields {
+		ck, cv := clip(k), clip(v)
+		if ck != k {
+			delete(e.Fields, k)
+		}
+		e.Fields[ck] = cv
+	}
+}

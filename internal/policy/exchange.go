@@ -8,11 +8,13 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/canon"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/transport"
 )
 
@@ -393,6 +395,9 @@ func (x *Exchange) Step(ctx context.Context) error {
 	if peer == "" {
 		return nil
 	}
+	x.mu.Lock()
+	mergedBefore := x.stats.EntriesMerged
+	x.mu.Unlock()
 	err := x.exchangeWith(ctx, peer)
 	x.mu.Lock()
 	x.stats.Rounds++
@@ -402,7 +407,36 @@ func (x *Exchange) Step(ctx context.Context) error {
 		x.stats.Failures++
 	}
 	x.noteOutcome(peer, err)
+	merged := x.stats.EntriesMerged - mergedBefore
+	var skip, fails int
+	if c := x.cool[peer]; c != nil {
+		skip, fails = c.skip, c.fails
+	}
 	x.mu.Unlock()
+	if bus := x.gossip.bus; bus != nil {
+		ok := "true"
+		if err != nil {
+			ok = "false"
+		}
+		bus.Publish(events.Event{
+			Kind: events.KindExchangeRound,
+			Host: peer,
+			Fields: map[string]string{
+				"ok":     ok,
+				"merged": strconv.FormatInt(merged, 10),
+			},
+		})
+		if err != nil {
+			bus.Publish(events.Event{
+				Kind: events.KindPeerCooldown,
+				Host: peer,
+				Fields: map[string]string{
+					"skip":  strconv.Itoa(skip),
+					"fails": strconv.Itoa(fails),
+				},
+			})
+		}
+	}
 	return err
 }
 

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/agent"
 	"repro/internal/canon"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/host"
 	"repro/internal/shardstore"
 	"repro/internal/sigcrypto"
@@ -99,6 +101,10 @@ type Gossip struct {
 	exMu         sync.Mutex
 	exchange     *Exchange
 	offersServed int64
+
+	// bus, when non-nil, receives gossip-merge, exchange-round, and
+	// peer-cooldown events; set via SetBus before the node starts.
+	bus *events.Bus
 }
 
 var (
@@ -128,6 +134,15 @@ func NewGossip(ledger *Ledger) *Gossip {
 func (m *Gossip) SetClock(now func() time.Time) {
 	if now != nil {
 		m.now = now
+	}
+}
+
+// SetBus attaches an event bus: merges of verified gossip/exchange
+// extracts and the exchange loop's round/cooldown outcomes publish to
+// it. Call before the node starts, like SetClock; nil is a no-op.
+func (m *Gossip) SetBus(bus *events.Bus) {
+	if bus != nil {
+		m.bus = bus
 	}
 }
 
@@ -173,6 +188,12 @@ func (m *Gossip) mergeVerified(reg *sigcrypto.Registry, self string, entries []G
 		}
 		m.ledger.Merge(e.Host, e.Suspicion, time.Unix(0, e.AtUnixNano))
 		keep = append(keep, e)
+	}
+	if m.bus != nil && len(keep) > 0 {
+		m.bus.Publish(events.Event{
+			Kind:   events.KindGossipMerge,
+			Fields: map[string]string{"entries": strconv.Itoa(len(keep))},
+		})
 	}
 	return keep
 }

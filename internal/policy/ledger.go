@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/canon"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/shardstore"
 )
 
@@ -78,6 +79,18 @@ type LedgerConfig struct {
 	// the store is degraded to memory-only). Nil means failures are
 	// silent. Ignored without Backend.
 	OnPersistError func(error)
+	// Bus, when non-nil, receives an escalation event each time a
+	// host's suspicion crosses EscalateAt upward — whether from a
+	// first-hand observation or a gossip/exchange merge. The crossing,
+	// not the level, is the event: a host parked above the threshold
+	// publishes nothing until decay takes it below and new evidence
+	// pushes it back over.
+	Bus *events.Bus
+	// EscalateAt is the crossing threshold the escalation event fires
+	// at; 0 means DefaultEscalateThreshold. Deployments wire the
+	// adaptive gate's threshold here so the event matches the moment
+	// checking actually intensifies.
+	EscalateAt float64
 }
 
 // hostRecord is one host's ledger entry. Suspicion is stored with its
@@ -127,6 +140,9 @@ func OpenLedger(cfg LedgerConfig) (*Ledger, error) {
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
+	}
+	if cfg.EscalateAt == 0 {
+		cfg.EscalateAt = DefaultEscalateThreshold
 	}
 	l := &Ledger{cfg: cfg}
 	scfg := shardstore.Config[hostRecord]{Capacity: cfg.Capacity}
@@ -214,8 +230,10 @@ func (l *Ledger) Observe(host string, ok bool, weight float64) float64 {
 		weight = l.cfg.FailureWeight
 	}
 	now := l.cfg.Now()
+	var before float64
 	rec := l.store.Upsert(host, func(old hostRecord, existed bool) hostRecord {
 		s := l.decayed(old, now)
+		before = s
 		if !ok {
 			s += weight
 			old.failures++
@@ -225,6 +243,7 @@ func (l *Ledger) Observe(host string, ok bool, weight float64) float64 {
 		old.events++
 		return old
 	})
+	l.noteCrossing(host, before, rec.suspicion)
 	return rec.suspicion
 }
 
@@ -250,8 +269,10 @@ func (l *Ledger) Merge(host string, suspicion float64, at time.Time) {
 	if remote <= 0 {
 		return
 	}
+	var before, after float64
 	l.store.Upsert(host, func(old hostRecord, existed bool) hostRecord {
 		local := l.decayed(old, now)
+		before = local
 		if remote > local {
 			old.suspicion = remote
 			old.updated = now
@@ -259,7 +280,22 @@ func (l *Ledger) Merge(host string, suspicion float64, at time.Time) {
 			old.suspicion = local
 			old.updated = now
 		}
+		after = old.suspicion
 		return old
+	})
+	l.noteCrossing(host, before, after)
+}
+
+// noteCrossing publishes an escalation event when suspicion crossed
+// the escalation threshold upward.
+func (l *Ledger) noteCrossing(host string, before, after float64) {
+	if l.cfg.Bus == nil || before >= l.cfg.EscalateAt || after < l.cfg.EscalateAt {
+		return
+	}
+	l.cfg.Bus.Publish(events.Event{
+		Kind:   events.KindEscalation,
+		Host:   host,
+		Fields: map[string]string{"suspicion": fmt.Sprintf("%.3f", after)},
 	})
 }
 

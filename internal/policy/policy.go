@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/shardstore"
 )
 
@@ -118,6 +119,10 @@ type GateConfig struct {
 	// regardless of reputation; 0 means DefaultAuditInterval, negative
 	// disables baseline audits (reputation-only escalation).
 	AuditInterval int
+	// Bus, when non-nil, receives a level-escalation event each time
+	// suspicion (not the baseline audit cadence) forces a full
+	// re-execution check of a host's session.
+	Bus *events.Bus
 }
 
 // Gate decides, per checked session, whether the adaptive protection
@@ -157,7 +162,14 @@ func (g *Gate) Ledger() *Ledger { return g.cfg.Ledger }
 // the host is audited as a baseline.
 func (g *Gate) ShouldReExecute(host string) bool {
 	n := g.sessions.Upsert(host, func(old uint64, _ bool) uint64 { return old + 1 })
-	if g.cfg.Ledger.Suspicion(host) >= g.cfg.EscalateThreshold {
+	if s := g.cfg.Ledger.Suspicion(host); s >= g.cfg.EscalateThreshold {
+		if g.cfg.Bus != nil {
+			g.cfg.Bus.Publish(events.Event{
+				Kind:   events.KindLevelEscalation,
+				Host:   host,
+				Fields: map[string]string{"suspicion": fmt.Sprintf("%.3f", s)},
+			})
+		}
 		return true
 	}
 	return g.cfg.AuditInterval > 0 && n%uint64(g.cfg.AuditInterval) == 0

@@ -38,6 +38,7 @@ import (
 	"repro/internal/agentlang"
 	appraisalpkg "repro/internal/appraisal"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/policy"
 	"repro/internal/refproto"
 	"repro/internal/shardstore"
@@ -141,6 +142,14 @@ type Options struct {
 	// core.NodeConfig.OnPersistError so both the node's stores and the
 	// stack's report through one channel.
 	OnPersistError func(error)
+	// Events, when non-nil, is the node's event bus: LevelAdaptive's
+	// ledger publishes escalation crossings, its gate level-escalation
+	// decisions, and its gossip mechanism merge/exchange/cooldown
+	// outcomes. Pair it with core.NodeConfig.Events (the pipeline
+	// wrapping the same bus). A caller-supplied AdaptivePolicy/
+	// AdaptiveGate ledger keeps its own bus wiring — only the gate and
+	// gossip adopt this one then. Other levels ignore it.
+	Events *events.Bus
 }
 
 // Stack is one node's protection assembly: the mechanism list plus the
@@ -211,7 +220,15 @@ func Assemble(l Level, opts Options) (Stack, error) {
 			led = opts.AdaptiveGate.Ledger
 		}
 		if led == nil {
-			lcfg := policy.LedgerConfig{Now: opts.Clock, OnPersistError: opts.OnPersistError}
+			// The escalation event should fire at the same suspicion the
+			// gate actually escalates at, so the gate's threshold (default
+			// resolved by NewGate) is wired into the ledger here.
+			lcfg := policy.LedgerConfig{
+				Now:            opts.Clock,
+				OnPersistError: opts.OnPersistError,
+				Bus:            opts.Events,
+				EscalateAt:     opts.AdaptiveGate.EscalateThreshold,
+			}
 			if opts.DataDir != "" {
 				backend, err := shardstore.OpenWAL(filepath.Join(opts.DataDir, "ledger"), shardstore.WALConfig{})
 				if err != nil {
@@ -229,6 +246,9 @@ func Assemble(l Level, opts Options) (Stack, error) {
 		pcfg.Ledger = led
 		gcfg := opts.AdaptiveGate
 		gcfg.Ledger = led
+		if gcfg.Bus == nil {
+			gcfg.Bus = opts.Events
+		}
 		gate := policy.NewGate(gcfg)
 		// Onion order: wholesig outermost (its departure signature
 		// covers the gossip and protocol baggage), gossip next so
@@ -239,6 +259,7 @@ func Assemble(l Level, opts Options) (Stack, error) {
 		if opts.Clock != nil {
 			gossip.SetClock(opts.Clock)
 		}
+		gossip.SetBus(opts.Events)
 		mechs := []core.Mechanism{
 			wholesig.New(opts.Timer),
 			gossip,

@@ -29,11 +29,13 @@ import (
 	"maps"
 	"slices"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/agent"
 	"repro/internal/canon"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/host"
 	"repro/internal/sigcrypto"
 	"repro/internal/transport"
@@ -264,6 +266,11 @@ type Coordinator struct {
 	// winning ballot there is no ground truth to dissent from. May be
 	// nil.
 	Reputation ReputationSink
+	// Events, when non-nil, receives one stage-dissent event per
+	// replica that voted against (or failed out of) a decided stage —
+	// the operational stream mirroring what Reputation charges. May be
+	// nil.
+	Events *events.Bus
 }
 
 // Run executes the agent through all stages and returns the report.
@@ -430,6 +437,23 @@ func (c *Coordinator) runStage(ctx context.Context, stageIdx int, replicas []str
 		for _, r := range replicas {
 			d, ok := report.Votes[r]
 			c.Reputation.Observe(r, ok && d == winner, 0)
+		}
+	}
+	if c.Events != nil {
+		for _, r := range report.Dissenters {
+			reason, failed := report.Failures[r]
+			if !failed {
+				reason = "dissenting ballot"
+			}
+			c.Events.Publish(events.Event{
+				Kind:  events.KindStageDissent,
+				Agent: cur.ID,
+				Host:  r,
+				Fields: map[string]string{
+					"stage":  strconv.Itoa(stageIdx),
+					"reason": reason,
+				},
+			})
 		}
 	}
 	return report, winnerVote, nil
