@@ -11,6 +11,7 @@
 //	agentctl evidence <path/to/evidence/file.agent>
 //	agentctl status -peers ...
 //	agentctl metrics -peers ...
+//	agentctl metrics -peers ... -prom   # Prometheus text exposition
 //	agentctl watch -peers ...
 //	agentctl flight -peers ... <node>
 //
@@ -51,6 +52,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -173,6 +175,7 @@ func runMetrics(args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	peers := fs.String("peers", "", "address book: name=host:port,...")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-call deadline")
+	prom := fs.Bool("prom", false, "emit Prometheus text exposition instead of the human-readable listing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -186,15 +189,26 @@ func runMetrics(args []string) error {
 	for _, peer := range sortedNames(book) {
 		body, err := callPeer(net, peer, "metrics", core.MetricsCallBody(), *timeout)
 		if err != nil {
-			fmt.Printf("%s: unreachable: %v\n", peer, err)
+			if *prom {
+				fmt.Fprintf(os.Stderr, "%s: unreachable: %v\n", peer, err)
+			} else {
+				fmt.Printf("%s: unreachable: %v\n", peer, err)
+			}
 			continue
 		}
 		r, err := core.DecodeMetricsReply(body)
 		if err != nil {
 			return err
 		}
+		if *prom {
+			if err := writePromReply(os.Stdout, peer, r); err != nil {
+				return err
+			}
+			continue
+		}
 		if !r.Enabled {
 			fmt.Printf("%s: no event pipeline (journal=%d quarantine=%d)\n", peer, r.JournalEntries, r.QuarantineEntries)
+			printNodeGauges(r)
 			continue
 		}
 		s := r.Snapshot
@@ -221,6 +235,49 @@ func runMetrics(args []string) error {
 		for _, sub := range s.Subscribers {
 			fmt.Printf("  subscriber %-31s received=%d dropped=%d\n", sub.Name, sub.Received, sub.Dropped)
 		}
+		printNodeGauges(r)
+	}
+	return nil
+}
+
+// printNodeGauges renders the node-owned counters a registry cannot
+// see: per-store WAL amortization and intake flush batching.
+func printNodeGauges(r core.MetricsReply) {
+	for _, w := range r.WALs {
+		fmt.Printf("  wal       %-32s appends=%d syncs=%d mean_batch=%.2f\n",
+			w.Store, w.Stats.Appends, w.Stats.Syncs, w.Stats.MeanBatch())
+	}
+	if r.IntakeFlushes > 0 {
+		fmt.Printf("  intake    %-32s flushes=%d items=%d mean_batch=%.2f\n",
+			"flush_batching", r.IntakeFlushes, r.IntakeFlushedItems,
+			float64(r.IntakeFlushedItems)/float64(r.IntakeFlushes))
+	}
+}
+
+// writePromReply renders one node/metrics reply as Prometheus text:
+// the registry snapshot via events.WritePrometheus, then the
+// node-owned WAL and intake counters, labelled with the peer name
+// from the address book so a fleet scrape stays attributable even
+// for nodes running without an event pipeline.
+func writePromReply(w io.Writer, peer string, r core.MetricsReply) error {
+	if r.Enabled {
+		if err := events.WritePrometheus(w, r.Snapshot); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE repro_journal_entries gauge\nrepro_journal_entries{node=%q} %d\n# TYPE repro_quarantine_entries gauge\nrepro_quarantine_entries{node=%q} %d\n",
+		peer, r.JournalEntries, peer, r.QuarantineEntries); err != nil {
+		return err
+	}
+	for _, st := range r.WALs {
+		if _, err := fmt.Fprintf(w, "repro_wal_appends_total{node=%q,store=%q} %d\nrepro_wal_syncs_total{node=%q,store=%q} %d\nrepro_wal_synced_records_total{node=%q,store=%q} %d\n",
+			peer, st.Store, st.Stats.Appends, peer, st.Store, st.Stats.Syncs, peer, st.Store, st.Stats.SyncedRecords); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "repro_intake_flushes_total{node=%q} %d\nrepro_intake_flushed_items_total{node=%q} %d\n",
+		peer, r.IntakeFlushes, peer, r.IntakeFlushedItems); err != nil {
+		return err
 	}
 	return nil
 }

@@ -10,7 +10,9 @@
 //	benchtables -quick           # smaller sweeps, skips 10000-cycle rows
 //	benchtables -series all
 //	benchtables -tables=false -fleet -fleet-out BENCH_fleet.json
+//	benchtables -tables=false -fleet -fleet-agents 32 -fleet-hosts 8 -fleet-workers 2
 //	benchtables -tables=false -campaign -campaign-out BENCH_campaign.json
+//	benchtables -tables=false -scale -scale-nodes 500 -scale-itins 10000
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/campaign"
 	"repro/internal/protection"
+	"repro/internal/scale"
 )
 
 func main() {
@@ -38,8 +41,21 @@ func run() error {
 	quick := flag.Bool("quick", false, "smaller parameter ranges (for smoke runs)")
 	fleet := flag.Bool("fleet", false, "run the mixed honest/malicious fleet scenario")
 	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "trajectory file for the fleet numbers")
+	fleetAgents := flag.Int("fleet-agents", 16, "fleet scenario: itineraries per run")
+	fleetHosts := flag.Int("fleet-hosts", 6, "fleet scenario: untrusted hosts on the itinerary")
+	fleetMalicious := flag.Int("fleet-malicious", 2, "fleet scenario: malicious hosts in the mixed runs")
+	fleetWorkers := flag.Int("fleet-workers", 4, "fleet scenario: per-node intake workers")
 	camp := flag.Bool("campaign", false, "run the adversary campaign suite (churn, partitions, restarts, Sybil pressure)")
 	campOut := flag.String("campaign-out", "BENCH_campaign.json", "score file for the campaign suite")
+	scaleRun := flag.Bool("scale", false, "run the fleet-scale A/B harness (batched vs unbatched layers)")
+	scaleOut := flag.String("scale-out", "BENCH_scale.json", "measurement file for the scale numbers")
+	scaleNodes := flag.Int("scale-nodes", 500, "scale harness: total nodes (homes + workers)")
+	scaleItins := flag.Int("scale-itins", 10000, "scale harness: concurrent itineraries")
+	scaleHops := flag.Int("scale-hops", 3, "scale harness: untrusted hops per itinerary")
+	scaleWorkers := flag.Int("scale-workers", 2, "scale harness: per-node intake workers")
+	scaleMalicious := flag.Int("scale-malicious", 0, "scale harness: malicious workers (0 = workers/16)")
+	scaleConc := flag.Int("scale-conc", 256, "scale harness: in-flight itinerary bound")
+	scaleDataDir := flag.String("scale-datadir", "", "scale harness: durable-state root (empty = fresh temp dir)")
 	flag.Parse()
 
 	out := os.Stdout
@@ -125,7 +141,8 @@ func run() error {
 	}
 
 	if *fleet {
-		if err := runFleet(*fleetOut, *quick); err != nil {
+		fcfg := bench.FleetConfig{Agents: *fleetAgents, UntrustedHosts: *fleetHosts, Workers: *fleetWorkers}
+		if err := runFleet(*fleetOut, fcfg, *fleetMalicious, *quick); err != nil {
 			return err
 		}
 	}
@@ -134,6 +151,71 @@ func run() error {
 			return err
 		}
 	}
+	if *scaleRun {
+		scfg := scale.Config{
+			Nodes:          *scaleNodes,
+			Itineraries:    *scaleItins,
+			Hops:           *scaleHops,
+			Workers:        *scaleWorkers,
+			MaliciousNodes: *scaleMalicious,
+			Concurrency:    *scaleConc,
+			Durable:        true,
+			DataDir:        *scaleDataDir,
+		}
+		if *quick {
+			scfg.Nodes, scfg.Itineraries = 64, 512
+		}
+		if err := runScale(*scaleOut, scfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scaleFile is the BENCH_scale.json layout: the in-run A/B of the
+// batching layers at fleet scale.
+type scaleFile struct {
+	GeneratedAt string `json:"generated_at"`
+	scale.ABResult
+}
+
+// runScale executes the fleet-scale A/B and writes the measurement
+// file. Durable state goes to a fresh temp directory unless the
+// caller pins one, and is removed afterwards either way (the
+// measurement is the artifact, not the WALs).
+func runScale(outPath string, cfg scale.Config) error {
+	if cfg.DataDir == "" {
+		dir, err := os.MkdirTemp("", "scale-*")
+		if err != nil {
+			return err
+		}
+		cfg.DataDir = dir
+	}
+	defer os.RemoveAll(cfg.DataDir)
+	fmt.Fprintf(os.Stderr, "running scale A/B: %d nodes, %d itineraries (unbatched then batched)...\n",
+		cfg.Nodes, cfg.Itineraries)
+	ab, err := scale.RunAB(cfg)
+	if err != nil {
+		return err
+	}
+	out := scaleFile{GeneratedAt: time.Now().UTC().Format(time.RFC3339), ABResult: ab}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("scale A/B written to %s\n", outPath)
+	fmt.Printf("  unbatched: %8.1f itin/s  p50 %7.1fms  p99 %7.1fms  rss %6.1fMB  syncs %d\n",
+		ab.Unbatched.ItinerariesPerSec, ab.Unbatched.P50MS, ab.Unbatched.P99MS, ab.Unbatched.PeakRSSMB, ab.Unbatched.WALSyncs)
+	fmt.Printf("  batched:   %8.1f itin/s  p50 %7.1fms  p99 %7.1fms  rss %6.1fMB  syncs %d\n",
+		ab.Batched.ItinerariesPerSec, ab.Batched.P50MS, ab.Batched.P99MS, ab.Batched.PeakRSSMB, ab.Batched.WALSyncs)
+	fmt.Printf("  speedup %.3fx, detection match %v (tampered %d/%d, detected %d/%d, honest quarantines %d/%d)\n",
+		ab.SpeedupItinPerSec, ab.DetectionMatch,
+		ab.Unbatched.TamperedSessions, ab.Batched.TamperedSessions,
+		ab.Unbatched.DetectedTampered, ab.Batched.DetectedTampered,
+		ab.Unbatched.HonestQuarantined, ab.Batched.HonestQuarantined)
 	return nil
 }
 
@@ -234,11 +316,15 @@ type fleetFile struct {
 	Runs                      []fleetRun      `json:"runs"`
 }
 
-// runFleet measures the fleet scenarios and writes the trajectory file.
-func runFleet(outPath string, quick bool) error {
-	cfg := bench.FleetConfig{Agents: 16, UntrustedHosts: 6, Workers: 4}
+// runFleet measures the fleet scenarios and writes the trajectory
+// file. cfg carries the caller's shape (agents, hosts, workers); the
+// mixed scenarios run with malicious tampering hosts.
+func runFleet(outPath string, cfg bench.FleetConfig, malicious int, quick bool) error {
 	if quick {
 		cfg.Agents, cfg.UntrustedHosts, cfg.Cycles = 6, 4, 2
+	}
+	if malicious > cfg.UntrustedHosts/2 {
+		return fmt.Errorf("-fleet-malicious %d exceeds half of %d untrusted hosts (routes cannot keep cheaters non-adjacent)", malicious, cfg.UntrustedHosts)
 	}
 	scenarios := []struct {
 		name      string
@@ -248,9 +334,9 @@ func runFleet(outPath string, quick bool) error {
 		{"honest", protection.LevelRules, 0},
 		{"honest", protection.LevelAdaptive, 0},
 		{"honest", protection.LevelFull, 0},
-		{"mixed", protection.LevelRules, 2},
-		{"mixed", protection.LevelAdaptive, 2},
-		{"mixed", protection.LevelFull, 2},
+		{"mixed", protection.LevelRules, malicious},
+		{"mixed", protection.LevelAdaptive, malicious},
+		{"mixed", protection.LevelFull, malicious},
 	}
 	out := fleetFile{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
 	var honestRules, honestAdaptive float64

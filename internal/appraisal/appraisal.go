@@ -214,6 +214,12 @@ func (m *Mechanism) appraise(hc *core.HostContext, ag *agent.Agent, moment core.
 		// the protocol family's documented collusion limit (§5.1), not
 		// a new hole.
 		reg := hc.Host.Registry()
+		// Structurally plausible vouchers are collected first, then
+		// their signatures checked in one batch; the first verifying
+		// voucher (in record order) wins, exactly as a scalar
+		// VerifySig-per-prior loop would decide.
+		var cand []sigcrypto.BatchEntry
+		var candHops []int
 		for _, prior := range core.AgentVerdicts(ag) {
 			if prior.Mechanism != MechanismName || prior.OK || prior.CheckedHop >= v.CheckedHop {
 				continue
@@ -221,12 +227,23 @@ func (m *Mechanism) appraise(hc *core.HostContext, ag *agent.Agent, moment core.
 			if prior.AgentID != ag.ID || prior.Checker == v.Suspect {
 				continue
 			}
-			if prior.VerifySig(reg) != nil {
+			entry, ok := prior.SigBatchEntry()
+			if !ok {
 				continue
 			}
-			v.Suspect = ""
-			v.Reason = fmt.Sprintf("arrived state violates owner rules (damage on record since session %d; previous host not blamed)", prior.CheckedHop)
-			break
+			cand = append(cand, entry)
+			candHops = append(candHops, prior.CheckedHop)
+		}
+		if len(cand) > 0 {
+			errs := reg.VerifyBatch(cand)
+			for i := range cand {
+				if errs != nil && errs[i] != nil {
+					continue
+				}
+				v.Suspect = ""
+				v.Reason = fmt.Sprintf("arrived state violates owner rules (damage on record since session %d; previous host not blamed)", candHops[i])
+				break
+			}
 		}
 		return v, nil
 	}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/agent"
@@ -132,6 +133,23 @@ type NodeConfig struct {
 	// copy. Empty keeps all bookkeeping in memory (the seed behaviour).
 	// Each node needs its own directory; see docs/OPERATIONS.md.
 	DataDir string
+	// SharedWAL, when set, backs the journal and quarantine stores with
+	// handles on this shared group-commit WAL instead of two private
+	// WALs under DataDir — one fsync stream and one background flusher
+	// for the whole node (the protection stack's ledger can join the
+	// same stream; see protection.Options.WAL). The caller owns the
+	// SharedWAL's lifecycle and must close it only after Node.Close.
+	// DataDir may still be set alongside for the evidence spill
+	// directory; the stores themselves then ignore it.
+	SharedWAL *shardstore.SharedWAL
+	// FlushBatch enables per-worker intake flush batching: each worker
+	// drains up to this many queued deliveries at once and processes
+	// them as one flush, skipping the per-delivery "running" journal
+	// write (phases go queued → terminal, two WAL appends per delivery
+	// instead of three; node/status reads "queued" while a batched
+	// delivery executes). 0 or 1 keeps the one-delivery-at-a-time seed
+	// behaviour.
+	FlushBatch int
 	// OnPersistError observes asynchronous persistence failures (WAL
 	// append/compaction I/O errors, evidence spill failures); may be
 	// nil. After a failure the node keeps serving from memory —
@@ -232,6 +250,12 @@ type Node struct {
 	evMu        sync.Mutex
 	evFiles     []evidenceFile
 	evBytes     int64
+
+	// intakeFlushes / intakeFlushedItems count worker drain batches and
+	// the deliveries they carried (FlushBatch > 1 only); their ratio is
+	// the realized flush batch size, surfaced through node/metrics.
+	intakeFlushes      atomic.Int64
+	intakeFlushedItems atomic.Int64
 
 	// healthMu guards the sticky persistence-failure record served by
 	// the node/health built-in: once a WAL append, compaction, or
@@ -621,20 +645,55 @@ func (n *Node) enqueue(ctx context.Context, ag *agent.Agent) (*Receipt, error) {
 
 func (n *Node) worker(q chan intakeItem) {
 	defer n.wg.Done()
+	batchMax := n.cfg.FlushBatch
+	var batch []intakeItem
 	for {
 		select {
 		case <-n.rootCtx.Done():
 			return
 		case item := <-q:
-			n.runOne(item)
+			if batchMax <= 1 {
+				n.runOne(item, false)
+				continue
+			}
+			// Flush batching: drain whatever else is already queued (up
+			// to FlushBatch) and process the whole batch as one flush.
+			// Per-agent ordering is preserved — same agent, same stripe,
+			// drained in arrival order.
+			batch = drainQueue(q, append(batch[:0], item), batchMax)
+			n.intakeFlushes.Add(1)
+			n.intakeFlushedItems.Add(int64(len(batch)))
+			for i := range batch {
+				n.runOne(batch[i], true)
+				batch[i] = intakeItem{} // release the agent for GC
+			}
 		}
 	}
 }
 
+// drainQueue tops batch up with immediately available deliveries, never
+// blocking, up to max items total.
+func drainQueue(q chan intakeItem, batch []intakeItem, max int) []intakeItem {
+	for len(batch) < max {
+		select {
+		case item := <-q:
+			batch = append(batch, item)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
 // runOne drives one delivery through the pipeline and resolves the
-// receipt on failure (success paths resolve inside process).
-func (n *Node) runOne(item intakeItem) {
-	n.setPhase(item.ag.ID, AgentStatus{Phase: PhaseRunning})
+// receipt on failure (success paths resolve inside process). With
+// coalesce set (flush batching), the informational "running" journal
+// write is skipped: the entry stays "queued" until its terminal phase,
+// saving one WAL append per delivery.
+func (n *Node) runOne(item intakeItem, coalesce bool) {
+	if !coalesce {
+		n.setPhase(item.ag.ID, AgentStatus{Phase: PhaseRunning})
+	}
 	err := n.process(item.ctx, item.ag)
 	if err != nil {
 		// The quarantine path already recorded PhaseQuarantined; only

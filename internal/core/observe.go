@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/events"
+	"repro/internal/shardstore"
 )
 
 // publish forwards one event to the node's pipeline; a no-op when the
@@ -66,6 +67,24 @@ type MetricsReply struct {
 	// at snapshot time (gauges owned by the node, not the bus).
 	JournalEntries    int
 	QuarantineEntries int
+	// WALs reports the durable stores' backend counters (appends,
+	// fsyncs, records per fsync) — how observable fsync amortization
+	// is, per store. Empty for memory-only nodes. With a SharedWAL the
+	// fsync counters are the shared stream's (every store rides the
+	// same fsyncs); Appends stay per store.
+	WALs []WALStatsEntry
+	// IntakeFlushes / IntakeFlushedItems count worker drain batches and
+	// the deliveries they carried when FlushBatch > 1; their ratio is
+	// the realized intake flush batch size.
+	IntakeFlushes      int64
+	IntakeFlushedItems int64
+}
+
+// WALStatsEntry names one durable store's backend counters in a
+// MetricsReply.
+type WALStatsEntry struct {
+	Store string
+	Stats shardstore.WALStats
 }
 
 // DecodeMetricsReply decodes a node/metrics response.
@@ -80,8 +99,16 @@ func DecodeMetricsReply(body []byte) (MetricsReply, error) {
 // metricsReply snapshots the node's metrics surface.
 func (n *Node) metricsReply() MetricsReply {
 	r := MetricsReply{
-		JournalEntries:    n.journal.Len(),
-		QuarantineEntries: n.quarantine.Len(),
+		JournalEntries:     n.journal.Len(),
+		QuarantineEntries:  n.quarantine.Len(),
+		IntakeFlushes:      n.intakeFlushes.Load(),
+		IntakeFlushedItems: n.intakeFlushedItems.Load(),
+	}
+	if st, ok := n.journal.BackendStats(); ok {
+		r.WALs = append(r.WALs, WALStatsEntry{Store: "journal", Stats: st})
+	}
+	if st, ok := n.quarantine.BackendStats(); ok {
+		r.WALs = append(r.WALs, WALStatsEntry{Store: "quarantine", Stats: st})
 	}
 	if n.cfg.Events != nil && n.cfg.Events.Metrics != nil {
 		r.Enabled = true

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/host"
+	"repro/internal/shardstore"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+)
+
+// TestNodeSharedWALRestart is the group-commit durability contract: a
+// node whose journal and quarantine share one SharedWAL recovers both
+// across a restart exactly as a node with two private WALs does, and
+// surfaces the shared backend's counters through node/metrics.
+func TestNodeSharedWALRestart(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	reg := sigcrypto.NewRegistry()
+	net := transport.NewInProc()
+	walDir := filepath.Join(t.TempDir(), "wal")
+
+	mkHost := func(name string, trusted bool) *host.Host {
+		keys, err := sigcrypto.GenerateKeyPair(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := host.New(host.Config{Name: name, Keys: keys, Registry: reg, Trusted: trusted})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	hostH := mkHost("home", true)
+	hostC := mkHost("checker", false)
+
+	home, err := NewNode(NodeConfig{Host: hostH, Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer home.Close()
+	net.Register("home", home)
+
+	openChecker := func() (*Node, *shardstore.SharedWAL) {
+		sw, err := shardstore.OpenSharedWAL(walDir, shardstore.SharedWALConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := NewNode(NodeConfig{
+			Host:       hostC,
+			Net:        net,
+			Mechanisms: []Mechanism{failingMechanism{}},
+			SharedWAL:  sw,
+			FlushBatch: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Register("checker", node)
+		return node, sw
+	}
+
+	checker, sw := openChecker()
+	ag, err := agent.New("shared-1", "owner", `
+proc main() { migrate("checker", "fin") }
+proc fin() { done() }`, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcs := []*Receipt{home.Watch("shared-1"), checker.Watch("shared-1")}
+	if _, err := home.Launch(ctx, ag); err != nil {
+		t.Fatal(err)
+	}
+	res, err := AwaitAny(ctx, rcs...)
+	if !errors.Is(err, ErrDetection) || !res.Aborted {
+		t.Fatalf("journey not aborted by detection: res=%+v err=%v", res, err)
+	}
+	held, err := checker.Quarantined("shared-1")
+	if err != nil {
+		t.Fatalf("not quarantined before restart: %v", err)
+	}
+	wantWire, err := held.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The shared backend's counters are visible per store.
+	mr := checker.metricsReply()
+	if len(mr.WALs) != 2 {
+		t.Fatalf("metrics report %d WAL entries, want 2 (journal + quarantine): %+v", len(mr.WALs), mr.WALs)
+	}
+	for _, w := range mr.WALs {
+		if w.Stats.Appends == 0 {
+			t.Fatalf("store %s reports zero WAL appends", w.Store)
+		}
+	}
+
+	// Restart: node first, then the shared WAL it rode on.
+	if err := checker.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	checker2, sw2 := openChecker()
+	defer func() {
+		_ = checker2.Close()
+		_ = sw2.Close()
+	}()
+	if st := checker2.Status("shared-1"); st.Phase != PhaseQuarantined {
+		t.Fatalf("status after restart = %+v, want quarantined", st)
+	}
+	rec, err := checker2.Quarantined("shared-1")
+	if err != nil {
+		t.Fatalf("quarantined agent lost across shared-WAL restart: %v", err)
+	}
+	gotWire, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotWire, wantWire) {
+		t.Fatal("recovered quarantined agent is not byte-identical to the retained copy")
+	}
+}
+
+// TestNodeFlushBatchCountsFlushes pins the flush-batching stats: with
+// FlushBatch > 1 every drained batch is counted, and deliveries settle
+// to the same terminal outcomes as unbatched intake.
+func TestNodeFlushBatchCountsFlushes(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	reg := sigcrypto.NewRegistry()
+	net := transport.NewInProc()
+	keys, err := sigcrypto.GenerateKeyPair("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := host.New(host.Config{Name: "solo", Keys: keys, Registry: reg, Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewNode(NodeConfig{Host: h, Net: net, Workers: 1, FlushBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	net.Register("solo", node)
+
+	const agents = 24
+	rcs := make([]*Receipt, 0, agents)
+	for i := 0; i < agents; i++ {
+		ag, err := agent.New(agentID("flush", i), "owner", `proc main() { done() }`, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := node.Launch(ctx, ag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcs = append(rcs, rc)
+	}
+	for _, rc := range rcs {
+		res, err := AwaitAny(ctx, rc)
+		if err != nil || res.Aborted {
+			t.Fatalf("delivery failed under flush batching: res=%+v err=%v", res, err)
+		}
+	}
+	mr := node.metricsReply()
+	if mr.IntakeFlushes == 0 || mr.IntakeFlushedItems != agents {
+		t.Fatalf("flush stats = %d flushes / %d items, want >0 / %d",
+			mr.IntakeFlushes, mr.IntakeFlushedItems, agents)
+	}
+}
+
+func agentID(prefix string, i int) string {
+	return prefix + "-" + string(rune('a'+i%26)) + "-" + string(rune('0'+i/26))
+}

@@ -113,6 +113,19 @@ func (v *Verdict) VerifySig(reg *sigcrypto.Registry) error {
 	return reg.VerifyDigest(v.bindingDigest(), v.Sig)
 }
 
+// SigBatchEntry returns the entry that batch-verifies this verdict's
+// signature (sigcrypto.Registry.VerifyBatch), for callers vetting many
+// travelling verdicts at once. ok is false when the signature is not
+// attributed to the verdict's named Checker — the same structural
+// precondition VerifySig enforces first; such a verdict proves nothing
+// and must not be fed to a batch.
+func (v *Verdict) SigBatchEntry() (sigcrypto.BatchEntry, bool) {
+	if v.Sig.Signer != v.Checker {
+		return sigcrypto.BatchEntry{}, false
+	}
+	return sigcrypto.DigestEntry(v.bindingDigest(), v.Sig), true
+}
+
 // String renders the verdict for logs.
 func (v Verdict) String() string {
 	var b strings.Builder

@@ -1,0 +1,101 @@
+package events
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusRendering pins the exposition contract on a
+// hand-built snapshot: typed families, node labels, cumulative
+// histogram buckets with an explicit +Inf equal to the count, and the
+// bus ledger.
+func TestWritePrometheusRendering(t *testing.T) {
+	snap := MetricsSnapshot{
+		Node:      "w01",
+		Published: 42,
+		Counters:  map[string]int64{"events_total": 40, "verdict_failed_total": 3},
+		Gauges:    map[string]float64{"escalation_suspicion_max": 1.5},
+		Histograms: map[string]HistogramSnapshot{
+			"journey_ms": {
+				Count: 7,
+				Sum:   360.5,
+				// Per-bucket (non-cumulative) counts, empties elided,
+				// overflow carried as LE: -1.
+				Buckets: []BucketCount{{LE: 5, N: 2}, {LE: 50, N: 4}, {LE: -1, N: 1}},
+			},
+		},
+		Subscribers: []SubscriberStats{{Name: "metrics", Received: 40, Dropped: 2}},
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"# TYPE repro_events_total counter\nrepro_events_total{node=\"w01\"} 40\n",
+		"repro_verdict_failed_total{node=\"w01\"} 3\n",
+		"# TYPE repro_escalation_suspicion_max gauge\nrepro_escalation_suspicion_max{node=\"w01\"} 1.5\n",
+		"# TYPE repro_journey_ms histogram\n",
+		"repro_journey_ms_bucket{node=\"w01\",le=\"5\"} 2\n",
+		"repro_journey_ms_bucket{node=\"w01\",le=\"50\"} 6\n", // cumulative
+		"repro_journey_ms_bucket{node=\"w01\",le=\"+Inf\"} 7\n",
+		"repro_journey_ms_sum{node=\"w01\"} 360.5\n",
+		"repro_journey_ms_count{node=\"w01\"} 7\n",
+		"repro_bus_published_total{node=\"w01\"} 42\n",
+		"repro_subscriber_received_total{node=\"w01\",subscriber=\"metrics\"} 40\n",
+		"repro_subscriber_dropped_total{node=\"w01\",subscriber=\"metrics\"} 2\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, got)
+		}
+	}
+	// Deterministic output: a second render is byte-identical.
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, snap); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != got {
+		t.Fatal("two renders of the same snapshot differ")
+	}
+}
+
+// TestWritePrometheusLiveRegistry renders a registry fed through a
+// real bus, checking name sanitization survives whatever kinds the
+// pipeline publishes.
+func TestWritePrometheusLiveRegistry(t *testing.T) {
+	bus := NewBus(BusConfig{Node: "live"})
+	defer bus.Close()
+	reg := NewRegistry(bus)
+	defer reg.Close()
+	bus.Publish(Event{Kind: KindIntake, Agent: "a-1"})
+	bus.Publish(Event{Kind: KindVerdict, Agent: "a-1", Fields: map[string]string{"ok": "false"}})
+	bus.Publish(Event{Kind: KindComplete, Agent: "a-1"})
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"repro_events_total{node=\"live\"} 3",
+		"repro_verdict_failed_total{node=\"live\"} 1",
+		"repro_journey_ms_bucket{node=\"live\",le=\"+Inf\"} 1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, got)
+		}
+	}
+	for _, line := range strings.Split(got, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line[:strings.IndexByte(line, '{')]
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+			if !ok {
+				t.Fatalf("metric name %q has illegal byte %q", name, c)
+			}
+		}
+	}
+}

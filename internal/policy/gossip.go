@@ -105,6 +105,14 @@ type Gossip struct {
 	// bus, when non-nil, receives gossip-merge, exchange-round, and
 	// peer-cooldown events; set via SetBus before the node starts.
 	bus *events.Bus
+
+	// batchVerify selects sigcrypto.Registry.VerifyBatch for signature
+	// checks in mergeVerified (one key resolution and one verification
+	// pass per bundle instead of per entry). On by default; scale A/B
+	// runs switch it off via SetBatchVerify to measure the delta. The
+	// trust policy is identical either way — entries failing the batch
+	// are dropped exactly as scalar failures are.
+	batchVerify bool
 }
 
 var (
@@ -119,11 +127,16 @@ func NewGossip(ledger *Ledger) *Gossip {
 		ledger = NewLedger(LedgerConfig{})
 	}
 	return &Gossip{
-		ledger:   ledger,
-		now:      time.Now,
-		verified: shardstore.New[[]GossipEntry](shardstore.Config[[]GossipEntry]{Capacity: DefaultLedgerCapacity}),
+		ledger:      ledger,
+		now:         time.Now,
+		verified:    shardstore.New[[]GossipEntry](shardstore.Config[[]GossipEntry]{Capacity: DefaultLedgerCapacity}),
+		batchVerify: true,
 	}
 }
+
+// SetBatchVerify toggles batched signature verification in the merge
+// path. Call before the node starts, like SetClock.
+func (m *Gossip) SetBatchVerify(on bool) { m.batchVerify = on }
 
 // SetClock replaces the clock that stamps outgoing gossip extracts
 // (entry AtUnixNano fields and exchange-round timestamps). Campaign
@@ -172,7 +185,8 @@ func decodeEntries(data []byte) []GossipEntry {
 // keeps) and is shared verbatim by the anti-entropy exchange, so both
 // ingestion paths enforce one trust policy.
 func (m *Gossip) mergeVerified(reg *sigcrypto.Registry, self string, entries []GossipEntry) []GossipEntry {
-	var keep []GossipEntry
+	// Structural filter first; survivors go to signature verification.
+	var cand []GossipEntry
 	for _, e := range entries {
 		if e.Observer == e.Host || e.Observer == self {
 			continue
@@ -183,7 +197,28 @@ func (m *Gossip) mergeVerified(reg *sigcrypto.Registry, self string, entries []G
 		if e.Sig.Signer != e.Observer {
 			continue
 		}
-		if err := reg.VerifyDigest(e.bindingDigest(), e.Sig); err != nil {
+		cand = append(cand, e)
+	}
+	// One batch verification for the whole bundle (one key resolution,
+	// one pass) when enabled; entries whose slot fails are dropped —
+	// the same outcome the scalar path produces per entry. A nil errs
+	// slice from VerifyBatch means every entry verified.
+	batched := m.batchVerify && len(cand) > 1
+	var errs []error
+	if batched {
+		batch := make([]sigcrypto.BatchEntry, len(cand))
+		for i := range cand {
+			batch[i] = sigcrypto.DigestEntry(cand[i].bindingDigest(), cand[i].Sig)
+		}
+		errs = reg.VerifyBatch(batch)
+	}
+	var keep []GossipEntry
+	for i, e := range cand {
+		if batched {
+			if errs != nil && errs[i] != nil {
+				continue
+			}
+		} else if err := reg.VerifyDigest(e.bindingDigest(), e.Sig); err != nil {
 			continue
 		}
 		m.ledger.Merge(e.Host, e.Suspicion, time.Unix(0, e.AtUnixNano))

@@ -150,6 +150,18 @@ type Options struct {
 	// AdaptiveGate ledger keeps its own bus wiring — only the gate and
 	// gossip adopt this one then. Other levels ignore it.
 	Events *events.Bus
+	// WAL, when non-nil, backs LevelAdaptive's reputation ledger with a
+	// handle on this shared group-commit WAL (consumer name "ledger")
+	// instead of a private WAL under DataDir — pair it with
+	// core.NodeConfig.SharedWAL so one node's journal, quarantine, and
+	// ledger share one fsync stream. Takes precedence over DataDir for
+	// the ledger; ignored when the caller supplies its own ledger.
+	WAL *shardstore.SharedWAL
+	// DisableBatchVerify forces scalar signature verification in
+	// LevelAdaptive's gossip merge path (see policy.Gossip
+	// .SetBatchVerify). The default (false) verifies gossip bundles in
+	// one batch; detection outcomes are identical either way.
+	DisableBatchVerify bool
 }
 
 // Stack is one node's protection assembly: the mechanism list plus the
@@ -229,7 +241,14 @@ func Assemble(l Level, opts Options) (Stack, error) {
 				Bus:            opts.Events,
 				EscalateAt:     opts.AdaptiveGate.EscalateThreshold,
 			}
-			if opts.DataDir != "" {
+			switch {
+			case opts.WAL != nil:
+				h, err := opts.WAL.Handle("ledger")
+				if err != nil {
+					return Stack{}, fmt.Errorf("protection: claiming shared ledger stream: %w", err)
+				}
+				lcfg.Backend = h
+			case opts.DataDir != "":
 				backend, err := shardstore.OpenWAL(filepath.Join(opts.DataDir, "ledger"), shardstore.WALConfig{})
 				if err != nil {
 					return Stack{}, fmt.Errorf("protection: opening ledger wal: %w", err)
@@ -260,6 +279,9 @@ func Assemble(l Level, opts Options) (Stack, error) {
 			gossip.SetClock(opts.Clock)
 		}
 		gossip.SetBus(opts.Events)
+		if opts.DisableBatchVerify {
+			gossip.SetBatchVerify(false)
+		}
 		mechs := []core.Mechanism{
 			wholesig.New(opts.Timer),
 			gossip,

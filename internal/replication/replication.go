@@ -271,6 +271,12 @@ type Coordinator struct {
 	// the operational stream mirroring what Reputation charges. May be
 	// nil.
 	Events *events.Bus
+	// DisableBatchVerify forces per-vote scalar signature checks. By
+	// default a stage's structurally valid votes are verified in one
+	// batch (one key resolution, one pass); per-replica attribution is
+	// identical either way because batch failures fall back to the
+	// scalar error.
+	DisableBatchVerify bool
 }
 
 // Run executes the agent through all stages and returns the report.
@@ -362,6 +368,7 @@ func (c *Coordinator) runStage(ctx context.Context, stageIdx int, replicas []str
 	close(results)
 
 	votes := make(map[string]*Vote, len(replicas))
+	var pending []result
 	for res := range results {
 		// A replica that produced no countable vote is still implicit
 		// dissent for the tally, but the report records *why* — a
@@ -373,7 +380,8 @@ func (c *Coordinator) runStage(ctx context.Context, stageIdx int, replicas []str
 		}
 		v := res.vote
 		// A vote must be attributable: right replica, right hop, valid
-		// signature.
+		// signature. Structural checks run here; signatures are checked
+		// below, in one batch across the stage's surviving votes.
 		if v.Replica != res.replica {
 			report.Failures[res.replica] = fmt.Sprintf("vote names replica %q", v.Replica)
 			continue
@@ -382,12 +390,31 @@ func (c *Coordinator) runStage(ctx context.Context, stageIdx int, replicas []str
 			report.Failures[res.replica] = fmt.Sprintf("vote for hop %d, stage expects %d", v.Hop, cur.Hop)
 			continue
 		}
-		if err := c.Registry.Verify(v.bindingBytes(cur.ID), v.Sig); err != nil {
-			report.Failures[res.replica] = fmt.Sprintf("signature: %v", err)
+		pending = append(pending, res)
+	}
+	// One signature pass for the whole stage. A nil errs slice from
+	// VerifyBatch means every vote verified; failed slots carry the
+	// exact scalar error, so per-replica attribution is unchanged.
+	var sigErrs []error
+	if !c.DisableBatchVerify && len(pending) > 1 {
+		batch := make([]sigcrypto.BatchEntry, len(pending))
+		for i, res := range pending {
+			batch[i] = sigcrypto.BatchEntry{Msg: res.vote.bindingBytes(cur.ID), Sig: res.vote.Sig}
+		}
+		sigErrs = c.Registry.VerifyBatch(batch)
+	} else {
+		sigErrs = make([]error, len(pending))
+		for i, res := range pending {
+			sigErrs[i] = c.Registry.Verify(res.vote.bindingBytes(cur.ID), res.vote.Sig)
+		}
+	}
+	for i, res := range pending {
+		if sigErrs != nil && sigErrs[i] != nil {
+			report.Failures[res.replica] = fmt.Sprintf("signature: %v", sigErrs[i])
 			continue
 		}
-		votes[res.replica] = v
-		report.Votes[res.replica] = v.Digest()
+		votes[res.replica] = res.vote
+		report.Votes[res.replica] = res.vote.Digest()
 	}
 
 	// Tally.

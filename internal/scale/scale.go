@@ -1,0 +1,698 @@
+// Package scale is the fleet-scale harness behind `benchtables
+// -scale`: hundreds of in-proc nodes, tens of thousands of concurrent
+// itineraries, and an in-run A/B of the batching layers (batch
+// signature verification, shared group-commit WAL, intake flush
+// batching) against the unbatched seed behaviour. Where bench.RunFleet
+// measures protection levels against a handful of agents on one
+// itinerary, this package measures the deployment envelope: how many
+// itineraries per second a fleet sustains, at what tail latency and
+// peak RSS, and whether the batching layers buy throughput without
+// costing detection.
+package scale
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/appraisal"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/policy"
+	"repro/internal/protection"
+	"repro/internal/shardstore"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// Config parameterizes one scale run. The zero value is a small smoke
+// configuration; `benchtables -scale` drives it to 500+ nodes and
+// 10k+ itineraries.
+type Config struct {
+	// Nodes is the total fleet size: trusted homes plus untrusted
+	// workers. 0 means 64.
+	Nodes int
+	// Homes is how many of the nodes are trusted homes that launch
+	// and collect itineraries (round-robin). 0 means Nodes/32+1.
+	Homes int
+	// Itineraries is the number of concurrent journeys. 0 means
+	// 4*Nodes.
+	Itineraries int
+	// Hops is the number of distinct untrusted workers each itinerary
+	// visits before returning home. 0 means 3.
+	Hops int
+	// Workers is the per-node intake worker count. 0 means 2 (the
+	// scale default; core.DefaultWorkers is sized for single-node
+	// runs).
+	Workers int
+	// MaliciousNodes marks that many workers malicious: every session
+	// they run manipulates the audited total (the fleet harness's
+	// manipulation-of-data attack). Must satisfy
+	// MaliciousNodes*2 <= worker count so routes can keep malicious
+	// hosts non-adjacent (adjacent cheaters are the example
+	// mechanism's documented collusion blind spot, a different
+	// scenario). 0 means workers/16.
+	MaliciousNodes int
+	// Cycles is the per-session summation workload; 0 means 1 (the
+	// harness measures system overhead, not compute).
+	Cycles int
+	// Concurrency bounds in-flight itineraries (launched but not yet
+	// resolved). 0 means 256.
+	Concurrency int
+	// Batched turns all three batching layers on: batch signature
+	// verification in gossip/appraisal merge paths, a per-node shared
+	// group-commit WAL (when Durable), and intake flush batching.
+	// False reproduces the unbatched seed behaviour.
+	Batched bool
+	// Durable backs every node's journal, quarantine, and reputation
+	// ledger with WALs under DataDir. Batched && Durable multiplexes
+	// them onto one SharedWAL per node; unbatched uses three private
+	// WALs per node, as before this harness existed.
+	Durable bool
+	// DataDir is the root directory for durable state; required when
+	// Durable.
+	DataDir string
+	// Seed drives route selection. Two runs with the same Config
+	// modulo Batched launch identical itineraries over identical
+	// malicious sets — the basis of the A/B detection-parity check.
+	Seed int64
+	// FlushBatch overrides the batched intake flush batch size; 0
+	// means 16. Ignored when Batched is false.
+	FlushBatch int
+}
+
+// Result is one scale run's measurement.
+type Result struct {
+	Batched        bool  `json:"batched"`
+	Durable        bool  `json:"durable"`
+	Nodes          int   `json:"nodes"`
+	Homes          int   `json:"homes"`
+	WorkerNodes    int   `json:"worker_nodes"`
+	MaliciousNodes int   `json:"malicious_nodes"`
+	Itineraries    int   `json:"itineraries"`
+	Hops           int   `json:"hops"`
+	Seed           int64 `json:"seed"`
+
+	ElapsedMS         float64 `json:"elapsed_ms"`
+	ItinerariesPerSec float64 `json:"itineraries_per_sec"`
+	P50MS             float64 `json:"p50_ms"`
+	P99MS             float64 `json:"p99_ms"`
+	PeakRSSMB         float64 `json:"peak_rss_mb"`
+
+	Completed   int `json:"completed"`
+	Quarantined int `json:"quarantined"`
+	Failed      int `json:"failed"`
+
+	// TamperedSessions counts sessions a malicious worker actually
+	// manipulated; DetectedTampered counts how many of those some
+	// node's failed verdict blamed; HonestQuarantined counts
+	// quarantined itineraries that no malicious worker ever touched
+	// (must be zero — batching may never create false positives).
+	TamperedSessions  int `json:"tampered_sessions"`
+	DetectedTampered  int `json:"detected_tampered"`
+	HonestQuarantined int `json:"honest_quarantined"`
+
+	// WAL fsync amortization, summed fleet-wide from node/metrics.
+	// For batched runs the sync counters are per shared stream (each
+	// node's stores ride the same fsyncs, counted once); for
+	// unbatched runs they sum the private journal and quarantine
+	// WALs. Zero for memory-only runs.
+	WALAppends   int64   `json:"wal_appends"`
+	WALSyncs     int64   `json:"wal_syncs"`
+	WALMeanBatch float64 `json:"wal_mean_batch"`
+
+	// Intake flush batching counters, summed fleet-wide.
+	IntakeFlushes      int64 `json:"intake_flushes"`
+	IntakeFlushedItems int64 `json:"intake_flushed_items"`
+}
+
+// ABResult is one in-run A/B: the same fleet and itineraries (same
+// seed) measured unbatched then batched.
+type ABResult struct {
+	Unbatched Result `json:"unbatched"`
+	Batched   Result `json:"batched"`
+	// SpeedupItinPerSec is batched throughput over unbatched.
+	SpeedupItinPerSec float64 `json:"speedup_itins_per_sec"`
+	// DetectionMatch is the safety criterion: identical tampered and
+	// detected session counts both ways, zero honest quarantines both
+	// ways.
+	DetectionMatch bool `json:"detection_match"`
+}
+
+// DefaultFlushBatch is the batched intake flush batch size.
+const DefaultFlushBatch = 16
+
+func (c *Config) fill() error {
+	if c.Nodes <= 0 {
+		c.Nodes = 64
+	}
+	if c.Homes <= 0 {
+		c.Homes = c.Nodes/32 + 1
+	}
+	if c.Homes >= c.Nodes {
+		return fmt.Errorf("scale: %d homes leave no workers among %d nodes", c.Homes, c.Nodes)
+	}
+	if c.Itineraries <= 0 {
+		c.Itineraries = 4 * c.Nodes
+	}
+	if c.Hops <= 0 {
+		c.Hops = 3
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	workers := c.Nodes - c.Homes
+	if workers < c.Hops+1 {
+		return fmt.Errorf("scale: %d workers cannot host %d-hop itineraries of distinct workers", workers, c.Hops)
+	}
+	if c.MaliciousNodes == 0 {
+		c.MaliciousNodes = workers / 16
+	}
+	if c.MaliciousNodes < 0 || c.MaliciousNodes*2 > workers {
+		return fmt.Errorf("scale: %d malicious of %d workers cannot be kept non-adjacent on routes (collusion is out of scope)", c.MaliciousNodes, workers)
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 1
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 256
+	}
+	if c.FlushBatch <= 0 {
+		c.FlushBatch = DefaultFlushBatch
+	}
+	if c.Durable && c.DataDir == "" {
+		return fmt.Errorf("scale: Durable requires DataDir")
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// sessionKey identifies one executed session fleet-wide.
+func sessionKey(agentID string, hop int) string {
+	return agentID + "#" + strconv.Itoa(hop)
+}
+
+// tamperCounting is the malicious behaviour: manipulate the audit
+// total after every session and record ground truth.
+type tamperCounting struct {
+	attack.Honest
+	onSession func(agentID string, hop int)
+}
+
+func (t tamperCounting) TamperState(st value.State) {
+	st["total"] = value.Int(st["total"].Int + 1000)
+}
+
+func (t tamperCounting) TamperRecord(rec *host.SessionRecord) {
+	t.onSession(rec.AgentID, rec.Hop)
+}
+
+// routeCode generates one itinerary's program: home, then every route
+// worker in order, then back home. Route workers are distinct by
+// construction (the `if at ==` dispatch keys on the current host).
+func routeCode(home string, route []string, cycles int) string {
+	var b strings.Builder
+	b.WriteString("proc main() {\n    work()\n    migrate(")
+	fmt.Fprintf(&b, "%q, \"step\")\n}\n", route[0])
+	b.WriteString("proc step() {\n    work()\n    let at = here()\n")
+	for i := 0; i < len(route)-1; i++ {
+		fmt.Fprintf(&b, "    if at == %q { migrate(%q, \"step\") }\n", route[i], route[i+1])
+	}
+	fmt.Fprintf(&b, "    if at == %q { migrate(%q, \"fin\") }\n", route[len(route)-1], home)
+	b.WriteString("    done()\n}\n")
+	b.WriteString("proc fin() {\n    work()\n    done()\n}\n")
+	fmt.Fprintf(&b, `proc work() {
+    total = total + 1
+    hops = hops + 1
+    let c = 0
+    while c < %d {
+        let s = 0
+        let j = 0
+        while j < 1000 {
+            s = s + j
+            j = j + 1
+        }
+        sum = s
+        c = c + 1
+    }
+}`, cycles)
+	return b.String()
+}
+
+// pickRoute draws cfg.Hops distinct workers, never placing a
+// malicious worker immediately after another (the route-level mirror
+// of the fleet harness's non-adjacency rule). Deterministic given the
+// rng state.
+func pickRoute(rng *rand.Rand, workers int, malicious map[int]bool, hops int) ([]int, error) {
+	route := make([]int, 0, hops)
+	used := make(map[int]bool, hops)
+	prevMal := false
+	for len(route) < hops {
+		picked := -1
+		for try := 0; try < 64; try++ {
+			w := rng.Intn(workers)
+			if used[w] || (prevMal && malicious[w]) {
+				continue
+			}
+			picked = w
+			break
+		}
+		if picked < 0 {
+			// Deterministic fallback: scan from a random offset.
+			off := rng.Intn(workers)
+			for i := 0; i < workers; i++ {
+				w := (off + i) % workers
+				if !used[w] && !(prevMal && malicious[w]) {
+					picked = w
+					break
+				}
+			}
+		}
+		if picked < 0 {
+			return nil, fmt.Errorf("scale: no admissible worker for hop %d of %d", len(route), hops)
+		}
+		route = append(route, picked)
+		used[picked] = true
+		prevMal = malicious[picked]
+	}
+	return route, nil
+}
+
+// maliciousSpread marks m of w workers malicious, spread evenly.
+func maliciousSpread(w, m int) map[int]bool {
+	set := make(map[int]bool, m)
+	for i := 0; i < m && i < w; i++ {
+		set[i*w/m] = true
+	}
+	return set
+}
+
+// Run executes one scale measurement.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.fill(); err != nil {
+		return Result{}, err
+	}
+	workerCount := cfg.Nodes - cfg.Homes
+	res := Result{
+		Batched: cfg.Batched, Durable: cfg.Durable,
+		Nodes: cfg.Nodes, Homes: cfg.Homes, WorkerNodes: workerCount,
+		MaliciousNodes: cfg.MaliciousNodes, Itineraries: cfg.Itineraries,
+		Hops: cfg.Hops, Seed: cfg.Seed,
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+	defer cancel()
+	reg := sigcrypto.NewRegistry()
+	net := transport.NewInProc()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Ground truth and detection ledgers, shared across nodes.
+	var mu sync.Mutex
+	tampered := make(map[string]bool)
+	tamperedAgents := make(map[string]bool)
+	detected := make(map[string]bool)
+	malicious := maliciousSpread(workerCount, cfg.MaliciousNodes)
+	maliciousName := make(map[string]bool, len(malicious))
+
+	homes := make([]string, cfg.Homes)
+	for i := range homes {
+		homes[i] = fmt.Sprintf("h%03d", i)
+	}
+	workers := make([]string, workerCount)
+	for i := range workers {
+		workers[i] = fmt.Sprintf("w%04d", i)
+		if malicious[i] {
+			maliciousName[workers[i]] = true
+		}
+	}
+
+	var nodes []*core.Node
+	var sharedWALs []*shardstore.SharedWAL
+	nodeByName := make(map[string]*core.Node, cfg.Nodes)
+	defer func() {
+		// Stores first, then the shared streams they ride on.
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		for _, sw := range sharedWALs {
+			_ = sw.Close()
+		}
+	}()
+
+	addNode := func(name string, trusted bool, behavior host.Behavior) error {
+		keys, err := sigcrypto.GenerateKeyPair(name)
+		if err != nil {
+			return err
+		}
+		h, err := host.New(host.Config{
+			Name: name, Keys: keys, Registry: reg,
+			Trusted: trusted, Behavior: behavior,
+		})
+		if err != nil {
+			return err
+		}
+		opts := protection.Options{
+			DisableBatchVerify: !cfg.Batched,
+			// First offense quarantines: detection outcomes become a
+			// pure function of routes and malicious placement, so the
+			// batched and unbatched halves of an A/B are comparable
+			// session for session.
+			AdaptivePolicy: policy.ReputationConfig{FirstOffenseQuarantines: true},
+		}
+		ncfg := core.NodeConfig{
+			Net:        net,
+			Workers:    cfg.Workers,
+			QueueDepth: cfg.Concurrency + 1,
+		}
+		if cfg.Durable {
+			dir := filepath.Join(cfg.DataDir, name)
+			if cfg.Batched {
+				sw, err := shardstore.OpenSharedWAL(filepath.Join(dir, "wal"), shardstore.SharedWALConfig{})
+				if err != nil {
+					return err
+				}
+				sharedWALs = append(sharedWALs, sw)
+				opts.WAL = sw
+				ncfg.SharedWAL = sw
+			} else {
+				opts.DataDir = dir
+				ncfg.DataDir = dir
+			}
+		}
+		if cfg.Batched {
+			ncfg.FlushBatch = cfg.FlushBatch
+		}
+		stack, err := protection.Assemble(protection.LevelAdaptive, opts)
+		if err != nil {
+			return err
+		}
+		ncfg.Host = h
+		ncfg.Mechanisms = stack.Mechanisms
+		ncfg.Policy = stack.Policy
+		ncfg.OnVerdict = func(v core.Verdict) {
+			if v.OK {
+				return
+			}
+			mu.Lock()
+			if maliciousName[v.CheckedHost] {
+				detected[sessionKey(v.AgentID, v.CheckedHop)] = true
+			}
+			mu.Unlock()
+		}
+		node, err := core.NewNode(ncfg)
+		if err != nil {
+			return err
+		}
+		nodes = append(nodes, node)
+		nodeByName[name] = node
+		net.Register(name, node)
+		return nil
+	}
+
+	for _, name := range homes {
+		if err := addNode(name, true, nil); err != nil {
+			return Result{}, err
+		}
+	}
+	for i, name := range workers {
+		var behavior host.Behavior
+		if malicious[i] {
+			behavior = tamperCounting{onSession: func(agentID string, hop int) {
+				mu.Lock()
+				tampered[sessionKey(agentID, hop)] = true
+				tamperedAgents[agentID] = true
+				mu.Unlock()
+			}}
+		}
+		if err := addNode(name, false, behavior); err != nil {
+			return Result{}, err
+		}
+	}
+
+	owner, err := sigcrypto.GenerateKeyPair("scale-owner")
+	if err != nil {
+		return Result{}, err
+	}
+	if err := reg.RegisterKeyPair(owner); err != nil {
+		return Result{}, err
+	}
+	rules := appraisal.RuleSet{appraisal.MustRule("total-tracks-hops", "total == hops")}
+
+	// Build every itinerary before the clock starts: route, program,
+	// signed rules, wire image, and receipts on the involved nodes.
+	wires := make([][]byte, cfg.Itineraries)
+	agentIDs := make([]string, cfg.Itineraries)
+	itinHome := make([]string, cfg.Itineraries)
+	receipts := make([][]*core.Receipt, cfg.Itineraries)
+	for i := 0; i < cfg.Itineraries; i++ {
+		routeIdx, err := pickRoute(rng, workerCount, malicious, cfg.Hops)
+		if err != nil {
+			return Result{}, err
+		}
+		route := make([]string, len(routeIdx))
+		for j, w := range routeIdx {
+			route[j] = workers[w]
+		}
+		home := homes[i%cfg.Homes]
+		id := fmt.Sprintf("itin-%06d", i)
+		ag, err := agent.New(id, "scale-owner", routeCode(home, route, cfg.Cycles), "main")
+		if err != nil {
+			return Result{}, err
+		}
+		ag.SetVar("total", value.Int(0))
+		ag.SetVar("hops", value.Int(0))
+		ag.SetVar("sum", value.Int(0))
+		if err := appraisal.Attach(ag, rules, owner); err != nil {
+			return Result{}, err
+		}
+		wire, err := ag.Marshal()
+		if err != nil {
+			return Result{}, err
+		}
+		wires[i] = wire
+		agentIDs[i] = id
+		itinHome[i] = home
+		receipts[i] = append(receipts[i], nodeByName[home].Watch(id))
+		for _, w := range route {
+			receipts[i] = append(receipts[i], nodeByName[w].Watch(id))
+		}
+	}
+
+	// Launch with bounded in-flight itineraries: each launcher owns a
+	// strided slice of the itinerary space, so per-itinerary latency
+	// covers launch through terminal receipt.
+	const (
+		outcomeCompleted = iota
+		outcomeQuarantined
+		outcomeFailed
+	)
+	latencies := make([]time.Duration, cfg.Itineraries)
+	outcomes := make([]int, cfg.Itineraries)
+	pool := cfg.Concurrency
+	if pool > cfg.Itineraries {
+		pool = cfg.Itineraries
+	}
+	var wg sync.WaitGroup
+	var errOnce sync.Once
+	var runErr error
+	fail := func(err error) {
+		errOnce.Do(func() {
+			runErr = err
+			cancel()
+		})
+	}
+	resetPeakRSS()
+	begin := time.Now()
+	for g := 0; g < pool; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < cfg.Itineraries; i += pool {
+				start := time.Now()
+				if err := net.SendAgent(ctx, itinHome[i], wires[i]); err != nil {
+					fail(fmt.Errorf("scale: launching itinerary %d: %w", i, err))
+					return
+				}
+				out, err := core.AwaitAny(ctx, receipts[i]...)
+				latencies[i] = time.Since(start)
+				switch {
+				case err == nil:
+					outcomes[i] = outcomeCompleted
+				case errors.Is(err, core.ErrDetection):
+					outcomes[i] = outcomeQuarantined
+				case out.Err != nil:
+					outcomes[i] = outcomeFailed
+				default:
+					fail(fmt.Errorf("scale: itinerary %d: %w", i, err))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+	if runErr != nil {
+		return Result{}, runErr
+	}
+
+	res.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+	if elapsed > 0 {
+		res.ItinerariesPerSec = float64(cfg.Itineraries) / elapsed.Seconds()
+	}
+	for i := range outcomes {
+		switch outcomes[i] {
+		case outcomeCompleted:
+			res.Completed++
+		case outcomeQuarantined:
+			res.Quarantined++
+		default:
+			res.Failed++
+		}
+	}
+
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	res.P50MS = float64(percentile(sorted, 0.50).Microseconds()) / 1e3
+	res.P99MS = float64(percentile(sorted, 0.99).Microseconds()) / 1e3
+	res.PeakRSSMB = peakRSSMB()
+
+	mu.Lock()
+	res.TamperedSessions = len(tampered)
+	for k := range tampered {
+		if detected[k] {
+			res.DetectedTampered++
+		}
+	}
+	for i := range outcomes {
+		if outcomes[i] == outcomeQuarantined && !tamperedAgents[agentIDs[i]] {
+			res.HonestQuarantined++
+		}
+	}
+	mu.Unlock()
+
+	// Fleet-wide backend counters via the node/metrics built-in (the
+	// same surface agentctl reads).
+	var syncedRecords int64
+	for _, n := range nodes {
+		body, err := n.HandleCall(ctx, "node/metrics", core.MetricsCallBody())
+		if err != nil {
+			return Result{}, fmt.Errorf("scale: node/metrics: %w", err)
+		}
+		mr, err := core.DecodeMetricsReply(body)
+		if err != nil {
+			return Result{}, err
+		}
+		for i, w := range mr.WALs {
+			res.WALAppends += w.Stats.Appends
+			// On a shared stream every store reports the same fsync
+			// counters; count each stream once.
+			if !cfg.Batched || i == 0 {
+				res.WALSyncs += w.Stats.Syncs
+				syncedRecords += w.Stats.SyncedRecords
+			}
+		}
+		res.IntakeFlushes += mr.IntakeFlushes
+		res.IntakeFlushedItems += mr.IntakeFlushedItems
+	}
+	if res.WALSyncs > 0 {
+		res.WALMeanBatch = float64(syncedRecords) / float64(res.WALSyncs)
+	}
+	return res, nil
+}
+
+// RunAB measures the same configuration unbatched then batched and
+// reports the deltas. Durable variants get disjoint subdirectories of
+// cfg.DataDir.
+func RunAB(cfg Config) (ABResult, error) {
+	ub := cfg
+	ub.Batched = false
+	if cfg.Durable && cfg.DataDir != "" {
+		ub.DataDir = filepath.Join(cfg.DataDir, "unbatched")
+	}
+	unbatched, err := Run(ub)
+	if err != nil {
+		return ABResult{}, fmt.Errorf("scale: unbatched run: %w", err)
+	}
+
+	ba := cfg
+	ba.Batched = true
+	if cfg.Durable && cfg.DataDir != "" {
+		ba.DataDir = filepath.Join(cfg.DataDir, "batched")
+	}
+	batched, err := Run(ba)
+	if err != nil {
+		return ABResult{}, fmt.Errorf("scale: batched run: %w", err)
+	}
+
+	ab := ABResult{Unbatched: unbatched, Batched: batched}
+	if unbatched.ItinerariesPerSec > 0 {
+		ab.SpeedupItinPerSec = batched.ItinerariesPerSec / unbatched.ItinerariesPerSec
+	}
+	ab.DetectionMatch = unbatched.TamperedSessions == batched.TamperedSessions &&
+		unbatched.DetectedTampered == batched.DetectedTampered &&
+		unbatched.HonestQuarantined == 0 && batched.HonestQuarantined == 0
+	return ab, nil
+}
+
+// percentile reads the q-quantile from an ascending slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// peakRSSMB reads the process peak resident set (VmHWM) in MiB;
+// outside Linux it falls back to the Go heap's current footprint.
+func peakRSSMB() float64 {
+	if kb, ok := readVmHWMKB(); ok {
+		return float64(kb) / 1024
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapSys) / (1024 * 1024)
+}
+
+func readVmHWMKB() (int64, bool) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb, true
+	}
+	return 0, false
+}
+
+// resetPeakRSS asks the kernel to restart peak-RSS accounting so each
+// A/B half reports its own high-water mark; best effort (requires
+// Linux and write access to /proc/self/clear_refs).
+func resetPeakRSS() {
+	_ = os.WriteFile("/proc/self/clear_refs", []byte("5\n"), 0)
+}

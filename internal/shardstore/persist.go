@@ -204,6 +204,22 @@ func (s *Store[V]) reportPersistErr(err error) {
 	}
 }
 
+// StatsProvider is implemented by backends that expose WAL-style
+// lifetime counters (*WAL does; SharedWAL consumer handles do too).
+type StatsProvider interface {
+	Stats() WALStats
+}
+
+// BackendStats returns the backend's lifetime counters when the
+// backend exposes them (false for memory-only stores and backends
+// without stats).
+func (s *Store[V]) BackendStats() (WALStats, bool) {
+	if sp, ok := s.backend.(StatsProvider); ok {
+		return sp.Stats(), true
+	}
+	return WALStats{}, false
+}
+
 // Close waits out any background compaction and closes the backend,
 // returning the first persistence failure seen over the store's
 // lifetime, if any. Callers must have stopped writing. No-op (and nil)

@@ -1,0 +1,338 @@
+package shardstore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// SharedWAL multiplexes several stores' persistence streams into one
+// WAL — one file, one write buffer, one fsync schedule. A durable node
+// runs a journal, a quarantine store, a reputation ledger (and, in
+// some stacks, a flight recorder); giving each its own WAL means each
+// pays its own background flusher and its own fsync cadence, so one
+// node costs four fsync schedules. At fleet scale that multiplies:
+// 500 durable nodes × 3 stores = 1500 flusher goroutines all syncing
+// on independent 100ms timers. A SharedWAL collapses that to one
+// stream per node: every consumer's appends land in the same segment
+// (keys are prefixed with the consumer name), group-committed by the
+// single flusher, and replayed per consumer from an in-memory shadow
+// of the live key set.
+//
+// Usage:
+//
+//	sw, _ := OpenSharedWAL(dir, SharedWALConfig{})
+//	journalBackend, _ := sw.Handle("journal")
+//	ledgerBackend, _ := sw.Handle("ledger")
+//	... pass each handle as PersistConfig.Backend (CompactEvery: -1) ...
+//	// close order: stores first (their Close detaches the handle),
+//	// then sw.Close() — which owns the underlying file.
+//
+// Each handle implements Backend. Store-driven auto-compaction should
+// be disabled (PersistConfig.CompactEvery < 0) because no single
+// consumer can decide when the *shared* log is worth snapshotting; the
+// SharedWAL compacts itself from its shadow state every CompactEvery
+// appends across all consumers.
+type SharedWAL struct {
+	inner        *WAL
+	compactEvery int64
+
+	mu sync.Mutex
+	// shadow is the live key→value state per consumer, updated under mu
+	// atomically with every successful inner.Append. It serves two
+	// roles: per-consumer Replay (the "replay cursor" — each handle
+	// streams only its own records) and compaction (the snapshot is the
+	// flattened shadow, captured inside the inner WAL's post-rotation
+	// write callback so no append can fall between snapshot and log).
+	shadow  map[string]map[string][]byte
+	claimed map[string]bool
+	closed  bool
+
+	appendsSinceCompact atomic.Int64
+	compacting          atomic.Bool
+	compactWG           sync.WaitGroup
+}
+
+// SharedWALConfig parameterizes a SharedWAL.
+type SharedWALConfig struct {
+	// WAL configures the underlying log (sync batch size, flush
+	// cadence).
+	WAL WALConfig
+	// CompactEvery triggers a shared snapshot compaction after this
+	// many appends across all consumers; 0 means DefaultCompactEvery,
+	// negative disables automatic compaction.
+	CompactEvery int
+}
+
+// sharedKeySep separates the consumer name from the consumer's key in
+// the underlying log. Unit separator: never part of a consumer name.
+const sharedKeySep = "\x1f"
+
+// OpenSharedWAL opens (or reopens) a shared WAL directory and rebuilds
+// the per-consumer shadow state from the log.
+func OpenSharedWAL(dir string, cfg SharedWALConfig) (*SharedWAL, error) {
+	inner, err := OpenWAL(dir, cfg.WAL)
+	if err != nil {
+		return nil, err
+	}
+	s := &SharedWAL{
+		inner:        inner,
+		compactEvery: int64(cfg.CompactEvery),
+		shadow:       make(map[string]map[string][]byte),
+		claimed:      make(map[string]bool),
+	}
+	if s.compactEvery == 0 {
+		s.compactEvery = DefaultCompactEvery
+	}
+	err = inner.Replay(func(op Op, key string, value []byte) error {
+		name, rest, ok := strings.Cut(key, sharedKeySep)
+		if !ok || name == "" {
+			return fmt.Errorf("%w: shared wal record without consumer prefix: %q", ErrCorrupt, key)
+		}
+		switch op {
+		case OpPut:
+			m := s.shadow[name]
+			if m == nil {
+				m = make(map[string][]byte)
+				s.shadow[name] = m
+			}
+			m[rest] = append([]byte(nil), value...)
+		case OpDelete:
+			delete(s.shadow[name], rest)
+		default:
+			return fmt.Errorf("%w: unknown op %d for key %q", ErrCorrupt, op, key)
+		}
+		return nil
+	})
+	if err != nil {
+		_ = inner.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Handle claims the named consumer stream and returns its Backend.
+// Each name can be claimed once per SharedWAL lifetime: two stores
+// writing the same stream would corrupt each other's replay.
+func (s *SharedWAL) Handle(name string) (*SharedHandle, error) {
+	if name == "" || strings.Contains(name, sharedKeySep) {
+		return nil, fmt.Errorf("shardstore: invalid shared wal consumer name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrWALClosed
+	}
+	if s.claimed[name] {
+		return nil, fmt.Errorf("shardstore: shared wal consumer %q already claimed", name)
+	}
+	s.claimed[name] = true
+	return &SharedHandle{shared: s, name: name}, nil
+}
+
+// Stats returns the underlying WAL's lifetime counters: total appends
+// across all consumers, fsync count, and records per fsync.
+func (s *SharedWAL) Stats() WALStats { return s.inner.Stats() }
+
+// Sync forces everything appended so far (all consumers) to stable
+// storage.
+func (s *SharedWAL) Sync() error { return s.inner.Sync() }
+
+// Compact snapshots the shared log from the shadow state, regardless
+// of the append-count trigger.
+func (s *SharedWAL) Compact() error { return s.compactNow() }
+
+// Close waits out any background compaction and closes the underlying
+// WAL. Stores layered over handles must be closed first (their Close
+// syncs via the handle); the SharedWAL owns the file.
+func (s *SharedWAL) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.compactWG.Wait()
+	return s.inner.Close()
+}
+
+// compactNow rotates the underlying log and snapshots the flattened
+// shadow. The capture runs inside the inner WAL's write callback —
+// i.e. after segment rotation — and takes s.mu, so every record
+// appended before the capture is in the snapshot and every record
+// appended after it lands in the new segment: nothing can fall
+// between.
+func (s *SharedWAL) compactNow() error {
+	err := s.inner.Compact(func(emit func(key string, value []byte) error) error {
+		type kv struct {
+			k string
+			v []byte
+		}
+		s.mu.Lock()
+		flat := make([]kv, 0, 256)
+		for name, m := range s.shadow {
+			for k, v := range m {
+				flat = append(flat, kv{name + sharedKeySep + k, v})
+			}
+		}
+		s.mu.Unlock()
+		for _, p := range flat {
+			if err := emit(p.k, p.v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		s.appendsSinceCompact.Store(0)
+	}
+	return err
+}
+
+// maybeCompact triggers a background compaction when the shared append
+// count crosses the threshold.
+func (s *SharedWAL) maybeCompact() {
+	if s.compactEvery < 0 || s.appendsSinceCompact.Load() < s.compactEvery {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu.Lock()
+	closed := s.closed
+	if !closed {
+		s.compactWG.Add(1)
+	}
+	s.mu.Unlock()
+	if closed {
+		s.compacting.Store(false)
+		return
+	}
+	go func() {
+		defer s.compactWG.Done()
+		defer s.compacting.Store(false)
+		_ = s.compactNow() // failures are sticky in the inner WAL
+	}()
+}
+
+// SharedHandle is one consumer's view of a SharedWAL. It implements
+// Backend: appends are prefixed into the shared log, replay streams
+// this consumer's live state from the shadow.
+type SharedHandle struct {
+	shared  *SharedWAL
+	name    string
+	appends atomic.Int64
+}
+
+var _ Backend = (*SharedHandle)(nil)
+var _ StatsProvider = (*SharedHandle)(nil)
+
+// Replay implements Backend: stream this consumer's live keys (all
+// OpPut — the shadow is the post-delete state, which replays to the
+// same map the raw log would).
+func (h *SharedHandle) Replay(apply func(op Op, key string, value []byte) error) error {
+	s := h.shared
+	s.mu.Lock()
+	type kv struct {
+		k string
+		v []byte
+	}
+	snap := make([]kv, 0, len(s.shadow[h.name]))
+	for k, v := range s.shadow[h.name] {
+		snap = append(snap, kv{k, append([]byte(nil), v...)})
+	}
+	s.mu.Unlock()
+	for _, p := range snap {
+		if err := apply(OpPut, p.k, p.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append implements Backend: write the prefixed record to the shared
+// log and mirror it into the shadow. The two updates happen under one
+// critical section so the shadow (and therefore every future snapshot
+// and replay) is exactly the state the log acknowledges.
+func (h *SharedHandle) Append(op Op, key string, value []byte) error {
+	s := h.shared
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrWALClosed
+	}
+	if err := s.inner.Append(op, h.name+sharedKeySep+key, value); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	switch op {
+	case OpPut:
+		m := s.shadow[h.name]
+		if m == nil {
+			m = make(map[string][]byte)
+			s.shadow[h.name] = m
+		}
+		m[key] = append([]byte(nil), value...)
+	case OpDelete:
+		delete(s.shadow[h.name], key)
+	}
+	s.mu.Unlock()
+	h.appends.Add(1)
+	s.appendsSinceCompact.Add(1)
+	s.maybeCompact()
+	return nil
+}
+
+// Compact implements Backend. The emitted state is authoritative for
+// this consumer: it replaces the consumer's shadow before the shared
+// snapshot is cut (a store may have evicted or expired entries it
+// never logged — see NewPersistent). Other consumers' streams are
+// compacted from their shadows as-is.
+func (h *SharedHandle) Compact(write func(emit func(key string, value []byte) error) error) error {
+	fresh := make(map[string][]byte)
+	if err := write(func(key string, value []byte) error {
+		fresh[key] = append([]byte(nil), value...)
+		return nil
+	}); err != nil {
+		return err
+	}
+	s := h.shared
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrWALClosed
+	}
+	s.shadow[h.name] = fresh
+	s.mu.Unlock()
+	return s.compactNow()
+}
+
+// Sync implements Backend: one fsync covers every consumer's pending
+// records — that is the group commit.
+func (h *SharedHandle) Sync() error { return h.shared.inner.Sync() }
+
+// Close implements Backend. Handles do not own the shared file; Close
+// syncs this consumer's pending records and detaches. The SharedWAL's
+// own Close (called after all stores are closed) closes the file, so a
+// handle closed after the SharedWAL tolerates ErrWALClosed.
+func (h *SharedHandle) Close() error {
+	if err := h.shared.inner.Sync(); err != nil && !errors.Is(err, ErrWALClosed) {
+		return err
+	}
+	return nil
+}
+
+// Stats implements StatsProvider: this consumer's append count paired
+// with the shared fsync counters (every consumer's records ride the
+// same fsyncs — that is what the mean batch size measures).
+func (h *SharedHandle) Stats() WALStats {
+	inner := h.shared.inner.Stats()
+	return WALStats{
+		Appends:       h.appends.Load(),
+		Syncs:         inner.Syncs,
+		SyncedRecords: inner.SyncedRecords,
+	}
+}

@@ -1,0 +1,239 @@
+package shardstore
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func stringCodec() Codec[string] {
+	return Codec[string]{
+		Encode: func(s string) ([]byte, error) { return []byte(s), nil },
+		Decode: func(b []byte) (string, error) { return string(b), nil },
+	}
+}
+
+// openSharedStores builds two stores over one SharedWAL, the node
+// shape (journal + ledger sharing one fsync stream).
+func openSharedStores(t *testing.T, dir string) (*SharedWAL, *Store[string], *Store[string]) {
+	t.Helper()
+	sw, err := OpenSharedWAL(dir, SharedWALConfig{WAL: WALConfig{FlushInterval: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	openOne := func(name string) *Store[string] {
+		h, err := sw.Handle(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewPersistent(Config[string]{}, PersistConfig[string]{
+			Backend:      h,
+			Codec:        stringCodec(),
+			CompactEvery: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	return sw, openOne("journal"), openOne("ledger")
+}
+
+func TestSharedWALMultiConsumerRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+
+	sw, journal, ledger := openSharedStores(t, dir)
+	journal.Put("a1", "queued")
+	journal.Put("a2", "running")
+	ledger.Put("host-1", "0.5")
+	journal.Put("a1", "completed")
+	journal.Delete("a2")
+	ledger.Put("host-2", "0.9")
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: each consumer replays only its own stream.
+	sw2, journal2, ledger2 := openSharedStores(t, dir)
+	defer func() {
+		_ = journal2.Close()
+		_ = ledger2.Close()
+		_ = sw2.Close()
+	}()
+	if v, ok := journal2.Get("a1"); !ok || v != "completed" {
+		t.Fatalf("journal a1 = %q, %v; want completed", v, ok)
+	}
+	if _, ok := journal2.Get("a2"); ok {
+		t.Fatal("journal a2 survived delete")
+	}
+	if journal2.Len() != 1 {
+		t.Fatalf("journal len %d, want 1", journal2.Len())
+	}
+	if v, ok := ledger2.Get("host-2"); !ok || v != "0.9" {
+		t.Fatalf("ledger host-2 = %q, %v", v, ok)
+	}
+	if ledger2.Len() != 2 {
+		t.Fatalf("ledger len %d, want 2", ledger2.Len())
+	}
+	// Cross-consumer isolation: the journal never sees ledger keys.
+	if _, ok := journal2.Get("host-1"); ok {
+		t.Fatal("journal leaked a ledger key")
+	}
+}
+
+func TestSharedWALCompactionSurvivesRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	sw, journal, ledger := openSharedStores(t, dir)
+	for i := 0; i < 50; i++ {
+		journal.Put("j", "v")
+		ledger.Put("l", "w")
+	}
+	journal.Delete("j")
+	if err := sw.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Appends after the compaction land in the fresh segment.
+	ledger.Put("post", "compact")
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sw2, journal2, ledger2 := openSharedStores(t, dir)
+	defer func() {
+		_ = journal2.Close()
+		_ = ledger2.Close()
+		_ = sw2.Close()
+	}()
+	if journal2.Len() != 0 {
+		t.Fatalf("journal len %d after delete+compact, want 0", journal2.Len())
+	}
+	if v, ok := ledger2.Get("post"); !ok || v != "compact" {
+		t.Fatalf("post-compaction append lost: %q, %v", v, ok)
+	}
+	if v, ok := ledger2.Get("l"); !ok || v != "w" {
+		t.Fatalf("snapshotted key lost: %q, %v", v, ok)
+	}
+}
+
+func TestSharedWALAutoCompact(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	sw, err := OpenSharedWAL(dir, SharedWALConfig{
+		WAL:          WALConfig{FlushInterval: -1},
+		CompactEvery: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sw.Handle("journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := h.Append(OpPut, "k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The auto-compaction rotated segments; replay still yields the
+	// live state.
+	sw2, err := OpenSharedWAL(dir, SharedWALConfig{WAL: WALConfig{FlushInterval: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw2.Close()
+	h2, err := sw2.Handle("journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err = h2.Replay(func(op Op, key string, value []byte) error {
+		n++
+		if key != "k" || string(value) != "v" {
+			t.Fatalf("replayed %q=%q", key, value)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records, want 1", n)
+	}
+}
+
+func TestSharedWALHandleClaims(t *testing.T) {
+	sw, err := OpenSharedWAL(filepath.Join(t.TempDir(), "wal"), SharedWALConfig{WAL: WALConfig{FlushInterval: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	if _, err := sw.Handle("journal"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Handle("journal"); err == nil {
+		t.Fatal("double claim allowed")
+	}
+	if _, err := sw.Handle(""); err == nil {
+		t.Fatal("empty consumer name allowed")
+	}
+	if _, err := sw.Handle("a\x1fb"); err == nil {
+		t.Fatal("separator in consumer name allowed")
+	}
+}
+
+func TestSharedWALStats(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	sw, journal, ledger := openSharedStores(t, dir)
+	for i := 0; i < 10; i++ {
+		journal.Put("j", "v")
+	}
+	ledger.Put("l", "w")
+	if err := sw.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	js, ok := journal.BackendStats()
+	if !ok {
+		t.Fatal("journal backend has no stats")
+	}
+	if js.Appends != 10 {
+		t.Fatalf("journal appends %d, want 10", js.Appends)
+	}
+	ls, _ := ledger.BackendStats()
+	if ls.Appends != 1 {
+		t.Fatalf("ledger appends %d, want 1", ls.Appends)
+	}
+	total := sw.Stats()
+	if total.Appends != 11 {
+		t.Fatalf("shared appends %d, want 11", total.Appends)
+	}
+	if total.Syncs == 0 || total.SyncedRecords != 11 {
+		t.Fatalf("shared syncs %d / synced records %d, want >0 / 11", total.Syncs, total.SyncedRecords)
+	}
+	if total.MeanBatch() <= 0 {
+		t.Fatalf("mean batch %v, want > 0", total.MeanBatch())
+	}
+	_ = journal.Close()
+	_ = ledger.Close()
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Appends after close fail cleanly.
+	h, err := sw.Handle("late")
+	if h != nil || !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("Handle after close: %v, %v", h, err)
+	}
+}

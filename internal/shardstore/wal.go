@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/canon"
@@ -108,6 +109,48 @@ type WAL struct {
 	// batch fills; Append never fsyncs inline while a flusher runs, so
 	// callers holding a shard lock pay a buffered write, not disk I/O.
 	kick chan struct{}
+
+	// Lifetime counters (see Stats). Atomics so Stats never contends
+	// with the append or sync paths.
+	statAppends    atomic.Int64
+	statSyncs      atomic.Int64
+	statSyncedRecs atomic.Int64
+}
+
+// WALStats are lifetime counters for one WAL: how many records were
+// appended, how many fsyncs the active segment paid, and how many
+// records those fsyncs covered. SyncedRecords/Syncs is the mean group
+// size per fsync — the number that makes fsync amortization observable
+// instead of inferred.
+type WALStats struct {
+	Appends       int64 `json:"appends"`
+	Syncs         int64 `json:"syncs"`
+	SyncedRecords int64 `json:"synced_records"`
+}
+
+// MeanBatch is the mean number of records made durable per fsync.
+func (s WALStats) MeanBatch() float64 {
+	if s.Syncs == 0 {
+		return 0
+	}
+	return float64(s.SyncedRecords) / float64(s.Syncs)
+}
+
+// Add accumulates other into s (for summing stats across a fleet).
+func (s *WALStats) Add(other WALStats) {
+	s.Appends += other.Appends
+	s.Syncs += other.Syncs
+	s.SyncedRecords += other.SyncedRecords
+}
+
+// Stats returns the WAL's lifetime counters. Safe to call concurrently
+// with appends and after Close.
+func (w *WAL) Stats() WALStats {
+	return WALStats{
+		Appends:       w.statAppends.Load(),
+		Syncs:         w.statSyncs.Load(),
+		SyncedRecords: w.statSyncedRecs.Load(),
+	}
 }
 
 var _ Backend = (*WAL)(nil)
@@ -400,6 +443,7 @@ func (w *WAL) Append(op Op, key string, value []byte) error {
 	w.pending++
 	needSync := w.pending >= w.cfg.SyncEvery
 	w.mu.Unlock()
+	w.statAppends.Add(1)
 	if !needSync {
 		return nil
 	}
@@ -458,6 +502,8 @@ func (w *WAL) syncHoldingSyncMu() error {
 		w.mu.Unlock()
 		return err
 	}
+	w.statSyncs.Add(1)
+	w.statSyncedRecs.Add(int64(flushed))
 	w.mu.Lock()
 	if w.pending -= flushed; w.pending < 0 {
 		w.pending = 0
@@ -526,6 +572,8 @@ func (w *WAL) Compact(write func(emit func(key string, value []byte) error) erro
 		w.syncMu.Unlock()
 		return fmt.Errorf("shardstore: wal rotate: %w", err)
 	}
+	w.statSyncs.Add(1)
+	w.statSyncedRecs.Add(int64(w.pending))
 	if err := w.f.Close(); err != nil {
 		w.mu.Unlock()
 		w.syncMu.Unlock()
@@ -640,5 +688,7 @@ func (w *WAL) Close() error {
 		_ = w.f.Close()
 		return fmt.Errorf("shardstore: wal close: %w", err)
 	}
+	w.statSyncs.Add(1)
+	w.statSyncedRecs.Add(int64(w.pending))
 	return w.f.Close()
 }

@@ -1,0 +1,128 @@
+package sigcrypto
+
+import (
+	"crypto/ed25519"
+	"runtime"
+	"sync"
+
+	"repro/internal/canon"
+)
+
+// Batch verification. The hot verify paths (gossip baggage, exchange
+// deltas, travelling verdict vouchers, replication votes) arrive as
+// bundles of independent signatures; verifying them one Registry.Verify
+// at a time pays a registry lock, an error allocation, and a scheduling
+// point per entry. VerifyBatch amortizes all three: one key resolution
+// under one read lock, one tight verification loop (fanned out across
+// GOMAXPROCS goroutines for large batches on multicore hosts), and a
+// nil result for the common all-valid case.
+//
+// Go's crypto/ed25519 has no mathematical batch verifier, so a batch
+// here is a grouped scalar pass, not an aggregated equation — which is
+// exactly what keeps the semantics simple: when any entry fails, the
+// failures are re-verified through the scalar Verify path, so the
+// per-entry verdicts (including error text) are byte-identical to
+// calling Verify in a loop. Attribution is never weakened by batching;
+// the property test in batch_test.go holds this line.
+
+// BatchEntry is one (message, signature) pair in a batch verification.
+type BatchEntry struct {
+	Msg []byte
+	Sig Signature
+}
+
+// DigestEntry builds the batch entry matching a signature produced by
+// SignDigest, so digest-signed bundles (gossip extracts, verdicts) can
+// be batch-verified with the same framing VerifyDigest checks.
+func DigestEntry(d canon.Digest, sig Signature) BatchEntry {
+	return BatchEntry{Msg: digestMessage(d), Sig: sig}
+}
+
+// batchParallelMin is the batch size below which fan-out is not worth
+// the goroutine handoffs; batchChunk is the minimum entries per worker.
+const (
+	batchParallelMin = 16
+	batchChunk       = 4
+)
+
+// VerifyBatch checks every entry. It returns nil when all signatures
+// verify (the fast path: no per-entry error slice is allocated), and
+// otherwise a slice with one slot per entry — nil for entries that
+// verified, and for each failure the exact error the scalar Verify
+// would have returned (ErrUnknownSigner / ErrBadSignature, same text).
+func (r *Registry) VerifyBatch(entries []BatchEntry) []error {
+	if len(entries) == 0 {
+		return nil
+	}
+	// Resolve every signer under a single read lock. A nil key marks an
+	// unknown signer; the fallback pass attributes it.
+	keys := make([]ed25519.PublicKey, len(entries))
+	r.mu.RLock()
+	for i := range entries {
+		keys[i] = r.keys[entries[i].Sig.Signer]
+	}
+	r.mu.RUnlock()
+
+	ok := make([]bool, len(entries))
+	verify := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ok[i] = keys[i] != nil && ed25519.Verify(keys[i], entries[i].Msg, entries[i].Sig.Sig)
+		}
+	}
+	if workers := batchWorkers(len(entries)); workers > 1 {
+		var wg sync.WaitGroup
+		step := (len(entries) + workers - 1) / workers
+		for lo := 0; lo < len(entries); lo += step {
+			hi := lo + step
+			if hi > len(entries) {
+				hi = len(entries)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				verify(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		verify(0, len(entries))
+	}
+
+	allOK := true
+	for _, v := range ok {
+		if !v {
+			allOK = false
+			break
+		}
+	}
+	if allOK {
+		return nil
+	}
+	// Batch failure: fall back to the scalar path for every failed
+	// entry, so attribution (which signer, unknown vs invalid, error
+	// text) is exactly what non-batched verification reports.
+	errs := make([]error, len(entries))
+	for i := range entries {
+		if !ok[i] {
+			errs[i] = r.Verify(entries[i].Msg, entries[i].Sig)
+		}
+	}
+	return errs
+}
+
+// batchWorkers sizes the fan-out: at least batchChunk entries per
+// worker, never more workers than processors, and 1 (serial) for small
+// batches or single-processor hosts.
+func batchWorkers(n int) int {
+	if n < batchParallelMin {
+		return 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if max := n / batchChunk; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}

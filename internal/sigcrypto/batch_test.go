@@ -1,0 +1,168 @@
+package sigcrypto
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/canon"
+)
+
+// batchFixture builds a registry with registered and unregistered
+// signers plus a message generator.
+type batchFixture struct {
+	reg        *Registry
+	registered []*KeyPair
+	stranger   *KeyPair // valid key pair, never registered
+}
+
+func newBatchFixture(t testing.TB, signers int) *batchFixture {
+	t.Helper()
+	f := &batchFixture{reg: NewRegistry()}
+	for i := 0; i < signers; i++ {
+		kp, err := GenerateKeyPair(fmt.Sprintf("signer-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.reg.RegisterKeyPair(kp); err != nil {
+			t.Fatal(err)
+		}
+		f.registered = append(f.registered, kp)
+	}
+	stranger, err := GenerateKeyPair("stranger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.stranger = stranger
+	return f
+}
+
+// mixedBatch builds a batch with a deterministic mix of validity
+// classes: valid, bad signature bytes, signature over a different
+// message, and unknown signer.
+func (f *batchFixture) mixedBatch(rng *rand.Rand, n int) []BatchEntry {
+	entries := make([]BatchEntry, n)
+	for i := range entries {
+		msg := []byte(fmt.Sprintf("message-%d-%d", i, rng.Int63()))
+		kp := f.registered[rng.Intn(len(f.registered))]
+		switch rng.Intn(4) {
+		case 0: // valid
+			entries[i] = BatchEntry{Msg: msg, Sig: kp.Sign(msg)}
+		case 1: // corrupted signature bytes
+			sig := kp.Sign(msg)
+			sig.Sig[rng.Intn(len(sig.Sig))] ^= 0x40
+			entries[i] = BatchEntry{Msg: msg, Sig: sig}
+		case 2: // signature over a different message
+			entries[i] = BatchEntry{Msg: msg, Sig: kp.Sign([]byte("other"))}
+		default: // unknown signer
+			entries[i] = BatchEntry{Msg: msg, Sig: f.stranger.Sign(msg)}
+		}
+	}
+	return entries
+}
+
+// TestVerifyBatchMatchesScalar is the attribution property: for any
+// mixed-validity batch, VerifyBatch's per-entry verdicts are
+// byte-identical to calling scalar Verify per entry — same nil-ness,
+// same sentinel (errors.Is), same error text.
+func TestVerifyBatchMatchesScalar(t *testing.T) {
+	f := newBatchFixture(t, 4)
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 20; round++ {
+		n := 1 + rng.Intn(40)
+		entries := f.mixedBatch(rng, n)
+		got := f.reg.VerifyBatch(entries)
+		anyFail := false
+		for i, e := range entries {
+			want := f.reg.Verify(e.Msg, e.Sig)
+			var gotErr error
+			if got != nil {
+				gotErr = got[i]
+			}
+			if (want == nil) != (gotErr == nil) {
+				t.Fatalf("round %d entry %d: batch err %v, scalar err %v", round, i, gotErr, want)
+			}
+			if want == nil {
+				continue
+			}
+			anyFail = true
+			if gotErr.Error() != want.Error() {
+				t.Fatalf("round %d entry %d: batch error %q, scalar error %q", round, i, gotErr, want)
+			}
+			if errors.Is(want, ErrUnknownSigner) != errors.Is(gotErr, ErrUnknownSigner) ||
+				errors.Is(want, ErrBadSignature) != errors.Is(gotErr, ErrBadSignature) {
+				t.Fatalf("round %d entry %d: sentinel mismatch: batch %v, scalar %v", round, i, gotErr, want)
+			}
+		}
+		if !anyFail && got != nil {
+			t.Fatalf("round %d: all entries valid but VerifyBatch returned a non-nil slice", round)
+		}
+	}
+}
+
+// TestVerifyBatchAllValid pins the fast path: an all-valid batch
+// returns nil (no per-entry slice allocated).
+func TestVerifyBatchAllValid(t *testing.T) {
+	f := newBatchFixture(t, 2)
+	var entries []BatchEntry
+	for i := 0; i < 33; i++ { // crosses the parallel threshold
+		msg := []byte(fmt.Sprintf("m%d", i))
+		entries = append(entries, BatchEntry{Msg: msg, Sig: f.registered[i%2].Sign(msg)})
+	}
+	if errs := f.reg.VerifyBatch(entries); errs != nil {
+		t.Fatalf("all-valid batch returned %v", errs)
+	}
+	if errs := f.reg.VerifyBatch(nil); errs != nil {
+		t.Fatalf("empty batch returned %v", errs)
+	}
+}
+
+// TestDigestEntryMatchesVerifyDigest pins the digest framing: a batch
+// entry built with DigestEntry verifies exactly when VerifyDigest does.
+func TestDigestEntryMatchesVerifyDigest(t *testing.T) {
+	f := newBatchFixture(t, 1)
+	kp := f.registered[0]
+	d := canon.HashBytes([]byte("payload"))
+	sig := kp.SignDigest(d)
+	if err := f.reg.VerifyDigest(d, sig); err != nil {
+		t.Fatal(err)
+	}
+	if errs := f.reg.VerifyBatch([]BatchEntry{DigestEntry(d, sig)}); errs != nil {
+		t.Fatalf("digest entry failed batch verification: %v", errs)
+	}
+	wrong := canon.HashBytes([]byte("other"))
+	errs := f.reg.VerifyBatch([]BatchEntry{DigestEntry(wrong, sig)})
+	if errs == nil || errs[0] == nil || !errors.Is(errs[0], ErrBadSignature) {
+		t.Fatalf("tampered digest entry verified: %v", errs)
+	}
+}
+
+// BenchmarkVerifyBatch compares the batch path against a scalar loop
+// over the same all-valid 64-entry bundle (the gossip-merge shape).
+func BenchmarkVerifyBatch(b *testing.B) {
+	f := newBatchFixture(b, 8)
+	var entries []BatchEntry
+	for i := 0; i < 64; i++ {
+		msg := []byte(fmt.Sprintf("bench-message-%d", i))
+		entries = append(entries, BatchEntry{Msg: msg, Sig: f.registered[i%8].Sign(msg)})
+	}
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, e := range entries {
+				if err := f.reg.Verify(e.Msg, e.Sig); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if errs := f.reg.VerifyBatch(entries); errs != nil {
+				b.Fatal(errs)
+			}
+		}
+	})
+}

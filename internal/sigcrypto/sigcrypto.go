@@ -70,7 +70,13 @@ func (k *KeyPair) Sign(msg []byte) Signature {
 // SignDigest signs a canonical digest, framing it so digest signatures
 // can never be confused with raw message signatures.
 func (k *KeyPair) SignDigest(d canon.Digest) Signature {
-	return k.Sign(canon.Tuple([]byte("digest"), d[:]))
+	return k.Sign(digestMessage(d))
+}
+
+// digestMessage is the framed message SignDigest covers and
+// VerifyDigest (and batch digest entries) check.
+func digestMessage(d canon.Digest) []byte {
+	return canon.Tuple([]byte("digest"), d[:])
 }
 
 // Signature is a detached signature attributable to a principal.
@@ -156,7 +162,7 @@ func (r *Registry) Verify(msg []byte, sig Signature) error {
 
 // VerifyDigest checks a signature produced by SignDigest.
 func (r *Registry) VerifyDigest(d canon.Digest, sig Signature) error {
-	return r.Verify(canon.Tuple([]byte("digest"), d[:]), sig)
+	return r.Verify(digestMessage(d), sig)
 }
 
 // Envelope binds a payload to one or more principals' signatures. The
