@@ -12,6 +12,7 @@
 //	agentctl status -peers ...
 //	agentctl metrics -peers ...
 //	agentctl metrics -peers ... -prom   # Prometheus text exposition
+//	agentctl plan -peers ...
 //	agentctl watch -peers ...
 //	agentctl flight -peers ... <node>
 //
@@ -36,6 +37,12 @@
 // sizes, and sticky persistence degradation (first/last WAL failure) —
 // and exits non-zero when any node is degraded, so it slots into
 // monitoring. See docs/OPERATIONS.md.
+//
+// "plan" prints every node's admission posture — the policy consulted
+// on intake, its refusal threshold, and the admission/intake refusal
+// counters — plus, on nodes where a planner registered its view, the
+// per-host routing table (suspicion, latency EWMA, overload pressure,
+// picks, bans). See DESIGN.md §9.
 //
 // The observability plane (see DESIGN.md §8): "metrics" prints every
 // node's event-derived counters, gauges, and histograms plus the
@@ -92,13 +99,70 @@ func run() error {
 		return runStatus(args)
 	case "metrics":
 		return runMetrics(args)
+	case "plan":
+		return runPlan(args)
 	case "watch":
 		return runWatch(args)
 	case "flight":
 		return runFlight(args)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want launch|reputation|quarantine|evidence|status|metrics|watch|flight)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want launch|reputation|quarantine|evidence|status|metrics|plan|watch|flight)", cmd)
 	}
+}
+
+// runPlan serves `agentctl plan`: every node's admission posture (the
+// policy consulted on intake, its refusal threshold, and the refusal
+// counters) via the node/plan built-in, plus — on nodes where a
+// planner registered its view — the per-host routing table: suspicion,
+// observed latency, decayed overload pressure, picks, and bans.
+func runPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	peers := fs.String("peers", "", "address book: name=host:port,...")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-call deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	book, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	net := transport.NewTCPNetwork(book)
+	defer net.Close()
+
+	for _, peer := range sortedNames(book) {
+		body, err := callPeer(net, peer, "plan", core.PlanCallBody(), *timeout)
+		if err != nil {
+			fmt.Printf("%s: unreachable: %v\n", peer, err)
+			continue
+		}
+		r, err := core.DecodePlanReply(body)
+		if err != nil {
+			return err
+		}
+		admission := "admission=off"
+		if r.AdmissionEnabled {
+			admission = fmt.Sprintf("admission=%s threshold=%.2f", r.AdmissionPolicy, r.AdmissionThreshold)
+		}
+		fmt.Printf("%s: %s refuse-when-full=%v refused=%d intake-refused=%d\n",
+			peer, admission, r.RefuseWhenFull, r.AdmissionRefused, r.IntakeRefused)
+		if !r.PlannerEnabled {
+			continue
+		}
+		if len(r.PlannerHosts) == 0 {
+			fmt.Println("  planner attached, no hosts observed yet")
+			continue
+		}
+		fmt.Printf("  %-12s %9s %12s %10s %6s %s\n", "host", "suspicion", "latency_ms", "overloads", "picks", "banned")
+		for _, h := range r.PlannerHosts {
+			banned := ""
+			if h.Banned {
+				banned = "BANNED"
+			}
+			fmt.Printf("  %-12s %9.3f %12.2f %10.3f %6d %s\n",
+				h.Host, h.Suspicion, h.LatencyEWMAMS, h.Overloads, h.Picks, banned)
+		}
+	}
+	return nil
 }
 
 // runStatus serves `agentctl status`: every node's durability posture

@@ -28,6 +28,15 @@
 // -exchange-peers narrows the partner set and -exchange-budget bounds
 // the extracts traded per round; `agentctl reputation` shows each
 // node's exchange counters.
+//
+// With -level adaptive, -admission-threshold enables ledger-backed
+// admission control: a delivery from a host whose local suspicion sits
+// at or above the threshold is refused before it enters the intake
+// queue — the sender sees the refusal and can route around this host.
+// -refuse-when-full (any level) turns a full intake queue into an
+// immediate, attributable refusal instead of sender backpressure.
+// `agentctl plan` shows each node's admission posture, refusal
+// counters, and (for planner-running homes) routing view.
 package main
 
 import (
@@ -73,6 +82,8 @@ func run() error {
 	exchangeInterval := flag.Duration("exchange-interval", 0, "anti-entropy reputation exchange round interval (0 = disabled; requires -level adaptive)")
 	exchangePeers := flag.String("exchange-peers", "", "exchange partner hosts, comma-separated (empty = every -peers entry except this host)")
 	exchangeBudget := flag.Int("exchange-budget", 0, "ledger extracts traded per exchange round (0 = platform default)")
+	admissionThreshold := flag.Float64("admission-threshold", 0, "refuse deliveries from hosts at/above this ledger suspicion (0 = admission control off; requires -level adaptive)")
+	refuseWhenFull := flag.Bool("refuse-when-full", false, "fast-fail deliveries when the intake queue is full instead of blocking the sender")
 	flag.Parse()
 
 	if *name == "" {
@@ -85,6 +96,15 @@ func run() error {
 	lvl, err := protection.ParseLevel(*level)
 	if err != nil {
 		return err
+	}
+	// Same refusal idiom as the exchange flags: an operator who set an
+	// admission threshold expected deliveries to be refused, and only
+	// the adaptive stack carries the ledger that admission reads.
+	if *admissionThreshold > 0 && lvl != protection.LevelAdaptive {
+		return fmt.Errorf("-admission-threshold requires -level adaptive (the ledger admission reads)")
+	}
+	if *admissionThreshold < 0 {
+		return fmt.Errorf("-admission-threshold must be >= 0")
 	}
 
 	keys, err := sigcrypto.GenerateKeyPair(*name)
@@ -158,8 +178,9 @@ func run() error {
 	// once the node is up.
 	var nodeRef atomic.Pointer[core.Node]
 	stack, err := protection.Assemble(lvl, protection.Options{
-		DataDir: nodeDir,
-		Events:  pipe.Bus,
+		DataDir:            nodeDir,
+		Events:             pipe.Bus,
+		AdmissionThreshold: *admissionThreshold,
 		OnPersistError: func(err error) {
 			fmt.Fprintf(os.Stderr, "agenthost %s: persistence degraded: %v\n", *name, err)
 			if n := nodeRef.Load(); n != nil {
@@ -199,14 +220,16 @@ func run() error {
 		fmt.Printf("agenthost %s: anti-entropy exchange every %s with %d peers\n", *name, *exchangeInterval, len(peersList))
 	}
 	node, err := core.NewNode(core.NodeConfig{
-		Host:       h,
-		Net:        net,
-		Mechanisms: stack.Mechanisms,
-		Policy:     stack.Policy,
-		Exchange:   exchange,
-		Events:     pipe,
-		DataDir:    nodeDir,
-		JournalTTL: *journalTTL,
+		Host:           h,
+		Net:            net,
+		Mechanisms:     stack.Mechanisms,
+		Policy:         stack.Policy,
+		Admission:      stack.Admission,
+		RefuseWhenFull: *refuseWhenFull,
+		Exchange:       exchange,
+		Events:         pipe,
+		DataDir:        nodeDir,
+		JournalTTL:     *journalTTL,
 		OnPersistError: func(err error) {
 			fmt.Fprintf(os.Stderr, "agenthost %s: persistence degraded: %v\n", *name, err)
 		},
@@ -250,7 +273,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("agenthost %s: serving on %s (trusted=%v, level=%s)\n", *name, srv.Addr(), *trusted, lvl)
+	posture := ""
+	if *admissionThreshold > 0 {
+		posture = fmt.Sprintf(", admission>=%.2f", *admissionThreshold)
+	}
+	if *refuseWhenFull {
+		posture += ", refuse-when-full"
+	}
+	fmt.Printf("agenthost %s: serving on %s (trusted=%v, level=%s%s)\n", *name, srv.Addr(), *trusted, lvl, posture)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -173,10 +173,13 @@ func run() error {
 }
 
 // scaleFile is the BENCH_scale.json layout: the in-run A/B of the
-// batching layers at fleet scale.
+// batching layers at fleet scale, plus the routing A/B (fixed
+// pre-drawn routes vs reputation-aware planner routing with admission
+// control) on the same staged fleet.
 type scaleFile struct {
 	GeneratedAt string `json:"generated_at"`
 	scale.ABResult
+	Routing *scale.PlannerABResult `json:"routing,omitempty"`
 }
 
 // runScale executes the fleet-scale A/B and writes the measurement
@@ -198,7 +201,20 @@ func runScale(outPath string, cfg scale.Config) error {
 	if err != nil {
 		return err
 	}
-	out := scaleFile{GeneratedAt: time.Now().UTC().Format(time.RFC3339), ABResult: ab}
+	// The routing A/B runs the same fleet shape memory-only: the gate it
+	// pins is detection parity under planner routing and admission
+	// control, not WAL behaviour, and the batching halves above already
+	// cover the durable path.
+	rcfg := cfg
+	rcfg.Durable = false
+	rcfg.DataDir = ""
+	fmt.Fprintf(os.Stderr, "running routing A/B: %d nodes, %d itineraries (fixed then planner)...\n",
+		rcfg.Nodes, rcfg.Itineraries)
+	rab, err := scale.RunPlannerAB(rcfg)
+	if err != nil {
+		return err
+	}
+	out := scaleFile{GeneratedAt: time.Now().UTC().Format(time.RFC3339), ABResult: ab, Routing: &rab}
 	enc, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -216,6 +232,15 @@ func runScale(outPath string, cfg scale.Config) error {
 		ab.Unbatched.TamperedSessions, ab.Batched.TamperedSessions,
 		ab.Unbatched.DetectedTampered, ab.Batched.DetectedTampered,
 		ab.Unbatched.HonestQuarantined, ab.Batched.HonestQuarantined)
+	fmt.Printf("  fixed:     %8.1f itin/s  p50 %7.1fms  p99 %7.1fms  tampered %d detected %d\n",
+		rab.Fixed.ItinerariesPerSec, rab.Fixed.P50MS, rab.Fixed.P99MS,
+		rab.Fixed.TamperedSessions, rab.Fixed.DetectedTampered)
+	fmt.Printf("  planner:   %8.1f itin/s  p50 %7.1fms  p99 %7.1fms  refusals %d replans %d spillovers %d shed %d\n",
+		rab.Planner.ItinerariesPerSec, rab.Planner.P50MS, rab.Planner.P99MS,
+		rab.Planner.AdmissionRefused, rab.Planner.Replans, rab.Planner.Spillovers, rab.Planner.ShedItineraries)
+	fmt.Printf("  routing detection match %v (planner undetected %d, honest quarantines %d/%d)\n",
+		rab.DetectionMatch, rab.Planner.UndetectedTampered,
+		rab.Fixed.HonestQuarantined, rab.Planner.HonestQuarantined)
 	return nil
 }
 

@@ -152,6 +152,18 @@ type Config struct {
 	// zero selects the policy defaults.
 	QuarantineThreshold float64
 	EscalateThreshold   float64
+	// LedgerHalfLife overrides every member ledger's suspicion decay
+	// half-life (0 = the policy default). An evasion scenario treats
+	// this as the attack parameter: the shorter the fleet forgets, the
+	// longer an under-threshold adversary survives.
+	LedgerHalfLife time.Duration
+	// EvadeBelow, when positive, makes the adversary adaptive: on steps
+	// the playbook would have it cheat, it first reads the fleet's view
+	// of itself (the maximum suspicion any alive honest member holds
+	// about its current identity) and behaves honestly whenever that
+	// view has reached EvadeBelow — cheating only while it believes it
+	// flies under the admission/avoidance radar.
+	EvadeBelow float64
 }
 
 // member is one fleet host across its whole campaign life, surviving
@@ -468,6 +480,7 @@ func (r *runner) openMember(m *member) error {
 		AdaptiveGate: policy.GateConfig{
 			EscalateThreshold: r.cfg.EscalateThreshold,
 		},
+		LedgerHalfLife: r.cfg.LedgerHalfLife,
 	})
 	if err != nil {
 		_ = pipe.Close()
@@ -574,9 +587,17 @@ func (r *runner) loop() error {
 		if err := r.applyLifecycle(step); err != nil {
 			return err
 		}
-		// Playbook: flip the adversary's switch for this step.
+		// Playbook: flip the adversary's switch for this step. An
+		// adaptive adversary (EvadeBelow) holds back whenever the fleet's
+		// worst opinion of it has reached the evasion ceiling — it waits
+		// for the ledger's half-life to forget before cheating again.
 		if r.adv.behavior != nil {
-			r.adv.behavior.setCheat(r.cfg.Playbook.cheating(step))
+			cheat := r.cfg.Playbook.cheating(step)
+			if cheat && r.cfg.EvadeBelow > 0 && r.fleetSuspicion(r.adv.name) >= r.cfg.EvadeBelow {
+				cheat = false
+				r.score.EvasionHolds++
+			}
+			r.adv.behavior.setCheat(cheat)
 		}
 		// Launches, serial: one journey fully terminates before the
 		// next starts, keeping ledger observation order scenario-
@@ -836,6 +857,24 @@ func (r *runner) isAdversaryName(name string) bool {
 		}
 	}
 	return false
+}
+
+// fleetSuspicion reads the fleet's worst opinion of a host: the
+// maximum suspicion any alive honest member's ledger holds about it.
+// This is exactly the signal an adaptive adversary can estimate from
+// the outside (refused intakes, vanished traffic), so the evasion
+// playbook keys off it.
+func (r *runner) fleetSuspicion(name string) float64 {
+	worst := 0.0
+	for _, m := range r.members {
+		if !m.alive || m.adversary {
+			continue
+		}
+		if s := m.stack.Ledger.Suspicion(name); s > worst {
+			worst = s
+		}
+	}
+	return worst
 }
 
 // sample latches fleet-wide convergence on the adversary's current

@@ -142,6 +142,37 @@ func TestCampaignLifecycleChurn(t *testing.T) {
 	}
 }
 
+// TestCampaignPlannerEvasion pins the adaptive adversary on a trimmed
+// scenario: it must actually hold back when its suspicion reaches the
+// evasion ceiling (the holds are the reputation loop's deterrence
+// value), the fleet must converge anyway — the escalation threshold
+// sits below the ceiling the adversary polices itself against — and
+// honest hosts come through clean.
+func TestCampaignPlannerEvasion(t *testing.T) {
+	cfg := ScenarioPlannerEvasion()
+	cfg.Name = "fast-evasion"
+	cfg.Steps = 18
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TamperedAgents == 0 {
+		t.Fatal("adaptive adversary never tampered; scenario is vacuous")
+	}
+	if s.EvasionHolds == 0 {
+		t.Error("adversary never held back — the fleet's view never reached its ceiling")
+	}
+	if !s.Converged {
+		t.Error("fleet never converged on the threshold-evading adversary")
+	}
+	if s.DetectionLatencySteps < 0 {
+		t.Error("detection latency never scored")
+	}
+	if s.HonestQuarantines != 0 || s.HonestFPRate != 0 {
+		t.Errorf("honest journeys quarantined: %d (rate %.4f)", s.HonestQuarantines, s.HonestFPRate)
+	}
+}
+
 // TestCampaignChaosCI is the full campaign smoke, gated behind
 // REPRO_CAMPAIGN=1 (CI runs it; see .github/workflows/ci.yml): every
 // canned scenario runs end to end, honest hosts come through every one
@@ -165,9 +196,17 @@ func TestCampaignChaosCI(t *testing.T) {
 			t.Errorf("%s: honest journeys quarantined: %d", cfg.Name, s.HonestQuarantines)
 		}
 		switch cfg.Name {
-		case "partition-heal", "restart-chaos", "flap":
+		case "partition-heal", "restart-chaos", "flap", "planner-evasion":
 			if !s.Converged {
 				t.Errorf("%s: fleet never converged on the adversary", cfg.Name)
+			}
+		}
+		if cfg.Name == "planner-evasion" {
+			if s.EvasionHolds == 0 {
+				t.Errorf("%s: adaptive adversary never held back — evasion pressure missing", cfg.Name)
+			}
+			if s.DetectionLatencySteps < 0 {
+				t.Errorf("%s: detection latency never scored", cfg.Name)
 			}
 		}
 		if cfg.Name == "restart-chaos" {

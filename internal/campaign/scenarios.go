@@ -1,6 +1,11 @@
 package campaign
 
-import "repro/internal/faultnet"
+import (
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/policy"
+)
 
 // Canned scenarios — the campaigns BENCH_campaign.json reports and CI
 // smokes. Each pressures a different seam of the protection stack;
@@ -109,6 +114,34 @@ func ScenarioRestartChaos() Config {
 	}
 }
 
+// ScenarioPlannerEvasion is the admission-threshold gamer: an adaptive
+// adversary that cheats only while it believes the fleet's worst
+// opinion of it sits below the admission/avoidance threshold (1.0),
+// and holds back — riding a deliberately shortened ledger half-life,
+// the attack parameter here — whenever it has crossed it. This is the
+// strongest adversary the planner's reputation-aware routing faces:
+// one that never presents an over-threshold face while tampering.
+// Expected: the escalation threshold (0.5) still sits below the
+// evasion ceiling, so detection converges anyway; the holds show up in
+// EvasionHolds; honest hosts stay clean.
+func ScenarioPlannerEvasion() Config {
+	return Config{
+		Name:              "planner-evasion",
+		Seed:              53,
+		Steps:             36,
+		StepDuration:      DefaultStepDuration,
+		Workers:           []string{"w1", "w2", "w3"},
+		Adversary:         "mallory",
+		AdversaryPosition: 1,
+		Playbook:          Playbook{CheatStart: 4},
+		EvadeBelow:        policy.DefaultAdmissionThreshold,
+		// Two virtual minutes instead of five: the adversary's best case,
+		// since its accumulated suspicion halves four times faster while
+		// it lies low.
+		LedgerHalfLife: 2 * time.Minute,
+	}
+}
+
 // Scenarios returns the full campaign suite in report order.
 func Scenarios() []Config {
 	return []Config{
@@ -116,5 +149,6 @@ func Scenarios() []Config {
 		ScenarioSybilChurn(),
 		ScenarioPartitionHeal(),
 		ScenarioRestartChaos(),
+		ScenarioPlannerEvasion(),
 	}
 }

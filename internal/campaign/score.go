@@ -45,6 +45,13 @@ type Score struct {
 	HonestFPRate       float64 `json:"honest_fp_rate"`
 	MaxHonestSuspicion float64 `json:"max_honest_suspicion"`
 
+	// EvasionHolds counts playbook cheat-steps an adaptive adversary
+	// (Config.EvadeBelow) skipped because the fleet's worst opinion of
+	// it had reached the evasion ceiling — each hold is a step of
+	// tampering the reputation loop deterred without quarantining
+	// anyone.
+	EvasionHolds int `json:"evasion_holds"`
+
 	// AdversaryIdentities counts the identities the adversary consumed
 	// (1 unless the playbook rotates Sybils); Restarts counts scheduled
 	// crash-restarts of fleet nodes.
@@ -98,8 +105,8 @@ func (s Score) Fingerprint() string {
 		s.TamperedAgents, s.DetectedTampered, s.Converged, s.DetectionLatencySteps)
 	fmt.Fprintf(&b, " honestq=%d fprate=%.6f maxhonest=%.6f",
 		s.HonestQuarantines, s.HonestFPRate, s.MaxHonestSuspicion)
-	fmt.Fprintf(&b, " identities=%d restarts=%d judged=%v nofree=%v",
-		s.AdversaryIdentities, s.Restarts, s.NoFreeResetJudged, s.NoFreeReset)
+	fmt.Fprintf(&b, " holds=%d identities=%d restarts=%d judged=%v nofree=%v",
+		s.EvasionHolds, s.AdversaryIdentities, s.Restarts, s.NoFreeResetJudged, s.NoFreeReset)
 	fmt.Fprintf(&b, " busverdicts=%d busfailed=%d busquarantines=%d buslatency=%d",
 		s.BusVerdictEvents, s.BusFailedVerdicts, s.BusQuarantineEvents, s.BusDetectionLatencySteps)
 	return b.String()

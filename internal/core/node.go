@@ -170,6 +170,21 @@ type NodeConfig struct {
 	// quarantines), or the permissive one when ContinueOnDetection is
 	// set. See internal/policy for the reputation-driven policies.
 	Policy VerdictPolicy
+	// Admission, when non-nil, is consulted on every delivery whose
+	// sender is known (the last entry of the agent's route): a Refuse
+	// decision rejects the delivery before it touches the journal or
+	// queue — no receipt, no verdict — and the sender sees
+	// ErrAdmissionRefused with the suspicion that caused it. Locally
+	// launched agents (empty route) are always admitted. Nil disables
+	// admission control (the seed behaviour). See policy.NewAdmission.
+	Admission AdmissionPolicy
+	// RefuseWhenFull makes intake fail fast when the striped worker
+	// queue is full, wrapping host.ErrMailboxFull, instead of blocking
+	// up to maxIntakeWait for space. Planner-routed fleets set it so a
+	// hotspot's backpressure becomes an immediate spillover signal the
+	// sender can route around; the default (false) keeps the blocking
+	// backpressure contract existing deployments rely on.
+	RefuseWhenFull bool
 	// OnOwnerNotice is invoked when the policy decides a verdict is
 	// worth reporting to the agent's owner (the paper's "notify the
 	// owner" consequence); may be nil. It may be called from multiple
@@ -256,6 +271,16 @@ type Node struct {
 	// the realized flush batch size, surfaced through node/metrics.
 	intakeFlushes      atomic.Int64
 	intakeFlushedItems atomic.Int64
+
+	// admissionRefused counts deliveries the AdmissionPolicy rejected;
+	// intakeRefused counts deliveries fast-failed by RefuseWhenFull.
+	// Both are served through node/plan and node/metrics.
+	admissionRefused atomic.Int64
+	intakeRefused    atomic.Int64
+
+	// planMu guards the planner report hook behind node/plan.
+	planMu       sync.Mutex
+	planReporter func() []PlannerHostStats
 
 	// healthMu guards the sticky persistence-failure record served by
 	// the node/health built-in: once a WAL append, compaction, or
@@ -587,6 +612,34 @@ func (n *Node) enqueue(ctx context.Context, ag *agent.Agent) (*Receipt, error) {
 	n.intake.Add(1)
 	defer n.intake.Done()
 	n.mu.Unlock()
+	// Admission control runs before any bookkeeping: a refused delivery
+	// leaves no journal entry and no receipt at this node (the sender
+	// owns the terminal outcome), so concurrent intakes racing a ledger
+	// escalation each see exactly one outcome — admitted receipt or
+	// refusal — never both.
+	if ap := n.cfg.Admission; ap != nil {
+		from := ""
+		if len(ag.Route) > 0 {
+			from = ag.Route[len(ag.Route)-1]
+		}
+		if from != "" {
+			if dec := ap.Admit(from); dec.Refuse {
+				n.admissionRefused.Add(1)
+				n.publish(events.Event{
+					Kind:  events.KindAdmissionRefused,
+					Agent: ag.ID,
+					Host:  from,
+					Fields: map[string]string{
+						"suspicion": fmt.Sprintf("%.4f", dec.Suspicion),
+						"threshold": fmt.Sprintf("%.4f", dec.Threshold),
+						"reason":    dec.Reason,
+					},
+				})
+				return nil, fmt.Errorf("core: node %s: host %s suspicion %.3f >= %.3f: %w",
+					n.cfg.Host.Name(), from, dec.Suspicion, dec.Threshold, ErrAdmissionRefused)
+			}
+		}
+	}
 	// Create (or adopt) the journal entry and mark it queued in one
 	// atomic step: a fresh entry in an earlier phase would be evictable,
 	// and capacity pressure from this very insert could otherwise evict
@@ -608,21 +661,33 @@ func (n *Node) enqueue(ctx context.Context, ag *agent.Agent) (*Receipt, error) {
 		return rc, nil
 	default:
 	}
-	// Queue full: block with backpressure until space, cancellation,
-	// node shutdown, or the intake cap.
-	wait := time.NewTimer(maxIntakeWait)
-	defer wait.Stop()
 	var err error
-	select {
-	case q <- intakeItem{ctx: ctx, ag: ag}:
-		n.publish(events.Event{Kind: events.KindIntake, Agent: ag.ID})
-		return rc, nil
-	case <-ctx.Done():
-		err = fmt.Errorf("core: intake at %s: %w", n.cfg.Host.Name(), ctx.Err())
-	case <-wait.C:
-		err = fmt.Errorf("core: intake at %s: %w", n.cfg.Host.Name(), context.DeadlineExceeded)
-	case <-n.rootCtx.Done():
-		err = fmt.Errorf("core: node %s: %w", n.cfg.Host.Name(), ErrNodeClosed)
+	if n.cfg.RefuseWhenFull {
+		// Fast-fail: the full queue is an overload signal the sender's
+		// planner can spill over from, not a condition to wait out.
+		err = &IntakeRefusedError{Node: n.cfg.Host.Name(), Err: host.ErrMailboxFull}
+		n.intakeRefused.Add(1)
+		n.publish(events.Event{
+			Kind:   events.KindIntakeRefused,
+			Agent:  ag.ID,
+			Fields: map[string]string{"reason": "queue full"},
+		})
+	} else {
+		// Queue full: block with backpressure until space, cancellation,
+		// node shutdown, or the intake cap.
+		wait := time.NewTimer(maxIntakeWait)
+		defer wait.Stop()
+		select {
+		case q <- intakeItem{ctx: ctx, ag: ag}:
+			n.publish(events.Event{Kind: events.KindIntake, Agent: ag.ID})
+			return rc, nil
+		case <-ctx.Done():
+			err = fmt.Errorf("core: intake at %s: %w", n.cfg.Host.Name(), ctx.Err())
+		case <-wait.C:
+			err = fmt.Errorf("core: intake at %s: %w", n.cfg.Host.Name(), context.DeadlineExceeded)
+		case <-n.rootCtx.Done():
+			err = fmt.Errorf("core: node %s: %w", n.cfg.Host.Name(), ErrNodeClosed)
+		}
 	}
 	// The delivery never entered the queue: record the intake failure
 	// (a "queued" phase with no worker coming would both lie to
@@ -630,12 +695,16 @@ func (n *Node) enqueue(ctx context.Context, ag *agent.Agent) (*Receipt, error) {
 	// Watch-before-launch waiter wakes with the error instead of
 	// hanging. If a concurrent duplicate delivery of the same ID
 	// already progressed to running, leave its phase alone.
+	refusedBy := ""
+	if n.cfg.RefuseWhenFull {
+		refusedBy = n.cfg.Host.Name()
+	}
 	n.journal.Upsert(ag.ID, func(e *journalEntry, ok bool) *journalEntry {
 		if !ok {
 			e = &journalEntry{rc: rc}
 		}
 		if e.st.Phase != PhaseRunning {
-			e.st = AgentStatus{Phase: PhaseFailed, Err: err.Error()}
+			e.st = AgentStatus{Phase: PhaseFailed, Err: err.Error(), RefusedBy: refusedBy}
 		}
 		return e
 	})
@@ -699,12 +768,24 @@ func (n *Node) runOne(item intakeItem, coalesce bool) {
 		// The quarantine path already recorded PhaseQuarantined; only
 		// non-detection failures report as failed.
 		if !errors.Is(err, ErrDetection) {
-			n.setPhase(item.ag.ID, AgentStatus{Phase: PhaseFailed, Err: err.Error()})
-			n.publish(events.Event{
+			st := AgentStatus{Phase: PhaseFailed, Err: err.Error()}
+			ev := events.Event{
 				Kind:   events.KindFailed,
 				Agent:  item.ag.ID,
 				Fields: map[string]string{"reason": err.Error()},
-			})
+			}
+			// A forwarding failure names the hop that refused or was
+			// unreachable; keep the attribution in the journal and on
+			// the bus so "next hop full" reads differently from
+			// "tampered" in every operator surface.
+			var fe *ForwardError
+			if errors.As(err, &fe) {
+				st.RefusedBy = fe.To
+				ev.Host = fe.To
+				ev.Fields["refused-by"] = fe.To
+			}
+			n.setPhase(item.ag.ID, st)
+			n.publish(ev)
 		}
 		n.resolve(item.ag.ID, Result{
 			Agent:    item.ag,
@@ -807,7 +888,10 @@ func (n *Node) process(ctx context.Context, ag *agent.Agent) error {
 		return fmt.Errorf("core: node %s: %w", hostName, err)
 	}
 	if err := n.cfg.Net.SendAgent(ctx, rec.Outcome.MigrateHost, wire); err != nil {
-		return fmt.Errorf("core: node %s forwarding to %s: %w", hostName, rec.Outcome.MigrateHost, err)
+		// Structured, not a plain wrap: the refusing/unreachable next
+		// hop must stay attributable (runOne records it in the journal,
+		// planners read it off the receipt).
+		return &ForwardError{From: hostName, To: rec.Outcome.MigrateHost, Err: err}
 	}
 	n.setPhase(ag.ID, AgentStatus{Phase: PhaseForwarded, NextHost: rec.Outcome.MigrateHost})
 	n.publish(events.Event{Kind: events.KindForward, Agent: ag.ID, Host: rec.Outcome.MigrateHost})
@@ -950,6 +1034,12 @@ type AgentStatus struct {
 	NextHost string
 	// Err carries the failure when Phase is "failed".
 	Err string
+	// RefusedBy names the host whose refusal (admission, full intake)
+	// or unreachability failed the journey, when Phase is "failed" and
+	// the failure was a forwarding/intake refusal. Empty for other
+	// failures; it is what lets planners and operators tell "the next
+	// hop was full or shunned us" from "something broke here".
+	RefusedBy string
 	// Flags counts detections the node's policy let the agent continue
 	// past (continue-flagged decisions) at this node.
 	Flags int
@@ -1202,6 +1292,8 @@ func (n *Node) HandleCall(ctx context.Context, method string, body []byte) ([]by
 			return gobReply("health", n.Health())
 		case "metrics":
 			return gobReply("metrics", n.metricsReply())
+		case "plan":
+			return gobReply("plan", n.planReply())
 		case "events":
 			return gobReply("events", n.eventsReply(body))
 		case "flight":

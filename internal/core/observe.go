@@ -78,6 +78,11 @@ type MetricsReply struct {
 	// the realized intake flush batch size.
 	IntakeFlushes      int64
 	IntakeFlushedItems int64
+	// AdmissionRefused counts deliveries rejected by the node's
+	// AdmissionPolicy; IntakeRefused counts RefuseWhenFull fast-fails.
+	// Both also appear on node/plan.
+	AdmissionRefused int64
+	IntakeRefused    int64
 }
 
 // WALStatsEntry names one durable store's backend counters in a
@@ -103,6 +108,8 @@ func (n *Node) metricsReply() MetricsReply {
 		QuarantineEntries:  n.quarantine.Len(),
 		IntakeFlushes:      n.intakeFlushes.Load(),
 		IntakeFlushedItems: n.intakeFlushedItems.Load(),
+		AdmissionRefused:   n.admissionRefused.Load(),
+		IntakeRefused:      n.intakeRefused.Load(),
 	}
 	if st, ok := n.journal.BackendStats(); ok {
 		r.WALs = append(r.WALs, WALStatsEntry{Store: "journal", Stats: st})

@@ -71,6 +71,14 @@ const (
 	// KindStageDissent fires once per dissenting or failed replica in
 	// a replicated stage.
 	KindStageDissent = "stage-dissent"
+	// KindAdmissionRefused fires when a node's admission policy turns a
+	// delivery away before intake (the verdict-free refusal path); Host
+	// names the suspicious sender that was shunned.
+	KindAdmissionRefused = "admission-refused"
+	// KindIntakeRefused fires when a RefuseWhenFull node fast-fails a
+	// delivery against a full intake queue — the overload spillover
+	// signal planners route around.
+	KindIntakeRefused = "intake-refused"
 )
 
 // Event is one typed fact on the bus. Node, Seq, and UnixNano are

@@ -1,0 +1,244 @@
+package planner
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// stages builds n identical stages over the pool.
+func stages(n int, pool ...string) []Stage {
+	out := make([]Stage, n)
+	for i := range out {
+		out[i] = Stage{Candidates: pool}
+	}
+	return out
+}
+
+// referenceRoute re-implements the planner's documented sampling model
+// for the zero-suspicion / uniform-load case: per stage, exclude home
+// and already-used hosts in candidate order, then weighted-sample with
+// all weights equal — one cumulative-sum walk over a single rng draw.
+func referenceRoute(rng *rand.Rand, home string, it Itinerary) []string {
+	route := make([]string, 0, len(it.Stages))
+	used := make(map[string]bool)
+	for _, stage := range it.Stages {
+		var pool []string
+		for _, c := range stage.Candidates {
+			if c == home || used[c] {
+				continue
+			}
+			pool = append(pool, c)
+		}
+		// All weights are 1, so the cumulative-sum walk reduces to
+		// floor(draw * n), clamped.
+		idx := int(rng.Float64() * float64(len(pool)))
+		if idx >= len(pool) {
+			idx = len(pool) - 1
+		}
+		pick := pool[idx]
+		route = append(route, pick)
+		used[pick] = true
+	}
+	return route
+}
+
+// TestPlanRouteMatchesReferenceModel pins the sampling contract: with
+// zero suspicion and no load observations, routes are exactly the
+// reference weighted-sample model's output — deterministic per (seed,
+// pool), one rng draw per stage.
+func TestPlanRouteMatchesReferenceModel(t *testing.T) {
+	pool := []string{"w1", "w2", "w3", "w4", "w5"}
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		p := New(Config{Home: "home", Seed: seed})
+		ref := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			it := Itinerary{ID: "it", Stages: stages(1+i%3, pool...)}
+			got, err := p.PlanRoute(it)
+			if err != nil {
+				t.Fatalf("seed %d itinerary %d: %v", seed, i, err)
+			}
+			want := referenceRoute(ref, "home", it)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d itinerary %d: route %v, want %v", seed, i, got, want)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("seed %d itinerary %d stage %d: got %q, want %q (route %v vs %v)",
+						seed, i, j, got[j], want[j], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanRouteDeterministicPerSeed pins replayability: two planners
+// with identical config produce identical route sequences.
+func TestPlanRouteDeterministicPerSeed(t *testing.T) {
+	pool := []string{"a", "b", "c", "d"}
+	p1 := New(Config{Home: "home", Seed: 99})
+	p2 := New(Config{Home: "home", Seed: 99})
+	for i := 0; i < 100; i++ {
+		it := Itinerary{ID: "it", Stages: stages(2, pool...)}
+		r1, err1 := p1.PlanRoute(it)
+		r2, err2 := p2.PlanRoute(it)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("iteration %d: %v / %v", i, err1, err2)
+		}
+		for j := range r1 {
+			if r1[j] != r2[j] {
+				t.Fatalf("iteration %d: diverged: %v vs %v", i, r1, r2)
+			}
+		}
+	}
+}
+
+// TestSuspectNeverChosenWithCleanAlternative is the avoidance property:
+// a host at/above the avoid threshold is never routed to while any
+// clean candidate remains feasible in its stage.
+func TestSuspectNeverChosenWithCleanAlternative(t *testing.T) {
+	susp := map[string]float64{"bad1": 1.0, "bad2": 3.7}
+	pool := []string{"bad1", "w1", "w2", "bad2", "w3", "w4"}
+	for seed := int64(0); seed < 50; seed++ {
+		p := New(Config{
+			Home:      "home",
+			Seed:      seed,
+			Suspicion: func(h string) float64 { return susp[h] },
+		})
+		for i := 0; i < 50; i++ {
+			// 3 stages over 4 clean hosts: every stage always has a clean
+			// candidate left, so the bad hosts must never appear.
+			route, err := p.PlanRoute(Itinerary{ID: "it", Stages: stages(3, pool...)})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for _, h := range route {
+				if susp[h] >= DefaultAvoidThreshold {
+					t.Fatalf("seed %d: suspect %q routed despite clean alternatives (route %v)", seed, h, route)
+				}
+			}
+		}
+	}
+}
+
+// TestSuspectIsLastResortNotInfeasible pins the fallback: when every
+// remaining candidate is past the avoid threshold, the itinerary still
+// routes (the receiving side's admission control gets the final say)
+// rather than failing.
+func TestSuspectIsLastResortNotInfeasible(t *testing.T) {
+	p := New(Config{
+		Home:      "home",
+		Seed:      3,
+		Suspicion: func(string) float64 { return 2.0 },
+	})
+	route, err := p.PlanRoute(Itinerary{ID: "it", Stages: stages(1, "bad1", "bad2")})
+	if err != nil {
+		t.Fatalf("all-suspect pool must remain feasible: %v", err)
+	}
+	if len(route) != 1 {
+		t.Fatalf("route = %v", route)
+	}
+	// But a pool emptied by bans is infeasible.
+	p.Ban("bad1")
+	p.Ban("bad2")
+	if _, err := p.PlanRoute(Itinerary{ID: "it", Stages: stages(1, "bad1", "bad2")}); !errors.Is(err, ErrNoFeasibleHost) {
+		t.Fatalf("err = %v, want ErrNoFeasibleHost", err)
+	}
+}
+
+// TestScenarioHotspot is the hotspot matrix entry: traffic prefers the
+// fast host until its load saturates, then spreads to the rest of the
+// pool — the overload spike sheds the hotspot's share.
+func TestScenarioHotspot(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := New(Config{Home: "home", Seed: 17, Now: func() time.Time { return now }})
+	pool := []string{"fast", "w1", "w2", "w3"}
+	// Receipt-fed history: the fast host answers in 5ms, the rest in
+	// 100ms.
+	for i := 0; i < 10; i++ {
+		p.ObserveLatency("fast", 5*time.Millisecond)
+		for _, w := range pool[1:] {
+			p.ObserveLatency(w, 100*time.Millisecond)
+		}
+	}
+	plan := func(n int) map[string]int {
+		picks := make(map[string]int)
+		for i := 0; i < n; i++ {
+			route, err := p.PlanRoute(Itinerary{ID: "it", Stages: stages(1, pool...)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			picks[route[0]]++
+		}
+		return picks
+	}
+	before := plan(400)
+	for _, w := range pool[1:] {
+		if before["fast"] <= 2*before[w] {
+			t.Fatalf("hotspot not preferred before saturation: %v", before)
+		}
+	}
+	// The hotspot saturates: a burst of mailbox-full refusals lands.
+	for i := 0; i < 10; i++ {
+		p.ObserveOverload("fast")
+	}
+	after := plan(400)
+	for _, w := range pool[1:] {
+		if after["fast"] >= after[w] {
+			t.Fatalf("traffic did not spread after saturation: %v", after)
+		}
+	}
+	// And the spike decays: once the queue pressure half-lives away,
+	// the fast host earns its share back.
+	now = now.Add(20 * DefaultLoadHalfLife)
+	healed := plan(400)
+	for _, w := range pool[1:] {
+		if healed["fast"] <= 2*healed[w] {
+			t.Fatalf("hotspot share did not recover after decay: %v", healed)
+		}
+	}
+}
+
+// TestScenarioSuspicionAvoidance is the suspicion-avoidance matrix
+// entry: a host crossing the threshold on the home's live ledger stops
+// receiving itineraries on the very next plan — no planner restart, no
+// extra replan cycles.
+func TestScenarioSuspicionAvoidance(t *testing.T) {
+	led := policy.NewLedger(policy.LedgerConfig{HalfLife: time.Hour})
+	p := New(Config{Home: "home", Seed: 23, Suspicion: led.Suspicion})
+	pool := []string{"shady", "w1", "w2"}
+	seen := false
+	for i := 0; i < 60; i++ {
+		route, err := p.PlanRoute(Itinerary{ID: "it", Stages: stages(2, pool...)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range route {
+			if h == "shady" {
+				seen = true
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("clean shady host never routed — scenario not exercising avoidance")
+	}
+	// Evidence lands on the ledger: shady crosses the threshold.
+	led.Observe("shady", false, 1.5*DefaultAvoidThreshold)
+	if led.Suspicion("shady") < DefaultAvoidThreshold {
+		t.Fatalf("escalation did not cross threshold: %f", led.Suspicion("shady"))
+	}
+	for i := 0; i < 60; i++ {
+		route, err := p.PlanRoute(Itinerary{ID: "it", Stages: stages(2, pool...)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range route {
+			if h == "shady" {
+				t.Fatalf("shady routed after crossing threshold (route %v)", route)
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// DefaultAdmissionThreshold is the suspicion at/above which admission
+// control refuses deliveries from a host. It sits between the gate's
+// escalation threshold (0.5 — check everything the host did) and the
+// quarantine threshold (2.0 — stop the agent): one escalated-but-
+// unconfirmed offense still gets its sessions checked, a confirmed
+// offender is shed load before any of its agents are even queued.
+const DefaultAdmissionThreshold = 1.0
+
+// AdmissionConfig parameterizes the ledger-backed admission policy.
+type AdmissionConfig struct {
+	// Ledger is the suspicion source; share the node's stack ledger so
+	// admission tracks the same evidence the gate and verdict policy
+	// act on. Required.
+	Ledger *Ledger
+	// RefuseThreshold is the suspicion at/above which deliveries from a
+	// host are refused; 0 means DefaultAdmissionThreshold.
+	RefuseThreshold float64
+}
+
+// Admission is a core.AdmissionPolicy that refuses intake from hosts
+// whose ledger suspicion is at or above the threshold — the verdict-
+// free response: a flagged host is shed load before it is quarantined,
+// and the refusal itself (ErrAdmissionRefused at the sender) is the
+// routing signal that steers planners around it.
+type Admission struct {
+	ledger    *Ledger
+	threshold float64
+}
+
+var (
+	_ core.AdmissionPolicy      = (*Admission)(nil)
+	_ core.AdmissionThresholder = (*Admission)(nil)
+)
+
+// NewAdmission builds the policy over the given ledger.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.Ledger == nil {
+		cfg.Ledger = NewLedger(LedgerConfig{})
+	}
+	if cfg.RefuseThreshold <= 0 {
+		cfg.RefuseThreshold = DefaultAdmissionThreshold
+	}
+	return &Admission{ledger: cfg.Ledger, threshold: cfg.RefuseThreshold}
+}
+
+// Name implements core.AdmissionPolicy.
+func (a *Admission) Name() string { return "ledger-admission" }
+
+// AdmissionThreshold implements core.AdmissionThresholder.
+func (a *Admission) AdmissionThreshold() float64 { return a.threshold }
+
+// Admit implements core.AdmissionPolicy: read the sender's decayed
+// suspicion and refuse at/above the threshold. Locally launched agents
+// (empty sender) are always admitted.
+func (a *Admission) Admit(fromHost string) core.AdmissionDecision {
+	if fromHost == "" {
+		return core.AdmissionDecision{Threshold: a.threshold}
+	}
+	s := a.ledger.Suspicion(fromHost)
+	dec := core.AdmissionDecision{Suspicion: s, Threshold: a.threshold}
+	if s >= a.threshold {
+		dec.Refuse = true
+		dec.Reason = fmt.Sprintf("suspicion %.3f >= admission threshold %.3f", s, a.threshold)
+	}
+	return dec
+}

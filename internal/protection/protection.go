@@ -162,6 +162,19 @@ type Options struct {
 	// .SetBatchVerify). The default (false) verifies gossip bundles in
 	// one batch; detection outcomes are identical either way.
 	DisableBatchVerify bool
+	// AdmissionThreshold, when positive, builds a ledger-backed
+	// admission policy into LevelAdaptive's stack: deliveries from
+	// hosts whose suspicion on this node's ledger is at/above the
+	// threshold are refused before intake (wire Stack.Admission into
+	// core.NodeConfig.Admission). 0 disables admission control. Other
+	// levels ignore it — admission is priced off the adaptive ledger.
+	AdmissionThreshold float64
+	// LedgerHalfLife overrides the suspicion decay half-life of the
+	// ledger LevelAdaptive builds here (0 = policy.DefaultHalfLife,
+	// negative disables decay). Ignored when the caller supplies its
+	// own ledger. Adversary campaigns treat this as an attack surface:
+	// a short half-life is what a threshold-evading adversary rides.
+	LedgerHalfLife time.Duration
 }
 
 // Stack is one node's protection assembly: the mechanism list plus the
@@ -181,6 +194,10 @@ type Stack struct {
 	Ledger *policy.Ledger
 	Gate   *policy.Gate
 	Gossip *policy.Gossip
+	// Admission is the ledger-backed admission policy, non-nil only for
+	// LevelAdaptive with Options.AdmissionThreshold > 0; wire it into
+	// core.NodeConfig.Admission.
+	Admission core.AdmissionPolicy
 }
 
 // Close flushes and releases the stack's durable state: the adaptive
@@ -240,6 +257,7 @@ func Assemble(l Level, opts Options) (Stack, error) {
 				OnPersistError: opts.OnPersistError,
 				Bus:            opts.Events,
 				EscalateAt:     opts.AdaptiveGate.EscalateThreshold,
+				HalfLife:       opts.LedgerHalfLife,
 			}
 			switch {
 			case opts.WAL != nil:
@@ -291,7 +309,18 @@ func Assemble(l Level, opts Options) (Stack, error) {
 				ExecHook: opts.ExecHook, ReExecGate: gate.ShouldReExecute,
 			}),
 		}
-		return Stack{Mechanisms: mechs, Policy: policy.NewReputation(pcfg), Ledger: led, Gate: gate, Gossip: gossip}, nil
+		st := Stack{Mechanisms: mechs, Policy: policy.NewReputation(pcfg), Ledger: led, Gate: gate, Gossip: gossip}
+		if opts.AdmissionThreshold > 0 {
+			// Admission reads the same ledger the gate prices checks
+			// from: one body of evidence, escalating consequences —
+			// check harder at 0.5, refuse intake at the admission
+			// threshold, quarantine at 2.0.
+			st.Admission = policy.NewAdmission(policy.AdmissionConfig{
+				Ledger:          led,
+				RefuseThreshold: opts.AdmissionThreshold,
+			})
+		}
+		return st, nil
 	default:
 		return Stack{}, fmt.Errorf("protection: unknown level %d", int(l))
 	}

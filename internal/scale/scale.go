@@ -29,6 +29,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/host"
+	plannerpkg "repro/internal/planner"
 	"repro/internal/policy"
 	"repro/internal/protection"
 	"repro/internal/shardstore"
@@ -91,6 +92,20 @@ type Config struct {
 	// FlushBatch overrides the batched intake flush batch size; 0
 	// means 16. Ignored when Batched is false.
 	FlushBatch int
+	// Planner routes itineraries through the reputation-aware planner
+	// instead of fixed pre-drawn routes: per-home planners pick each
+	// hop from staged candidate pools, every node runs ledger-backed
+	// admission control plus refuse-when-full intake, and executors
+	// replan around refusals, spillovers, and quarantines. Implies
+	// StagedLayout.
+	Planner bool
+	// StagedLayout partitions workers into Hops classes (worker i in
+	// class i%Hops; stage j draws from class j) and confines malicious
+	// workers to even classes, so no route — fixed or planner-chosen —
+	// ever places two malicious workers adjacent (the example
+	// mechanism's documented collusion blind spot). RunPlannerAB sets
+	// it on the fixed half so both halves share one fleet layout.
+	StagedLayout bool
 }
 
 // Result is one scale run's measurement.
@@ -136,6 +151,20 @@ type Result struct {
 	// Intake flush batching counters, summed fleet-wide.
 	IntakeFlushes      int64 `json:"intake_flushes"`
 	IntakeFlushedItems int64 `json:"intake_flushed_items"`
+
+	// Planner-mode accounting (zero for fixed-route runs).
+	// AdmissionRefused/IntakeRefused sum the fleet's node/metrics
+	// refusal counters; Replans and Spillovers sum executor reroutes;
+	// ShedItineraries counts itineraries that had at least one attempt
+	// shed by remote admission control. UndetectedTampered is the gate
+	// input: tampered sessions that were neither blamed by a failed
+	// verdict nor carried by a shed attempt — must be zero.
+	AdmissionRefused   int64 `json:"admission_refused"`
+	IntakeRefused      int64 `json:"intake_refused"`
+	Replans            int   `json:"replans"`
+	Spillovers         int   `json:"spillovers"`
+	ShedItineraries    int   `json:"shed_itineraries"`
+	UndetectedTampered int   `json:"undetected_tampered"`
 }
 
 // ABResult is one in-run A/B: the same fleet and itineraries (same
@@ -191,6 +220,20 @@ func (c *Config) fill() error {
 	}
 	if c.FlushBatch <= 0 {
 		c.FlushBatch = DefaultFlushBatch
+	}
+	if c.Planner {
+		c.StagedLayout = true
+	}
+	if c.StagedLayout {
+		evenClass := 0
+		for i := 0; i < workers; i++ {
+			if (i%c.Hops)%2 == 0 {
+				evenClass++
+			}
+		}
+		if c.MaliciousNodes > evenClass {
+			return fmt.Errorf("scale: %d malicious workers exceed the %d even-class slots of the staged layout", c.MaliciousNodes, evenClass)
+		}
 	}
 	if c.Durable && c.DataDir == "" {
 		return fmt.Errorf("scale: Durable requires DataDir")
@@ -301,6 +344,37 @@ func maliciousSpread(w, m int) map[int]bool {
 	return set
 }
 
+// maliciousSpreadStaged confines the m malicious workers to even hop
+// classes of the staged layout, spread evenly over those slots:
+// consecutive stages alternate even/odd classes, so no route drawn
+// class-per-stage can place two malicious workers adjacent.
+func maliciousSpreadStaged(w, m, hops int) map[int]bool {
+	var cands []int
+	for i := 0; i < w; i++ {
+		if (i%hops)%2 == 0 {
+			cands = append(cands, i)
+		}
+	}
+	set := make(map[int]bool, m)
+	for i := 0; i < m && i < len(cands); i++ {
+		set[cands[i*len(cands)/m]] = true
+	}
+	return set
+}
+
+// pickStagedRoute draws one worker per hop class: stage j gets a
+// uniform pick among workers congruent to j mod hops. Distinctness is
+// structural (classes are disjoint), and with maliciousSpreadStaged
+// so is non-adjacency.
+func pickStagedRoute(rng *rand.Rand, workers, hops int) []int {
+	route := make([]int, hops)
+	for j := 0; j < hops; j++ {
+		classSize := (workers - j + hops - 1) / hops
+		route[j] = j + rng.Intn(classSize)*hops
+	}
+	return route
+}
+
 // Run executes one scale measurement.
 func Run(cfg Config) (Result, error) {
 	if err := cfg.fill(); err != nil {
@@ -326,6 +400,9 @@ func Run(cfg Config) (Result, error) {
 	tamperedAgents := make(map[string]bool)
 	detected := make(map[string]bool)
 	malicious := maliciousSpread(workerCount, cfg.MaliciousNodes)
+	if cfg.StagedLayout {
+		malicious = maliciousSpreadStaged(workerCount, cfg.MaliciousNodes, cfg.Hops)
+	}
 	maliciousName := make(map[string]bool, len(malicious))
 
 	homes := make([]string, cfg.Homes)
@@ -343,6 +420,7 @@ func Run(cfg Config) (Result, error) {
 	var nodes []*core.Node
 	var sharedWALs []*shardstore.SharedWAL
 	nodeByName := make(map[string]*core.Node, cfg.Nodes)
+	stackByName := make(map[string]protection.Stack, cfg.Nodes)
 	defer func() {
 		// Stores first, then the shared streams they ride on.
 		for _, n := range nodes {
@@ -372,6 +450,17 @@ func Run(cfg Config) (Result, error) {
 			// batched and unbatched halves of an A/B are comparable
 			// session for session.
 			AdaptivePolicy: policy.ReputationConfig{FirstOffenseQuarantines: true},
+		}
+		if cfg.Planner {
+			// Admission at the escalation threshold, not the production
+			// default: with FirstOffenseQuarantines a single failed check
+			// is a confirmed offense, but it adds exactly one
+			// FailureWeight (1.0) of suspicion, which decays below the
+			// 1.0 production threshold before any later delivery reads
+			// it. 0.5 makes one confirmed offense refuse follow-on
+			// deliveries for the rest of the run, matching the harness's
+			// one-strike verdict policy.
+			opts.AdmissionThreshold = policy.DefaultEscalateThreshold
 		}
 		ncfg := core.NodeConfig{
 			Net:        net,
@@ -403,6 +492,13 @@ func Run(cfg Config) (Result, error) {
 		ncfg.Host = h
 		ncfg.Mechanisms = stack.Mechanisms
 		ncfg.Policy = stack.Policy
+		if cfg.Planner {
+			// The full routing loop: admission sheds deliveries from
+			// over-threshold senders, refuse-when-full turns queue
+			// pressure into the spillover signal executors replan on.
+			ncfg.Admission = stack.Admission
+			ncfg.RefuseWhenFull = true
+		}
 		ncfg.OnVerdict = func(v core.Verdict) {
 			if v.OK {
 				return
@@ -419,6 +515,7 @@ func Run(cfg Config) (Result, error) {
 		}
 		nodes = append(nodes, node)
 		nodeByName[name] = node
+		stackByName[name] = stack
 		net.Register(name, node)
 		return nil
 	}
@@ -452,16 +549,39 @@ func Run(cfg Config) (Result, error) {
 	}
 	rules := appraisal.RuleSet{appraisal.MustRule("total-tracks-hops", "total == hops")}
 
-	// Build every itinerary before the clock starts: route, program,
-	// signed rules, wire image, and receipts on the involved nodes.
+	// buildAgent compiles one attempt: program over the concrete route,
+	// audited counters, signed rules, wire image.
+	buildAgent := func(id, home string, route []string) ([]byte, error) {
+		ag, err := agent.New(id, "scale-owner", routeCode(home, route, cfg.Cycles), "main")
+		if err != nil {
+			return nil, err
+		}
+		ag.SetVar("total", value.Int(0))
+		ag.SetVar("hops", value.Int(0))
+		ag.SetVar("sum", value.Int(0))
+		if err := appraisal.Attach(ag, rules, owner); err != nil {
+			return nil, err
+		}
+		return ag.Marshal()
+	}
+
+	// Fixed mode: build every itinerary before the clock starts —
+	// route, wire image, and receipts on the involved nodes. Planner
+	// mode defers all of that to the per-home executors.
 	wires := make([][]byte, cfg.Itineraries)
 	agentIDs := make([]string, cfg.Itineraries)
 	itinHome := make([]string, cfg.Itineraries)
 	receipts := make([][]*core.Receipt, cfg.Itineraries)
-	for i := 0; i < cfg.Itineraries; i++ {
-		routeIdx, err := pickRoute(rng, workerCount, malicious, cfg.Hops)
-		if err != nil {
-			return Result{}, err
+	for i := 0; i < cfg.Itineraries && !cfg.Planner; i++ {
+		var routeIdx []int
+		if cfg.StagedLayout {
+			routeIdx = pickStagedRoute(rng, workerCount, cfg.Hops)
+		} else {
+			var err error
+			routeIdx, err = pickRoute(rng, workerCount, malicious, cfg.Hops)
+			if err != nil {
+				return Result{}, err
+			}
 		}
 		route := make([]string, len(routeIdx))
 		for j, w := range routeIdx {
@@ -469,17 +589,7 @@ func Run(cfg Config) (Result, error) {
 		}
 		home := homes[i%cfg.Homes]
 		id := fmt.Sprintf("itin-%06d", i)
-		ag, err := agent.New(id, "scale-owner", routeCode(home, route, cfg.Cycles), "main")
-		if err != nil {
-			return Result{}, err
-		}
-		ag.SetVar("total", value.Int(0))
-		ag.SetVar("hops", value.Int(0))
-		ag.SetVar("sum", value.Int(0))
-		if err := appraisal.Attach(ag, rules, owner); err != nil {
-			return Result{}, err
-		}
-		wire, err := ag.Marshal()
+		wire, err := buildAgent(id, home, route)
 		if err != nil {
 			return Result{}, err
 		}
@@ -489,6 +599,39 @@ func Run(cfg Config) (Result, error) {
 		receipts[i] = append(receipts[i], nodeByName[home].Watch(id))
 		for _, w := range route {
 			receipts[i] = append(receipts[i], nodeByName[w].Watch(id))
+		}
+	}
+
+	// Planner mode: one planner+executor per home, reading the home
+	// stack's live ledger and sharing one staged candidate pool set.
+	var stages []plannerpkg.Stage
+	executors := make(map[string]*plannerpkg.Executor, cfg.Homes)
+	if cfg.Planner {
+		pools := make([][]string, cfg.Hops)
+		for i, w := range workers {
+			c := i % cfg.Hops
+			pools[c] = append(pools[c], w)
+		}
+		stages = make([]plannerpkg.Stage, cfg.Hops)
+		for j := range stages {
+			stages[j] = plannerpkg.Stage{Candidates: pools[j]}
+		}
+		fleet := plannerpkg.NodeFleet(nodeByName)
+		for hi, home := range homes {
+			home := home
+			pl := plannerpkg.New(plannerpkg.Config{
+				Home:      home,
+				Seed:      cfg.Seed + int64(hi) + 1,
+				Suspicion: stackByName[home].Ledger.Suspicion,
+			})
+			executors[home] = &plannerpkg.Executor{
+				Planner:     pl,
+				Fleet:       fleet,
+				MaxAttempts: 16,
+				Build: func(agentID string, route []string) ([]byte, error) {
+					return buildAgent(agentID, home, route)
+				},
+			}
 		}
 	}
 
@@ -515,6 +658,7 @@ func Run(cfg Config) (Result, error) {
 			cancel()
 		})
 	}
+	plannerResults := make([]plannerpkg.RunResult, cfg.Itineraries)
 	resetPeakRSS()
 	begin := time.Now()
 	for g := 0; g < pool; g++ {
@@ -522,6 +666,25 @@ func Run(cfg Config) (Result, error) {
 		go func(g int) {
 			defer wg.Done()
 			for i := g; i < cfg.Itineraries; i += pool {
+				if cfg.Planner {
+					home := homes[i%cfg.Homes]
+					start := time.Now()
+					r := executors[home].Execute(ctx, plannerpkg.Itinerary{
+						ID:     fmt.Sprintf("itin-%06d", i),
+						Stages: stages,
+					})
+					latencies[i] = time.Since(start)
+					plannerResults[i] = r
+					switch {
+					case r.Completed:
+						outcomes[i] = outcomeCompleted
+					case errors.Is(r.Err, core.ErrDetection):
+						outcomes[i] = outcomeQuarantined
+					default:
+						outcomes[i] = outcomeFailed
+					}
+					continue
+				}
 				start := time.Now()
 				if err := net.SendAgent(ctx, itinHome[i], wires[i]); err != nil {
 					fail(fmt.Errorf("scale: launching itinerary %d: %w", i, err))
@@ -570,16 +733,56 @@ func Run(cfg Config) (Result, error) {
 	res.P99MS = float64(percentile(sorted, 0.99).Microseconds()) / 1e3
 	res.PeakRSSMB = peakRSSMB()
 
+	shedAgents := make(map[string]bool)
+	if cfg.Planner {
+		for i := range plannerResults {
+			r := &plannerResults[i]
+			res.Replans += r.Replans
+			res.Spillovers += r.Spillovers
+			if len(r.ShedAgentIDs) > 0 {
+				res.ShedItineraries++
+			}
+			for _, id := range r.ShedAgentIDs {
+				shedAgents[id] = true
+			}
+		}
+	}
 	mu.Lock()
 	res.TamperedSessions = len(tampered)
 	for k := range tampered {
 		if detected[k] {
 			res.DetectedTampered++
+			continue
+		}
+		// A tampered session on a shed attempt was never checked — its
+		// sender was refused intake downstream instead. That is the
+		// admission path working, not a miss; anything else is.
+		if id, _, ok := strings.Cut(k, "#"); !ok || !shedAgents[id] {
+			res.UndetectedTampered++
 		}
 	}
-	for i := range outcomes {
-		if outcomes[i] == outcomeQuarantined && !tamperedAgents[agentIDs[i]] {
-			res.HonestQuarantined++
+	if cfg.Planner {
+		for i := range plannerResults {
+			r := &plannerResults[i]
+			if r.Quarantines == 0 && !errors.Is(r.Err, core.ErrDetection) {
+				continue
+			}
+			touched := false
+			for _, id := range r.AgentIDs {
+				if tamperedAgents[id] {
+					touched = true
+					break
+				}
+			}
+			if !touched {
+				res.HonestQuarantined++
+			}
+		}
+	} else {
+		for i := range outcomes {
+			if outcomes[i] == outcomeQuarantined && !tamperedAgents[agentIDs[i]] {
+				res.HonestQuarantined++
+			}
 		}
 	}
 	mu.Unlock()
@@ -607,11 +810,65 @@ func Run(cfg Config) (Result, error) {
 		}
 		res.IntakeFlushes += mr.IntakeFlushes
 		res.IntakeFlushedItems += mr.IntakeFlushedItems
+		res.AdmissionRefused += mr.AdmissionRefused
+		res.IntakeRefused += mr.IntakeRefused
 	}
 	if res.WALSyncs > 0 {
 		res.WALMeanBatch = float64(syncedRecords) / float64(res.WALSyncs)
 	}
 	return res, nil
+}
+
+// PlannerABResult is one routing A/B: the same fleet, seed, and
+// staged malicious layout measured with fixed pre-drawn routes, then
+// with reputation-aware planner routing plus admission control.
+type PlannerABResult struct {
+	Fixed   Result `json:"fixed"`
+	Planner Result `json:"planner"`
+	// SpeedupItinPerSec is planner-routed throughput over fixed.
+	SpeedupItinPerSec float64 `json:"speedup_itins_per_sec"`
+	// DetectionMatch is the safety gate: on the fixed half every
+	// tampered session is detected; on the planner half every tampered
+	// session is detected or its attempt was shed by admission control;
+	// zero honest quarantines on both halves.
+	DetectionMatch bool `json:"detection_match"`
+}
+
+// RunPlannerAB measures the same configuration with fixed routes then
+// with planner routing. Both halves share the staged worker layout so
+// the malicious placement is identical.
+func RunPlannerAB(cfg Config) (PlannerABResult, error) {
+	fx := cfg
+	fx.Planner = false
+	fx.StagedLayout = true
+	if cfg.Durable && cfg.DataDir != "" {
+		fx.DataDir = filepath.Join(cfg.DataDir, "fixed")
+	}
+	fixed, err := Run(fx)
+	if err != nil {
+		return PlannerABResult{}, fmt.Errorf("scale: fixed-route run: %w", err)
+	}
+
+	pr := cfg
+	pr.Planner = true
+	if cfg.Durable && cfg.DataDir != "" {
+		pr.DataDir = filepath.Join(cfg.DataDir, "planner")
+	}
+	planned, err := Run(pr)
+	if err != nil {
+		return PlannerABResult{}, fmt.Errorf("scale: planner-routed run: %w", err)
+	}
+
+	ab := PlannerABResult{Fixed: fixed, Planner: planned}
+	if fixed.ItinerariesPerSec > 0 {
+		ab.SpeedupItinPerSec = planned.ItinerariesPerSec / fixed.ItinerariesPerSec
+	}
+	ab.DetectionMatch = fixed.TamperedSessions > 0 &&
+		fixed.DetectedTampered == fixed.TamperedSessions &&
+		fixed.HonestQuarantined == 0 &&
+		planned.UndetectedTampered == 0 &&
+		planned.HonestQuarantined == 0
+	return ab, nil
 }
 
 // RunAB measures the same configuration unbatched then batched and

@@ -119,6 +119,120 @@ func TestRunABRepro(t *testing.T) {
 	t.Logf("batched:   %.1f itin/s p99=%.1fms syncs=%d (speedup %.2fx)", ab.Batched.ItinerariesPerSec, ab.Batched.P99MS, ab.Batched.WALSyncs, ab.SpeedupItinPerSec)
 }
 
+// assertPlannerAB pins the routing A/B's safety gate: same staged
+// fleet both halves, fixed routes detect every tampered session,
+// planner routing detects or sheds every tampered session, honest
+// itineraries come through unpunished, and the planner half actually
+// exercised admission control.
+func assertPlannerAB(t *testing.T, cfg Config, ab PlannerABResult) {
+	t.Helper()
+	for _, r := range []Result{ab.Fixed, ab.Planner} {
+		if r.Completed+r.Quarantined+r.Failed != cfg.Itineraries {
+			t.Fatalf("planner=%v: %d+%d+%d outcomes, want %d itineraries",
+				r.AdmissionRefused > 0, r.Completed, r.Quarantined, r.Failed, cfg.Itineraries)
+		}
+		if r.TamperedSessions == 0 {
+			t.Fatal("malicious workers tampered nothing; the run proves nothing")
+		}
+	}
+	if ab.Fixed.DetectedTampered != ab.Fixed.TamperedSessions {
+		t.Fatalf("fixed: detected %d of %d tampered sessions", ab.Fixed.DetectedTampered, ab.Fixed.TamperedSessions)
+	}
+	if ab.Planner.UndetectedTampered != 0 {
+		t.Fatalf("planner: %d tampered sessions neither detected nor shed", ab.Planner.UndetectedTampered)
+	}
+	if ab.Fixed.HonestQuarantined != 0 || ab.Planner.HonestQuarantined != 0 {
+		t.Fatalf("honest itineraries quarantined: fixed=%d planner=%d",
+			ab.Fixed.HonestQuarantined, ab.Planner.HonestQuarantined)
+	}
+	if ab.Planner.Failed != 0 {
+		t.Fatalf("planner: %d itineraries failed terminally", ab.Planner.Failed)
+	}
+	if !ab.DetectionMatch {
+		t.Fatalf("detection-match gate failed: fixed=%+v planner=%+v", ab.Fixed, ab.Planner)
+	}
+	if ab.Planner.AdmissionRefused == 0 {
+		t.Fatal("planner run refused no deliveries — admission control was never exercised")
+	}
+	if ab.Planner.Replans == 0 {
+		t.Fatal("planner run never replanned — the divergence loop was not exercised")
+	}
+}
+
+// TestRunPlannerABSmall is the always-on routing A/B smoke: a small
+// memory-only fleet where planner routing must keep the detection
+// story intact while shedding load from flagged hosts.
+func TestRunPlannerABSmall(t *testing.T) {
+	cfg := Config{
+		Nodes:          12,
+		Itineraries:    48,
+		MaliciousNodes: 2,
+		Concurrency:    32,
+		Seed:           7,
+	}
+	ab, err := RunPlannerAB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (&cfg).fill(); err != nil {
+		t.Fatal(err)
+	}
+	assertPlannerAB(t, cfg, ab)
+}
+
+// TestRunPlannerABRepro is the CI smoke behind REPRO_SCALE=1: the
+// reduced-scale routing A/B with the same acceptance gate.
+func TestRunPlannerABRepro(t *testing.T) {
+	if os.Getenv("REPRO_SCALE") == "" {
+		t.Skip("set REPRO_SCALE=1 to run the reduced-scale reproduction")
+	}
+	cfg := Config{
+		Nodes:       64,
+		Itineraries: 512,
+		Seed:        1,
+	}
+	ab, err := RunPlannerAB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (&cfg).fill(); err != nil {
+		t.Fatal(err)
+	}
+	assertPlannerAB(t, cfg, ab)
+	t.Logf("fixed:   %.1f itin/s p99=%.1fms", ab.Fixed.ItinerariesPerSec, ab.Fixed.P99MS)
+	t.Logf("planner: %.1f itin/s p99=%.1fms refusals=%d replans=%d shed=%d (speedup %.2fx)",
+		ab.Planner.ItinerariesPerSec, ab.Planner.P99MS, ab.Planner.AdmissionRefused,
+		ab.Planner.Replans, ab.Planner.ShedItineraries, ab.SpeedupItinPerSec)
+}
+
+// TestStagedLayoutConstraints pins the staged route/malicious
+// invariants: one worker per class, classes disjoint, malicious never
+// adjacent on any stage sequence.
+func TestStagedLayoutConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const workers, hops = 13, 3
+	malicious := maliciousSpreadStaged(workers, 3, hops)
+	for w := range malicious {
+		if (w%hops)%2 != 0 {
+			t.Fatalf("malicious worker %d sits in odd class %d", w, w%hops)
+		}
+	}
+	for round := 0; round < 200; round++ {
+		route := pickStagedRoute(rng, workers, hops)
+		for j, w := range route {
+			if w%hops != j {
+				t.Fatalf("round %d: hop %d drew worker %d of class %d", round, j, w, w%hops)
+			}
+			if w >= workers {
+				t.Fatalf("round %d: worker %d out of range", round, w)
+			}
+			if j > 0 && malicious[route[j-1]] && malicious[w] {
+				t.Fatalf("round %d: adjacent malicious workers in route %v", round, route)
+			}
+		}
+	}
+}
+
 // TestPickRouteConstraints pins route admissibility: distinct workers,
 // no malicious worker immediately after another.
 func TestPickRouteConstraints(t *testing.T) {
