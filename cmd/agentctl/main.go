@@ -25,7 +25,10 @@
 //
 // "reputation" prints every node's local view of one host's standing
 // (reputation is per-node knowledge: each node fuses its own verdicts
-// plus the signed gossip it verified, so nodes legitimately differ).
+// plus the signed gossip it verified, so nodes legitimately differ),
+// alongside each node's exchange counters — federation role, rounds,
+// and the urgent piggyback totals (extracts sent on reply envelopes
+// and urgent entries merged off them).
 // "quarantine" locates a quarantined agent and prints the verdicts it
 // carries as evidence; when the holding node has spilled the agent to
 // disk (quarantine eviction on a node with -data-dir), the reply names
@@ -587,14 +590,25 @@ func runReputation(args []string) error {
 		switch {
 		case rep.ExchangeEnabled:
 			ex := rep.Exchange
-			fmt.Printf("           exchange: %d rounds (%d failed), sent=%d received=%d merged=%d served=%d last=%s\n",
-				ex.Rounds, ex.Failures, ex.EntriesSent, ex.EntriesReceived, ex.EntriesMerged,
+			fmt.Printf("           exchange: role=%s %d rounds (%d failed), sent=%d received=%d merged=%d served=%d last=%s\n",
+				exchangeRole(ex), ex.Rounds, ex.Failures, ex.EntriesSent, ex.EntriesReceived, ex.EntriesMerged,
 				ex.OffersServed, exchangeLast(ex))
+			if ex.UrgentSent > 0 || ex.UrgentMerged > 0 {
+				fmt.Printf("           urgent: piggybacked=%d merged=%d\n", ex.UrgentSent, ex.UrgentMerged)
+			}
 		case rep.Exchange.OffersServed > 0:
 			fmt.Printf("           exchange: loop disabled, %d offers served for peers\n", rep.Exchange.OffersServed)
 		}
 	}
 	return nil
+}
+
+// exchangeRole renders the federation tier (older nodes report none).
+func exchangeRole(ex core.ExchangeStats) string {
+	if ex.Role == "" {
+		return "flat"
+	}
+	return ex.Role
 }
 
 // exchangeLast renders the most recent round's peer and time.

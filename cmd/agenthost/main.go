@@ -29,6 +29,14 @@
 // the extracts traded per round; `agentctl reputation` shows each
 // node's exchange counters.
 //
+// -exchange-role with -exchange-aggregators runs the exchange as a
+// hierarchical federation instead of a flat mesh: members exchange only
+// with the named aggregator hosts, aggregators exchange among
+// themselves with a larger budget (-exchange-aggregator-budget,
+// default 4x), and fresh quarantine-level detections additionally ride
+// the reply envelope of every protocol call so a member learns them in
+// one RPC. See docs/OPERATIONS.md for the rollout walkthrough.
+//
 // With -level adaptive, -admission-threshold enables ledger-backed
 // admission control: a delivery from a host whose local suspicion sits
 // at or above the threshold is refused before it enters the intake
@@ -82,6 +90,9 @@ func run() error {
 	exchangeInterval := flag.Duration("exchange-interval", 0, "anti-entropy reputation exchange round interval (0 = disabled; requires -level adaptive)")
 	exchangePeers := flag.String("exchange-peers", "", "exchange partner hosts, comma-separated (empty = every -peers entry except this host)")
 	exchangeBudget := flag.Int("exchange-budget", 0, "ledger extracts traded per exchange round (0 = platform default)")
+	exchangeRole := flag.String("exchange-role", "", "federation tier: flat|member|aggregator (empty = flat; requires -exchange-interval)")
+	exchangeAggregators := flag.String("exchange-aggregators", "", "aggregator host names, comma-separated (required for -exchange-role member/aggregator)")
+	exchangeAggBudget := flag.Int("exchange-aggregator-budget", 0, "extracts per aggregator-to-aggregator round (0 = 4x -exchange-budget)")
 	admissionThreshold := flag.Float64("admission-threshold", 0, "refuse deliveries from hosts at/above this ledger suspicion (0 = admission control off; requires -level adaptive)")
 	refuseWhenFull := flag.Bool("refuse-when-full", false, "fast-fail deliveries when the intake queue is full instead of blocking the sender")
 	flag.Parse()
@@ -197,10 +208,24 @@ func run() error {
 	// Partial configuration is refused, not silently dropped — an
 	// operator who set peers or a budget expected an exchange to run.
 	var exchange core.ExchangeConfig
-	if *exchangeInterval <= 0 && (*exchangePeers != "" || *exchangeBudget != 0) {
-		return fmt.Errorf("-exchange-peers/-exchange-budget require -exchange-interval > 0")
+	if *exchangeInterval <= 0 && (*exchangePeers != "" || *exchangeBudget != 0 ||
+		*exchangeRole != "" || *exchangeAggregators != "" || *exchangeAggBudget != 0) {
+		return fmt.Errorf("-exchange-peers/-exchange-budget/-exchange-role/-exchange-aggregators/-exchange-aggregator-budget require -exchange-interval > 0")
 	}
 	if *exchangeInterval > 0 {
+		role, err := core.ParseExchangeRole(*exchangeRole)
+		if err != nil {
+			return err
+		}
+		aggList := splitList(*exchangeAggregators)
+		// Same refusal idiom: a federation flag without the tier it
+		// belongs to means the operator expected a hierarchy to run.
+		if role == core.ExchangeRoleFlat && (len(aggList) > 0 || *exchangeAggBudget != 0) {
+			return fmt.Errorf("-exchange-aggregators/-exchange-aggregator-budget require -exchange-role member or aggregator")
+		}
+		if role != core.ExchangeRoleFlat && len(aggList) == 0 {
+			return fmt.Errorf("-exchange-role %s requires -exchange-aggregators", role)
+		}
 		peersList := splitList(*exchangePeers)
 		if len(peersList) == 0 {
 			for peer := range book {
@@ -209,15 +234,23 @@ func run() error {
 				}
 			}
 		}
-		if len(peersList) == 0 {
+		if role == core.ExchangeRoleFlat && len(peersList) == 0 {
 			return fmt.Errorf("-exchange-interval set but no exchange peers (set -peers or -exchange-peers)")
 		}
 		exchange = core.ExchangeConfig{
-			Peers:    peersList,
-			Interval: *exchangeInterval,
-			Budget:   *exchangeBudget,
+			Peers:            peersList,
+			Interval:         *exchangeInterval,
+			Budget:           *exchangeBudget,
+			Role:             role,
+			Aggregators:      aggList,
+			AggregatorBudget: *exchangeAggBudget,
 		}
-		fmt.Printf("agenthost %s: anti-entropy exchange every %s with %d peers\n", *name, *exchangeInterval, len(peersList))
+		switch role {
+		case core.ExchangeRoleFlat:
+			fmt.Printf("agenthost %s: anti-entropy exchange every %s with %d peers\n", *name, *exchangeInterval, len(peersList))
+		default:
+			fmt.Printf("agenthost %s: anti-entropy exchange every %s as federation %s (%d aggregators)\n", *name, *exchangeInterval, role, len(aggList))
+		}
 	}
 	node, err := core.NewNode(core.NodeConfig{
 		Host:           h,

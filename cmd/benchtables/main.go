@@ -327,17 +327,44 @@ type convergenceRun struct {
 	ElapsedMs           float64 `json:"elapsed_ms"`
 }
 
+// federationArmRun is one mode of the federation A/B.
+type federationArmRun struct {
+	Mode               string  `json:"mode"`
+	Rounds             int     `json:"rounds"`
+	Messages           int     `json:"messages"`
+	Converged          bool    `json:"converged"`
+	SeedSuspicion      float64 `json:"seed_suspicion"`
+	MinRemoteSuspicion float64 `json:"min_remote_suspicion"`
+	ElapsedMs          float64 `json:"elapsed_ms"`
+}
+
+// federationRun records the flat-vs-hierarchical exchange A/B at equal
+// fleet size plus the urgent-piggyback exposure probe.
+type federationRun struct {
+	FleetNodes           int              `json:"fleet_nodes"`
+	Aggregators          []string         `json:"aggregators"`
+	Flat                 federationArmRun `json:"flat"`
+	Hierarchical         federationArmRun `json:"hierarchical"`
+	UrgentExposureRPCs   int              `json:"urgent_exposure_rpcs"`
+	UrgentEnvelopeMerges int64            `json:"urgent_envelope_merges"`
+	UrgentLearned        bool             `json:"urgent_learned"`
+}
+
 // fleetFile is the BENCH_fleet.json layout. The derived numbers are
 // the acceptance values future PRs track: adaptive throughput relative
 // to the cheap-rules baseline on an all-honest fleet, detection parity
-// with LevelFull on the mixed fleet, and the exchange rounds a
-// disjoint sub-fleet needs to converge on a cheater it never met.
+// with LevelFull on the mixed fleet, the exchange rounds a disjoint
+// sub-fleet needs to converge on a cheater it never met, and the
+// federation A/B (hierarchical rounds must stay at or under the flat
+// baseline with fewer total exchange messages, and a fresh urgent
+// detection must cross to a member in one RPC).
 type fleetFile struct {
 	GeneratedAt               string          `json:"generated_at"`
 	AdaptiveVsRulesHonest     float64         `json:"adaptive_vs_rules_honest_throughput_ratio"`
 	AdaptiveDetectionRate     float64         `json:"adaptive_mixed_detection_rate"`
 	DisjointConvergenceRounds int             `json:"disjoint_convergence_rounds"`
 	Disjoint                  *convergenceRun `json:"disjoint_convergence,omitempty"`
+	Federation                *federationRun  `json:"federation,omitempty"`
 	Runs                      []fleetRun      `json:"runs"`
 }
 
@@ -428,6 +455,39 @@ func runFleet(outPath string, cfg bench.FleetConfig, malicious int, quick bool) 
 		ElapsedMs:           float64(conv.Elapsed.Microseconds()) / 1000,
 	}
 
+	// The federation A/B: the same disjoint geometry run flat and
+	// hierarchical at equal fleet size, scoring rounds, total exchange
+	// messages, and the urgent one-RPC exposure window.
+	fedCfg := bench.FederationConfig{}
+	if quick {
+		fedCfg.SubFleetHosts, fedCfg.Agents = 4, 2
+	}
+	fmt.Fprintln(os.Stderr, "running fleet federation A/B...")
+	fed, err := bench.RunFederation(fedCfg)
+	if err != nil {
+		return err
+	}
+	armRun := func(a bench.FederationArm) federationArmRun {
+		return federationArmRun{
+			Mode:               a.Mode,
+			Rounds:             a.Rounds,
+			Messages:           a.Messages,
+			Converged:          a.Converged,
+			SeedSuspicion:      a.SeedSuspicion,
+			MinRemoteSuspicion: a.MinRemoteSuspicion,
+			ElapsedMs:          float64(a.Elapsed.Microseconds()) / 1000,
+		}
+	}
+	out.Federation = &federationRun{
+		FleetNodes:           fed.FleetNodes,
+		Aggregators:          fed.Aggregators,
+		Flat:                 armRun(fed.Flat),
+		Hierarchical:         armRun(fed.Hierarchical),
+		UrgentExposureRPCs:   fed.UrgentExposureRPCs,
+		UrgentEnvelopeMerges: fed.UrgentEnvelopeMerges,
+		UrgentLearned:        fed.UrgentLearned,
+	}
+
 	enc, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -435,8 +495,9 @@ func runFleet(outPath string, cfg bench.FleetConfig, malicious int, quick bool) 
 	if err := os.WriteFile(outPath, append(enc, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("fleet trajectory written to %s (adaptive/rules honest throughput %.3f, mixed detection rate %.3f, disjoint convergence in %d rounds)\n",
-		outPath, out.AdaptiveVsRulesHonest, out.AdaptiveDetectionRate, out.DisjointConvergenceRounds)
+	fmt.Printf("fleet trajectory written to %s (adaptive/rules honest throughput %.3f, mixed detection rate %.3f, disjoint convergence in %d rounds, federation hier %d rounds/%d msgs vs flat %d/%d, urgent exposure %d rpc)\n",
+		outPath, out.AdaptiveVsRulesHonest, out.AdaptiveDetectionRate, out.DisjointConvergenceRounds,
+		fed.Hierarchical.Rounds, fed.Hierarchical.Messages, fed.Flat.Rounds, fed.Flat.Messages, fed.UrgentExposureRPCs)
 	return nil
 }
 

@@ -1,0 +1,370 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/appraisal"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/policy"
+	"repro/internal/protection"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// The federation A/B: the same disjoint-traffic fleet geometry as
+// RunConvergence, run twice at equal fleet size — once flat (every node
+// exchanges across the whole membership) and once hierarchical (one
+// aggregator per sub-fleet; members exchange only with aggregators,
+// aggregators among themselves) — measuring rounds AND total exchange
+// messages until the oblivious sub-fleet's gates escalate. The flat
+// mesh needs O(N²) pairwise conversations for guaranteed coverage;
+// the hierarchy needs O(N + A²), and the message counter is where that
+// shows up at equal convergence quality. The run also probes the
+// urgent-extract piggyback: a fresh quarantine-level detection at an
+// aggregator must reach a member in exactly one RPC, riding the reply
+// envelope of that member's next (single) exchange call.
+
+// FederationConfig parameterizes the A/B. The zero value is the
+// benchtables default: 7 hosts per sub-fleet (16 nodes with the two
+// homes) — large enough that flat-mesh partner roulette costs real
+// messages, small enough for CI.
+type FederationConfig struct {
+	// SubFleetHosts is the untrusted host count per sub-fleet; 0 means 7.
+	SubFleetHosts int
+	// Agents is the itinerary count per sub-fleet; 0 means 3.
+	Agents int
+	// Cycles is the per-session computation; 0 means 2.
+	Cycles int
+	// Budget is the per-round exchange entry budget; 0 means the
+	// platform default (aggregators get the 4x aggregator budget).
+	Budget int
+	// MaxRounds bounds the synchronized rounds per arm; 0 means 32.
+	MaxRounds int
+	// Workers is the per-node worker count; 0 means core.DefaultWorkers.
+	Workers int
+}
+
+// FederationArm is one mode's outcome.
+type FederationArm struct {
+	// Mode is "flat" or "hierarchical".
+	Mode string
+	// Rounds is the number of stepping passes started before every
+	// remote node crossed the escalation threshold (a pass cut short by
+	// convergence still counts as one).
+	Rounds int
+	// Messages is the total exchange RPCs the fleet issued before
+	// convergence — the number every node's loop stats report summed,
+	// wasted pair-roulette included.
+	Messages int
+	// Converged is false if MaxRounds ran out.
+	Converged bool
+	// SeedSuspicion / MinRemoteSuspicion mirror ConvergenceResult.
+	SeedSuspicion      float64
+	MinRemoteSuspicion float64
+	// Elapsed is the wall time of the exchange phase.
+	Elapsed time.Duration
+}
+
+// FederationResult is the A/B outcome plus the urgent-piggyback probe.
+type FederationResult struct {
+	// FleetNodes is the per-arm node count (both arms equal).
+	FleetNodes int
+	// Aggregators names the hierarchical arm's aggregator nodes.
+	Aggregators  []string
+	Flat         FederationArm
+	Hierarchical FederationArm
+	// UrgentExposureRPCs is the number of RPCs a member needed before a
+	// fresh quarantine-level detection at its aggregator reached its
+	// ledger — the piggyback's claim is exactly 1.
+	UrgentExposureRPCs int
+	// UrgentEnvelopeMerges counts entries the probing member merged off
+	// reply envelopes (non-zero proves the envelope path engaged, not
+	// just the delta pull).
+	UrgentEnvelopeMerges int64
+	// UrgentLearned reports the member crossed the escalation threshold
+	// for the probe host after those RPCs.
+	UrgentLearned bool
+}
+
+// RunFederation runs both arms and the urgent probe.
+func RunFederation(cfg FederationConfig) (FederationResult, error) {
+	if cfg.SubFleetHosts <= 0 {
+		cfg.SubFleetHosts = 7
+	}
+	if cfg.Agents <= 0 {
+		cfg.Agents = 3
+	}
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 2
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 32
+	}
+	res := FederationResult{
+		FleetNodes:  2 + 2*cfg.SubFleetHosts,
+		Aggregators: []string{"homeA", "homeB"},
+	}
+	flat, _, err := runFederationArm(cfg, false)
+	if err != nil {
+		return res, fmt.Errorf("bench: federation flat arm: %w", err)
+	}
+	res.Flat = flat
+	hier, probe, err := runFederationArm(cfg, true)
+	if err != nil {
+		return res, fmt.Errorf("bench: federation hierarchical arm: %w", err)
+	}
+	res.Hierarchical = hier
+	res.UrgentExposureRPCs = probe.rpcs
+	res.UrgentEnvelopeMerges = probe.envelopeMerges
+	res.UrgentLearned = probe.learned
+	return res, nil
+}
+
+// urgentProbe is the piggyback measurement taken on the hierarchical
+// arm's fleet after convergence, before teardown.
+type urgentProbe struct {
+	rpcs           int
+	envelopeMerges int64
+	learned        bool
+}
+
+// runFederationArm builds one fleet (flat or hierarchical roles over
+// identical geometry), runs the traffic phase, and drives exchange
+// steps node by node until the remote sub-fleet converges — counting
+// passes and actual RPCs. The hierarchical arm additionally runs the
+// urgent-piggyback probe before teardown.
+func runFederationArm(cfg FederationConfig, hierarchical bool) (FederationArm, urgentProbe, error) {
+	arm := FederationArm{Mode: "flat"}
+	if hierarchical {
+		arm.Mode = "hierarchical"
+	}
+	var probe urgentProbe
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	reg := sigcrypto.NewRegistry()
+	net := transport.NewInProc()
+
+	subA := make([]string, cfg.SubFleetHosts)
+	subB := make([]string, cfg.SubFleetHosts)
+	for i := range subA {
+		subA[i] = fmt.Sprintf("a%d", i)
+		subB[i] = fmt.Sprintf("b%d", i)
+	}
+	malicious := subA[0]
+	aggregators := []string{"homeA", "homeB"}
+	allNames := append([]string{"homeA", "homeB"}, append(append([]string(nil), subA...), subB...)...)
+
+	stacks := make(map[string]protection.Stack, len(allNames))
+	nodeOf := make(map[string]*core.Node, len(allNames))
+	var nodes []*core.Node
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		for _, s := range stacks {
+			_ = s.Close()
+		}
+	}()
+	addNode := func(name string, trusted bool, behavior host.Behavior) error {
+		keys, err := sigcrypto.GenerateKeyPair(name)
+		if err != nil {
+			return err
+		}
+		h, err := host.New(host.Config{
+			Name: name, Keys: keys, Registry: reg,
+			Trusted: trusted, Behavior: behavior,
+		})
+		if err != nil {
+			return err
+		}
+		stack, err := protection.Assemble(protection.LevelAdaptive, protection.Options{})
+		if err != nil {
+			return err
+		}
+		xcfg := core.ExchangeConfig{
+			Peers:    allNames,
+			Interval: time.Hour, // rounds are driven manually
+			Budget:   cfg.Budget,
+		}
+		if hierarchical {
+			xcfg.Aggregators = aggregators
+			xcfg.Role = core.ExchangeRoleMember
+			if name == "homeA" || name == "homeB" {
+				xcfg.Role = core.ExchangeRoleAggregator
+			}
+		}
+		node, err := core.NewNode(core.NodeConfig{
+			Host:       h,
+			Net:        net,
+			Mechanisms: stack.Mechanisms,
+			Policy:     stack.Policy,
+			Workers:    cfg.Workers,
+			QueueDepth: 2*cfg.Agents + 1,
+			Exchange:   xcfg,
+		})
+		if err != nil {
+			return err
+		}
+		stacks[name] = stack
+		nodes = append(nodes, node)
+		nodeOf[name] = node
+		net.Register(name, node)
+		return nil
+	}
+
+	if err := addNode("homeA", true, nil); err != nil {
+		return arm, probe, err
+	}
+	if err := addNode("homeB", true, nil); err != nil {
+		return arm, probe, err
+	}
+	for _, name := range subA {
+		var behavior host.Behavior
+		if name == malicious {
+			behavior = tamperCounting{onSession: func(string, int) {}}
+		}
+		if err := addNode(name, false, behavior); err != nil {
+			return arm, probe, err
+		}
+	}
+	for _, name := range subB {
+		if err := addNode(name, false, nil); err != nil {
+			return arm, probe, err
+		}
+	}
+
+	owner, err := sigcrypto.GenerateKeyPair("federation-owner")
+	if err != nil {
+		return arm, probe, err
+	}
+	if err := reg.RegisterKeyPair(owner); err != nil {
+		return arm, probe, err
+	}
+	rules := appraisal.RuleSet{appraisal.MustRule("total-tracks-hops", "total == hops")}
+
+	// Traffic phase: identical to the convergence scenario — each
+	// sub-fleet's itineraries never leave it.
+	launch := func(prefix, home string, untrusted []string) ([]*core.Receipt, error) {
+		code := fleetCode(home, untrusted, cfg.Cycles)
+		var receipts []*core.Receipt
+		for i := 0; i < cfg.Agents; i++ {
+			ag, err := agent.New(fmt.Sprintf("%s-%03d", prefix, i), "federation-owner", code, "main")
+			if err != nil {
+				return nil, err
+			}
+			ag.SetVar("total", value.Int(0))
+			ag.SetVar("hops", value.Int(0))
+			ag.SetVar("sum", value.Int(0))
+			if err := appraisal.Attach(ag, rules, owner); err != nil {
+				return nil, err
+			}
+			wire, err := ag.Marshal()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range nodes {
+				receipts = append(receipts, n.Watch(ag.ID))
+			}
+			if err := net.SendAgent(ctx, home, wire); err != nil {
+				return nil, fmt.Errorf("launching %s agent %d: %w", prefix, i, err)
+			}
+		}
+		return receipts, nil
+	}
+	rcsA, err := launch(arm.Mode+"-a", "homeA", subA)
+	if err != nil {
+		return arm, probe, err
+	}
+	rcsB, err := launch(arm.Mode+"-b", "homeB", subB)
+	if err != nil {
+		return arm, probe, err
+	}
+	for _, rcs := range [][]*core.Receipt{rcsA, rcsB} {
+		for i := 0; i < cfg.Agents; i++ {
+			span := rcs[i*len(nodes) : (i+1)*len(nodes)]
+			if _, err := core.AwaitAny(ctx, span...); err != nil && !errors.Is(err, core.ErrDetection) {
+				return arm, probe, fmt.Errorf("itinerary %d: %w", i, err)
+			}
+		}
+	}
+
+	for _, name := range append([]string{"homeA"}, subA...) {
+		if s := stacks[name].Ledger.Suspicion(malicious); s > arm.SeedSuspicion {
+			arm.SeedSuspicion = s
+		}
+	}
+	if arm.SeedSuspicion < policy.DefaultEscalateThreshold {
+		return arm, probe, fmt.Errorf("traffic phase produced no detection (seed suspicion %.3f)", arm.SeedSuspicion)
+	}
+	remoteNodes := append([]string{"homeB"}, subB...)
+	for _, name := range remoteNodes {
+		if stacks[name].Ledger.Suspicion(malicious) >= policy.DefaultEscalateThreshold {
+			return arm, probe, fmt.Errorf("disjoint premise violated: %s already suspects %s", name, malicious)
+		}
+	}
+
+	// Exchange phase: node-by-node steps in fixed order (aggregators
+	// first), convergence checked after every step so a mid-pass finish
+	// stops the message counter exactly where exposure ended.
+	converged := func() bool {
+		arm.MinRemoteSuspicion = 0
+		for i, name := range remoteNodes {
+			s := stacks[name].Ledger.Suspicion(malicious)
+			if i == 0 || s < arm.MinRemoteSuspicion {
+				arm.MinRemoteSuspicion = s
+			}
+		}
+		return arm.MinRemoteSuspicion >= policy.DefaultEscalateThreshold
+	}
+	messages := func() int {
+		total := 0
+		for _, name := range allNames {
+			st, _ := stacks[name].Gossip.ExchangeStats()
+			total += int(st.Rounds)
+		}
+		return total
+	}
+	begin := time.Now()
+passes:
+	for arm.Rounds < cfg.MaxRounds && !converged() {
+		arm.Rounds++
+		for _, name := range allNames {
+			_ = stacks[name].Gossip.Exchange().Step(ctx)
+			if converged() {
+				break passes
+			}
+		}
+	}
+	arm.Elapsed = time.Since(begin)
+	arm.Converged = converged()
+	arm.Messages = messages()
+
+	if hierarchical && arm.Converged {
+		// Urgent probe: a fresh quarantine-level detection at homeA must
+		// reach a member on its next single RPC, riding the reply
+		// envelope (UrgentMerged proves the envelope engaged).
+		const probeHost = "urgent-probe-cheat"
+		victim := subB[len(subB)-1]
+		stacks["homeA"].Ledger.Observe(probeHost, false, 2*policy.DefaultQuarantineThreshold)
+		if s := stacks[victim].Ledger.Suspicion(probeHost); s != 0 {
+			return arm, probe, fmt.Errorf("urgent probe host already known at %s (%.3f)", victim, s)
+		}
+		before, _ := stacks[victim].Gossip.ExchangeStats()
+		if err := nodeOf[victim].UpdateExchangePeers([]string{"homeA"}); err != nil {
+			return arm, probe, fmt.Errorf("pinning probe member to homeA: %w", err)
+		}
+		_ = stacks[victim].Gossip.Exchange().Step(ctx)
+		after, _ := stacks[victim].Gossip.ExchangeStats()
+		probe.rpcs = int(after.Rounds - before.Rounds)
+		probe.envelopeMerges = after.UrgentMerged - before.UrgentMerged
+		probe.learned = stacks[victim].Ledger.Suspicion(probeHost) >= policy.DefaultEscalateThreshold
+	}
+	return arm, probe, nil
+}

@@ -130,6 +130,13 @@ type Config struct {
 	AdversaryPosition int
 	// Playbook scripts when the adversary cheats.
 	Playbook Playbook
+	// Aggregators, when non-empty, runs the exchange federation
+	// hierarchically: the named initial members (home or workers) act as
+	// aggregators, everyone else — late joiners and Sybil rotations
+	// included — exchanges only with them. Partitions and kills then cut
+	// at aggregator boundaries, which is exactly what the aggregator-cut
+	// scenario pressures.
+	Aggregators []string
 	// Faults is the chaos schedule applied to the fabric step by step
 	// (partitions, link faults, node kill/restart).
 	Faults faultnet.Schedule
@@ -275,6 +282,17 @@ func Run(cfg Config) (Score, error) {
 	}
 	if cfg.AdversaryPosition < 0 || cfg.AdversaryPosition > len(cfg.Workers) {
 		return Score{}, fmt.Errorf("campaign: adversary position %d outside [0,%d]", cfg.AdversaryPosition, len(cfg.Workers))
+	}
+	for _, a := range cfg.Aggregators {
+		known := a == "home"
+		for _, w := range cfg.Workers {
+			if w == a {
+				known = true
+			}
+		}
+		if !known {
+			return Score{}, fmt.Errorf("campaign: aggregator %s is neither home nor an initial worker", a)
+		}
 	}
 	if cfg.Durable && cfg.DataRoot == "" {
 		root, err := os.MkdirTemp("", "campaign-"+cfg.Name+"-")
@@ -497,7 +515,7 @@ func (r *runner) openMember(m *member) error {
 		DataDir:    m.dataDir,
 		// Parked interval: rounds are driven explicitly by the step
 		// loop so their order and count are part of the scenario.
-		Exchange: core.ExchangeConfig{Peers: r.exchangePeersFor(m), Interval: time.Hour},
+		Exchange: r.exchangeConfigFor(m),
 	})
 	if err != nil {
 		_ = stack.Close()
@@ -509,6 +527,24 @@ func (r *runner) openMember(m *member) error {
 	m.stack, m.node, m.alive = stack, node, true
 	r.inner.Register(m.name, node)
 	return nil
+}
+
+// exchangeConfigFor builds a member's exchange configuration: a flat
+// ring over the fleet, or — when the scenario names aggregators — the
+// hierarchical federation with this member's role derived from that
+// list. The interval is parked either way; the step loop drives rounds.
+func (r *runner) exchangeConfigFor(m *member) core.ExchangeConfig {
+	xcfg := core.ExchangeConfig{Peers: r.exchangePeersFor(m), Interval: time.Hour}
+	if len(r.cfg.Aggregators) > 0 {
+		xcfg.Aggregators = r.cfg.Aggregators
+		xcfg.Role = core.ExchangeRoleMember
+		for _, a := range r.cfg.Aggregators {
+			if a == m.name {
+				xcfg.Role = core.ExchangeRoleAggregator
+			}
+		}
+	}
+	return xcfg
 }
 
 // exchangePeersFor seeds a new node's ring: the current fleet, or —

@@ -173,6 +173,51 @@ func TestCampaignPlannerEvasion(t *testing.T) {
 	}
 }
 
+// TestCampaignAggregatorCut pins the hierarchical federation under
+// aggregator loss on a trimmed scenario: members exchange only with
+// the two aggregators, one aggregator is crash-killed one step after
+// the cheating starts (the rounds aimed at it that step fail into the
+// cooldown and shift to the survivor) and restarted later with its WAL
+// ledger intact. The fleet must still converge on the adversary and
+// honest hosts must come through clean.
+func TestCampaignAggregatorCut(t *testing.T) {
+	cfg := Config{
+		Name:              "fast-agg-cut",
+		Seed:              13,
+		Steps:             16,
+		Workers:           []string{"w1", "w2"},
+		Adversary:         "mallory",
+		AdversaryPosition: 1,
+		Playbook:          Playbook{CheatStart: 3},
+		Aggregators:       []string{"home", "w1"},
+		Durable:           true,
+		Faults: faultnet.Schedule{
+			{Step: 4, Kill: "w1"},
+			{Step: 7, Restart: "w1"},
+		},
+	}
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Restarts != 1 {
+		t.Fatalf("schedule restarts = %d, want 1", s.Restarts)
+	}
+	if s.TamperedAgents == 0 {
+		t.Fatal("adversary never tampered; scenario is vacuous")
+	}
+	if s.DetectedTampered != s.TamperedAgents {
+		t.Errorf("detected %d of %d tampered journeys", s.DetectedTampered, s.TamperedAgents)
+	}
+	if !s.Converged {
+		t.Error("federation never converged across the aggregator cut")
+	}
+	if s.HonestQuarantines != 0 || s.MaxHonestSuspicion != 0 {
+		t.Errorf("honest hosts punished: %d quarantines, max suspicion %.4f",
+			s.HonestQuarantines, s.MaxHonestSuspicion)
+	}
+}
+
 // TestCampaignChaosCI is the full campaign smoke, gated behind
 // REPRO_CAMPAIGN=1 (CI runs it; see .github/workflows/ci.yml): every
 // canned scenario runs end to end, honest hosts come through every one
@@ -196,7 +241,7 @@ func TestCampaignChaosCI(t *testing.T) {
 			t.Errorf("%s: honest journeys quarantined: %d", cfg.Name, s.HonestQuarantines)
 		}
 		switch cfg.Name {
-		case "partition-heal", "restart-chaos", "flap", "planner-evasion":
+		case "partition-heal", "restart-chaos", "flap", "planner-evasion", "aggregator-cut":
 			if !s.Converged {
 				t.Errorf("%s: fleet never converged on the adversary", cfg.Name)
 			}

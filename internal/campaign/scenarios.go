@@ -142,6 +142,33 @@ func ScenarioPlannerEvasion() Config {
 	}
 }
 
+// ScenarioAggregatorCut crash-kills an aggregator of a hierarchical
+// exchange federation while the fleet is mid-convergence on a cheater.
+// home and w1 aggregate for the sub-fleet; members exchange only with
+// them. One step after the cheating starts, w1 is cut — that step's
+// member rounds aimed at it fail into the per-peer cooldown and shift
+// to home — and restarted four steps later, recovering its ledger from
+// the WAL. Expected: fleet-wide convergence anyway (the surviving
+// aggregator carries the federation through the cut, and the restarted
+// one is pulled level by its peers), with zero honest quarantines.
+func ScenarioAggregatorCut() Config {
+	return Config{
+		Name:              "aggregator-cut",
+		Seed:              61,
+		Steps:             28,
+		Workers:           []string{"w1", "w2", "w3"},
+		Adversary:         "mallory",
+		AdversaryPosition: 1,
+		Playbook:          Playbook{CheatStart: 5},
+		Aggregators:       []string{"home", "w1"},
+		Durable:           true,
+		Faults: faultnet.Schedule{
+			{Step: 6, Kill: "w1"},
+			{Step: 10, Restart: "w1"},
+		},
+	}
+}
+
 // Scenarios returns the full campaign suite in report order.
 func Scenarios() []Config {
 	return []Config{
@@ -150,5 +177,6 @@ func Scenarios() []Config {
 		ScenarioPartitionHeal(),
 		ScenarioRestartChaos(),
 		ScenarioPlannerEvasion(),
+		ScenarioAggregatorCut(),
 	}
 }

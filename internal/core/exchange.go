@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"time"
 )
 
@@ -27,25 +28,80 @@ const (
 	// request, so a hostile initiator cannot turn one offer into an
 	// arbitrarily large reply.
 	MaxExchangeBudget = 256
+	// DefaultAggregatorBudgetFactor scales an aggregator's per-round
+	// budget over the member budget when ExchangeConfig.AggregatorBudget
+	// is zero: aggregator↔aggregator rounds carry a whole sub-fleet's
+	// worth of extracts, so they get more room (clamped to the max).
+	DefaultAggregatorBudgetFactor = 4
 )
+
+// ExchangeRole selects a node's tier in the exchange federation.
+type ExchangeRole string
+
+// Federation tiers. Flat is the original topology: every node draws
+// partners from the whole peer list. In hierarchical mode, members
+// exchange only with the designated aggregators (failing over among
+// them by score), and aggregators exchange with the other aggregators
+// using the larger budget — per-round fleet message count drops from
+// O(N²) toward O(N + A²).
+const (
+	ExchangeRoleFlat       ExchangeRole = "flat"
+	ExchangeRoleMember     ExchangeRole = "member"
+	ExchangeRoleAggregator ExchangeRole = "aggregator"
+)
+
+// ParseExchangeRole maps an operator-supplied string ("" means flat)
+// to a role, rejecting unknown values.
+func ParseExchangeRole(s string) (ExchangeRole, error) {
+	switch ExchangeRole(s) {
+	case "", ExchangeRoleFlat:
+		return ExchangeRoleFlat, nil
+	case ExchangeRoleMember:
+		return ExchangeRoleMember, nil
+	case ExchangeRoleAggregator:
+		return ExchangeRoleAggregator, nil
+	}
+	return "", fmt.Errorf("core: unknown exchange role %q (want flat, member, or aggregator)", s)
+}
 
 // ExchangeConfig configures a node's anti-entropy reputation exchange.
 // The zero value disables it.
 type ExchangeConfig struct {
 	// Peers is the fleet address list the loop draws partners from (the
-	// node's own name is skipped). Empty disables the exchange.
+	// node's own name is skipped). Empty disables the exchange unless
+	// Aggregators is set.
 	Peers []string
-	// Interval paces the rounds; one random-order peer is visited per
-	// round. 0 means DefaultExchangeInterval.
+	// Interval paces the rounds; one scheduler-picked peer is visited
+	// per round. 0 means DefaultExchangeInterval.
 	Interval time.Duration
 	// Budget bounds the ledger extracts each side contributes per
 	// round. 0 means DefaultExchangeBudget; values above
 	// MaxExchangeBudget are clamped.
 	Budget int
+
+	// Role selects the federation tier; empty means flat. Member and
+	// aggregator roles require Aggregators.
+	Role ExchangeRole
+	// Aggregators names the designated aggregator nodes. A member draws
+	// partners only from this list; an aggregator from this list minus
+	// itself (a sole aggregator initiates no rounds but still serves
+	// its members' offers).
+	Aggregators []string
+	// AggregatorBudget is the per-round budget aggregator↔aggregator
+	// rounds use; 0 means DefaultAggregatorBudgetFactor × Budget,
+	// clamped to MaxExchangeBudget.
+	AggregatorBudget int
+
+	// StatePath, when set, persists the partner scheduler's per-peer
+	// state (staleness anchors, failure penalties, distance estimates)
+	// across restarts — without it a restart forgets which peers were
+	// dead and lets them burn rounds again. Nodes with a data directory
+	// set it automatically.
+	StatePath string
 }
 
 // Enabled reports whether the configuration asks for an exchange loop.
-func (c ExchangeConfig) Enabled() bool { return len(c.Peers) > 0 }
+func (c ExchangeConfig) Enabled() bool { return len(c.Peers) > 0 || len(c.Aggregators) > 0 }
 
 // Exchanger is the optional Mechanism extension the node looks for when
 // NodeConfig.Exchange is set: the mechanism owns the protocol (it also
@@ -81,6 +137,14 @@ type ExchangeStats struct {
 	// round.
 	LastPeer     string
 	LastUnixNano int64
+	// Role is the node's federation tier ("flat", "member",
+	// "aggregator").
+	Role string
+	// UrgentSent counts protocol replies this node wrapped with urgent
+	// quarantine-level extracts; UrgentMerged counts urgent entries
+	// received on replies that survived verification and merged.
+	UrgentSent   int64
+	UrgentMerged int64
 }
 
 // ExchangeReporter is the optional Mechanism extension that exposes

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -235,6 +236,10 @@ type Node struct {
 	// construction (nil when NodeConfig.Exchange is disabled); Close
 	// calls it before waiting out the workers.
 	stopExchange func()
+	// urgent is the mechanism serving urgent reply baggage (nil when no
+	// mechanism implements UrgentProvider); HandleCall consults it when
+	// answering mechanism-namespace calls.
+	urgent UrgentProvider
 	// intake counts in-flight enqueue calls; Close waits for them
 	// before draining so no delivery is accepted and then silently
 	// lost.
@@ -382,6 +387,24 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		cancel()
 		return nil, err
 	}
+	// Urgent piggyback plumbing: if a mechanism can merge urgent reply
+	// baggage, every outbound mechanism call opens the reply envelope
+	// through a wrapping network; if one can provide baggage, served
+	// mechanism replies carry it (see urgent.go). Both are discovered
+	// like the Exchanger — the node owns plumbing, mechanisms own
+	// content.
+	for _, m := range cfg.Mechanisms {
+		if p, ok := m.(UrgentProvider); ok {
+			n.urgent = p
+			break
+		}
+	}
+	for _, m := range cfg.Mechanisms {
+		if mg, ok := m.(UrgentMerger); ok {
+			n.hc.Net = &urgentNet{inner: cfg.Net, hc: n.hc, merger: mg}
+			break
+		}
+	}
 	if cfg.Exchange.Enabled() {
 		var ex Exchanger
 		for _, m := range cfg.Mechanisms {
@@ -396,7 +419,14 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 				errors.New("core: exchange configured but no mechanism implements core.Exchanger (the adaptive level's gossip mechanism does)"),
 				n.journal.Close(), n.quarantine.Close())
 		}
-		stop, err := ex.StartExchange(ctx, n.hc, cfg.Exchange)
+		xcfg := cfg.Exchange
+		if xcfg.StatePath == "" && cfg.DataDir != "" {
+			// The scheduler's restart memory rides the node's data
+			// directory by default: without it a restart forgets which
+			// peers were dead and probes them all afresh.
+			xcfg.StatePath = filepath.Join(cfg.DataDir, "exchange-sched.state")
+		}
+		stop, err := ex.StartExchange(ctx, n.hc, xcfg)
 		if err != nil {
 			cancel()
 			return nil, errors.Join(err, n.journal.Close(), n.quarantine.Close())
@@ -1310,7 +1340,18 @@ func (n *Node) HandleCall(ctx context.Context, method string, body []byte) ([]by
 		if !ok {
 			return nil, fmt.Errorf("%w: mechanism %q takes no calls", transport.ErrUnknownMethod, name)
 		}
-		return h.HandleCall(ctx, n.hc, rest, body)
+		reply, err := h.HandleCall(ctx, n.hc, rest, body)
+		if err != nil || n.urgent == nil {
+			return reply, err
+		}
+		// Mechanism replies (never node/ builtins — external tools gob-
+		// decode those raw) carry urgent quarantine-level extracts when
+		// the provider has any: the caller learns of a fresh detection
+		// in the same RPC that triggered it.
+		if baggage := n.urgent.UrgentReplyBaggage(n.hc); len(baggage) > 0 {
+			reply = transport.WrapReply(reply, baggage)
+		}
+		return reply, nil
 	}
 	return nil, fmt.Errorf("%w: no mechanism %q", transport.ErrUnknownMethod, name)
 }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/transport"
+)
+
+// Urgent-extract piggybacking. A quarantine-level detection is exactly
+// the information a calling peer should not wait an exchange round to
+// hear, and the call that triggered the detection is already open. The
+// node therefore threads an optional urgent-baggage slot through every
+// mechanism-namespace reply it serves (transport.WrapReply) and opens
+// the same slot on every reply its mechanisms receive — the exposure
+// window for a fresh detection shrinks to the one RPC that caused it.
+//
+// The mechanism owns the content (what counts as urgent, how it is
+// signed and merged); the node owns the plumbing. Replies with nothing
+// urgent stay byte-identical to pre-envelope replies, and "node/"
+// builtins are never wrapped: their gob codecs are consumed by external
+// tooling that expects raw payloads.
+
+// UrgentProvider is the optional Mechanism extension the node consults
+// when serving a mechanism call: non-empty baggage (bounded, signed —
+// the provider's responsibility, enforced downstream by the verifying
+// merger) rides back on the reply.
+type UrgentProvider interface {
+	// UrgentReplyBaggage returns the current urgent payload, or nil
+	// when nothing has crossed the urgency threshold. Called on every
+	// served mechanism call, so implementations must be cheap in the
+	// nothing-urgent case.
+	UrgentReplyBaggage(hc *HostContext) []byte
+}
+
+// UrgentMerger is the optional Mechanism extension that ingests urgent
+// baggage found on call replies. Implementations must verify before
+// merging — baggage arrives over the same attacker-controllable
+// transport as gossip — and be idempotent under replay.
+type UrgentMerger interface {
+	// MergeUrgentBaggage verifies and merges baggage, returning how
+	// many entries survived.
+	MergeUrgentBaggage(hc *HostContext, baggage []byte) int
+}
+
+// urgentNet wraps the node's outbound network so every mechanism-made
+// call transparently opens the reply envelope and hands urgent baggage
+// to the merger. Mechanisms keep seeing exactly the payloads their
+// codecs expect.
+type urgentNet struct {
+	inner  transport.Network
+	hc     *HostContext
+	merger UrgentMerger
+}
+
+var _ transport.Network = (*urgentNet)(nil)
+
+// SendAgent delegates; agent migration has its own baggage channel.
+func (u *urgentNet) SendAgent(ctx context.Context, host string, wire []byte) error {
+	return u.inner.SendAgent(ctx, host, wire)
+}
+
+// Call performs the request and strips any urgent baggage from the
+// reply into the merger. A failed call has no reply to open; merge
+// failures cannot fail the call (the baggage is advisory).
+func (u *urgentNet) Call(ctx context.Context, host, method string, body []byte) ([]byte, error) {
+	raw, err := u.inner.Call(ctx, host, method, body)
+	if err != nil {
+		return raw, err
+	}
+	payload, baggage := transport.OpenReply(raw)
+	if len(baggage) > 0 {
+		u.merger.MergeUrgentBaggage(u.hc, baggage)
+	}
+	return payload, nil
+}

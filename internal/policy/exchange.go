@@ -5,9 +5,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
-	"math/rand"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -27,7 +27,8 @@ import (
 //
 //	initiator                         responder
 //	   | reputation/offer                 |
-//	   |  (budget, ledger summary,        |
+//	   |  (initiator, budget,             |
+//	   |   ledger summary,                |
 //	   |   own signed extracts)  -------> |  verify + Merge extracts
 //	   |                                  |  delta = own extracts the
 //	   |                                  |  summary shows the initiator
@@ -43,11 +44,19 @@ import (
 // gossipDamping per relay hop, and replayed or duplicated offers are
 // idempotent because Merge is a decayed max.
 //
-// Peers are visited in randomized round-robin: the configured peer
-// list is shuffled once (seeded from the host name, so a node's visit
-// order is deterministic and test-replayable while differing across
-// nodes) and each round advances one position — every peer is reached
-// within len(peers) rounds, which upper-bounds fleet convergence time.
+// Partner selection is the weighted Scheduler (schedule.go): each round
+// visits the peer scoring highest on staleness × estimated ledger
+// distance, with failures folded in as a score penalty. With nothing to
+// separate peers the scheduler degenerates to a deterministic
+// round-robin, so the old ring's convergence bound — every peer within
+// len(peers) rounds — still holds; with signal, divergent and
+// long-unseen peers are reached sooner.
+//
+// In hierarchical mode (core.ExchangeRoleMember / RoleAggregator) the
+// same loop runs over a role-derived partner pool: members pull from
+// the designated aggregators only, aggregators from each other with a
+// larger budget, and the fleet's per-round message count drops from
+// O(N²) toward O(N + A²).
 const (
 	// offerWireLabel / summaryWireLabel / deltaWireLabel version the
 	// three exchange message framings.
@@ -68,13 +77,6 @@ const (
 	// exchangeCallTimeout bounds one peer call so a hung peer cannot
 	// stall the loop past its own round.
 	exchangeCallTimeout = 15 * time.Second
-
-	// maxPeerCooldownRounds caps the per-peer failure backoff: a peer
-	// that keeps failing its rounds is skipped for exponentially many
-	// of its ring turns (1, 2, 4, ...), but never longer than this, so
-	// a long-dead peer stops burning exchange budget yet is probed
-	// again within a bounded number of its turns once it recovers.
-	maxPeerCooldownRounds = 16
 )
 
 // ErrExchangeWire is wrapped by rejections of exchange message framing.
@@ -88,9 +90,14 @@ type summaryItem struct {
 	Suspicion float64
 }
 
-// encodeOffer renders an offer: the initiator's reply budget, its
-// ledger summary, and its own signed extracts (the push half).
-func encodeOffer(budget int, summary []summaryItem, entries []GossipEntry) ([]byte, error) {
+// encodeOffer renders an offer: the initiator's name (so the responder
+// can feed its own scheduler's distance estimate for that peer), its
+// reply budget, its ledger summary, and its own signed extracts (the
+// push half).
+func encodeOffer(initiator string, budget int, summary []summaryItem, entries []GossipEntry) ([]byte, error) {
+	if len(initiator) > maxPrincipalLen {
+		return nil, fmt.Errorf("%w: initiator name over bound", ErrExchangeWire)
+	}
 	enc, err := encodeEntries(entries)
 	if err != nil {
 		return nil, err
@@ -105,6 +112,7 @@ func encodeOffer(budget int, summary []summaryItem, entries []GossipEntry) ([]by
 	}
 	out := canon.Tuple(
 		[]byte(offerWireLabel),
+		[]byte(initiator),
 		appendU64(uint64(budget)),
 		canon.Tuple(sfields...),
 		enc,
@@ -116,48 +124,52 @@ func encodeOffer(budget int, summary []summaryItem, entries []GossipEntry) ([]by
 }
 
 // decodeOffer parses an offer, clamping the requested budget and
-// bounding every dimension before allocation.
-func decodeOffer(body []byte) (budget int, summary map[string]float64, entries []GossipEntry, err error) {
+// bounding every dimension before allocation. The initiator name is
+// advisory routing metadata (it tunes the responder's scheduler), not
+// trust: trust rides only on the per-entry signatures.
+func decodeOffer(body []byte) (initiator string, budget int, summary map[string]float64, entries []GossipEntry, err error) {
 	if len(body) > MaxExchangeWireBytes {
-		return 0, nil, nil, fmt.Errorf("%w: %d bytes over %d", ErrExchangeWire, len(body), MaxExchangeWireBytes)
+		return "", 0, nil, nil, fmt.Errorf("%w: %d bytes over %d", ErrExchangeWire, len(body), MaxExchangeWireBytes)
 	}
 	fields, err := canon.ParseTuple(body)
 	if err != nil {
-		return 0, nil, nil, fmt.Errorf("%w: %v", ErrExchangeWire, err)
+		return "", 0, nil, nil, fmt.Errorf("%w: %v", ErrExchangeWire, err)
 	}
-	if len(fields) != 4 || string(fields[0]) != offerWireLabel || len(fields[1]) != 8 {
-		return 0, nil, nil, fmt.Errorf("%w: bad offer framing", ErrExchangeWire)
+	if len(fields) != 5 || string(fields[0]) != offerWireLabel ||
+		len(fields[1]) > maxPrincipalLen || len(fields[2]) != 8 {
+		return "", 0, nil, nil, fmt.Errorf("%w: bad offer framing", ErrExchangeWire)
 	}
-	budget = int(binary.BigEndian.Uint64(fields[1]))
+	initiator = string(fields[1])
+	budget = int(binary.BigEndian.Uint64(fields[2]))
 	if budget < 1 {
 		budget = 1
 	}
 	if budget > core.MaxExchangeBudget {
 		budget = core.MaxExchangeBudget
 	}
-	sfields, err := canon.ParseTuple(fields[2])
+	sfields, err := canon.ParseTuple(fields[3])
 	if err != nil {
-		return 0, nil, nil, fmt.Errorf("%w: summary: %v", ErrExchangeWire, err)
+		return "", 0, nil, nil, fmt.Errorf("%w: summary: %v", ErrExchangeWire, err)
 	}
 	if len(sfields) == 0 || string(sfields[0]) != summaryWireLabel {
-		return 0, nil, nil, fmt.Errorf("%w: bad summary framing", ErrExchangeWire)
+		return "", 0, nil, nil, fmt.Errorf("%w: bad summary framing", ErrExchangeWire)
 	}
 	if len(sfields)-1 > maxSummaryEntries {
-		return 0, nil, nil, fmt.Errorf("%w: %d summary entries over %d", ErrExchangeWire, len(sfields)-1, maxSummaryEntries)
+		return "", 0, nil, nil, fmt.Errorf("%w: %d summary entries over %d", ErrExchangeWire, len(sfields)-1, maxSummaryEntries)
 	}
 	summary = make(map[string]float64, len(sfields)-1)
 	for _, f := range sfields[1:] {
 		item, err := canon.ParseTuple(f)
 		if err != nil || len(item) != 2 || len(item[0]) > maxPrincipalLen || len(item[1]) != 8 {
-			return 0, nil, nil, fmt.Errorf("%w: bad summary item", ErrExchangeWire)
+			return "", 0, nil, nil, fmt.Errorf("%w: bad summary item", ErrExchangeWire)
 		}
 		summary[string(item[0])] = floatFromBits(binary.BigEndian.Uint64(item[1]))
 	}
-	entries, err = decodeEntriesBounded(fields[3], core.MaxExchangeBudget)
+	entries, err = decodeEntriesBounded(fields[4], core.MaxExchangeBudget)
 	if err != nil {
-		return 0, nil, nil, err
+		return "", 0, nil, nil, err
 	}
-	return budget, summary, entries, nil
+	return initiator, budget, summary, entries, nil
 }
 
 // encodeDelta renders the responder's reply: its signed extracts the
@@ -195,13 +207,21 @@ type Exchange struct {
 	cfg    core.ExchangeConfig
 	now    func() time.Time
 
-	mu    sync.Mutex
-	peers []string // shuffled ring; next indexes the coming round
-	next  int
-	// cool tracks per-peer failure backoff: a peer that failed its
-	// last round is skipped for exponentially many of its ring turns
-	// (reset to zero by the first success).
-	cool    map[string]*peerCooldown
+	// sched is the weighted partner scheduler over the role-derived
+	// pool; role and aggSet derive partner pools from membership
+	// updates; budget is the effective per-round entry budget (the
+	// aggregator budget on the aggregator tier).
+	sched  *Scheduler
+	role   core.ExchangeRole
+	aggSet map[string]bool
+	budget int
+	// statePath, when non-empty, persists the scheduler's per-peer
+	// state after every round (and loads it at construction) — the
+	// restart memory that keeps a recovered node from re-probing every
+	// long-dead peer at full budget.
+	statePath string
+
+	mu      sync.Mutex
 	stats   core.ExchangeStats
 	stopped bool
 
@@ -209,25 +229,16 @@ type Exchange struct {
 	done chan struct{}
 }
 
-// peerCooldown is one peer's failure-backoff state.
-type peerCooldown struct {
-	// fails counts consecutive failed rounds; skip is how many of the
-	// peer's coming ring turns are passed over before the next probe.
-	fails int
-	skip  int
-}
-
-// newExchange validates and normalizes the configuration. The peer
-// list is deduplicated, purged of the node itself, and shuffled with a
-// seed derived from the host name.
+// newExchange validates and normalizes the configuration, derives the
+// role's partner pool, and restores persisted scheduler state.
 func newExchange(g *Gossip, hc *core.HostContext, cfg core.ExchangeConfig) (*Exchange, error) {
 	if hc == nil || hc.Host == nil || hc.Net == nil {
 		return nil, errors.New("policy: exchange needs a host context with a network")
 	}
 	self := hc.Host.Name()
-	peers, err := normalizeRing(self, cfg.Peers)
-	if err != nil {
-		return nil, err
+	role := cfg.Role
+	if role == "" {
+		role = core.ExchangeRoleFlat
 	}
 	if cfg.Interval <= 0 {
 		cfg.Interval = core.DefaultExchangeInterval
@@ -238,67 +249,138 @@ func newExchange(g *Gossip, hc *core.HostContext, cfg core.ExchangeConfig) (*Exc
 	if cfg.Budget > core.MaxExchangeBudget {
 		cfg.Budget = core.MaxExchangeBudget
 	}
-	return &Exchange{
-		gossip: g,
-		hc:     hc,
-		self:   self,
-		cfg:    cfg,
-		now:    g.now,
-		peers:  peers,
-		cool:   make(map[string]*peerCooldown),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
-	}, nil
+	budget := cfg.Budget
+	var aggSet map[string]bool
+	if role != core.ExchangeRoleFlat {
+		if len(cfg.Aggregators) == 0 {
+			return nil, fmt.Errorf("policy: exchange role %q at %s needs aggregators", role, self)
+		}
+		aggSet = make(map[string]bool, len(cfg.Aggregators))
+		for _, a := range cfg.Aggregators {
+			if a != "" {
+				aggSet[a] = true
+			}
+		}
+		if role == core.ExchangeRoleAggregator {
+			if !aggSet[self] {
+				return nil, fmt.Errorf("policy: aggregator %s is not in its own aggregator list", self)
+			}
+			budget = cfg.AggregatorBudget
+			if budget <= 0 {
+				budget = core.DefaultAggregatorBudgetFactor * cfg.Budget
+			}
+			if budget > core.MaxExchangeBudget {
+				budget = core.MaxExchangeBudget
+			}
+		}
+	}
+	pool, err := derivePool(self, role, aggSet, cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	x := &Exchange{
+		gossip:    g,
+		hc:        hc,
+		self:      self,
+		cfg:       cfg,
+		now:       g.now,
+		sched:     NewScheduler(self, pool, g.now()),
+		role:      role,
+		aggSet:    aggSet,
+		budget:    budget,
+		statePath: cfg.StatePath,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	x.stats.Role = string(role)
+	if x.statePath != "" {
+		if data, err := os.ReadFile(x.statePath); err == nil {
+			// A torn or stale state file costs only the restart memory;
+			// the scheduler starts fresh then.
+			_ = x.sched.ApplyState(data)
+		}
+	}
+	return x, nil
 }
 
-// normalizeRing deduplicates the peer list, purges the node itself,
-// and shuffles with a seed derived from the host name — so a node's
-// visit order is deterministic and test-replayable while differing
-// across nodes. Shared by construction and live peer updates, so a
-// membership change reshuffles the same way a restart would.
-func normalizeRing(self string, list []string) ([]string, error) {
+// derivePool maps a fleet membership list to the node's partner pool
+// for its tier. Flat nodes draw from the whole list; members from the
+// aggregators; aggregators from the other aggregators (a sole
+// aggregator gets an empty pool — it initiates nothing but still
+// serves its members' offers).
+func derivePool(self string, role core.ExchangeRole, aggSet map[string]bool, fleet []string) ([]string, error) {
+	var pool []string
+	switch role {
+	case core.ExchangeRoleFlat:
+		pool = dedupe(self, fleet)
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("policy: exchange at %s has no usable peers", self)
+		}
+	case core.ExchangeRoleMember:
+		for a := range aggSet {
+			if a != self {
+				pool = append(pool, a)
+			}
+		}
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("policy: member %s has no usable aggregators", self)
+		}
+	case core.ExchangeRoleAggregator:
+		for a := range aggSet {
+			if a != self {
+				pool = append(pool, a)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("policy: unknown exchange role %q", role)
+	}
+	return pool, nil
+}
+
+// dedupe drops empties, self, and duplicates, preserving order.
+func dedupe(self string, list []string) []string {
 	seen := make(map[string]bool, len(list))
-	peers := make([]string, 0, len(list))
+	out := make([]string, 0, len(list))
 	for _, p := range list {
 		if p == "" || p == self || seen[p] {
 			continue
 		}
 		seen[p] = true
-		peers = append(peers, p)
+		out = append(out, p)
 	}
-	if len(peers) == 0 {
-		return nil, fmt.Errorf("policy: exchange at %s has no usable peers", self)
-	}
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(self))
-	rng := rand.New(rand.NewSource(int64(h.Sum64())))
-	rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
-	return peers, nil
+	return out
 }
 
-// UpdatePeers replaces the ring with a new fleet membership: the list
-// is normalized and reshuffled exactly as at construction, the ring
-// position resets, and cooldown state survives for peers present in
-// both lists (a dead peer does not earn a fresh probe budget just
-// because an unrelated node joined).
+// UpdatePeers adopts a new fleet membership. Flat nodes replace their
+// pool with the list; hierarchical tiers re-derive theirs from the
+// configured aggregator set intersected with the list (an aggregator
+// that left the fleet stops being anyone's partner, but membership
+// churn among plain members never touches a member's pool). Scheduler
+// state survives for peers present in both pools — a dead peer does
+// not earn a fresh probe budget because an unrelated node joined.
 func (x *Exchange) UpdatePeers(peers []string) error {
-	ring, err := normalizeRing(x.self, peers)
-	if err != nil {
-		return err
-	}
-	keep := make(map[string]bool, len(ring))
-	for _, p := range ring {
-		keep[p] = true
-	}
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	x.peers = ring
-	x.next = 0
-	for p := range x.cool {
-		if !keep[p] {
-			delete(x.cool, p)
+	var pool []string
+	switch x.role {
+	case core.ExchangeRoleFlat:
+		pool = dedupe(x.self, peers)
+		if len(pool) == 0 {
+			return fmt.Errorf("policy: exchange at %s has no usable peers", x.self)
+		}
+	default:
+		present := make(map[string]bool, len(peers))
+		for _, p := range peers {
+			present[p] = true
+		}
+		for a := range x.aggSet {
+			if a != x.self && present[a] {
+				pool = append(pool, a)
+			}
+		}
+		if x.role == core.ExchangeRoleMember && len(pool) == 0 {
+			return fmt.Errorf("policy: member %s has no usable aggregators", x.self)
 		}
 	}
+	x.sched.UpdatePeers(pool)
 	return nil
 }
 
@@ -330,75 +412,63 @@ func (x *Exchange) halt() {
 	<-x.done
 }
 
-// Stats snapshots the loop's counters (the offer-serving counter lives
-// on the Gossip mechanism; Gossip.ExchangeStats merges it in).
+// Stats snapshots the loop's counters (the offer-serving and urgent
+// counters live on the Gossip mechanism; Gossip.ExchangeStats merges
+// them in).
 func (x *Exchange) Stats() core.ExchangeStats {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	return x.stats
 }
 
-// nextPeer advances the shuffled ring to the next peer that is not
-// cooling down, consuming one skip credit from each cooling peer it
-// passes. It returns "" when every peer is cooling — the round is a
-// no-op rather than a forced probe of a known-dead fleet.
-func (x *Exchange) nextPeer() string {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	n := len(x.peers)
-	for i := 0; i < n; i++ {
-		p := x.peers[x.next%n]
-		x.next++
-		if c := x.cool[p]; c != nil && c.skip > 0 {
-			c.skip--
-			x.stats.PeersSkipped++
-			continue
-		}
-		return p
-	}
-	return ""
-}
+// Scheduler exposes the partner scheduler for harnesses and the
+// federation stats surface. Treat as read-mostly: driving it directly
+// while the loop runs will interleave with the loop's own updates.
+func (x *Exchange) Scheduler() *Scheduler { return x.sched }
 
-// noteOutcome updates the peer's failure backoff after a round: a
-// success clears it; a failure doubles the number of the peer's ring
-// turns skipped before the next probe (1, 2, 4, ... capped at
-// maxPeerCooldownRounds).
-func (x *Exchange) noteOutcome(peer string, err error) {
-	if err == nil {
-		delete(x.cool, peer)
+// Role returns the loop's federation tier.
+func (x *Exchange) Role() core.ExchangeRole { return x.role }
+
+// persistSched writes the scheduler's state to statePath atomically
+// (temp + rename). Failures are silent-but-bounded: the state is pure
+// optimization, and the next successful round retries the write.
+func (x *Exchange) persistSched() {
+	if x.statePath == "" {
 		return
 	}
-	c := x.cool[peer]
-	if c == nil {
-		c = &peerCooldown{}
-		x.cool[peer] = c
+	data := x.sched.EncodeState()
+	tmp := x.statePath + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(x.statePath), 0o755); err != nil {
+		return
 	}
-	c.fails++
-	skip := maxPeerCooldownRounds
-	if c.fails <= 5 { // 2^(fails-1) overtakes the cap from the 6th failure
-		skip = 1 << (c.fails - 1)
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
 	}
-	if skip > maxPeerCooldownRounds {
-		skip = maxPeerCooldownRounds
-	}
-	c.skip = skip
+	_ = os.Rename(tmp, x.statePath)
 }
 
-// Step runs one exchange round against the next peer of the shuffled
-// ring: push our signed extracts, pull the peer's delta, verify and
+// Step runs one exchange round against the scheduler's best-scoring
+// peer: push our signed extracts, pull the peer's delta, verify and
 // merge it. Exported so tests and the convergence bench can drive
 // rounds deterministically instead of waiting out the interval; the
-// background loop calls it on every tick. A round where every peer is
-// cooling down after failures performs no call and counts no round.
+// background loop calls it on every tick. With an empty partner pool
+// (a sole aggregator) the round is a no-op.
 func (x *Exchange) Step(ctx context.Context) error {
-	peer := x.nextPeer()
+	now := x.now()
+	peer := x.sched.Pick(now)
 	if peer == "" {
 		return nil
 	}
-	x.mu.Lock()
-	mergedBefore := x.stats.EntriesMerged
-	x.mu.Unlock()
-	err := x.exchangeWith(ctx, peer)
+	received, merged, err := x.exchangeWith(ctx, peer)
+	if err == nil {
+		// Distance signal: how many entries the peer held that we
+		// lacked. A peer we are fully synced with scores toward plain
+		// staleness; a divergent one is revisited sooner.
+		x.sched.NoteSuccess(peer, x.now(), float64(received))
+	} else {
+		x.sched.NoteFailure(peer)
+	}
+	x.persistSched()
 	x.mu.Lock()
 	x.stats.Rounds++
 	x.stats.LastPeer = peer
@@ -406,13 +476,8 @@ func (x *Exchange) Step(ctx context.Context) error {
 	if err != nil {
 		x.stats.Failures++
 	}
-	x.noteOutcome(peer, err)
-	merged := x.stats.EntriesMerged - mergedBefore
-	var skip, fails int
-	if c := x.cool[peer]; c != nil {
-		skip, fails = c.skip, c.fails
-	}
 	x.mu.Unlock()
+	fails := x.sched.Fails(peer)
 	if bus := x.gossip.bus; bus != nil {
 		ok := "true"
 		if err != nil {
@@ -423,16 +488,20 @@ func (x *Exchange) Step(ctx context.Context) error {
 			Host: peer,
 			Fields: map[string]string{
 				"ok":     ok,
-				"merged": strconv.FormatInt(merged, 10),
+				"merged": strconv.FormatInt(int64(merged), 10),
 			},
 		})
 		if err != nil {
+			capped := fails
+			if capped > failPenaltyCap {
+				capped = failPenaltyCap
+			}
 			bus.Publish(events.Event{
 				Kind: events.KindPeerCooldown,
 				Host: peer,
 				Fields: map[string]string{
-					"skip":  strconv.Itoa(skip),
-					"fails": strconv.Itoa(fails),
+					"fails":   strconv.Itoa(fails),
+					"penalty": fmt.Sprintf("2^-%d", capped),
 				},
 			})
 		}
@@ -440,8 +509,9 @@ func (x *Exchange) Step(ctx context.Context) error {
 	return err
 }
 
-// exchangeWith performs the offer/delta round trip with one peer.
-func (x *Exchange) exchangeWith(ctx context.Context, peer string) error {
+// exchangeWith performs the offer/delta round trip with one peer,
+// returning how many delta entries the peer sent and how many merged.
+func (x *Exchange) exchangeWith(ctx context.Context, peer string) (received, merged int, err error) {
 	ctx, cancel := context.WithTimeout(ctx, exchangeCallTimeout)
 	defer cancel()
 
@@ -450,8 +520,8 @@ func (x *Exchange) exchangeWith(ctx context.Context, peer string) error {
 	// slice than we push so the peer can skip anything we already know
 	// at least as well.
 	snap := x.gossip.ledger.Snapshot(0)
-	push := x.gossip.extracts(snap, x.self, x.hc.Host.Keys(), x.cfg.Budget, nil)
-	summaryLimit := 4 * x.cfg.Budget
+	push := x.gossip.extracts(snap, x.self, x.hc.Host.Keys(), x.budget, nil)
+	summaryLimit := 4 * x.budget
 	if summaryLimit > maxSummaryEntries {
 		summaryLimit = maxSummaryEntries
 	}
@@ -472,25 +542,33 @@ func (x *Exchange) exchangeWith(ctx context.Context, peer string) error {
 		}
 		summary = append(summary, summaryItem{Host: rep.Host, Suspicion: rep.Suspicion})
 	}
-	body, err := encodeOffer(x.cfg.Budget, summary, push)
+	body, err := encodeOffer(x.self, x.budget, summary, push)
 	if err != nil {
-		return fmt.Errorf("policy: exchange at %s: %w", x.self, err)
+		return 0, 0, fmt.Errorf("policy: exchange at %s: %w", x.self, err)
 	}
 	reply, err := x.hc.Net.Call(ctx, peer, GossipMechanismName+"/offer", body)
 	if err != nil {
-		return fmt.Errorf("policy: exchange %s->%s: %w", x.self, peer, err)
+		return 0, 0, fmt.Errorf("policy: exchange %s->%s: %w", x.self, peer, err)
 	}
-	delta, err := decodeDelta(reply)
+	// The reply may still carry an urgent envelope when the loop's
+	// network is the raw transport (harness-driven exchanges outside a
+	// node); inside a node the urgent-aware wrapper has already opened
+	// and merged it, and this unwrap is a no-op.
+	payload, baggage := transport.OpenReply(reply)
+	if len(baggage) > 0 {
+		x.gossip.MergeUrgentBaggage(x.hc, baggage)
+	}
+	delta, err := decodeDelta(payload)
 	if err != nil {
-		return fmt.Errorf("policy: exchange %s->%s: %w", x.self, peer, err)
+		return 0, 0, fmt.Errorf("policy: exchange %s->%s: %w", x.self, peer, err)
 	}
-	merged := x.gossip.mergeVerified(x.hc.Host.Registry(), x.self, delta)
+	kept := x.gossip.mergeVerified(x.hc.Host.Registry(), x.self, delta)
 	x.mu.Lock()
 	x.stats.EntriesSent += int64(len(push))
 	x.stats.EntriesReceived += int64(len(delta))
-	x.stats.EntriesMerged += int64(len(merged))
+	x.stats.EntriesMerged += int64(len(kept))
 	x.mu.Unlock()
-	return nil
+	return len(delta), len(kept), nil
 }
 
 // floatBits / floatFromBits keep the summary's float encoding in one
@@ -509,7 +587,7 @@ func (m *Gossip) HandleCall(_ context.Context, hc *core.HostContext, method stri
 	if method != "offer" {
 		return nil, fmt.Errorf("%w: %s/%s", transport.ErrUnknownMethod, GossipMechanismName, method)
 	}
-	budget, summary, pushed, err := decodeOffer(body)
+	initiator, budget, summary, pushed, err := decodeOffer(body)
 	if err != nil {
 		return nil, err
 	}
@@ -523,7 +601,14 @@ func (m *Gossip) HandleCall(_ context.Context, hc *core.HostContext, method stri
 	})
 	m.exMu.Lock()
 	m.offersServed++
+	x := m.exchange
 	m.exMu.Unlock()
+	if x != nil && initiator != "" {
+		// The delta size is also how far the initiator's ledger sat
+		// from ours — fold it into our own scheduler's estimate for
+		// that peer (a no-op when the initiator is not in our pool).
+		x.sched.ObserveSummary(initiator, float64(len(delta)))
+	}
 	return encodeDelta(delta)
 }
 
@@ -558,7 +643,7 @@ func (m *Gossip) Exchange() *Exchange {
 // UpdateExchangePeers implements core.ExchangePeerUpdater: the running
 // loop adopts a new fleet membership without a node restart. Errors
 // when no loop is running (gossip-in-baggage only) or when the new
-// list normalizes to empty.
+// list leaves the node's tier without usable partners.
 func (m *Gossip) UpdateExchangePeers(peers []string) error {
 	m.exMu.Lock()
 	x := m.exchange
@@ -576,12 +661,20 @@ func (m *Gossip) ExchangeStats() (core.ExchangeStats, bool) {
 	m.exMu.Lock()
 	x := m.exchange
 	served := m.offersServed
+	urgentSent := m.urgentSent
+	urgentMerged := m.urgentMerged
 	m.exMu.Unlock()
 	if x == nil {
-		return core.ExchangeStats{OffersServed: served}, false
+		return core.ExchangeStats{
+			OffersServed: served,
+			UrgentSent:   urgentSent,
+			UrgentMerged: urgentMerged,
+		}, false
 	}
 	st := x.Stats()
 	st.OffersServed = served
+	st.UrgentSent = urgentSent
+	st.UrgentMerged = urgentMerged
 	return st, true
 }
 

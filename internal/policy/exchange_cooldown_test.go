@@ -2,81 +2,19 @@ package policy
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
+
+	"repro/internal/core"
 )
 
-// TestExchangeCooldownSingleDeadPeer pins the backoff cadence against
-// one unreachable peer: probes land on rounds 1, 3, 6, 11, ... (skip
-// 1, 2, 4, ... turns between), no-op steps count no round, and the
-// skip cap bounds how long a recovered peer waits for its next probe.
-func TestExchangeCooldownSingleDeadPeer(t *testing.T) {
-	ctx := context.Background()
-	// n1 exists but is never registered: every call to it fails.
-	bed := newExBed(t, 2, [][]string{{exName(1)}, nil}, func(i int) bool { return i == 0 })
-	x := bed.nodes[0].x
-
-	type expect struct{ rounds, failures, skipped int64 }
-	// step: probe, skip, probe, skip, skip, probe
-	wants := []expect{
-		{1, 1, 0},
-		{1, 1, 1},
-		{2, 2, 1},
-		{2, 2, 2},
-		{2, 2, 3},
-		{3, 3, 3},
-	}
-	for i, w := range wants {
-		_ = x.Step(ctx)
-		st := x.Stats()
-		if st.Rounds != w.rounds || st.Failures != w.failures || st.PeersSkipped != w.skipped {
-			t.Fatalf("after step %d: rounds=%d failures=%d skipped=%d, want %+v",
-				i+1, st.Rounds, st.Failures, st.PeersSkipped, w)
-		}
-	}
-
-	// Exhaust the backoff growth: after enough failures the skip count
-	// pins at maxPeerCooldownRounds instead of growing forever.
-	for i := 0; i < 200; i++ {
-		_ = x.Step(ctx)
-	}
-	x.mu.Lock()
-	c := x.cool[exName(1)]
-	skip, fails := c.skip, c.fails
-	x.mu.Unlock()
-	if skip > maxPeerCooldownRounds {
-		t.Fatalf("skip %d exceeds cap %d", skip, maxPeerCooldownRounds)
-	}
-	if fails <= 5 {
-		t.Fatalf("expected many failures by now, got %d", fails)
-	}
-
-	// The peer comes back: the next probe succeeds and clears the
-	// backoff entirely — every following turn probes again.
-	node1 := bed.nodes[1]
-	bed.net.Register(node1.name, gossipEndpoint{hc: node1.hc, g: node1.g})
-	for i := 0; i <= maxPeerCooldownRounds; i++ {
-		_ = x.Step(ctx)
-	}
-	x.mu.Lock()
-	_, cooling := x.cool[exName(1)]
-	x.mu.Unlock()
-	if cooling {
-		t.Fatal("successful round did not clear the peer's cooldown")
-	}
-	before := x.Stats()
-	if err := x.Step(ctx); err != nil {
-		t.Fatalf("post-recovery step: %v", err)
-	}
-	after := x.Stats()
-	if after.Rounds != before.Rounds+1 || after.PeersSkipped != before.PeersSkipped {
-		t.Fatalf("recovered peer still skipped: before=%+v after=%+v", before, after)
-	}
-}
-
-// TestExchangeCooldownShieldsHealthyPeers pins that a dead peer's
-// backoff does not starve rounds against healthy ones: with one dead
-// and one live peer, far fewer than half the rounds fail.
-func TestExchangeCooldownShieldsHealthyPeers(t *testing.T) {
+// TestExchangeFailurePenaltyShieldsHealthyPeers pins the scheduler's
+// failure handling: a dead peer is deprioritized by score penalty, not
+// skipped by a ring turn — with one dead and one live peer, far fewer
+// than half the rounds fail, and no round is a no-op.
+func TestExchangeFailurePenaltyShieldsHealthyPeers(t *testing.T) {
 	ctx := context.Background()
 	// Peers n1 (live) and n2 (never registered).
 	bed := newExBed(t, 3, [][]string{{exName(1), exName(2)}, nil, nil}, func(i int) bool { return i != 2 })
@@ -85,23 +23,59 @@ func TestExchangeCooldownShieldsHealthyPeers(t *testing.T) {
 		_ = x.Step(ctx)
 	}
 	st := x.Stats()
-	if st.Rounds == 0 {
-		t.Fatal("no rounds ran")
+	// Every step runs a round: the penalty model never no-ops while a
+	// live peer exists.
+	if st.Rounds != 64 {
+		t.Fatalf("rounds = %d, want 64 (penalty model burns no turns)", st.Rounds)
 	}
-	// Without backoff the dead peer owns every other ring turn: ~32
-	// failures. With exponential skips only ~log2 probes reach it.
+	// Without the penalty the dead peer owns every other pick: ~32
+	// failures. Penalized, its probes back off exponentially.
 	if st.Failures > 10 {
-		t.Fatalf("dead peer consumed %d/%d rounds despite backoff", st.Failures, st.Rounds)
+		t.Fatalf("dead peer consumed %d/%d rounds despite penalty", st.Failures, st.Rounds)
 	}
-	if st.PeersSkipped == 0 {
-		t.Fatal("no ring turns were skipped")
+	if got := x.Scheduler().Fails(exName(2)); got == 0 {
+		t.Fatal("dead peer accumulated no failure count")
+	}
+	// The dead peer is still probed occasionally — penalized, not
+	// forgotten.
+	if st.Failures < 2 {
+		t.Fatalf("dead peer was never re-probed (failures = %d)", st.Failures)
 	}
 }
 
-// TestExchangeUpdatePeers pins the live membership swap: cooldown
-// state survives for retained peers, is pruned for removed ones, and
-// a list that normalizes to empty is refused without touching the
-// ring.
+// TestExchangeFailurePenaltyClearsOnRecovery pins recovery: a peer's
+// penalty clears on the first successful round, restoring its full
+// claim on the schedule.
+func TestExchangeFailurePenaltyClearsOnRecovery(t *testing.T) {
+	ctx := context.Background()
+	bed := newExBed(t, 2, [][]string{{exName(1)}, nil}, func(i int) bool { return i == 0 })
+	x := bed.nodes[0].x
+	for i := 0; i < 8; i++ {
+		_ = x.Step(ctx)
+	}
+	st := x.Stats()
+	if st.Failures != st.Rounds || st.Failures == 0 {
+		t.Fatalf("sole dead peer: stats = %+v", st)
+	}
+	if x.Scheduler().Fails(exName(1)) < 8 {
+		t.Fatalf("failure count = %d, want >= 8", x.Scheduler().Fails(exName(1)))
+	}
+
+	// The peer comes back: the next probe succeeds and clears the
+	// penalty entirely.
+	node1 := bed.nodes[1]
+	bed.net.Register(node1.name, gossipEndpoint{hc: node1.hc, g: node1.g})
+	if err := x.Step(ctx); err != nil {
+		t.Fatalf("post-recovery step: %v", err)
+	}
+	if got := x.Scheduler().Fails(exName(1)); got != 0 {
+		t.Fatalf("successful round left failure count %d", got)
+	}
+}
+
+// TestExchangeUpdatePeers pins the live membership swap: scheduler
+// state survives for retained peers, is pruned for removed ones, and a
+// list that normalizes to empty is refused without touching the pool.
 func TestExchangeUpdatePeers(t *testing.T) {
 	ctx := context.Background()
 	bed := newExBed(t, 3, [][]string{{exName(1), exName(2)}, nil, nil}, func(i int) bool { return i != 2 })
@@ -109,48 +83,41 @@ func TestExchangeUpdatePeers(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		_ = x.Step(ctx)
 	}
-	x.mu.Lock()
-	_, hadCool := x.cool[exName(2)]
-	x.mu.Unlock()
-	if !hadCool {
-		t.Fatal("dead peer accumulated no cooldown")
+	if x.Scheduler().Fails(exName(2)) == 0 {
+		t.Fatal("dead peer accumulated no failure count")
 	}
 
-	// Retained dead peer keeps its backoff through a membership change.
+	// Retained dead peer keeps its penalty through a membership change.
 	if err := x.UpdatePeers([]string{exName(1), exName(2)}); err != nil {
 		t.Fatalf("UpdatePeers: %v", err)
 	}
-	x.mu.Lock()
-	_, stillCool := x.cool[exName(2)]
-	x.mu.Unlock()
-	if !stillCool {
-		t.Fatal("membership change reset a retained peer's cooldown")
+	if x.Scheduler().Fails(exName(2)) == 0 {
+		t.Fatal("membership change reset a retained peer's penalty")
 	}
 
 	// Removing the peer prunes its state; adding it back starts fresh.
 	if err := x.UpdatePeers([]string{exName(1)}); err != nil {
 		t.Fatalf("UpdatePeers shrink: %v", err)
 	}
-	x.mu.Lock()
-	_, pruned := x.cool[exName(2)]
-	peersNow := len(x.peers)
-	x.mu.Unlock()
-	if pruned || peersNow != 1 {
-		t.Fatalf("removed peer not pruned (cool kept: %v, ring len %d)", pruned, peersNow)
+	if x.Scheduler().Len() != 1 {
+		t.Fatalf("pool len %d after shrink, want 1", x.Scheduler().Len())
+	}
+	if err := x.UpdatePeers([]string{exName(1), exName(2)}); err != nil {
+		t.Fatalf("UpdatePeers regrow: %v", err)
+	}
+	if got := x.Scheduler().Fails(exName(2)); got != 0 {
+		t.Fatalf("re-added peer kept stale failure count %d", got)
 	}
 
-	// Empty (or self-only) lists are refused and leave the ring alone.
+	// Empty (or self-only) lists are refused and leave the pool alone.
 	if err := x.UpdatePeers(nil); err == nil {
 		t.Fatal("empty peer list accepted")
 	}
 	if err := x.UpdatePeers([]string{exName(0), ""}); err == nil {
 		t.Fatal("self-only peer list accepted")
 	}
-	x.mu.Lock()
-	peersNow = len(x.peers)
-	x.mu.Unlock()
-	if peersNow != 1 {
-		t.Fatalf("failed update mutated the ring (len %d)", peersNow)
+	if x.Scheduler().Len() != 2 {
+		t.Fatalf("failed update mutated the pool (len %d)", x.Scheduler().Len())
 	}
 
 	// The Gossip-level entry point reaches the same loop.
@@ -161,4 +128,72 @@ func TestExchangeUpdatePeers(t *testing.T) {
 	if err := bed.nodes[1].g.UpdateExchangePeers([]string{exName(0)}); err == nil {
 		t.Fatal("UpdateExchangePeers on a loopless mechanism succeeded")
 	}
+}
+
+// TestExchangeSchedulerStateSurvivesRestart pins the restart bugfix:
+// with a StatePath, a peer's failure penalty and staleness anchor
+// survive the exchange loop's restart — a long-dead peer does not get
+// to burn rounds again just because the node recovered.
+func TestExchangeSchedulerStateSurvivesRestart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	statePath := filepath.Join(dir, "sched.state")
+
+	bed := newExBed(t, 3, [][]string{nil, nil, nil}, func(i int) bool { return i == 1 })
+	n0 := bed.nodes[0]
+	cfg := core.ExchangeConfig{
+		Peers:     []string{exName(1), exName(2)},
+		Interval:  time.Hour,
+		StatePath: statePath,
+	}
+	stop, err := n0.g.StartExchange(ctx, n0.hc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := n0.g.Exchange()
+	for i := 0; i < 12; i++ {
+		_ = x.Step(ctx)
+	}
+	failsBefore := x.Scheduler().Fails(exName(2))
+	if failsBefore == 0 {
+		t.Fatal("dead peer accumulated no failure count before restart")
+	}
+	stop()
+	if _, err := os.Stat(statePath); err != nil {
+		t.Fatalf("scheduler state not persisted: %v", err)
+	}
+
+	// "Restart": a fresh gossip+exchange over the same state path.
+	bed2 := newExBed(t, 3, [][]string{nil, nil, nil}, func(i int) bool { return i == 1 })
+	m0 := bed2.nodes[0]
+	stop2, err := m0.g.StartExchange(ctx, m0.hc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stop2)
+	x2 := m0.g.Exchange()
+	if got := x2.Scheduler().Fails(exName(2)); got != failsBefore {
+		t.Fatalf("failure penalty after restart = %d, want %d", got, failsBefore)
+	}
+
+	// The recovered loop keeps preferring the live peer immediately.
+	for i := 0; i < 8; i++ {
+		_ = x2.Step(ctx)
+	}
+	st := x2.Stats()
+	if st.Failures > st.Rounds/2 {
+		t.Fatalf("restarted loop burned %d/%d rounds on the dead peer", st.Failures, st.Rounds)
+	}
+
+	// A corrupt state file is ignored, not fatal.
+	if err := os.WriteFile(statePath, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bed3 := newExBed(t, 3, [][]string{nil, nil, nil}, func(i int) bool { return i == 1 })
+	p0 := bed3.nodes[0]
+	stop3, err := p0.g.StartExchange(ctx, p0.hc, cfg)
+	if err != nil {
+		t.Fatalf("corrupt state file failed the exchange start: %v", err)
+	}
+	stop3()
 }

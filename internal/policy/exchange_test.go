@@ -55,6 +55,19 @@ func exName(i int) string { return fmt.Sprintf("n%d", i) }
 // Nodes with a nil peer list get no exchange loop (responder-only).
 func newExBed(t *testing.T, n int, peers [][]string, register func(i int) bool) *exBed {
 	t.Helper()
+	return newExBedCfg(t, n, func(i int) *core.ExchangeConfig {
+		if peers[i] == nil {
+			return nil
+		}
+		return &core.ExchangeConfig{Peers: peers[i]}
+	}, register)
+}
+
+// newExBedCfg is newExBed with a full per-node exchange configuration
+// (roles, aggregator lists); nil means no exchange loop. The interval
+// is parked regardless — rounds are driven manually via Step.
+func newExBedCfg(t *testing.T, n int, cfgFor func(i int) *core.ExchangeConfig, register func(i int) bool) *exBed {
+	t.Helper()
 	reg := sigcrypto.NewRegistry()
 	net := transport.NewInProc()
 	fixed := time.Now()
@@ -85,13 +98,12 @@ func newExBed(t *testing.T, n int, peers [][]string, register func(i int) bool) 
 		bed.nodes = append(bed.nodes, node)
 	}
 	for i, node := range bed.nodes {
-		if peers[i] == nil {
+		cfg := cfgFor(i)
+		if cfg == nil {
 			continue
 		}
-		stop, err := node.g.StartExchange(context.Background(), node.hc, core.ExchangeConfig{
-			Peers:    peers[i],
-			Interval: time.Hour, // rounds are driven manually via Step
-		})
+		cfg.Interval = time.Hour
+		stop, err := node.g.StartExchange(context.Background(), node.hc, *cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +189,7 @@ func TestExchangeOfferIdempotent(t *testing.T) {
 	// Build the identical offer by hand and replay it straight into B's
 	// handler twice more.
 	push := a.g.extracts(a.led.Snapshot(0), a.name, a.hc.Host.Keys(), 16, nil)
-	body, err := encodeOffer(16, nil, push)
+	body, err := encodeOffer(a.name, 16, nil, push)
 	if err != nil {
 		t.Fatal(err)
 	}

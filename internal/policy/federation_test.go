@@ -1,0 +1,62 @@
+package policy
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFederationConvergenceBound is the hierarchical federation's
+// convergence-bound property: with two aggregators fronting a member
+// fleet, a cheater seen first-hand by exactly one member escalates
+// fleet-wide within member-round + aggregator-round + member-round —
+// for every fleet size, every seeded member, and every step order
+// inside a round. The mechanics behind the bound: the seeded member's
+// round pushes the extract to one aggregator; the aggregator round is
+// a two-party exchange, so whichever aggregator steps first levels
+// both; the final member round has every member pulling from an
+// informed aggregator whichever one it picks.
+func TestFederationConvergenceBound(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 6; trial++ {
+		members := 3 + rng.Intn(8) // 3..10 members
+		n := 2 + members           // nodes 0,1 are the aggregators
+		aggs := []string{exName(0), exName(1)}
+		bed := newExBedCfg(t, n, func(i int) *core.ExchangeConfig {
+			cfg := &core.ExchangeConfig{Aggregators: aggs, Role: core.ExchangeRoleMember}
+			if i < 2 {
+				cfg.Role = core.ExchangeRoleAggregator
+			}
+			return cfg
+		}, nil)
+
+		seeded := 2 + rng.Intn(members)
+		bed.nodes[seeded].led.Observe("mallory", false, maxMergeSuspicion)
+
+		stepRound := func(idx []int) {
+			rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+			for _, i := range idx {
+				if err := bed.nodes[i].x.Step(ctx); err != nil {
+					t.Fatalf("trial %d: step of %s: %v", trial, bed.nodes[i].name, err)
+				}
+			}
+		}
+		memberIdx := make([]int, 0, members)
+		for i := 2; i < n; i++ {
+			memberIdx = append(memberIdx, i)
+		}
+		stepRound(memberIdx)   // seeded member reaches one aggregator
+		stepRound([]int{0, 1}) // the aggregator pair levels
+		stepRound(memberIdx)   // every member pulls from an informed aggregator
+
+		for _, node := range bed.nodes {
+			if s := node.led.Suspicion("mallory"); s < DefaultEscalateThreshold {
+				t.Fatalf("trial %d (members=%d seeded=%s): %s below escalation after bounded rounds (%.3f)",
+					trial, members, bed.nodes[seeded].name, node.name, s)
+			}
+		}
+	}
+}

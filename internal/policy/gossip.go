@@ -97,10 +97,25 @@ type Gossip struct {
 	// lifecycle (core.Exchanger); nil when the node runs gossip-in-
 	// baggage only. offersServed counts reputation/offer calls answered
 	// regardless (a node serves peers even when it initiates no rounds
-	// itself). Both guarded by exMu.
+	// itself). urgentSent / urgentMerged count replies wrapped with
+	// urgent extracts and urgent entries merged off replies. All
+	// guarded by exMu.
 	exMu         sync.Mutex
 	exchange     *Exchange
 	offersServed int64
+	urgentSent   int64
+	urgentMerged int64
+
+	// Urgent-extract piggybacking (urgent.go): quarantine-level ledger
+	// extracts ride on served protocol replies. urgentAt is the
+	// threshold (0 disables — set via SetUrgentThreshold before the
+	// node starts); the cache holds the encoded baggage for the ledger
+	// version it was built at, guarded by urgMu.
+	urgentAt    float64
+	urgMu       sync.Mutex
+	urgCacheVer uint64
+	urgCacheSet bool
+	urgCache    []byte
 
 	// bus, when non-nil, receives gossip-merge, exchange-round, and
 	// peer-cooldown events; set via SetBus before the node starts.
@@ -201,9 +216,14 @@ func (m *Gossip) mergeVerified(reg *sigcrypto.Registry, self string, entries []G
 	}
 	// One batch verification for the whole bundle (one key resolution,
 	// one pass) when enabled; entries whose slot fails are dropped —
-	// the same outcome the scalar path produces per entry. A nil errs
-	// slice from VerifyBatch means every entry verified.
-	batched := m.batchVerify && len(cand) > 1
+	// the same outcome the scalar path produces per entry, because
+	// VerifyBatch re-checks failures through the scalar Verify and so
+	// preserves per-signer attribution. A nil errs slice means every
+	// entry verified. The scalar loop below survives only as the
+	// batchVerify=false arm the scale A/B measures against — every
+	// bundle size, including the steady-state single-entry trickle the
+	// exchange produces once a fleet converges, takes the batch path.
+	batched := m.batchVerify && len(cand) > 0
 	var errs []error
 	if batched {
 		batch := make([]sigcrypto.BatchEntry, len(cand))

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/canon"
@@ -108,7 +109,16 @@ type hostRecord struct {
 type Ledger struct {
 	cfg   LedgerConfig
 	store *shardstore.Store[hostRecord]
+	// version counts suspicion-raising updates (failed observations and
+	// adopted merges). Consumers caching derived views — the gossip
+	// mechanism's urgent-extract baggage — rebuild when it moves; decay
+	// never bumps it (decay only lowers values, and the caches it could
+	// stale are advisory and idempotent to over-send).
+	version atomic.Uint64
 }
+
+// Version returns the suspicion-raising update counter.
+func (l *Ledger) Version() uint64 { return l.version.Load() }
 
 // NewLedger builds an in-memory ledger. cfg.Backend must be nil (it
 // panics otherwise, so a durability request is never silently dropped);
@@ -243,6 +253,9 @@ func (l *Ledger) Observe(host string, ok bool, weight float64) float64 {
 		old.events++
 		return old
 	})
+	if !ok {
+		l.version.Add(1)
+	}
 	l.noteCrossing(host, before, rec.suspicion)
 	return rec.suspicion
 }
@@ -283,6 +296,9 @@ func (l *Ledger) Merge(host string, suspicion float64, at time.Time) {
 		after = old.suspicion
 		return old
 	})
+	if after > before {
+		l.version.Add(1)
+	}
 	l.noteCrossing(host, before, after)
 }
 

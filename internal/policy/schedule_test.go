@@ -1,0 +1,175 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/canon"
+)
+
+// TestSchedulerRoundRobinAtParity: with nothing separating the peers
+// (frozen clock, no history), the scheduler degenerates to a
+// deterministic rotation that visits every peer within len(peers)
+// picks — the property the old shuffled ring gave convergence proofs.
+func TestSchedulerRoundRobinAtParity(t *testing.T) {
+	now := time.Now()
+	peers := []string{"a", "b", "c", "d", "e"}
+	s := NewScheduler("self", peers, now)
+	seen := make(map[string]bool)
+	for i := 0; i < len(peers); i++ {
+		seen[s.Pick(now)] = true
+	}
+	if len(seen) != len(peers) {
+		t.Fatalf("first %d picks visited %d distinct peers, want all %d", len(peers), len(seen), len(peers))
+	}
+	// And the rotation is replayable: a second scheduler over the same
+	// inputs picks the identical sequence.
+	s2 := NewScheduler("self", peers, now)
+	s3 := NewScheduler("self", peers, now)
+	for i := 0; i < 3*len(peers); i++ {
+		if p2, p3 := s2.Pick(now), s3.Pick(now); p2 != p3 {
+			t.Fatalf("pick %d diverged across identical schedulers: %s vs %s", i, p2, p3)
+		}
+	}
+}
+
+// TestSchedulerOrderVariesAcrossNodes: two nodes with identical state
+// must not visit the fleet in the same order (synchronized rotations
+// would keep exchanging with each other's already-synced partners).
+func TestSchedulerOrderVariesAcrossNodes(t *testing.T) {
+	now := time.Now()
+	peers := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	first := NewScheduler("node-one", peers, now)
+	second := NewScheduler("node-two", peers, now)
+	same := true
+	for i := 0; i < len(peers); i++ {
+		if first.Pick(now) != second.Pick(now) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two distinct nodes produced identical visit orders")
+	}
+}
+
+// TestSchedulerPrefersStale: the peer longest without a successful
+// round outranks recently synced ones.
+func TestSchedulerPrefersStale(t *testing.T) {
+	base := time.Now()
+	s := NewScheduler("self", []string{"fresh", "stale"}, base)
+	s.NoteSuccess("fresh", base.Add(50*time.Second), 0)
+	s.NoteSuccess("stale", base.Add(10*time.Second), 0)
+	if p := s.Pick(base.Add(60 * time.Second)); p != "stale" {
+		t.Fatalf("picked %s, want the staler peer", p)
+	}
+}
+
+// TestSchedulerPrefersDistance: at equal staleness, a peer whose view
+// kept diverging from ours outranks one already in sync.
+func TestSchedulerPrefersDistance(t *testing.T) {
+	base := time.Now()
+	s := NewScheduler("self", []string{"synced", "diverging"}, base)
+	at := base.Add(10 * time.Second)
+	s.NoteSuccess("synced", at, 0)
+	s.NoteSuccess("diverging", at, 6)
+	if p := s.Pick(base.Add(30 * time.Second)); p != "diverging" {
+		t.Fatalf("picked %s, want the diverging peer", p)
+	}
+}
+
+// TestSchedulerFailurePenaltyAndRecovery: failures halve the score per
+// consecutive fail (capped), but the peer is deprioritized rather than
+// skipped — once its staleness outgrows the capped penalty it is
+// probed again, and one success clears the penalty entirely.
+func TestSchedulerFailurePenaltyAndRecovery(t *testing.T) {
+	base := time.Now()
+	s := NewScheduler("self", []string{"healthy", "flaky"}, base)
+	at := base.Add(time.Second)
+	s.NoteSuccess("healthy", at, 1)
+	s.NoteSuccess("flaky", at, 1)
+	for i := 0; i < 10; i++ {
+		s.NoteFailure("flaky")
+	}
+	// Equal staleness: the penalized peer loses.
+	if p := s.Pick(base.Add(30 * time.Second)); p != "healthy" {
+		t.Fatalf("picked %s under fresh penalty, want healthy", p)
+	}
+	// The penalty caps at 2^-failPenaltyCap = 1/16: once the flaky
+	// peer's staleness exceeds the healthy peer's by that factor, it is
+	// probed again rather than starved forever.
+	s.NoteSuccess("healthy", base.Add(2000*time.Second), 1)
+	if p := s.Pick(base.Add(2100 * time.Second)); p != "flaky" {
+		t.Fatalf("picked %s, want the long-unprobed flaky peer back in rotation", p)
+	}
+	s.NoteSuccess("flaky", base.Add(2100*time.Second), 1)
+	if got := s.Fails("flaky"); got != 0 {
+		t.Fatalf("success left %d fails on record, want 0", got)
+	}
+}
+
+// TestSchedulerUpdatePeersKeepsState: membership updates preserve the
+// surviving peers' failure memory — a dead peer does not earn a fresh
+// probe budget because an unrelated node joined — and drop departed
+// peers entirely.
+func TestSchedulerUpdatePeersKeepsState(t *testing.T) {
+	base := time.Now()
+	s := NewScheduler("self", []string{"old", "dying"}, base)
+	s.NoteFailure("dying")
+	s.NoteFailure("dying")
+	s.UpdatePeers([]string{"old", "dying", "joiner", "self"})
+	if s.Len() != 3 {
+		t.Fatalf("tracked %d peers after update, want 3 (self excluded)", s.Len())
+	}
+	if got := s.Fails("dying"); got != 2 {
+		t.Fatalf("membership update reset fails to %d, want 2", got)
+	}
+	s.UpdatePeers([]string{"joiner"})
+	if got := s.Fails("dying"); got != 0 {
+		t.Fatalf("departed peer still tracked with %d fails", got)
+	}
+}
+
+// TestSchedulerStateRoundTrip: EncodeState/ApplyState carry the
+// restart memory — failure counts, last-success staleness, distance —
+// and a torn file is rejected whole without disturbing live state.
+func TestSchedulerStateRoundTrip(t *testing.T) {
+	base := time.Now()
+	s := NewScheduler("self", []string{"a", "b"}, base)
+	s.NoteSuccess("a", base.Add(5*time.Second), 3)
+	s.NoteFailure("b")
+	s.NoteFailure("b")
+	enc := s.EncodeState()
+
+	fresh := NewScheduler("self", []string{"a", "b", "c"}, base.Add(time.Hour))
+	if err := fresh.ApplyState(enc); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.Fails("b"); got != 2 {
+		t.Fatalf("restored fails = %d, want 2", got)
+	}
+	snap := fresh.Snapshot(base.Add(time.Hour))
+	byName := make(map[string]PeerScore, len(snap))
+	for _, ps := range snap {
+		byName[ps.Peer] = ps
+	}
+	if byName["a"].LastSuccessUnixNano != base.Add(5*time.Second).UnixNano() {
+		t.Fatalf("restored last-success = %d, want the persisted instant", byName["a"].LastSuccessUnixNano)
+	}
+	if byName["a"].Distance == schedDefaultDistance {
+		t.Fatal("restored distance still at the prior; EWMA state lost")
+	}
+	if byName["c"].Distance != schedDefaultDistance {
+		t.Fatalf("unknown peer c picked up foreign state (distance %.3f)", byName["c"].Distance)
+	}
+
+	untouched := NewScheduler("self", []string{"a", "b"}, base)
+	if err := untouched.ApplyState(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated state applied without error")
+	}
+	if err := untouched.ApplyState(canon.Tuple([]byte("not-sched-state"))); err == nil {
+		t.Fatal("mislabeled state applied without error")
+	}
+	if got := untouched.Fails("b"); got != 0 {
+		t.Fatalf("rejected state still mutated the scheduler (fails=%d)", got)
+	}
+}

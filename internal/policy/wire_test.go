@@ -98,17 +98,20 @@ func TestExchangeWireBounds(t *testing.T) {
 	if _, err := decodeDelta(make([]byte, MaxExchangeWireBytes+1)); !errors.Is(err, ErrExchangeWire) {
 		t.Fatalf("oversized delta: err = %v, want ErrExchangeWire", err)
 	}
-	if _, _, _, err := decodeOffer(make([]byte, MaxExchangeWireBytes+1)); !errors.Is(err, ErrExchangeWire) {
+	if _, _, _, _, err := decodeOffer(make([]byte, MaxExchangeWireBytes+1)); !errors.Is(err, ErrExchangeWire) {
 		t.Fatalf("oversized offer: err = %v, want ErrExchangeWire", err)
 	}
 
-	body, err := encodeOffer(1<<40, []summaryItem{{Host: "h", Suspicion: 2}}, mkEntries(1))
+	body, err := encodeOffer("init", 1<<40, []summaryItem{{Host: "h", Suspicion: 2}}, mkEntries(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	budget, summary, entries, err := decodeOffer(body)
+	initiator, budget, summary, entries, err := decodeOffer(body)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if initiator != "init" {
+		t.Fatalf("initiator = %q, want %q", initiator, "init")
 	}
 	if budget != core.MaxExchangeBudget {
 		t.Fatalf("budget = %d, want clamped to %d", budget, core.MaxExchangeBudget)
@@ -122,7 +125,7 @@ func TestExchangeWireBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := decodeOffer(delta); !errors.Is(err, ErrExchangeWire) {
+	if _, _, _, _, err := decodeOffer(delta); !errors.Is(err, ErrExchangeWire) {
 		t.Fatalf("delta accepted as offer: %v", err)
 	}
 	if _, err := decodeDelta(body); !errors.Is(err, ErrExchangeWire) {

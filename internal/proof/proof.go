@@ -350,6 +350,10 @@ func Verify(ctx context.Context, cfg VerifyConfig, ag *agent.Agent) (*Report, er
 		if err != nil {
 			return blame(c, fmt.Sprintf("host refused to open proof: %v", err)), nil
 		}
+		// A full node wraps mechanism replies in the urgent envelope;
+		// tolerant unwrap so a bare reply passes through unchanged and an
+		// honest host is never blamed for carrying baggage.
+		resp, _ = transport.OpenReply(resp)
 		var w wireOpenings
 		if err := gob.NewDecoder(bytes.NewReader(resp)).Decode(&w); err != nil {
 			return blame(c, fmt.Sprintf("malformed openings: %v", err)), nil
@@ -408,6 +412,7 @@ func FullRecheck(ctx context.Context, cfg VerifyConfig, ag *agent.Agent) (*Repor
 			rep.Reason = err.Error()
 			return rep, nil
 		}
+		resp, _ = transport.OpenReply(resp)
 		var w wireOpenings
 		if err := gob.NewDecoder(bytes.NewReader(resp)).Decode(&w); err != nil {
 			return nil, err

@@ -300,6 +300,14 @@ func Assemble(l Level, opts Options) (Stack, error) {
 		if opts.DisableBatchVerify {
 			gossip.SetBatchVerify(false)
 		}
+		// Urgent piggybacking fires exactly at the policy's quarantine
+		// threshold: a detection severe enough to quarantine is the one
+		// detection a calling peer should hear about in the same RPC.
+		urgentAt := pcfg.QuarantineThreshold
+		if urgentAt == 0 {
+			urgentAt = policy.DefaultQuarantineThreshold
+		}
+		gossip.SetUrgentThreshold(urgentAt)
 		mechs := []core.Mechanism{
 			wholesig.New(opts.Timer),
 			gossip,

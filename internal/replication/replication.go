@@ -228,6 +228,11 @@ type StageReport struct {
 type Report struct {
 	Final  *agent.Agent
 	Stages []StageReport
+	// ResumedFrom is the index of the first stage this run actually
+	// executed: 0 for a fresh journey, the checkpointed stage + 1 when
+	// the coordinator resumed from its RoundLog. Stages decided by a
+	// previous run are absent from Stages.
+	ResumedFrom int
 }
 
 // Errors returned by the coordinator.
@@ -277,6 +282,14 @@ type Coordinator struct {
 	// identical either way because batch failures fall back to the
 	// scalar error.
 	DisableBatchVerify bool
+	// Rounds, when set, checkpoints the journey's progress durably: the
+	// adopted agent is saved after every decided stage, a Run finding a
+	// checkpoint for its agent resumes from the stage after it instead
+	// of re-executing decided stages, and a terminal outcome (success,
+	// or the agent finishing early) clears the record. Transient
+	// failures — no majority, cancellation, transport errors — leave
+	// the checkpoint in place for the next attempt. May be nil.
+	Rounds *RoundLog
 }
 
 // Run executes the agent through all stages and returns the report.
@@ -289,7 +302,16 @@ func (c *Coordinator) Run(ctx context.Context, ag *agent.Agent) (*Report, error)
 	}
 	cur := ag.Clone()
 	rep := &Report{}
-	for i, replicas := range c.Stages {
+	first := 0
+	if c.Rounds != nil {
+		if doneStage, saved, ok := c.Rounds.Lookup(ag.ID); ok {
+			cur = saved
+			first = doneStage + 1
+		}
+	}
+	rep.ResumedFrom = first
+	for i := first; i < len(c.Stages); i++ {
+		replicas := c.Stages[i]
 		if err := ctx.Err(); err != nil {
 			return rep, fmt.Errorf("replication: stage %d: %w", i, err)
 		}
@@ -313,16 +335,36 @@ func (c *Coordinator) Run(ctx context.Context, ag *agent.Agent) (*Report, error)
 		// the stage to a principal (a synthetic "stageN" name would be
 		// unchargeable).
 		cur.Route = append(cur.Route, stage.WinnerReplica)
+		if c.Rounds != nil {
+			// Checkpoint errors are surfaced, not fatal: the stage IS
+			// decided; only the crash-resume memory is degraded.
+			if cerr := c.Rounds.Save(i, cur); cerr != nil && c.Events != nil {
+				c.Events.Publish(events.Event{
+					Kind:   events.KindPersistError,
+					Agent:  cur.ID,
+					Fields: map[string]string{"error": cerr.Error()},
+				})
+			}
+		}
 		if cur.Entry == "" {
 			if i != len(c.Stages)-1 {
 				rep.Final = cur
+				c.clearRound(ag.ID)
 				return rep, fmt.Errorf("%w (stage %d of %d)", ErrAgentFailed, i+1, len(c.Stages))
 			}
 			break
 		}
 	}
 	rep.Final = cur
+	c.clearRound(ag.ID)
 	return rep, nil
+}
+
+// clearRound drops the agent's checkpoint on a terminal outcome.
+func (c *Coordinator) clearRound(agentID string) {
+	if c.Rounds != nil {
+		_ = c.Rounds.Clear(agentID)
+	}
 }
 
 // runStage fans the agent out to the stage's replicas, collects signed
@@ -356,6 +398,13 @@ func (c *Coordinator) runStage(ctx context.Context, stageIdx int, replicas []str
 				results <- result{replica: r, err: fmt.Errorf("call: %w", err)}
 				return
 			}
+			// A replica running inside a full node may wrap its reply in
+			// the urgent envelope; the coordinator runs over the raw
+			// transport, so it unwraps here (tolerant: a bare vote passes
+			// through). The baggage itself is second-hand reputation
+			// evidence the coordinator has no ledger to merge into — the
+			// owner's node ingests it on its own calls.
+			body, _ = transport.OpenReply(body)
 			v, err := decodeVote(body)
 			if err != nil {
 				results <- result{replica: r, err: err}

@@ -333,6 +333,10 @@ func Audit(ctx context.Context, cfg AuditConfig, ag *agent.Agent) (*Report, erro
 		if err != nil {
 			return blame(c, fmt.Sprintf("host refused audit fetch: %v", err)), nil
 		}
+		// A full node wraps mechanism replies in the urgent envelope;
+		// tolerant unwrap so an honest host is never blamed for the
+		// baggage its node attached.
+		resp, _ = transport.OpenReply(resp)
 		pkg, err := core.UnmarshalReferencePackage(resp)
 		if err != nil {
 			return blame(c, fmt.Sprintf("returned package malformed: %v", err)), nil
